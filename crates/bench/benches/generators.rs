@@ -1,0 +1,56 @@
+//! Stream-generation benchmarks: the synthetic graph models and the
+//! fully dynamic scenario builders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsd_stream::gen::GeneratorConfig;
+use wsd_stream::order::Ordering;
+use wsd_stream::Scenario;
+
+const N: u64 = 5_000;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    let configs = [
+        GeneratorConfig::ErdosRenyi { vertices: N, edges: 4 * N as usize },
+        GeneratorConfig::BarabasiAlbert { vertices: N, edges_per_vertex: 4 },
+        GeneratorConfig::HolmeKim { vertices: N, edges_per_vertex: 4, triad_prob: 0.5 },
+        GeneratorConfig::ForestFire { vertices: N, forward_prob: 0.5 },
+        GeneratorConfig::Copying { vertices: N, out_degree: 4, copy_prob: 0.5 },
+        GeneratorConfig::Community {
+            vertices: N,
+            intra_links: 3,
+            inter_links: 1,
+            new_community_prob: 0.02,
+        },
+    ];
+    for cfg in configs {
+        group.bench_function(cfg.model_name(), |b| {
+            b.iter(|| black_box(cfg.generate(9)).len());
+        });
+    }
+    group.finish();
+
+    let edges = GeneratorConfig::BarabasiAlbert { vertices: N, edges_per_vertex: 4 }.generate(9);
+    let mut group = c.benchmark_group("scenarios");
+    group.bench_function("massive", |b| {
+        let s = Scenario::default_massive(edges.len());
+        b.iter(|| black_box(s.apply(&edges, 5)).len());
+    });
+    group.bench_function("light", |b| {
+        let s = Scenario::default_light();
+        b.iter(|| black_box(s.apply(&edges, 5)).len());
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("orderings");
+    for o in [Ordering::Uar, Ordering::Rbfs] {
+        group.bench_function(o.name(), |b| {
+            b.iter(|| black_box(o.apply(&edges, 5)).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

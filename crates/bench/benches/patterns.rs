@@ -1,0 +1,67 @@
+//! Pattern-enumeration kernel benchmarks — the `γ(M)` term of the
+//! complexity analysis (Theorems 3/5): cost of counting/enumerating the
+//! instances a new edge completes against a sampled graph.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Adjacency, Edge, Pattern};
+use wsd_stream::gen::GeneratorConfig;
+
+fn sampled_graph() -> (Adjacency, Vec<Edge>) {
+    // A BA graph: heavy-tailed degrees stress the common-neighbour
+    // intersection exactly like a reservoir over a real stream.
+    let edges = GeneratorConfig::BarabasiAlbert { vertices: 3_000, edges_per_vertex: 6 }
+        .generate(11);
+    let mut g = Adjacency::new();
+    let (probe, keep) = edges.split_at(edges.len() / 10);
+    for e in keep {
+        g.insert(*e);
+    }
+    (g, probe.to_vec())
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let (g, probes) = sampled_graph();
+    let mut group = c.benchmark_group("patterns/count_completed");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    for pattern in [
+        Pattern::Wedge,
+        Pattern::Triangle,
+        Pattern::FourClique,
+        Pattern::Clique(5),
+    ] {
+        group.bench_function(pattern.name(), |b| {
+            let mut scratch = EnumScratch::default();
+            b.iter(|| {
+                let mut total = 0u64;
+                for &e in &probes {
+                    total += pattern.count_completed(&g, e, &mut scratch);
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("patterns/enumerate_partners");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    for pattern in [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique] {
+        group.bench_function(pattern.name(), |b| {
+            let mut scratch = EnumScratch::default();
+            b.iter(|| {
+                let mut total = 0usize;
+                for &e in &probes {
+                    pattern.for_each_completed(&g, e, &mut scratch, &mut |partners| {
+                        total += partners.len();
+                    });
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

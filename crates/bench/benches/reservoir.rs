@@ -1,0 +1,76 @@
+//! Reservoir data-structure microbenchmarks: the indexed min-heap behind
+//! WSD/GPS (the `log M` in Theorems 3/5) vs the O(1) uniform RP
+//! reservoir behind the baselines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use wsd_core::reservoir::{IndexedMinHeap, RpReservoir};
+use wsd_graph::Edge;
+
+const OPS: usize = 10_000;
+const CAPACITY: usize = 1_000;
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservoir/indexed_heap");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_function("push_evict_cycle", |b| {
+        b.iter_batched(
+            || (IndexedMinHeap::<u64>::with_capacity(CAPACITY), SmallRng::seed_from_u64(1)),
+            |(mut heap, mut rng)| {
+                for i in 0..OPS as u64 {
+                    let rank: f64 = rng.random_range(0.0..1.0);
+                    if heap.len() == CAPACITY {
+                        heap.pop_min();
+                    }
+                    heap.push(i, rank);
+                }
+                black_box(heap.len())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("remove_by_key", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = IndexedMinHeap::<u64>::with_capacity(OPS);
+                let mut rng = SmallRng::seed_from_u64(2);
+                for i in 0..OPS as u64 {
+                    heap.push(i, rng.random_range(0.0..1.0));
+                }
+                heap
+            },
+            |mut heap| {
+                for i in 0..OPS as u64 {
+                    heap.remove(&i);
+                }
+                black_box(heap.len())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("reservoir/rp_uniform");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_function("offer_delete_mix", |b| {
+        b.iter_batched(
+            || (RpReservoir::new(CAPACITY), SmallRng::seed_from_u64(3)),
+            |(mut res, mut rng)| {
+                for i in 0..OPS as u64 {
+                    res.offer(Edge::new(i, i + 1_000_000), &mut rng);
+                    if i % 5 == 4 {
+                        res.delete(Edge::new(i - 2, i - 2 + 1_000_000));
+                    }
+                }
+                black_box(res.len())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heap);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! RL-stack benchmarks: policy inference (the extra per-insertion cost
+//! of WSD-L over WSD-H observed in the paper's running-time columns) and
+//! the DDPG optimisation step (the unit of Table IV/XI training time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wsd_core::{FeatureNorm, LinearPolicy, StateVector, WeightFn};
+use wsd_rl::{Ddpg, DdpgConfig, Transition};
+
+fn bench_rl(c: &mut Criterion) {
+    // Policy inference.
+    let mut policy = LinearPolicy::new(
+        vec![0.3, -0.2, 0.1, 0.05, 0.04, 0.7],
+        0.1,
+        FeatureNorm::new(vec![5.0; 6], vec![2.0; 6]),
+    );
+    let states: Vec<StateVector> = (0..1024)
+        .map(|i| {
+            StateVector::from_values(vec![
+                (i % 17) as f64,
+                (i % 31) as f64,
+                (i % 29) as f64,
+                i as f64,
+                i as f64 + 1.0,
+                i as f64 + 2.0,
+            ])
+        })
+        .collect();
+    let mut group = c.benchmark_group("rl/policy_inference");
+    group.throughput(Throughput::Elements(states.len() as u64));
+    group.bench_function("linear_policy", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in &states {
+                acc += policy.weight(s);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+
+    // DDPG update step (batch of 128, paper hyper-parameters).
+    let mut agent = Ddpg::new(6, DdpgConfig::default(), 5);
+    let pool: Vec<Transition> = (0..512)
+        .map(|i| Transition {
+            state: vec![i as f64 % 13.0; 6],
+            action: 1.0 + (i % 7) as f64,
+            reward: ((i % 11) as f64 - 5.0) / 10.0,
+            next_state: vec![(i + 1) as f64 % 13.0; 6],
+        })
+        .collect();
+    for t in &pool {
+        agent.norm.update(&t.state);
+    }
+    let mut group = c.benchmark_group("rl/ddpg");
+    group.bench_function("update_batch128", |b| {
+        let batch: Vec<&Transition> = pool.iter().take(128).collect();
+        b.iter(|| black_box(agent.update(&batch)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rl);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Per-event throughput of every sampler — the microbenchmark behind the
+//! paper's running-time columns and its "≈3.2 µs per event" claim
+//! (§V-B(2)). Each iteration processes a full fully-dynamic stream with
+//! a fresh counter.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use wsd_core::{Algorithm, CounterConfig};
+use wsd_graph::Pattern;
+use wsd_stream::gen::GeneratorConfig;
+use wsd_stream::Scenario;
+
+fn stream() -> wsd_stream::EventStream {
+    let edges = GeneratorConfig::HolmeKim {
+        vertices: 2_000,
+        edges_per_vertex: 5,
+        triad_prob: 0.5,
+    }
+    .generate(7);
+    Scenario::default_light().apply(&edges, 3)
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let events = stream();
+    let capacity = events.len() / 20; // ~5% budget
+    let mut group = c.benchmark_group("sampler_throughput/triangle");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(10);
+    for alg in [
+        Algorithm::WsdL,
+        Algorithm::WsdH,
+        Algorithm::WsdUniform,
+        Algorithm::GpsA,
+        Algorithm::Triest,
+        Algorithm::ThinkD,
+        Algorithm::Wrs,
+    ] {
+        group.bench_function(alg.name(), |b| {
+            b.iter_batched(
+                || CounterConfig::new(Pattern::Triangle, capacity, 42).build(alg),
+                |mut counter| {
+                    counter.process_all(&events);
+                    black_box(counter.estimate())
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+
+    // Pattern cost scaling for the paper's headline sampler.
+    let mut group = c.benchmark_group("sampler_throughput/wsd_h_patterns");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(10);
+    for pattern in [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique] {
+        group.bench_function(pattern.name(), |b| {
+            b.iter_batched(
+                || CounterConfig::new(pattern, capacity, 42).build(Algorithm::WsdH),
+                |mut counter| {
+                    counter.process_all(&events);
+                    black_box(counter.estimate())
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

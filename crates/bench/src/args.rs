@@ -1,0 +1,211 @@
+//! Minimal CLI argument parsing for the experiment binaries.
+//!
+//! All experiment binaries share the same flags:
+//!
+//! ```text
+//! --reps N           accuracy repetitions per cell (default 20)
+//! --time-reps N      timing repetitions per cell (default 3)
+//! --scale F          multiply dataset sizes by F (default 1.0)
+//! --seed N           master seed (default 1)
+//! --scenario S       massive | light | insert (where applicable)
+//! --pattern P        wedge | triangle | 4-clique (where applicable)
+//! --csv PATH         additionally write rows as CSV
+//! --quick            tiny sizes/reps for smoke-testing
+//! --train-iters N    DDPG optimisation steps for WSD-L (default 1000)
+//! --no-cache         retrain policies even if cached
+//! ```
+//!
+//! A deliberate ~80-line hand parser: a CLI dependency is not on the
+//! allowed list and the needs are trivial.
+
+use std::collections::BTreeMap;
+use wsd_graph::Pattern;
+
+/// Parsed common arguments.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Accuracy repetitions.
+    pub reps: usize,
+    /// Timing repetitions.
+    pub time_reps: usize,
+    /// Dataset scale multiplier.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Scenario selector (`massive` default).
+    pub scenario: String,
+    /// Pattern selector, if the binary supports one.
+    pub pattern: Option<Pattern>,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+    /// Quick smoke-test mode.
+    pub quick: bool,
+    /// DDPG iterations for policy training.
+    pub train_iters: usize,
+    /// Ignore the policy cache.
+    pub no_cache: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            reps: 20,
+            time_reps: 3,
+            scale: 1.0,
+            seed: 1,
+            scenario: "massive".to_string(),
+            pattern: None,
+            csv: None,
+            quick: false,
+            train_iters: 1000,
+            no_cache: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`, exiting with usage on error.
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: [--reps N] [--time-reps N] [--scale F] [--seed N] \
+                     [--scenario massive|light|insert] [--pattern wedge|triangle|4-clique] \
+                     [--csv PATH] [--quick] [--train-iters N] [--no-cache]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit iterator of arguments (testable).
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut kv: BTreeMap<String, String> = BTreeMap::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--no-cache" => out.no_cache = true,
+                flag if flag.starts_with("--") => {
+                    let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                    kv.insert(flag.trim_start_matches("--").to_string(), v);
+                }
+                other => return Err(format!("unexpected argument {other:?}")),
+            }
+        }
+        for (k, v) in kv {
+            match k.as_str() {
+                "reps" => out.reps = v.parse().map_err(|e| format!("--reps: {e}"))?,
+                "time-reps" => {
+                    out.time_reps = v.parse().map_err(|e| format!("--time-reps: {e}"))?
+                }
+                "scale" => out.scale = v.parse().map_err(|e| format!("--scale: {e}"))?,
+                "seed" => out.seed = v.parse().map_err(|e| format!("--seed: {e}"))?,
+                "train-iters" => {
+                    out.train_iters = v.parse().map_err(|e| format!("--train-iters: {e}"))?
+                }
+                "scenario" => {
+                    if !["massive", "light", "insert"].contains(&v.as_str()) {
+                        return Err(format!("unknown scenario {v:?}"));
+                    }
+                    out.scenario = v;
+                }
+                "pattern" => {
+                    out.pattern = Some(parse_pattern(&v)?);
+                }
+                "csv" => out.csv = Some(v),
+                other => return Err(format!("unknown flag --{other}")),
+            }
+        }
+        if out.quick {
+            out.reps = out.reps.min(4);
+            out.time_reps = 1;
+            out.scale = out.scale.min(0.25);
+            out.train_iters = out.train_iters.min(100);
+        }
+        if out.scale <= 0.0 {
+            return Err("--scale must be positive".into());
+        }
+        if out.reps == 0 {
+            return Err("--reps must be positive".into());
+        }
+        Ok(out)
+    }
+}
+
+/// Parses a pattern name.
+pub fn parse_pattern(s: &str) -> Result<Pattern, String> {
+    match s {
+        "wedge" => Ok(Pattern::Wedge),
+        "triangle" => Ok(Pattern::Triangle),
+        "4-clique" | "4clique" | "four-clique" => Ok(Pattern::FourClique),
+        other => {
+            if let Some(k) = other.strip_suffix("-clique") {
+                let k: u8 = k.parse().map_err(|_| format!("unknown pattern {other:?}"))?;
+                let p = Pattern::Clique(k);
+                p.validate()?;
+                return Ok(p);
+            }
+            Err(format!("unknown pattern {other:?}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.reps, 20);
+        assert_eq!(a.scenario, "massive");
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&[
+            "--reps", "7", "--scale", "0.5", "--scenario", "light", "--pattern", "wedge",
+            "--csv", "/tmp/x.csv", "--seed", "9",
+        ])
+        .unwrap();
+        assert_eq!(a.reps, 7);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.scenario, "light");
+        assert_eq!(a.pattern, Some(Pattern::Wedge));
+        assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn quick_caps_sizes() {
+        let a = parse(&["--quick", "--reps", "100"]).unwrap();
+        assert!(a.reps <= 4);
+        assert!(a.scale <= 0.25);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse(&["--nope", "1"]).is_err());
+        assert!(parse(&["--scenario", "chaotic"]).is_err());
+        assert!(parse(&["stray"]).is_err());
+        assert!(parse(&["--reps"]).is_err());
+    }
+
+    #[test]
+    fn pattern_parsing() {
+        assert_eq!(parse_pattern("triangle").unwrap(), Pattern::Triangle);
+        assert_eq!(parse_pattern("4-clique").unwrap(), Pattern::FourClique);
+        assert_eq!(parse_pattern("5-clique").unwrap(), Pattern::Clique(5));
+        assert!(parse_pattern("2-clique").is_err());
+        assert!(parse_pattern("hexagon").is_err());
+    }
+}

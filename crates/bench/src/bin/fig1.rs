@@ -1,0 +1,95 @@
+//! **Figure 1 / Figure 3** — scalability of WSD-L and WSD-H: triangle
+//! ARE and running time vs stream size on Forest-Fire streams
+//! (`--scenario massive` reproduces Fig. 1, `--scenario light` Fig. 3).
+//!
+//! The paper sweeps 10 M → 5 B events with M = 1 M; scaled to this
+//! environment the sweep is 10 k → 1 M events with M fixed to 1% of the
+//! largest stream (the same "constant sample, growing stream" design, so
+//! ARE grows with |S| and time is linear in |S|). `--scale` multiplies
+//! the sweep sizes.
+
+use wsd_bench::policies::{scenario_by_kind, train_or_load};
+use wsd_bench::runner::{run_cell, AlgoSpec, Workload};
+use wsd_bench::table::{pct, secs};
+use wsd_bench::{Args, Table};
+use wsd_graph::Pattern;
+use wsd_stream::dataset::by_name;
+use wsd_stream::gen::GeneratorConfig;
+
+fn main() {
+    let args = Args::parse();
+    let pattern = Pattern::Triangle;
+    // Forest-Fire at p = 0.5 yields ≈ 5–8 edges per vertex.
+    let base_sizes: &[usize] = if args.quick {
+        &[2_000, 10_000]
+    } else {
+        &[10_000, 50_000, 100_000, 500_000, 1_000_000]
+    };
+    let sizes: Vec<usize> = base_sizes
+        .iter()
+        .map(|&s| ((s as f64 * args.scale) as usize).max(1000))
+        .collect();
+    let max_edges = *sizes.last().unwrap();
+    let capacity = (max_edges / 100).max(50); // 1% of the largest stream
+    let policy = train_or_load(
+        &by_name("synthetic (train)").expect("registry dataset"),
+        args.scale.min(1.0),
+        pattern,
+        &args.scenario,
+        args.train_iters,
+        args.seed,
+        args.no_cache,
+    )
+    .policy;
+    let mut t = Table::new(&[
+        "|S| (edges)", "events", "WSD-L ARE(%)", "WSD-H ARE(%)", "WSD-L time(s)",
+        "WSD-H time(s)", "WSD-L µs/event",
+    ]);
+    t.section(&format!(
+        "Scalability, {} deletion scenario, M = {capacity} (1% of max)",
+        args.scenario
+    ));
+    for &target_edges in &sizes {
+        let vertices = (target_edges / 6).max(16) as u64;
+        eprintln!("generating FF stream with ~{target_edges} edges…");
+        let edges = GeneratorConfig::ForestFire { vertices, forward_prob: 0.5 }
+            .generate(args.seed ^ 0xF0F0);
+        let scenario = scenario_by_kind(&args.scenario, edges.len());
+        let workload = Workload::build(&edges, scenario, pattern, args.seed);
+        let reps = args.reps.min(5); // large streams: few reps suffice
+        let l = run_cell(
+            &AlgoSpec::wsd_l(policy.clone()),
+            &workload,
+            capacity,
+            args.seed,
+            reps,
+            args.time_reps,
+        );
+        let h = run_cell(
+            &AlgoSpec::new(wsd_core::Algorithm::WsdH),
+            &workload,
+            capacity,
+            args.seed,
+            reps,
+            args.time_reps,
+        );
+        let us_per_event = l.seconds * 1e6 / workload.len() as f64;
+        t.row(vec![
+            format!("{}", edges.len()),
+            format!("{}", workload.len()),
+            pct(l.are),
+            pct(h.are),
+            secs(l.seconds),
+            secs(h.seconds),
+            format!("{us_per_event:.2}"),
+        ]);
+    }
+    t.emit(
+        &format!(
+            "Figure {}: scalability ({} deletion)",
+            if args.scenario == "light" { "3" } else { "1" },
+            args.scenario
+        ),
+        args.csv.as_deref(),
+    );
+}

@@ -1,0 +1,62 @@
+//! **Figure 2(a) / 4(a)** — impact of the stream ordering: triangle ARE
+//! on cit-PT under Natural / UAR / RBFS orderings for all six
+//! algorithms (`--scenario massive` → Fig. 2(a), `light` → Fig. 4(a)).
+
+use wsd_bench::policies::{capacity_for, scenario_by_kind, train_or_load};
+use wsd_bench::runner::{run_cell, AlgoSpec, Workload};
+use wsd_bench::table::pct;
+use wsd_bench::{Args, Table};
+use wsd_core::Algorithm;
+use wsd_graph::Pattern;
+use wsd_stream::dataset::by_name;
+use wsd_stream::order::Ordering;
+
+fn main() {
+    let args = Args::parse();
+    let pattern = Pattern::Triangle;
+    let test = by_name("cit-PT").expect("registry dataset");
+    let edges = test.edges_scaled(args.scale);
+    let capacity = capacity_for(edges.len(), pattern);
+    let policy = train_or_load(
+        &by_name("cit-HE").expect("registry dataset"),
+        args.scale,
+        pattern,
+        &args.scenario,
+        args.train_iters,
+        args.seed,
+        args.no_cache,
+    )
+    .policy;
+    let mut header = vec!["Ordering".to_string()];
+    header.extend(Algorithm::paper_table_set().iter().map(|a| a.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    t.section(&format!(
+        "cit-PT triangle ARE (%), {} deletion scenario",
+        args.scenario
+    ));
+    for ordering in Ordering::all() {
+        eprintln!("ordering {}…", ordering.name());
+        let reordered = ordering.apply(&edges, args.seed ^ 0x0BD);
+        let scenario = scenario_by_kind(&args.scenario, reordered.len());
+        let workload = Workload::build(&reordered, scenario, pattern, args.seed);
+        let mut row = vec![ordering.name().to_string()];
+        for alg in Algorithm::paper_table_set() {
+            let spec = match alg {
+                Algorithm::WsdL => AlgoSpec::wsd_l(policy.clone()),
+                other => AlgoSpec::new(other),
+            };
+            let cell = run_cell(&spec, &workload, capacity, args.seed, args.reps, 0);
+            row.push(pct(cell.are));
+        }
+        t.row(row);
+    }
+    t.emit(
+        &format!(
+            "Figure {}: stream ordering ({} deletion)",
+            if args.scenario == "light" { "4(a)" } else { "2(a)" },
+            args.scenario
+        ),
+        args.csv.as_deref(),
+    );
+}

@@ -1,0 +1,61 @@
+//! **Figure 2(b) / 4(b)** — impact of the reservoir budget: triangle ARE
+//! on cit-PT for M = 1%…5% of |E|, all six algorithms
+//! (`--scenario massive` → Fig. 2(b), `light` → Fig. 4(b)).
+
+use wsd_bench::policies::{scenario_by_kind, train_or_load};
+use wsd_bench::runner::{run_cell, AlgoSpec, Workload};
+use wsd_bench::table::pct;
+use wsd_bench::{Args, Table};
+use wsd_core::Algorithm;
+use wsd_graph::Pattern;
+use wsd_stream::dataset::by_name;
+
+fn main() {
+    let args = Args::parse();
+    let pattern = Pattern::Triangle;
+    let test = by_name("cit-PT").expect("registry dataset");
+    let edges = test.edges_scaled(args.scale);
+    let scenario = scenario_by_kind(&args.scenario, edges.len());
+    let workload = Workload::build(&edges, scenario, pattern, args.seed);
+    let policy = train_or_load(
+        &by_name("cit-HE").expect("registry dataset"),
+        args.scale,
+        pattern,
+        &args.scenario,
+        args.train_iters,
+        args.seed,
+        args.no_cache,
+    )
+    .policy;
+    let mut header = vec!["M (%|E|)".to_string()];
+    header.extend(Algorithm::paper_table_set().iter().map(|a| a.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    t.section(&format!(
+        "cit-PT triangle ARE (%), {} deletion scenario, |E| = {}",
+        args.scenario,
+        edges.len()
+    ));
+    for pct_m in 1..=5usize {
+        let capacity = (edges.len() * pct_m / 100).max(pattern.num_edges() + 20);
+        eprintln!("M = {pct_m}% = {capacity}…");
+        let mut row = vec![format!("{pct_m}")];
+        for alg in Algorithm::paper_table_set() {
+            let spec = match alg {
+                Algorithm::WsdL => AlgoSpec::wsd_l(policy.clone()),
+                other => AlgoSpec::new(other),
+            };
+            let cell = run_cell(&spec, &workload, capacity, args.seed, args.reps, 0);
+            row.push(pct(cell.are));
+        }
+        t.row(row);
+    }
+    t.emit(
+        &format!(
+            "Figure {}: reservoir size sweep ({} deletion)",
+            if args.scenario == "light" { "4(b)" } else { "2(b)" },
+            args.scenario
+        ),
+        args.csv.as_deref(),
+    );
+}

@@ -1,0 +1,65 @@
+//! **Figure 2(c) / 4(c)** — training-graph size vs training time and
+//! resulting accuracy: Forest-Fire training graphs scaled ×{0.5, 1, 2,
+//! 4, 8}, each policy evaluated (triangle ARE) on the larger synthetic
+//! test graph (`--scenario massive` → Fig. 2(c), `light` → Fig. 4(c)).
+
+use wsd_bench::policies::{capacity_for, scenario_by_kind, train_or_load};
+use wsd_bench::runner::{run_cell, AlgoSpec, Workload};
+use wsd_bench::table::{pct, secs};
+use wsd_bench::{Args, Table};
+use wsd_graph::Pattern;
+use wsd_stream::dataset::by_name;
+
+fn main() {
+    let args = Args::parse();
+    let pattern = Pattern::Triangle;
+    let train_spec = by_name("synthetic (train)").expect("registry dataset");
+    let test_spec = by_name("synthetic").expect("registry dataset");
+    let test_edges = test_spec.edges_scaled(args.scale);
+    let scenario = scenario_by_kind(&args.scenario, test_edges.len());
+    let workload = Workload::build(&test_edges, scenario, pattern, args.seed);
+    let capacity = capacity_for(test_edges.len(), pattern);
+    let mut t = Table::new(&["train ×", "train |E|", "train time (s)", "test ARE (%)"]);
+    t.section(&format!(
+        "FF training-size sweep, {} deletion scenario (test |E| = {})",
+        args.scenario,
+        test_edges.len()
+    ));
+    let factors: &[f64] = if args.quick { &[0.5, 1.0] } else { &[0.5, 1.0, 2.0, 4.0, 8.0] };
+    for &factor in factors {
+        let scale = args.scale * factor;
+        eprintln!("training at ×{factor}…");
+        let outcome = train_or_load(
+            &train_spec,
+            scale,
+            pattern,
+            &args.scenario,
+            args.train_iters,
+            args.seed,
+            true, // always retrain: we are measuring training time
+        );
+        let train_edges = train_spec.edges_scaled(scale).len();
+        let cell = run_cell(
+            &AlgoSpec::wsd_l(outcome.policy),
+            &workload,
+            capacity,
+            args.seed,
+            args.reps,
+            0,
+        );
+        t.row(vec![
+            format!("{factor}"),
+            format!("{train_edges}"),
+            secs(outcome.train_time.expect("forced training").as_secs_f64()),
+            pct(cell.are),
+        ]);
+    }
+    t.emit(
+        &format!(
+            "Figure {}: training-size sweep ({} deletion)",
+            if args.scenario == "light" { "4(c)" } else { "2(c)" },
+            args.scenario
+        ),
+        args.csv.as_deref(),
+    );
+}

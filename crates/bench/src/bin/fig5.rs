@@ -1,0 +1,71 @@
+//! **Figure 5** — effect of the deletion intensity: triangle ARE on
+//! cit-PT while sweeping βm ∈ {0, 0.2, …, 0.8} (massive) and
+//! βl ∈ {0, 0.2, …, 0.8} (light), for all six algorithms. The WSD-L
+//! policy is retrained per parameter value, as in the paper.
+
+use wsd_bench::policies::{capacity_for, train_custom};
+use wsd_bench::runner::{run_cell, AlgoSpec, Workload};
+use wsd_bench::table::pct;
+use wsd_bench::{Args, Table};
+use wsd_core::{Algorithm, TemporalPooling};
+use wsd_graph::Pattern;
+use wsd_stream::dataset::by_name;
+use wsd_stream::Scenario;
+
+fn main() {
+    let args = Args::parse();
+    let pattern = Pattern::Triangle;
+    let test = by_name("cit-PT").expect("registry dataset");
+    let train = by_name("cit-HE").expect("registry dataset");
+    let edges = test.edges_scaled(args.scale);
+    let capacity = capacity_for(edges.len(), pattern);
+    let betas: &[f64] = if args.quick { &[0.0, 0.8] } else { &[0.0, 0.2, 0.4, 0.6, 0.8] };
+    let mut header = vec!["β".to_string()];
+    header.extend(Algorithm::paper_table_set().iter().map(|a| a.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for (section, kind) in [("βm (massive deletion)", "massive"), ("βl (light deletion)", "light")]
+    {
+        t.section(&format!("cit-PT triangle ARE (%), varying {section}"));
+        for &beta in betas {
+            eprintln!("{kind} β = {beta}…");
+            let scenario = match kind {
+                "massive" => Scenario::Massive { alpha: 5.0 / edges.len() as f64, beta_m: beta },
+                _ => Scenario::Light { beta_l: beta },
+            };
+            let workload = Workload::build(&edges, scenario, pattern, args.seed);
+            // Retrain per parameter value (paper §V-B(9)), with the swept
+            // β applied to the training streams too.
+            let train_edges = train.edges_scaled(args.scale).len();
+            let train_scenario = match kind {
+                "massive" => {
+                    Scenario::Massive { alpha: 5.0 / train_edges as f64, beta_m: beta }
+                }
+                _ => Scenario::Light { beta_l: beta },
+            };
+            let policy = train_custom(
+                &train,
+                args.scale,
+                pattern,
+                train_scenario,
+                &format!("{kind}-beta{beta:.1}"),
+                args.train_iters,
+                args.seed,
+                args.no_cache,
+                TemporalPooling::Max,
+            )
+            .policy;
+            let mut row = vec![format!("{beta:.1}")];
+            for alg in Algorithm::paper_table_set() {
+                let spec = match alg {
+                    Algorithm::WsdL => AlgoSpec::wsd_l(policy.clone()),
+                    other => AlgoSpec::new(other),
+                };
+                let cell = run_cell(&spec, &workload, capacity, args.seed, args.reps, 0);
+                row.push(pct(cell.are));
+            }
+            t.row(row);
+        }
+    }
+    t.emit("Figure 5: deletion-intensity sweep", args.csv.as_deref());
+}

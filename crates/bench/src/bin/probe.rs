@@ -1,0 +1,41 @@
+//! Workload diagnostics: stream composition, exact-count trajectory and
+//! conditioning of the evaluation endpoint for every registry dataset
+//! under the selected scenario — the tool to consult when an experiment
+//! looks noisy.
+
+use wsd_bench::policies::{capacity_for, scenario_by_kind};
+use wsd_bench::runner::Workload;
+use wsd_bench::{Args, Table};
+use wsd_graph::{Op, Pattern};
+use wsd_stream::dataset::registry;
+
+fn main() {
+    let args = Args::parse();
+    let pattern = args.pattern.unwrap_or(Pattern::Triangle);
+    let mut t = Table::new(&[
+        "Graph", "|E|", "events", "dels", "peak truth", "final truth", "final/peak", "M",
+    ]);
+    t.section(&format!(
+        "{} under {} deletion (after endpoint truncation)",
+        pattern.name(),
+        args.scenario
+    ));
+    for pair in registry() {
+        let edges = pair.test.edges_scaled(args.scale);
+        let scenario = scenario_by_kind(&args.scenario, edges.len());
+        let w = Workload::build(&edges, scenario, pattern, args.seed);
+        let dels = w.stream.iter().filter(|e| e.op == Op::Delete).count();
+        let peak = w.truth.iter().copied().fold(0.0f64, f64::max);
+        t.row(vec![
+            pair.test.name.to_string(),
+            format!("{}", edges.len()),
+            format!("{}", w.len()),
+            format!("{dels}"),
+            format!("{peak:.0}"),
+            format!("{:.0}", w.final_truth()),
+            format!("{:.3}", w.final_truth() / peak),
+            format!("{}", capacity_for(edges.len(), pattern)),
+        ]);
+    }
+    t.emit("Workload probe", args.csv.as_deref());
+}

@@ -1,0 +1,13 @@
+//! **Table X** — counting **4-cliques** under the **light deletion**
+//! scenario (soc-TW omitted, as in the paper).
+
+use wsd_bench::experiments::comparison_table;
+use wsd_bench::Args;
+use wsd_graph::Pattern;
+
+fn main() {
+    let mut args = Args::parse();
+    args.scenario = "light".to_string();
+    let t = comparison_table(Pattern::FourClique, &args);
+    t.emit("Table X: 4-cliques, light deletion", args.csv.as_deref());
+}

@@ -1,0 +1,13 @@
+//! **Table XI** — WSD-L training time for triangles (△) and wedges (∧)
+//! on the four real training graphs under the **light** deletion
+//! scenario.
+
+use wsd_bench::experiments::training_time_table;
+use wsd_bench::Args;
+
+fn main() {
+    let mut args = Args::parse();
+    args.scenario = "light".to_string();
+    let t = training_time_table(&args);
+    t.emit("Table XI: training time, light deletion", args.csv.as_deref());
+}

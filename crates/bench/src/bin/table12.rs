@@ -1,0 +1,12 @@
+//! **Table XII** — transferability of WSD-L under the **light** deletion
+//! scenario.
+
+use wsd_bench::experiments::transfer_table;
+use wsd_bench::Args;
+
+fn main() {
+    let mut args = Args::parse();
+    args.scenario = "light".to_string();
+    let t = transfer_table(&args);
+    t.emit("Table XII: WSD-L transferability, light deletion", args.csv.as_deref());
+}

@@ -1,0 +1,12 @@
+//! **Table XIII** — ablation of the temporal state pooling (Eq. 20):
+//! WSD-L (Max, the paper's definition) vs WSD-L (Avg) vs WSD-H, triangle
+//! ARE under both deletion scenarios.
+
+use wsd_bench::experiments::ablation_table;
+use wsd_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let t = ablation_table(&args);
+    t.emit("Table XIII: temporal pooling ablation", args.csv.as_deref());
+}

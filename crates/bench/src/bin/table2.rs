@@ -1,0 +1,14 @@
+//! **Table II** — counting **wedges** under the **massive deletion**
+//! scenario: ARE / MARE / running time for WSD-L, WSD-H, GPS-A, Triest,
+//! ThinkD and WRS on every test dataset.
+
+use wsd_bench::experiments::comparison_table;
+use wsd_bench::Args;
+use wsd_graph::Pattern;
+
+fn main() {
+    let mut args = Args::parse();
+    args.scenario = "massive".to_string();
+    let t = comparison_table(Pattern::Wedge, &args);
+    t.emit("Table II: wedges, massive deletion", args.csv.as_deref());
+}

@@ -1,0 +1,13 @@
+//! **Table III** — counting **triangles** under the **massive deletion**
+//! scenario: ARE / MARE / running time for the six compared algorithms.
+
+use wsd_bench::experiments::comparison_table;
+use wsd_bench::Args;
+use wsd_graph::Pattern;
+
+fn main() {
+    let mut args = Args::parse();
+    args.scenario = "massive".to_string();
+    let t = comparison_table(Pattern::Triangle, &args);
+    t.emit("Table III: triangles, massive deletion", args.csv.as_deref());
+}

@@ -1,0 +1,14 @@
+//! **Table IV** — WSD-L training time for triangles (△) and wedges (∧)
+//! on the four real training graphs under the **massive** deletion
+//! scenario (the paper reports hours at its 10⁶× larger scale; the
+//! comparable signal here is the dataset/pattern ratio structure).
+
+use wsd_bench::experiments::training_time_table;
+use wsd_bench::Args;
+
+fn main() {
+    let mut args = Args::parse();
+    args.scenario = "massive".to_string();
+    let t = training_time_table(&args);
+    t.emit("Table IV: training time, massive deletion", args.csv.as_deref());
+}

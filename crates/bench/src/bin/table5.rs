@@ -1,0 +1,14 @@
+//! **Table V** — transferability of WSD-L under the **massive** deletion
+//! scenario: triangle ARE on each test graph for policies trained on
+//! every training graph (same-category training should win; cross-
+//! category should still beat WSD-H).
+
+use wsd_bench::experiments::transfer_table;
+use wsd_bench::Args;
+
+fn main() {
+    let mut args = Args::parse();
+    args.scenario = "massive".to_string();
+    let t = transfer_table(&args);
+    t.emit("Table V: WSD-L transferability, massive deletion", args.csv.as_deref());
+}

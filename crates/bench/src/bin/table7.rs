@@ -1,0 +1,13 @@
+//! **Table VII** — counting **4-cliques** under the **massive deletion**
+//! scenario (soc-TW omitted, as in the paper).
+
+use wsd_bench::experiments::comparison_table;
+use wsd_bench::Args;
+use wsd_graph::Pattern;
+
+fn main() {
+    let mut args = Args::parse();
+    args.scenario = "massive".to_string();
+    let t = comparison_table(Pattern::FourClique, &args);
+    t.emit("Table VII: 4-cliques, massive deletion", args.csv.as_deref());
+}

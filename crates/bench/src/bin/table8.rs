@@ -1,0 +1,13 @@
+//! **Table VIII** — counting **wedges** under the **light deletion**
+//! scenario (βl = 0.2).
+
+use wsd_bench::experiments::comparison_table;
+use wsd_bench::Args;
+use wsd_graph::Pattern;
+
+fn main() {
+    let mut args = Args::parse();
+    args.scenario = "light".to_string();
+    let t = comparison_table(Pattern::Wedge, &args);
+    t.emit("Table VIII: wedges, light deletion", args.csv.as_deref());
+}

@@ -1,0 +1,103 @@
+//! The paper's evaluation metrics (§V-A): Absolute Relative Error (ARE)
+//! and Mean Absolute Relative Error (MARE).
+
+/// `ARE = |X̂ − X| / X × 100%` (reported here as a fraction, formatted
+/// as % by the table printer).
+pub fn are(estimate: f64, truth: f64) -> f64 {
+    debug_assert!(truth > 0.0, "ARE needs a positive ground truth");
+    (estimate - truth).abs() / truth
+}
+
+/// Streaming MARE accumulator: `1/T Σ_t |X̂_t − X_t| / X_t`.
+///
+/// Checkpoints with a ground truth below `min_truth` are skipped — the
+/// relative error is undefined at 0 and numerically meaningless for
+/// single-digit counts at stream start (the paper's plots likewise only
+/// become meaningful once counts are non-trivial).
+#[derive(Clone, Debug)]
+pub struct MareAccumulator {
+    min_truth: f64,
+    sum: f64,
+    n: usize,
+}
+
+impl MareAccumulator {
+    /// Creates an accumulator skipping checkpoints with truth below
+    /// `min_truth`.
+    pub fn new(min_truth: f64) -> Self {
+        Self { min_truth, sum: 0.0, n: 0 }
+    }
+
+    /// Records one checkpoint.
+    pub fn record(&mut self, estimate: f64, truth: f64) {
+        if truth >= self.min_truth {
+            self.sum += (estimate - truth).abs() / truth;
+            self.n += 1;
+        }
+    }
+
+    /// Number of counted checkpoints.
+    pub fn checkpoints(&self) -> usize {
+        self.n
+    }
+
+    /// The mean absolute relative error (0 if nothing was counted).
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+/// Mean and sample standard deviation of a slice.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn are_formula() {
+        assert_eq!(are(110.0, 100.0), 0.1);
+        assert_eq!(are(90.0, 100.0), 0.1);
+        assert_eq!(are(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn mare_skips_small_truth() {
+        let mut m = MareAccumulator::new(10.0);
+        m.record(5.0, 1.0); // skipped
+        m.record(110.0, 100.0);
+        m.record(80.0, 100.0);
+        assert_eq!(m.checkpoints(), 2);
+        assert!((m.value() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mare_empty_is_zero() {
+        let m = MareAccumulator::new(1.0);
+        assert_eq!(m.value(), 0.0);
+        assert_eq!(m.checkpoints(), 0);
+    }
+
+    #[test]
+    fn mean_std_values() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+    }
+}

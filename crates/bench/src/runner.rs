@@ -1,0 +1,280 @@
+//! Experiment execution: build a workload once, run every algorithm over
+//! it with repeated seeds (parallel across threads for accuracy, serial
+//! for timing), and aggregate ARE/MARE/runtime.
+
+use crate::metrics::{are, mean_std, MareAccumulator};
+use std::sync::Arc;
+use std::time::Instant;
+use wsd_core::{Algorithm, CounterConfig, LinearPolicy, SubgraphCounter, TemporalPooling};
+use wsd_graph::Pattern;
+use wsd_stream::{EventStream, Scenario, TruthTimeline};
+
+/// Minimum ground truth for a checkpoint to count towards MARE and for
+/// the ARE evaluation point to be considered well-conditioned. Relative
+/// errors against counts below this are dominated by integer shot noise
+/// rather than estimator quality.
+pub const MIN_TRUTH: f64 = 50.0;
+
+/// A fully prepared workload: the stream, its exact timeline, and the
+/// evaluation endpoint.
+pub struct Workload {
+    /// The event stream (possibly truncated to the evaluation endpoint).
+    pub stream: Arc<EventStream>,
+    /// Exact counts per event (same truncation).
+    pub truth: Arc<Vec<f64>>,
+    /// Pattern being counted.
+    pub pattern: Pattern,
+    /// Events between MARE checkpoints.
+    pub stride: usize,
+    /// MARE conditioning floor: checkpoints below this exact count are
+    /// skipped (`max(MIN_TRUTH, 1% of the peak)`).
+    pub mare_floor: f64,
+}
+
+impl Workload {
+    /// Builds a workload from an ordered edge list and a scenario.
+    ///
+    /// The stream is truncated at the last event where the exact count is
+    /// still ≥ `max(MIN_TRUTH, 5% of its running peak)`. Rationale: under
+    /// our scaled-down massive scenario a deletion burst near the stream
+    /// end can leave only double-digit exact counts, where *relative*
+    /// error measures integer shot noise rather than estimator quality —
+    /// the paper's 10⁶× larger streams leave millions of instances even
+    /// after a burst, so its end-of-stream ARE is naturally
+    /// well-conditioned. The 5% rule keeps every *mid-stream* burst (and
+    /// the recovery from it) inside the evaluated prefix while pinning
+    /// the measurement to a statistically meaningful endpoint. All
+    /// algorithms see the identical truncated stream, so comparisons are
+    /// unaffected. Light-deletion and insertion-only workloads are
+    /// essentially never truncated.
+    pub fn build(
+        edges: &[wsd_graph::Edge],
+        scenario: Scenario,
+        pattern: Pattern,
+        scenario_seed: u64,
+    ) -> Self {
+        let mut stream = scenario.apply(edges, scenario_seed);
+        let timeline = TruthTimeline::compute(pattern, &stream);
+        let peak = timeline.series().iter().copied().max().unwrap_or(0) as f64;
+        assert!(
+            peak >= MIN_TRUTH,
+            "workload is degenerate: peak exact count {peak} for {}",
+            pattern.name()
+        );
+        let floor = (0.05 * peak).max(MIN_TRUTH);
+        let eval_at = timeline
+            .series()
+            .iter()
+            .rposition(|&c| c as f64 >= floor)
+            .expect("peak above threshold implies a valid endpoint");
+        stream.truncate(eval_at + 1);
+        let truth: Vec<f64> =
+            timeline.series()[..=eval_at].iter().map(|&c| c as f64).collect();
+        let stride = (stream.len() / 200).max(1);
+        Self {
+            stream: Arc::new(stream),
+            truth: Arc::new(truth),
+            pattern,
+            stride,
+            mare_floor: (0.01 * peak).max(MIN_TRUTH),
+        }
+    }
+
+    /// Ground truth at the evaluation endpoint.
+    pub fn final_truth(&self) -> f64 {
+        *self.truth.last().expect("non-empty workload")
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// True if there are no events (never for built workloads).
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+}
+
+/// Per-repetition accuracy result.
+#[derive(Copy, Clone, Debug)]
+pub struct RunResult {
+    /// Absolute relative error at the evaluation endpoint.
+    pub are: f64,
+    /// Mean absolute relative error over checkpoints.
+    pub mare: f64,
+}
+
+/// Aggregated accuracy + timing for one algorithm on one workload.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Mean ARE over repetitions.
+    pub are: f64,
+    /// Sample std of ARE.
+    pub are_std: f64,
+    /// Mean MARE over repetitions.
+    pub mare: f64,
+    /// Mean wall-clock seconds for one full pass (timing reps).
+    pub seconds: f64,
+}
+
+/// How to construct counters for one algorithm column.
+#[derive(Clone)]
+pub struct AlgoSpec {
+    /// Which algorithm to run.
+    pub algorithm: Algorithm,
+    /// Policy for WSD-L.
+    pub policy: Option<LinearPolicy>,
+    /// Pooling variant (Table XIII).
+    pub pooling: TemporalPooling,
+    /// Optional display-name override.
+    pub label: Option<String>,
+}
+
+impl AlgoSpec {
+    /// Plain spec for an algorithm.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Self { algorithm, policy: None, pooling: TemporalPooling::Max, label: None }
+    }
+
+    /// WSD-L with a trained policy.
+    pub fn wsd_l(policy: LinearPolicy) -> Self {
+        Self {
+            algorithm: Algorithm::WsdL,
+            policy: Some(policy),
+            pooling: TemporalPooling::Max,
+            label: None,
+        }
+    }
+
+    /// Column label.
+    pub fn label(&self) -> String {
+        self.label.clone().unwrap_or_else(|| self.algorithm.name().to_string())
+    }
+
+    fn build(&self, pattern: Pattern, capacity: usize, seed: u64) -> Box<dyn SubgraphCounter> {
+        let mut cfg = CounterConfig::new(pattern, capacity, seed).with_pooling(self.pooling);
+        if let Some(p) = &self.policy {
+            cfg = cfg.with_policy(p.clone());
+        }
+        cfg.build(self.algorithm)
+    }
+}
+
+/// Runs one accuracy repetition: processes the stream, sampling MARE at
+/// the workload's checkpoint stride.
+pub fn run_once(spec: &AlgoSpec, w: &Workload, capacity: usize, seed: u64) -> RunResult {
+    let mut counter = spec.build(w.pattern, capacity, seed);
+    let mut mare = MareAccumulator::new(w.mare_floor);
+    for (i, &ev) in w.stream.iter().enumerate() {
+        counter.process(ev);
+        if i % w.stride == 0 || i + 1 == w.stream.len() {
+            mare.record(counter.estimate(), w.truth[i]);
+        }
+    }
+    RunResult {
+        are: are(counter.estimate(), w.final_truth()),
+        mare: mare.value(),
+    }
+}
+
+/// Runs `reps` accuracy repetitions (parallel over available threads)
+/// and `time_reps` serial timing passes.
+pub fn run_cell(
+    spec: &AlgoSpec,
+    w: &Workload,
+    capacity: usize,
+    base_seed: u64,
+    reps: usize,
+    time_reps: usize,
+) -> CellResult {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let results: Vec<RunResult> = if threads <= 1 || reps <= 1 {
+        (0..reps)
+            .map(|r| run_once(spec, w, capacity, base_seed.wrapping_add(r as u64)))
+            .collect()
+    } else {
+        let mut out: Vec<Option<RunResult>> = vec![None; reps];
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in out.chunks_mut(reps.div_ceil(threads)).enumerate() {
+                let spec = &*spec;
+                let w = &*w;
+                scope.spawn(move || {
+                    let start = chunk_idx * reps.div_ceil(threads);
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let seed = base_seed.wrapping_add((start + i) as u64);
+                        *slot = Some(run_once(spec, w, capacity, seed));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|r| r.expect("all repetitions filled")).collect()
+    };
+    let (are, are_std) = mean_std(&results.iter().map(|r| r.are).collect::<Vec<_>>());
+    let (mare, _) = mean_std(&results.iter().map(|r| r.mare).collect::<Vec<_>>());
+    // Timing: serial full passes without checkpoint bookkeeping.
+    let mut times = Vec::with_capacity(time_reps);
+    for r in 0..time_reps {
+        let mut counter = spec.build(w.pattern, capacity, base_seed.wrapping_add(7000 + r as u64));
+        let start = Instant::now();
+        counter.process_all(&w.stream);
+        times.push(start.elapsed().as_secs_f64());
+        std::hint::black_box(counter.estimate());
+    }
+    let (seconds, _) = mean_std(&times);
+    CellResult { are, are_std, mare, seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsd_stream::gen::GeneratorConfig;
+
+    fn edges() -> Vec<wsd_graph::Edge> {
+        GeneratorConfig::HolmeKim { vertices: 150, edges_per_vertex: 4, triad_prob: 0.5 }
+            .generate(8)
+    }
+
+    #[test]
+    fn workload_truncates_to_conditioned_endpoint() {
+        let w = Workload::build(
+            &edges(),
+            Scenario::Massive { alpha: 0.02, beta_m: 0.9 },
+            Pattern::Triangle,
+            3,
+        );
+        assert!(w.final_truth() >= MIN_TRUTH);
+        assert!(!w.is_empty());
+        assert_eq!(w.stream.len(), w.truth.len());
+    }
+
+    #[test]
+    fn run_once_exact_with_huge_capacity() {
+        let w = Workload::build(&edges(), Scenario::default_light(), Pattern::Triangle, 3);
+        let r = run_once(&AlgoSpec::new(Algorithm::WsdH), &w, 10_000, 1);
+        assert_eq!(r.are, 0.0);
+        assert_eq!(r.mare, 0.0);
+    }
+
+    #[test]
+    fn run_cell_aggregates() {
+        let w = Workload::build(&edges(), Scenario::default_light(), Pattern::Triangle, 3);
+        let cell = run_cell(&AlgoSpec::new(Algorithm::ThinkD), &w, 120, 1, 6, 1);
+        assert!(cell.are >= 0.0);
+        assert!(cell.mare > 0.0, "a bounded sample must have some error");
+        assert!(cell.seconds > 0.0);
+        assert!(cell.are_std >= 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_reps_agree() {
+        // Same seeds → same per-rep results regardless of threading.
+        let w = Workload::build(&edges(), Scenario::default_light(), Pattern::Triangle, 3);
+        let spec = AlgoSpec::new(Algorithm::WsdH);
+        let serial: Vec<RunResult> =
+            (0..4).map(|r| run_once(&spec, &w, 100, 50 + r)).collect();
+        let cell = run_cell(&spec, &w, 100, 50, 4, 1);
+        let mean_serial = serial.iter().map(|r| r.are).sum::<f64>() / 4.0;
+        assert!((cell.are - mean_serial).abs() < 1e-12);
+    }
+}

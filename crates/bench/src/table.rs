@@ -1,0 +1,167 @@
+//! Fixed-width table rendering (paper-style sections) plus optional CSV
+//! export.
+
+use std::fmt::Write as _;
+
+/// A printable table: header row + data rows, with section separators.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Row>,
+}
+
+#[derive(Clone, Debug)]
+enum Row {
+    Section(String),
+    Data(Vec<String>),
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Starts a titled section (e.g. "Absolute Relative Error (%)").
+    pub fn section(&mut self, title: &str) {
+        self.rows.push(Row::Section(title.to_string()));
+    }
+
+    /// Adds a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(Row::Data(cells));
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            if let Row::Data(cells) = row {
+                for (w, c) in widths.iter_mut().zip(cells) {
+                    *w = (*w).max(c.len());
+                }
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let mut out = String::new();
+        let mut line = String::new();
+        for (i, (h, w)) in self.header.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let _ = write!(line, "{h:<w$}");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            match row {
+                Row::Section(title) => {
+                    let _ = writeln!(out, "[ {title} ]");
+                }
+                Row::Data(cells) => {
+                    let mut line = String::new();
+                    for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                        if i > 0 {
+                            line.push_str("  ");
+                        }
+                        let _ = write!(line, "{c:<w$}");
+                    }
+                    let _ = writeln!(out, "{}", line.trim_end());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders as CSV (sections become a `section` column).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "section,{}", self.header.join(","));
+        let mut section = String::new();
+        for row in &self.rows {
+            match row {
+                Row::Section(t) => section = t.clone(),
+                Row::Data(cells) => {
+                    let _ = writeln!(out, "{section},{}", cells.join(","));
+                }
+            }
+        }
+        out
+    }
+
+    /// Prints to stdout and optionally writes CSV to `csv_path`.
+    pub fn emit(&self, title: &str, csv_path: Option<&str>) {
+        println!("\n=== {title} ===\n{}", self.render());
+        if let Some(path) = csv_path {
+            if let Err(e) = std::fs::write(path, self.to_csv()) {
+                eprintln!("warning: could not write CSV to {path}: {e}");
+            } else {
+                println!("(CSV written to {path})");
+            }
+        }
+    }
+}
+
+/// Formats a fraction as a percentage with three decimals (paper style).
+pub fn pct(x: f64) -> String {
+    format!("{:.3}", x * 100.0)
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 1.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_sections() {
+        let mut t = Table::new(&["Graph", "WSD-L", "WSD-H"]);
+        t.section("ARE (%)");
+        t.row(vec!["cit-PT".into(), "0.075".into(), "0.083".into()]);
+        t.section("Time (s)");
+        t.row(vec!["cit-PT".into(), "70.4".into(), "66.7".into()]);
+        let s = t.render();
+        assert!(s.contains("[ ARE (%) ]"));
+        assert!(s.contains("cit-PT  0.075  0.083"));
+        assert!(s.contains("[ Time (s) ]"));
+    }
+
+    #[test]
+    fn csv_includes_sections() {
+        let mut t = Table::new(&["Graph", "X"]);
+        t.section("A");
+        t.row(vec!["g".into(), "1".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "section,Graph,X\nA,g,1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["A", "B"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.00123), "0.123");
+        assert_eq!(secs(0.5), "0.500");
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(secs(123.4), "123");
+    }
+}

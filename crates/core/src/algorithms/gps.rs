@@ -1,0 +1,205 @@
+//! **GPS** — Graph Priority Sampling (paper §III-A, after Ahmed et
+//! al. [14]) for insertion-only streams.
+//!
+//! GPS maintains a fixed-size min-priority queue of ranks `r = w/u` and a
+//! threshold `z` equal to the `(M+1)`-th largest rank observed so far
+//! (the running maximum of all "losing" ranks). An edge is in the
+//! reservoir iff its rank beats `z`, so `P[e ∈ R] = min(1, w(e)/z)`
+//! (Eq. 1), which the estimator divides by (Eq. 3–4, unbiased per
+//! Theorem 1).
+//!
+//! GPS is **not applicable** to fully dynamic streams (paper Example 1):
+//! [`GpsCounter::process`] panics on deletion events; use
+//! [`crate::algorithms::GpsACounter`] or [`crate::algorithms::WsdCounter`]
+//! for those.
+
+use crate::counter::SubgraphCounter;
+use crate::estimator::weighted_mass;
+use crate::rank::{draw_u, rank};
+use crate::reservoir::IndexedMinHeap;
+use crate::sampled_graph::{EdgeMeta, WeightedSample};
+use crate::state::{StateAccumulator, TemporalPooling};
+use crate::weight::WeightFn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Edge, EdgeEvent, Op, Pattern};
+
+/// The GPS subgraph counter (insertion-only).
+pub struct GpsCounter {
+    display_name: String,
+    pattern: Pattern,
+    capacity: usize,
+    heap: IndexedMinHeap<Edge>,
+    sample: WeightedSample,
+    /// The `(M+1)`-th largest rank seen so far (`r_{M+1}` in Eq. 1).
+    z: f64,
+    estimate: f64,
+    t: u64,
+    scratch: EnumScratch,
+    acc: StateAccumulator,
+    weight_fn: Box<dyn WeightFn>,
+    rng: SmallRng,
+}
+
+impl GpsCounter {
+    /// Creates a GPS counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < |H|` or the pattern is invalid.
+    pub fn new(
+        pattern: Pattern,
+        capacity: usize,
+        weight_fn: Box<dyn WeightFn>,
+        seed: u64,
+    ) -> Self {
+        pattern.validate().expect("invalid pattern");
+        assert!(
+            capacity >= pattern.num_edges(),
+            "reservoir capacity M = {capacity} must be ≥ |H| = {}",
+            pattern.num_edges()
+        );
+        Self {
+            display_name: "GPS".to_string(),
+            pattern,
+            capacity,
+            heap: IndexedMinHeap::with_capacity(capacity),
+            sample: WeightedSample::new(),
+            z: 0.0,
+            estimate: 0.0,
+            t: 0,
+            scratch: EnumScratch::default(),
+            acc: StateAccumulator::new(pattern.num_edges(), TemporalPooling::Max),
+            weight_fn,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.display_name = name.into();
+        self
+    }
+
+    /// The current threshold `z = r_{M+1}` — exposed for tests.
+    pub fn threshold(&self) -> f64 {
+        self.z
+    }
+
+    fn insert(&mut self, e: Edge) {
+        self.acc.reset();
+        let mass = weighted_mass(
+            self.pattern,
+            &self.sample,
+            e,
+            self.z,
+            &mut self.scratch,
+            Some((&mut self.acc, self.t)),
+        );
+        self.estimate += mass;
+        let state = self
+            .acc
+            .finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
+        let w = self.weight_fn.weight(&state);
+        let r = rank(w, draw_u(&mut self.rng));
+        if self.heap.len() < self.capacity {
+            self.heap.push(e, r);
+            self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+        } else {
+            let (_, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
+            if r > min_rank {
+                let (victim, losing) = self.heap.pop_min().expect("non-empty");
+                self.sample.remove(victim).expect("heap and sample in sync");
+                self.heap.push(e, r);
+                self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+                self.z = self.z.max(losing);
+            } else {
+                self.z = self.z.max(r);
+            }
+        }
+    }
+}
+
+impl SubgraphCounter for GpsCounter {
+    /// # Panics
+    ///
+    /// Panics on deletion events — GPS is an insertion-only algorithm
+    /// (paper Example 1 shows it is biased under deletions).
+    fn process(&mut self, ev: EdgeEvent) {
+        match ev.op {
+            Op::Insert => self.insert(ev.edge),
+            Op::Delete => panic!(
+                "GPS cannot process deletion events (paper §III-A); \
+                 use GPS-A or WSD for fully dynamic streams"
+            ),
+        }
+        self.t += 1;
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.sample.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::{HeuristicWeight, UniformWeight};
+
+    fn ins(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::insert(Edge::new(a, b))
+    }
+
+    #[test]
+    fn exact_when_not_full() {
+        let mut c = GpsCounter::new(Pattern::Triangle, 64, Box::new(HeuristicWeight), 1);
+        for ev in [ins(1, 2), ins(2, 3), ins(1, 3), ins(1, 4), ins(3, 4)] {
+            c.process(ev);
+        }
+        // Triangles: {1,2,3} and {1,3,4}.
+        assert_eq!(c.estimate(), 2.0);
+        assert_eq!(c.threshold(), 0.0);
+    }
+
+    #[test]
+    fn threshold_grows_monotonically() {
+        let mut c = GpsCounter::new(Pattern::Triangle, 8, Box::new(UniformWeight), 2);
+        let mut last = 0.0;
+        for i in 0..100u64 {
+            c.process(ins(i, i + 1));
+            let z = c.threshold();
+            assert!(z >= last, "z must be monotone");
+            last = z;
+            assert!(c.stored_edges() <= 8);
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot process deletion")]
+    fn deletion_panics() {
+        let mut c = GpsCounter::new(Pattern::Triangle, 8, Box::new(UniformWeight), 3);
+        c.process(ins(1, 2));
+        c.process(EdgeEvent::delete(Edge::new(1, 2)));
+    }
+
+    #[test]
+    fn name_and_pattern() {
+        let c = GpsCounter::new(Pattern::Wedge, 8, Box::new(UniformWeight), 4);
+        assert_eq!(c.name(), "GPS");
+        assert_eq!(c.pattern(), Pattern::Wedge);
+    }
+}

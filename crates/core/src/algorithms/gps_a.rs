@@ -1,0 +1,292 @@
+//! **GPS-A** — the straightforward adaption of GPS to fully dynamic
+//! streams (paper §III-B).
+//!
+//! GPS-A samples exactly like GPS; when a deletion event hits a sampled
+//! edge it merely attaches a `DEL` tag instead of freeing the slot. The
+//! tagged ghost keeps occupying reservoir budget (and remains evictable
+//! by rank) but is excluded from the sampled graph used for estimation.
+//! Because the sampling process is untouched, the inclusion
+//! probabilities of Eq. (2) still hold and the estimator of Eq. (6)–(8)
+//! is unbiased (Theorem 2) — but the *effective* reservoir shrinks as
+//! ghosts accumulate, which is the accuracy drawback WSD removes.
+//!
+//! Implementation note: ghosts are keyed by a unique item id, not by the
+//! edge, so that an edge can be re-inserted while its tagged ghost from a
+//! previous life still sits in the queue.
+
+use crate::counter::SubgraphCounter;
+use crate::estimator::weighted_mass;
+use crate::rank::{draw_u, rank};
+use crate::reservoir::IndexedMinHeap;
+use crate::sampled_graph::{EdgeMeta, WeightedSample};
+use crate::state::{StateAccumulator, TemporalPooling};
+use crate::weight::WeightFn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Edge, EdgeEvent, FxHashMap, Op, Pattern};
+
+/// Unique id per reservoir item (survives tagging; edges can recur).
+type ItemId = u64;
+
+/// The GPS-A subgraph counter.
+pub struct GpsACounter {
+    display_name: String,
+    pattern: Pattern,
+    capacity: usize,
+    heap: IndexedMinHeap<ItemId>,
+    /// Edge behind each queued item (live or tagged).
+    items: FxHashMap<ItemId, Edge>,
+    /// Live (untagged) sampled edges → item id.
+    live: FxHashMap<Edge, ItemId>,
+    /// The estimation view: live sampled edges only (`R \ R_tag`).
+    sample: WeightedSample,
+    next_id: ItemId,
+    /// Threshold `z = r_{M+1}` (as in GPS).
+    z: f64,
+    estimate: f64,
+    t: u64,
+    scratch: EnumScratch,
+    acc: StateAccumulator,
+    weight_fn: Box<dyn WeightFn>,
+    rng: SmallRng,
+}
+
+impl GpsACounter {
+    /// Creates a GPS-A counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < |H|` or the pattern is invalid.
+    pub fn new(
+        pattern: Pattern,
+        capacity: usize,
+        weight_fn: Box<dyn WeightFn>,
+        seed: u64,
+    ) -> Self {
+        pattern.validate().expect("invalid pattern");
+        assert!(
+            capacity >= pattern.num_edges(),
+            "reservoir capacity M = {capacity} must be ≥ |H| = {}",
+            pattern.num_edges()
+        );
+        Self {
+            display_name: "GPS-A".to_string(),
+            pattern,
+            capacity,
+            heap: IndexedMinHeap::with_capacity(capacity),
+            items: FxHashMap::default(),
+            live: FxHashMap::default(),
+            sample: WeightedSample::new(),
+            next_id: 0,
+            z: 0.0,
+            estimate: 0.0,
+            t: 0,
+            scratch: EnumScratch::default(),
+            acc: StateAccumulator::new(pattern.num_edges(), TemporalPooling::Max),
+            weight_fn,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.display_name = name.into();
+        self
+    }
+
+    /// Number of tagged ghosts currently wasting reservoir budget — the
+    /// quantity behind GPS-A's accuracy drawback.
+    pub fn tagged_edges(&self) -> usize {
+        self.heap.len() - self.live.len()
+    }
+
+    /// Number of live (estimation-visible) sampled edges.
+    pub fn live_edges(&self) -> usize {
+        self.live.len()
+    }
+
+    fn evict(&mut self, id: ItemId) {
+        let edge = self.items.remove(&id).expect("heap and items in sync");
+        // Live items must also leave the estimation view; ghosts already
+        // have.
+        if self.live.get(&edge) == Some(&id) {
+            self.live.remove(&edge);
+            self.sample.remove(edge).expect("live item present in sample");
+        }
+    }
+
+    fn insert(&mut self, e: Edge) {
+        self.acc.reset();
+        let mass = weighted_mass(
+            self.pattern,
+            &self.sample,
+            e,
+            self.z,
+            &mut self.scratch,
+            Some((&mut self.acc, self.t)),
+        );
+        self.estimate += mass;
+        let state = self
+            .acc
+            .finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
+        let w = self.weight_fn.weight(&state);
+        let r = rank(w, draw_u(&mut self.rng));
+        if self.heap.len() < self.capacity {
+            self.admit(e, w, r);
+        } else {
+            let (_, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
+            if r > min_rank {
+                let (victim, losing) = self.heap.pop_min().expect("non-empty");
+                self.evict(victim);
+                self.admit(e, w, r);
+                self.z = self.z.max(losing);
+            } else {
+                self.z = self.z.max(r);
+            }
+        }
+    }
+
+    fn admit(&mut self, e: Edge, w: f64, r: f64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(id, r);
+        self.items.insert(id, e);
+        self.live.insert(e, id);
+        self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+    }
+
+    fn delete(&mut self, e: Edge) {
+        // Estimator first (Eq. 7): destroyed instances against the live
+        // sample, which never contains e's own probability (J \ e_x).
+        // Tag e (remove from the estimation view) *before* enumerating,
+        // so the view matches `R \ R_tag` without e.
+        if let Some(id) = self.live.remove(&e) {
+            debug_assert_eq!(self.items.get(&id), Some(&e));
+            self.sample.remove(e).expect("live edge present in sample");
+            // The ghost stays in heap+items, still occupying budget.
+            let _ = id;
+        }
+        let mass = weighted_mass(
+            self.pattern,
+            &self.sample,
+            e,
+            self.z,
+            &mut self.scratch,
+            None,
+        );
+        self.estimate -= mass;
+    }
+}
+
+impl SubgraphCounter for GpsACounter {
+    fn process(&mut self, ev: EdgeEvent) {
+        match ev.op {
+            Op::Insert => self.insert(ev.edge),
+            Op::Delete => self.delete(ev.edge),
+        }
+        self.t += 1;
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::{HeuristicWeight, UniformWeight};
+
+    fn ins(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::insert(Edge::new(a, b))
+    }
+
+    fn del(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::delete(Edge::new(a, b))
+    }
+
+    #[test]
+    fn exact_when_not_full() {
+        let mut c = GpsACounter::new(Pattern::Triangle, 64, Box::new(HeuristicWeight), 1);
+        for ev in [ins(1, 2), ins(2, 3), ins(1, 3), del(2, 3), ins(2, 3)] {
+            c.process(ev);
+        }
+        // +1 triangle, −1 on deletion, +1 on re-insertion.
+        assert_eq!(c.estimate(), 1.0);
+    }
+
+    #[test]
+    fn deletion_tags_but_keeps_budget() {
+        let mut c = GpsACounter::new(Pattern::Triangle, 4, Box::new(UniformWeight), 2);
+        for i in 0..4u64 {
+            c.process(ins(10 * i, 10 * i + 1));
+        }
+        assert_eq!(c.stored_edges(), 4);
+        assert_eq!(c.tagged_edges(), 0);
+        c.process(del(0, 1));
+        // Budget still fully occupied, but one ghost.
+        assert_eq!(c.stored_edges(), 4);
+        assert_eq!(c.tagged_edges(), 1);
+        assert_eq!(c.live_edges(), 3);
+    }
+
+    #[test]
+    fn ghost_coexists_with_reinsertion() {
+        let mut c = GpsACounter::new(Pattern::Triangle, 8, Box::new(UniformWeight), 3);
+        c.process(ins(1, 2));
+        c.process(del(1, 2));
+        assert_eq!(c.tagged_edges(), 1);
+        // Re-insert the same edge: a second item for the same edge.
+        c.process(ins(1, 2));
+        assert_eq!(c.stored_edges(), 2);
+        assert_eq!(c.tagged_edges(), 1);
+        assert_eq!(c.live_edges(), 1);
+        // Delete again: the live copy becomes a second ghost.
+        c.process(del(1, 2));
+        assert_eq!(c.stored_edges(), 2);
+        assert_eq!(c.tagged_edges(), 2);
+    }
+
+    #[test]
+    fn ghosts_are_evictable() {
+        let mut c = GpsACounter::new(Pattern::Triangle, 3, Box::new(UniformWeight), 4);
+        for i in 0..3u64 {
+            c.process(ins(10 * i, 10 * i + 1));
+        }
+        for i in 0..3u64 {
+            c.process(del(10 * i, 10 * i + 1));
+        }
+        assert_eq!(c.tagged_edges(), 3);
+        // Keep inserting; ghosts get displaced by higher-ranked arrivals
+        // eventually (rank = 1/u > min ghost rank with prob ~1 over many
+        // trials).
+        for i in 10..60u64 {
+            c.process(ins(10 * i, 10 * i + 1));
+        }
+        assert!(c.tagged_edges() < 3, "some ghost should have been evicted");
+        assert_eq!(c.stored_edges(), 3);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = GpsACounter::new(Pattern::Wedge, 6, Box::new(UniformWeight), 5);
+        for i in 0..100u64 {
+            c.process(ins(i, i + 1));
+            assert!(c.stored_edges() <= 6);
+        }
+        assert_eq!(c.name(), "GPS-A");
+    }
+}

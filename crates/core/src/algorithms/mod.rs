@@ -1,0 +1,16 @@
+//! The sampling algorithms: the paper's WSD framework, its GPS/GPS-A
+//! precursors, and the uniform baselines it compares against.
+
+pub mod gps;
+pub mod gps_a;
+pub mod thinkd;
+pub mod triest;
+pub mod wrs;
+pub mod wsd;
+
+pub use gps::GpsCounter;
+pub use gps_a::GpsACounter;
+pub use thinkd::ThinkDCounter;
+pub use triest::TriestCounter;
+pub use wrs::WrsCounter;
+pub use wsd::WsdCounter;

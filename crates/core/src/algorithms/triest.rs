@@ -1,0 +1,202 @@
+//! **Triest-FD** baseline (Stefani et al., TKDD 2017 [16]) — uniform
+//! sampling with random pairing, *update-on-admission*.
+//!
+//! Triest-FD maintains a uniform sample `S` of the live edges via random
+//! pairing and a counter `τ` equal to the number of pattern instances
+//! whose edges are **all** inside `S`: `τ` is updated incrementally
+//! whenever an edge enters or leaves the sample ("the estimation is only
+//! updated when an edge is sampled", as the WSD paper puts it). A query
+//! rescales by the probability that a specific instance is fully
+//! sampled,
+//!
+//! ```text
+//! κ(t) = Π_{i=0}^{|H|−1} (s − i) / (n − i),
+//! ```
+//!
+//! where `s = |S|` and `n = |E(t)|` — valid because RP keeps `S` uniform
+//! over the live population. See DESIGN.md §3.3 for the (documented)
+//! bookkeeping differences from the original TKDD formulation.
+
+use crate::counter::SubgraphCounter;
+use crate::reservoir::{Admission, RpReservoir};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Adjacency, Edge, EdgeEvent, Op, Pattern};
+
+/// The Triest-FD subgraph counter.
+pub struct TriestCounter {
+    pattern: Pattern,
+    reservoir: RpReservoir,
+    /// Adjacency over the sampled edges.
+    adj: Adjacency,
+    /// Instances entirely inside the sample (incrementally maintained).
+    tau: i64,
+    scratch: EnumScratch,
+    rng: SmallRng,
+}
+
+impl TriestCounter {
+    /// Creates a Triest-FD counter with reservoir capacity `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < |H|` or the pattern is invalid.
+    pub fn new(pattern: Pattern, capacity: usize, seed: u64) -> Self {
+        pattern.validate().expect("invalid pattern");
+        assert!(
+            capacity >= pattern.num_edges(),
+            "reservoir capacity M = {capacity} must be ≥ |H| = {}",
+            pattern.num_edges()
+        );
+        Self {
+            pattern,
+            reservoir: RpReservoir::new(capacity),
+            adj: Adjacency::new(),
+            tau: 0,
+            scratch: EnumScratch::default(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The raw in-sample instance counter `τ` — exposed for tests.
+    pub fn tau(&self) -> i64 {
+        self.tau
+    }
+
+    fn add_to_sample(&mut self, e: Edge) {
+        self.tau += self.pattern.count_completed(&self.adj, e, &mut self.scratch) as i64;
+        self.adj.insert(e);
+    }
+
+    fn remove_from_sample(&mut self, e: Edge) {
+        self.adj.remove(e);
+        self.tau -= self.pattern.count_completed(&self.adj, e, &mut self.scratch) as i64;
+    }
+}
+
+impl SubgraphCounter for TriestCounter {
+    fn process(&mut self, ev: EdgeEvent) {
+        match ev.op {
+            Op::Insert => match self.reservoir.offer(ev.edge, &mut self.rng) {
+                Admission::Added => self.add_to_sample(ev.edge),
+                Admission::Replaced(victim) => {
+                    self.remove_from_sample(victim);
+                    self.add_to_sample(ev.edge);
+                }
+                Admission::Skipped => {}
+            },
+            Op::Delete => {
+                if self.reservoir.delete(ev.edge) {
+                    self.remove_from_sample(ev.edge);
+                }
+            }
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        let m = self.pattern.num_edges() as u64;
+        let s = self.reservoir.len() as u64;
+        let n = self.reservoir.population();
+        if s < m {
+            return 0.0;
+        }
+        // κ = Π (s-i)/(n-i); s ≤ n always, so κ ∈ (0, 1].
+        let mut kappa = 1.0;
+        for i in 0..m {
+            kappa *= (s - i) as f64 / (n - i) as f64;
+        }
+        self.tau as f64 / kappa
+    }
+
+    fn name(&self) -> &str {
+        "Triest"
+    }
+
+    fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.reservoir.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::insert(Edge::new(a, b))
+    }
+
+    fn del(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::delete(Edge::new(a, b))
+    }
+
+    #[test]
+    fn exact_when_sample_holds_everything() {
+        let mut c = TriestCounter::new(Pattern::Triangle, 100, 1);
+        for ev in [ins(1, 2), ins(2, 3), ins(1, 3), ins(3, 4), ins(2, 4)] {
+            c.process(ev);
+        }
+        // s == n → κ = 1, τ exact: triangles {1,2,3} and {2,3,4}.
+        assert_eq!(c.tau(), 2);
+        assert_eq!(c.estimate(), 2.0);
+        c.process(del(2, 3));
+        assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn estimate_zero_below_pattern_size() {
+        let mut c = TriestCounter::new(Pattern::Triangle, 10, 2);
+        c.process(ins(1, 2));
+        assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_respected_and_tau_consistent() {
+        let mut c = TriestCounter::new(Pattern::Triangle, 16, 3);
+        // A clique stream guarantees plenty of triangles.
+        for a in 0..12u64 {
+            for b in (a + 1)..12 {
+                c.process(ins(a, b));
+                assert!(c.stored_edges() <= 16);
+            }
+        }
+        // τ must equal the exact triangle count of the sampled graph.
+        let recount = wsd_graph::exact::count_static(Pattern::Triangle, &c.adj) as i64;
+        assert_eq!(c.tau(), recount);
+        assert!(c.estimate() > 0.0);
+    }
+
+    #[test]
+    fn deletion_of_unsampled_edge_keeps_tau() {
+        let mut c = TriestCounter::new(Pattern::Triangle, 3, 4);
+        for a in 0..6u64 {
+            for b in (a + 1)..6 {
+                c.process(ins(a, b));
+            }
+        }
+        // Delete edges until one is certainly unsampled (capacity 3 of 15).
+        let tau_validity = |c: &TriestCounter| {
+            wsd_graph::exact::count_static(Pattern::Triangle, &c.adj) as i64 == c.tau()
+        };
+        assert!(tau_validity(&c));
+        for a in 0..6u64 {
+            for b in (a + 1)..6 {
+                c.process(del(a, b));
+                assert!(tau_validity(&c));
+            }
+        }
+        assert_eq!(c.stored_edges(), 0);
+        assert_eq!(c.tau(), 0);
+    }
+
+    #[test]
+    fn name_and_pattern() {
+        let c = TriestCounter::new(Pattern::FourClique, 10, 5);
+        assert_eq!(c.name(), "Triest");
+        assert_eq!(c.pattern(), Pattern::FourClique);
+    }
+}

@@ -1,0 +1,270 @@
+//! **WRS** baseline (Shin, ICDM 2017 [18]; Lee/Shin/Faloutsos, VLDBJ
+//! 2020 [17]) — waiting-room sampling, exploiting temporal locality.
+//!
+//! WRS splits the memory budget `M` into a FIFO **waiting room** (a
+//! fraction `α_wr` of the budget) that holds the *most recent* edges
+//! unconditionally, and a ThinkD-style random-pairing **reservoir** for
+//! edges evicted from the waiting room. Because real streams exhibit
+//! temporal locality — new edges disproportionately form patterns with
+//! recent edges — keeping the recent window deterministic reduces
+//! variance.
+//!
+//! Estimation is update-on-arrival (as ThinkD): each found instance is
+//! weighted by the inverse probability that its sampled partners are
+//! where they are — probability 1 for waiting-room partners, uniform
+//! inclusion `(s−i)/(n_R−i)` factors for reservoir partners, where `n_R`
+//! counts edges that have *left the waiting room* and not been deleted
+//! (the reservoir's population).
+
+use crate::counter::SubgraphCounter;
+use crate::reservoir::{Admission, RpReservoir};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Adjacency, Edge, EdgeEvent, FxHashSet, Op, Pattern};
+
+/// Default waiting-room fraction of the budget (the WRS paper's default).
+pub const DEFAULT_WAITING_ROOM_FRACTION: f64 = 0.1;
+
+/// The WRS subgraph counter.
+pub struct WrsCounter {
+    pattern: Pattern,
+    /// FIFO order of waiting-room edges; may contain ghosts of edges
+    /// deleted while waiting (lazily purged on eviction).
+    room_fifo: VecDeque<Edge>,
+    /// Live waiting-room membership.
+    room: FxHashSet<Edge>,
+    room_capacity: usize,
+    reservoir: RpReservoir,
+    /// Adjacency over waiting room ∪ reservoir.
+    adj: Adjacency,
+    estimate: f64,
+    scratch: EnumScratch,
+    rng: SmallRng,
+}
+
+impl WrsCounter {
+    /// Creates a WRS counter with total budget `M` and the default
+    /// waiting-room fraction.
+    pub fn new(pattern: Pattern, capacity: usize, seed: u64) -> Self {
+        Self::with_fraction(pattern, capacity, DEFAULT_WAITING_ROOM_FRACTION, seed)
+    }
+
+    /// Creates a WRS counter with an explicit waiting-room fraction in
+    /// `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction leaves either side of the budget empty, if
+    /// `capacity < |H| + 1`, or the pattern is invalid.
+    pub fn with_fraction(pattern: Pattern, capacity: usize, fraction: f64, seed: u64) -> Self {
+        pattern.validate().expect("invalid pattern");
+        assert!(
+            (0.0..1.0).contains(&fraction) && fraction > 0.0,
+            "waiting-room fraction must be in (0,1), got {fraction}"
+        );
+        let room_capacity = ((capacity as f64 * fraction).ceil() as usize).max(1);
+        assert!(
+            capacity > room_capacity,
+            "budget M = {capacity} too small for waiting room of {room_capacity}"
+        );
+        let reservoir_capacity = capacity - room_capacity;
+        assert!(
+            reservoir_capacity >= pattern.num_edges(),
+            "reservoir part ({reservoir_capacity}) must be ≥ |H| = {}",
+            pattern.num_edges()
+        );
+        Self {
+            pattern,
+            room_fifo: VecDeque::with_capacity(room_capacity + 1),
+            room: FxHashSet::default(),
+            room_capacity,
+            reservoir: RpReservoir::new(reservoir_capacity),
+            adj: Adjacency::new(),
+            estimate: 0.0,
+            scratch: EnumScratch::default(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current waiting-room occupancy — exposed for tests.
+    pub fn waiting_room_len(&self) -> usize {
+        self.room.len()
+    }
+
+    /// Adds the estimator mass of instances completed by `e` against the
+    /// current sample. `sign` is +1 for insertions, −1 for deletions;
+    /// `s`/`n_r` are the reservoir sample/population sizes to use.
+    fn update_estimate(&mut self, e: Edge, sign: f64, s: u64, n_r: u64) {
+        let room = &self.room;
+        let reservoir_len_check = s; // captured for the closure below
+        let mut total = 0.0;
+        self.pattern.for_each_completed(&self.adj, e, &mut self.scratch, &mut |partners| {
+            let mut in_reservoir = 0u64;
+            for p in partners {
+                if !room.contains(p) {
+                    in_reservoir += 1;
+                }
+            }
+            debug_assert!(in_reservoir <= reservoir_len_check);
+            let mut inv = 1.0;
+            for i in 0..in_reservoir {
+                inv *= (n_r - i) as f64 / (s - i) as f64;
+            }
+            total += inv;
+        });
+        self.estimate += sign * total;
+    }
+
+    fn insert(&mut self, e: Edge) {
+        // Estimator first (update-on-arrival).
+        let s = self.reservoir.len() as u64;
+        let n_r = self.reservoir.population();
+        self.update_estimate(e, 1.0, s, n_r);
+        // New edge always enters the waiting room.
+        self.room_fifo.push_back(e);
+        self.room.insert(e);
+        self.adj.insert(e);
+        if self.room.len() > self.room_capacity {
+            // Evict the oldest live edge (skipping ghosts of deletions).
+            let oldest = loop {
+                let cand = self.room_fifo.pop_front().expect("room over capacity");
+                if self.room.remove(&cand) {
+                    break cand;
+                }
+            };
+            match self.reservoir.offer(oldest, &mut self.rng) {
+                Admission::Added => {} // stays in adj
+                Admission::Replaced(victim) => {
+                    self.adj.remove(victim);
+                }
+                Admission::Skipped => {
+                    self.adj.remove(oldest);
+                }
+            }
+        }
+    }
+
+    fn delete(&mut self, e: Edge) {
+        let in_room = self.room.contains(&e);
+        let in_reservoir = self.reservoir.contains(e);
+        // Estimator with e excluded from sample and population counts.
+        if in_room || in_reservoir {
+            self.adj.remove(e);
+        }
+        let s = self.reservoir.len() as u64 - in_reservoir as u64;
+        let n_r = if in_room {
+            // e never reached the reservoir population.
+            self.reservoir.population()
+        } else {
+            self.reservoir.population() - 1
+        };
+        self.update_estimate(e, -1.0, s, n_r);
+        // Sample bookkeeping.
+        if in_room {
+            // Lazy FIFO: membership set is authoritative; the FIFO ghost
+            // is purged when it reaches the front.
+            self.room.remove(&e);
+        } else {
+            // The edge passed through the waiting room (or was dropped by
+            // it), so it belongs to the reservoir's population: random
+            // pairing must account for its deletion.
+            self.reservoir.delete(e);
+        }
+    }
+}
+
+impl SubgraphCounter for WrsCounter {
+    fn process(&mut self, ev: EdgeEvent) {
+        match ev.op {
+            Op::Insert => self.insert(ev.edge),
+            Op::Delete => self.delete(ev.edge),
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    fn name(&self) -> &str {
+        "WRS"
+    }
+
+    fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.room.len() + self.reservoir.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::insert(Edge::new(a, b))
+    }
+
+    fn del(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::delete(Edge::new(a, b))
+    }
+
+    #[test]
+    fn exact_when_everything_fits() {
+        let mut c = WrsCounter::with_fraction(Pattern::Triangle, 100, 0.2, 1);
+        for ev in [ins(1, 2), ins(2, 3), ins(1, 3), ins(3, 4), ins(2, 4), del(2, 3)] {
+            c.process(ev);
+        }
+        assert_eq!(c.estimate(), 0.0);
+        c.process(ins(2, 3));
+        assert_eq!(c.estimate(), 2.0);
+    }
+
+    #[test]
+    fn waiting_room_holds_most_recent() {
+        let mut c = WrsCounter::with_fraction(Pattern::Triangle, 20, 0.25, 2);
+        // Room capacity = 5.
+        for i in 0..50u64 {
+            c.process(ins(i, i + 1));
+        }
+        assert_eq!(c.waiting_room_len(), 5);
+        // The very last edges are certainly present.
+        for i in 45..50u64 {
+            assert!(c.room.contains(&Edge::new(i, i + 1)), "recent edge {i} missing");
+        }
+        assert!(c.stored_edges() <= 20);
+    }
+
+    #[test]
+    fn deletion_inside_waiting_room() {
+        let mut c = WrsCounter::with_fraction(Pattern::Triangle, 20, 0.25, 3);
+        for i in 0..5u64 {
+            c.process(ins(i, i + 1));
+        }
+        c.process(del(4, 5));
+        assert_eq!(c.waiting_room_len(), 4);
+        assert!(!c.adj.contains(Edge::new(4, 5)));
+        // FIFO ghost purge: keep inserting past room capacity.
+        for i in 10..30u64 {
+            c.process(ins(i, i + 1));
+        }
+        assert_eq!(c.waiting_room_len(), 5);
+    }
+
+    #[test]
+    fn budget_split_respected() {
+        let c = WrsCounter::with_fraction(Pattern::Triangle, 40, 0.1, 4);
+        assert_eq!(c.room_capacity, 4);
+        assert_eq!(c.reservoir.capacity(), 36);
+        assert_eq!(c.name(), "WRS");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_budget_panics() {
+        let _ = WrsCounter::with_fraction(Pattern::Triangle, 1, 0.9, 5);
+    }
+}

@@ -1,0 +1,363 @@
+//! **WSD** — Weighted Sampling with Deletions (paper §III-C, Algorithms
+//! 1 & 2).
+//!
+//! WSD keeps a min-priority queue of at most `M` edges keyed by rank
+//! `r = w/u` and two thresholds:
+//!
+//! * `τp` — the *admission* threshold: an arriving edge enters the
+//!   reservoir only if its rank exceeds `τp`. Crucially, `τp` is **not**
+//!   refreshed while the reservoir is non-full (Case 1): after deletions
+//!   free space, new edges still face the old bar. This is what restores
+//!   the equal-probability property that plain GPS loses on dynamic
+//!   streams (Example 1 of the paper).
+//! * `τq` — the *probability* threshold: at any time, an inserted and
+//!   not-deleted edge is in the reservoir with probability
+//!   `P[r(e) > τq] = min(1, w(e)/τq)` (Lemma 1), which is exactly the
+//!   quantity the estimator divides by.
+//!
+//! Event handling (Algorithm 1):
+//!
+//! * **Case 1** (insert, non-full): admit iff `r > τp`; touch neither τ.
+//! * **Case 2** (insert, full): set `τp` to the minimum reservoir rank;
+//!   then 2.1 `r > τp` → evict the minimum, admit, `τq ← τp`;
+//!   2.2 `τq < r ≤ τp` → discard, `τq ← r`; 2.3 otherwise discard.
+//! * **Case 3** (delete): drop the edge from the reservoir if sampled;
+//!   touch neither τ.
+//!
+//! The estimator (Algorithm 2) adds, for every insertion, the mass
+//! `Σ_J Π 1/P[r(e)>τq]` of instances completed against the reservoir and
+//! subtracts the corresponding mass of destroyed instances on deletions;
+//! Theorem 4 proves unbiasedness (verified empirically in this crate's
+//! statistical tests).
+
+use crate::counter::SubgraphCounter;
+use crate::estimator::weighted_mass;
+use crate::rank::{draw_u, rank};
+use crate::reservoir::IndexedMinHeap;
+use crate::sampled_graph::{EdgeMeta, WeightedSample};
+use crate::state::{StateAccumulator, StateVector, TemporalPooling};
+use crate::weight::WeightFn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Edge, EdgeEvent, Op, Pattern};
+
+/// Callback invoked per insertion with `(edge, state, chosen weight)`.
+pub type InsertionObserver = Box<dyn FnMut(Edge, &StateVector, f64) + Send>;
+
+/// The WSD subgraph counter (sampling framework + estimator).
+pub struct WsdCounter {
+    display_name: String,
+    pattern: Pattern,
+    capacity: usize,
+    heap: IndexedMinHeap<Edge>,
+    sample: WeightedSample,
+    tau_p: f64,
+    tau_q: f64,
+    estimate: f64,
+    t: u64,
+    scratch: EnumScratch,
+    acc: StateAccumulator,
+    weight_fn: Box<dyn WeightFn>,
+    rng: SmallRng,
+    /// Invoked after each insertion event with the edge, its observed
+    /// state and the chosen weight; used by the RL training loop and the
+    /// weight-analysis experiments (paper Fig. 2(d)) without
+    /// re-implementing the sampler.
+    observer: Option<InsertionObserver>,
+}
+
+impl WsdCounter {
+    /// Creates a WSD counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < |H|` (the unbiasedness theorems require
+    /// `M ≥ |H|`) or the pattern is invalid.
+    pub fn new(
+        pattern: Pattern,
+        capacity: usize,
+        weight_fn: Box<dyn WeightFn>,
+        pooling: TemporalPooling,
+        seed: u64,
+    ) -> Self {
+        pattern.validate().expect("invalid pattern");
+        assert!(
+            capacity >= pattern.num_edges(),
+            "reservoir capacity M = {capacity} must be ≥ |H| = {}",
+            pattern.num_edges()
+        );
+        let display_name = weight_fn.name().to_string();
+        Self {
+            display_name,
+            pattern,
+            capacity,
+            heap: IndexedMinHeap::with_capacity(capacity),
+            sample: WeightedSample::new(),
+            tau_p: 0.0,
+            tau_q: 0.0,
+            estimate: 0.0,
+            t: 0,
+            scratch: EnumScratch::default(),
+            acc: StateAccumulator::new(pattern.num_edges(), pooling),
+            weight_fn,
+            rng: SmallRng::seed_from_u64(seed),
+            observer: None,
+        }
+    }
+
+    /// Overrides the display name (e.g. to distinguish pooling ablations).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.display_name = name.into();
+        self
+    }
+
+    /// Installs a per-insertion observer `(edge, state, weight)`; used by
+    /// the DDPG training environment and the weight-analysis experiments.
+    pub fn set_observer(&mut self, f: InsertionObserver) {
+        self.observer = Some(f);
+    }
+
+    /// Current thresholds `(τp, τq)` — exposed for white-box tests.
+    pub fn thresholds(&self) -> (f64, f64) {
+        (self.tau_p, self.tau_q)
+    }
+
+    /// Whether an edge currently sits in the reservoir.
+    pub fn sampled(&self, e: Edge) -> bool {
+        self.sample.contains(e)
+    }
+
+    fn insert(&mut self, e: Edge) {
+        // Algorithm 2: estimator + state observation *before* the
+        // sampling decision, against the pre-update reservoir.
+        self.acc.reset();
+        let mass = weighted_mass(
+            self.pattern,
+            &self.sample,
+            e,
+            self.tau_q,
+            &mut self.scratch,
+            Some((&mut self.acc, self.t)),
+        );
+        self.estimate += mass;
+        let state = self
+            .acc
+            .finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
+        let w = self.weight_fn.weight(&state);
+        debug_assert!(w > 0.0 && w.is_finite(), "weight function must be positive/finite");
+        if let Some(obs) = self.observer.as_mut() {
+            obs(e, &state, w);
+        }
+        let r = rank(w, draw_u(&mut self.rng));
+        // Algorithm 1.
+        if self.heap.len() < self.capacity {
+            // Case 1: τp and τq are retained.
+            if r > self.tau_p {
+                self.admit(e, w, r);
+            }
+        } else {
+            let (_, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
+            self.tau_p = min_rank;
+            if r > self.tau_p {
+                // Case 2.1.
+                let (victim, _) = self.heap.pop_min().expect("non-empty");
+                self.sample.remove(victim).expect("heap and sample in sync");
+                self.admit(e, w, r);
+                self.tau_q = self.tau_p;
+            } else if r > self.tau_q {
+                // Case 2.2.
+                self.tau_q = r;
+            }
+            // Case 2.3: discard silently.
+        }
+    }
+
+    fn admit(&mut self, e: Edge, w: f64, r: f64) {
+        self.heap.push(e, r);
+        self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+    }
+
+    fn delete(&mut self, e: Edge) {
+        // Case 3: drop from the reservoir first (partners of destroyed
+        // instances never include e itself, so removal order is safe),
+        // then subtract the destroyed mass.
+        if self.sample.remove(e).is_some() {
+            self.heap.remove(&e).expect("heap and sample in sync");
+        }
+        let mass = weighted_mass(
+            self.pattern,
+            &self.sample,
+            e,
+            self.tau_q,
+            &mut self.scratch,
+            None,
+        );
+        self.estimate -= mass;
+    }
+}
+
+impl SubgraphCounter for WsdCounter {
+    fn process(&mut self, ev: EdgeEvent) {
+        match ev.op {
+            Op::Insert => self.insert(ev.edge),
+            Op::Delete => self.delete(ev.edge),
+        }
+        self.t += 1;
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.sample.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::{HeuristicWeight, UniformWeight};
+
+    fn wsd(capacity: usize, seed: u64) -> WsdCounter {
+        WsdCounter::new(
+            Pattern::Triangle,
+            capacity,
+            Box::new(UniformWeight),
+            TemporalPooling::Max,
+            seed,
+        )
+    }
+
+    fn tri(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::insert(Edge::new(a, b))
+    }
+
+    #[test]
+    fn exact_when_reservoir_never_fills() {
+        // With M larger than the stream, WSD samples everything, τq stays
+        // 0 and the estimate is exact.
+        let mut c = wsd(100, 1);
+        let stream = vec![
+            tri(1, 2),
+            tri(2, 3),
+            tri(1, 3), // + triangle
+            tri(3, 4),
+            tri(2, 4), // + triangle 2-3-4
+            EdgeEvent::delete(Edge::new(2, 3)), // destroys both
+        ];
+        for ev in stream {
+            c.process(ev);
+        }
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.thresholds(), (0.0, 0.0));
+        assert_eq!(c.stored_edges(), 4); // 5 inserted, 1 deleted
+        assert!(!c.sampled(Edge::new(2, 3)));
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = wsd(8, 2);
+        for i in 0..200u64 {
+            c.process(tri(i, i + 1));
+            assert!(c.stored_edges() <= 8);
+        }
+        assert_eq!(c.stored_edges(), 8);
+        let (tau_p, tau_q) = c.thresholds();
+        assert!(tau_p > 0.0 && tau_q > 0.0 && tau_q <= tau_p);
+    }
+
+    #[test]
+    fn deleted_edges_leave_the_reservoir() {
+        let mut c = wsd(4, 3);
+        for i in 0..4u64 {
+            c.process(tri(10 * i, 10 * i + 1));
+        }
+        assert_eq!(c.stored_edges(), 4);
+        c.process(EdgeEvent::delete(Edge::new(0, 1)));
+        assert_eq!(c.stored_edges(), 3);
+        assert!(!c.sampled(Edge::new(0, 1)));
+        // Case 3 must not touch thresholds.
+        let before = c.thresholds();
+        c.process(EdgeEvent::delete(Edge::new(10, 11)));
+        assert_eq!(c.thresholds(), before);
+    }
+
+    #[test]
+    fn tau_p_is_retained_while_non_full() {
+        // Fill, force τp > 0 via an overflow insertion, then delete to
+        // free space: the next insertion must still face τp > 0 (Case 1
+        // with the retained threshold).
+        let mut c = wsd(4, 4);
+        for i in 0..5u64 {
+            c.process(tri(10 * i, 10 * i + 1));
+        }
+        let (tau_p, _) = c.thresholds();
+        assert!(tau_p > 0.0);
+        c.process(EdgeEvent::delete(Edge::new(0, 1)));
+        c.process(EdgeEvent::delete(Edge::new(10, 11)));
+        let (tau_p_after, _) = c.thresholds();
+        assert_eq!(tau_p, tau_p_after, "Case 3 must retain τp");
+        // Non-full insertions never *lower* the bar.
+        for i in 6..30u64 {
+            c.process(tri(10 * i, 10 * i + 1));
+            assert!(c.thresholds().0 >= tau_p);
+        }
+    }
+
+    #[test]
+    fn observer_sees_states_and_weights() {
+        use std::sync::{Arc, Mutex};
+        let log: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = log.clone();
+        let mut c = WsdCounter::new(
+            Pattern::Triangle,
+            16,
+            Box::new(HeuristicWeight),
+            TemporalPooling::Max,
+            5,
+        );
+        c.set_observer(Box::new(move |e, s, w| {
+            assert!(e.u() < e.v());
+            log2.lock().unwrap().push((s.dim(), w));
+        }));
+        c.process(tri(1, 2));
+        c.process(tri(2, 3));
+        c.process(tri(1, 3));
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 3);
+        assert!(log.iter().all(|&(d, _)| d == 6));
+        // Third insertion closes a triangle → heuristic weight 9·1+1.
+        assert_eq!(log[2].1, 10.0);
+        assert_eq!(log[0].1, 1.0);
+    }
+
+    #[test]
+    fn heuristic_name_propagates() {
+        let c = WsdCounter::new(
+            Pattern::Wedge,
+            8,
+            Box::new(HeuristicWeight),
+            TemporalPooling::Max,
+            1,
+        );
+        assert_eq!(c.name(), "WSD-H");
+        let c = c.with_name("WSD-H (Avg)");
+        assert_eq!(c.name(), "WSD-H (Avg)");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥")]
+    fn capacity_below_pattern_size_panics() {
+        let _ = wsd(2, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Algorithm selection and construction — the single factory the
+//! evaluation harness and examples use to instantiate any counter from
+//! the paper's comparison.
+
+use crate::algorithms::{
+    GpsACounter, GpsCounter, ThinkDCounter, TriestCounter, WrsCounter, WsdCounter,
+};
+use crate::counter::SubgraphCounter;
+use crate::state::TemporalPooling;
+use crate::weight::{HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};
+use wsd_graph::Pattern;
+
+/// The algorithms compared in the paper's evaluation (§V-A).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Algorithm {
+    /// WSD with the learned (RL) weight function.
+    WsdL,
+    /// WSD with the GPS heuristic weight `9·|H(e)| + 1`.
+    WsdH,
+    /// WSD with uniform weights (control; not a paper column).
+    WsdUniform,
+    /// GPS adapted with DEL tags.
+    GpsA,
+    /// Plain GPS (insertion-only streams only).
+    Gps,
+    /// Triest-FD.
+    Triest,
+    /// ThinkD (accurate variant).
+    ThinkD,
+    /// Waiting-room sampling.
+    Wrs,
+}
+
+impl Algorithm {
+    /// Display name matching the paper's table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::WsdL => "WSD-L",
+            Algorithm::WsdH => "WSD-H",
+            Algorithm::WsdUniform => "WSD-U",
+            Algorithm::GpsA => "GPS-A",
+            Algorithm::Gps => "GPS",
+            Algorithm::Triest => "Triest",
+            Algorithm::ThinkD => "ThinkD",
+            Algorithm::Wrs => "WRS",
+        }
+    }
+
+    /// The six-column comparison of Tables II/III/VII–X.
+    pub fn paper_table_set() -> [Algorithm; 6] {
+        [
+            Algorithm::WsdL,
+            Algorithm::WsdH,
+            Algorithm::GpsA,
+            Algorithm::Triest,
+            Algorithm::ThinkD,
+            Algorithm::Wrs,
+        ]
+    }
+
+    /// True if the algorithm supports deletion events.
+    pub fn supports_deletions(&self) -> bool {
+        !matches!(self, Algorithm::Gps)
+    }
+}
+
+/// Everything needed to build a counter.
+#[derive(Clone, Debug)]
+pub struct CounterConfig {
+    /// Pattern to count.
+    pub pattern: Pattern,
+    /// Memory budget `M` (edges).
+    pub capacity: usize,
+    /// RNG seed for the sampling randomness.
+    pub seed: u64,
+    /// Learned policy for [`Algorithm::WsdL`] (a neutral policy is used
+    /// if absent, making WSD-L behave like uniform WSD).
+    pub policy: Option<LinearPolicy>,
+    /// Temporal pooling for the WSD-L state (Table XIII ablation).
+    pub pooling: TemporalPooling,
+    /// Waiting-room fraction for WRS.
+    pub wrs_fraction: f64,
+}
+
+impl CounterConfig {
+    /// Creates a config with the paper's defaults.
+    pub fn new(pattern: Pattern, capacity: usize, seed: u64) -> Self {
+        Self {
+            pattern,
+            capacity,
+            seed,
+            policy: None,
+            pooling: TemporalPooling::Max,
+            wrs_fraction: crate::algorithms::wrs::DEFAULT_WAITING_ROOM_FRACTION,
+        }
+    }
+
+    /// Attaches a learned policy (consumed by WSD-L).
+    pub fn with_policy(mut self, policy: LinearPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the temporal pooling variant.
+    pub fn with_pooling(mut self, pooling: TemporalPooling) -> Self {
+        self.pooling = pooling;
+        self
+    }
+
+    /// Builds the counter for `alg`.
+    pub fn build(&self, alg: Algorithm) -> Box<dyn SubgraphCounter> {
+        let heuristic: Box<dyn WeightFn> = Box::new(HeuristicWeight);
+        match alg {
+            Algorithm::WsdL => {
+                let dim = self.pattern.num_edges() + 3;
+                let policy = self
+                    .policy
+                    .clone()
+                    .unwrap_or_else(|| LinearPolicy::neutral(dim));
+                assert_eq!(
+                    policy.dim(),
+                    dim,
+                    "policy dimension {} does not match pattern state dimension {dim}",
+                    policy.dim()
+                );
+                Box::new(
+                    WsdCounter::new(
+                        self.pattern,
+                        self.capacity,
+                        Box::new(policy),
+                        self.pooling,
+                        self.seed,
+                    )
+                    .with_name("WSD-L"),
+                )
+            }
+            Algorithm::WsdH => Box::new(WsdCounter::new(
+                self.pattern,
+                self.capacity,
+                heuristic,
+                self.pooling,
+                self.seed,
+            )),
+            Algorithm::WsdUniform => Box::new(
+                WsdCounter::new(
+                    self.pattern,
+                    self.capacity,
+                    Box::new(UniformWeight),
+                    self.pooling,
+                    self.seed,
+                )
+                .with_name("WSD-U"),
+            ),
+            Algorithm::GpsA => {
+                Box::new(GpsACounter::new(self.pattern, self.capacity, heuristic, self.seed))
+            }
+            Algorithm::Gps => {
+                Box::new(GpsCounter::new(self.pattern, self.capacity, heuristic, self.seed))
+            }
+            Algorithm::Triest => {
+                Box::new(TriestCounter::new(self.pattern, self.capacity, self.seed))
+            }
+            Algorithm::ThinkD => {
+                Box::new(ThinkDCounter::new(self.pattern, self.capacity, self.seed))
+            }
+            Algorithm::Wrs => Box::new(WrsCounter::with_fraction(
+                self.pattern,
+                self.capacity,
+                self.wrs_fraction,
+                self.seed,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsd_graph::{Edge, EdgeEvent};
+
+    #[test]
+    fn factory_builds_every_algorithm() {
+        let cfg = CounterConfig::new(Pattern::Triangle, 64, 7);
+        for alg in [
+            Algorithm::WsdL,
+            Algorithm::WsdH,
+            Algorithm::WsdUniform,
+            Algorithm::GpsA,
+            Algorithm::Gps,
+            Algorithm::Triest,
+            Algorithm::ThinkD,
+            Algorithm::Wrs,
+        ] {
+            let mut c = cfg.build(alg);
+            assert_eq!(c.name(), alg.name());
+            c.process(EdgeEvent::insert(Edge::new(1, 2)));
+            assert_eq!(c.estimate(), 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_table_set_order() {
+        let names: Vec<&str> =
+            Algorithm::paper_table_set().iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["WSD-L", "WSD-H", "GPS-A", "Triest", "ThinkD", "WRS"]);
+    }
+
+    #[test]
+    fn deletion_support_flags() {
+        assert!(!Algorithm::Gps.supports_deletions());
+        assert!(Algorithm::WsdL.supports_deletions());
+        assert!(Algorithm::Wrs.supports_deletions());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_policy_dimension_panics() {
+        use crate::weight::LinearPolicy;
+        let cfg = CounterConfig::new(Pattern::Triangle, 64, 7)
+            .with_policy(LinearPolicy::neutral(5)); // triangle needs 6
+        let _ = cfg.build(Algorithm::WsdL);
+    }
+}

@@ -1,0 +1,79 @@
+//! The common interface of all subgraph-count estimators.
+
+use wsd_graph::{EdgeEvent, Pattern};
+
+/// A one-pass, fixed-memory subgraph-count estimator over a fully
+/// dynamic graph stream (Definition 1 of the paper).
+///
+/// Implementations process events one by one in arrival order and expose
+/// the current estimate `c(t)` at any time — the quantity the ARE/MARE
+/// metrics compare against the exact `|J(t)|`.
+pub trait SubgraphCounter: Send {
+    /// Processes one stream event.
+    fn process(&mut self, ev: EdgeEvent);
+
+    /// The current estimate `c(t)` of the pattern count.
+    fn estimate(&self) -> f64;
+
+    /// Algorithm display name (e.g. `WSD-L`, `Triest`).
+    fn name(&self) -> &str;
+
+    /// The pattern being counted.
+    fn pattern(&self) -> Pattern;
+
+    /// Number of edges currently held in the sampling structures
+    /// (including, for GPS-A, tagged-deleted ghosts — that is its
+    /// documented drawback).
+    fn stored_edges(&self) -> usize;
+
+    /// Convenience: processes a whole stream.
+    fn process_all(&mut self, stream: &[EdgeEvent]) {
+        for &ev in stream {
+            self.process(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsd_graph::Edge;
+
+    /// A trivial counter used to exercise the default method.
+    struct CountEvents {
+        seen: usize,
+    }
+
+    impl SubgraphCounter for CountEvents {
+        fn process(&mut self, _ev: EdgeEvent) {
+            self.seen += 1;
+        }
+        fn estimate(&self) -> f64 {
+            self.seen as f64
+        }
+        fn name(&self) -> &str {
+            "count-events"
+        }
+        fn pattern(&self) -> Pattern {
+            Pattern::Triangle
+        }
+        fn stored_edges(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn process_all_feeds_every_event() {
+        let mut c = CountEvents { seen: 0 };
+        let stream = vec![
+            EdgeEvent::insert(Edge::new(1, 2)),
+            EdgeEvent::insert(Edge::new(2, 3)),
+            EdgeEvent::delete(Edge::new(1, 2)),
+        ];
+        c.process_all(&stream);
+        assert_eq!(c.estimate(), 3.0);
+        assert_eq!(c.name(), "count-events");
+        assert_eq!(c.pattern(), Pattern::Triangle);
+        assert_eq!(c.stored_edges(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! The shared estimator kernel of the weighted samplers.
+//!
+//! Algorithm 2 (and its GPS/GPS-A analogues) updates the running count on
+//! *every* event: enumerate the pattern instances the event's edge
+//! completes (insertion) or destroys (deletion) against the sampled
+//! graph, and add/subtract per instance the product of inverse inclusion
+//! probabilities of the instance's sampled partner edges,
+//!
+//! ```text
+//! Δc = Σ_J  Π_{e ∈ J \ e_t}  1 / P[r(e) > τ]   with  P = min(1, w(e)/τ).
+//! ```
+//!
+//! The same enumeration pass feeds the RL state accumulator (|H_k| and
+//! the temporal block of Eq. 19–22), so state extraction costs no second
+//! enumeration.
+
+use crate::rank::inclusion_prob;
+use crate::sampled_graph::WeightedSample;
+use crate::state::StateAccumulator;
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Edge, Pattern};
+
+/// Computes the estimator mass `Σ_J Π 1/p` for the instances completed
+/// by `e` against `sample` (which must not contain `e`), using threshold
+/// `tau` for inclusion probabilities. If `acc` is provided, each
+/// instance's partner arrival times are recorded with the current event
+/// time `now`.
+pub(crate) fn weighted_mass(
+    pattern: Pattern,
+    sample: &WeightedSample,
+    e: Edge,
+    tau: f64,
+    scratch: &mut EnumScratch,
+    mut acc: Option<(&mut StateAccumulator, u64)>,
+) -> f64 {
+    debug_assert!(!sample.contains(e), "estimator edge must not be sampled");
+    let mut mass = 0.0;
+    pattern.for_each_completed(sample.adj(), e, scratch, &mut |partners| {
+        let mut prod = 1.0;
+        for &p in partners {
+            let meta = sample
+                .meta(p)
+                .expect("enumerated partner edge missing from sample metadata");
+            prod *= 1.0 / inclusion_prob(meta.weight, tau);
+        }
+        mass += prod;
+        if let Some((acc, now)) = acc.as_mut() {
+            acc.add_instance(
+                partners.iter().map(|&p| {
+                    sample.meta(p).expect("partner metadata present").time
+                }),
+                *now,
+            );
+        }
+    });
+    mass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampled_graph::EdgeMeta;
+    use crate::state::{StateAccumulator, TemporalPooling};
+
+    fn sample_with(edges: &[(u64, u64, f64, u64)]) -> WeightedSample {
+        let mut s = WeightedSample::new();
+        for &(a, b, weight, time) in edges {
+            s.insert(Edge::new(a, b), EdgeMeta { weight, time });
+        }
+        s
+    }
+
+    #[test]
+    fn mass_is_product_of_inverse_probabilities() {
+        // Triangle 1-2-3 closing edge (1,3); partners (1,2) w=2, (2,3) w=4.
+        let s = sample_with(&[(1, 2, 2.0, 0), (2, 3, 4.0, 1)]);
+        let mut scratch = EnumScratch::default();
+        // τ = 8 → p(1,2) = 2/8 = .25, p(2,3) = 4/8 = .5 → mass = 4 * 2 = 8.
+        let mass = weighted_mass(Pattern::Triangle, &s, Edge::new(1, 3), 8.0, &mut scratch, None);
+        assert_eq!(mass, 8.0);
+        // τ = 0 → all probabilities 1 → mass = 1 per instance.
+        let mass = weighted_mass(Pattern::Triangle, &s, Edge::new(1, 3), 0.0, &mut scratch, None);
+        assert_eq!(mass, 1.0);
+    }
+
+    #[test]
+    fn accumulator_sees_every_instance() {
+        // Two triangles closed by (1,2): via 3 and via 4.
+        let s = sample_with(&[
+            (1, 3, 1.0, 10),
+            (2, 3, 1.0, 11),
+            (1, 4, 1.0, 12),
+            (2, 4, 1.0, 13),
+        ]);
+        let mut scratch = EnumScratch::default();
+        let mut acc = StateAccumulator::new(3, TemporalPooling::Max);
+        let mass = weighted_mass(
+            Pattern::Triangle,
+            &s,
+            Edge::new(1, 2),
+            0.0,
+            &mut scratch,
+            Some((&mut acc, 20)),
+        );
+        assert_eq!(mass, 2.0);
+        assert_eq!(acc.instances(), 2);
+        let state = acc.finish(2, 2);
+        // Sorted times: (10,11,20) and (12,13,20); max per position.
+        assert_eq!(state.values(), &[2.0, 2.0, 2.0, 12.0, 13.0, 20.0]);
+    }
+
+    #[test]
+    fn no_instances_no_mass() {
+        let s = sample_with(&[(5, 6, 1.0, 0)]);
+        let mut scratch = EnumScratch::default();
+        let mass = weighted_mass(Pattern::Triangle, &s, Edge::new(1, 2), 0.0, &mut scratch, None);
+        assert_eq!(mass, 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # wsd-core
+//!
+//! The paper's sampling frameworks and every baseline it compares
+//! against, behind one trait:
+//!
+//! * [`SubgraphCounter`] — one-pass, fixed-memory estimation of a
+//!   pattern count over a fully dynamic edge stream.
+//! * [`algorithms::WsdCounter`] — **WSD**, the paper's contribution
+//!   (Algorithms 1 & 2): weighted priority sampling that genuinely
+//!   removes deleted edges from the reservoir while preserving the
+//!   inclusion-probability identity `P[e ∈ R] = min(1, w/τq)` (Lemma 1),
+//!   yielding the unbiased estimator of Theorem 4.
+//! * [`algorithms::GpsCounter`] / [`algorithms::GpsACounter`] — the
+//!   insertion-only GPS framework and its tag-based dynamic adaption.
+//! * [`algorithms::TriestCounter`], [`algorithms::ThinkDCounter`],
+//!   [`algorithms::WrsCounter`] — the uniform-sampling state of the art.
+//!
+//! Weight functions ([`weight`]) plug into the weighted samplers: the
+//! uniform control, the GPS heuristic `9·|H(e)|+1` (WSD-H), and the
+//! learned linear policy (WSD-L) whose parameters are trained by the
+//! `wsd-rl` crate on the MDP states extracted in [`state`].
+//!
+//! # Example
+//!
+//! ```
+//! use wsd_core::{Algorithm, CounterConfig};
+//! use wsd_graph::{Edge, EdgeEvent, Pattern};
+//!
+//! let cfg = CounterConfig::new(Pattern::Triangle, 100, 42);
+//! let mut counter = cfg.build(Algorithm::WsdH);
+//! for (a, b) in [(1, 2), (2, 3), (1, 3)] {
+//!     counter.process(EdgeEvent::insert(Edge::new(a, b)));
+//! }
+//! assert_eq!(counter.estimate(), 1.0); // one triangle, still exact
+//! counter.process(EdgeEvent::delete(Edge::new(2, 3)));
+//! assert_eq!(counter.estimate(), 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algorithms;
+pub mod config;
+pub mod counter;
+mod estimator;
+pub mod rank;
+pub mod reservoir;
+pub mod sampled_graph;
+pub mod state;
+pub mod weight;
+
+pub use config::{Algorithm, CounterConfig};
+pub use counter::SubgraphCounter;
+pub use state::{StateVector, TemporalPooling};
+pub use weight::{FeatureNorm, HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};

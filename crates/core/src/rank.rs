@@ -1,0 +1,98 @@
+//! Rank functions and inclusion probabilities (paper §III-A).
+//!
+//! Priority sampling assigns every arriving edge a *rank* `r = f(w)`
+//! computed from its weight `w` and a fresh uniform variate
+//! `u ∈ (0, 1]`: the paper (following GPS [14]) uses `r = w / u`. Under
+//! this rank function, the probability that an edge's rank exceeds a
+//! threshold `τ` is
+//!
+//! ```text
+//! P[r > τ] = P[u < w/τ] = min(1, w/τ)        (τ > 0)
+//! P[r > τ] = 1                               (τ = 0)
+//! ```
+//!
+//! which is the inclusion probability used by every weighted estimator
+//! (Eq. 1 for GPS, Eq. 10 for WSD).
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Draws `u` uniformly from `(0, 1]`.
+#[inline]
+pub fn draw_u(rng: &mut SmallRng) -> f64 {
+    // random_range(0.0..1.0) yields [0, 1); flip to (0, 1].
+    1.0 - rng.random_range(0.0..1.0)
+}
+
+/// Computes the rank `r = w / u`.
+///
+/// # Panics
+///
+/// Debug-asserts that `w > 0` and `u ∈ (0, 1]`; weight functions are
+/// required to return strictly positive weights (the paper's learned
+/// policy adds 1 to the actor output for exactly this reason).
+#[inline]
+pub fn rank(weight: f64, u: f64) -> f64 {
+    debug_assert!(weight > 0.0, "weights must be strictly positive, got {weight}");
+    debug_assert!(u > 0.0 && u <= 1.0, "u must lie in (0,1], got {u}");
+    weight / u
+}
+
+/// The inclusion probability `P[r(e) > τ] = min(1, w/τ)`, with the
+/// `τ = 0` convention of the paper (probability 1; `τ` is initialised to
+/// 0 and only ever grows from observed ranks).
+#[inline]
+pub fn inclusion_prob(weight: f64, tau: f64) -> f64 {
+    debug_assert!(weight > 0.0);
+    debug_assert!(tau >= 0.0);
+    if tau <= 0.0 {
+        1.0
+    } else {
+        (weight / tau).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn u_is_in_half_open_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = draw_u(&mut rng);
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn rank_scales_with_weight() {
+        assert_eq!(rank(2.0, 0.5), 4.0);
+        assert_eq!(rank(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn inclusion_probability_formula() {
+        assert_eq!(inclusion_prob(3.0, 0.0), 1.0);
+        assert_eq!(inclusion_prob(3.0, 6.0), 0.5);
+        assert_eq!(inclusion_prob(9.0, 6.0), 1.0); // clamped
+    }
+
+    #[test]
+    fn empirical_inclusion_matches_formula() {
+        // P[w/u > τ] over many u draws should equal min(1, w/τ).
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (w, tau) = (2.0, 5.0);
+        let n = 200_000;
+        let hits = (0..n)
+            .filter(|_| rank(w, draw_u(&mut rng)) > tau)
+            .count();
+        let p_hat = hits as f64 / n as f64;
+        let p = inclusion_prob(w, tau);
+        assert!(
+            (p_hat - p).abs() < 0.005,
+            "empirical {p_hat} vs analytic {p}"
+        );
+    }
+}

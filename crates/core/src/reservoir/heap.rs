@@ -1,0 +1,285 @@
+//! Indexed binary min-heap keyed by rank.
+//!
+//! The WSD/GPS family keeps the reservoir in a min-priority queue so that
+//! the lowest-ranked edge can be evicted in `O(log M)` (Algorithm 1,
+//! line 15). Fully dynamic streams additionally need *arbitrary* removal
+//! (Case 3: a deletion event must drop its edge from the middle of the
+//! queue), so the heap maintains a key → slot index, giving `O(log M)`
+//! `remove` as well. This is the `log M` factor in Theorems 3/5.
+
+use std::hash::Hash;
+use wsd_graph::FxHashMap;
+
+/// A binary min-heap over `(key, rank)` pairs with O(log n) removal by
+/// key. Ranks are `f64` compared with `total_cmp` (ranks are always
+/// finite positive in practice; NaNs would be ordered, not UB).
+#[derive(Clone, Debug)]
+pub struct IndexedMinHeap<K> {
+    slots: Vec<(K, f64)>,
+    pos: FxHashMap<K, usize>,
+}
+
+impl<K: Copy + Eq + Hash> Default for IndexedMinHeap<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Copy + Eq + Hash> IndexedMinHeap<K> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self { slots: Vec::new(), pos: FxHashMap::default() }
+    }
+
+    /// Creates an empty heap with capacity for `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(n),
+            pos: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True if `key` is present.
+    #[inline]
+    pub fn contains(&self, key: &K) -> bool {
+        self.pos.contains_key(key)
+    }
+
+    /// The rank stored for `key`, if present.
+    pub fn rank_of(&self, key: &K) -> Option<f64> {
+        self.pos.get(key).map(|&i| self.slots[i].1)
+    }
+
+    /// The minimum-rank entry without removing it.
+    #[inline]
+    pub fn peek_min(&self) -> Option<(K, f64)> {
+        self.slots.first().copied()
+    }
+
+    /// Inserts a new key with the given rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already present (reservoirs never hold
+    /// duplicate live edges; a duplicate indicates an infeasible stream
+    /// or a bookkeeping bug, which must not be masked).
+    pub fn push(&mut self, key: K, rank: f64) {
+        let i = self.slots.len();
+        self.slots.push((key, rank));
+        let prev = self.pos.insert(key, i);
+        assert!(prev.is_none(), "duplicate key pushed into IndexedMinHeap");
+        self.sift_up(i);
+    }
+
+    /// Removes and returns the minimum-rank entry.
+    pub fn pop_min(&mut self) -> Option<(K, f64)> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        Some(self.remove_at(0))
+    }
+
+    /// Removes `key`, returning its rank if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<f64> {
+        let &i = self.pos.get(key)?;
+        Some(self.remove_at(i).1)
+    }
+
+    /// Iterates over all `(key, rank)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, f64)> + '_ {
+        self.slots.iter().copied()
+    }
+
+    fn remove_at(&mut self, i: usize) -> (K, f64) {
+        let last = self.slots.len() - 1;
+        self.slots.swap(i, last);
+        let removed = self.slots.pop().expect("non-empty by construction");
+        self.pos.remove(&removed.0);
+        if i < self.slots.len() {
+            self.pos.insert(self.slots[i].0, i);
+            // The swapped-in element may violate either direction.
+            self.sift_down(i);
+            self.sift_up(i);
+        }
+        removed
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.slots[i].1.total_cmp(&self.slots[parent].1).is_lt() {
+                self.swap_slots(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.slots.len()
+                && self.slots[l].1.total_cmp(&self.slots[smallest].1).is_lt()
+            {
+                smallest = l;
+            }
+            if r < self.slots.len()
+                && self.slots[r].1.total_cmp(&self.slots[smallest].1).is_lt()
+            {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap_slots(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+        self.pos.insert(self.slots[a].0, a);
+        self.pos.insert(self.slots[b].0, b);
+    }
+
+    /// Debug-only invariant check: heap order and position-map coherence.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert_eq!(self.slots.len(), self.pos.len());
+        for (i, &(k, rank)) in self.slots.iter().enumerate() {
+            assert_eq!(self.pos[&k], i, "position map out of sync");
+            if i > 0 {
+                let parent = self.slots[(i - 1) / 2].1;
+                assert!(
+                    parent.total_cmp(&rank).is_le(),
+                    "heap order violated at slot {i}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_pop_orders_by_rank() {
+        let mut h = IndexedMinHeap::new();
+        for (k, r) in [(1u64, 5.0), (2, 1.0), (3, 3.0), (4, 0.5), (5, 4.0)] {
+            h.push(k, r);
+        }
+        let mut out = Vec::new();
+        while let Some((k, _)) = h.pop_min() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![4, 2, 3, 5, 1]);
+    }
+
+    #[test]
+    fn remove_by_key() {
+        let mut h = IndexedMinHeap::new();
+        for (k, r) in [(1u64, 5.0), (2, 1.0), (3, 3.0)] {
+            h.push(k, r);
+        }
+        assert_eq!(h.remove(&3), Some(3.0));
+        assert_eq!(h.remove(&3), None);
+        assert!(h.contains(&1));
+        assert!(!h.contains(&3));
+        assert_eq!(h.len(), 2);
+        h.check_invariants();
+        assert_eq!(h.pop_min(), Some((2, 1.0)));
+        assert_eq!(h.pop_min(), Some((1, 5.0)));
+        assert_eq!(h.pop_min(), None);
+    }
+
+    #[test]
+    fn peek_and_rank_of() {
+        let mut h = IndexedMinHeap::new();
+        assert!(h.peek_min().is_none());
+        h.push(7u64, 2.5);
+        assert_eq!(h.peek_min(), Some((7, 2.5)));
+        assert_eq!(h.rank_of(&7), Some(2.5));
+        assert_eq!(h.rank_of(&8), None);
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_push_panics() {
+        let mut h = IndexedMinHeap::new();
+        h.push(1u64, 1.0);
+        h.push(1u64, 2.0);
+    }
+
+    proptest! {
+        /// The heap agrees with a sorted-vector model under random
+        /// push/pop/remove interleavings.
+        #[test]
+        fn prop_matches_model(
+            ops in proptest::collection::vec((0u8..3, 0u64..30, 0u32..1000), 0..300),
+        ) {
+            let mut h: IndexedMinHeap<u64> = IndexedMinHeap::new();
+            let mut model: Vec<(u64, f64)> = Vec::new();
+            for (op, key, rank_raw) in ops {
+                let rank = rank_raw as f64 / 10.0;
+                match op {
+                    0 => {
+                        if !h.contains(&key) {
+                            h.push(key, rank);
+                            model.push((key, rank));
+                        }
+                    }
+                    1 => {
+                        let got = h.pop_min();
+                        if model.is_empty() {
+                            prop_assert!(got.is_none());
+                        } else {
+                            let min_rank = model
+                                .iter()
+                                .map(|&(_, r)| r)
+                                .min_by(f64::total_cmp)
+                                .unwrap();
+                            // Under rank ties any tied key is a valid pop;
+                            // the rank must match the model minimum and the
+                            // exact (key, rank) pair must exist in the model.
+                            let (gk, gr) = got.unwrap();
+                            prop_assert_eq!(gr, min_rank);
+                            let idx = model
+                                .iter()
+                                .position(|&(k, r)| k == gk && r == gr)
+                                .expect("heap popped an entry the model does not hold");
+                            model.remove(idx);
+                        }
+                    }
+                    _ => {
+                        let got = h.remove(&key);
+                        let idx = model.iter().position(|&(k, _)| k == key);
+                        match idx {
+                            Some(i) => prop_assert_eq!(got, Some(model.remove(i).1)),
+                            None => prop_assert!(got.is_none()),
+                        }
+                    }
+                }
+                h.check_invariants();
+                prop_assert_eq!(h.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Reservoir data structures: the rank-ordered indexed heap used by the
+//! weighted samplers (WSD, GPS, GPS-A) and the uniform random-pairing
+//! reservoir used by the baselines (Triest, ThinkD, WRS).
+
+pub mod heap;
+pub mod uniform;
+
+pub use heap::IndexedMinHeap;
+pub use uniform::{Admission, RpReservoir};

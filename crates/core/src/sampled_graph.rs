@@ -1,0 +1,124 @@
+//! The weighted sampled graph: reservoir edges plus their metadata.
+//!
+//! The weighted samplers (WSD, GPS, GPS-A) need, for every sampled edge,
+//! its weight (to evaluate the inclusion probability `min(1, w/τ)` at
+//! estimation time) and its arrival time (for the temporal block of the
+//! RL state). The adjacency half is what pattern enumeration runs
+//! against.
+
+use wsd_graph::{Adjacency, Edge, FxHashMap};
+
+/// Metadata stored per sampled edge.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct EdgeMeta {
+    /// The weight the edge was assigned on arrival, `w(e)`.
+    pub weight: f64,
+    /// The stream position (event index) at which the edge arrived.
+    pub time: u64,
+}
+
+/// Reservoir content as a graph: adjacency + per-edge metadata.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedSample {
+    adj: Adjacency,
+    meta: FxHashMap<Edge, EdgeMeta>,
+}
+
+impl WeightedSample {
+    /// Creates an empty sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The adjacency view (for pattern enumeration and degrees).
+    #[inline]
+    pub fn adj(&self) -> &Adjacency {
+        &self.adj
+    }
+
+    /// Number of sampled edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// True if nothing is sampled.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// True if the edge is sampled.
+    #[inline]
+    pub fn contains(&self, e: Edge) -> bool {
+        self.meta.contains_key(&e)
+    }
+
+    /// Metadata of a sampled edge.
+    #[inline]
+    pub fn meta(&self, e: Edge) -> Option<EdgeMeta> {
+        self.meta.get(&e).copied()
+    }
+
+    /// Inserts an edge with its metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is already sampled (duplicate reservoir entries
+    /// indicate a framework bug and must not be masked).
+    pub fn insert(&mut self, e: Edge, meta: EdgeMeta) {
+        let prev = self.meta.insert(e, meta);
+        assert!(prev.is_none(), "edge {e:?} inserted twice into WeightedSample");
+        self.adj.insert(e);
+    }
+
+    /// Removes an edge, returning its metadata if it was sampled.
+    pub fn remove(&mut self, e: Edge) -> Option<EdgeMeta> {
+        let meta = self.meta.remove(&e)?;
+        self.adj.remove(e);
+        Some(meta)
+    }
+
+    /// Iterates sampled edges with metadata.
+    pub fn iter(&self) -> impl Iterator<Item = (Edge, EdgeMeta)> + '_ {
+        self.meta.iter().map(|(&e, &m)| (e, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_keeps_adj_and_meta_in_sync() {
+        let mut s = WeightedSample::new();
+        let e = Edge::new(1, 2);
+        s.insert(e, EdgeMeta { weight: 2.0, time: 7 });
+        assert!(s.contains(e));
+        assert!(s.adj().contains(e));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.meta(e), Some(EdgeMeta { weight: 2.0, time: 7 }));
+        let m = s.remove(e).unwrap();
+        assert_eq!(m.time, 7);
+        assert!(!s.contains(e));
+        assert!(!s.adj().contains(e));
+        assert!(s.is_empty());
+        assert!(s.remove(e).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_panics() {
+        let mut s = WeightedSample::new();
+        let e = Edge::new(1, 2);
+        s.insert(e, EdgeMeta { weight: 1.0, time: 0 });
+        s.insert(e, EdgeMeta { weight: 1.0, time: 1 });
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut s = WeightedSample::new();
+        s.insert(Edge::new(1, 2), EdgeMeta { weight: 1.0, time: 0 });
+        s.insert(Edge::new(2, 3), EdgeMeta { weight: 2.0, time: 1 });
+        assert_eq!(s.iter().count(), 2);
+    }
+}

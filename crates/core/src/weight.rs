@@ -1,0 +1,218 @@
+//! Edge weight functions `W(e, R)` (paper §III / §IV).
+//!
+//! Three families are provided:
+//!
+//! * [`UniformWeight`] — every edge weighs 1 (turns WSD into an unweighted
+//!   priority sampler; useful as a control).
+//! * [`HeuristicWeight`] — the GPS heuristic `W(e, R) = 9·|H(e)| + 1`
+//!   used by WSD-H, where `|H(e)|` is the number of pattern instances the
+//!   edge completes against the reservoir [14].
+//! * [`LinearPolicy`] — the learned policy of WSD-L: a single linear
+//!   layer with ReLU activation and `+1` offset (paper §V-A:
+//!   *"The actor network involves one input layer and one output layer,
+//!   and uses ReLU as the activation function. We add one to the output
+//!   to avoid assigning zero weights."*), applied to features normalised
+//!   by frozen running statistics (the training-time normalisation role
+//!   of the paper's batch norm). `wsd-rl` trains these parameters and
+//!   "hardcodes" them here, exactly as the paper ports its trained
+//!   PyTorch parameters to C++.
+
+use crate::state::StateVector;
+
+/// A weight function consuming the observed state.
+///
+/// Implementations must return strictly positive, finite weights.
+pub trait WeightFn: Send {
+    /// Computes the weight of the arriving edge from its state.
+    fn weight(&mut self, state: &StateVector) -> f64;
+    /// Short name for experiment tables (e.g. `WSD-L`).
+    fn name(&self) -> &'static str;
+}
+
+/// Uniform weights: `W ≡ 1`.
+#[derive(Copy, Clone, Default, Debug)]
+pub struct UniformWeight;
+
+impl WeightFn for UniformWeight {
+    fn weight(&mut self, _state: &StateVector) -> f64 {
+        1.0
+    }
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// The GPS heuristic `W(e, R) = 9·|H(e)| + 1` (paper §V-A, WSD-H).
+#[derive(Copy, Clone, Default, Debug)]
+pub struct HeuristicWeight;
+
+impl WeightFn for HeuristicWeight {
+    fn weight(&mut self, state: &StateVector) -> f64 {
+        9.0 * state.instances() + 1.0
+    }
+    fn name(&self) -> &'static str {
+        "WSD-H"
+    }
+}
+
+/// Frozen per-feature normalisation `x ↦ (x − mean) / std`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FeatureNorm {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl FeatureNorm {
+    /// Creates a normaliser; `std` entries of 0 are treated as 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length.
+    pub fn new(mean: Vec<f64>, std: Vec<f64>) -> Self {
+        assert_eq!(mean.len(), std.len(), "mean/std dimension mismatch");
+        let std = std.into_iter().map(|s| if s > 0.0 { s } else { 1.0 }).collect();
+        Self { mean, std }
+    }
+
+    /// The identity normaliser of dimension `dim`.
+    pub fn identity(dim: usize) -> Self {
+        Self { mean: vec![0.0; dim], std: vec![1.0; dim] }
+    }
+
+    /// Dimension of the normaliser.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Per-feature means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-feature standard deviations.
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Normalises feature `i` of value `x`.
+    #[inline]
+    pub fn apply(&self, i: usize, x: f64) -> f64 {
+        (x - self.mean[i]) / self.std[i]
+    }
+}
+
+/// The learned linear policy of WSD-L:
+/// `W(e, R) = ReLU( wᵀ · norm(s) + b ) + 1`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LinearPolicy {
+    /// Linear weights, one per state dimension.
+    pub w: Vec<f64>,
+    /// Bias.
+    pub b: f64,
+    /// Frozen feature normalisation.
+    pub norm: FeatureNorm,
+}
+
+impl LinearPolicy {
+    /// Creates a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` and `norm` dimensions disagree.
+    pub fn new(w: Vec<f64>, b: f64, norm: FeatureNorm) -> Self {
+        assert_eq!(w.len(), norm.dim(), "policy/normaliser dimension mismatch");
+        Self { w, b, norm }
+    }
+
+    /// A neutral policy (all-zero weights → constant weight 1); the
+    /// starting point of training and a safe fallback.
+    pub fn neutral(dim: usize) -> Self {
+        Self { w: vec![0.0; dim], b: 0.0, norm: FeatureNorm::identity(dim) }
+    }
+
+    /// State dimension this policy expects.
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Evaluates the actor output (before any exploration noise).
+    pub fn evaluate(&self, state: &StateVector) -> f64 {
+        debug_assert_eq!(state.dim(), self.dim(), "state/policy dimension mismatch");
+        let mut z = self.b;
+        for (i, (&wi, &si)) in self.w.iter().zip(state.values()).enumerate() {
+            z += wi * self.norm.apply(i, si);
+        }
+        z.max(0.0) + 1.0
+    }
+}
+
+impl WeightFn for LinearPolicy {
+    fn weight(&mut self, state: &StateVector) -> f64 {
+        self.evaluate(state)
+    }
+    fn name(&self) -> &'static str {
+        "WSD-L"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(values: &[f64]) -> StateVector {
+        StateVector::from_values(values.to_vec())
+    }
+
+    #[test]
+    fn uniform_is_one() {
+        let mut w = UniformWeight;
+        assert_eq!(w.weight(&state(&[5.0, 1.0, 1.0, 0.0, 0.0, 0.0])), 1.0);
+        assert_eq!(w.name(), "uniform");
+    }
+
+    #[test]
+    fn heuristic_matches_paper_formula() {
+        let mut w = HeuristicWeight;
+        assert_eq!(w.weight(&state(&[0.0, 9.0, 9.0])), 1.0);
+        assert_eq!(w.weight(&state(&[3.0, 0.0, 0.0])), 28.0);
+        assert_eq!(w.name(), "WSD-H");
+    }
+
+    #[test]
+    fn linear_policy_relu_plus_one() {
+        let norm = FeatureNorm::identity(3);
+        let mut p = LinearPolicy::new(vec![1.0, 0.0, 0.0], -2.0, norm);
+        // z = 1*4 - 2 = 2 → 3
+        assert_eq!(p.weight(&state(&[4.0, 7.0, 7.0])), 3.0);
+        // z = 1*1 - 2 = -1 → ReLU → 0 → +1
+        assert_eq!(p.weight(&state(&[1.0, 7.0, 7.0])), 1.0);
+        assert_eq!(p.name(), "WSD-L");
+    }
+
+    #[test]
+    fn normalisation_is_applied() {
+        let norm = FeatureNorm::new(vec![10.0, 0.0], vec![2.0, 0.0]);
+        let p = LinearPolicy::new(vec![1.0, 1.0], 0.0, norm);
+        // Feature 0: (14-10)/2 = 2; feature 1: std 0 → treated as 1 → 3.
+        assert_eq!(p.evaluate(&state(&[14.0, 3.0])), 6.0);
+    }
+
+    #[test]
+    fn neutral_policy_is_constant_one() {
+        let p = LinearPolicy::neutral(6);
+        assert_eq!(p.evaluate(&state(&[9.0; 6])), 1.0);
+        assert_eq!(p.dim(), 6);
+    }
+
+    #[test]
+    fn weights_always_at_least_one() {
+        let p = LinearPolicy::new(vec![-5.0, -5.0], -3.0, FeatureNorm::identity(2));
+        assert_eq!(p.evaluate(&state(&[100.0, 100.0])), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let _ = LinearPolicy::new(vec![1.0], 0.0, FeatureNorm::identity(2));
+    }
+}

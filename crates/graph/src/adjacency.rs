@@ -1,0 +1,328 @@
+//! Dynamic adjacency structure shared by the samplers and the exact
+//! counter.
+//!
+//! The structure supports the three operations every algorithm in the
+//! paper performs per event: edge insert, edge delete, and neighbourhood
+//! queries (degree, membership, iteration, common-neighbour intersection).
+//! The common-neighbour intersection iterates the smaller neighbourhood
+//! and probes the larger, i.e. `O(min(deg u, deg v))` — this is the
+//! `γ(M)` term in the complexity analysis of Theorems 3/5.
+
+use crate::edge::{Edge, Vertex};
+use crate::fxhash::{FxHashMap, FxHashSet};
+
+/// A dynamic, undirected, simple-graph adjacency structure.
+///
+/// Vertices with no incident edges are pruned eagerly so the memory
+/// footprint tracks the number of live edges — important for reservoirs
+/// whose content churns over millions of events.
+#[derive(Clone, Default, Debug)]
+pub struct Adjacency {
+    adj: FxHashMap<Vertex, FxHashSet<Vertex>>,
+    num_edges: usize,
+}
+
+impl Adjacency {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for roughly `vertices` vertices.
+    pub fn with_capacity(vertices: usize) -> Self {
+        Self {
+            adj: FxHashMap::with_capacity_and_hasher(vertices, Default::default()),
+            num_edges: 0,
+        }
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of vertices with at least one incident edge.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_edges == 0
+    }
+
+    /// Inserts an edge. Returns `true` if the edge was not already present.
+    pub fn insert(&mut self, e: Edge) -> bool {
+        let (u, v) = e.endpoints();
+        let newly = self.adj.entry(u).or_default().insert(v);
+        if newly {
+            self.adj.entry(v).or_default().insert(u);
+            self.num_edges += 1;
+        }
+        newly
+    }
+
+    /// Removes an edge. Returns `true` if the edge was present.
+    pub fn remove(&mut self, e: Edge) -> bool {
+        let (u, v) = e.endpoints();
+        let removed = match self.adj.get_mut(&u) {
+            Some(set) => set.remove(&v),
+            None => false,
+        };
+        if removed {
+            if self.adj.get(&u).is_some_and(FxHashSet::is_empty) {
+                self.adj.remove(&u);
+            }
+            let set = self
+                .adj
+                .get_mut(&v)
+                .expect("adjacency symmetry violated: missing reverse entry");
+            set.remove(&u);
+            if set.is_empty() {
+                self.adj.remove(&v);
+            }
+            self.num_edges -= 1;
+        }
+        removed
+    }
+
+    /// True if the edge is present.
+    #[inline]
+    pub fn contains(&self, e: Edge) -> bool {
+        let (u, v) = e.endpoints();
+        self.adj.get(&u).is_some_and(|s| s.contains(&v))
+    }
+
+    /// True if `u` and `v` are adjacent (order-insensitive; false for `u == v`).
+    #[inline]
+    pub fn adjacent(&self, u: Vertex, v: Vertex) -> bool {
+        u != v && self.adj.get(&u).is_some_and(|s| s.contains(&v))
+    }
+
+    /// Degree of `x` (0 if unknown).
+    #[inline]
+    pub fn degree(&self, x: Vertex) -> usize {
+        self.adj.get(&x).map_or(0, FxHashSet::len)
+    }
+
+    /// Iterates the neighbours of `x`.
+    pub fn neighbors(&self, x: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.adj.get(&x).into_iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Iterates the vertices with at least one incident edge.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Iterates all live edges (each once, in canonical form).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().flat_map(|(&u, set)| {
+            set.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| Edge::new(u, v))
+        })
+    }
+
+    /// Calls `f` for each common neighbour of `u` and `v`.
+    ///
+    /// Iterates the smaller neighbourhood and probes the larger:
+    /// `O(min(deg u, deg v))` hash probes.
+    #[inline]
+    pub fn for_each_common_neighbor(&self, u: Vertex, v: Vertex, mut f: impl FnMut(Vertex)) {
+        let (Some(nu), Some(nv)) = (self.adj.get(&u), self.adj.get(&v)) else {
+            return;
+        };
+        let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+        for &w in small {
+            if large.contains(&w) {
+                f(w);
+            }
+        }
+    }
+
+    /// Collects the common neighbours of `u` and `v` into `out` (cleared
+    /// first). Using a caller-provided buffer avoids per-event allocation
+    /// in the hot enumeration loops.
+    pub fn common_neighbors_into(&self, u: Vertex, v: Vertex, out: &mut Vec<Vertex>) {
+        out.clear();
+        self.for_each_common_neighbor(u, v, |w| out.push(w));
+    }
+
+    /// Number of common neighbours of `u` and `v`.
+    pub fn common_neighbor_count(&self, u: Vertex, v: Vertex) -> usize {
+        let mut n = 0;
+        self.for_each_common_neighbor(u, v, |_| n += 1);
+        n
+    }
+
+    /// Removes all edges and vertices.
+    pub fn clear(&mut self) {
+        self.adj.clear();
+        self.num_edges = 0;
+    }
+
+    /// Debug-only structural invariant check: symmetry, no self-loops, and
+    /// the edge counter matching the stored sets.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut half_edges = 0usize;
+        for (&u, set) in &self.adj {
+            assert!(!set.is_empty(), "vertex {u} retained with empty set");
+            for &v in set {
+                assert_ne!(u, v, "self-loop stored at {u}");
+                assert!(
+                    self.adj.get(&v).is_some_and(|s| s.contains(&u)),
+                    "asymmetric edge {u}-{v}"
+                );
+            }
+            half_edges += set.len();
+        }
+        assert_eq!(half_edges % 2, 0);
+        assert_eq!(self.num_edges, half_edges / 2, "edge counter drift");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = Adjacency::new();
+        let e = Edge::new(1, 2);
+        assert!(g.insert(e));
+        assert!(!g.insert(e), "duplicate insert must report false");
+        assert!(g.contains(e));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_vertices(), 2);
+        assert!(g.remove(e));
+        assert!(!g.remove(e), "duplicate remove must report false");
+        assert!(!g.contains(e));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_vertices(), 0, "isolated vertices must be pruned");
+    }
+
+    #[test]
+    fn degree_and_neighbors() {
+        let mut g = Adjacency::new();
+        for v in [2, 3, 4] {
+            g.insert(Edge::new(1, v));
+        }
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.degree(99), 0);
+        let ns: BTreeSet<_> = g.neighbors(1).collect();
+        assert_eq!(ns, BTreeSet::from([2, 3, 4]));
+        assert_eq!(g.neighbors(99).count(), 0);
+    }
+
+    #[test]
+    fn common_neighbors() {
+        // Triangle 1-2-3 plus pendant 4 on 1.
+        let mut g = Adjacency::new();
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (1, 4)] {
+            g.insert(Edge::new(a, b));
+        }
+        let mut buf = Vec::new();
+        g.common_neighbors_into(1, 2, &mut buf);
+        assert_eq!(buf, vec![3]);
+        assert_eq!(g.common_neighbor_count(1, 2), 1);
+        assert_eq!(g.common_neighbor_count(3, 4), 1); // via 1
+        assert_eq!(g.common_neighbor_count(2, 4), 1); // via 1
+        assert_eq!(g.common_neighbor_count(1, 99), 0);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let mut g = Adjacency::new();
+        let edges = [(1, 2), (2, 3), (1, 3), (4, 5)];
+        for (a, b) in edges {
+            g.insert(Edge::new(a, b));
+        }
+        let got: BTreeSet<_> = g.edges().collect();
+        let want: BTreeSet<_> = edges.iter().map(|&(a, b)| Edge::new(a, b)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn adjacent_is_symmetric_and_loop_free() {
+        let mut g = Adjacency::new();
+        g.insert(Edge::new(1, 2));
+        assert!(g.adjacent(1, 2));
+        assert!(g.adjacent(2, 1));
+        assert!(!g.adjacent(1, 1));
+        assert!(!g.adjacent(1, 3));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = Adjacency::new();
+        g.insert(Edge::new(1, 2));
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    /// Reference model: a plain set of canonical edges.
+    #[derive(Default)]
+    struct Model(BTreeSet<Edge>);
+
+    impl Model {
+        fn degree(&self, x: Vertex) -> usize {
+            self.0.iter().filter(|e| e.touches(x)).count()
+        }
+        fn common(&self, u: Vertex, v: Vertex) -> BTreeSet<Vertex> {
+            let nbrs = |x: Vertex| -> BTreeSet<Vertex> {
+                self.0
+                    .iter()
+                    .filter(|e| e.touches(x))
+                    .map(|e| e.other(x))
+                    .collect()
+            };
+            nbrs(u).intersection(&nbrs(v)).copied().collect()
+        }
+    }
+
+    proptest! {
+        /// The adjacency structure agrees with a naive set-of-edges model
+        /// under arbitrary interleavings of inserts and removes.
+        #[test]
+        fn prop_matches_reference_model(
+            ops in proptest::collection::vec((any::<bool>(), 0u64..12, 0u64..12), 0..300),
+        ) {
+            let mut g = Adjacency::new();
+            let mut m = Model::default();
+            for (insert, a, b) in ops {
+                let Some(e) = Edge::try_new(a, b) else { continue };
+                if insert {
+                    prop_assert_eq!(g.insert(e), m.0.insert(e));
+                } else {
+                    let was = m.0.remove(&e);
+                    prop_assert_eq!(g.remove(e), was);
+                }
+            }
+            g.check_invariants();
+            prop_assert_eq!(g.num_edges(), m.0.len());
+            let got: BTreeSet<_> = g.edges().collect();
+            prop_assert_eq!(&got, &m.0);
+            for x in 0u64..12 {
+                prop_assert_eq!(g.degree(x), m.degree(x));
+            }
+            for u in 0u64..12 {
+                for v in (u + 1)..12 {
+                    let mut buf = Vec::new();
+                    g.common_neighbors_into(u, v, &mut buf);
+                    let got: BTreeSet<_> = buf.into_iter().collect();
+                    prop_assert_eq!(got, m.common(u, v));
+                }
+            }
+        }
+    }
+}

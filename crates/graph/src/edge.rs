@@ -1,0 +1,197 @@
+//! Edge and stream-event types (paper §II).
+//!
+//! A fully dynamic graph stream is a sequence `S = {s(1), s(2), ...}` where
+//! each element `s(t) = (op, e_t)` inserts (`op = +`) or deletes (`op = −`)
+//! an undirected edge. Following the paper (and every system it compares
+//! against), graphs are simple and undirected: directions, weights and
+//! self-loops in source data are dropped before streaming.
+
+use std::fmt;
+
+/// A vertex identifier.
+///
+/// Plain `u64` keeps the substrate generic enough for web-scale ids while
+/// remaining `Copy`-cheap; all hot maps use the Fx hasher from
+/// [`crate::fxhash`], for which integer keys are the fast path.
+pub type Vertex = u64;
+
+/// An undirected, canonicalised edge with no self-loops.
+///
+/// The constructor enforces the invariant `u() < v()`, so `Edge::new(a, b)`
+/// and `Edge::new(b, a)` compare and hash identically. This canonical form
+/// is what makes edges usable as reservoir keys.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    u: Vertex,
+    v: Vertex,
+}
+
+impl Edge {
+    /// Creates a canonical edge between two distinct vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loop). Use [`Edge::try_new`] for fallible
+    /// construction when consuming untrusted edge lists.
+    #[inline]
+    pub fn new(a: Vertex, b: Vertex) -> Self {
+        Self::try_new(a, b).expect("self-loops are not valid edges")
+    }
+
+    /// Creates a canonical edge, returning `None` for self-loops.
+    #[inline]
+    pub fn try_new(a: Vertex, b: Vertex) -> Option<Self> {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => Some(Self { u: a, v: b }),
+            std::cmp::Ordering::Greater => Some(Self { u: b, v: a }),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> Vertex {
+        self.u
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn v(&self) -> Vertex {
+        self.v
+    }
+
+    /// Both endpoints as `(u, v)` with `u < v`.
+    #[inline]
+    pub fn endpoints(&self) -> (Vertex, Vertex) {
+        (self.u, self.v)
+    }
+
+    /// Whether `x` is one of the endpoints.
+    #[inline]
+    pub fn touches(&self, x: Vertex) -> bool {
+        self.u == x || self.v == x
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: Vertex) -> Vertex {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of {self:?}")
+        }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.u, self.v)
+    }
+}
+
+/// Stream operation: edge insertion or deletion.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// `op = +`: the edge is added to the graph.
+    Insert,
+    /// `op = −`: the edge is removed from the graph.
+    Delete,
+}
+
+/// One element `s(t) = (op, e_t)` of a fully dynamic graph stream.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EdgeEvent {
+    /// Whether the edge is inserted or deleted.
+    pub op: Op,
+    /// The affected edge.
+    pub edge: Edge,
+}
+
+impl EdgeEvent {
+    /// Convenience constructor for an insertion event.
+    #[inline]
+    pub fn insert(edge: Edge) -> Self {
+        Self { op: Op::Insert, edge }
+    }
+
+    /// Convenience constructor for a deletion event.
+    #[inline]
+    pub fn delete(edge: Edge) -> Self {
+        Self { op: Op::Delete, edge }
+    }
+
+    /// True if this is an insertion.
+    #[inline]
+    pub fn is_insert(&self) -> bool {
+        self.op == Op::Insert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonicalisation() {
+        let e1 = Edge::new(3, 7);
+        let e2 = Edge::new(7, 3);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.u(), 3);
+        assert_eq!(e1.v(), 7);
+        assert_eq!(e1.endpoints(), (3, 7));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(Edge::try_new(5, 5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let _ = Edge::new(5, 5);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = Edge::new(1, 2);
+        assert_eq!(e.other(1), 2);
+        assert_eq!(e.other(2), 1);
+        assert!(e.touches(1));
+        assert!(e.touches(2));
+        assert!(!e.touches(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let _ = Edge::new(1, 2).other(3);
+    }
+
+    #[test]
+    fn event_constructors() {
+        let e = Edge::new(1, 2);
+        assert!(EdgeEvent::insert(e).is_insert());
+        assert!(!EdgeEvent::delete(e).is_insert());
+        assert_eq!(EdgeEvent::insert(e).edge, e);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric(a in 0u64..1000, b in 0u64..1000) {
+            prop_assume!(a != b);
+            let e1 = Edge::new(a, b);
+            let e2 = Edge::new(b, a);
+            prop_assert_eq!(e1, e2);
+            prop_assert!(e1.u() < e1.v());
+            prop_assert_eq!(e1.other(e1.u()), e1.v());
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Exact incremental subgraph counting over a fully dynamic stream.
+//!
+//! Maintains `|J(t)|` — the exact number of instances of a pattern `H`
+//! in the graph induced by the first `t` events — by counting the
+//! instances each insertion completes and each deletion destroys
+//! (paper §II; used for the RL reward `ε(t) = |c(t) − |J(t)||` of Eq. 24
+//! and for the ARE/MARE metrics of §V).
+//!
+//! Complexity per event matches the samplers' `γ` term: `O(min-degree)`
+//! for wedges/triangles, `O(common² )` for 4-cliques.
+
+use crate::adjacency::Adjacency;
+use crate::edge::{EdgeEvent, Op};
+use crate::patterns::{EnumScratch, Pattern};
+
+/// Exact `|J(t)|` tracker.
+///
+/// Feasibility of the stream (no duplicate insertions, no deletions of
+/// absent edges — assumed by the paper's problem definition) is enforced:
+/// [`ExactCounter::apply`] returns an error on infeasible events so that
+/// generator bugs surface immediately instead of silently corrupting
+/// ground truth.
+#[derive(Clone, Debug)]
+pub struct ExactCounter {
+    pattern: Pattern,
+    graph: Adjacency,
+    count: u64,
+    scratch: EnumScratch,
+    events: u64,
+}
+
+/// Error returned when a stream violates the feasibility assumption of
+/// paper §II (inserting a present edge / deleting an absent one).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InfeasibleEvent {
+    /// The offending event.
+    pub event: EdgeEvent,
+    /// Index of the event within the stream fed to this counter (0-based).
+    pub index: u64,
+}
+
+impl std::fmt::Display for InfeasibleEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let verb = match self.event.op {
+            Op::Insert => "insert of already-present",
+            Op::Delete => "delete of absent",
+        };
+        write!(
+            f,
+            "infeasible stream event #{}: {} edge {:?}",
+            self.index, verb, self.event.edge
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleEvent {}
+
+impl ExactCounter {
+    /// Creates a counter for the given pattern over an initially empty
+    /// graph.
+    pub fn new(pattern: Pattern) -> Self {
+        pattern
+            .validate()
+            .expect("invalid pattern passed to ExactCounter");
+        Self {
+            pattern,
+            graph: Adjacency::new(),
+            count: 0,
+            scratch: EnumScratch::default(),
+            events: 0,
+        }
+    }
+
+    /// The tracked pattern.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// The exact instance count after all events applied so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The current full graph.
+    pub fn graph(&self) -> &Adjacency {
+        &self.graph
+    }
+
+    /// Number of events applied so far.
+    pub fn events_applied(&self) -> u64 {
+        self.events
+    }
+
+    /// Applies one stream event, returning the updated exact count.
+    pub fn apply(&mut self, ev: EdgeEvent) -> Result<u64, InfeasibleEvent> {
+        match ev.op {
+            Op::Insert => {
+                if self.graph.contains(ev.edge) {
+                    return Err(InfeasibleEvent { event: ev, index: self.events });
+                }
+                self.count += self
+                    .pattern
+                    .count_completed(&self.graph, ev.edge, &mut self.scratch);
+                self.graph.insert(ev.edge);
+            }
+            Op::Delete => {
+                if !self.graph.remove(ev.edge) {
+                    return Err(InfeasibleEvent { event: ev, index: self.events });
+                }
+                // Instances destroyed = instances that contained the edge,
+                // i.e. instances completed by re-adding it.
+                self.count -= self
+                    .pattern
+                    .count_completed(&self.graph, ev.edge, &mut self.scratch);
+            }
+        }
+        self.events += 1;
+        Ok(self.count)
+    }
+
+    /// Applies a whole stream, returning the final exact count.
+    pub fn apply_all<I>(&mut self, events: I) -> Result<u64, InfeasibleEvent>
+    where
+        I: IntoIterator<Item = EdgeEvent>,
+    {
+        for ev in events {
+            self.apply(ev)?;
+        }
+        Ok(self.count)
+    }
+
+    /// One-shot convenience: the exact count at the end of `events`.
+    pub fn count_stream<I>(pattern: Pattern, events: I) -> Result<u64, InfeasibleEvent>
+    where
+        I: IntoIterator<Item = EdgeEvent>,
+    {
+        let mut c = Self::new(pattern);
+        c.apply_all(events)
+    }
+}
+
+/// Counts pattern instances in a static graph from scratch (no stream);
+/// useful for cross-checking the incremental counter in tests and for
+/// one-off analyses.
+pub fn count_static(pattern: Pattern, g: &Adjacency) -> u64 {
+    // Insert the graph's edges one at a time into a fresh counter.
+    let mut c = ExactCounter::new(pattern);
+    for e in g.edges() {
+        c.apply(EdgeEvent::insert(e)).expect("static graph edges are unique");
+    }
+    c.count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+    use proptest::prelude::*;
+
+    fn ev(op: Op, a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent { op, edge: Edge::new(a, b) }
+    }
+
+    #[test]
+    fn triangle_lifecycle() {
+        let mut c = ExactCounter::new(Pattern::Triangle);
+        assert_eq!(c.apply(ev(Op::Insert, 1, 2)).unwrap(), 0);
+        assert_eq!(c.apply(ev(Op::Insert, 2, 3)).unwrap(), 0);
+        assert_eq!(c.apply(ev(Op::Insert, 1, 3)).unwrap(), 1);
+        assert_eq!(c.apply(ev(Op::Insert, 3, 4)).unwrap(), 1);
+        assert_eq!(c.apply(ev(Op::Insert, 1, 4)).unwrap(), 2);
+        assert_eq!(c.apply(ev(Op::Delete, 1, 3)).unwrap(), 0);
+        assert_eq!(c.apply(ev(Op::Insert, 1, 3)).unwrap(), 2);
+        assert_eq!(c.events_applied(), 7);
+    }
+
+    #[test]
+    fn wedge_star() {
+        // Star with k leaves has C(k,2) wedges.
+        let mut c = ExactCounter::new(Pattern::Wedge);
+        for leaf in 1..=5u64 {
+            c.apply(EdgeEvent::insert(Edge::new(0, leaf))).unwrap();
+        }
+        assert_eq!(c.count(), 10);
+        c.apply(ev(Op::Delete, 0, 1)).unwrap();
+        assert_eq!(c.count(), 6);
+    }
+
+    #[test]
+    fn four_clique_k5() {
+        // K5 contains C(5,4) = 5 four-cliques.
+        let mut c = ExactCounter::new(Pattern::FourClique);
+        for a in 0..5u64 {
+            for b in (a + 1)..5 {
+                c.apply(EdgeEvent::insert(Edge::new(a, b))).unwrap();
+            }
+        }
+        assert_eq!(c.count(), 5);
+        // K5 contains exactly one 5-clique.
+        let mut g = Adjacency::new();
+        for a in 0..5u64 {
+            for b in (a + 1)..5 {
+                g.insert(Edge::new(a, b));
+            }
+        }
+        assert_eq!(count_static(Pattern::Clique(5), &g), 1);
+        assert_eq!(count_static(Pattern::Triangle, &g), 10);
+        assert_eq!(count_static(Pattern::Wedge, &g), 30);
+    }
+
+    #[test]
+    fn infeasible_events_detected() {
+        let mut c = ExactCounter::new(Pattern::Triangle);
+        c.apply(ev(Op::Insert, 1, 2)).unwrap();
+        let err = c.apply(ev(Op::Insert, 1, 2)).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.to_string().contains("already-present"));
+        let err = c.apply(ev(Op::Delete, 3, 4)).unwrap_err();
+        assert!(err.to_string().contains("absent"));
+    }
+
+    #[test]
+    fn count_stream_one_shot() {
+        let events = vec![
+            ev(Op::Insert, 1, 2),
+            ev(Op::Insert, 2, 3),
+            ev(Op::Insert, 1, 3),
+            ev(Op::Delete, 2, 3),
+        ];
+        assert_eq!(ExactCounter::count_stream(Pattern::Triangle, events).unwrap(), 0);
+    }
+
+    /// Generates a feasible random stream over a small vertex universe:
+    /// inserts when absent, deletes when present, with given probability.
+    fn feasible_stream(seed: Vec<(u64, u64, bool)>) -> Vec<EdgeEvent> {
+        let mut present = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for (a, b, want_delete) in seed {
+            let Some(e) = Edge::try_new(a, b) else { continue };
+            if present.contains(&e) {
+                if want_delete {
+                    present.remove(&e);
+                    out.push(EdgeEvent::delete(e));
+                }
+            } else if !want_delete {
+                present.insert(e);
+                out.push(EdgeEvent::insert(e));
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Incremental count equals a from-scratch recount of the final
+        /// graph at every prefix length.
+        #[test]
+        fn prop_incremental_equals_recount(
+            seed in proptest::collection::vec((0u64..10, 0u64..10, any::<bool>()), 0..120),
+        ) {
+            let events = feasible_stream(seed);
+            for p in [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique] {
+                let mut c = ExactCounter::new(p);
+                for &ev in &events {
+                    c.apply(ev).unwrap();
+                    let recount = count_static(p, c.graph());
+                    prop_assert_eq!(c.count(), recount, "pattern {:?}", p);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Persistence for trained policies — a tiny versioned text format, so
+//! policies can be trained once and shipped/reloaded (the paper
+//! "hardcodes" its trained parameters into the C++ evaluation binary;
+//! we load them from a file instead).
+//!
+//! Format (`wsd-policy v1`):
+//!
+//! ```text
+//! wsd-policy v1
+//! dim 6
+//! w 0.1 -0.2 0.3 0.4 0.5 0.6
+//! b 0.25
+//! mean 1 2 3 4 5 6
+//! std 1 1 1 1 1 1
+//! ```
+//!
+//! Floats are written with `{:?}`-style full precision (`f64` round-trips
+//! exactly through this format).
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+use wsd_core::{FeatureNorm, LinearPolicy};
+
+/// Errors from policy (de)serialisation.
+#[derive(Debug)]
+pub enum PolicyIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or numeric parse failure.
+    Format(String),
+}
+
+impl std::fmt::Display for PolicyIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyIoError::Io(e) => write!(f, "I/O error: {e}"),
+            PolicyIoError::Format(m) => write!(f, "malformed policy file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyIoError {}
+
+impl From<std::io::Error> for PolicyIoError {
+    fn from(e: std::io::Error) -> Self {
+        PolicyIoError::Io(e)
+    }
+}
+
+/// Serialises a policy to a writer.
+pub fn write_policy<W: Write>(mut w: W, p: &LinearPolicy) -> Result<(), PolicyIoError> {
+    writeln!(w, "wsd-policy v1")?;
+    writeln!(w, "dim {}", p.dim())?;
+    write_vec(&mut w, "w", &p.w)?;
+    writeln!(w, "b {:?}", p.b)?;
+    write_vec(&mut w, "mean", p.norm.mean())?;
+    write_vec(&mut w, "std", p.norm.std())?;
+    Ok(())
+}
+
+fn write_vec<W: Write>(w: &mut W, key: &str, v: &[f64]) -> Result<(), PolicyIoError> {
+    write!(w, "{key}")?;
+    for x in v {
+        write!(w, " {x:?}")?;
+    }
+    writeln!(w)?;
+    Ok(())
+}
+
+/// Deserialises a policy from a reader.
+pub fn read_policy<R: BufRead>(r: R) -> Result<LinearPolicy, PolicyIoError> {
+    let mut lines = r.lines();
+    let mut next = |what: &str| -> Result<String, PolicyIoError> {
+        lines
+            .next()
+            .ok_or_else(|| PolicyIoError::Format(format!("missing {what} line")))?
+            .map_err(PolicyIoError::from)
+    };
+    let header = next("header")?;
+    if header.trim() != "wsd-policy v1" {
+        return Err(PolicyIoError::Format(format!("unknown header {header:?}")));
+    }
+    let dim_line = next("dim")?;
+    let dim: usize = parse_kv(&dim_line, "dim")?
+        .parse()
+        .map_err(|e| PolicyIoError::Format(format!("bad dim: {e}")))?;
+    let w = parse_floats(&next("w")?, "w", dim)?;
+    let b_line = next("b")?;
+    let b: f64 = parse_kv(&b_line, "b")?
+        .parse()
+        .map_err(|e| PolicyIoError::Format(format!("bad b: {e}")))?;
+    let mean = parse_floats(&next("mean")?, "mean", dim)?;
+    let std = parse_floats(&next("std")?, "std", dim)?;
+    Ok(LinearPolicy::new(w, b, FeatureNorm::new(mean, std)))
+}
+
+fn parse_kv<'a>(line: &'a str, key: &str) -> Result<&'a str, PolicyIoError> {
+    line.strip_prefix(key)
+        .map(str::trim)
+        .ok_or_else(|| PolicyIoError::Format(format!("expected `{key} …`, got {line:?}")))
+}
+
+fn parse_floats(line: &str, key: &str, dim: usize) -> Result<Vec<f64>, PolicyIoError> {
+    let body = parse_kv(line, key)?;
+    let vals: Result<Vec<f64>, _> = body.split_whitespace().map(str::parse).collect();
+    let vals = vals.map_err(|e| PolicyIoError::Format(format!("bad float in {key}: {e}")))?;
+    if vals.len() != dim {
+        return Err(PolicyIoError::Format(format!(
+            "{key} has {} entries, expected {dim}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// Saves a policy to a file path.
+pub fn save_policy<P: AsRef<Path>>(path: P, p: &LinearPolicy) -> Result<(), PolicyIoError> {
+    let f = std::fs::File::create(path)?;
+    write_policy(std::io::BufWriter::new(f), p)
+}
+
+/// Loads a policy from a file path.
+pub fn load_policy<P: AsRef<Path>>(path: P) -> Result<LinearPolicy, PolicyIoError> {
+    let f = std::fs::File::open(path)?;
+    read_policy(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_policy() -> LinearPolicy {
+        LinearPolicy::new(
+            vec![0.1, -0.25, 3.5e-7, 4.0, 5.25, -6.125],
+            0.625,
+            FeatureNorm::new(
+                vec![1.0, 2.0, 3.0, 4.5, 5.0, 6.0],
+                vec![0.5, 1.5, 2.0, 1.0, 9.0, 3.0],
+            ),
+        )
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let p = sample_policy();
+        let mut buf = Vec::new();
+        write_policy(&mut buf, &p).unwrap();
+        let q = read_policy(buf.as_slice()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let p = sample_policy();
+        let dir = std::env::temp_dir().join("wsd-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.policy");
+        save_policy(&path, &p).unwrap();
+        let q = load_policy(&path).unwrap();
+        assert_eq!(p, q);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_policy("nope v9\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown header"));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let text = "wsd-policy v1\ndim 3\nw 1.0 2.0\nb 0.0\nmean 0 0 0\nstd 1 1 1\n";
+        let err = read_policy(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let text = "wsd-policy v1\ndim 2\nw 1.0 2.0\n";
+        let err = read_policy(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn extreme_floats_roundtrip() {
+        let p = LinearPolicy::new(
+            vec![f64::MIN_POSITIVE, 1e308],
+            -1e-300,
+            FeatureNorm::new(vec![0.0, 0.1 + 0.2], vec![1e-12, 1.0]),
+        );
+        let mut buf = Vec::new();
+        write_policy(&mut buf, &p).unwrap();
+        let q = read_policy(buf.as_slice()).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,119 @@
+//! Experience replay buffer (paper §IV-B: capacity 10 000, uniform
+//! mini-batches of N = 128).
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// One MDP transition `(s_i, a_i, r_i, s_{i+1})`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Transition {
+    /// Raw (unnormalised) state `s_i`.
+    pub state: Vec<f64>,
+    /// Executed action (the assigned weight) `a_i`.
+    pub action: f64,
+    /// Reward `r_i = ε(t_i) − ε(t_{i+1})` (Eq. 25).
+    pub reward: f64,
+    /// Raw successor state `s_{i+1}`.
+    pub next_state: Vec<f64>,
+}
+
+/// A fixed-capacity ring buffer of transitions with uniform sampling.
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    buf: Vec<Transition>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self { capacity, buf: Vec::with_capacity(capacity.min(1 << 20)), next: 0 }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Inserts a transition, overwriting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(t);
+        } else {
+            self.buf[self.next] = t;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut SmallRng) -> Vec<&'a Transition> {
+        assert!(!self.buf.is_empty(), "cannot sample from an empty replay buffer");
+        (0..n).map(|_| &self.buf[rng.random_range(0..self.buf.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition { state: vec![r], action: 1.0, reward: r, next_state: vec![r] }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut b = ReplayBuffer::new(3);
+        assert!(b.is_empty());
+        b.push(t(1.0));
+        b.push(t(2.0));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut b = ReplayBuffer::new(2);
+        b.push(t(1.0));
+        b.push(t(2.0));
+        b.push(t(3.0)); // overwrites t(1.0)
+        assert_eq!(b.len(), 2);
+        let rewards: Vec<f64> = b.buf.iter().map(|x| x.reward).collect();
+        assert_eq!(rewards, vec![3.0, 2.0]);
+        b.push(t(4.0)); // overwrites t(2.0)
+        let rewards: Vec<f64> = b.buf.iter().map(|x| x.reward).collect();
+        assert_eq!(rewards, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn sampling_covers_buffer() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(t(i as f64));
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let batch = b.sample(1000, &mut rng);
+        assert_eq!(batch.len(), 1000);
+        let distinct: std::collections::BTreeSet<i64> =
+            batch.iter().map(|t| t.reward as i64).collect();
+        assert_eq!(distinct.len(), 10, "uniform sampling should hit all slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay")]
+    fn sampling_empty_panics() {
+        let b = ReplayBuffer::new(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = b.sample(1, &mut rng);
+    }
+}

@@ -1,0 +1,69 @@
+//! Test/diagnostic helpers: run single environment episodes with a fixed
+//! (non-learning) agent and expose their reward structure. Used by the
+//! Eq. (26) telescoping tests and available for ad-hoc analysis; not part
+//! of the supported API surface.
+#![doc(hidden)]
+
+use crate::ddpg::{Ddpg, DdpgConfig};
+use crate::env::{ActorBridge, RewardScale, WsdEnv};
+use std::sync::{Arc, Mutex};
+use wsd_core::TemporalPooling;
+use wsd_graph::Pattern;
+use wsd_stream::EventStream;
+
+fn bridge(state_dim: usize, seed: u64) -> Arc<Mutex<ActorBridge>> {
+    Arc::new(Mutex::new(ActorBridge {
+        // No exploration noise: the episode is driven by the (fixed)
+        // initial actor, so rewards are reproducible.
+        agent: Ddpg::new(state_dim, DdpgConfig { noise_std: 0.0, ..Default::default() }, seed),
+        last: None,
+        explore: false,
+    }))
+}
+
+/// Runs one episode with Raw (Eq. 25) rewards; returns
+/// `(Σ rewards, ε at last insertion, ε at first insertion)`.
+pub fn run_episode_raw(
+    stream: EventStream,
+    pattern: Pattern,
+    capacity: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let b = bridge(pattern.num_edges() + 3, seed);
+    let mut env = WsdEnv::new(
+        stream,
+        pattern,
+        capacity,
+        TemporalPooling::Max,
+        b,
+        RewardScale::Raw,
+        seed,
+    );
+    let mut sum = 0.0;
+    while let Some(t) = env.next_transition() {
+        sum += t.reward;
+    }
+    (
+        sum,
+        env.current_error().expect("episode had at least one insertion"),
+        env.first_error().expect("episode had at least one insertion"),
+    )
+}
+
+/// Runs one episode and returns every reward, under the given scaling.
+pub fn episode_rewards(
+    stream: EventStream,
+    pattern: Pattern,
+    capacity: usize,
+    seed: u64,
+    scale: RewardScale,
+) -> Vec<f64> {
+    let b = bridge(pattern.num_edges() + 3, seed);
+    let mut env =
+        WsdEnv::new(stream, pattern, capacity, TemporalPooling::Max, b, scale, seed);
+    let mut out = Vec::new();
+    while let Some(t) = env.next_transition() {
+        out.push(t.reward);
+    }
+    out
+}

@@ -1,0 +1,68 @@
+//! Eq. (26) of the paper: with undiscounted, unscaled rewards the
+//! episode return telescopes, `Σ r_k = ε(t_1) − ε(t_N) = −ε(t_N)`
+//! (the estimate is exact while the reservoir is below capacity, so
+//! ε(t_1) = 0). This pins the environment's reward wiring to the paper's
+//! objective: maximising return ⇔ minimising the final estimation error.
+
+use wsd_graph::Pattern;
+use wsd_rl::env::RewardScale;
+use wsd_rl::test_support::run_episode_raw;
+use wsd_stream::gen::GeneratorConfig;
+use wsd_stream::Scenario;
+
+#[test]
+fn episode_return_telescopes_to_final_error() {
+    let edges = GeneratorConfig::HolmeKim {
+        vertices: 250,
+        edges_per_vertex: 5,
+        triad_prob: 0.6,
+    }
+    .generate(13);
+    let stream = Scenario::default_light().apply(&edges, 13);
+    // A small budget so the estimate genuinely drifts from the truth.
+    let (reward_sum, final_eps, first_eps) =
+        run_episode_raw(stream, Pattern::Triangle, 120, 7);
+    assert_eq!(first_eps, 0.0, "estimate must be exact before the reservoir fills");
+    assert!(
+        (reward_sum - (first_eps - final_eps)).abs() < 1e-6,
+        "Σ rewards = {reward_sum} but ε(t_1) − ε(t_N) = {}",
+        first_eps - final_eps
+    );
+    assert!(final_eps > 0.0, "a 120-edge budget should not be exact");
+}
+
+#[test]
+fn relative_scaling_preserves_reward_signs() {
+    // The Relative mode divides each reward by max(1, truth): signs (and
+    // hence the improvement structure) must match Raw mode.
+    let edges = GeneratorConfig::HolmeKim {
+        vertices: 200,
+        edges_per_vertex: 4,
+        triad_prob: 0.5,
+    }
+    .generate(17);
+    let stream = Scenario::default_light().apply(&edges, 17);
+    let raw = wsd_rl::test_support::episode_rewards(
+        stream.clone(),
+        Pattern::Triangle,
+        90,
+        5,
+        RewardScale::Raw,
+    );
+    let rel = wsd_rl::test_support::episode_rewards(
+        stream,
+        Pattern::Triangle,
+        90,
+        5,
+        RewardScale::Relative,
+    );
+    assert_eq!(raw.len(), rel.len());
+    for (a, b) in raw.iter().zip(&rel) {
+        assert_eq!(
+            a.signum(),
+            b.signum(),
+            "scaling must not flip reward signs ({a} vs {b})"
+        );
+    }
+    assert!(raw.iter().any(|&r| r != 0.0), "episode should have non-zero rewards");
+}

@@ -1,0 +1,86 @@
+//! Barabási–Albert preferential attachment (citation-graph stand-in).
+//!
+//! Vertices arrive one at a time and attach to `m` distinct existing
+//! vertices chosen with probability proportional to degree. Degrees are
+//! sampled in O(1) with the classic *endpoint list* trick: every endpoint
+//! of every edge is appended to a vector, and a uniform draw from that
+//! vector is a degree-proportional draw of a vertex.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use wsd_graph::{Edge, Vertex};
+
+/// Generates a BA graph with `n` vertices and `m` attachments per vertex.
+///
+/// The seed graph is a complete graph on `m + 1` vertices, so the output
+/// has `C(m+1, 2) + (n − m − 1)·m` edges for `n > m + 1`.
+pub fn generate(n: u64, m: usize, rng: &mut SmallRng) -> Vec<Edge> {
+    assert!(m >= 1, "edges_per_vertex must be ≥ 1");
+    let m0 = (m as u64 + 1).min(n);
+    let mut edges: Vec<Edge> = Vec::with_capacity(m * n as usize);
+    let mut endpoints: Vec<Vertex> = Vec::with_capacity(2 * m * n as usize);
+    // Seed: complete graph on the first m0 vertices.
+    for a in 0..m0 {
+        for b in (a + 1)..m0 {
+            edges.push(Edge::new(a, b));
+            endpoints.push(a);
+            endpoints.push(b);
+        }
+    }
+    let mut targets: Vec<Vertex> = Vec::with_capacity(m);
+    for v in m0..n {
+        targets.clear();
+        // Draw m distinct degree-proportional targets.
+        let mut guard = 0usize;
+        while targets.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push(Edge::new(v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wsd_graph::FxHashMap;
+
+    #[test]
+    fn edge_count_formula() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (n, m) = (500u64, 4usize);
+        let edges = generate(n, m, &mut rng);
+        let expected = (m * (m + 1)) / 2 + (n as usize - m - 1) * m;
+        assert_eq!(edges.len(), expected);
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        // Preferential attachment should give the early hubs far larger
+        // degree than the median vertex.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let edges = generate(2000, 3, &mut rng);
+        let mut deg: FxHashMap<Vertex, usize> = FxHashMap::default();
+        for e in &edges {
+            *deg.entry(e.u()).or_default() += 1;
+            *deg.entry(e.v()).or_default() += 1;
+        }
+        let mut degrees: Vec<usize> = deg.values().copied().collect();
+        degrees.sort_unstable();
+        let median = degrees[degrees.len() / 2];
+        let max = *degrees.last().unwrap();
+        assert!(
+            max >= 10 * median,
+            "expected heavy tail, got median {median} max {max}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Erdős–Rényi `G(n, m)` generator (test/benchmark baseline).
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use wsd_graph::{Edge, FxHashSet};
+
+/// Generates `m` distinct uniform random edges over `n` vertices.
+///
+/// The requested edge count is clamped to the maximum simple-graph size
+/// `n·(n−1)/2`. Rejection sampling is used; for the sparse graphs this
+/// repository works with, collisions are rare.
+pub fn generate(n: u64, m: usize, rng: &mut SmallRng) -> Vec<Edge> {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = (n as u128 * (n as u128 - 1) / 2).min(usize::MAX as u128) as usize;
+    let m = m.min(max_edges);
+    let mut seen: FxHashSet<Edge> = FxHashSet::default();
+    let mut out = Vec::with_capacity(m);
+    while out.len() < m {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if let Some(e) = Edge::try_new(a, b) {
+            if seen.insert(e) {
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let edges = generate(50, 100, &mut rng);
+        assert_eq!(edges.len(), 100);
+    }
+
+    #[test]
+    fn clamps_to_complete_graph() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let edges = generate(5, 1000, &mut rng);
+        assert_eq!(edges.len(), 10); // K5
+    }
+}

@@ -1,0 +1,89 @@
+//! Exact-count timelines: the ground truth `|J(t)|` against which every
+//! estimator is scored (ARE/MARE, §V-A) and from which the RL reward
+//! `r_k = ε(t_k) − ε(t_{k+1})` is derived (Eq. 25).
+
+use crate::EventStream;
+use wsd_graph::{ExactCounter, Pattern};
+
+/// The exact count after **every** event of a stream.
+///
+/// Computing the timeline once per (stream, pattern) and sharing it
+/// across algorithms and repetitions keeps the evaluation harness cheap:
+/// the exact counter is the most expensive component for dense patterns.
+#[derive(Clone, Debug)]
+pub struct TruthTimeline {
+    counts: Vec<u64>,
+}
+
+impl TruthTimeline {
+    /// Runs the exact counter over the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is infeasible (generator bug).
+    pub fn compute(pattern: Pattern, stream: &EventStream) -> Self {
+        let mut counter = ExactCounter::new(pattern);
+        let mut counts = Vec::with_capacity(stream.len());
+        for &ev in stream {
+            let c = counter.apply(ev).expect("streams fed to TruthTimeline must be feasible");
+            counts.push(c);
+        }
+        Self { counts }
+    }
+
+    /// The exact count after event `t` (0-based). `t = len() - 1` is the
+    /// end of the stream.
+    #[inline]
+    pub fn at(&self, t: usize) -> u64 {
+        self.counts[t]
+    }
+
+    /// The exact count at the end of the stream (0 for empty streams).
+    pub fn final_count(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
+    }
+
+    /// Number of events covered.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if the stream was empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The full per-event series (for plotting/export).
+    pub fn series(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsd_graph::{Edge, EdgeEvent};
+
+    #[test]
+    fn timeline_matches_manual_counts() {
+        let stream = vec![
+            EdgeEvent::insert(Edge::new(1, 2)),
+            EdgeEvent::insert(Edge::new(2, 3)),
+            EdgeEvent::insert(Edge::new(1, 3)),
+            EdgeEvent::delete(Edge::new(2, 3)),
+        ];
+        let t = TruthTimeline::compute(Pattern::Triangle, &stream);
+        assert_eq!(t.series(), &[0, 0, 1, 0]);
+        assert_eq!(t.at(2), 1);
+        assert_eq!(t.final_count(), 0);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_stream_timeline() {
+        let t = TruthTimeline::compute(Pattern::Wedge, &Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.final_count(), 0);
+    }
+}

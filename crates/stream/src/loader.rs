@@ -1,0 +1,119 @@
+//! Edge-list loader for user-supplied real datasets.
+//!
+//! Accepts the whitespace-separated `u v` format used by SNAP and
+//! networkrepository.com (the paper's data source). Per the paper's
+//! preprocessing (§V-A): directions are ignored (edges canonicalised),
+//! weights and any extra columns are ignored, self-loops are dropped, and
+//! duplicate edges are dropped (first occurrence kept, preserving the
+//! file's natural order).
+
+use std::io::BufRead;
+use std::path::Path;
+use wsd_graph::{Edge, FxHashSet};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line where the first two columns were not integers.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::Parse { line, content } => {
+                write!(f, "line {line}: expected two integer vertex ids, got {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses an edge list from any reader. Lines starting with `#` or `%`
+/// are comments; blank lines are skipped.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<Vec<Edge>, LoadError> {
+    let mut seen: FxHashSet<Edge> = FxHashSet::default();
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(LoadError::Parse { line: idx + 1, content: trimmed.to_string() });
+        };
+        let (Ok(a), Ok(b)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+            return Err(LoadError::Parse { line: idx + 1, content: trimmed.to_string() });
+        };
+        if let Some(e) = Edge::try_new(a, b) {
+            if seen.insert(e) {
+                out.push(e);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Loads an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Vec<Edge>, LoadError> {
+    let file = std::fs::File::open(path)?;
+    parse_edge_list(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_format() {
+        let data = "# comment\n% another\n1 2\n2 3 77\n\n3 1\n";
+        let edges = parse_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(edges, vec![Edge::new(1, 2), Edge::new(2, 3), Edge::new(1, 3)]);
+    }
+
+    #[test]
+    fn drops_self_loops_and_duplicates() {
+        let data = "1 1\n1 2\n2 1\n1 2\n";
+        let edges = parse_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(edges, vec![Edge::new(1, 2)]);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let data = "1 2\nfoo bar\n";
+        let err = parse_edge_list(data.as_bytes()).unwrap_err();
+        match err {
+            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let err = parse_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_edge_list("/nonexistent/definitely/missing.txt").unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+}

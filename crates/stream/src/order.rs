@@ -1,0 +1,170 @@
+//! Stream orderings (paper §V-B(3), following the Triest paper).
+//!
+//! * **Natural** — the order in which the generator (or dataset) emits
+//!   edges, i.e. temporal growth order. This is the default everywhere.
+//! * **UAR** — a uniform random permutation of the natural order.
+//! * **RBFS** — random breadth-first search: start from a random vertex
+//!   and emit edges in the order a BFS exploration discovers them (an
+//!   edge is emitted when its *later* endpoint is reached; restart from a
+//!   random unvisited vertex per component). Models e.g. a celebrity
+//!   joining a platform and followers connecting in a short burst.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+use wsd_graph::{Adjacency, Edge, FxHashMap, FxHashSet, Vertex};
+
+/// A stream ordering.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Ordering {
+    /// Generator (temporal) order.
+    Natural,
+    /// Uniform-at-random permutation.
+    Uar,
+    /// Random-BFS exploration order.
+    Rbfs,
+}
+
+impl Ordering {
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ordering::Natural => "Natural",
+            Ordering::Uar => "UAR",
+            Ordering::Rbfs => "RBFS",
+        }
+    }
+
+    /// Reorders an edge list according to this ordering.
+    pub fn apply(&self, edges: &[Edge], seed: u64) -> Vec<Edge> {
+        match self {
+            Ordering::Natural => edges.to_vec(),
+            Ordering::Uar => {
+                let mut out = edges.to_vec();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                // Fisher–Yates.
+                for i in (1..out.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    out.swap(i, j);
+                }
+                out
+            }
+            Ordering::Rbfs => rbfs(edges, seed),
+        }
+    }
+
+    /// All orderings, in the order Figure 2(a) reports them.
+    pub fn all() -> [Ordering; 3] {
+        [Ordering::Natural, Ordering::Uar, Ordering::Rbfs]
+    }
+}
+
+fn rbfs(edges: &[Edge], seed: u64) -> Vec<Edge> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Adjacency::new();
+    for &e in edges {
+        g.insert(e);
+    }
+    // Random vertex order for tie-breaking and restarts.
+    let mut verts: Vec<Vertex> = g.vertices().collect();
+    verts.sort_unstable(); // make iteration order independent of hash map
+    for i in (1..verts.len()).rev() {
+        let j = rng.random_range(0..=i);
+        verts.swap(i, j);
+    }
+    let mut visited: FxHashSet<Vertex> = FxHashSet::default();
+    let mut emitted: FxHashSet<Edge> = FxHashSet::default();
+    let mut order: Vec<Edge> = Vec::with_capacity(edges.len());
+    let mut queue: VecDeque<Vertex> = VecDeque::new();
+    // Deterministic neighbour iteration: pre-sort adjacency lists.
+    let mut adj: FxHashMap<Vertex, Vec<Vertex>> = FxHashMap::default();
+    for &v in &verts {
+        let mut ns: Vec<Vertex> = g.neighbors(v).collect();
+        ns.sort_unstable();
+        adj.insert(v, ns);
+    }
+    for &start in &verts {
+        if visited.contains(&start) {
+            continue;
+        }
+        visited.insert(start);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &w in &adj[&u] {
+                let e = Edge::new(u, w);
+                if emitted.insert(e) {
+                    order.push(e);
+                }
+                if visited.insert(w) {
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), edges.len());
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GeneratorConfig;
+    use std::collections::BTreeSet;
+
+    fn edges() -> Vec<Edge> {
+        GeneratorConfig::ForestFire { vertices: 300, forward_prob: 0.35 }.generate(5)
+    }
+
+    fn as_set(v: &[Edge]) -> BTreeSet<Edge> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn orderings_are_permutations() {
+        let es = edges();
+        for o in Ordering::all() {
+            let reordered = o.apply(&es, 11);
+            assert_eq!(reordered.len(), es.len(), "{}", o.name());
+            assert_eq!(as_set(&reordered), as_set(&es), "{}", o.name());
+        }
+    }
+
+    #[test]
+    fn natural_is_identity() {
+        let es = edges();
+        assert_eq!(Ordering::Natural.apply(&es, 1), es);
+    }
+
+    #[test]
+    fn uar_and_rbfs_differ_from_natural() {
+        let es = edges();
+        assert_ne!(Ordering::Uar.apply(&es, 1), es);
+        assert_ne!(Ordering::Rbfs.apply(&es, 1), es);
+    }
+
+    #[test]
+    fn orderings_are_deterministic() {
+        let es = edges();
+        for o in [Ordering::Uar, Ordering::Rbfs] {
+            assert_eq!(o.apply(&es, 4), o.apply(&es, 4), "{}", o.name());
+        }
+    }
+
+    #[test]
+    fn rbfs_expands_frontier() {
+        // In an RBFS order, each edge (beyond the component seeds) must
+        // touch a previously seen vertex — that is the BFS property.
+        let es = edges();
+        let order = Ordering::Rbfs.apply(&es, 13);
+        let mut seen: BTreeSet<Vertex> = BTreeSet::new();
+        let mut violations = 0usize;
+        for e in &order {
+            if !seen.is_empty() && !seen.contains(&e.u()) && !seen.contains(&e.v()) {
+                violations += 1; // allowed only at component restarts
+            }
+            seen.insert(e.u());
+            seen.insert(e.v());
+        }
+        assert!(violations < 5, "too many frontier violations: {violations}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Fully dynamic stream construction (paper §V-A).
+//!
+//! Two deletion regimes turn an ordered edge list into a fully dynamic
+//! stream:
+//!
+//! * **Massive deletion** (from the Triest paper): edges are inserted in
+//!   order, but each insertion is followed with probability `α` by a
+//!   *massive deletion event* in which every edge currently in the graph
+//!   is deleted independently with probability `βm`.
+//! * **Light deletion** (from the WRS paper): edges are inserted in
+//!   order, and each edge is independently selected for deletion with
+//!   probability `βl`; the deletion is placed at a uniformly random
+//!   position after the corresponding insertion.
+//!
+//! Both constructions produce *feasible* streams (paper §II): an edge is
+//! only deleted while present and only inserted while absent.
+
+use crate::EventStream;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use wsd_graph::{Edge, EdgeEvent};
+
+/// A deletion scenario with its parameters.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum Scenario {
+    /// No deletions.
+    InsertOnly,
+    /// Massive deletion: trigger probability `alpha` per insertion,
+    /// per-edge deletion probability `beta_m` per trigger.
+    Massive {
+        /// Probability that an insertion is followed by a massive
+        /// deletion event. The paper uses `α = 1/3 000 000` on multi-
+        /// million-edge streams (≈ a handful of events per stream); keep
+        /// `α·|E|` comparable when scaling down.
+        alpha: f64,
+        /// Probability that each live edge is deleted during a massive
+        /// deletion event (paper default 0.8).
+        beta_m: f64,
+    },
+    /// Light deletion: each edge is deleted with probability `beta_l` at
+    /// a random later position (paper default 0.2).
+    Light {
+        /// Per-edge deletion probability.
+        beta_l: f64,
+    },
+}
+
+impl Scenario {
+    /// The paper's default massive-deletion scenario, with `α` scaled so
+    /// that the expected number of massive events on a stream of
+    /// `num_edges` insertions stays in the paper's per-dataset range.
+    /// With the paper's fixed `α = 1/3 000 000`, its graphs experienced
+    /// wildly different burst counts: ≈ 1 (com-YT), ≈ 1.7 (web-GL),
+    /// ≈ 5.5 (cit-PT), ≈ 88 (soc-TW). We scale to an expected 2 bursts —
+    /// the calibration of its mid-sized datasets — because at laptop
+    /// scale every burst permanently thins all reservoirs while leaving
+    /// only thousands (not millions) of live instances to estimate from.
+    pub fn default_massive(num_edges: usize) -> Self {
+        Scenario::Massive { alpha: 2.0 / num_edges.max(1) as f64, beta_m: 0.8 }
+    }
+
+    /// The paper's default light-deletion scenario (`βl = 0.2`).
+    pub fn default_light() -> Self {
+        Scenario::Light { beta_l: 0.2 }
+    }
+
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::InsertOnly => "insert-only",
+            Scenario::Massive { .. } => "massive",
+            Scenario::Light { .. } => "light",
+        }
+    }
+
+    /// Builds the fully dynamic event stream from an ordered edge list.
+    pub fn apply(&self, edges: &[Edge], seed: u64) -> EventStream {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match *self {
+            Scenario::InsertOnly => edges.iter().copied().map(EdgeEvent::insert).collect(),
+            Scenario::Massive { alpha, beta_m } => massive(edges, alpha, beta_m, &mut rng),
+            Scenario::Light { beta_l } => light(edges, beta_l, &mut rng),
+        }
+    }
+}
+
+fn massive(edges: &[Edge], alpha: f64, beta_m: f64, rng: &mut SmallRng) -> EventStream {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be a probability");
+    assert!((0.0..=1.0).contains(&beta_m), "beta_m must be a probability");
+    let mut out: EventStream = Vec::with_capacity(edges.len());
+    // Live edges in insertion order; position map would be overkill — a
+    // massive event rewrites the whole set anyway and events are rare.
+    let mut live: Vec<Edge> = Vec::new();
+    for &e in edges {
+        out.push(EdgeEvent::insert(e));
+        live.push(e);
+        if rng.random_range(0.0..1.0) < alpha {
+            let mut survivors = Vec::with_capacity(live.len());
+            for &le in &live {
+                if rng.random_range(0.0..1.0) < beta_m {
+                    out.push(EdgeEvent::delete(le));
+                } else {
+                    survivors.push(le);
+                }
+            }
+            live = survivors;
+        }
+    }
+    out
+}
+
+fn light(edges: &[Edge], beta_l: f64, rng: &mut SmallRng) -> EventStream {
+    assert!((0.0..=1.0).contains(&beta_l), "beta_l must be a probability");
+    // Sort key: insertion i gets key i; a deletion of edge i gets a
+    // uniform key in (i, n). Sorting by key yields a feasible stream with
+    // deletions at uniform later positions.
+    let n = edges.len();
+    let mut keyed: Vec<(f64, EdgeEvent)> = Vec::with_capacity(n + n / 4);
+    for (i, &e) in edges.iter().enumerate() {
+        keyed.push((i as f64, EdgeEvent::insert(e)));
+        if rng.random_range(0.0..1.0) < beta_l {
+            let key: f64 = rng.random_range(i as f64..n as f64);
+            // Clamp strictly after the insertion's integer key.
+            keyed.push((key.max(i as f64 + 0.5), EdgeEvent::delete(e)));
+        }
+    }
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("keys are finite"));
+    keyed.into_iter().map(|(_, ev)| ev).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GeneratorConfig;
+    use wsd_graph::{ExactCounter, Op, Pattern};
+
+    fn edges() -> Vec<Edge> {
+        GeneratorConfig::BarabasiAlbert { vertices: 400, edges_per_vertex: 3 }.generate(17)
+    }
+
+    fn assert_feasible(stream: &EventStream) {
+        // ExactCounter::apply errors on infeasible events.
+        let mut c = ExactCounter::new(Pattern::Wedge);
+        for &ev in stream {
+            c.apply(ev).expect("stream must be feasible");
+        }
+    }
+
+    #[test]
+    fn insert_only_is_identity() {
+        let es = edges();
+        let stream = Scenario::InsertOnly.apply(&es, 1);
+        assert_eq!(stream.len(), es.len());
+        assert!(stream.iter().all(|ev| ev.is_insert()));
+        assert_feasible(&stream);
+    }
+
+    #[test]
+    fn massive_scenario_is_feasible_and_deletes_in_bursts() {
+        let es = edges();
+        let scenario = Scenario::Massive { alpha: 10.0 / es.len() as f64, beta_m: 0.8 };
+        let stream = scenario.apply(&es, 7);
+        assert_feasible(&stream);
+        let deletions = stream.iter().filter(|ev| ev.op == Op::Delete).count();
+        assert!(deletions > 0, "expected at least one massive event");
+        // Deletions arrive in consecutive runs (bursts).
+        let mut max_run = 0usize;
+        let mut run = 0usize;
+        for ev in &stream {
+            if ev.op == Op::Delete {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(max_run > 10, "massive deletions should be bursty, max run {max_run}");
+    }
+
+    #[test]
+    fn light_scenario_deletion_fraction() {
+        let es = edges();
+        let stream = Scenario::default_light().apply(&es, 3);
+        assert_feasible(&stream);
+        let deletions = stream.iter().filter(|ev| ev.op == Op::Delete).count();
+        let frac = deletions as f64 / es.len() as f64;
+        assert!(
+            (frac - 0.2).abs() < 0.05,
+            "≈20% of edges should be deleted, got {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let es = edges();
+        let s = Scenario::default_light();
+        assert_eq!(s.apply(&es, 9), s.apply(&es, 9));
+        assert_ne!(s.apply(&es, 9), s.apply(&es, 10));
+    }
+
+    #[test]
+    fn default_massive_scales_alpha() {
+        match Scenario::default_massive(1000) {
+            Scenario::Massive { alpha, beta_m } => {
+                assert!((alpha - 0.002).abs() < 1e-12);
+                assert_eq!(beta_m, 0.8);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn zero_probabilities_are_noops() {
+        let es = edges();
+        let m = Scenario::Massive { alpha: 0.0, beta_m: 0.8 }.apply(&es, 1);
+        assert!(m.iter().all(|ev| ev.is_insert()));
+        let l = Scenario::Light { beta_l: 0.0 }.apply(&es, 1);
+        assert!(l.iter().all(|ev| ev.is_insert()));
+    }
+}

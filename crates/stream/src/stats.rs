@@ -1,0 +1,87 @@
+//! Summary statistics of event streams (used for Table I and sanity
+//! checks).
+
+use crate::EventStream;
+use wsd_graph::{Adjacency, Op};
+
+/// Aggregate statistics of a fully dynamic stream.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct StreamStats {
+    /// Total number of events `|S|`.
+    pub events: usize,
+    /// Number of insertion events `|A|`.
+    pub insertions: usize,
+    /// Number of deletion events `|D|`.
+    pub deletions: usize,
+    /// Edges alive at the end of the stream.
+    pub final_edges: usize,
+    /// Vertices with ≥ 1 incident edge at the end of the stream.
+    pub final_vertices: usize,
+    /// Maximum number of live edges at any prefix.
+    pub peak_edges: usize,
+}
+
+impl StreamStats {
+    /// Computes statistics in a single pass.
+    pub fn compute(stream: &EventStream) -> Self {
+        let mut g = Adjacency::new();
+        let mut s = StreamStats { events: stream.len(), ..Default::default() };
+        for ev in stream {
+            match ev.op {
+                Op::Insert => {
+                    s.insertions += 1;
+                    g.insert(ev.edge);
+                }
+                Op::Delete => {
+                    s.deletions += 1;
+                    g.remove(ev.edge);
+                }
+            }
+            s.peak_edges = s.peak_edges.max(g.num_edges());
+        }
+        s.final_edges = g.num_edges();
+        s.final_vertices = g.num_vertices();
+        s
+    }
+
+    /// Deletion ratio `|D| / |S|`.
+    pub fn deletion_ratio(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.deletions as f64 / self.events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsd_graph::{Edge, EdgeEvent};
+
+    #[test]
+    fn counts_match() {
+        let e1 = Edge::new(1, 2);
+        let e2 = Edge::new(2, 3);
+        let stream = vec![
+            EdgeEvent::insert(e1),
+            EdgeEvent::insert(e2),
+            EdgeEvent::delete(e1),
+        ];
+        let s = StreamStats::compute(&stream);
+        assert_eq!(s.events, 3);
+        assert_eq!(s.insertions, 2);
+        assert_eq!(s.deletions, 1);
+        assert_eq!(s.final_edges, 1);
+        assert_eq!(s.final_vertices, 2);
+        assert_eq!(s.peak_edges, 2);
+        assert!((s.deletion_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = StreamStats::compute(&Vec::new());
+        assert_eq!(s, StreamStats::default());
+        assert_eq!(s.deletion_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: estimate triangle counts on a fully dynamic graph stream
+//! with a fixed memory budget, and compare against the exact count.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wsd::prelude::*;
+
+fn main() {
+    // 1. A dynamic graph: a social-style synthetic graph whose edges
+    //    arrive in natural (growth) order, with 20% of them deleted at
+    //    random later positions — the paper's light-deletion scenario.
+    let edges = GeneratorConfig::HolmeKim {
+        vertices: 4_000,
+        edges_per_vertex: 6,
+        triad_prob: 0.6,
+    }
+    .generate(1);
+    let events = Scenario::default_light().apply(&edges, 1);
+    println!("stream: {} events ({} edge insertions)", events.len(), edges.len());
+
+    // 2. Build three estimators under the same 5% memory budget.
+    let budget = edges.len() / 20;
+    let mut counters: Vec<Box<dyn SubgraphCounter>> =
+        [Algorithm::WsdH, Algorithm::ThinkD, Algorithm::Triest]
+            .into_iter()
+            .map(|alg| CounterConfig::new(Pattern::Triangle, budget, 42).build(alg))
+            .collect();
+
+    // 3. Single pass over the stream; every estimator sees every event.
+    let mut exact = ExactCounter::new(Pattern::Triangle);
+    for &ev in &events {
+        for c in &mut counters {
+            c.process(ev);
+        }
+        exact.apply(ev).expect("generated streams are feasible");
+    }
+
+    // 4. Report.
+    let truth = exact.count() as f64;
+    println!("exact triangle count: {truth}");
+    for c in &counters {
+        let are = (c.estimate() - truth).abs() / truth * 100.0;
+        println!(
+            "{:>8}: estimate {:>12.1}  (ARE {:.2}%, {} edges stored)",
+            c.name(),
+            c.estimate(),
+            are,
+            c.stored_edges()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # wsd — RL-enhanced weighted sampling for subgraph counting on fully
+//! dynamic graph streams
+//!
+//! A from-scratch Rust implementation of *"Reinforcement Learning
+//! Enhanced Weighted Sampling for Accurate Subgraph Counting on Fully
+//! Dynamic Graph Streams"* (ICDE 2023): the **WSD** weighted sampling
+//! framework with its unbiased estimator, the **WSD-L** DDPG-learned
+//! weight function, the GPS/GPS-A precursors, and the uniform baselines
+//! (Triest-FD, ThinkD, WRS) it is evaluated against — plus the full
+//! substrate (graph structures, pattern enumeration, exact counting,
+//! stream generators, deletion scenarios) and an experiment harness
+//! regenerating every table and figure of the paper.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `wsd-graph` | edges, events, adjacency, patterns, exact counts |
+//! | [`stream`] | `wsd-stream` | generators, scenarios, orderings, datasets |
+//! | [`core`] | `wsd-core` | WSD, GPS, GPS-A, Triest, ThinkD, WRS |
+//! | [`rl`] | `wsd-rl` | DDPG, replay, training, policy persistence |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wsd::prelude::*;
+//!
+//! // A fully dynamic stream: a Holme–Kim graph with 20% of edges later
+//! // deleted (the paper's light-deletion scenario).
+//! let edges = GeneratorConfig::HolmeKim {
+//!     vertices: 500, edges_per_vertex: 4, triad_prob: 0.5,
+//! }.generate(7);
+//! let events = Scenario::default_light().apply(&edges, 7);
+//!
+//! // Estimate the triangle count with WSD under a 500-edge budget…
+//! let mut counter = CounterConfig::new(Pattern::Triangle, 500, 42)
+//!     .build(Algorithm::WsdH);
+//! counter.process_all(&events);
+//!
+//! // …and compare with the exact count. (A single run on a tiny graph
+//! // is noisy — the estimator is *unbiased*, not low-variance; see the
+//! // statistical tests in `crates/core/tests/unbiasedness.rs`.)
+//! let truth = ExactCounter::count_stream(Pattern::Triangle, events).unwrap();
+//! let are = (counter.estimate() - truth as f64).abs() / truth as f64;
+//! assert!(are < 0.8, "budgeted estimate should be in the ballpark");
+//! ```
+
+#![warn(missing_docs)]
+
+/// Graph substrate: edges, events, adjacency, patterns, exact counting.
+pub use wsd_graph as graph;
+
+/// Stream substrate: generators, deletion scenarios, orderings, datasets.
+pub use wsd_stream as stream;
+
+/// Sampling algorithms: WSD and every baseline, behind `SubgraphCounter`.
+pub use wsd_core as core;
+
+/// Reinforcement learning: DDPG training of WSD-L weight policies.
+pub use wsd_rl as rl;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use wsd_core::{
+        Algorithm, CounterConfig, LinearPolicy, SubgraphCounter, TemporalPooling, WeightFn,
+    };
+    pub use wsd_graph::{Adjacency, Edge, EdgeEvent, ExactCounter, Op, Pattern, Vertex};
+    pub use wsd_rl::{load_policy, save_policy, train, TrainerConfig};
+    pub use wsd_stream::{gen::GeneratorConfig, EventStream, Scenario, TruthTimeline};
+}
