@@ -11,8 +11,8 @@ use wsd_stream::gen::GeneratorConfig;
 fn sampled_graph() -> (Adjacency, Vec<Edge>) {
     // A BA graph: heavy-tailed degrees stress the common-neighbour
     // intersection exactly like a reservoir over a real stream.
-    let edges = GeneratorConfig::BarabasiAlbert { vertices: 3_000, edges_per_vertex: 6 }
-        .generate(11);
+    let edges =
+        GeneratorConfig::BarabasiAlbert { vertices: 3_000, edges_per_vertex: 6 }.generate(11);
     let mut g = Adjacency::new();
     let (probe, keep) = edges.split_at(edges.len() / 10);
     for e in keep {
@@ -25,12 +25,7 @@ fn bench_patterns(c: &mut Criterion) {
     let (g, probes) = sampled_graph();
     let mut group = c.benchmark_group("patterns/count_completed");
     group.throughput(Throughput::Elements(probes.len() as u64));
-    for pattern in [
-        Pattern::Wedge,
-        Pattern::Triangle,
-        Pattern::FourClique,
-        Pattern::Clique(5),
-    ] {
+    for pattern in [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique, Pattern::Clique(5)] {
         group.bench_function(pattern.name(), |b| {
             let mut scratch = EnumScratch::default();
             b.iter(|| {

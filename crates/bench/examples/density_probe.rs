@@ -3,18 +3,54 @@ use wsd_stream::gen::GeneratorConfig;
 fn tri(cfg: GeneratorConfig, name: &str) {
     let edges = cfg.generate(1);
     let mut g = Adjacency::new();
-    for e in &edges { g.insert(*e); }
+    for e in &edges {
+        g.insert(*e);
+    }
     let t = wsd_graph::exact::count_static(Pattern::Triangle, &g);
     println!("{name}: |E|={} T={} T/E={:.1}", edges.len(), t, t as f64 / edges.len() as f64);
 }
 fn main() {
-    tri(GeneratorConfig::HolmeKim{vertices:8000, edges_per_vertex:8, triad_prob:0.35}, "HK m8 t.35 n8k (cit now)");
-    tri(GeneratorConfig::HolmeKim{vertices:12000, edges_per_vertex:10, triad_prob:0.6}, "HK m10 t.6 n12k");
-    tri(GeneratorConfig::HolmeKim{vertices:10000, edges_per_vertex:8, triad_prob:0.7}, "HK m8 t.7 n10k (soc now)");
-    tri(GeneratorConfig::HolmeKim{vertices:12000, edges_per_vertex:12, triad_prob:0.85}, "HK m12 t.85 n12k");
-    tri(GeneratorConfig::Community{vertices:12000, intra_links:5, inter_links:1, new_community_prob:0.012}, "COM i5 n12k (now)");
-    tri(GeneratorConfig::Community{vertices:12000, intra_links:8, inter_links:1, new_community_prob:0.006}, "COM i8 ncp.006 n12k");
-    tri(GeneratorConfig::Copying{vertices:8000, out_degree:8, copy_prob:0.6}, "COPY d8 c.6 n8k (now)");
-    tri(GeneratorConfig::Copying{vertices:10000, out_degree:10, copy_prob:0.8}, "COPY d10 c.8 n10k");
-    tri(GeneratorConfig::ForestFire{vertices:10000, forward_prob:0.5}, "FF p.5 n10k (now)");
+    tri(
+        GeneratorConfig::HolmeKim { vertices: 8000, edges_per_vertex: 8, triad_prob: 0.35 },
+        "HK m8 t.35 n8k (cit now)",
+    );
+    tri(
+        GeneratorConfig::HolmeKim { vertices: 12000, edges_per_vertex: 10, triad_prob: 0.6 },
+        "HK m10 t.6 n12k",
+    );
+    tri(
+        GeneratorConfig::HolmeKim { vertices: 10000, edges_per_vertex: 8, triad_prob: 0.7 },
+        "HK m8 t.7 n10k (soc now)",
+    );
+    tri(
+        GeneratorConfig::HolmeKim { vertices: 12000, edges_per_vertex: 12, triad_prob: 0.85 },
+        "HK m12 t.85 n12k",
+    );
+    tri(
+        GeneratorConfig::Community {
+            vertices: 12000,
+            intra_links: 5,
+            inter_links: 1,
+            new_community_prob: 0.012,
+        },
+        "COM i5 n12k (now)",
+    );
+    tri(
+        GeneratorConfig::Community {
+            vertices: 12000,
+            intra_links: 8,
+            inter_links: 1,
+            new_community_prob: 0.006,
+        },
+        "COM i8 ncp.006 n12k",
+    );
+    tri(
+        GeneratorConfig::Copying { vertices: 8000, out_degree: 8, copy_prob: 0.6 },
+        "COPY d8 c.6 n8k (now)",
+    );
+    tri(
+        GeneratorConfig::Copying { vertices: 10000, out_degree: 10, copy_prob: 0.8 },
+        "COPY d10 c.8 n10k",
+    );
+    tri(GeneratorConfig::ForestFire { vertices: 10000, forward_prob: 0.5 }, "FF p.5 n10k (now)");
 }

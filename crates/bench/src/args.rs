@@ -173,8 +173,18 @@ mod tests {
     #[test]
     fn flags_parse() {
         let a = parse(&[
-            "--reps", "7", "--scale", "0.5", "--scenario", "light", "--pattern", "wedge",
-            "--csv", "/tmp/x.csv", "--seed", "9",
+            "--reps",
+            "7",
+            "--scale",
+            "0.5",
+            "--scenario",
+            "light",
+            "--pattern",
+            "wedge",
+            "--csv",
+            "/tmp/x.csv",
+            "--seed",
+            "9",
         ])
         .unwrap();
         assert_eq!(a.reps, 7);

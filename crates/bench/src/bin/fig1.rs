@@ -20,15 +20,10 @@ fn main() {
     let args = Args::parse();
     let pattern = Pattern::Triangle;
     // Forest-Fire at p = 0.5 yields ≈ 5–8 edges per vertex.
-    let base_sizes: &[usize] = if args.quick {
-        &[2_000, 10_000]
-    } else {
-        &[10_000, 50_000, 100_000, 500_000, 1_000_000]
-    };
-    let sizes: Vec<usize> = base_sizes
-        .iter()
-        .map(|&s| ((s as f64 * args.scale) as usize).max(1000))
-        .collect();
+    let base_sizes: &[usize] =
+        if args.quick { &[2_000, 10_000] } else { &[10_000, 50_000, 100_000, 500_000, 1_000_000] };
+    let sizes: Vec<usize> =
+        base_sizes.iter().map(|&s| ((s as f64 * args.scale) as usize).max(1000)).collect();
     let max_edges = *sizes.last().unwrap();
     let capacity = (max_edges / 100).max(50); // 1% of the largest stream
     let policy = train_or_load(
@@ -42,8 +37,13 @@ fn main() {
     )
     .policy;
     let mut t = Table::new(&[
-        "|S| (edges)", "events", "WSD-L ARE(%)", "WSD-H ARE(%)", "WSD-L time(s)",
-        "WSD-H time(s)", "WSD-L µs/event",
+        "|S| (edges)",
+        "events",
+        "WSD-L ARE(%)",
+        "WSD-H ARE(%)",
+        "WSD-L time(s)",
+        "WSD-H time(s)",
+        "WSD-L µs/event",
     ]);
     t.section(&format!(
         "Scalability, {} deletion scenario, M = {capacity} (1% of max)",

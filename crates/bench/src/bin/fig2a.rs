@@ -31,10 +31,7 @@ fn main() {
     header.extend(Algorithm::paper_table_set().iter().map(|a| a.name().to_string()));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&header_refs);
-    t.section(&format!(
-        "cit-PT triangle ARE (%), {} deletion scenario",
-        args.scenario
-    ));
+    t.section(&format!("cit-PT triangle ARE (%), {} deletion scenario", args.scenario));
     for ordering in Ordering::all() {
         eprintln!("ordering {}…", ordering.name());
         let reordered = ordering.apply(&edges, args.seed ^ 0x0BD);

@@ -33,8 +33,7 @@ fn main() {
     )
     .policy;
     // Mean weight per edge across repetitions of WSD-L.
-    let acc: Arc<Mutex<FxHashMap<Edge, (f64, u64)>>> =
-        Arc::new(Mutex::new(FxHashMap::default()));
+    let acc: Arc<Mutex<FxHashMap<Edge, (f64, u64)>>> = Arc::new(Mutex::new(FxHashMap::default()));
     for rep in 0..args.reps as u64 {
         eprintln!("weight-collection rep {rep}…");
         let mut counter = WsdCounter::new(
@@ -76,10 +75,7 @@ fn main() {
         sums[b].1 += 1;
     }
     let mut t = Table::new(&["#triangles containing edge", "edges", "mean learned weight"]);
-    t.section(&format!(
-        "cit-PT, {} deletion scenario, {} reps of WSD-L",
-        args.scenario, args.reps
-    ));
+    t.section(&format!("cit-PT, {} deletion scenario, {} reps of WSD-L", args.scenario, args.reps));
     for ((lo, hi), (wsum, n)) in buckets.iter().zip(&sums) {
         if *n == 0 {
             continue;

@@ -38,9 +38,7 @@ fn main() {
             // β applied to the training streams too.
             let train_edges = train.edges_scaled(args.scale).len();
             let train_scenario = match kind {
-                "massive" => {
-                    Scenario::Massive { alpha: 5.0 / train_edges as f64, beta_m: beta }
-                }
+                "massive" => Scenario::Massive { alpha: 5.0 / train_edges as f64, beta_m: beta },
                 _ => Scenario::Light { beta_l: beta },
             };
             let policy = train_custom(

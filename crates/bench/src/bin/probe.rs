@@ -13,7 +13,14 @@ fn main() {
     let args = Args::parse();
     let pattern = args.pattern.unwrap_or(Pattern::Triangle);
     let mut t = Table::new(&[
-        "Graph", "|E|", "events", "dels", "peak truth", "final truth", "final/peak", "M",
+        "Graph",
+        "|E|",
+        "events",
+        "dels",
+        "peak truth",
+        "final truth",
+        "final/peak",
+        "M",
     ]);
     t.section(&format!(
         "{} under {} deletion (after endpoint truncation)",

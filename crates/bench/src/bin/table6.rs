@@ -49,18 +49,15 @@ fn main() {
             run_cell(spec, &workload, capacity, args.seed, args.reps, args.time_reps)
         })
         .collect();
-    t.section(&format!(
-        "cit-PT, insertion-only ({} events, M = {capacity})",
-        workload.len()
-    ));
-    t.row(std::iter::once("ARE (%)".to_string())
-        .chain(cells.iter().map(|c| pct(c.are)))
-        .collect());
-    t.row(std::iter::once("MARE (%)".to_string())
-        .chain(cells.iter().map(|c| pct(c.mare)))
-        .collect());
-    t.row(std::iter::once("Time (s)".to_string())
-        .chain(cells.iter().map(|c| secs(c.seconds)))
-        .collect());
+    t.section(&format!("cit-PT, insertion-only ({} events, M = {capacity})", workload.len()));
+    t.row(std::iter::once("ARE (%)".to_string()).chain(cells.iter().map(|c| pct(c.are))).collect());
+    t.row(
+        std::iter::once("MARE (%)".to_string()).chain(cells.iter().map(|c| pct(c.mare))).collect(),
+    );
+    t.row(
+        std::iter::once("Time (s)".to_string())
+            .chain(cells.iter().map(|c| secs(c.seconds)))
+            .collect(),
+    );
     t.emit("Table VI: insertion-only scenario, cit-PT", args.csv.as_deref());
 }

@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use crate::policies::{capacity_for, scenario_by_kind, train_or_load, train_or_load_pooled};
-use crate::runner::{run_cell, AlgoSpec, Workload};
+use crate::runner::{run_cell, run_grid, AlgoSpec, Workload};
 use crate::table::{pct, secs, Table};
 use wsd_core::{Algorithm, TemporalPooling};
 use wsd_graph::Pattern;
@@ -18,9 +18,7 @@ pub const FOUR_CLIQUE_EXCLUDES: &[&str] = &["soc-TW"];
 pub fn comparison_table(pattern: Pattern, args: &Args) -> Table {
     let pairs: Vec<DatasetPair> = registry()
         .into_iter()
-        .filter(|p| {
-            pattern != Pattern::FourClique || !FOUR_CLIQUE_EXCLUDES.contains(&p.test.name)
-        })
+        .filter(|p| pattern != Pattern::FourClique || !FOUR_CLIQUE_EXCLUDES.contains(&p.test.name))
         .collect();
     let mut header = vec!["Graph".to_string()];
     header.extend(Algorithm::paper_table_set().iter().map(|a| a.name().to_string()));
@@ -44,20 +42,18 @@ pub fn comparison_table(pattern: Pattern, args: &Args) -> Table {
             args.no_cache,
         )
         .policy;
-        let mut row = Vec::new();
-        for alg in Algorithm::paper_table_set() {
-            let spec = match alg {
+        // The whole algorithm row goes through the engine grid: each
+        // cell's repetitions run as a parallel ensemble of seeded
+        // replicas over the shared workload.
+        let specs: Vec<AlgoSpec> = Algorithm::paper_table_set()
+            .into_iter()
+            .map(|alg| match alg {
                 Algorithm::WsdL => AlgoSpec::wsd_l(policy.clone()),
                 other => AlgoSpec::new(other),
-            };
-            eprintln!(
-                "[{}] running {} ({} events, M = {capacity})…",
-                pair.test.name,
-                spec.label(),
-                workload.len()
-            );
-            row.push(run_cell(&spec, &workload, capacity, args.seed, args.reps, args.time_reps));
-        }
+            })
+            .collect();
+        eprintln!("[{}] running {} algorithms…", pair.test.name, specs.len());
+        let row = run_grid(&specs, &workload, capacity, args.seed, args.reps, args.time_reps);
         cells.push(row);
         names.push(pair.test.name.to_string());
     }
@@ -88,10 +84,8 @@ pub fn comparison_table(pattern: Pattern, args: &Args) -> Table {
 /// the same protocol completes in seconds — the *ratios* across datasets
 /// and patterns are the comparable signal.
 pub fn training_time_table(args: &Args) -> Table {
-    let pairs: Vec<DatasetPair> = registry()
-        .into_iter()
-        .filter(|p| p.test.name != "synthetic")
-        .collect();
+    let pairs: Vec<DatasetPair> =
+        registry().into_iter().filter(|p| p.test.name != "synthetic").collect();
     let mut header = vec!["Pattern H".to_string()];
     header.extend(pairs.iter().map(|p| p.train.name.to_string()));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -125,11 +119,8 @@ pub fn transfer_table(args: &Args) -> Table {
     let pattern = Pattern::Triangle;
     let pairs = registry();
     let train_specs: Vec<_> = pairs.iter().map(|p| p.train).collect();
-    let test_specs: Vec<_> = pairs
-        .iter()
-        .filter(|p| p.test.name != "synthetic")
-        .map(|p| p.test)
-        .collect();
+    let test_specs: Vec<_> =
+        pairs.iter().filter(|p| p.test.name != "synthetic").map(|p| p.test).collect();
     let mut header = vec!["(Training)".to_string()];
     header.extend(train_specs.iter().map(|s| s.name.to_string()));
     header.push("WSD-H".to_string());
@@ -170,14 +161,8 @@ pub fn transfer_table(args: &Args) -> Table {
             );
             row.push(pct(cell.are));
         }
-        let cell = run_cell(
-            &AlgoSpec::new(Algorithm::WsdH),
-            &workload,
-            capacity,
-            args.seed,
-            args.reps,
-            0,
-        );
+        let cell =
+            run_cell(&AlgoSpec::new(Algorithm::WsdH), &workload, capacity, args.seed, args.reps, 0);
         row.push(pct(cell.are));
         table.row(row);
     }
@@ -199,11 +184,7 @@ pub fn ablation_table(args: &Args) -> Table {
             let capacity = capacity_for(edges.len(), pattern);
             let mut row = vec![pair.test.name.to_string()];
             for pooling in [TemporalPooling::Max, TemporalPooling::Avg] {
-                eprintln!(
-                    "[{}] WSD-L ({}) under {scenario_kind}…",
-                    pair.test.name,
-                    pooling.name()
-                );
+                eprintln!("[{}] WSD-L ({}) under {scenario_kind}…", pair.test.name, pooling.name());
                 let policy = train_or_load_pooled(
                     &pair.train,
                     args.scale,

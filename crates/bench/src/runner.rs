@@ -1,10 +1,17 @@
 //! Experiment execution: build a workload once, run every algorithm over
-//! it with repeated seeds (parallel across threads for accuracy, serial
-//! for timing), and aggregate ARE/MARE/runtime.
+//! it with repeated seeds, and aggregate ARE/MARE/runtime.
+//!
+//! All repetition grids run through the engine layer of `wsd-core`:
+//! accuracy repetitions execute as an [`Ensemble`] (independently seeded
+//! replicas on a thread pool, results slotted by replica index so output
+//! never depends on scheduling), and every stream pass — including the
+//! serial timing passes — ingests events in batches through a
+//! [`BatchDriver`].
 
 use crate::metrics::{are, mean_std, MareAccumulator};
 use std::sync::Arc;
 use std::time::Instant;
+use wsd_core::engine::{BatchDriver, Ensemble};
 use wsd_core::{Algorithm, CounterConfig, LinearPolicy, SubgraphCounter, TemporalPooling};
 use wsd_graph::Pattern;
 use wsd_stream::{EventStream, Scenario, TruthTimeline};
@@ -68,8 +75,7 @@ impl Workload {
             .rposition(|&c| c as f64 >= floor)
             .expect("peak above threshold implies a valid endpoint");
         stream.truncate(eval_at + 1);
-        let truth: Vec<f64> =
-            timeline.series()[..=eval_at].iter().map(|&c| c as f64).collect();
+        let truth: Vec<f64> = timeline.series()[..=eval_at].iter().map(|&c| c as f64).collect();
         let stride = (stream.len() / 200).max(1);
         Self {
             stream: Arc::new(stream),
@@ -161,25 +167,36 @@ impl AlgoSpec {
     }
 }
 
-/// Runs one accuracy repetition: processes the stream, sampling MARE at
-/// the workload's checkpoint stride.
+/// Runs one accuracy repetition: ingests the stream in batches of the
+/// workload's checkpoint stride, sampling MARE at every batch boundary.
+///
+/// Checkpoint positions are the historical per-event protocol's — event
+/// indices `0, stride, 2·stride, …` plus the final event — obtained by
+/// processing the first event as its own batch, so MARE columns stay
+/// comparable across the engine refactor.
 pub fn run_once(spec: &AlgoSpec, w: &Workload, capacity: usize, seed: u64) -> RunResult {
     let mut counter = spec.build(w.pattern, capacity, seed);
     let mut mare = MareAccumulator::new(w.mare_floor);
-    for (i, &ev) in w.stream.iter().enumerate() {
-        counter.process(ev);
-        if i % w.stride == 0 || i + 1 == w.stream.len() {
-            mare.record(counter.estimate(), w.truth[i]);
-        }
+    let truth = &w.truth;
+    if let Some(head) = w.stream.get(..1) {
+        counter.process_batch(head);
+        mare.record(counter.estimate(), truth[0]);
+        BatchDriver::with_batch_size(w.stride).run_with_checkpoints(
+            counter.as_mut(),
+            &w.stream[1..],
+            &mut |consumed, counter| {
+                // `consumed` counts tail events; the last processed
+                // absolute event index is exactly `consumed`.
+                mare.record(counter.estimate(), truth[consumed]);
+            },
+        );
     }
-    RunResult {
-        are: are(counter.estimate(), w.final_truth()),
-        mare: mare.value(),
-    }
+    RunResult { are: are(counter.estimate(), w.final_truth()), mare: mare.value() }
 }
 
-/// Runs `reps` accuracy repetitions (parallel over available threads)
-/// and `time_reps` serial timing passes.
+/// Runs `reps` accuracy repetitions as an engine ensemble (seed `i` is
+/// `base_seed + i`, results in replica order regardless of threading)
+/// and `time_reps` serial batched timing passes.
 pub fn run_cell(
     spec: &AlgoSpec,
     w: &Workload,
@@ -188,41 +205,48 @@ pub fn run_cell(
     reps: usize,
     time_reps: usize,
 ) -> CellResult {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let results: Vec<RunResult> = if threads <= 1 || reps <= 1 {
-        (0..reps)
-            .map(|r| run_once(spec, w, capacity, base_seed.wrapping_add(r as u64)))
-            .collect()
+    // `reps == 0` is a timing-only cell: skip the accuracy ensemble
+    // (mean_std of an empty slice is (0, 0)).
+    let results: Vec<RunResult> = if reps == 0 {
+        Vec::new()
     } else {
-        let mut out: Vec<Option<RunResult>> = vec![None; reps];
-        std::thread::scope(|scope| {
-            for (chunk_idx, chunk) in out.chunks_mut(reps.div_ceil(threads)).enumerate() {
-                let spec = &*spec;
-                let w = &*w;
-                scope.spawn(move || {
-                    let start = chunk_idx * reps.div_ceil(threads);
-                    for (i, slot) in chunk.iter_mut().enumerate() {
-                        let seed = base_seed.wrapping_add((start + i) as u64);
-                        *slot = Some(run_once(spec, w, capacity, seed));
-                    }
-                });
-            }
-        });
-        out.into_iter().map(|r| r.expect("all repetitions filled")).collect()
+        Ensemble::new(reps).with_base_seed(base_seed).map(|seed| run_once(spec, w, capacity, seed))
     };
     let (are, are_std) = mean_std(&results.iter().map(|r| r.are).collect::<Vec<_>>());
     let (mare, _) = mean_std(&results.iter().map(|r| r.mare).collect::<Vec<_>>());
     // Timing: serial full passes without checkpoint bookkeeping.
+    let driver = BatchDriver::new();
     let mut times = Vec::with_capacity(time_reps);
     for r in 0..time_reps {
         let mut counter = spec.build(w.pattern, capacity, base_seed.wrapping_add(7000 + r as u64));
         let start = Instant::now();
-        counter.process_all(&w.stream);
+        driver.run(counter.as_mut(), &w.stream);
         times.push(start.elapsed().as_secs_f64());
         std::hint::black_box(counter.estimate());
     }
     let (seconds, _) = mean_std(&times);
     CellResult { are, are_std, mare, seconds }
+}
+
+/// Runs a whole algorithm row through the engine: one [`CellResult`] per
+/// spec, each cell's repetitions executing as a parallel ensemble. The
+/// drivers behind the paper's comparison tables iterate (datasets ×
+/// algorithms × seeds) through this single entry point.
+pub fn run_grid(
+    specs: &[AlgoSpec],
+    w: &Workload,
+    capacity: usize,
+    base_seed: u64,
+    reps: usize,
+    time_reps: usize,
+) -> Vec<CellResult> {
+    specs
+        .iter()
+        .map(|spec| {
+            eprintln!("  running {} ({} events, M = {capacity})…", spec.label(), w.len());
+            run_cell(spec, w, capacity, base_seed, reps, time_reps)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -271,8 +295,7 @@ mod tests {
         // Same seeds → same per-rep results regardless of threading.
         let w = Workload::build(&edges(), Scenario::default_light(), Pattern::Triangle, 3);
         let spec = AlgoSpec::new(Algorithm::WsdH);
-        let serial: Vec<RunResult> =
-            (0..4).map(|r| run_once(&spec, &w, 100, 50 + r)).collect();
+        let serial: Vec<RunResult> = (0..4).map(|r| run_once(&spec, &w, 100, 50 + r)).collect();
         let cell = run_cell(&spec, &w, 100, 50, 4, 1);
         let mean_serial = serial.iter().map(|r| r.are).sum::<f64>() / 4.0;
         assert!((cell.are - mean_serial).abs() < 1e-12);

@@ -1,0 +1,240 @@
+//! Vendored, offline stand-in for the `criterion` crate.
+//!
+//! Keeps the macro and builder surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, throughput
+//! annotations, batched iteration) but replaces the statistical engine
+//! with a simple median-of-samples timer: each benchmark runs a short
+//! warm-up to calibrate the per-sample iteration count, then reports the
+//! median per-iteration time (and derived throughput) on stdout.
+//!
+//! Good enough to compare variants within one run on one machine — the
+//! only use this workspace has for microbenchmarks.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: scales reported per-iteration time into an
+/// elements- or bytes-per-second figure.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to hold in memory for batched iteration.
+/// (Informational in this harness: every batch size runs setup once per
+/// measured iteration, outside the timed region.)
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    target_sample_time: Duration,
+    /// Median per-iteration time of the last `iter`/`iter_batched` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self { samples, target_sample_time: Duration::from_millis(40), last_median: Duration::ZERO }
+    }
+
+    /// Times `routine`, called in a loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many iterations fit in the target sample time?
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(25));
+        let iters =
+            (self.target_sample_time.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as usize;
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup cost is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(3);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, self.throughput, f);
+    }
+
+    /// Ends the group (reporting is per-benchmark in this harness).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, sample_size: 10, _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.into(), 10, None, f);
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    let per_iter = b.last_median;
+    let mut line = format!("{id:<55} {:>12}", format_duration(per_iter));
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:>14.3} Melem/s", n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:>14.3} MiB/s", n as f64 / secs / (1 << 20) as f64));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("compat_smoke");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || (0..100u64).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            );
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(format_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

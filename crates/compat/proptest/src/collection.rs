@@ -1,0 +1,51 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: a fixed size or a size range.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn draw(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn draw(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.rng.random_range(self.clone())
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.rng.random_range(self.clone())
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.draw(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s whose elements come from `element` and whose
+/// length is drawn from `len` (a fixed `usize` or a `usize` range).
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,217 @@
+//! Vendored, offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the subset this workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! range and tuple strategies, [`collection::vec`], `any::<T>()`, and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from crates.io proptest, by design:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via `Debug`
+//!   in the assertion message) and the deterministic case number, which
+//!   is enough to reproduce: case generation is seeded by the test name,
+//!   so reruns replay the identical sequence.
+//! * **Rejection via `prop_assume!` skips the case** without counting it
+//!   against the case budget bookkeeping (no global rejection cap).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The imports `use proptest::prelude::*` is expected to provide.
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_name(x in 0u64..100, (a, b) in (0u8..4, 0u8..4)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::test_runner::run_property_test(
+                    &config,
+                    stringify!($name),
+                    |__proptest_rng| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )+
+                        let __proptest_result: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                        __proptest_result
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Rejects the current case (counts as a skip, not a failure) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = TestRng::for_test("range_strategies");
+        for _ in 0..1000 {
+            let x = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let (a, b) = (0u8..2, 10usize..=12).generate(&mut rng);
+            assert!(a < 2);
+            assert!((10..=12).contains(&b));
+            let v = crate::collection::vec(0u32..5, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 5));
+            let flag: bool = any::<bool>().generate(&mut rng);
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(
+            xs in crate::collection::vec((any::<bool>(), 0u64..10), 0..20),
+            (a, b) in (0u64..5, 0u64..5),
+        ) {
+            prop_assume!(a + b < 10);
+            prop_assert!(xs.len() < 20);
+            for (flag, v) in xs {
+                prop_assert!(v < 10, "value {v} out of range (flag {flag})");
+            }
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(5u64, 6u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failing_property_panics_with_case_info() {
+        crate::test_runner::run_property_test(
+            &ProptestConfig::with_cases(5),
+            "always_fails",
+            |_| Err(TestCaseError::fail("nope".to_string())),
+        );
+    }
+}

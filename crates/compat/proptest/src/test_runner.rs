@@ -1,0 +1,100 @@
+//! The property-test driver: configuration, the per-test RNG, and the
+//! case loop.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Test-runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    /// Rejections (`prop_assume!`) skip the case; failures fail the test.
+    is_rejection: bool,
+}
+
+impl TestCaseError {
+    /// A hard failure: the property is violated.
+    pub fn fail(message: String) -> Self {
+        Self { message, is_rejection: false }
+    }
+
+    /// A rejection: the generated inputs do not satisfy the assumptions.
+    pub fn reject(message: &str) -> Self {
+        Self { message: message.to_string(), is_rejection: true }
+    }
+}
+
+/// The RNG handed to strategies. Deterministically seeded from the test
+/// name, so every run of a given test replays the same case sequence.
+pub struct TestRng {
+    pub(crate) rng: SmallRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic RNG for `test_name`.
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the name: stable across platforms and runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { rng: SmallRng::seed_from_u64(h) }
+    }
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure. Rejected cases (via `prop_assume!`) are retried with fresh
+/// inputs, up to a global cap.
+pub fn run_property_test(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::for_test(test_name);
+    let max_rejects = 8 * config.cases.max(64);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(e) if e.is_rejection => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property `{test_name}`: too many rejected cases \
+                     ({rejected}); last: {}",
+                    e.message
+                );
+            }
+            Err(e) => panic!(
+                "property `{test_name}` failed at case {attempt} \
+                 (minimal failing input not computed; rerun replays the \
+                 same deterministic sequence): {}",
+                e.message
+            ),
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! This workspace builds in fully offline environments, so instead of the
+//! crates.io `rand` it vendors the *exact* API surface its samplers use:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, deterministic PRNG
+//!   (xoshiro256++, seeded through SplitMix64).
+//! * [`SeedableRng::seed_from_u64`] — deterministic seeding.
+//! * [`RngExt::random_range`] — uniform sampling from integer and float
+//!   ranges (half-open and inclusive).
+//!
+//! Determinism contract: for a fixed seed the output stream is a pure
+//! function of the call sequence, stable across platforms and builds —
+//! every reproducibility test in the workspace (same-seed reruns,
+//! batch/sequential equivalence, ensemble determinism) relies on this.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words. Object-safe.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`]. (The crates.io `rand` calls this `Rng`; the workspace
+/// was written against the `RngExt` spelling.)
+pub trait RngExt: RngCore {
+    /// Samples uniformly from `range`.
+    ///
+    /// Integer ranges use the widening-multiply method (bias < 2⁻⁶⁴,
+    /// irrelevant at the workspace's statistical tolerances); float
+    /// ranges map 53 random mantissa bits onto `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` via widening multiply.
+#[inline]
+fn mul_shift(x: u64, span: u64) -> u64 {
+    ((u128::from(x) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every word is valid.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(mul_shift(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+/// 53-bit uniform in `[0, 1)`.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let x = self.start + unit_f64(rng) * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; fold back inside.
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let x = self.start + (unit_f64(rng) as f32) * (self.end - self.start);
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 step — used to expand a 64-bit seed into state.
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A small, fast, deterministic PRNG: xoshiro256++ (Blackman &
+    /// Vigna), the same family the crates.io `SmallRng` uses on 64-bit
+    /// targets. Not cryptographically secure — statistical quality only.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let different = (0..10).any(|_| {
+            SmallRng::seed_from_u64(42).random_range(0u64..u64::MAX)
+                != c.random_range(0u64..u64::MAX)
+        });
+        assert!(different, "distinct seeds must produce distinct streams");
+    }
+
+    #[test]
+    fn integer_ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(5usize..17);
+            assert!((5..17).contains(&x));
+            let y = rng.random_range(0u64..=3);
+            assert!(y <= 3);
+            let z = rng.random_range(-4i64..4);
+            assert!((-4..4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_range_is_half_open_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        for _ in 0..100_000 {
+            let x = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+            min = min.min(x);
+            max = max.max(x);
+        }
+        assert!(min < 0.01 && max > 0.99, "samples should cover the interval");
+        let neg = rng.random_range(-2.0..2.0);
+        assert!((-2.0..2.0).contains(&neg));
+    }
+
+    #[test]
+    fn integer_sampling_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 10.0;
+            assert!(
+                (f64::from(c) - expected).abs() < 0.05 * expected,
+                "bucket count {c} deviates from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = rng.random_range(5u64..5);
+    }
+}

@@ -40,6 +40,8 @@ pub struct GpsCounter {
     acc: StateAccumulator,
     weight_fn: Box<dyn WeightFn>,
     rng: SmallRng,
+    /// Pre-drawn `u` variates for batched processing (reused scratch).
+    u_buf: Vec<f64>,
 }
 
 impl GpsCounter {
@@ -48,12 +50,7 @@ impl GpsCounter {
     /// # Panics
     ///
     /// Panics if `capacity < |H|` or the pattern is invalid.
-    pub fn new(
-        pattern: Pattern,
-        capacity: usize,
-        weight_fn: Box<dyn WeightFn>,
-        seed: u64,
-    ) -> Self {
+    pub fn new(pattern: Pattern, capacity: usize, weight_fn: Box<dyn WeightFn>, seed: u64) -> Self {
         pattern.validate().expect("invalid pattern");
         assert!(
             capacity >= pattern.num_edges(),
@@ -73,6 +70,7 @@ impl GpsCounter {
             acc: StateAccumulator::new(pattern.num_edges(), TemporalPooling::Max),
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
+            u_buf: Vec::new(),
         }
     }
 
@@ -88,6 +86,12 @@ impl GpsCounter {
     }
 
     fn insert(&mut self, e: Edge) {
+        let u = draw_u(&mut self.rng);
+        self.insert_with_u(e, u);
+    }
+
+    /// Insertion with an externally drawn `u` (batched path).
+    fn insert_with_u(&mut self, e: Edge, u: f64) {
         self.acc.reset();
         let mass = weighted_mass(
             self.pattern,
@@ -98,11 +102,10 @@ impl GpsCounter {
             Some((&mut self.acc, self.t)),
         );
         self.estimate += mass;
-        let state = self
-            .acc
-            .finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
+        let state =
+            self.acc.finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
         let w = self.weight_fn.weight(&state);
-        let r = rank(w, draw_u(&mut self.rng));
+        let r = rank(w, u);
         if self.heap.len() < self.capacity {
             self.heap.push(e, r);
             self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
@@ -135,6 +138,28 @@ impl SubgraphCounter for GpsCounter {
             ),
         }
         self.t += 1;
+    }
+
+    /// Batched path: insertion-only batches pre-draw all `u` variates in
+    /// one RNG loop. A batch containing a deletion falls back to the
+    /// sequential loop so the panic fires at exactly the same event.
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        if !batch.iter().all(EdgeEvent::is_insert) {
+            for &ev in batch {
+                self.process(ev);
+            }
+            return;
+        }
+        self.u_buf.clear();
+        self.u_buf.reserve(batch.len());
+        for _ in 0..batch.len() {
+            self.u_buf.push(draw_u(&mut self.rng));
+        }
+        for (i, &ev) in batch.iter().enumerate() {
+            let u = self.u_buf[i];
+            self.insert_with_u(ev.edge, u);
+            self.t += 1;
+        }
     }
 
     fn estimate(&self) -> f64 {

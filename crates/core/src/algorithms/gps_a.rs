@@ -50,6 +50,8 @@ pub struct GpsACounter {
     acc: StateAccumulator,
     weight_fn: Box<dyn WeightFn>,
     rng: SmallRng,
+    /// Pre-drawn `u` variates for batched processing (reused scratch).
+    u_buf: Vec<f64>,
 }
 
 impl GpsACounter {
@@ -58,12 +60,7 @@ impl GpsACounter {
     /// # Panics
     ///
     /// Panics if `capacity < |H|` or the pattern is invalid.
-    pub fn new(
-        pattern: Pattern,
-        capacity: usize,
-        weight_fn: Box<dyn WeightFn>,
-        seed: u64,
-    ) -> Self {
+    pub fn new(pattern: Pattern, capacity: usize, weight_fn: Box<dyn WeightFn>, seed: u64) -> Self {
         pattern.validate().expect("invalid pattern");
         assert!(
             capacity >= pattern.num_edges(),
@@ -86,6 +83,7 @@ impl GpsACounter {
             acc: StateAccumulator::new(pattern.num_edges(), TemporalPooling::Max),
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
+            u_buf: Vec::new(),
         }
     }
 
@@ -117,6 +115,12 @@ impl GpsACounter {
     }
 
     fn insert(&mut self, e: Edge) {
+        let u = draw_u(&mut self.rng);
+        self.insert_with_u(e, u);
+    }
+
+    /// Insertion with an externally drawn `u` (batched path).
+    fn insert_with_u(&mut self, e: Edge, u: f64) {
         self.acc.reset();
         let mass = weighted_mass(
             self.pattern,
@@ -127,11 +131,10 @@ impl GpsACounter {
             Some((&mut self.acc, self.t)),
         );
         self.estimate += mass;
-        let state = self
-            .acc
-            .finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
+        let state =
+            self.acc.finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
         let w = self.weight_fn.weight(&state);
-        let r = rank(w, draw_u(&mut self.rng));
+        let r = rank(w, u);
         if self.heap.len() < self.capacity {
             self.admit(e, w, r);
         } else {
@@ -167,14 +170,7 @@ impl GpsACounter {
             // The ghost stays in heap+items, still occupying budget.
             let _ = id;
         }
-        let mass = weighted_mass(
-            self.pattern,
-            &self.sample,
-            e,
-            self.z,
-            &mut self.scratch,
-            None,
-        );
+        let mass = weighted_mass(self.pattern, &self.sample, e, self.z, &mut self.scratch, None);
         self.estimate -= mass;
     }
 }
@@ -186,6 +182,13 @@ impl SubgraphCounter for GpsACounter {
             Op::Delete => self.delete(ev.edge),
         }
         self.t += 1;
+    }
+
+    /// Batched path: as with WSD, exactly one `u` per insertion and none
+    /// per deletion — all variates for the batch are pre-drawn in one
+    /// RNG loop, preserving the sequential stream bit-for-bit.
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        crate::algorithms::predrawn_batch!(self, batch);
     }
 
     fn estimate(&self) -> f64 {

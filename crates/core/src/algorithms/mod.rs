@@ -14,3 +14,64 @@ pub use thinkd::ThinkDCounter;
 pub use triest::TriestCounter;
 pub use wrs::WrsCounter;
 pub use wsd::WsdCounter;
+
+/// Shared batched-loop skeleton of the weighted samplers (WSD, GPS-A):
+/// exactly one `u ∈ (0, 1]` is consumed per insertion and none per
+/// deletion, so all variates for the batch are pre-drawn in one RNG
+/// loop — same stream as sequential processing, bit-for-bit — then the
+/// events are dispatched to the counter's `insert_with_u`/`delete`.
+///
+/// A macro rather than a function because the fast path and the
+/// dispatch both need disjoint `&mut self` access (rng + scratch buffer
+/// + counter state), which closures cannot express.
+macro_rules! predrawn_batch {
+    ($self:ident, $batch:ident) => {{
+        let insertions = $batch.iter().filter(|ev| ev.is_insert()).count();
+        $self.u_buf.clear();
+        $self.u_buf.reserve(insertions);
+        for _ in 0..insertions {
+            $self.u_buf.push($crate::rank::draw_u(&mut $self.rng));
+        }
+        let mut next_u = 0;
+        for &ev in $batch {
+            match ev.op {
+                wsd_graph::Op::Insert => {
+                    let u = $self.u_buf[next_u];
+                    next_u += 1;
+                    $self.insert_with_u(ev.edge, u);
+                }
+                wsd_graph::Op::Delete => $self.delete(ev.edge),
+            }
+            $self.t += 1;
+        }
+    }};
+}
+
+/// Shared batched-loop skeleton of the random-pairing samplers (Triest,
+/// ThinkD): insertion runs inside the reservoir's RNG-free fill phase
+/// (`guaranteed_admissions() > 0`) execute `$fast` per edge in a tight
+/// loop; everything else falls through to the sequential `process`,
+/// keeping estimate and RNG stream bit-identical.
+macro_rules! rp_fill_batch {
+    ($self:ident, $batch:ident, |$e:ident| $fast:block) => {{
+        let mut i = 0;
+        while i < $batch.len() {
+            if $batch[i].is_insert() {
+                let mut fill = $self.reservoir.guaranteed_admissions();
+                while fill > 0 && i < $batch.len() && $batch[i].is_insert() {
+                    let $e = $batch[i].edge;
+                    $fast
+                    fill -= 1;
+                    i += 1;
+                }
+                if i >= $batch.len() || !$batch[i].is_insert() {
+                    continue;
+                }
+            }
+            $self.process($batch[i]);
+            i += 1;
+        }
+    }};
+}
+
+pub(crate) use {predrawn_batch, rp_fill_batch};

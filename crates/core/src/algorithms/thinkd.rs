@@ -76,8 +76,7 @@ impl SubgraphCounter for ThinkDCounter {
                 // Update first, against the pre-event sample/population.
                 let n = self.reservoir.population();
                 let s = self.reservoir.len() as u64;
-                let found =
-                    self.pattern.count_completed(&self.adj, ev.edge, &mut self.scratch);
+                let found = self.pattern.count_completed(&self.adj, ev.edge, &mut self.scratch);
                 if found > 0 {
                     self.estimate += found as f64 * Self::inv_prob(partners, s, n);
                 }
@@ -101,14 +100,32 @@ impl SubgraphCounter for ThinkDCounter {
                 if in_sample {
                     self.adj.remove(ev.edge);
                 }
-                let found =
-                    self.pattern.count_completed(&self.adj, ev.edge, &mut self.scratch);
+                let found = self.pattern.count_completed(&self.adj, ev.edge, &mut self.scratch);
                 if found > 0 {
                     self.estimate -= found as f64 * Self::inv_prob(partners, s, n);
                 }
                 self.reservoir.delete(ev.edge);
             }
         }
+    }
+
+    /// Batched path. As with Triest, random pairing's draw count is
+    /// data-dependent, but fill-phase insertion runs (free slots, no
+    /// uncompensated deletions) are RNG-free: the sample then holds the
+    /// whole population (`s == n`, all inclusion probabilities exactly
+    /// 1), so the update-then-admit pair collapses to an exact count
+    /// increment plus an unconditional admission.
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        crate::algorithms::rp_fill_batch!(self, batch, |e| {
+            // Fill phase ⇒ s == n ⇒ Π (n−i)/(s−i) = 1 exactly.
+            debug_assert_eq!(self.reservoir.len() as u64, self.reservoir.population());
+            let found = self.pattern.count_completed(&self.adj, e, &mut self.scratch);
+            if found > 0 {
+                self.estimate += found as f64;
+            }
+            self.reservoir.admit_unconditional(e);
+            self.adj.insert(e);
+        });
     }
 
     fn estimate(&self) -> f64 {

@@ -94,6 +94,20 @@ impl SubgraphCounter for TriestCounter {
         }
     }
 
+    /// Batched path. Random pairing draws a data-dependent number of
+    /// variates per offer, so draws cannot be hoisted wholesale — but
+    /// the *fill phase* (free slots, no uncompensated deletions) admits
+    /// every offer without touching the RNG. Insertion runs inside that
+    /// phase bypass the admission branch cascade entirely; everything
+    /// else falls through to the per-event logic, keeping the estimate
+    /// and RNG stream bit-identical to sequential processing.
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        crate::algorithms::rp_fill_batch!(self, batch, |e| {
+            self.reservoir.admit_unconditional(e);
+            self.add_to_sample(e);
+        });
+    }
+
     fn estimate(&self) -> f64 {
         let m = self.pattern.num_edges() as u64;
         let s = self.reservoir.len() as u64;

@@ -183,6 +183,36 @@ impl SubgraphCounter for WrsCounter {
         }
     }
 
+    /// Batched path. While the waiting room has free slots an insertion
+    /// touches neither the reservoir nor the RNG, so insertion runs are
+    /// processed in a tight loop with the overflow branch hoisted out;
+    /// the reservoir size/population reads are loop-invariant across
+    /// such a run (the reservoir is untouched) and are hoisted too.
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        let mut i = 0;
+        while i < batch.len() {
+            if batch[i].is_insert() {
+                let mut free = self.room_capacity.saturating_sub(self.room.len());
+                if free > 0 {
+                    let s = self.reservoir.len() as u64;
+                    let n_r = self.reservoir.population();
+                    while free > 0 && i < batch.len() && batch[i].is_insert() {
+                        let e = batch[i].edge;
+                        self.update_estimate(e, 1.0, s, n_r);
+                        self.room_fifo.push_back(e);
+                        self.room.insert(e);
+                        self.adj.insert(e);
+                        free -= 1;
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            self.process(batch[i]);
+            i += 1;
+        }
+    }
+
     fn estimate(&self) -> f64 {
         self.estimate
     }

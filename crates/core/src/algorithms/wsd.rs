@@ -60,6 +60,8 @@ pub struct WsdCounter {
     acc: StateAccumulator,
     weight_fn: Box<dyn WeightFn>,
     rng: SmallRng,
+    /// Pre-drawn `u` variates for batched processing (reused scratch).
+    u_buf: Vec<f64>,
     /// Invoked after each insertion event with the edge, its observed
     /// state and the chosen weight; used by the RL training loop and the
     /// weight-analysis experiments (paper Fig. 2(d)) without
@@ -102,6 +104,7 @@ impl WsdCounter {
             acc: StateAccumulator::new(pattern.num_edges(), pooling),
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
+            u_buf: Vec::new(),
             observer: None,
         }
     }
@@ -129,6 +132,14 @@ impl WsdCounter {
     }
 
     fn insert(&mut self, e: Edge) {
+        let u = draw_u(&mut self.rng);
+        self.insert_with_u(e, u);
+    }
+
+    /// Insertion with an externally drawn `u ∈ (0, 1]` — the batched
+    /// path pre-draws one variate per insertion (in event order, so the
+    /// RNG stream is identical to sequential processing).
+    fn insert_with_u(&mut self, e: Edge, u: f64) {
         // Algorithm 2: estimator + state observation *before* the
         // sampling decision, against the pre-update reservoir.
         self.acc.reset();
@@ -141,15 +152,14 @@ impl WsdCounter {
             Some((&mut self.acc, self.t)),
         );
         self.estimate += mass;
-        let state = self
-            .acc
-            .finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
+        let state =
+            self.acc.finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
         let w = self.weight_fn.weight(&state);
         debug_assert!(w > 0.0 && w.is_finite(), "weight function must be positive/finite");
         if let Some(obs) = self.observer.as_mut() {
             obs(e, &state, w);
         }
-        let r = rank(w, draw_u(&mut self.rng));
+        let r = rank(w, u);
         // Algorithm 1.
         if self.heap.len() < self.capacity {
             // Case 1: τp and τq are retained.
@@ -185,14 +195,8 @@ impl WsdCounter {
         if self.sample.remove(e).is_some() {
             self.heap.remove(&e).expect("heap and sample in sync");
         }
-        let mass = weighted_mass(
-            self.pattern,
-            &self.sample,
-            e,
-            self.tau_q,
-            &mut self.scratch,
-            None,
-        );
+        let mass =
+            weighted_mass(self.pattern, &self.sample, e, self.tau_q, &mut self.scratch, None);
         self.estimate -= mass;
     }
 }
@@ -204,6 +208,14 @@ impl SubgraphCounter for WsdCounter {
             Op::Delete => self.delete(ev.edge),
         }
         self.t += 1;
+    }
+
+    /// Batched path: exactly one `u` variate is consumed per insertion
+    /// and none per deletion, so all draws for the batch can be made in
+    /// one tight RNG loop up front — same stream, same estimates, with
+    /// the RNG call overhead amortised across the batch.
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        crate::algorithms::predrawn_batch!(self, batch);
     }
 
     fn estimate(&self) -> f64 {
@@ -252,7 +264,7 @@ mod tests {
             tri(2, 3),
             tri(1, 3), // + triangle
             tri(3, 4),
-            tri(2, 4), // + triangle 2-3-4
+            tri(2, 4),                          // + triangle 2-3-4
             EdgeEvent::delete(Edge::new(2, 3)), // destroys both
         ];
         for ev in stream {
@@ -343,13 +355,8 @@ mod tests {
 
     #[test]
     fn heuristic_name_propagates() {
-        let c = WsdCounter::new(
-            Pattern::Wedge,
-            8,
-            Box::new(HeuristicWeight),
-            TemporalPooling::Max,
-            1,
-        );
+        let c =
+            WsdCounter::new(Pattern::Wedge, 8, Box::new(HeuristicWeight), TemporalPooling::Max, 1);
         assert_eq!(c.name(), "WSD-H");
         let c = c.with_name("WSD-H (Avg)");
         assert_eq!(c.name(), "WSD-H (Avg)");

@@ -113,10 +113,7 @@ impl CounterConfig {
         match alg {
             Algorithm::WsdL => {
                 let dim = self.pattern.num_edges() + 3;
-                let policy = self
-                    .policy
-                    .clone()
-                    .unwrap_or_else(|| LinearPolicy::neutral(dim));
+                let policy = self.policy.clone().unwrap_or_else(|| LinearPolicy::neutral(dim));
                 assert_eq!(
                     policy.dim(),
                     dim,
@@ -200,8 +197,7 @@ mod tests {
 
     #[test]
     fn paper_table_set_order() {
-        let names: Vec<&str> =
-            Algorithm::paper_table_set().iter().map(|a| a.name()).collect();
+        let names: Vec<&str> = Algorithm::paper_table_set().iter().map(|a| a.name()).collect();
         assert_eq!(names, ["WSD-L", "WSD-H", "GPS-A", "Triest", "ThinkD", "WRS"]);
     }
 
@@ -216,8 +212,8 @@ mod tests {
     #[should_panic(expected = "does not match")]
     fn mismatched_policy_dimension_panics() {
         use crate::weight::LinearPolicy;
-        let cfg = CounterConfig::new(Pattern::Triangle, 64, 7)
-            .with_policy(LinearPolicy::neutral(5)); // triangle needs 6
+        let cfg =
+            CounterConfig::new(Pattern::Triangle, 64, 7).with_policy(LinearPolicy::neutral(5)); // triangle needs 6
         let _ = cfg.build(Algorithm::WsdL);
     }
 }

@@ -12,6 +12,23 @@ pub trait SubgraphCounter: Send {
     /// Processes one stream event.
     fn process(&mut self, ev: EdgeEvent);
 
+    /// Processes a batch of consecutive stream events.
+    ///
+    /// Semantically identical to calling [`SubgraphCounter::process`] on
+    /// each event in order — implementations **must** produce the same
+    /// estimate, sample content and RNG state as the sequential path
+    /// (the engine's equivalence tests assert bit-identical estimates) —
+    /// but are free to amortise per-event overheads across the batch:
+    /// pre-drawing RNG variates when the draw count is data-independent,
+    /// splitting the batch into insert/delete runs to hoist operation
+    /// dispatch, hoisting loop-invariant lookups, and pre-reserving hash
+    /// capacity. The default implementation is the plain loop.
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        for &ev in batch {
+            self.process(ev);
+        }
+    }
+
     /// The current estimate `c(t)` of the pattern count.
     fn estimate(&self) -> f64;
 
@@ -26,10 +43,15 @@ pub trait SubgraphCounter: Send {
     /// documented drawback).
     fn stored_edges(&self) -> usize;
 
-    /// Convenience: processes a whole stream.
+    /// Convenience: processes a whole stream in engine-sized batches.
+    ///
+    /// Chunking (rather than one stream-sized batch) keeps the batched
+    /// implementations' scratch buffers — e.g. the weighted samplers'
+    /// pre-drawn variate buffer — bounded by the batch size instead of
+    /// the stream length, preserving the fixed-memory property.
     fn process_all(&mut self, stream: &[EdgeEvent]) {
-        for &ev in stream {
-            self.process(ev);
+        for chunk in stream.chunks(crate::engine::DEFAULT_BATCH_SIZE) {
+            self.process_batch(chunk);
         }
     }
 }

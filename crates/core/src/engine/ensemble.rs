@@ -1,0 +1,257 @@
+//! Parallel ensemble execution of independently seeded replicas.
+
+use crate::counter::SubgraphCounter;
+use crate::engine::batch::BatchDriver;
+use wsd_graph::EdgeEvent;
+
+/// Deterministic fork–join map: computes `f(0), …, f(n-1)` on up to
+/// `threads` OS threads and returns the results **in index order**.
+///
+/// Work is dealt in contiguous index blocks; each result lands in its
+/// own slot, so the output is a pure function of `f` and `n` — never of
+/// thread scheduling. With `threads <= 1` (or `n <= 1`) the map runs
+/// inline on the caller's thread.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(n, || None);
+    let block = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (block_idx, chunk) in out.chunks_mut(block).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let start = block_idx * block;
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(start + offset));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("every index filled by construction")).collect()
+}
+
+/// Merged statistics of an ensemble run.
+#[derive(Clone, Debug)]
+pub struct EnsembleReport {
+    /// Per-replica final estimates, in replica order (replica `i` was
+    /// seeded with `base_seed + i`).
+    pub estimates: Vec<f64>,
+    /// Mean of the replica estimates — the ensemble's point estimate
+    /// (the mean of unbiased estimators is unbiased).
+    pub mean: f64,
+    /// Unbiased sample variance of the replica estimates (0 for a single
+    /// replica).
+    pub variance: f64,
+    /// Standard error of the mean, `sqrt(variance / replicas)`.
+    pub std_error: f64,
+    /// Normal-approximation 95% confidence interval for the mean.
+    pub ci95: (f64, f64),
+}
+
+impl EnsembleReport {
+    fn from_estimates(estimates: Vec<f64>) -> Self {
+        let n = estimates.len() as f64;
+        let mean = estimates.iter().sum::<f64>() / n;
+        let variance = if estimates.len() < 2 {
+            0.0
+        } else {
+            estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        };
+        let std_error = (variance / n).sqrt();
+        let half = 1.96 * std_error;
+        Self { estimates, mean, variance, std_error, ci95: (mean - half, mean + half) }
+    }
+}
+
+/// Executes N independently seeded replicas of a counter over the same
+/// stream on a thread pool and merges their estimates — the paper's
+/// repeated-runs protocol as a first-class parallel primitive.
+///
+/// Replica `i` is built by the caller's factory from seed
+/// `base_seed + i` and ingests the stream through a [`BatchDriver`].
+/// Determinism: for fixed seeds the merged report is identical
+/// regardless of the thread count (replica results are slotted by
+/// index; see [`parallel_map`]).
+///
+/// ```
+/// use wsd_core::engine::Ensemble;
+/// use wsd_core::{Algorithm, CounterConfig};
+/// use wsd_graph::{Edge, EdgeEvent, Pattern};
+///
+/// let events: Vec<EdgeEvent> = (0..200u64)
+///     .map(|i| EdgeEvent::insert(Edge::new(i % 20, 20 + (i % 31))))
+///     .collect();
+/// let report = Ensemble::new(8).with_threads(4).run(&events, |seed| {
+///     CounterConfig::new(Pattern::Triangle, 64, seed).build(Algorithm::WsdH)
+/// });
+/// assert_eq!(report.estimates.len(), 8);
+/// assert!(report.ci95.0 <= report.mean && report.mean <= report.ci95.1);
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct Ensemble {
+    replicas: usize,
+    threads: usize,
+    driver: BatchDriver,
+    base_seed: u64,
+}
+
+impl Ensemble {
+    /// An ensemble of `replicas` replicas, defaulting to one thread per
+    /// available CPU, the default batch size and base seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas > 0, "ensemble needs at least one replica");
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self { replicas, threads, driver: BatchDriver::new(), base_seed: 0 }
+    }
+
+    /// Sets the worker thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the ingestion batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.driver = BatchDriver::with_batch_size(batch_size);
+        self
+    }
+
+    /// Sets the base seed; replica `i` uses `base_seed + i`.
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the ensemble: builds replica `i` via `build(base_seed + i)`,
+    /// ingests the stream in batches, and merges the final estimates.
+    pub fn run<F>(&self, stream: &[EdgeEvent], build: F) -> EnsembleReport
+    where
+        F: Fn(u64) -> Box<dyn SubgraphCounter> + Sync,
+    {
+        let estimates = parallel_map(self.replicas, self.threads, |i| {
+            let mut counter = build(self.base_seed.wrapping_add(i as u64));
+            self.driver.run(counter.as_mut(), stream);
+            counter.estimate()
+        });
+        EnsembleReport::from_estimates(estimates)
+    }
+
+    /// Runs an arbitrary per-replica computation on the pool, returning
+    /// results in replica order. The generalisation of [`Ensemble::run`]
+    /// used by the evaluation harness, whose replicas also track
+    /// checkpoint errors rather than just the final estimate.
+    pub fn map<T, F>(&self, per_replica: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        parallel_map(self.replicas, self.threads, |i| {
+            per_replica(self.base_seed.wrapping_add(i as u64))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, CounterConfig};
+    use wsd_graph::{Edge, Pattern};
+
+    fn stream() -> Vec<EdgeEvent> {
+        // A clique stream with some deletions mixed in.
+        let mut events = Vec::new();
+        for a in 0..24u64 {
+            for b in (a + 1)..24 {
+                events.push(EdgeEvent::insert(Edge::new(a, b)));
+            }
+        }
+        for a in 0..8u64 {
+            events.push(EdgeEvent::delete(Edge::new(a, a + 1)));
+        }
+        events
+    }
+
+    #[test]
+    fn parallel_map_is_index_ordered() {
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_map(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn report_statistics() {
+        let r = EnsembleReport::from_estimates(vec![1.0, 3.0]);
+        assert_eq!(r.mean, 2.0);
+        assert_eq!(r.variance, 2.0);
+        assert_eq!(r.std_error, 1.0);
+        assert_eq!(r.ci95, (2.0 - 1.96, 2.0 + 1.96));
+        let single = EnsembleReport::from_estimates(vec![5.0]);
+        assert_eq!(single.mean, 5.0);
+        assert_eq!(single.variance, 0.0);
+        assert_eq!(single.ci95, (5.0, 5.0));
+    }
+
+    #[test]
+    fn merged_estimate_is_thread_count_invariant() {
+        let events = stream();
+        let run = |threads: usize, alg: Algorithm| {
+            Ensemble::new(6)
+                .with_threads(threads)
+                .with_base_seed(99)
+                .with_batch_size(37)
+                .run(&events, |seed| CounterConfig::new(Pattern::Triangle, 48, seed).build(alg))
+        };
+        for alg in [Algorithm::WsdH, Algorithm::Triest, Algorithm::Wrs] {
+            let one = run(1, alg);
+            for threads in [2, 4, 7] {
+                let multi = run(threads, alg);
+                assert_eq!(one.estimates, multi.estimates, "{alg:?} @ {threads} threads");
+                assert_eq!(one.mean, multi.mean);
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_differ_but_mean_is_reasonable() {
+        let events = stream();
+        let report = Ensemble::new(12).with_base_seed(5).run(&events, |seed| {
+            CounterConfig::new(Pattern::Triangle, 64, seed).build(Algorithm::ThinkD)
+        });
+        // Budgeted replicas disagree (variance > 0) …
+        assert!(report.variance > 0.0);
+        // … but the width of the CI is consistent with the spread.
+        assert!(report.ci95.0 < report.mean && report.mean < report.ci95.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        let _ = Ensemble::new(0);
+    }
+}

@@ -38,17 +38,14 @@ pub(crate) fn weighted_mass(
     pattern.for_each_completed(sample.adj(), e, scratch, &mut |partners| {
         let mut prod = 1.0;
         for &p in partners {
-            let meta = sample
-                .meta(p)
-                .expect("enumerated partner edge missing from sample metadata");
+            let meta =
+                sample.meta(p).expect("enumerated partner edge missing from sample metadata");
             prod *= 1.0 / inclusion_prob(meta.weight, tau);
         }
         mass += prod;
         if let Some((acc, now)) = acc.as_mut() {
             acc.add_instance(
-                partners.iter().map(|&p| {
-                    sample.meta(p).expect("partner metadata present").time
-                }),
+                partners.iter().map(|&p| sample.meta(p).expect("partner metadata present").time),
                 *now,
             );
         }
@@ -86,12 +83,7 @@ mod tests {
     #[test]
     fn accumulator_sees_every_instance() {
         // Two triangles closed by (1,2): via 3 and via 4.
-        let s = sample_with(&[
-            (1, 3, 1.0, 10),
-            (2, 3, 1.0, 11),
-            (1, 4, 1.0, 12),
-            (2, 4, 1.0, 13),
-        ]);
+        let s = sample_with(&[(1, 3, 1.0, 10), (2, 3, 1.0, 11), (1, 4, 1.0, 12), (2, 4, 1.0, 13)]);
         let mut scratch = EnumScratch::default();
         let mut acc = StateAccumulator::new(3, TemporalPooling::Max);
         let mass = weighted_mass(

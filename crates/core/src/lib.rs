@@ -42,6 +42,7 @@
 pub mod algorithms;
 pub mod config;
 pub mod counter;
+pub mod engine;
 mod estimator;
 pub mod rank;
 pub mod reservoir;
@@ -51,5 +52,6 @@ pub mod weight;
 
 pub use config::{Algorithm, CounterConfig};
 pub use counter::SubgraphCounter;
+pub use engine::{BatchDriver, Ensemble, EnsembleReport};
 pub use state::{StateVector, TemporalPooling};
 pub use weight::{FeatureNorm, HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};

@@ -85,14 +85,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let (w, tau) = (2.0, 5.0);
         let n = 200_000;
-        let hits = (0..n)
-            .filter(|_| rank(w, draw_u(&mut rng)) > tau)
-            .count();
+        let hits = (0..n).filter(|_| rank(w, draw_u(&mut rng)) > tau).count();
         let p_hat = hits as f64 / n as f64;
         let p = inclusion_prob(w, tau);
-        assert!(
-            (p_hat - p).abs() < 0.005,
-            "empirical {p_hat} vs analytic {p}"
-        );
+        assert!((p_hat - p).abs() < 0.005, "empirical {p_hat} vs analytic {p}");
     }
 }

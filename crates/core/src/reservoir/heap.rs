@@ -132,14 +132,10 @@ impl<K: Copy + Eq + Hash> IndexedMinHeap<K> {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut smallest = i;
-            if l < self.slots.len()
-                && self.slots[l].1.total_cmp(&self.slots[smallest].1).is_lt()
-            {
+            if l < self.slots.len() && self.slots[l].1.total_cmp(&self.slots[smallest].1).is_lt() {
                 smallest = l;
             }
-            if r < self.slots.len()
-                && self.slots[r].1.total_cmp(&self.slots[smallest].1).is_lt()
-            {
+            if r < self.slots.len() && self.slots[r].1.total_cmp(&self.slots[smallest].1).is_lt() {
                 smallest = r;
             }
             if smallest == i {
@@ -164,10 +160,7 @@ impl<K: Copy + Eq + Hash> IndexedMinHeap<K> {
             assert_eq!(self.pos[&k], i, "position map out of sync");
             if i > 0 {
                 let parent = self.slots[(i - 1) / 2].1;
-                assert!(
-                    parent.total_cmp(&rank).is_le(),
-                    "heap order violated at slot {i}"
-                );
+                assert!(parent.total_cmp(&rank).is_le(), "heap order violated at slot {i}");
             }
         }
     }

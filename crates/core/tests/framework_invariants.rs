@@ -121,13 +121,8 @@ proptest! {
 /// The minimum legal budget (M = |H|) works end to end.
 #[test]
 fn minimum_budget_is_usable() {
-    let mut c = WsdCounter::new(
-        Pattern::Triangle,
-        3,
-        Box::new(HeuristicWeight),
-        TemporalPooling::Max,
-        1,
-    );
+    let mut c =
+        WsdCounter::new(Pattern::Triangle, 3, Box::new(HeuristicWeight), TemporalPooling::Max, 1);
     for a in 0..20u64 {
         for b in (a + 1)..20 {
             c.process(EdgeEvent::insert(Edge::new(a, b)));

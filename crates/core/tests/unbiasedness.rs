@@ -13,12 +13,8 @@ use wsd_stream::gen::GeneratorConfig;
 use wsd_stream::{EventStream, Scenario, TruthTimeline};
 
 fn stream(scenario: Scenario) -> EventStream {
-    let edges = GeneratorConfig::HolmeKim {
-        vertices: 150,
-        edges_per_vertex: 5,
-        triad_prob: 0.5,
-    }
-    .generate(42);
+    let edges = GeneratorConfig::HolmeKim { vertices: 150, edges_per_vertex: 5, triad_prob: 0.5 }
+        .generate(42);
     scenario.apply(&edges, 7)
 }
 
@@ -149,10 +145,7 @@ fn triest_approximately_unbiased_triangles_light() {
     let s = stream(Scenario::default_light());
     let truth = TruthTimeline::compute(Pattern::Triangle, &s).final_count() as f64;
     let (mean, _) = mean_estimate(Algorithm::Triest, Pattern::Triangle, 120, &s, 300);
-    assert!(
-        (mean - truth).abs() < 0.15 * truth,
-        "Triest mean {mean:.1} vs truth {truth:.1}"
-    );
+    assert!((mean - truth).abs() < 0.15 * truth, "Triest mean {mean:.1} vs truth {truth:.1}");
 }
 
 /// Lemma 1 / Eq. (10): with equal weights, any two live edges must have
@@ -173,8 +166,7 @@ fn wsd_equal_weights_equal_inclusion_probabilities() {
     events.push(EdgeEvent::delete(edges[2]));
     events.push(EdgeEvent::insert(edges[6]));
     events.push(EdgeEvent::insert(edges[7]));
-    let survivors: Vec<Edge> =
-        edges.iter().copied().filter(|&e| e != edges[2]).collect();
+    let survivors: Vec<Edge> = edges.iter().copied().filter(|&e| e != edges[2]).collect();
 
     let reps = 60_000u64;
     let mut freq = vec![0u64; survivors.len()];

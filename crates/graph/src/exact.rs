@@ -45,11 +45,7 @@ impl std::fmt::Display for InfeasibleEvent {
             Op::Insert => "insert of already-present",
             Op::Delete => "delete of absent",
         };
-        write!(
-            f,
-            "infeasible stream event #{}: {} edge {:?}",
-            self.index, verb, self.event.edge
-        )
+        write!(f, "infeasible stream event #{}: {} edge {:?}", self.index, verb, self.event.edge)
     }
 }
 
@@ -59,9 +55,7 @@ impl ExactCounter {
     /// Creates a counter for the given pattern over an initially empty
     /// graph.
     pub fn new(pattern: Pattern) -> Self {
-        pattern
-            .validate()
-            .expect("invalid pattern passed to ExactCounter");
+        pattern.validate().expect("invalid pattern passed to ExactCounter");
         Self {
             pattern,
             graph: Adjacency::new(),
@@ -99,9 +93,7 @@ impl ExactCounter {
                 if self.graph.contains(ev.edge) {
                     return Err(InfeasibleEvent { event: ev, index: self.events });
                 }
-                self.count += self
-                    .pattern
-                    .count_completed(&self.graph, ev.edge, &mut self.scratch);
+                self.count += self.pattern.count_completed(&self.graph, ev.edge, &mut self.scratch);
                 self.graph.insert(ev.edge);
             }
             Op::Delete => {
@@ -110,9 +102,7 @@ impl ExactCounter {
                 }
                 // Instances destroyed = instances that contained the edge,
                 // i.e. instances completed by re-adding it.
-                self.count -= self
-                    .pattern
-                    .count_completed(&self.graph, ev.edge, &mut self.scratch);
+                self.count -= self.pattern.count_completed(&self.graph, ev.edge, &mut self.scratch);
             }
         }
         self.events += 1;

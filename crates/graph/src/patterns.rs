@@ -83,9 +83,7 @@ impl Pattern {
     /// Validates the pattern parameters (clique order bounds).
     pub fn validate(&self) -> Result<(), String> {
         match self {
-            Pattern::Clique(k) if *k < 3 => {
-                Err(format!("clique order must be ≥ 3, got {k}"))
-            }
+            Pattern::Clique(k) if *k < 3 => Err(format!("clique order must be ≥ 3, got {k}")),
             Pattern::Clique(k) if *k > MAX_CLIQUE => {
                 Err(format!("clique order must be ≤ {MAX_CLIQUE}, got {k}"))
             }
@@ -104,9 +102,11 @@ impl Pattern {
                 let (u, v) = e.endpoints();
                 // Wedges centred at u pair e with each other edge at u;
                 // same at v. Exclude the opposite endpoint in case callers
-                // pass a graph that already contains e.
-                let du = g.neighbors(u).filter(|&w| w != v).count();
-                let dv = g.neighbors(v).filter(|&w| w != u).count();
+                // pass a graph that already contains e. Degrees make this
+                // O(1) — no neighbourhood walk.
+                let present = usize::from(g.adjacent(u, v));
+                let du = g.degree(u) - present;
+                let dv = g.degree(v) - present;
                 (du + dv) as u64
             }
             Pattern::Triangle | Pattern::Clique(3) => {
@@ -149,16 +149,21 @@ impl Pattern {
         let (u, v) = e.endpoints();
         match self {
             Pattern::Wedge => {
+                // Walk the dense neighbour slices directly — the
+                // callback only gets shared access to `g`, so no copy
+                // into scratch is needed.
                 let mut partner = [e];
-                // Collect first: the callback may want to inspect g.
-                scratch.common.clear();
-                scratch.common.extend(g.neighbors(u).filter(|&w| w != v));
-                let split = scratch.common.len();
-                scratch.common.extend(g.neighbors(v).filter(|&w| w != u));
-                for (i, &w) in scratch.common.iter().enumerate() {
-                    let center = if i < split { u } else { v };
-                    partner[0] = Edge::new(center, w);
-                    f(&partner);
+                for &w in g.neighbor_slice(u) {
+                    if w != v {
+                        partner[0] = Edge::new(u, w);
+                        f(&partner);
+                    }
+                }
+                for &w in g.neighbor_slice(v) {
+                    if w != u {
+                        partner[0] = Edge::new(v, w);
+                        f(&partner);
+                    }
                 }
             }
             Pattern::Triangle | Pattern::Clique(3) => {
@@ -190,11 +195,13 @@ impl Pattern {
             }
             Pattern::Clique(k) => {
                 let k = *k;
+                // Reuse the scratch partner buffer across instances —
+                // the per-instance Vec allocation here used to dominate
+                // generic-clique enumeration cost.
+                let mut partner = std::mem::take(&mut scratch.partner);
                 clique_enumerate(g, e, k, scratch, &mut |chosen| {
                     // Materialise all edges among {u, v} ∪ chosen except e.
-                    let mut partner: Vec<Edge> = Vec::with_capacity(
-                        Pattern::Clique(k).num_edges() - 1,
-                    );
+                    partner.clear();
                     for &w in chosen {
                         partner.push(Edge::new(u, w));
                         partner.push(Edge::new(v, w));
@@ -206,6 +213,7 @@ impl Pattern {
                     }
                     f(&partner);
                 });
+                scratch.partner = partner;
             }
         }
     }
@@ -218,6 +226,8 @@ pub struct EnumScratch {
     common: Vec<Vertex>,
     clique_cand: Vec<Vec<Vertex>>,
     clique_cur: Vec<Vertex>,
+    /// Partner-edge buffer reused across generic-clique instances.
+    partner: Vec<Edge>,
 }
 
 /// Recursive k-clique extension: finds all (k-2)-subsets `S` of the common
@@ -383,14 +393,8 @@ mod tests {
             if g.contains(e) {
                 continue;
             }
-            assert_eq!(
-                count(Pattern::Triangle, &g, e),
-                count(Pattern::Clique(3), &g, e)
-            );
-            assert_eq!(
-                count(Pattern::FourClique, &g, e),
-                count(Pattern::Clique(4), &g, e)
-            );
+            assert_eq!(count(Pattern::Triangle, &g, e), count(Pattern::Clique(3), &g, e));
+            assert_eq!(count(Pattern::FourClique, &g, e), count(Pattern::Clique(4), &g, e));
         }
     }
 
@@ -416,12 +420,7 @@ mod tests {
     fn empty_graph_completes_nothing() {
         let g = Adjacency::new();
         let e = Edge::new(1, 2);
-        for p in [
-            Pattern::Wedge,
-            Pattern::Triangle,
-            Pattern::FourClique,
-            Pattern::Clique(5),
-        ] {
+        for p in [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique, Pattern::Clique(5)] {
             assert_eq!(count(p, &g, e), 0);
             assert!(enumerate(p, &g, e).is_empty());
         }

@@ -253,12 +253,7 @@ mod tests {
     use super::*;
 
     fn transition(s: f64, a: f64, r: f64, s2: f64) -> Transition {
-        Transition {
-            state: vec![s, s * 0.5],
-            action: a,
-            reward: r,
-            next_state: vec![s2, s2 * 0.5],
-        }
+        Transition { state: vec![s, s * 0.5], action: a, reward: r, next_state: vec![s2, s2 * 0.5] }
     }
 
     #[test]
@@ -313,12 +308,7 @@ mod tests {
             let a = 1.0 + (i % 10) as f64;
             let good = i % 2 == 0;
             let (s, r) = if good { (vec![1.0, 0.0], a) } else { (vec![0.0, 1.0], -a) };
-            batch.push(Transition {
-                state: s.clone(),
-                action: a,
-                reward: r,
-                next_state: s,
-            });
+            batch.push(Transition { state: s.clone(), action: a, reward: r, next_state: s });
         }
         for t in &batch {
             agent.norm.update(&t.state);

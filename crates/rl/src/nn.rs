@@ -27,9 +27,7 @@ impl Linear {
     /// Xavier-uniform initialised layer.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut SmallRng) -> Self {
         let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
-        let w = (0..in_dim * out_dim)
-            .map(|_| rng.random_range(-bound..bound))
-            .collect();
+        let w = (0..in_dim * out_dim).map(|_| rng.random_range(-bound..bound)).collect();
         Self {
             w,
             b: vec![0.0; out_dim],
@@ -118,10 +116,7 @@ impl Mlp {
     /// the paper's critic.
     pub fn new(sizes: &[usize], rng: &mut SmallRng) -> Self {
         assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
-        let layers = sizes
-            .windows(2)
-            .map(|w| Linear::new(w[0], w[1], rng))
-            .collect();
+        let layers = sizes.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
         Self { layers }
     }
 
@@ -324,11 +319,7 @@ impl RunningNorm {
     pub fn normalize(&self, x: &[f64], out: &mut Vec<f64>) {
         let std = self.std();
         out.clear();
-        out.extend(
-            x.iter()
-                .zip(self.mean.iter().zip(&std))
-                .map(|(&xi, (&m, &s))| (xi - m) / s),
-        );
+        out.extend(x.iter().zip(self.mean.iter().zip(&std)).map(|(&xi, (&m, &s))| (xi - m) / s));
     }
 }
 

@@ -30,15 +30,8 @@ pub fn run_episode_raw(
     seed: u64,
 ) -> (f64, f64, f64) {
     let b = bridge(pattern.num_edges() + 3, seed);
-    let mut env = WsdEnv::new(
-        stream,
-        pattern,
-        capacity,
-        TemporalPooling::Max,
-        b,
-        RewardScale::Raw,
-        seed,
-    );
+    let mut env =
+        WsdEnv::new(stream, pattern, capacity, TemporalPooling::Max, b, RewardScale::Raw, seed);
     let mut sum = 0.0;
     while let Some(t) = env.next_transition() {
         sum += t.reward;
@@ -59,8 +52,7 @@ pub fn episode_rewards(
     scale: RewardScale,
 ) -> Vec<f64> {
     let b = bridge(pattern.num_edges() + 3, seed);
-    let mut env =
-        WsdEnv::new(stream, pattern, capacity, TemporalPooling::Max, b, scale, seed);
+    let mut env = WsdEnv::new(stream, pattern, capacity, TemporalPooling::Max, b, scale, seed);
     let mut out = Vec::new();
     while let Some(t) = env.next_transition() {
         out.push(t.reward);

@@ -193,8 +193,7 @@ mod tests {
 
     #[test]
     fn multiple_episodes_when_streams_are_short() {
-        let edges: Vec<Edge> = GeneratorConfig::ErdosRenyi { vertices: 40, edges: 60 }
-            .generate(5);
+        let edges: Vec<Edge> = GeneratorConfig::ErdosRenyi { vertices: 40, edges: 60 }.generate(5);
         let mut cfg = TrainerConfig::paper_defaults(Pattern::Triangle, 30);
         cfg.iterations = 200;
         cfg.batch_size = 16;

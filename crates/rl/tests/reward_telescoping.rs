@@ -12,16 +12,11 @@ use wsd_stream::Scenario;
 
 #[test]
 fn episode_return_telescopes_to_final_error() {
-    let edges = GeneratorConfig::HolmeKim {
-        vertices: 250,
-        edges_per_vertex: 5,
-        triad_prob: 0.6,
-    }
-    .generate(13);
+    let edges = GeneratorConfig::HolmeKim { vertices: 250, edges_per_vertex: 5, triad_prob: 0.6 }
+        .generate(13);
     let stream = Scenario::default_light().apply(&edges, 13);
     // A small budget so the estimate genuinely drifts from the truth.
-    let (reward_sum, final_eps, first_eps) =
-        run_episode_raw(stream, Pattern::Triangle, 120, 7);
+    let (reward_sum, final_eps, first_eps) = run_episode_raw(stream, Pattern::Triangle, 120, 7);
     assert_eq!(first_eps, 0.0, "estimate must be exact before the reservoir fills");
     assert!(
         (reward_sum - (first_eps - final_eps)).abs() < 1e-6,
@@ -35,12 +30,8 @@ fn episode_return_telescopes_to_final_error() {
 fn relative_scaling_preserves_reward_signs() {
     // The Relative mode divides each reward by max(1, truth): signs (and
     // hence the improvement structure) must match Raw mode.
-    let edges = GeneratorConfig::HolmeKim {
-        vertices: 200,
-        edges_per_vertex: 4,
-        triad_prob: 0.5,
-    }
-    .generate(17);
+    let edges = GeneratorConfig::HolmeKim { vertices: 200, edges_per_vertex: 4, triad_prob: 0.5 }
+        .generate(17);
     let stream = Scenario::default_light().apply(&edges, 17);
     let raw = wsd_rl::test_support::episode_rewards(
         stream.clone(),
@@ -58,11 +49,7 @@ fn relative_scaling_preserves_reward_signs() {
     );
     assert_eq!(raw.len(), rel.len());
     for (a, b) in raw.iter().zip(&rel) {
-        assert_eq!(
-            a.signum(),
-            b.signum(),
-            "scaling must not flip reward signs ({a} vs {b})"
-        );
+        assert_eq!(a.signum(), b.signum(), "scaling must not flip reward signs ({a} vs {b})");
     }
     assert!(raw.iter().any(|&r| r != 0.0), "episode should have non-zero rewards");
 }

@@ -175,13 +175,21 @@ pub fn registry() -> Vec<DatasetPair> {
             train: DatasetSpec {
                 name: "web-SF",
                 category: Category::Web,
-                config: GeneratorConfig::Copying { vertices: 2_500, out_degree: 10, copy_prob: 0.8 },
+                config: GeneratorConfig::Copying {
+                    vertices: 2_500,
+                    out_degree: 10,
+                    copy_prob: 0.8,
+                },
                 seed: 0x3EB_0001,
             },
             test: DatasetSpec {
                 name: "web-GL",
                 category: Category::Web,
-                config: GeneratorConfig::Copying { vertices: 10_000, out_degree: 10, copy_prob: 0.8 },
+                config: GeneratorConfig::Copying {
+                    vertices: 10_000,
+                    out_degree: 10,
+                    copy_prob: 0.8,
+                },
                 seed: 0x3EB_0002,
             },
         },
@@ -228,13 +236,7 @@ mod tests {
         for pair in registry() {
             let train = pair.train.edges().len();
             let test = pair.test.edges().len();
-            assert!(
-                test > 2 * train,
-                "{}: train {} vs test {}",
-                pair.category.name(),
-                train,
-                test
-            );
+            assert!(test > 2 * train, "{}: train {} vs test {}", pair.category.name(), train, test);
         }
     }
 

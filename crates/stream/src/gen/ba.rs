@@ -78,9 +78,6 @@ mod tests {
         degrees.sort_unstable();
         let median = degrees[degrees.len() / 2];
         let max = *degrees.last().unwrap();
-        assert!(
-            max >= 10 * median,
-            "expected heavy tail, got median {median} max {max}"
-        );
+        assert!(max >= 10 * median, "expected heavy tail, got median {median} max {max}");
     }
 }

@@ -50,9 +50,9 @@ pub fn generate(
         };
         membership.push(cid);
         let link = |t: Vertex,
-                        edges: &mut Vec<Edge>,
-                        present: &mut FxHashSet<Edge>,
-                        adj: &mut FxHashMap<Vertex, Vec<Vertex>>|
+                    edges: &mut Vec<Edge>,
+                    present: &mut FxHashSet<Edge>,
+                    adj: &mut FxHashMap<Vertex, Vec<Vertex>>|
          -> bool {
             if t == v {
                 return false;

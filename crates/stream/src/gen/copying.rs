@@ -20,10 +20,10 @@ pub fn generate(n: u64, out_degree: usize, copy_prob: f64, rng: &mut SmallRng) -
     let mut adj: FxHashMap<Vertex, Vec<Vertex>> = FxHashMap::default();
     let mut present: FxHashSet<Edge> = FxHashSet::default();
     let add = |a: Vertex,
-                   b: Vertex,
-                   edges: &mut Vec<Edge>,
-                   adj: &mut FxHashMap<Vertex, Vec<Vertex>>,
-                   present: &mut FxHashSet<Edge>|
+               b: Vertex,
+               edges: &mut Vec<Edge>,
+               adj: &mut FxHashMap<Vertex, Vec<Vertex>>,
+               present: &mut FxHashSet<Edge>|
      -> bool {
         let Some(e) = Edge::try_new(a, b) else { return false };
         if !present.insert(e) {

@@ -126,10 +126,7 @@ mod tests {
         let total: usize = (0..samples).map(|_| geometric(p, &mut rng)).sum();
         let mean = total as f64 / samples as f64;
         let expect = p / (1.0 - p);
-        assert!(
-            (mean - expect).abs() < 0.05,
-            "geometric mean {mean} should be ≈ {expect}"
-        );
+        assert!((mean - expect).abs() < 0.05, "geometric mean {mean} should be ≈ {expect}");
         assert_eq!(geometric(0.0, &mut rng), 0);
     }
 }

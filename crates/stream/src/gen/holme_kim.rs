@@ -24,11 +24,11 @@ pub fn generate(n: u64, m: usize, triad_prob: f64, rng: &mut SmallRng) -> Vec<Ed
     let mut adj: FxHashMap<Vertex, Vec<Vertex>> = FxHashMap::default();
     let mut present: FxHashSet<Edge> = FxHashSet::default();
     let push = |a: Vertex,
-                    b: Vertex,
-                    edges: &mut Vec<Edge>,
-                    endpoints: &mut Vec<Vertex>,
-                    adj: &mut FxHashMap<Vertex, Vec<Vertex>>,
-                    present: &mut FxHashSet<Edge>|
+                b: Vertex,
+                edges: &mut Vec<Edge>,
+                endpoints: &mut Vec<Vertex>,
+                adj: &mut FxHashMap<Vertex, Vec<Vertex>>,
+                present: &mut FxHashSet<Edge>|
      -> bool {
         let Some(e) = Edge::try_new(a, b) else { return false };
         if !present.insert(e) {

@@ -184,10 +184,7 @@ mod tests {
         assert_feasible(&stream);
         let deletions = stream.iter().filter(|ev| ev.op == Op::Delete).count();
         let frac = deletions as f64 / es.len() as f64;
-        assert!(
-            (frac - 0.2).abs() < 0.05,
-            "≈20% of edges should be deleted, got {frac:.3}"
-        );
+        assert!((frac - 0.2).abs() < 0.05, "≈20% of edges should be deleted, got {frac:.3}");
     }
 
     #[test]

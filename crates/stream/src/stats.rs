@@ -63,11 +63,7 @@ mod tests {
     fn counts_match() {
         let e1 = Edge::new(1, 2);
         let e2 = Edge::new(2, 3);
-        let stream = vec![
-            EdgeEvent::insert(e1),
-            EdgeEvent::insert(e2),
-            EdgeEvent::delete(e1),
-        ];
+        let stream = vec![EdgeEvent::insert(e1), EdgeEvent::insert(e2), EdgeEvent::delete(e1)];
         let s = StreamStats::compute(&stream);
         assert_eq!(s.events, 3);
         assert_eq!(s.insertions, 2);

@@ -16,12 +16,8 @@ use wsd::prelude::*;
 
 /// Builds a stream with a clique-bomb planted at two-thirds of it.
 fn build_stream() -> (EventStream, std::ops::Range<usize>) {
-    let edges = GeneratorConfig::HolmeKim {
-        vertices: 3_000,
-        edges_per_vertex: 5,
-        triad_prob: 0.4,
-    }
-    .generate(11);
+    let edges = GeneratorConfig::HolmeKim { vertices: 3_000, edges_per_vertex: 5, triad_prob: 0.4 }
+        .generate(11);
     let mut events = Scenario::default_light().apply(&edges, 11);
     // The bot farm: a 40-clique over fresh vertex ids, inserted as one
     // contiguous burst.
@@ -75,9 +71,8 @@ fn main() {
             last_transitivity = Some(t);
         }
     }
-    let detected = alarms
-        .iter()
-        .any(|&i| i + window >= bomb_range.start && i <= bomb_range.end + window);
+    let detected =
+        alarms.iter().any(|&i| i + window >= bomb_range.start && i <= bomb_range.end + window);
     println!(
         "\nclique bomb {}",
         if detected { "DETECTED by transitivity monitor" } else { "missed (tune the threshold)" }

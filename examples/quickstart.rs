@@ -11,12 +11,8 @@ fn main() {
     // 1. A dynamic graph: a social-style synthetic graph whose edges
     //    arrive in natural (growth) order, with 20% of them deleted at
     //    random later positions — the paper's light-deletion scenario.
-    let edges = GeneratorConfig::HolmeKim {
-        vertices: 4_000,
-        edges_per_vertex: 6,
-        triad_prob: 0.6,
-    }
-    .generate(1);
+    let edges = GeneratorConfig::HolmeKim { vertices: 4_000, edges_per_vertex: 6, triad_prob: 0.6 }
+        .generate(1);
     let events = Scenario::default_light().apply(&edges, 1);
     println!("stream: {} events ({} edge insertions)", events.len(), edges.len());
 

@@ -19,8 +19,8 @@ fn demo_file() -> std::path::PathBuf {
     let path = std::env::temp_dir().join("wsd-demo-edges.txt");
     let mut f = std::fs::File::create(&path).expect("temp file");
     writeln!(f, "# demo edge list (u v per line)").unwrap();
-    let edges = GeneratorConfig::Copying { vertices: 2_000, out_degree: 6, copy_prob: 0.7 }
-        .generate(3);
+    let edges =
+        GeneratorConfig::Copying { vertices: 2_000, out_degree: 6, copy_prob: 0.7 }.generate(3);
     for e in edges {
         writeln!(f, "{} {}", e.u(), e.v()).unwrap();
     }

@@ -11,12 +11,9 @@ use wsd::prelude::*;
 fn main() {
     // Training graph: a small citation-style graph (the paper trains on
     // the smaller graph of the same category, Table I).
-    let train_edges = GeneratorConfig::HolmeKim {
-        vertices: 1_500,
-        edges_per_vertex: 8,
-        triad_prob: 0.6,
-    }
-    .generate(100);
+    let train_edges =
+        GeneratorConfig::HolmeKim { vertices: 1_500, edges_per_vertex: 8, triad_prob: 0.6 }
+            .generate(100);
     let scenario = Scenario::default_light();
 
     // DDPG with the paper's hyper-parameters (1000 iterations, batch
@@ -38,12 +35,9 @@ fn main() {
     println!("policy saved to {} and reloaded", path.display());
 
     // Held-out evaluation: a larger graph of the same category.
-    let test_edges = GeneratorConfig::HolmeKim {
-        vertices: 6_000,
-        edges_per_vertex: 8,
-        triad_prob: 0.6,
-    }
-    .generate(200);
+    let test_edges =
+        GeneratorConfig::HolmeKim { vertices: 6_000, edges_per_vertex: 8, triad_prob: 0.6 }
+            .generate(200);
     let events = scenario.apply(&test_edges, 5);
     let truth = ExactCounter::count_stream(Pattern::Triangle, events.iter().copied())
         .expect("feasible stream") as f64;

@@ -94,8 +94,7 @@ fn estimates_return_to_zero_when_everything_is_deleted() {
         Algorithm::ThinkD,
         Algorithm::Wrs,
     ] {
-        let mut c =
-            CounterConfig::new(Pattern::Triangle, events.len() + 10, 4).build(alg);
+        let mut c = CounterConfig::new(Pattern::Triangle, events.len() + 10, 4).build(alg);
         c.process_all(&events);
         assert!(
             c.estimate().abs() < 1e-6,

@@ -25,9 +25,8 @@ fn policy_roundtrips_through_disk_and_counter() {
     // Both policies drive identical counters.
     let events = Scenario::default_light().apply(&category_graph(800, 2), 3);
     let run = |p: LinearPolicy| {
-        let mut c = CounterConfig::new(Pattern::Triangle, 200, 11)
-            .with_policy(p)
-            .build(Algorithm::WsdL);
+        let mut c =
+            CounterConfig::new(Pattern::Triangle, 200, 11).with_policy(p).build(Algorithm::WsdL);
         c.process_all(&events);
         c.estimate()
     };
@@ -49,8 +48,7 @@ fn learned_policy_is_not_worse_than_heuristic() {
 
     let test_edges = category_graph(4_000, 20);
     let events = scenario.apply(&test_edges, 21);
-    let truth =
-        TruthTimeline::compute(Pattern::Triangle, &events).final_count() as f64;
+    let truth = TruthTimeline::compute(Pattern::Triangle, &events).final_count() as f64;
     assert!(truth > 1_000.0);
     let budget = test_edges.len() / 20;
     let reps = 20u64;
@@ -70,12 +68,7 @@ fn learned_policy_is_not_worse_than_heuristic() {
     };
     let l = mean_are(Algorithm::WsdL, Some(&report.policy));
     let h = mean_are(Algorithm::WsdH, None);
-    assert!(
-        l <= h * 1.15,
-        "WSD-L (ARE {:.3}) should not be worse than WSD-H (ARE {:.3})",
-        l,
-        h
-    );
+    assert!(l <= h * 1.15, "WSD-L (ARE {:.3}) should not be worse than WSD-H (ARE {:.3})", l, h);
 }
 
 #[test]
