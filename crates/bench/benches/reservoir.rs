@@ -17,9 +17,9 @@ fn bench_heap(c: &mut Criterion) {
     group.throughput(Throughput::Elements(OPS as u64));
     group.bench_function("push_evict_cycle", |b| {
         b.iter_batched(
-            || (IndexedMinHeap::<u64>::with_capacity(CAPACITY), SmallRng::seed_from_u64(1)),
+            || (IndexedMinHeap::with_capacity(CAPACITY), SmallRng::seed_from_u64(1)),
             |(mut heap, mut rng)| {
-                for i in 0..OPS as u64 {
+                for i in 0..OPS as u32 {
                     let rank: f64 = rng.random_range(0.0..1.0);
                     if heap.len() == CAPACITY {
                         heap.pop_min();
@@ -34,16 +34,16 @@ fn bench_heap(c: &mut Criterion) {
     group.bench_function("remove_by_key", |b| {
         b.iter_batched(
             || {
-                let mut heap = IndexedMinHeap::<u64>::with_capacity(OPS);
+                let mut heap = IndexedMinHeap::with_capacity(OPS);
                 let mut rng = SmallRng::seed_from_u64(2);
-                for i in 0..OPS as u64 {
+                for i in 0..OPS as u32 {
                     heap.push(i, rng.random_range(0.0..1.0));
                 }
                 heap
             },
             |mut heap| {
-                for i in 0..OPS as u64 {
-                    heap.remove(&i);
+                for i in 0..OPS as u32 {
+                    heap.remove(i);
                 }
                 black_box(heap.len())
             },

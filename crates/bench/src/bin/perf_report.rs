@@ -1,0 +1,191 @@
+//! `perf_report` — fixed-seed sampler throughput snapshot.
+//!
+//! Runs every deletion-capable sampler over one deterministic
+//! Barabási–Albert stream (light-deletion scenario) for each evaluation
+//! pattern and reports the median events/sec, writing a machine-readable
+//! JSON report. The stream, seeds and methodology are pinned so the
+//! numbers are comparable across commits: each PR that claims a hot-path
+//! win regenerates the report (optionally passing the previous report
+//! via `--perf-baseline` to get speedup columns) and checks it in at the
+//! repo root.
+//!
+//! ```text
+//! perf_report [--quick] [--out PATH] [--perf-baseline PATH]
+//!             [--vertices N] [--time-reps N]
+//! ```
+//!
+//! ```text
+//! perf_report ... [--methodology STR]
+//! ```
+//!
+//! `--quick` shrinks the stream for CI smoke runs (the report is still
+//! written, to the same schema). The JSON is emitted one result object
+//! per line so prior reports can be re-read without a JSON dependency.
+//! The `methodology` field records how the numbers were produced;
+//! checked-in reports on noisy shared hosts are typically per-cell
+//! medians over several runs alternated with the baseline binary
+//! (aggregate with `--methodology` describing the protocol), since
+//! paired ratios are far more stable than absolute rates there.
+
+use std::time::Instant;
+use wsd_core::{Algorithm, CounterConfig};
+use wsd_graph::Pattern;
+use wsd_stream::gen::GeneratorConfig;
+use wsd_stream::Scenario;
+
+/// Generator seed (edge list) and scenario seed (deletion placement).
+const GEN_SEED: u64 = 7;
+const SCENARIO_SEED: u64 = 3;
+/// Counter seed — same for every cell, as in `sampler_throughput`.
+const COUNTER_SEED: u64 = 42;
+
+struct Cell {
+    algorithm: &'static str,
+    pattern: String,
+    events_per_sec: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| argv.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .map(|i| argv.get(i + 1).unwrap_or_else(|| panic!("missing value for {name}")).clone())
+    };
+    let quick = flag("--quick");
+    let vertices: u64 = opt("--vertices")
+        .map(|v| v.parse().expect("--vertices expects an integer"))
+        .unwrap_or(if quick { 600 } else { 4_000 });
+    let time_reps: usize = opt("--time-reps")
+        .map(|v| v.parse().expect("--time-reps expects an integer"))
+        .unwrap_or(if quick { 1 } else { 5 });
+    assert!(time_reps >= 1, "--time-reps must be >= 1");
+    let out = opt("--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let methodology = opt("--methodology").unwrap_or_else(|| {
+        format!("single run on one host; median of {time_reps} full stream passes per cell")
+    });
+    let baseline = opt("--perf-baseline").map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+    });
+
+    let edges =
+        GeneratorConfig::BarabasiAlbert { vertices, edges_per_vertex: 5 }.generate(GEN_SEED);
+    let events = Scenario::default_light().apply(&edges, SCENARIO_SEED);
+    let capacity = (events.len() / 20).max(64); // ~5% budget, as in the benches
+    eprintln!(
+        "perf_report: BA n={} (|E|={}, |S|={}), capacity M={}, {} timing reps",
+        vertices,
+        edges.len(),
+        events.len(),
+        capacity,
+        time_reps
+    );
+
+    let algorithms = [
+        Algorithm::WsdH,
+        Algorithm::WsdUniform,
+        Algorithm::GpsA,
+        Algorithm::Triest,
+        Algorithm::ThinkD,
+        Algorithm::Wrs,
+    ];
+    let patterns = [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique];
+
+    let mut cells = Vec::new();
+    for pattern in patterns {
+        for alg in algorithms {
+            let mut rates = Vec::with_capacity(time_reps);
+            for _ in 0..time_reps {
+                let mut counter = CounterConfig::new(pattern, capacity, COUNTER_SEED).build(alg);
+                let start = Instant::now();
+                counter.process_all(&events);
+                let secs = start.elapsed().as_secs_f64();
+                std::hint::black_box(counter.estimate());
+                rates.push(events.len() as f64 / secs);
+            }
+            let events_per_sec = median(rates);
+            eprintln!(
+                "  {:>8} x {:<9} {:>12.0} events/sec",
+                alg.name(),
+                pattern.name(),
+                events_per_sec
+            );
+            cells.push(Cell { algorithm: alg.name(), pattern: pattern.name(), events_per_sec });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"stream\": {{\"generator\": \"barabasi-albert\", \"vertices\": {vertices}, \
+         \"edges_per_vertex\": 5, \"scenario\": \"light\", \"events\": {}, \
+         \"capacity\": {capacity}, \"gen_seed\": {GEN_SEED}, \"scenario_seed\": {SCENARIO_SEED}}},\n",
+        events.len()
+    ));
+    json.push_str(&format!("  \"methodology\": \"{}\",\n", json_escape(&methodology)));
+    json.push_str(&format!("  \"time_reps\": {time_reps},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let base = baseline.as_deref().and_then(|b| baseline_rate(b, c.algorithm, &c.pattern));
+        let mut line = format!(
+            "    {{\"algorithm\": \"{}\", \"pattern\": \"{}\", \"events_per_sec\": {:.1}",
+            c.algorithm, c.pattern, c.events_per_sec
+        );
+        if let Some(base) = base {
+            line.push_str(&format!(
+                ", \"baseline_events_per_sec\": {:.1}, \"speedup\": {:.3}",
+                base,
+                c.events_per_sec / base
+            ));
+        }
+        line.push('}');
+        if i + 1 < cells.len() {
+            line.push(',');
+        }
+        line.push('\n');
+        json.push_str(&line);
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("perf_report: wrote {out}");
+}
+
+/// Escapes a free-text string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Pulls `events_per_sec` for an (algorithm, pattern) cell out of a
+/// prior report. The writer keeps each result object on one line, so a
+/// line scan suffices — no JSON parser dependency.
+fn baseline_rate(report: &str, algorithm: &str, pattern: &str) -> Option<f64> {
+    let alg_key = format!("\"algorithm\": \"{algorithm}\"");
+    let pat_key = format!("\"pattern\": \"{pattern}\"");
+    for line in report.lines() {
+        if line.contains(&alg_key) && line.contains(&pat_key) {
+            let tail = line.split("\"events_per_sec\": ").nth(1)?;
+            let num: String =
+                tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+            return num.parse().ok();
+        }
+    }
+    None
+}

@@ -18,7 +18,7 @@ use crate::estimator::weighted_mass;
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
-use crate::state::{StateAccumulator, TemporalPooling};
+use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -30,7 +30,8 @@ pub struct GpsCounter {
     display_name: String,
     pattern: Pattern,
     capacity: usize,
-    heap: IndexedMinHeap<Edge>,
+    /// Keyed by the sample's arena edge IDs.
+    heap: IndexedMinHeap,
     sample: WeightedSample,
     /// The `(M+1)`-th largest rank seen so far (`r_{M+1}` in Eq. 1).
     z: f64,
@@ -38,6 +39,8 @@ pub struct GpsCounter {
     t: u64,
     scratch: EnumScratch,
     acc: StateAccumulator,
+    /// Reusable state-vector buffer (allocation-free insertions).
+    state_buf: StateVector,
     weight_fn: Box<dyn WeightFn>,
     rng: SmallRng,
     /// Pre-drawn `u` variates for batched processing (reused scratch).
@@ -68,6 +71,7 @@ impl GpsCounter {
             t: 0,
             scratch: EnumScratch::default(),
             acc: StateAccumulator::new(pattern.num_edges(), TemporalPooling::Max),
+            state_buf: StateVector::empty(),
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
             u_buf: Vec::new(),
@@ -93,29 +97,28 @@ impl GpsCounter {
     /// Insertion with an externally drawn `u` (batched path).
     fn insert_with_u(&mut self, e: Edge, u: f64) {
         self.acc.reset();
-        let mass = weighted_mass(
+        let (mass, deg_u, deg_v) = weighted_mass(
             self.pattern,
-            &self.sample,
+            &mut self.sample,
             e,
             self.z,
             &mut self.scratch,
             Some((&mut self.acc, self.t)),
         );
         self.estimate += mass;
-        let state =
-            self.acc.finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
-        let w = self.weight_fn.weight(&state);
+        self.acc.finish_into(deg_u, deg_v, &mut self.state_buf);
+        let w = self.weight_fn.weight(&self.state_buf);
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
-            self.heap.push(e, r);
-            self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+            let id = self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+            self.heap.push(id, r);
         } else {
             let (_, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
             if r > min_rank {
                 let (victim, losing) = self.heap.pop_min().expect("non-empty");
-                self.sample.remove(victim).expect("heap and sample in sync");
-                self.heap.push(e, r);
-                self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+                self.sample.remove_by_id(victim);
+                let id = self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+                self.heap.push(id, r);
                 self.z = self.z.max(losing);
             } else {
                 self.z = self.z.max(r);

@@ -10,44 +10,55 @@
 //! is unbiased (Theorem 2) — but the *effective* reservoir shrinks as
 //! ghosts accumulate, which is the accuracy drawback WSD removes.
 //!
-//! Implementation note: ghosts are keyed by a unique item id, not by the
-//! edge, so that an edge can be re-inserted while its tagged ghost from a
-//! previous life still sits in the queue.
+//! Implementation note: queued items are keyed by a recycled *item ID*,
+//! not by the edge, so that an edge can be re-inserted while its tagged
+//! ghost from a previous life still sits in the queue. Item IDs are
+//! recycled when their queue slot frees (at most `M` are ever in
+//! flight), so all item bookkeeping — the edge and live flag per item,
+//! and the item behind each live sampled edge — lives in dense arrays;
+//! no edge-keyed hashing anywhere on the event path.
 
 use crate::counter::SubgraphCounter;
 use crate::estimator::weighted_mass;
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
-use crate::state::{StateAccumulator, TemporalPooling};
+use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wsd_graph::patterns::EnumScratch;
-use wsd_graph::{Edge, EdgeEvent, FxHashMap, Op, Pattern};
+use wsd_graph::{Edge, EdgeEvent, Op, Pattern};
 
-/// Unique id per reservoir item (survives tagging; edges can recur).
-type ItemId = u64;
+/// Recycled id per reservoir item (survives tagging; edges can recur).
+type ItemId = u32;
 
 /// The GPS-A subgraph counter.
 pub struct GpsACounter {
     display_name: String,
     pattern: Pattern,
     capacity: usize,
-    heap: IndexedMinHeap<ItemId>,
-    /// Edge behind each queued item (live or tagged).
-    items: FxHashMap<ItemId, Edge>,
-    /// Live (untagged) sampled edges → item id.
-    live: FxHashMap<Edge, ItemId>,
+    /// Keyed by item ID.
+    heap: IndexedMinHeap,
+    /// Edge behind each queued item (live or tagged); indexed by item ID.
+    item_edge: Vec<Edge>,
+    /// Whether the item is live (untagged); indexed by item ID.
+    item_live: Vec<bool>,
+    /// Item IDs whose queue slot has freed, awaiting recycling.
+    free_items: Vec<ItemId>,
+    /// Item behind each live sampled edge; indexed by the sample's arena
+    /// edge ID.
+    edge_item: Vec<ItemId>,
     /// The estimation view: live sampled edges only (`R \ R_tag`).
     sample: WeightedSample,
-    next_id: ItemId,
     /// Threshold `z = r_{M+1}` (as in GPS).
     z: f64,
     estimate: f64,
     t: u64,
     scratch: EnumScratch,
     acc: StateAccumulator,
+    /// Reusable state-vector buffer (allocation-free insertions).
+    state_buf: StateVector,
     weight_fn: Box<dyn WeightFn>,
     rng: SmallRng,
     /// Pre-drawn `u` variates for batched processing (reused scratch).
@@ -72,15 +83,17 @@ impl GpsACounter {
             pattern,
             capacity,
             heap: IndexedMinHeap::with_capacity(capacity),
-            items: FxHashMap::default(),
-            live: FxHashMap::default(),
+            item_edge: Vec::with_capacity(capacity),
+            item_live: Vec::with_capacity(capacity),
+            free_items: Vec::new(),
+            edge_item: Vec::new(),
             sample: WeightedSample::new(),
-            next_id: 0,
             z: 0.0,
             estimate: 0.0,
             t: 0,
             scratch: EnumScratch::default(),
             acc: StateAccumulator::new(pattern.num_edges(), TemporalPooling::Max),
+            state_buf: StateVector::empty(),
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
             u_buf: Vec::new(),
@@ -96,22 +109,24 @@ impl GpsACounter {
     /// Number of tagged ghosts currently wasting reservoir budget — the
     /// quantity behind GPS-A's accuracy drawback.
     pub fn tagged_edges(&self) -> usize {
-        self.heap.len() - self.live.len()
+        self.heap.len() - self.sample.len()
     }
 
     /// Number of live (estimation-visible) sampled edges.
     pub fn live_edges(&self) -> usize {
-        self.live.len()
+        self.sample.len()
     }
 
-    fn evict(&mut self, id: ItemId) {
-        let edge = self.items.remove(&id).expect("heap and items in sync");
+    fn evict(&mut self, item: ItemId) {
         // Live items must also leave the estimation view; ghosts already
-        // have.
-        if self.live.get(&edge) == Some(&id) {
-            self.live.remove(&edge);
+        // have (a ghost's edge may have been re-inserted as a *different*
+        // live item, which the flag keeps untouched).
+        if self.item_live[item as usize] {
+            self.item_live[item as usize] = false;
+            let edge = self.item_edge[item as usize];
             self.sample.remove(edge).expect("live item present in sample");
         }
+        self.free_items.push(item);
     }
 
     fn insert(&mut self, e: Edge) {
@@ -122,18 +137,17 @@ impl GpsACounter {
     /// Insertion with an externally drawn `u` (batched path).
     fn insert_with_u(&mut self, e: Edge, u: f64) {
         self.acc.reset();
-        let mass = weighted_mass(
+        let (mass, deg_u, deg_v) = weighted_mass(
             self.pattern,
-            &self.sample,
+            &mut self.sample,
             e,
             self.z,
             &mut self.scratch,
             Some((&mut self.acc, self.t)),
         );
         self.estimate += mass;
-        let state =
-            self.acc.finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
-        let w = self.weight_fn.weight(&state);
+        self.acc.finish_into(deg_u, deg_v, &mut self.state_buf);
+        let w = self.weight_fn.weight(&self.state_buf);
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
             self.admit(e, w, r);
@@ -151,12 +165,22 @@ impl GpsACounter {
     }
 
     fn admit(&mut self, e: Edge, w: f64, r: f64) {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.heap.push(id, r);
-        self.items.insert(id, e);
-        self.live.insert(e, id);
-        self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+        let item = match self.free_items.pop() {
+            Some(item) => item,
+            None => {
+                self.item_edge.push(e);
+                self.item_live.push(false);
+                (self.item_edge.len() - 1) as ItemId
+            }
+        };
+        self.item_edge[item as usize] = e;
+        self.item_live[item as usize] = true;
+        self.heap.push(item, r);
+        let eid = self.sample.insert(e, EdgeMeta { weight: w, time: self.t }) as usize;
+        if eid >= self.edge_item.len() {
+            self.edge_item.resize(eid + 1, 0);
+        }
+        self.edge_item[eid] = item;
     }
 
     fn delete(&mut self, e: Edge) {
@@ -164,13 +188,14 @@ impl GpsACounter {
         // sample, which never contains e's own probability (J \ e_x).
         // Tag e (remove from the estimation view) *before* enumerating,
         // so the view matches `R \ R_tag` without e.
-        if let Some(id) = self.live.remove(&e) {
-            debug_assert_eq!(self.items.get(&id), Some(&e));
-            self.sample.remove(e).expect("live edge present in sample");
-            // The ghost stays in heap+items, still occupying budget.
-            let _ = id;
+        if let Some((eid, _)) = self.sample.remove_full(e) {
+            let item = self.edge_item[eid as usize];
+            debug_assert_eq!(self.item_edge[item as usize], e);
+            // The ghost stays in the heap, still occupying budget.
+            self.item_live[item as usize] = false;
         }
-        let mass = weighted_mass(self.pattern, &self.sample, e, self.z, &mut self.scratch, None);
+        let (mass, _, _) =
+            weighted_mass(self.pattern, &mut self.sample, e, self.z, &mut self.scratch, None);
         self.estimate -= mass;
     }
 }
@@ -281,6 +306,23 @@ mod tests {
         }
         assert!(c.tagged_edges() < 3, "some ghost should have been evicted");
         assert_eq!(c.stored_edges(), 3);
+    }
+
+    #[test]
+    fn item_ids_stay_bounded_by_capacity() {
+        // Heavy churn far past capacity: recycled item IDs must keep the
+        // dense bookkeeping no larger than the queue.
+        let mut c = GpsACounter::new(Pattern::Triangle, 8, Box::new(UniformWeight), 6);
+        for round in 0..50u64 {
+            for i in 0..8u64 {
+                c.process(ins(100 * round + 2 * i, 100 * round + 2 * i + 1));
+            }
+            for i in 0..4u64 {
+                c.process(del(100 * round + 2 * i, 100 * round + 2 * i + 1));
+            }
+        }
+        assert!(c.item_edge.len() <= 8, "item ID space grew past capacity");
+        assert!(c.stored_edges() <= 8);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! inclusion `(s−i)/(n_R−i)` factors for reservoir partners, where `n_R`
 //! counts edges that have *left the waiting room* and not been deleted
 //! (the reservoir's population).
+//!
+//! The per-partner "is it in the waiting room?" test — the innermost
+//! loop of the estimator — reads a dense flag indexed by the partner's
+//! arena edge ID (the enumeration kernel yields IDs directly), not a
+//! hash set of `Edge` keys. The `Edge`-keyed membership set remains for
+//! the per-event FIFO bookkeeping, where edges — not IDs — are the
+//! stable identity across a ghost's lifetime.
 
 use crate::counter::SubgraphCounter;
 use crate::reservoir::{Admission, RpReservoir};
@@ -22,7 +29,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 use wsd_graph::patterns::EnumScratch;
-use wsd_graph::{Adjacency, Edge, EdgeEvent, FxHashSet, Op, Pattern};
+use wsd_graph::{Adjacency, Edge, EdgeEvent, EdgeId, FxHashMap, Op, Pattern};
 
 /// Default waiting-room fraction of the budget (the WRS paper's default).
 pub const DEFAULT_WAITING_ROOM_FRACTION: f64 = 0.1;
@@ -33,8 +40,14 @@ pub struct WrsCounter {
     /// FIFO order of waiting-room edges; may contain ghosts of edges
     /// deleted while waiting (lazily purged on eviction).
     room_fifo: VecDeque<Edge>,
-    /// Live waiting-room membership.
-    room: FxHashSet<Edge>,
+    /// Live waiting-room membership (per-event bookkeeping), carrying
+    /// each room edge's current arena ID so the spill path clears its
+    /// dense flag without re-probing the adjacency.
+    room: FxHashMap<Edge, EdgeId>,
+    /// Dense mirror of `room` keyed by arena edge ID — the estimator's
+    /// per-partner lookup. Invariant: for every live edge ID `i` of
+    /// `adj`, `room_flag[i] == room.contains(edge_of(i))`.
+    room_flag: Vec<bool>,
     room_capacity: usize,
     reservoir: RpReservoir,
     /// Adjacency over waiting room ∪ reservoir.
@@ -78,7 +91,8 @@ impl WrsCounter {
         Self {
             pattern,
             room_fifo: VecDeque::with_capacity(room_capacity + 1),
-            room: FxHashSet::default(),
+            room: FxHashMap::default(),
+            room_flag: Vec::with_capacity(capacity + 1),
             room_capacity,
             reservoir: RpReservoir::new(reservoir_capacity),
             adj: Adjacency::new(),
@@ -93,17 +107,40 @@ impl WrsCounter {
         self.room.len()
     }
 
+    /// Adds `e` to the waiting room: FIFO + membership map + adjacency,
+    /// with the dense flag set for the estimator's partner checks.
+    fn room_admit(&mut self, e: Edge) {
+        // On the (infeasible) re-insert of a sampled edge the adjacency
+        // keeps its existing ID; the flag still follows the room map.
+        let id = self.adj.insert_full(e).or_else(|| self.adj.edge_id(e)).expect("edge is live");
+        let i = id as usize;
+        if i >= self.room_flag.len() {
+            self.room_flag.resize(i + 1, false);
+        }
+        self.room_flag[i] = true;
+        self.room_fifo.push_back(e);
+        self.room.insert(e, id);
+    }
+
+    /// Removes `e` from the sampled adjacency, resetting the flag so the
+    /// recycled ID's next tenant starts out of the room.
+    fn adj_remove(&mut self, e: Edge) {
+        if let Some(id) = self.adj.remove_full(e) {
+            self.room_flag[id as usize] = false;
+        }
+    }
+
     /// Adds the estimator mass of instances completed by `e` against the
     /// current sample. `sign` is +1 for insertions, −1 for deletions;
     /// `s`/`n_r` are the reservoir sample/population sizes to use.
     fn update_estimate(&mut self, e: Edge, sign: f64, s: u64, n_r: u64) {
-        let room = &self.room;
+        let room_flag = &self.room_flag;
         let reservoir_len_check = s; // captured for the closure below
         let mut total = 0.0;
         self.pattern.for_each_completed(&self.adj, e, &mut self.scratch, &mut |partners| {
             let mut in_reservoir = 0u64;
-            for p in partners {
-                if !room.contains(p) {
+            for &p in partners {
+                if !room_flag[p as usize] {
                     in_reservoir += 1;
                 }
             }
@@ -123,35 +160,43 @@ impl WrsCounter {
         let n_r = self.reservoir.population();
         self.update_estimate(e, 1.0, s, n_r);
         // New edge always enters the waiting room.
-        self.room_fifo.push_back(e);
-        self.room.insert(e);
-        self.adj.insert(e);
+        self.room_admit(e);
         if self.room.len() > self.room_capacity {
-            // Evict the oldest live edge (skipping ghosts of deletions).
-            let oldest = loop {
-                let cand = self.room_fifo.pop_front().expect("room over capacity");
-                if self.room.remove(&cand) {
-                    break cand;
-                }
-            };
-            match self.reservoir.offer(oldest, &mut self.rng) {
-                Admission::Added => {} // stays in adj
-                Admission::Replaced(victim) => {
-                    self.adj.remove(victim);
-                }
-                Admission::Skipped => {
-                    self.adj.remove(oldest);
-                }
+            self.spill_oldest();
+        }
+    }
+
+    /// Evicts the oldest live waiting-room edge into the reservoir.
+    fn spill_oldest(&mut self) {
+        // Oldest live edge first (skipping ghosts of deletions). The
+        // map carries the edge's current arena ID (IDs are stable while
+        // an edge is live), so clearing the dense flag is a direct
+        // array write.
+        let oldest = loop {
+            let cand = self.room_fifo.pop_front().expect("room over capacity");
+            if let Some(id) = self.room.remove(&cand) {
+                debug_assert_eq!(self.adj.edge_id(cand), Some(id));
+                self.room_flag[id as usize] = false;
+                break cand;
+            }
+        };
+        match self.reservoir.offer(oldest, &mut self.rng) {
+            Admission::Added => {} // stays in adj
+            Admission::Replaced(victim) => {
+                self.adj_remove(victim);
+            }
+            Admission::Skipped => {
+                self.adj_remove(oldest);
             }
         }
     }
 
     fn delete(&mut self, e: Edge) {
-        let in_room = self.room.contains(&e);
+        let in_room = self.room.contains_key(&e);
         let in_reservoir = self.reservoir.contains(e);
         // Estimator with e excluded from sample and population counts.
         if in_room || in_reservoir {
-            self.adj.remove(e);
+            self.adj_remove(e);
         }
         let s = self.reservoir.len() as u64 - in_reservoir as u64;
         let n_r = if in_room {
@@ -199,9 +244,7 @@ impl SubgraphCounter for WrsCounter {
                     while free > 0 && i < batch.len() && batch[i].is_insert() {
                         let e = batch[i].edge;
                         self.update_estimate(e, 1.0, s, n_r);
-                        self.room_fifo.push_back(e);
-                        self.room.insert(e);
-                        self.adj.insert(e);
+                        self.room_admit(e);
                         free -= 1;
                         i += 1;
                     }
@@ -242,6 +285,14 @@ mod tests {
         EdgeEvent::delete(Edge::new(a, b))
     }
 
+    /// Checks the dense flag mirror against the authoritative room set.
+    fn assert_flags_coherent(c: &WrsCounter) {
+        for e in c.adj.edges().collect::<Vec<_>>() {
+            let id = c.adj.edge_id(e).expect("live edge has an ID") as usize;
+            assert_eq!(c.room_flag[id], c.room.contains_key(&e), "room flag out of sync for {e:?}");
+        }
+    }
+
     #[test]
     fn exact_when_everything_fits() {
         let mut c = WrsCounter::with_fraction(Pattern::Triangle, 100, 0.2, 1);
@@ -251,6 +302,7 @@ mod tests {
         assert_eq!(c.estimate(), 0.0);
         c.process(ins(2, 3));
         assert_eq!(c.estimate(), 2.0);
+        assert_flags_coherent(&c);
     }
 
     #[test]
@@ -263,9 +315,10 @@ mod tests {
         assert_eq!(c.waiting_room_len(), 5);
         // The very last edges are certainly present.
         for i in 45..50u64 {
-            assert!(c.room.contains(&Edge::new(i, i + 1)), "recent edge {i} missing");
+            assert!(c.room.contains_key(&Edge::new(i, i + 1)), "recent edge {i} missing");
         }
         assert!(c.stored_edges() <= 20);
+        assert_flags_coherent(&c);
     }
 
     #[test]
@@ -282,6 +335,21 @@ mod tests {
             c.process(ins(i, i + 1));
         }
         assert_eq!(c.waiting_room_len(), 5);
+        assert_flags_coherent(&c);
+    }
+
+    #[test]
+    fn room_flags_track_churn() {
+        // Drive edges through room → reservoir → deletion with recycled
+        // IDs in play; the dense mirror must never drift.
+        let mut c = WrsCounter::with_fraction(Pattern::Triangle, 16, 0.25, 9);
+        for round in 0..30u64 {
+            for i in 0..6u64 {
+                c.process(ins(7 * round + i, 7 * round + i + 1));
+            }
+            c.process(del(7 * round + 2, 7 * round + 3));
+            assert_flags_coherent(&c);
+        }
     }
 
     #[test]

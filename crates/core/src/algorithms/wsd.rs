@@ -50,7 +50,8 @@ pub struct WsdCounter {
     display_name: String,
     pattern: Pattern,
     capacity: usize,
-    heap: IndexedMinHeap<Edge>,
+    /// Keyed by the sample's arena edge IDs.
+    heap: IndexedMinHeap,
     sample: WeightedSample,
     tau_p: f64,
     tau_q: f64,
@@ -58,6 +59,9 @@ pub struct WsdCounter {
     t: u64,
     scratch: EnumScratch,
     acc: StateAccumulator,
+    /// Reusable state-vector buffer (one state is observed per
+    /// insertion; reuse keeps the hot path allocation-free).
+    state_buf: StateVector,
     weight_fn: Box<dyn WeightFn>,
     rng: SmallRng,
     /// Pre-drawn `u` variates for batched processing (reused scratch).
@@ -102,6 +106,7 @@ impl WsdCounter {
             t: 0,
             scratch: EnumScratch::default(),
             acc: StateAccumulator::new(pattern.num_edges(), pooling),
+            state_buf: StateVector::empty(),
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
             u_buf: Vec::new(),
@@ -143,21 +148,20 @@ impl WsdCounter {
         // Algorithm 2: estimator + state observation *before* the
         // sampling decision, against the pre-update reservoir.
         self.acc.reset();
-        let mass = weighted_mass(
+        let (mass, deg_u, deg_v) = weighted_mass(
             self.pattern,
-            &self.sample,
+            &mut self.sample,
             e,
             self.tau_q,
             &mut self.scratch,
             Some((&mut self.acc, self.t)),
         );
         self.estimate += mass;
-        let state =
-            self.acc.finish(self.sample.adj().degree(e.u()), self.sample.adj().degree(e.v()));
-        let w = self.weight_fn.weight(&state);
+        self.acc.finish_into(deg_u, deg_v, &mut self.state_buf);
+        let w = self.weight_fn.weight(&self.state_buf);
         debug_assert!(w > 0.0 && w.is_finite(), "weight function must be positive/finite");
         if let Some(obs) = self.observer.as_mut() {
-            obs(e, &state, w);
+            obs(e, &self.state_buf, w);
         }
         let r = rank(w, u);
         // Algorithm 1.
@@ -172,7 +176,7 @@ impl WsdCounter {
             if r > self.tau_p {
                 // Case 2.1.
                 let (victim, _) = self.heap.pop_min().expect("non-empty");
-                self.sample.remove(victim).expect("heap and sample in sync");
+                self.sample.remove_by_id(victim);
                 self.admit(e, w, r);
                 self.tau_q = self.tau_p;
             } else if r > self.tau_q {
@@ -184,19 +188,19 @@ impl WsdCounter {
     }
 
     fn admit(&mut self, e: Edge, w: f64, r: f64) {
-        self.heap.push(e, r);
-        self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+        let id = self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+        self.heap.push(id, r);
     }
 
     fn delete(&mut self, e: Edge) {
         // Case 3: drop from the reservoir first (partners of destroyed
         // instances never include e itself, so removal order is safe),
         // then subtract the destroyed mass.
-        if self.sample.remove(e).is_some() {
-            self.heap.remove(&e).expect("heap and sample in sync");
+        if let Some((id, _)) = self.sample.remove_full(e) {
+            self.heap.remove(id).expect("heap and sample in sync");
         }
-        let mass =
-            weighted_mass(self.pattern, &self.sample, e, self.tau_q, &mut self.scratch, None);
+        let (mass, _, _) =
+            weighted_mass(self.pattern, &mut self.sample, e, self.tau_q, &mut self.scratch, None);
         self.estimate -= mass;
     }
 }

@@ -6,37 +6,39 @@
 //! (Case 3: a deletion event must drop its edge from the middle of the
 //! queue), so the heap maintains a key → slot index, giving `O(log M)`
 //! `remove` as well. This is the `log M` factor in Theorems 3/5.
+//!
+//! Keys are dense arena IDs (`u32` — the sampled graph's edge IDs, or
+//! GPS-A's recycled item IDs), so the position index is a plain
+//! `Vec<u32>` rather than a hash map: every sift swap and every removal
+//! touches two array slots instead of re-hashing edge keys. ID
+//! recycling upstream keeps the index no larger than the reservoir
+//! capacity.
 
-use std::hash::Hash;
-use wsd_graph::FxHashMap;
+/// Sentinel marking a key as absent from the position index.
+const ABSENT: u32 = u32::MAX;
 
 /// A binary min-heap over `(key, rank)` pairs with O(log n) removal by
-/// key. Ranks are `f64` compared with `total_cmp` (ranks are always
-/// finite positive in practice; NaNs would be ordered, not UB).
-#[derive(Clone, Debug)]
-pub struct IndexedMinHeap<K> {
-    slots: Vec<(K, f64)>,
-    pos: FxHashMap<K, usize>,
+/// key, position-indexed by a dense array. Ranks are `f64` compared with
+/// `total_cmp` (ranks are always finite positive in practice; NaNs would
+/// be ordered, not UB).
+#[derive(Clone, Debug, Default)]
+pub struct IndexedMinHeap {
+    slots: Vec<(u32, f64)>,
+    /// key → slot, [`ABSENT`] when the key is not stored. Grows to the
+    /// largest key ever pushed + 1.
+    pos: Vec<u32>,
 }
 
-impl<K: Copy + Eq + Hash> Default for IndexedMinHeap<K> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<K: Copy + Eq + Hash> IndexedMinHeap<K> {
+impl IndexedMinHeap {
     /// Creates an empty heap.
     pub fn new() -> Self {
-        Self { slots: Vec::new(), pos: FxHashMap::default() }
+        Self::default()
     }
 
-    /// Creates an empty heap with capacity for `n` entries.
+    /// Creates an empty heap with capacity for `n` entries (and keys up
+    /// to `n`).
     pub fn with_capacity(n: usize) -> Self {
-        Self {
-            slots: Vec::with_capacity(n),
-            pos: FxHashMap::with_capacity_and_hasher(n, Default::default()),
-        }
+        Self { slots: Vec::with_capacity(n), pos: Vec::with_capacity(n) }
     }
 
     /// Number of stored entries.
@@ -51,20 +53,28 @@ impl<K: Copy + Eq + Hash> IndexedMinHeap<K> {
         self.slots.is_empty()
     }
 
+    #[inline]
+    fn slot_of(&self, key: u32) -> Option<usize> {
+        match self.pos.get(key as usize) {
+            Some(&p) if p != ABSENT => Some(p as usize),
+            _ => None,
+        }
+    }
+
     /// True if `key` is present.
     #[inline]
-    pub fn contains(&self, key: &K) -> bool {
-        self.pos.contains_key(key)
+    pub fn contains(&self, key: u32) -> bool {
+        self.slot_of(key).is_some()
     }
 
     /// The rank stored for `key`, if present.
-    pub fn rank_of(&self, key: &K) -> Option<f64> {
-        self.pos.get(key).map(|&i| self.slots[i].1)
+    pub fn rank_of(&self, key: u32) -> Option<f64> {
+        self.slot_of(key).map(|i| self.slots[i].1)
     }
 
     /// The minimum-rank entry without removing it.
     #[inline]
-    pub fn peek_min(&self) -> Option<(K, f64)> {
+    pub fn peek_min(&self) -> Option<(u32, f64)> {
         self.slots.first().copied()
     }
 
@@ -75,16 +85,19 @@ impl<K: Copy + Eq + Hash> IndexedMinHeap<K> {
     /// Panics if the key is already present (reservoirs never hold
     /// duplicate live edges; a duplicate indicates an infeasible stream
     /// or a bookkeeping bug, which must not be masked).
-    pub fn push(&mut self, key: K, rank: f64) {
+    pub fn push(&mut self, key: u32, rank: f64) {
+        if key as usize >= self.pos.len() {
+            self.pos.resize(key as usize + 1, ABSENT);
+        }
+        assert!(self.pos[key as usize] == ABSENT, "duplicate key pushed into IndexedMinHeap");
         let i = self.slots.len();
         self.slots.push((key, rank));
-        let prev = self.pos.insert(key, i);
-        assert!(prev.is_none(), "duplicate key pushed into IndexedMinHeap");
+        self.pos[key as usize] = i as u32;
         self.sift_up(i);
     }
 
     /// Removes and returns the minimum-rank entry.
-    pub fn pop_min(&mut self) -> Option<(K, f64)> {
+    pub fn pop_min(&mut self) -> Option<(u32, f64)> {
         if self.slots.is_empty() {
             return None;
         }
@@ -92,23 +105,23 @@ impl<K: Copy + Eq + Hash> IndexedMinHeap<K> {
     }
 
     /// Removes `key`, returning its rank if it was present.
-    pub fn remove(&mut self, key: &K) -> Option<f64> {
-        let &i = self.pos.get(key)?;
+    pub fn remove(&mut self, key: u32) -> Option<f64> {
+        let i = self.slot_of(key)?;
         Some(self.remove_at(i).1)
     }
 
     /// Iterates over all `(key, rank)` entries in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (K, f64)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
         self.slots.iter().copied()
     }
 
-    fn remove_at(&mut self, i: usize) -> (K, f64) {
+    fn remove_at(&mut self, i: usize) -> (u32, f64) {
         let last = self.slots.len() - 1;
         self.slots.swap(i, last);
         let removed = self.slots.pop().expect("non-empty by construction");
-        self.pos.remove(&removed.0);
+        self.pos[removed.0 as usize] = ABSENT;
         if i < self.slots.len() {
-            self.pos.insert(self.slots[i].0, i);
+            self.pos[self.slots[i].0 as usize] = i as u32;
             // The swapped-in element may violate either direction.
             self.sift_down(i);
             self.sift_up(i);
@@ -146,18 +159,21 @@ impl<K: Copy + Eq + Hash> IndexedMinHeap<K> {
         }
     }
 
+    #[inline]
     fn swap_slots(&mut self, a: usize, b: usize) {
         self.slots.swap(a, b);
-        self.pos.insert(self.slots[a].0, a);
-        self.pos.insert(self.slots[b].0, b);
+        self.pos[self.slots[a].0 as usize] = a as u32;
+        self.pos[self.slots[b].0 as usize] = b as u32;
     }
 
-    /// Debug-only invariant check: heap order and position-map coherence.
+    /// Debug-only invariant check: heap order and position-index
+    /// coherence.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        assert_eq!(self.slots.len(), self.pos.len());
+        let stored = self.pos.iter().filter(|&&p| p != ABSENT).count();
+        assert_eq!(self.slots.len(), stored, "position index size drift");
         for (i, &(k, rank)) in self.slots.iter().enumerate() {
-            assert_eq!(self.pos[&k], i, "position map out of sync");
+            assert_eq!(self.pos[k as usize], i as u32, "position index out of sync");
             if i > 0 {
                 let parent = self.slots[(i - 1) / 2].1;
                 assert!(parent.total_cmp(&rank).is_le(), "heap order violated at slot {i}");
@@ -174,7 +190,7 @@ mod tests {
     #[test]
     fn push_pop_orders_by_rank() {
         let mut h = IndexedMinHeap::new();
-        for (k, r) in [(1u64, 5.0), (2, 1.0), (3, 3.0), (4, 0.5), (5, 4.0)] {
+        for (k, r) in [(1u32, 5.0), (2, 1.0), (3, 3.0), (4, 0.5), (5, 4.0)] {
             h.push(k, r);
         }
         let mut out = Vec::new();
@@ -187,13 +203,13 @@ mod tests {
     #[test]
     fn remove_by_key() {
         let mut h = IndexedMinHeap::new();
-        for (k, r) in [(1u64, 5.0), (2, 1.0), (3, 3.0)] {
+        for (k, r) in [(1u32, 5.0), (2, 1.0), (3, 3.0)] {
             h.push(k, r);
         }
-        assert_eq!(h.remove(&3), Some(3.0));
-        assert_eq!(h.remove(&3), None);
-        assert!(h.contains(&1));
-        assert!(!h.contains(&3));
+        assert_eq!(h.remove(3), Some(3.0));
+        assert_eq!(h.remove(3), None);
+        assert!(h.contains(1));
+        assert!(!h.contains(3));
         assert_eq!(h.len(), 2);
         h.check_invariants();
         assert_eq!(h.pop_min(), Some((2, 1.0)));
@@ -205,20 +221,31 @@ mod tests {
     fn peek_and_rank_of() {
         let mut h = IndexedMinHeap::new();
         assert!(h.peek_min().is_none());
-        h.push(7u64, 2.5);
+        h.push(7, 2.5);
         assert_eq!(h.peek_min(), Some((7, 2.5)));
-        assert_eq!(h.rank_of(&7), Some(2.5));
-        assert_eq!(h.rank_of(&8), None);
+        assert_eq!(h.rank_of(7), Some(2.5));
+        assert_eq!(h.rank_of(8), None);
+        assert_eq!(h.rank_of(100_000), None, "keys past the index are absent");
         assert_eq!(h.len(), 1);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn keys_are_reusable_after_removal() {
+        let mut h = IndexedMinHeap::new();
+        h.push(4, 1.0);
+        assert_eq!(h.remove(4), Some(1.0));
+        h.push(4, 2.0);
+        assert_eq!(h.rank_of(4), Some(2.0));
+        h.check_invariants();
     }
 
     #[test]
     #[should_panic(expected = "duplicate key")]
     fn duplicate_push_panics() {
         let mut h = IndexedMinHeap::new();
-        h.push(1u64, 1.0);
-        h.push(1u64, 2.0);
+        h.push(1, 1.0);
+        h.push(1, 2.0);
     }
 
     proptest! {
@@ -226,15 +253,15 @@ mod tests {
         /// push/pop/remove interleavings.
         #[test]
         fn prop_matches_model(
-            ops in proptest::collection::vec((0u8..3, 0u64..30, 0u32..1000), 0..300),
+            ops in proptest::collection::vec((0u8..3, 0u32..30, 0u32..1000), 0..300),
         ) {
-            let mut h: IndexedMinHeap<u64> = IndexedMinHeap::new();
-            let mut model: Vec<(u64, f64)> = Vec::new();
+            let mut h = IndexedMinHeap::new();
+            let mut model: Vec<(u32, f64)> = Vec::new();
             for (op, key, rank_raw) in ops {
                 let rank = rank_raw as f64 / 10.0;
                 match op {
                     0 => {
-                        if !h.contains(&key) {
+                        if !h.contains(key) {
                             h.push(key, rank);
                             model.push((key, rank));
                         }
@@ -262,7 +289,7 @@ mod tests {
                         }
                     }
                     _ => {
-                        let got = h.remove(&key);
+                        let got = h.remove(key);
                         let idx = model.iter().position(|&(k, _)| k == key);
                         match idx {
                             Some(i) => prop_assert_eq!(got, Some(model.remove(i).1)),

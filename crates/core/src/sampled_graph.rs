@@ -1,12 +1,29 @@
-//! The weighted sampled graph: reservoir edges plus their metadata.
+//! The weighted sampled graph: reservoir edges plus their metadata,
+//! stored in **dense arrays indexed by arena edge ID**.
 //!
 //! The weighted samplers (WSD, GPS, GPS-A) need, for every sampled edge,
 //! its weight (to evaluate the inclusion probability `min(1, w/τ)` at
 //! estimation time) and its arrival time (for the temporal block of the
 //! RL state). The adjacency half is what pattern enumeration runs
-//! against.
+//! against — and since the adjacency arena mints a dense [`EdgeId`] per
+//! live edge, all metadata lives in parallel `Vec`s indexed by that ID:
+//! the estimator's per-partner metadata access is a plain array read,
+//! not a hash probe.
+//!
+//! # The τ-epoch `1/p` cache
+//!
+//! The estimator divides by the inclusion probability
+//! `p = min(1, w(e)/τ)` for every partner edge of every instance. `w(e)`
+//! is fixed at admission and `τ` changes only on some events, so the
+//! inverse probability is cached per edge and stamped with the *τ-epoch*
+//! in which it was computed; a change of `τ` bumps the epoch (an O(1)
+//! bulk invalidation) and each edge's `1/p` is lazily recomputed on its
+//! next use. The cached value is produced by exactly the expression the
+//! uncached path evaluated (`1.0 / inclusion_prob(w, τ)`), so estimates
+//! are bit-identical with caching on.
 
-use wsd_graph::{Adjacency, Edge, FxHashMap};
+use crate::rank::inclusion_prob;
+use wsd_graph::{Adjacency, Edge, EdgeId};
 
 /// Metadata stored per sampled edge.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -17,11 +34,36 @@ pub struct EdgeMeta {
     pub time: u64,
 }
 
-/// Reservoir content as a graph: adjacency + per-edge metadata.
-#[derive(Clone, Debug, Default)]
+/// Reservoir content as a graph: adjacency + per-edge metadata arrays.
+#[derive(Clone, Debug)]
 pub struct WeightedSample {
     adj: Adjacency,
-    meta: FxHashMap<Edge, EdgeMeta>,
+    /// `w(e)` per edge ID.
+    weight: Vec<f64>,
+    /// Arrival time per edge ID.
+    time: Vec<u64>,
+    /// Cached `1 / min(1, w/τ)` per edge ID, valid iff `stamp == epoch`.
+    inv_p: Vec<f64>,
+    /// τ-epoch in which `inv_p` was computed; 0 is never current.
+    stamp: Vec<u64>,
+    /// Current τ-epoch (starts at 1 so zeroed stamps read as stale).
+    epoch: u64,
+    /// The τ the current epoch corresponds to.
+    tau: f64,
+}
+
+impl Default for WeightedSample {
+    fn default() -> Self {
+        Self {
+            adj: Adjacency::new(),
+            weight: Vec::new(),
+            time: Vec::new(),
+            inv_p: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 1,
+            tau: 0.0,
+        }
+    }
 }
 
 impl WeightedSample {
@@ -39,48 +81,145 @@ impl WeightedSample {
     /// Number of sampled edges.
     #[inline]
     pub fn len(&self) -> usize {
-        self.meta.len()
+        self.adj.num_edges()
     }
 
     /// True if nothing is sampled.
     pub fn is_empty(&self) -> bool {
-        self.meta.is_empty()
+        self.adj.is_empty()
     }
 
     /// True if the edge is sampled.
     #[inline]
     pub fn contains(&self, e: Edge) -> bool {
-        self.meta.contains_key(&e)
+        self.adj.contains(e)
+    }
+
+    /// The arena ID of a sampled edge.
+    #[inline]
+    pub fn id_of(&self, e: Edge) -> Option<EdgeId> {
+        self.adj.edge_id(e)
     }
 
     /// Metadata of a sampled edge.
     #[inline]
     pub fn meta(&self, e: Edge) -> Option<EdgeMeta> {
-        self.meta.get(&e).copied()
+        let i = self.adj.edge_id(e)? as usize;
+        Some(EdgeMeta { weight: self.weight[i], time: self.time[i] })
     }
 
-    /// Inserts an edge with its metadata.
+    /// Inserts an edge with its metadata, returning its arena ID (dense,
+    /// recycled, bounded by the peak sample size — safe to index side
+    /// arrays and the reservoir heap with).
     ///
     /// # Panics
     ///
     /// Panics if the edge is already sampled (duplicate reservoir entries
     /// indicate a framework bug and must not be masked).
-    pub fn insert(&mut self, e: Edge, meta: EdgeMeta) {
-        let prev = self.meta.insert(e, meta);
-        assert!(prev.is_none(), "edge {e:?} inserted twice into WeightedSample");
-        self.adj.insert(e);
+    pub fn insert(&mut self, e: Edge, meta: EdgeMeta) -> EdgeId {
+        let id = self
+            .adj
+            .insert_full(e)
+            .unwrap_or_else(|| panic!("edge {e:?} inserted twice into WeightedSample"));
+        let i = id as usize;
+        if i >= self.weight.len() {
+            self.weight.resize(i + 1, 0.0);
+            self.time.resize(i + 1, 0);
+            self.inv_p.resize(i + 1, 0.0);
+            self.stamp.resize(i + 1, 0);
+        }
+        self.weight[i] = meta.weight;
+        self.time[i] = meta.time;
+        // The slot may be recycled: whatever 1/p its previous tenant
+        // cached must not leak to the new edge.
+        self.stamp[i] = 0;
+        id
     }
 
     /// Removes an edge, returning its metadata if it was sampled.
     pub fn remove(&mut self, e: Edge) -> Option<EdgeMeta> {
-        let meta = self.meta.remove(&e)?;
-        self.adj.remove(e);
-        Some(meta)
+        self.remove_full(e).map(|(_, m)| m)
+    }
+
+    /// Removes an edge, returning the (now recycled) arena ID it held
+    /// and its metadata if it was sampled.
+    pub fn remove_full(&mut self, e: Edge) -> Option<(EdgeId, EdgeMeta)> {
+        let id = self.adj.remove_full(e)?;
+        let i = id as usize;
+        Some((id, EdgeMeta { weight: self.weight[i], time: self.time[i] }))
+    }
+
+    /// Removes a sampled edge by its arena ID (the reservoir-heap
+    /// eviction path), returning its endpoints.
+    pub fn remove_by_id(&mut self, id: EdgeId) -> Edge {
+        let e = self.adj.edge_endpoints(id);
+        let freed = self.adj.remove_full(e);
+        // A stale ID resolves to arbitrary endpoints and would silently
+        // remove the wrong edge — heap/sample desync must fail fast in
+        // release builds too (it indicates a framework bug).
+        assert_eq!(freed, Some(id), "remove_by_id of a stale edge ID: heap and sample desynced");
+        e
     }
 
     /// Iterates sampled edges with metadata.
     pub fn iter(&self) -> impl Iterator<Item = (Edge, EdgeMeta)> + '_ {
-        self.meta.iter().map(|(&e, &m)| (e, m))
+        self.adj.edges().map(|e| (e, self.meta(e).expect("live edge has metadata")))
+    }
+
+    /// Splits the sample into the adjacency (for enumeration) and a
+    /// mutable metadata view bound to the threshold `tau` — the
+    /// estimator hot path. A `tau` different from the previous call's
+    /// bumps the τ-epoch, invalidating every cached `1/p` in O(1).
+    #[inline]
+    pub(crate) fn estimator_view(&mut self, tau: f64) -> (&Adjacency, MetaView<'_>) {
+        if tau != self.tau {
+            self.tau = tau;
+            self.epoch += 1;
+        }
+        (
+            &self.adj,
+            MetaView {
+                weight: &self.weight,
+                time: &self.time,
+                inv_p: &mut self.inv_p,
+                stamp: &mut self.stamp,
+                epoch: self.epoch,
+                tau: self.tau,
+            },
+        )
+    }
+}
+
+/// Dense, zero-hash access to per-partner metadata during one estimator
+/// pass, with lazy τ-stamped `1/p` recomputation.
+pub(crate) struct MetaView<'a> {
+    weight: &'a [f64],
+    time: &'a [u64],
+    inv_p: &'a mut [f64],
+    stamp: &'a mut [u64],
+    epoch: u64,
+    tau: f64,
+}
+
+impl MetaView<'_> {
+    /// The inverse inclusion probability `1 / min(1, w/τ)` of a sampled
+    /// edge — cached, recomputed only when the edge's τ-epoch stamp is
+    /// stale.
+    #[inline]
+    pub(crate) fn inv_p(&mut self, id: EdgeId) -> f64 {
+        let i = id as usize;
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.inv_p[i] = 1.0 / inclusion_prob(self.weight[i], self.tau);
+        }
+        self.inv_p[i]
+    }
+
+    /// Both metadata reads of the estimator loop in one call — the
+    /// partner is resolved once and used twice.
+    #[inline]
+    pub(crate) fn inv_p_time(&mut self, id: EdgeId) -> (f64, u64) {
+        (self.inv_p(id), self.time[id as usize])
     }
 }
 
@@ -120,5 +259,47 @@ mod tests {
         s.insert(Edge::new(1, 2), EdgeMeta { weight: 1.0, time: 0 });
         s.insert(Edge::new(2, 3), EdgeMeta { weight: 2.0, time: 1 });
         assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn remove_by_id_round_trips() {
+        let mut s = WeightedSample::new();
+        let e = Edge::new(4, 9);
+        let id = s.insert(e, EdgeMeta { weight: 3.0, time: 5 });
+        assert_eq!(s.id_of(e), Some(id));
+        assert_eq!(s.remove_by_id(id), e);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn recycled_slot_does_not_leak_cached_inv_p() {
+        let mut s = WeightedSample::new();
+        let a = s.insert(Edge::new(1, 2), EdgeMeta { weight: 2.0, time: 0 });
+        {
+            let (_, mut view) = s.estimator_view(8.0);
+            assert_eq!(view.inv_p(a), 4.0); // p = 2/8
+        }
+        s.remove(Edge::new(1, 2));
+        // Recycles slot `a` with a different weight; τ unchanged, so the
+        // epoch does not move — the stale stamp must force recompute.
+        let b = s.insert(Edge::new(3, 4), EdgeMeta { weight: 4.0, time: 1 });
+        assert_eq!(a, b, "slot must be recycled for this test to bite");
+        let (_, mut view) = s.estimator_view(8.0);
+        assert_eq!(view.inv_p(b), 2.0); // p = 4/8
+    }
+
+    #[test]
+    fn tau_change_invalidates_cache() {
+        let mut s = WeightedSample::new();
+        let id = s.insert(Edge::new(1, 2), EdgeMeta { weight: 2.0, time: 0 });
+        {
+            let (_, mut view) = s.estimator_view(4.0);
+            assert_eq!(view.inv_p(id), 2.0);
+            // Second read within the epoch: served from cache.
+            assert_eq!(view.inv_p(id), 2.0);
+        }
+        let (_, mut view) = s.estimator_view(8.0);
+        assert_eq!(view.inv_p(id), 4.0, "new τ must recompute");
+        assert_eq!(view.inv_p_time(id), (4.0, 0));
     }
 }

@@ -69,6 +69,12 @@ impl StateVector {
     pub fn from_values(values: Vec<f64>) -> Self {
         Self { values }
     }
+
+    /// An empty state, for use as a reusable
+    /// [`StateAccumulator::finish_into`] buffer.
+    pub fn empty() -> Self {
+        Self { values: Vec::new() }
+    }
 }
 
 /// Streaming accumulator filled during instance enumeration.
@@ -80,6 +86,10 @@ pub struct StateAccumulator {
     /// max- or sum-pooled arrival time per sorted position.
     pooled: Vec<f64>,
     sort_buf: Vec<u64>,
+    /// Event time of the instance currently being streamed in
+    /// ([`StateAccumulator::begin_instance`] …
+    /// [`StateAccumulator::commit_instance`]).
+    pending_now: u64,
 }
 
 impl StateAccumulator {
@@ -92,6 +102,7 @@ impl StateAccumulator {
             instances: 0,
             pooled: vec![0.0; pattern_edges],
             sort_buf: Vec::with_capacity(pattern_edges),
+            pending_now: 0,
         }
     }
 
@@ -105,9 +116,33 @@ impl StateAccumulator {
     /// times of the instance's sampled edges (any order) and `now` is the
     /// arrival time of the new edge (always the latest, position `|H|`).
     pub fn add_instance(&mut self, partner_times: impl IntoIterator<Item = u64>, now: u64) {
+        self.begin_instance(now);
+        for t in partner_times {
+            self.push_partner_time(t);
+        }
+        self.commit_instance();
+    }
+
+    /// Starts streaming one instance in; the estimator's partner loop
+    /// pushes arrival times as it resolves each partner anyway (one
+    /// metadata fetch serving both the mass product and the state), then
+    /// commits. Equivalent to [`StateAccumulator::add_instance`].
+    #[inline]
+    pub fn begin_instance(&mut self, now: u64) {
         self.sort_buf.clear();
-        self.sort_buf.extend(partner_times);
-        self.sort_buf.push(now);
+        self.pending_now = now;
+    }
+
+    /// Records one partner arrival time of the instance being streamed.
+    #[inline]
+    pub fn push_partner_time(&mut self, t: u64) {
+        self.sort_buf.push(t);
+    }
+
+    /// Finishes the instance started by
+    /// [`StateAccumulator::begin_instance`] and pools it.
+    pub fn commit_instance(&mut self) {
+        self.sort_buf.push(self.pending_now);
         debug_assert_eq!(self.sort_buf.len(), self.positions);
         self.sort_buf.sort_unstable();
         self.instances += 1;
@@ -134,7 +169,18 @@ impl StateAccumulator {
     /// is all zeros (the paper leaves this case unspecified; zero is the
     /// natural "no signal" encoding and keeps `s` well-defined).
     pub fn finish(&self, deg_u: usize, deg_v: usize) -> StateVector {
-        let mut values = Vec::with_capacity(self.positions + 3);
+        let mut out = StateVector { values: Vec::with_capacity(self.positions + 3) };
+        self.finish_into(deg_u, deg_v, &mut out);
+        out
+    }
+
+    /// As [`StateAccumulator::finish`], writing into a caller-owned
+    /// buffer — the samplers observe a state on *every* insertion, and
+    /// reusing one buffer keeps the per-event hot path allocation-free.
+    pub fn finish_into(&self, deg_u: usize, deg_v: usize, out: &mut StateVector) {
+        let values = &mut out.values;
+        values.clear();
+        values.reserve(self.positions + 3);
         values.push(self.instances as f64);
         values.push(deg_u as f64);
         values.push(deg_v as f64);
@@ -145,7 +191,6 @@ impl StateAccumulator {
                 values.extend(self.pooled.iter().map(|&s| s / n));
             }
         }
-        StateVector { values }
     }
 }
 

@@ -1,5 +1,5 @@
 //! Dynamic adjacency structure shared by the samplers and the exact
-//! counter.
+//! counter, built around a **dense edge-ID arena**.
 //!
 //! The structure supports the three operations every algorithm in the
 //! paper performs per event: edge insert, edge delete, and neighbourhood
@@ -10,29 +10,65 @@
 //!
 //! # Storage
 //!
-//! Neighbourhoods are stored as dense `Vec<Vertex>` arrays (cache-local
-//! iteration — the enumeration hot path walks these slices millions of
-//! times per run) with a lazily attached hash index once a vertex grows
-//! past [`SPILL_THRESHOLD`] neighbours, keeping membership probes O(1)
-//! for hubs while small neighbourhoods (the overwhelming majority under
-//! reservoir budgets) stay a single cache line with branch-predictable
-//! linear scans. No query allocates: callers either consume
-//! [`Adjacency::neighbor_slice`] directly or reuse a scratch buffer via
-//! [`Adjacency::common_neighbors_into`].
+//! Neighbourhoods are stored as dense parallel arrays of
+//! `(neighbour, edge id)` (cache-local iteration — the enumeration hot
+//! path walks these slices millions of times per run) with a lazily
+//! attached hash index once a vertex grows past [`SPILL_THRESHOLD`]
+//! neighbours, keeping membership probes O(1) for hubs while small
+//! neighbourhoods (the overwhelming majority under reservoir budgets)
+//! stay a couple of cache lines with branch-predictable linear scans. No
+//! query allocates: callers either consume [`Adjacency::neighbor_slice`]
+//! directly or reuse a scratch buffer via
+//! [`Adjacency::common_neighbors_into`] / [`Adjacency::common_edges_into`].
+//!
+//! # The edge-ID arena
+//!
+//! Every live edge owns a dense [`EdgeId`] minted by a slab allocator
+//! (freed IDs are recycled LIFO), so the ID space never exceeds the peak
+//! number of *concurrently* live edges — under reservoir budgets, the
+//! reservoir capacity. Both directions of an edge store the same ID, and
+//! the intersection kernels surface partner **edge IDs** directly
+//! ([`Adjacency::for_each_common_edge`]), which is what lets the
+//! estimators upstream replace per-partner `Edge`-keyed hash lookups
+//! with plain dense-array reads.
 
 use crate::edge::{Edge, Vertex};
 use crate::fxhash::FxHashMap;
+
+/// Dense identifier of a live edge, minted by the [`Adjacency`] arena.
+///
+/// IDs are recycled when edges are removed, so they stay small (bounded
+/// by the peak live-edge count) and can index plain `Vec`s. An ID is
+/// only meaningful while its edge is live; holding one across a
+/// [`Adjacency::remove`] of that edge is a logic error.
+pub type EdgeId = u32;
+
+/// A common neighbour `w` of a vertex pair `(u, v)` together with the
+/// IDs of the two edges connecting it: `eu` is the ID of `(u, w)` and
+/// `ev` the ID of `(v, w)` (with respect to the argument order of the
+/// query that produced it).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CommonEdge {
+    /// The common neighbour.
+    pub w: Vertex,
+    /// ID of the edge between the first query vertex and `w`.
+    pub eu: EdgeId,
+    /// ID of the edge between the second query vertex and `w`.
+    pub ev: EdgeId,
+}
 
 /// Neighbourhood size beyond which a hash index is attached for O(1)
 /// membership probes. Below it, linear scans over the dense array win on
 /// real hardware (no hashing, no pointer chase).
 pub const SPILL_THRESHOLD: usize = 16;
 
-/// One vertex's neighbourhood: a dense array, plus a position index once
-/// the vertex spills past [`SPILL_THRESHOLD`].
+/// One vertex's neighbourhood: dense parallel `(vertex, edge id)` arrays,
+/// plus a position index once the vertex spills past [`SPILL_THRESHOLD`].
 #[derive(Clone, Default, Debug)]
 struct NeighborSet {
     items: Vec<Vertex>,
+    /// `ids[i]` is the arena ID of the edge `(owner, items[i])`.
+    ids: Vec<EdgeId>,
     /// vertex → slot in `items`; `Some` once spilled (kept for the rest
     /// of the set's life — churn around the threshold must not thrash).
     index: Option<FxHashMap<Vertex, u32>>,
@@ -49,6 +85,26 @@ impl NeighborSet {
         self.items.is_empty()
     }
 
+    /// Slot of `v`, if present.
+    ///
+    /// Unspilled sets screen with `contains` before locating the slot:
+    /// the membership scan vectorises (no index to carry), and probe
+    /// workloads — the common-neighbour intersections — are miss-heavy,
+    /// so the extra position pass runs only on the rare hit.
+    #[inline]
+    fn find(&self, v: Vertex) -> Option<usize> {
+        match &self.index {
+            Some(idx) => idx.get(&v).map(|&i| i as usize),
+            None => {
+                if self.items.contains(&v) {
+                    self.items.iter().position(|&w| w == v)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     #[inline]
     fn contains(&self, v: Vertex) -> bool {
         match &self.index {
@@ -57,8 +113,22 @@ impl NeighborSet {
         }
     }
 
-    /// Returns `true` if `v` was not already present.
-    fn insert(&mut self, v: Vertex) -> bool {
+    /// Appends `(v, id)`; the caller guarantees `v` is absent.
+    fn push_unchecked(&mut self, v: Vertex, id: EdgeId) {
+        debug_assert!(!self.contains(v), "push_unchecked of a present neighbour");
+        if let Some(idx) = &mut self.index {
+            idx.insert(v, self.items.len() as u32);
+        }
+        self.items.push(v);
+        self.ids.push(id);
+        if self.index.is_none() && self.items.len() > SPILL_THRESHOLD {
+            self.index = Some(self.items.iter().enumerate().map(|(i, &w)| (w, i as u32)).collect());
+        }
+    }
+
+    /// Inserts `(v, id)` unless `v` is already present; the duplicate
+    /// check and the insertion share one probe. Returns `true` on insert.
+    fn insert_checked(&mut self, v: Vertex, id: EdgeId) -> bool {
         match &mut self.index {
             Some(idx) => {
                 if idx.contains_key(&v) {
@@ -66,41 +136,33 @@ impl NeighborSet {
                 }
                 idx.insert(v, self.items.len() as u32);
                 self.items.push(v);
+                self.ids.push(id);
                 true
             }
             None => {
                 if self.items.contains(&v) {
                     return false;
                 }
-                self.items.push(v);
-                if self.items.len() > SPILL_THRESHOLD {
-                    self.index =
-                        Some(self.items.iter().enumerate().map(|(i, &w)| (w, i as u32)).collect());
-                }
+                self.push_unchecked(v, id);
                 true
             }
         }
     }
 
-    /// Returns `true` if `v` was present.
-    fn remove(&mut self, v: Vertex) -> bool {
+    /// Removes `v`, returning the stored edge ID if it was present.
+    fn remove(&mut self, v: Vertex) -> Option<EdgeId> {
         let pos = match &mut self.index {
-            Some(idx) => match idx.remove(&v) {
-                Some(p) => p as usize,
-                None => return false,
-            },
-            None => match self.items.iter().position(|&w| w == v) {
-                Some(p) => p,
-                None => return false,
-            },
+            Some(idx) => idx.remove(&v)? as usize,
+            None => self.items.iter().position(|&w| w == v)?,
         };
         self.items.swap_remove(pos);
+        let id = self.ids.swap_remove(pos);
         if pos < self.items.len() {
             if let Some(idx) = &mut self.index {
                 idx.insert(self.items[pos], pos as u32);
             }
         }
-        true
+        Some(id)
     }
 
     #[inline]
@@ -118,6 +180,11 @@ impl NeighborSet {
 pub struct Adjacency {
     adj: FxHashMap<Vertex, NeighborSet>,
     num_edges: usize,
+    /// Arena: endpoints per edge ID. Entries of freed IDs are stale until
+    /// the ID is recycled.
+    endpoints: Vec<Edge>,
+    /// Freed IDs awaiting recycling (LIFO, so the ID space stays dense).
+    free: Vec<EdgeId>,
 }
 
 impl Adjacency {
@@ -131,6 +198,8 @@ impl Adjacency {
         Self {
             adj: FxHashMap::with_capacity_and_hasher(vertices, Default::default()),
             num_edges: 0,
+            endpoints: Vec::new(),
+            free: Vec::new(),
         }
     }
 
@@ -152,37 +221,70 @@ impl Adjacency {
         self.num_edges == 0
     }
 
+    /// Exclusive upper bound on the currently live edge IDs: every ID
+    /// returned by [`Adjacency::insert_full`] or stored in the
+    /// neighbourhood arrays is `< id_bound()`. Use it to size dense side
+    /// arrays indexed by [`EdgeId`].
+    #[inline]
+    pub fn id_bound(&self) -> usize {
+        self.endpoints.len()
+    }
+
     /// Inserts an edge. Returns `true` if the edge was not already present.
+    #[inline]
     pub fn insert(&mut self, e: Edge) -> bool {
+        self.insert_full(e).is_some()
+    }
+
+    /// Inserts an edge, returning its freshly minted arena ID (`None` if
+    /// the edge was already present). IDs of removed edges are recycled.
+    pub fn insert_full(&mut self, e: Edge) -> Option<EdgeId> {
         let (u, v) = e.endpoints();
-        let newly = self.adj.entry(u).or_default().insert(v);
-        if newly {
-            self.adj.entry(v).or_default().insert(u);
-            self.num_edges += 1;
+        // Peek the ID the arena will assign, so the duplicate check and
+        // the forward insertion share a single probe of u's set.
+        let id = match self.free.last() {
+            Some(&id) => id,
+            None => EdgeId::try_from(self.endpoints.len()).expect("edge-ID arena overflow"),
+        };
+        if !self.adj.entry(u).or_default().insert_checked(v, id) {
+            return None;
         }
-        newly
+        // Commit the mint.
+        match self.free.pop() {
+            Some(_) => self.endpoints[id as usize] = e,
+            None => self.endpoints.push(e),
+        }
+        self.adj.entry(v).or_default().push_unchecked(u, id);
+        self.num_edges += 1;
+        Some(id)
     }
 
     /// Removes an edge. Returns `true` if the edge was present.
+    #[inline]
     pub fn remove(&mut self, e: Edge) -> bool {
+        self.remove_full(e).is_some()
+    }
+
+    /// Removes an edge, returning the arena ID it held (now freed for
+    /// recycling) if it was present.
+    pub fn remove_full(&mut self, e: Edge) -> Option<EdgeId> {
         let (u, v) = e.endpoints();
-        let removed = match self.adj.get_mut(&u) {
-            Some(set) => set.remove(v),
-            None => false,
+        let id = match self.adj.get_mut(&u) {
+            Some(set) => set.remove(v)?,
+            None => return None,
         };
-        if removed {
-            if self.adj.get(&u).is_some_and(NeighborSet::is_empty) {
-                self.adj.remove(&u);
-            }
-            let set =
-                self.adj.get_mut(&v).expect("adjacency symmetry violated: missing reverse entry");
-            set.remove(u);
-            if set.is_empty() {
-                self.adj.remove(&v);
-            }
-            self.num_edges -= 1;
+        if self.adj.get(&u).is_some_and(NeighborSet::is_empty) {
+            self.adj.remove(&u);
         }
-        removed
+        let set = self.adj.get_mut(&v).expect("adjacency symmetry violated: missing reverse entry");
+        let id2 = set.remove(u).expect("adjacency symmetry violated: missing reverse neighbour");
+        debug_assert_eq!(id, id2, "edge ID asymmetry for {e:?}");
+        if set.is_empty() {
+            self.adj.remove(&v);
+        }
+        self.free.push(id);
+        self.num_edges -= 1;
+        Some(id)
     }
 
     /// True if the edge is present.
@@ -198,6 +300,34 @@ impl Adjacency {
         u != v && self.adj.get(&u).is_some_and(|s| s.contains(v))
     }
 
+    /// The arena ID of a live edge, if present.
+    #[inline]
+    pub fn edge_id(&self, e: Edge) -> Option<EdgeId> {
+        let (u, v) = e.endpoints();
+        self.edge_id_between(u, v)
+    }
+
+    /// The arena ID of the edge between `a` and `b`, if present
+    /// (order-insensitive; `None` for `a == b`). One membership probe —
+    /// the ID rides along with the slot the probe finds.
+    #[inline]
+    pub fn edge_id_between(&self, a: Vertex, b: Vertex) -> Option<EdgeId> {
+        if a == b {
+            return None;
+        }
+        let set = self.adj.get(&a)?;
+        set.find(b).map(|i| set.ids[i])
+    }
+
+    /// The endpoints of a live edge ID.
+    ///
+    /// The ID must be live (obtained from this graph and not removed
+    /// since); stale IDs return arbitrary previously stored endpoints.
+    #[inline]
+    pub fn edge_endpoints(&self, id: EdgeId) -> Edge {
+        self.endpoints[id as usize]
+    }
+
     /// Degree of `x` (0 if unknown).
     #[inline]
     pub fn degree(&self, x: Vertex) -> usize {
@@ -211,6 +341,13 @@ impl Adjacency {
     #[inline]
     pub fn neighbor_slice(&self, x: Vertex) -> &[Vertex] {
         self.adj.get(&x).map_or(&[], NeighborSet::as_slice)
+    }
+
+    /// The neighbours of `x` and the IDs of the connecting edges, as
+    /// parallel dense slices (`ids[i]` is the ID of `(x, vertices[i])`).
+    #[inline]
+    pub fn neighbor_entries(&self, x: Vertex) -> (&[Vertex], &[EdgeId]) {
+        self.adj.get(&x).map_or((&[], &[]), |s| (&s.items, &s.ids))
     }
 
     /// Iterates the neighbours of `x`.
@@ -234,7 +371,9 @@ impl Adjacency {
     ///
     /// Iterates the smaller neighbourhood's dense array and probes the
     /// larger: `O(min(deg u, deg v))` probes, each O(1) once the larger
-    /// side has spilled to an indexed set.
+    /// side has spilled to an indexed set. Pure membership probes — the
+    /// counting kernels that don't need edge IDs skip the slot
+    /// resolution of [`Adjacency::for_each_common_edge`] entirely.
     #[inline]
     pub fn for_each_common_neighbor(&self, u: Vertex, v: Vertex, mut f: impl FnMut(Vertex)) {
         let (Some(nu), Some(nv)) = (self.adj.get(&u), self.adj.get(&v)) else {
@@ -248,12 +387,72 @@ impl Adjacency {
         }
     }
 
+    /// Calls `f(w, id(u,w), id(v,w))` for each common neighbour `w` of
+    /// `u` and `v`, returning `(deg u, deg v)`.
+    ///
+    /// Same probe pattern (and cost) as
+    /// [`Adjacency::for_each_common_neighbor`]: the edge IDs ride along
+    /// with the slots the intersection touches anyway, so surfacing them
+    /// is free — this is the zero-hash path the estimators enumerate
+    /// partner edges through. The degrees are a free by-product of the
+    /// two vertex lookups the intersection performs regardless; callers
+    /// that need them (the state extraction of Eq. 19–22) avoid two
+    /// further hash probes.
+    #[inline]
+    pub fn for_each_common_edge(
+        &self,
+        u: Vertex,
+        v: Vertex,
+        mut f: impl FnMut(Vertex, EdgeId, EdgeId),
+    ) -> (usize, usize) {
+        let (Some(nu), Some(nv)) = (self.adj.get(&u), self.adj.get(&v)) else {
+            return (self.degree(u), self.degree(v));
+        };
+        if nu.len() <= nv.len() {
+            for (i, &w) in nu.items.iter().enumerate() {
+                if let Some(j) = nv.find(w) {
+                    f(w, nu.ids[i], nv.ids[j]);
+                }
+            }
+        } else {
+            for (i, &w) in nv.items.iter().enumerate() {
+                if let Some(j) = nu.find(w) {
+                    f(w, nu.ids[j], nv.ids[i]);
+                }
+            }
+        }
+        (nu.len(), nv.len())
+    }
+
+    /// A reusable handle on `x`'s neighbourhood for repeated probes
+    /// against the *same* vertex — e.g. the 4-clique kernels, which test
+    /// one common neighbour against every later one. Resolving the
+    /// vertex's set once turns O(k) hash probes into one probe plus
+    /// O(k) dense membership scans.
+    #[inline]
+    pub fn neighborhood(&self, x: Vertex) -> Neighborhood<'_> {
+        Neighborhood(self.adj.get(&x))
+    }
+
     /// Collects the common neighbours of `u` and `v` into `out` (cleared
     /// first). Using a caller-provided buffer avoids per-event allocation
     /// in the hot enumeration loops.
     pub fn common_neighbors_into(&self, u: Vertex, v: Vertex, out: &mut Vec<Vertex>) {
         out.clear();
         self.for_each_common_neighbor(u, v, |w| out.push(w));
+    }
+
+    /// Collects the common neighbours of `u` and `v` with their edge IDs
+    /// into `out` (cleared first), returning `(deg u, deg v)`; `eu`/`ev`
+    /// follow the `(u, v)` argument order.
+    pub fn common_edges_into(
+        &self,
+        u: Vertex,
+        v: Vertex,
+        out: &mut Vec<CommonEdge>,
+    ) -> (usize, usize) {
+        out.clear();
+        self.for_each_common_edge(u, v, |w, eu, ev| out.push(CommonEdge { w, eu, ev }))
     }
 
     /// Number of common neighbours of `u` and `v`.
@@ -263,20 +462,25 @@ impl Adjacency {
         n
     }
 
-    /// Removes all edges and vertices.
+    /// Removes all edges and vertices (and resets the ID arena).
     pub fn clear(&mut self) {
         self.adj.clear();
         self.num_edges = 0;
+        self.endpoints.clear();
+        self.free.clear();
     }
 
     /// Debug-only structural invariant check: symmetry, no self-loops,
-    /// the edge counter matching the stored sets, and index coherence of
-    /// spilled neighbourhoods.
+    /// the edge counter matching the stored sets, index coherence of
+    /// spilled neighbourhoods, and arena coherence (ID symmetry, endpoint
+    /// agreement, and exact live/free partition of the ID space).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
         let mut half_edges = 0usize;
+        let mut live_ids = std::collections::BTreeSet::new();
         for (&u, set) in &self.adj {
             assert!(!set.is_empty(), "vertex {u} retained with empty set");
+            assert_eq!(set.items.len(), set.ids.len(), "parallel array drift at {u}");
             if let Some(idx) = &set.index {
                 assert_eq!(idx.len(), set.items.len(), "index size drift at {u}");
                 for (i, &w) in set.items.iter().enumerate() {
@@ -287,14 +491,66 @@ impl Adjacency {
                     );
                 }
             }
-            for &v in set.as_slice() {
+            for (i, &v) in set.items.iter().enumerate() {
                 assert_ne!(u, v, "self-loop stored at {u}");
-                assert!(self.adj.get(&v).is_some_and(|s| s.contains(u)), "asymmetric edge {u}-{v}");
+                let id = set.ids[i];
+                let rev = self.adj.get(&v).expect("asymmetric edge");
+                let j = rev.find(u).unwrap_or_else(|| panic!("asymmetric edge {u}-{v}"));
+                assert_eq!(rev.ids[j], id, "edge ID asymmetry on {u}-{v}");
+                assert_eq!(
+                    self.endpoints[id as usize],
+                    Edge::new(u, v),
+                    "arena endpoints out of sync for id {id}"
+                );
+                if u < v {
+                    assert!(live_ids.insert(id), "edge ID {id} stored for two edges");
+                }
             }
             half_edges += set.len();
         }
         assert_eq!(half_edges % 2, 0);
         assert_eq!(self.num_edges, half_edges / 2, "edge counter drift");
+        let free: std::collections::BTreeSet<_> = self.free.iter().copied().collect();
+        assert_eq!(free.len(), self.free.len(), "duplicate IDs on the free list");
+        assert!(free.iter().all(|id| (*id as usize) < self.endpoints.len()));
+        assert!(live_ids.is_disjoint(&free), "freed ID still live");
+        assert_eq!(
+            live_ids.len() + free.len(),
+            self.endpoints.len(),
+            "ID space is not exactly partitioned into live and free"
+        );
+    }
+}
+
+/// A borrowed view of one vertex's neighbourhood, for repeated probes
+/// without re-resolving the vertex (see [`Adjacency::neighborhood`]).
+#[derive(Copy, Clone)]
+pub struct Neighborhood<'a>(Option<&'a NeighborSet>);
+
+impl Neighborhood<'_> {
+    /// Degree of the vertex (0 if it has no live edges).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.map_or(0, NeighborSet::len)
+    }
+
+    /// True if the vertex has no live edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `v` is a neighbour.
+    #[inline]
+    pub fn contains(&self, v: Vertex) -> bool {
+        self.0.is_some_and(|s| s.contains(v))
+    }
+
+    /// The arena ID of the edge to `v`, if `v` is a neighbour.
+    #[inline]
+    pub fn id_of(&self, v: Vertex) -> Option<EdgeId> {
+        let s = self.0?;
+        s.find(v).map(|i| s.ids[i])
     }
 }
 
@@ -318,6 +574,41 @@ mod tests {
         assert!(!g.contains(e));
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.num_vertices(), 0, "isolated vertices must be pruned");
+    }
+
+    #[test]
+    fn ids_are_minted_and_recycled() {
+        let mut g = Adjacency::new();
+        let a = g.insert_full(Edge::new(1, 2)).unwrap();
+        let b = g.insert_full(Edge::new(2, 3)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(g.insert_full(Edge::new(1, 2)), None, "duplicate yields no ID");
+        assert_eq!(g.edge_id(Edge::new(1, 2)), Some(a));
+        assert_eq!(g.edge_id_between(3, 2), Some(b));
+        assert_eq!(g.edge_id_between(2, 2), None);
+        assert_eq!(g.edge_endpoints(a), Edge::new(1, 2));
+        assert_eq!(g.remove_full(Edge::new(1, 2)), Some(a));
+        // LIFO recycling: the freed ID is handed to the next insertion.
+        let c = g.insert_full(Edge::new(5, 6)).unwrap();
+        assert_eq!(c, a);
+        assert_eq!(g.edge_endpoints(c), Edge::new(5, 6));
+        assert_eq!(g.id_bound(), 2, "ID space bounded by peak live edges");
+        g.check_invariants();
+    }
+
+    #[test]
+    fn neighbor_entries_are_parallel() {
+        let mut g = Adjacency::new();
+        let ids: Vec<EdgeId> =
+            [2, 3, 4].iter().map(|&v| g.insert_full(Edge::new(1, v)).unwrap()).collect();
+        let (vs, es) = g.neighbor_entries(1);
+        assert_eq!(vs.len(), 3);
+        assert_eq!(es.len(), 3);
+        for (i, &v) in vs.iter().enumerate() {
+            assert_eq!(g.edge_id(Edge::new(1, v)), Some(es[i]));
+            assert!(ids.contains(&es[i]));
+        }
+        assert_eq!(g.neighbor_entries(99), (&[] as &[Vertex], &[] as &[EdgeId]));
     }
 
     #[test]
@@ -355,6 +646,28 @@ mod tests {
     }
 
     #[test]
+    fn common_edges_carry_correct_ids() {
+        let mut g = Adjacency::new();
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (1, 4), (2, 4)] {
+            g.insert(Edge::new(a, b));
+        }
+        let mut buf = Vec::new();
+        g.common_edges_into(1, 2, &mut buf);
+        assert_eq!(buf.len(), 2); // w ∈ {3, 4}
+        for ce in &buf {
+            assert_eq!(g.edge_id(Edge::new(1, ce.w)), Some(ce.eu), "eu must be (u,w)");
+            assert_eq!(g.edge_id(Edge::new(2, ce.w)), Some(ce.ev), "ev must be (v,w)");
+        }
+        // Argument order flips the roles.
+        let mut flipped = Vec::new();
+        g.common_edges_into(2, 1, &mut flipped);
+        for ce in &flipped {
+            assert_eq!(g.edge_id(Edge::new(2, ce.w)), Some(ce.eu));
+            assert_eq!(g.edge_id(Edge::new(1, ce.w)), Some(ce.ev));
+        }
+    }
+
+    #[test]
     fn edges_iterator_yields_each_edge_once() {
         let mut g = Adjacency::new();
         let edges = [(1, 2), (2, 3), (1, 3), (4, 5)];
@@ -383,6 +696,7 @@ mod tests {
         g.clear();
         assert!(g.is_empty());
         assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.id_bound(), 0, "clear must reset the arena");
     }
 
     #[test]
@@ -410,6 +724,13 @@ mod tests {
         assert!(g.insert(Edge::new(0, 1)));
         assert!(!g.insert(Edge::new(0, 1)));
         g.check_invariants();
+        // Spilled sets must still resolve IDs through the index.
+        for v in 2..=n {
+            if v % 2 == 0 {
+                let id = g.edge_id(Edge::new(0, v)).expect("live edge has an ID");
+                assert_eq!(g.edge_endpoints(id), Edge::new(0, v));
+            }
+        }
     }
 
     /// Reference model: a plain set of canonical edges.
@@ -492,6 +813,40 @@ mod tests {
                     .map(|e| e.other(x))
                     .collect();
                 prop_assert_eq!(got, want);
+            }
+        }
+
+        /// Edge IDs stay coherent under churn: every live edge resolves
+        /// to an ID whose endpoints round-trip, IDs are dense (bounded by
+        /// peak live count), and the arena partition invariant holds
+        /// after every operation.
+        #[test]
+        fn prop_arena_ids_coherent_under_churn(
+            ops in proptest::collection::vec((any::<bool>(), 0u64..10, 0u64..10), 0..400),
+        ) {
+            let mut g = Adjacency::new();
+            let mut live = 0usize;
+            let mut peak = 0usize;
+            for (insert, a, b) in ops {
+                let Some(e) = Edge::try_new(a, b) else { continue };
+                if insert {
+                    if let Some(id) = g.insert_full(e) {
+                        live += 1;
+                        peak = peak.max(live);
+                        prop_assert_eq!(g.edge_endpoints(id), e);
+                        prop_assert_eq!(g.edge_id(e), Some(id));
+                    }
+                } else if let Some(id) = g.remove_full(e) {
+                    live -= 1;
+                    prop_assert!((id as usize) < g.id_bound());
+                    prop_assert_eq!(g.edge_id(e), None);
+                }
+            }
+            g.check_invariants();
+            prop_assert!(g.id_bound() <= peak, "ID space exceeded peak live edges");
+            for e in g.edges().collect::<Vec<_>>() {
+                let id = g.edge_id(e).expect("live edge must have an ID");
+                prop_assert_eq!(g.edge_endpoints(id), e);
             }
         }
     }

@@ -34,7 +34,7 @@ pub mod exact;
 pub mod fxhash;
 pub mod patterns;
 
-pub use adjacency::Adjacency;
+pub use adjacency::{Adjacency, CommonEdge, EdgeId, Neighborhood};
 pub use edge::{Edge, EdgeEvent, Op, Vertex};
 pub use exact::ExactCounter;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};

@@ -9,6 +9,12 @@
 //! the instances containing `e` in a graph that currently holds `e` are
 //! exactly the instances completed by re-adding `e` to `G \ {e}`.
 //!
+//! Enumeration yields the partner edges as dense **edge IDs** straight
+//! out of the adjacency arena ([`crate::adjacency::EdgeId`]): the
+//! intersection kernel touches the slots holding the IDs anyway, so the
+//! estimators upstream get zero-hash access to per-edge metadata instead
+//! of reconstructing `Edge` keys and re-hashing them per partner.
+//!
 //! Supported patterns:
 //!
 //! * [`Pattern::Wedge`] — length-2 paths (the paper's `∧`).
@@ -20,7 +26,7 @@
 //!   extension (an extension beyond the paper's evaluation, which stops at
 //!   4-cliques).
 
-use crate::adjacency::Adjacency;
+use crate::adjacency::{Adjacency, CommonEdge, EdgeId};
 use crate::edge::{Edge, Vertex};
 
 /// Maximum supported clique order for [`Pattern::Clique`].
@@ -48,6 +54,7 @@ impl Pattern {
     /// Number of edges `|H|` in the pattern (used for the state dimension
     /// `|H| + 3` of the RL policy and the `M ≥ |H|` requirement of the
     /// unbiasedness theorems).
+    #[inline]
     pub fn num_edges(&self) -> usize {
         match self {
             Pattern::Wedge => 2,
@@ -61,6 +68,7 @@ impl Pattern {
     }
 
     /// Number of vertices in the pattern.
+    #[inline]
     pub fn num_vertices(&self) -> usize {
         match self {
             Pattern::Wedge => 3,
@@ -118,9 +126,12 @@ impl Pattern {
                 g.common_neighbors_into(u, v, &mut scratch.common);
                 let c = &scratch.common;
                 let mut n = 0u64;
-                for i in 0..c.len() {
-                    for j in (i + 1)..c.len() {
-                        if g.adjacent(c[i], c[j]) {
+                for (i, &w) in c.iter().enumerate() {
+                    // One neighbourhood resolution per outer vertex; the
+                    // inner loop is pure dense membership scans.
+                    let nw = g.neighborhood(w);
+                    for &x in &c[(i + 1)..] {
+                        if nw.contains(x) {
                             n += 1;
                         }
                     }
@@ -129,7 +140,7 @@ impl Pattern {
             }
             Pattern::Clique(k) => {
                 let mut n = 0u64;
-                clique_enumerate(g, e, *k, scratch, &mut |_| n += 1);
+                clique_enumerate(g, e, *k, scratch, &mut |_, _| n += 1);
                 n
             }
         }
@@ -138,60 +149,74 @@ impl Pattern {
     /// Enumerates the instances of `self` completed by adding `e` to `g`,
     /// invoking `f` once per instance with the *partner edges* — the
     /// instance's edges excluding `e` itself (the `J \ e_t` of Algorithm
-    /// 2). Partner slices are only valid during the callback.
+    /// 2) — as arena edge IDs. Partner slices are only valid during the
+    /// callback; resolve endpoints with [`Adjacency::edge_endpoints`] if
+    /// needed.
+    ///
+    /// Returns the degrees of `e`'s endpoints in `g` — a free by-product
+    /// of the neighbourhood lookups enumeration performs anyway, saving
+    /// the state extraction (Eq. 19–22) two hash probes per event.
     pub fn for_each_completed(
         &self,
         g: &Adjacency,
         e: Edge,
         scratch: &mut EnumScratch,
-        f: &mut dyn FnMut(&[Edge]),
-    ) {
+        f: &mut dyn FnMut(&[EdgeId]),
+    ) -> (usize, usize) {
         let (u, v) = e.endpoints();
         match self {
             Pattern::Wedge => {
-                // Walk the dense neighbour slices directly — the
-                // callback only gets shared access to `g`, so no copy
-                // into scratch is needed.
-                let mut partner = [e];
-                for &w in g.neighbor_slice(u) {
+                // Walk the dense (neighbour, id) slices directly — the
+                // partner ID is already in the slot being visited.
+                let mut partner = [0 as EdgeId];
+                let (us, ids_u) = g.neighbor_entries(u);
+                for (i, &w) in us.iter().enumerate() {
                     if w != v {
-                        partner[0] = Edge::new(u, w);
+                        partner[0] = ids_u[i];
                         f(&partner);
                     }
                 }
-                for &w in g.neighbor_slice(v) {
+                let (vs, ids_v) = g.neighbor_entries(v);
+                for (i, &w) in vs.iter().enumerate() {
                     if w != u {
-                        partner[0] = Edge::new(v, w);
+                        partner[0] = ids_v[i];
                         f(&partner);
                     }
                 }
+                (us.len(), vs.len())
             }
             Pattern::Triangle | Pattern::Clique(3) => {
-                g.common_neighbors_into(u, v, &mut scratch.common);
-                let mut partner = [e, e];
-                for i in 0..scratch.common.len() {
-                    let w = scratch.common[i];
-                    partner[0] = Edge::new(u, w);
-                    partner[1] = Edge::new(v, w);
+                // Stream instances straight out of the intersection — no
+                // scratch materialisation; each hit's two partner IDs go
+                // directly into the callback.
+                let mut partner = [0 as EdgeId; 2];
+                g.for_each_common_edge(u, v, |_, eu, ev| {
+                    partner[0] = eu;
+                    partner[1] = ev;
                     f(&partner);
-                }
+                })
             }
             Pattern::FourClique | Pattern::Clique(4) => {
-                g.common_neighbors_into(u, v, &mut scratch.common);
-                let mut partner = [e; 5];
-                for i in 0..scratch.common.len() {
-                    for j in (i + 1)..scratch.common.len() {
-                        let (w, x) = (scratch.common[i], scratch.common[j]);
-                        if g.adjacent(w, x) {
-                            partner[0] = Edge::new(u, w);
-                            partner[1] = Edge::new(v, w);
-                            partner[2] = Edge::new(u, x);
-                            partner[3] = Edge::new(v, x);
-                            partner[4] = Edge::new(w, x);
+                let degs = g.common_edges_into(u, v, &mut scratch.common_edges);
+                let c = &scratch.common_edges;
+                let mut partner = [0 as EdgeId; 5];
+                for (i, ci) in c.iter().enumerate() {
+                    // One neighbourhood resolution per outer vertex; the
+                    // inner pair probes are dense finds carrying the
+                    // (w,x) partner ID out on hits.
+                    let nw = g.neighborhood(ci.w);
+                    for cj in &c[(i + 1)..] {
+                        if let Some(wx) = nw.id_of(cj.w) {
+                            partner[0] = ci.eu;
+                            partner[1] = ci.ev;
+                            partner[2] = cj.eu;
+                            partner[3] = cj.ev;
+                            partner[4] = wx;
                             f(&partner);
                         }
                     }
                 }
+                degs
             }
             Pattern::Clique(k) => {
                 let k = *k;
@@ -199,21 +224,33 @@ impl Pattern {
                 // the per-instance Vec allocation here used to dominate
                 // generic-clique enumeration cost.
                 let mut partner = std::mem::take(&mut scratch.partner);
-                clique_enumerate(g, e, k, scratch, &mut |chosen| {
-                    // Materialise all edges among {u, v} ∪ chosen except e.
+                let degs = clique_enumerate(g, e, k, scratch, &mut |chosen, common| {
+                    // Materialise all edges among {u, v} ∪ chosen except
+                    // e. The (u,w)/(v,w) IDs come from the sorted common
+                    // triples (binary search by w — `chosen` preserves
+                    // the sorted order); chosen-chosen IDs need one
+                    // membership probe each, which the recursion's
+                    // adjacency filter paid for anyway.
                     partner.clear();
                     for &w in chosen {
-                        partner.push(Edge::new(u, w));
-                        partner.push(Edge::new(v, w));
+                        let ce = common[common
+                            .binary_search_by_key(&w, |c| c.w)
+                            .expect("chosen vertex is a common neighbour")];
+                        partner.push(ce.eu);
+                        partner.push(ce.ev);
                     }
                     for i in 0..chosen.len() {
                         for j in (i + 1)..chosen.len() {
-                            partner.push(Edge::new(chosen[i], chosen[j]));
+                            let id = g
+                                .edge_id_between(chosen[i], chosen[j])
+                                .expect("clique extension vertices are adjacent");
+                            partner.push(id);
                         }
                     }
                     f(&partner);
                 });
                 scratch.partner = partner;
+                degs
             }
         }
     }
@@ -223,29 +260,45 @@ impl Pattern {
 /// counter/thread and pass it to every call to avoid per-event allocation.
 #[derive(Default, Clone, Debug)]
 pub struct EnumScratch {
+    /// Common-neighbour vertices (counting fast paths).
     common: Vec<Vertex>,
+    /// Common neighbours with partner edge IDs (enumeration paths),
+    /// sorted by vertex inside the generic-clique kernel.
+    common_edges: Vec<CommonEdge>,
     clique_cand: Vec<Vec<Vertex>>,
     clique_cur: Vec<Vertex>,
-    /// Partner-edge buffer reused across generic-clique instances.
-    partner: Vec<Edge>,
+    /// Partner-ID buffer reused across generic-clique instances.
+    partner: Vec<EdgeId>,
+}
+
+impl EnumScratch {
+    /// Leases the common-edge buffer to external kernels (the
+    /// monomorphised estimator fast paths in `wsd-core`) so they reuse
+    /// this scratch instead of allocating their own.
+    pub fn common_edges_buf(&mut self) -> &mut Vec<CommonEdge> {
+        &mut self.common_edges
+    }
 }
 
 /// Recursive k-clique extension: finds all (k-2)-subsets `S` of the common
 /// neighbourhood of `e`'s endpoints such that `S` induces a clique,
-/// invoking `f(S)`. `S` is yielded in increasing vertex order so each
-/// instance is produced exactly once.
+/// invoking `f(S, sorted_common)`. `S` is yielded in increasing vertex
+/// order so each instance is produced exactly once; `sorted_common` is
+/// the common neighbourhood with edge IDs, sorted by vertex, for ID
+/// resolution in the callback.
 fn clique_enumerate(
     g: &Adjacency,
     e: Edge,
     k: u8,
     scratch: &mut EnumScratch,
-    f: &mut dyn FnMut(&[Vertex]),
-) {
+    f: &mut dyn FnMut(&[Vertex], &[CommonEdge]),
+) -> (usize, usize) {
     debug_assert!((3..=MAX_CLIQUE).contains(&k));
     let (u, v) = e.endpoints();
     let need = (k - 2) as usize;
-    g.common_neighbors_into(u, v, &mut scratch.common);
-    scratch.common.sort_unstable();
+    let degs = g.common_edges_into(u, v, &mut scratch.common_edges);
+    scratch.common_edges.sort_unstable_by_key(|c| c.w);
+    let common = std::mem::take(&mut scratch.common_edges);
     // Level 0 candidates: all common neighbours.
     if scratch.clique_cand.is_empty() {
         scratch.clique_cand.resize(MAX_CLIQUE as usize, Vec::new());
@@ -253,20 +306,23 @@ fn clique_enumerate(
     scratch.clique_cand[0].clear();
     let base = std::mem::take(&mut scratch.clique_cand[0]);
     let mut cand0 = base;
-    cand0.extend_from_slice(&scratch.common);
+    cand0.extend(common.iter().map(|c| c.w));
     scratch.clique_cur.clear();
-    recurse(g, &cand0, need, scratch, f);
+    recurse(g, &cand0, need, scratch, &common, f);
     scratch.clique_cand[0] = cand0;
+    scratch.common_edges = common;
+    return degs;
 
     fn recurse(
         g: &Adjacency,
         cand: &[Vertex],
         need: usize,
         scratch: &mut EnumScratch,
-        f: &mut dyn FnMut(&[Vertex]),
+        common: &[CommonEdge],
+        f: &mut dyn FnMut(&[Vertex], &[CommonEdge]),
     ) {
         if need == 0 {
-            f(&scratch.clique_cur);
+            f(&scratch.clique_cur, common);
             return;
         }
         if cand.len() < need {
@@ -275,14 +331,14 @@ fn clique_enumerate(
         for (i, &w) in cand.iter().enumerate() {
             scratch.clique_cur.push(w);
             if need == 1 {
-                f(&scratch.clique_cur);
+                f(&scratch.clique_cur, common);
             } else {
                 // Next candidates: later vertices adjacent to w.
                 let depth = scratch.clique_cur.len();
                 let mut next = std::mem::take(&mut scratch.clique_cand[depth]);
                 next.clear();
                 next.extend(cand[i + 1..].iter().copied().filter(|&x| g.adjacent(w, x)));
-                recurse(g, &next, need - 1, scratch, f);
+                recurse(g, &next, need - 1, scratch, common, f);
                 scratch.clique_cand[depth] = next;
             }
             scratch.clique_cur.pop();
@@ -309,11 +365,13 @@ mod tests {
         p.count_completed(g, e, &mut s)
     }
 
+    /// Enumerates partner sets, resolving edge IDs back to edges through
+    /// the arena.
     fn enumerate(p: Pattern, g: &Adjacency, e: Edge) -> Vec<BTreeSet<Edge>> {
         let mut s = EnumScratch::default();
         let mut out = Vec::new();
         p.for_each_completed(g, e, &mut s, &mut |partners| {
-            out.push(partners.iter().copied().collect());
+            out.push(partners.iter().map(|&id| g.edge_endpoints(id)).collect());
         });
         out
     }
@@ -395,6 +453,14 @@ mod tests {
             }
             assert_eq!(count(Pattern::Triangle, &g, e), count(Pattern::Clique(3), &g, e));
             assert_eq!(count(Pattern::FourClique, &g, e), count(Pattern::Clique(4), &g, e));
+            // Enumerated partner sets must agree between the fast paths
+            // and the generic kernel (as sets; order may differ).
+            let t_fast: BTreeSet<_> = enumerate(Pattern::Triangle, &g, e).into_iter().collect();
+            let t_gen: BTreeSet<_> = enumerate(Pattern::Clique(3), &g, e).into_iter().collect();
+            assert_eq!(t_fast, t_gen);
+            let f_fast: BTreeSet<_> = enumerate(Pattern::FourClique, &g, e).into_iter().collect();
+            let f_gen: BTreeSet<_> = enumerate(Pattern::Clique(4), &g, e).into_iter().collect();
+            assert_eq!(f_fast, f_gen);
         }
     }
 
