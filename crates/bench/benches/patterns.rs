@@ -47,7 +47,7 @@ fn bench_patterns(c: &mut Criterion) {
             b.iter(|| {
                 let mut total = 0usize;
                 for &e in &probes {
-                    pattern.for_each_completed(&g, e, &mut scratch, &mut |partners| {
+                    pattern.for_each_completed(&g, e, &mut scratch, |partners: &[_]| {
                         total += partners.len();
                     });
                 }

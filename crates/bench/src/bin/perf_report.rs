@@ -1,26 +1,36 @@
 //! `perf_report` — fixed-seed sampler throughput snapshot.
 //!
-//! Runs every deletion-capable sampler over one deterministic
-//! Barabási–Albert stream (light-deletion scenario) for each evaluation
-//! pattern and reports the median events/sec, writing a machine-readable
-//! JSON report. The stream, seeds and methodology are pinned so the
-//! numbers are comparable across commits: each PR that claims a hot-path
-//! win regenerates the report (optionally passing the previous report
-//! via `--perf-baseline` to get speedup columns) and checks it in at the
+//! Runs every deletion-capable sampler over a grid of deterministic
+//! streams × evaluation patterns and reports the median events/sec,
+//! writing a machine-readable JSON report. The grid covers two stream
+//! shapes:
+//!
+//! * `ba-light` — a Barabási–Albert stream under the light-deletion
+//!   scenario (the historical grid; comparable back to `BENCH_PR2.json`);
+//! * `hub-heavy` — a hub-clique stream (dense core, fanout-2 spoke
+//!   fringes) whose core–core events are hub–hub intersections with
+//!   long skippable non-common runs, the galloping kernel's target
+//!   regime.
+//!
+//! The streams, seeds and methodology are pinned so the numbers are
+//! comparable across commits: each PR that claims a hot-path win
+//! regenerates the report (optionally passing the previous report via
+//! `--perf-baseline` to get speedup columns) and checks it in at the
 //! repo root.
 //!
 //! ```text
 //! perf_report [--quick] [--out PATH] [--perf-baseline PATH]
-//!             [--vertices N] [--time-reps N]
+//!             [--vertices N] [--time-reps N] [--methodology STR]
 //! ```
 //!
-//! ```text
-//! perf_report ... [--methodology STR]
-//! ```
-//!
-//! `--quick` shrinks the stream for CI smoke runs (the report is still
-//! written, to the same schema). The JSON is emitted one result object
-//! per line so prior reports can be re-read without a JSON dependency.
+//! `--quick` shrinks the streams for CI smoke runs (the report is still
+//! written, to the same schema; speedup columns are suppressed per
+//! scenario when the baseline's stream header shows a different event
+//! count — ratios against a different workload are noise, not signal).
+//! The JSON is emitted one result object
+//! per line so prior reports can be re-read without a JSON dependency;
+//! result rows carry a `scenario` field, and baseline rows without one
+//! (pre-hub-grid reports) are matched against the `ba-light` scenario.
 //! The `methodology` field records how the numbers were produced;
 //! checked-in reports on noisy shared hosts are typically per-cell
 //! medians over several runs alternated with the baseline binary
@@ -31,18 +41,29 @@ use std::time::Instant;
 use wsd_core::{Algorithm, CounterConfig};
 use wsd_graph::Pattern;
 use wsd_stream::gen::GeneratorConfig;
-use wsd_stream::Scenario;
+use wsd_stream::{EventStream, Scenario};
 
 /// Generator seed (edge list) and scenario seed (deletion placement).
 const GEN_SEED: u64 = 7;
 const SCENARIO_SEED: u64 = 3;
+/// Hub-clique stream seeds (match the hub-clique golden scenario).
+const HUB_GEN_SEED: u64 = 17;
+const HUB_SCENARIO_SEED: u64 = 8;
 /// Counter seed — same for every cell, as in `sampler_throughput`.
 const COUNTER_SEED: u64 = 42;
 
 struct Cell {
+    scenario: &'static str,
     algorithm: &'static str,
     pattern: String,
     events_per_sec: f64,
+}
+
+struct Grid {
+    name: &'static str,
+    describe: String,
+    events: EventStream,
+    capacity: usize,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -66,7 +87,7 @@ fn main() {
         .map(|v| v.parse().expect("--time-reps expects an integer"))
         .unwrap_or(if quick { 1 } else { 5 });
     assert!(time_reps >= 1, "--time-reps must be >= 1");
-    let out = opt("--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let out = opt("--out").unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let methodology = opt("--methodology").unwrap_or_else(|| {
         format!("single run on one host; median of {time_reps} full stream passes per cell")
     });
@@ -74,18 +95,45 @@ fn main() {
         std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
     });
 
-    let edges =
+    let ba_edges =
         GeneratorConfig::BarabasiAlbert { vertices, edges_per_vertex: 5 }.generate(GEN_SEED);
-    let events = Scenario::default_light().apply(&edges, SCENARIO_SEED);
-    let capacity = (events.len() / 20).max(64); // ~5% budget, as in the benches
-    eprintln!(
-        "perf_report: BA n={} (|E|={}, |S|={}), capacity M={}, {} timing reps",
-        vertices,
-        edges.len(),
-        events.len(),
-        capacity,
-        time_reps
-    );
+    let ba_events = Scenario::default_light().apply(&ba_edges, SCENARIO_SEED);
+    // ~5% budget, as in the benches.
+    let ba_capacity = (ba_events.len() / 20).max(64);
+    // Hub-clique: scale the spoke count with --vertices so --quick
+    // shrinks this stream too; the fanout-2 spokes push the 24 cores far
+    // past the galloping-shadow threshold while keeping any two cores'
+    // fringes mostly disjoint — core–core events are gallop-tier
+    // intersections with long skippable runs.
+    let spokes = vertices.max(100);
+    let hub_edges = GeneratorConfig::HubClique { clique: 24, spokes }.generate(HUB_GEN_SEED);
+    let hub_events = Scenario::default_light().apply(&hub_edges, HUB_SCENARIO_SEED);
+    let hub_capacity = (hub_events.len() / 10).max(64);
+    let grids = [
+        Grid {
+            name: "ba-light",
+            describe: format!(
+                "{{\"generator\": \"barabasi-albert\", \"vertices\": {vertices}, \
+                 \"edges_per_vertex\": 5, \"scenario\": \"light\", \"events\": {}, \
+                 \"capacity\": {ba_capacity}, \"gen_seed\": {GEN_SEED}, \
+                 \"scenario_seed\": {SCENARIO_SEED}}}",
+                ba_events.len()
+            ),
+            events: ba_events,
+            capacity: ba_capacity,
+        },
+        Grid {
+            name: "hub-heavy",
+            describe: format!(
+                "{{\"generator\": \"hub-clique\", \"clique\": 24, \"spokes\": {spokes}, \
+                 \"scenario\": \"light\", \"events\": {}, \"capacity\": {hub_capacity}, \
+                 \"gen_seed\": {HUB_GEN_SEED}, \"scenario_seed\": {HUB_SCENARIO_SEED}}}",
+                hub_events.len()
+            ),
+            events: hub_events,
+            capacity: hub_capacity,
+        },
+    ];
 
     let algorithms = [
         Algorithm::WsdH,
@@ -98,44 +146,91 @@ fn main() {
     let patterns = [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique];
 
     let mut cells = Vec::new();
-    for pattern in patterns {
-        for alg in algorithms {
-            let mut rates = Vec::with_capacity(time_reps);
-            for _ in 0..time_reps {
-                let mut counter = CounterConfig::new(pattern, capacity, COUNTER_SEED).build(alg);
-                let start = Instant::now();
-                counter.process_all(&events);
-                let secs = start.elapsed().as_secs_f64();
-                std::hint::black_box(counter.estimate());
-                rates.push(events.len() as f64 / secs);
+    for grid in &grids {
+        if let Some(b) = baseline.as_deref() {
+            if let Some(base_events) = baseline_stream_events(b, grid.name) {
+                if base_events != grid.events.len() {
+                    eprintln!(
+                        "perf_report: baseline {} stream has {base_events} events vs {} here — \
+                         different workload, suppressing its speedup columns",
+                        grid.name,
+                        grid.events.len()
+                    );
+                }
             }
-            let events_per_sec = median(rates);
-            eprintln!(
-                "  {:>8} x {:<9} {:>12.0} events/sec",
-                alg.name(),
-                pattern.name(),
-                events_per_sec
-            );
-            cells.push(Cell { algorithm: alg.name(), pattern: pattern.name(), events_per_sec });
+        }
+        eprintln!(
+            "perf_report: {} (|S|={}, capacity M={}, {} timing reps)",
+            grid.name,
+            grid.events.len(),
+            grid.capacity,
+            time_reps
+        );
+        for pattern in patterns {
+            for alg in algorithms {
+                let mut rates = Vec::with_capacity(time_reps);
+                for _ in 0..time_reps {
+                    let mut counter =
+                        CounterConfig::new(pattern, grid.capacity, COUNTER_SEED).build(alg);
+                    let start = Instant::now();
+                    counter.process_all(&grid.events);
+                    let secs = start.elapsed().as_secs_f64();
+                    std::hint::black_box(counter.estimate());
+                    rates.push(grid.events.len() as f64 / secs);
+                }
+                let events_per_sec = median(rates);
+                eprintln!(
+                    "  {:>9} {:>8} x {:<9} {:>12.0} events/sec",
+                    grid.name,
+                    alg.name(),
+                    pattern.name(),
+                    events_per_sec
+                );
+                cells.push(Cell {
+                    scenario: grid.name,
+                    algorithm: alg.name(),
+                    pattern: pattern.name(),
+                    events_per_sec,
+                });
+            }
         }
     }
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str(&format!(
-        "  \"stream\": {{\"generator\": \"barabasi-albert\", \"vertices\": {vertices}, \
-         \"edges_per_vertex\": 5, \"scenario\": \"light\", \"events\": {}, \
-         \"capacity\": {capacity}, \"gen_seed\": {GEN_SEED}, \"scenario_seed\": {SCENARIO_SEED}}},\n",
-        events.len()
-    ));
+    // Primary stream header kept for backwards compatibility with
+    // pre-hub-grid readers; the full grid is under "streams".
+    json.push_str(&format!("  \"stream\": {},\n", grids[0].describe));
+    json.push_str("  \"streams\": {\n");
+    for (i, grid) in grids.iter().enumerate() {
+        let comma = if i + 1 < grids.len() { "," } else { "" };
+        json.push_str(&format!("    \"{}\": {}{comma}\n", grid.name, grid.describe));
+    }
+    json.push_str("  },\n");
     json.push_str(&format!("  \"methodology\": \"{}\",\n", json_escape(&methodology)));
     json.push_str(&format!("  \"time_reps\": {time_reps},\n"));
     json.push_str("  \"results\": [\n");
+    // Speedup columns only against the *same* workload: a --quick run
+    // must not publish ratios against a full-size baseline.
+    let comparable: std::collections::HashMap<&str, bool> = grids
+        .iter()
+        .map(|g| {
+            let same = baseline
+                .as_deref()
+                .and_then(|b| baseline_stream_events(b, g.name))
+                .is_some_and(|n| n == g.events.len());
+            (g.name, same)
+        })
+        .collect();
     for (i, c) in cells.iter().enumerate() {
-        let base = baseline.as_deref().and_then(|b| baseline_rate(b, c.algorithm, &c.pattern));
+        let base = baseline
+            .as_deref()
+            .filter(|_| comparable.get(c.scenario).copied().unwrap_or(false))
+            .and_then(|b| baseline_rate(b, c.scenario, c.algorithm, &c.pattern));
         let mut line = format!(
-            "    {{\"algorithm\": \"{}\", \"pattern\": \"{}\", \"events_per_sec\": {:.1}",
-            c.algorithm, c.pattern, c.events_per_sec
+            "    {{\"scenario\": \"{}\", \"algorithm\": \"{}\", \"pattern\": \"{}\", \
+             \"events_per_sec\": {:.1}",
+            c.scenario, c.algorithm, c.pattern, c.events_per_sec
         );
         if let Some(base) = base {
             line.push_str(&format!(
@@ -173,14 +268,42 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Pulls `events_per_sec` for an (algorithm, pattern) cell out of a
-/// prior report. The writer keeps each result object on one line, so a
-/// line scan suffices — no JSON parser dependency.
-fn baseline_rate(report: &str, algorithm: &str, pattern: &str) -> Option<f64> {
+/// Pulls the event count of a scenario's stream header out of a prior
+/// report, so speedup columns are only emitted against the *same*
+/// workload. Looks for the scenario's entry in the `streams` block and
+/// falls back to the legacy top-level `stream` header (pre-hub-grid
+/// reports) for `ba-light`.
+fn baseline_stream_events(report: &str, scenario: &str) -> Option<usize> {
+    let scen_key = format!("\"{scenario}\": {{");
+    let header = report.lines().find(|l| l.trim_start().starts_with(&scen_key)).or_else(|| {
+        (scenario == "ba-light")
+            .then(|| report.lines().find(|l| l.trim_start().starts_with("\"stream\":")))
+            .flatten()
+    })?;
+    let tail = header.split("\"events\": ").nth(1)?;
+    let num: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    num.parse().ok()
+}
+
+/// Pulls `events_per_sec` for a (scenario, algorithm, pattern) cell out
+/// of a prior report. The writer keeps each result object on one line,
+/// so a line scan suffices — no JSON parser dependency. Baseline rows
+/// without a scenario key (reports older than the hub grid) are treated
+/// as `ba-light`.
+fn baseline_rate(report: &str, scenario: &str, algorithm: &str, pattern: &str) -> Option<f64> {
+    let scen_key = format!("\"scenario\": \"{scenario}\"");
     let alg_key = format!("\"algorithm\": \"{algorithm}\"");
     let pat_key = format!("\"pattern\": \"{pattern}\"");
     for line in report.lines() {
-        if line.contains(&alg_key) && line.contains(&pat_key) {
+        if !line.trim_start().starts_with('{') || !line.contains("\"events_per_sec\"") {
+            continue;
+        }
+        let scenario_matches = if line.contains("\"scenario\"") {
+            line.contains(&scen_key)
+        } else {
+            scenario == "ba-light"
+        };
+        if scenario_matches && line.contains(&alg_key) && line.contains(&pat_key) {
             let tail = line.split("\"events_per_sec\": ").nth(1)?;
             let num: String =
                 tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::RngExt;
 use std::ops::{Range, RangeInclusive};
 
-/// A length specification for [`vec`]: a fixed size or a size range.
+/// A length specification for [`fn@vec`]: a fixed size or a size range.
 pub trait SizeRange {
     /// Draws a concrete length.
     fn draw(&self, rng: &mut TestRng) -> usize;
@@ -29,7 +29,7 @@ impl SizeRange for RangeInclusive<usize> {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`fn@vec`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S, L> {
     element: S,

@@ -1,5 +1,5 @@
 //! **GPS** — Graph Priority Sampling (paper §III-A, after Ahmed et
-//! al. [14]) for insertion-only streams.
+//! al. \[14\]) for insertion-only streams.
 //!
 //! GPS maintains a fixed-size min-priority queue of ranks `r = w/u` and a
 //! threshold `z` equal to the `(M+1)`-th largest rank observed so far

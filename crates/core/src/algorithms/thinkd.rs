@@ -1,4 +1,4 @@
-//! **ThinkD** baseline (Shin et al. [19]) — uniform sampling with random
+//! **ThinkD** baseline (Shin et al. \[19\]) — uniform sampling with random
 //! pairing, *update-before-discard* ("think before you discard").
 //!
 //! ThinkD processes every event in two steps: first it **updates the
@@ -21,13 +21,15 @@ use crate::reservoir::{Admission, RpReservoir};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wsd_graph::patterns::EnumScratch;
-use wsd_graph::{Adjacency, EdgeEvent, Op, Pattern};
+use wsd_graph::{EdgeEvent, Op, Pattern, VertexAdjacency};
 
 /// The ThinkD (accurate variant) subgraph counter.
 pub struct ThinkDCounter {
     pattern: Pattern,
     reservoir: RpReservoir,
-    adj: Adjacency,
+    /// ID-free sampled adjacency (see `TriestCounter`: the count-only
+    /// path pays no arena bookkeeping).
+    adj: VertexAdjacency,
     estimate: f64,
     scratch: EnumScratch,
     rng: SmallRng,
@@ -49,7 +51,7 @@ impl ThinkDCounter {
         Self {
             pattern,
             reservoir: RpReservoir::new(capacity),
-            adj: Adjacency::new(),
+            adj: VertexAdjacency::new(),
             estimate: 0.0,
             scratch: EnumScratch::default(),
             rng: SmallRng::seed_from_u64(seed),

@@ -1,4 +1,4 @@
-//! **Triest-FD** baseline (Stefani et al., TKDD 2017 [16]) — uniform
+//! **Triest-FD** baseline (Stefani et al., TKDD 2017 \[16\]) — uniform
 //! sampling with random pairing, *update-on-admission*.
 //!
 //! Triest-FD maintains a uniform sample `S` of the live edges via random
@@ -22,14 +22,16 @@ use crate::reservoir::{Admission, RpReservoir};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wsd_graph::patterns::EnumScratch;
-use wsd_graph::{Adjacency, Edge, EdgeEvent, Op, Pattern};
+use wsd_graph::{Edge, EdgeEvent, Op, Pattern, VertexAdjacency};
 
 /// The Triest-FD subgraph counter.
 pub struct TriestCounter {
     pattern: Pattern,
     reservoir: RpReservoir,
-    /// Adjacency over the sampled edges.
-    adj: Adjacency,
+    /// Adjacency over the sampled edges — the ID-free flavour: the
+    /// count-only estimator never consumes arena IDs, so carrying the
+    /// arena (the PR-2 throughput give-back) is pure overhead here.
+    adj: VertexAdjacency,
     /// Instances entirely inside the sample (incrementally maintained).
     tau: i64,
     scratch: EnumScratch,
@@ -52,7 +54,7 @@ impl TriestCounter {
         Self {
             pattern,
             reservoir: RpReservoir::new(capacity),
-            adj: Adjacency::new(),
+            adj: VertexAdjacency::new(),
             tau: 0,
             scratch: EnumScratch::default(),
             rng: SmallRng::seed_from_u64(seed),

@@ -1,5 +1,5 @@
-//! **WRS** baseline (Shin, ICDM 2017 [18]; Lee/Shin/Faloutsos, VLDBJ
-//! 2020 [17]) — waiting-room sampling, exploiting temporal locality.
+//! **WRS** baseline (Shin, ICDM 2017 \[18\]; Lee/Shin/Faloutsos, VLDBJ
+//! 2020 \[17\]) — waiting-room sampling, exploiting temporal locality.
 //!
 //! WRS splits the memory budget `M` into a FIFO **waiting room** (a
 //! fraction `α_wr` of the budget) that holds the *most recent* edges
@@ -137,7 +137,7 @@ impl WrsCounter {
         let room_flag = &self.room_flag;
         let reservoir_len_check = s; // captured for the closure below
         let mut total = 0.0;
-        self.pattern.for_each_completed(&self.adj, e, &mut self.scratch, &mut |partners| {
+        self.pattern.for_each_completed(&self.adj, e, &mut self.scratch, |partners| {
             let mut in_reservoir = 0u64;
             for &p in partners {
                 if !room_flag[p as usize] {

@@ -19,6 +19,16 @@
 //! see [`crate::sampled_graph::WeightedSample`]) and — when the state
 //! accumulator rides along — one arrival-time read per partner, both
 //! plain array accesses against the same resolved ID.
+//!
+//! `Pattern::for_each_completed` is generic over the callback, so the
+//! two closures below (with and without the state accumulator) are the
+//! *only* estimator loops: each monomorphises per pattern into exactly
+//! the fused intersection-plus-metadata loop that used to exist as
+//! hand-copied triangle/4-clique fast paths. The left-associated
+//! `1.0 * i1 * ... * ik` product is bit-identical to the unrolled
+//! `i1 * ... * ik` (IEEE multiplication by 1.0 is exact), and partner
+//! order is the enumeration kernel's emission order — both pinned by the
+//! golden-value and churn tests.
 
 use crate::sampled_graph::WeightedSample;
 use crate::state::StateAccumulator;
@@ -44,99 +54,33 @@ pub(crate) fn weighted_mass(
     e: Edge,
     tau: f64,
     scratch: &mut EnumScratch,
-    mut acc: Option<(&mut StateAccumulator, u64)>,
+    acc: Option<(&mut StateAccumulator, u64)>,
 ) -> (f64, usize, usize) {
     debug_assert!(!sample.contains(e), "estimator edge must not be sampled");
     let mut mass = 0.0;
     let (adj, mut meta) = sample.estimator_view(tau);
-    // Monomorphised fast path for triangles — the paper's headline
-    // benchmark pattern. Feeding a concrete closure straight into the
-    // intersection kernel fuses the probe loop with the two partner
-    // metadata reads (no dyn dispatch per instance, no partner-slice
-    // staging). `mass += i1 * i2` is bit-identical to the generic
-    // path's `1.0 * i1 * i2` product (IEEE multiplication by 1.0 is
-    // exact); the golden-value and churn tests pin the equivalence.
-    if matches!(pattern, Pattern::Triangle | Pattern::Clique(3)) {
-        let (u, v) = e.endpoints();
-        let degs = match acc {
-            Some((acc, now)) => adj.for_each_common_edge(u, v, |_, eu, ev| {
-                let (i1, t1) = meta.inv_p_time(eu);
-                let (i2, t2) = meta.inv_p_time(ev);
-                acc.begin_instance(now);
-                acc.push_partner_time(t1);
-                acc.push_partner_time(t2);
-                acc.commit_instance();
-                mass += i1 * i2;
-            }),
-            None => adj.for_each_common_edge(u, v, |_, eu, ev| {
-                mass += meta.inv_p(eu) * meta.inv_p(ev);
-            }),
-        };
-        return (mass, degs.0, degs.1);
-    }
-    // Monomorphised 4-clique fast path: plain nested loops over the
-    // collected common-neighbour triples, the outer vertex's
-    // neighbourhood resolved once per row. Partner order and the
-    // left-associated product match the generic path exactly
-    // (bit-identity pinned by the golden tests).
-    if matches!(pattern, Pattern::FourClique | Pattern::Clique(4)) {
-        let (u, v) = e.endpoints();
-        let buf = scratch.common_edges_buf();
-        let degs = adj.common_edges_into(u, v, buf);
-        for (i, ci) in buf.iter().enumerate() {
-            let (eu_i, ev_i) = (ci.eu, ci.ev);
-            let nw = adj.neighborhood(ci.w);
-            for cj in &buf[(i + 1)..] {
-                let Some(wx) = nw.id_of(cj.w) else { continue };
-                let (eu_j, ev_j) = (cj.eu, cj.ev);
-                match acc.as_mut() {
-                    Some((acc, now)) => {
-                        let (i1, t1) = meta.inv_p_time(eu_i);
-                        let (i2, t2) = meta.inv_p_time(ev_i);
-                        let (i3, t3) = meta.inv_p_time(eu_j);
-                        let (i4, t4) = meta.inv_p_time(ev_j);
-                        let (i5, t5) = meta.inv_p_time(wx);
-                        acc.begin_instance(*now);
-                        acc.push_partner_time(t1);
-                        acc.push_partner_time(t2);
-                        acc.push_partner_time(t3);
-                        acc.push_partner_time(t4);
-                        acc.push_partner_time(t5);
-                        acc.commit_instance();
-                        mass += i1 * i2 * i3 * i4 * i5;
-                    }
-                    None => {
-                        mass += meta.inv_p(eu_i)
-                            * meta.inv_p(ev_i)
-                            * meta.inv_p(eu_j)
-                            * meta.inv_p(ev_j)
-                            * meta.inv_p(wx);
-                    }
-                }
+    // Branch on the accumulator *outside* the kernel so each arm hands
+    // the enumeration a closure with no per-instance branching left.
+    let (deg_u, deg_v) = match acc {
+        Some((acc, now)) => pattern.for_each_completed(adj, e, scratch, |partners| {
+            let mut prod = 1.0;
+            acc.begin_instance(now);
+            for &p in partners {
+                let (inv_p, time) = meta.inv_p_time(p);
+                prod *= inv_p;
+                acc.push_partner_time(time);
             }
-        }
-        return (mass, degs.0, degs.1);
-    }
-    let (deg_u, deg_v) = pattern.for_each_completed(adj, e, scratch, &mut |partners| {
-        let mut prod = 1.0;
-        match acc.as_mut() {
-            Some((acc, now)) => {
-                acc.begin_instance(*now);
-                for &p in partners {
-                    let (inv_p, time) = meta.inv_p_time(p);
-                    prod *= inv_p;
-                    acc.push_partner_time(time);
-                }
-                acc.commit_instance();
+            acc.commit_instance();
+            mass += prod;
+        }),
+        None => pattern.for_each_completed(adj, e, scratch, |partners| {
+            let mut prod = 1.0;
+            for &p in partners {
+                prod *= meta.inv_p(p);
             }
-            None => {
-                for &p in partners {
-                    prod *= meta.inv_p(p);
-                }
-            }
-        }
-        mass += prod;
-    });
+            mass += prod;
+        }),
+    };
     (mass, deg_u, deg_v)
 }
 

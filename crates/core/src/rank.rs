@@ -2,7 +2,7 @@
 //!
 //! Priority sampling assigns every arriving edge a *rank* `r = f(w)`
 //! computed from its weight `w` and a fresh uniform variate
-//! `u ∈ (0, 1]`: the paper (following GPS [14]) uses `r = w / u`. Under
+//! `u ∈ (0, 1]`: the paper (following GPS \[14\]) uses `r = w / u`. Under
 //! this rank function, the probability that an edge's rank exceeds a
 //! threshold `τ` is
 //!

@@ -1,5 +1,5 @@
 //! Uniform reservoir with random pairing (RP) — the substrate shared by
-//! the Triest, ThinkD and WRS baselines (paper §VI, [36]).
+//! the Triest, ThinkD and WRS baselines (paper §VI, \[36\]).
 //!
 //! Random pairing extends classic reservoir sampling to deletions: each
 //! deletion is "paired with" a later insertion that compensates it.

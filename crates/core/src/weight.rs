@@ -6,7 +6,7 @@
 //!   priority sampler; useful as a control).
 //! * [`HeuristicWeight`] — the GPS heuristic `W(e, R) = 9·|H(e)| + 1`
 //!   used by WSD-H, where `|H(e)|` is the number of pattern instances the
-//!   edge completes against the reservoir [14].
+//!   edge completes against the reservoir \[14\].
 //! * [`LinearPolicy`] — the learned policy of WSD-L: a single linear
 //!   layer with ReLU activation and `+1` offset (paper §V-A:
 //!   *"The actor network involves one input layer and one output layer,

@@ -68,7 +68,7 @@ impl RefWsd {
         let tau = self.tau_q;
         let mut mass = 0.0;
         let mut instances = 0u64;
-        self.pattern.for_each_completed(adj, e, &mut self.scratch, &mut |partners| {
+        self.pattern.for_each_completed(adj, e, &mut self.scratch, |partners: &[_]| {
             let mut prod = 1.0;
             for &p in partners {
                 let pe = adj.edge_endpoints(p);

@@ -127,3 +127,40 @@ fn golden_massive_deletion_holme_kim() {
     ];
     check(&events, 7, capacity, &golden);
 }
+
+/// Hub-clique k=24 + 1800 fanout-2 spokes (gen seed 17), light-deletion
+/// scenario (seed 8): 4640 events, M = 464, counter seed 19. Core–core
+/// events are hub–hub intersections whose endpoints sit past the
+/// galloping-shadow degree threshold with long disjoint spoke runs to
+/// skip — this scenario pins the galloping tier on the regime it was
+/// built for. Values captured from the pre-galloping (PR-2) kernel;
+/// the merge must reproduce them bit-for-bit, emission order included.
+#[test]
+fn golden_hub_clique_light_deletion() {
+    let edges = GeneratorConfig::HubClique { clique: 24, spokes: 1800 }.generate(17);
+    let events = Scenario::default_light().apply(&edges, 8);
+    assert_eq!(events.len(), 4640, "stream generation drifted; goldens no longer apply");
+    let capacity = events.len() / 10;
+    #[rustfmt::skip]
+    let golden = [
+        (Pattern::Wedge, Algorithm::WsdH, 219065.8714366441_f64),
+        (Pattern::Wedge, Algorithm::WsdUniform, 226474.5068477585_f64),
+        (Pattern::Wedge, Algorithm::GpsA, 220549.71020791127_f64),
+        (Pattern::Wedge, Algorithm::Triest, 226718.81218523058_f64),
+        (Pattern::Wedge, Algorithm::ThinkD, 229637.97640953495_f64),
+        (Pattern::Wedge, Algorithm::Wrs, 234711.00299797708_f64),
+        (Pattern::Triangle, Algorithm::WsdH, 1282.6642316609027_f64),
+        (Pattern::Triangle, Algorithm::WsdUniform, 2284.317901472298_f64),
+        (Pattern::Triangle, Algorithm::GpsA, 1170.8367003112032_f64),
+        (Pattern::Triangle, Algorithm::Triest, 1237.3385310237143_f64),
+        (Pattern::Triangle, Algorithm::ThinkD, 1922.101659502096_f64),
+        (Pattern::Triangle, Algorithm::Wrs, 2326.398976286995_f64),
+        (Pattern::FourClique, Algorithm::WsdH, -7048.9441796242245_f64),
+        (Pattern::FourClique, Algorithm::WsdUniform, -6906.4398715313555_f64),
+        (Pattern::FourClique, Algorithm::GpsA, 99.02821105393005_f64),
+        (Pattern::FourClique, Algorithm::Triest, 0.0_f64),
+        (Pattern::FourClique, Algorithm::ThinkD, 0.0_f64),
+        (Pattern::FourClique, Algorithm::Wrs, 15709.297833327575_f64),
+    ];
+    check(&events, 19, capacity, &golden);
+}

@@ -1,25 +1,53 @@
 //! Dynamic adjacency structure shared by the samplers and the exact
-//! counter, built around a **dense edge-ID arena**.
+//! counter, built around a **dense edge-ID arena** and a **galloping
+//! intersection kernel** over lazily maintained sorted shadows.
 //!
 //! The structure supports the three operations every algorithm in the
 //! paper performs per event: edge insert, edge delete, and neighbourhood
 //! queries (degree, membership, iteration, common-neighbour intersection).
-//! The common-neighbour intersection iterates the smaller neighbourhood
-//! and probes the larger, i.e. `O(min(deg u, deg v))` — this is the
-//! `γ(M)` term in the complexity analysis of Theorems 3/5.
 //!
 //! # Storage
 //!
 //! Neighbourhoods are stored as dense parallel arrays of
-//! `(neighbour, edge id)` (cache-local iteration — the enumeration hot
-//! path walks these slices millions of times per run) with a lazily
-//! attached hash index once a vertex grows past [`SPILL_THRESHOLD`]
-//! neighbours, keeping membership probes O(1) for hubs while small
-//! neighbourhoods (the overwhelming majority under reservoir budgets)
-//! stay a couple of cache lines with branch-predictable linear scans. No
-//! query allocates: callers either consume [`Adjacency::neighbor_slice`]
-//! directly or reuse a scratch buffer via
-//! [`Adjacency::common_neighbors_into`] / [`Adjacency::common_edges_into`].
+//! `(neighbour, edge id)` in **insertion order** (cache-local iteration —
+//! the enumeration hot path walks these slices millions of times per
+//! run) with a hash index attached once a vertex grows past
+//! [`SPILL_THRESHOLD`] neighbours, keeping membership probes and
+//! insert/remove maintenance O(1) for hubs while small neighbourhoods
+//! (the overwhelming majority under reservoir budgets) stay a couple of
+//! cache lines with branch-predictable linear scans.
+//!
+//! # The galloping shadow
+//!
+//! Past [`SHADOW_THRESHOLD`] neighbours a vertex additionally carries a
+//! **sorted shadow**: a by-vertex ordered snapshot of its neighbourhood.
+//! When *both* endpoints of an intersection carry shadows, the kernel
+//! switches from iterate-and-probe (`O(min degree)` hash probes) to a
+//! merge of the two snapshots with galloping (exponential + binary)
+//! jumps, so hub–hub events skip runs of non-common neighbours in
+//! logarithmic rather than linear time. Crucially the shadow is **lazy**:
+//! mutations cost O(1) (an append to a pending list, a dead counter) and
+//! the snapshot is re-sorted only every ~[`SHADOW_PENDING_MAX`]
+//! mutations, so reservoir churn on hubs never pays per-event sorted
+//! maintenance. Snapshot entries may therefore be stale; every candidate
+//! hit is verified against the live arrays (falling back to the hash
+//! index when `swap_remove` moved it) before emission.
+//!
+//! **Every tier emits in the iterated side's dense slot order** — the
+//! order of its `items` array (insertion order as permuted by
+//! `swap_remove`-backfilled deletions), which is what the pre-galloping
+//! kernel emitted. The estimators' floating-point sums are evaluated in
+//! enumeration order, and the golden-value tests pin them bit-for-bit —
+//! so the galloping tier, whose merge naturally discovers hits in
+//! *vertex* order, re-sorts verified hits by the iterated side's slot
+//! before invoking the callback. Probing strategy is free to change;
+//! emission order is part of the contract.
+//!
+//! No query allocates: callers either consume
+//! [`AdjacencyBase::neighbor_slice`] directly or reuse a scratch buffer
+//! via [`AdjacencyBase::common_neighbors_into`] /
+//! [`Adjacency::common_edges_into`] (the galloping tier reuses a
+//! thread-local hit buffer internally).
 //!
 //! # The edge-ID arena
 //!
@@ -31,9 +59,18 @@
 //! ([`Adjacency::for_each_common_edge`]), which is what lets the
 //! estimators upstream replace per-partner `Edge`-keyed hash lookups
 //! with plain dense-array reads.
+//!
+//! # ID-free counters
+//!
+//! The structure is generic over an [`IdPayload`]: [`Adjacency`]
+//! (`P = EdgeId`) carries the arena, while [`VertexAdjacency`]
+//! (`P = ()`) compiles all per-edge ID bookkeeping away — no arena, no
+//! per-neighbour ID array, no recycling — for the uniform baselines
+//! (Triest, ThinkD) whose count-only paths never consume IDs.
 
 use crate::edge::{Edge, Vertex};
 use crate::fxhash::FxHashMap;
+use std::cell::{Cell, RefCell};
 
 /// Dense identifier of a live edge, minted by the [`Adjacency`] arena.
 ///
@@ -42,6 +79,56 @@ use crate::fxhash::FxHashMap;
 /// only meaningful while its edge is live; holding one across a
 /// [`Adjacency::remove`] of that edge is a logic error.
 pub type EdgeId = u32;
+
+/// Per-neighbour payload stored alongside each adjacency entry: either a
+/// dense arena [`EdgeId`] ([`Adjacency`]) or nothing at all
+/// ([`VertexAdjacency`]). Sealed — exactly those two instantiations
+/// exist, and all `TRACKED` branches are resolved at compile time.
+pub trait IdPayload:
+    Copy + PartialEq + std::fmt::Debug + Default + private::Sealed + 'static
+{
+    /// Whether this payload carries arena edge IDs (drives the arena
+    /// bookkeeping; const-folded per instantiation).
+    const TRACKED: bool;
+    /// Wraps a freshly minted arena ID.
+    fn from_id(id: EdgeId) -> Self;
+    /// Unwraps the arena ID (meaningless for untracked payloads; only
+    /// reachable behind `TRACKED` branches).
+    fn id(self) -> EdgeId;
+}
+
+mod private {
+    /// Seals [`super::IdPayload`] to `EdgeId` and `()`.
+    pub trait Sealed {}
+    impl Sealed for super::EdgeId {}
+    impl Sealed for () {}
+}
+
+impl IdPayload for EdgeId {
+    const TRACKED: bool = true;
+
+    #[inline]
+    fn from_id(id: EdgeId) -> Self {
+        id
+    }
+
+    #[inline]
+    fn id(self) -> EdgeId {
+        self
+    }
+}
+
+impl IdPayload for () {
+    const TRACKED: bool = false;
+
+    #[inline]
+    fn from_id(_: EdgeId) -> Self {}
+
+    #[inline]
+    fn id(self) -> EdgeId {
+        0
+    }
+}
 
 /// A common neighbour `w` of a vertex pair `(u, v)` together with the
 /// IDs of the two edges connecting it: `eu` is the ID of `(u, w)` and
@@ -62,19 +149,128 @@ pub struct CommonEdge {
 /// real hardware (no hashing, no pointer chase).
 pub const SPILL_THRESHOLD: usize = 16;
 
-/// One vertex's neighbourhood: dense parallel `(vertex, edge id)` arrays,
-/// plus a position index once the vertex spills past [`SPILL_THRESHOLD`].
+/// Neighbourhood size beyond which a sorted shadow snapshot is
+/// additionally attached, making the vertex eligible for the galloping
+/// intersection tier. Higher than [`SPILL_THRESHOLD`] because the merge
+/// only beats iterate-and-probe once both sides are genuinely large.
+/// Once attached, index and shadow are kept for the rest of the set's
+/// life — churn around the thresholds must not thrash.
+pub const SHADOW_THRESHOLD: usize = 32;
+
+/// Pending-insert count that triggers a shadow snapshot rebuild (the
+/// dead counter triggers one at half the snapshot length). Bounds both
+/// the amortised rebuild cost (`O(d log d)` every ~16 mutations) and the
+/// extra per-intersection work of probing the pending list.
+pub const SHADOW_PENDING_MAX: usize = 16;
+
+/// The galloping snapshot of one (large) neighbourhood: a by-vertex
+/// sorted array of `(vertex, slot)` entries, maintained lazily.
+///
+/// Between rebuilds the snapshot tolerates three kinds of staleness,
+/// all repaired at use rather than at mutation:
+/// * a `sorted` entry's vertex may be dead (removed since the rebuild) —
+///   detected when verification finds it in neither its recorded slot
+///   nor the hash index;
+/// * a `sorted` entry's slot may be stale (`swap_remove` moved it) —
+///   repaired by one hash-index lookup;
+/// * recent inserts are missing from `sorted` — carried in `pending`
+///   and intersected by direct hash probes of the other side.
 #[derive(Clone, Default, Debug)]
-struct NeighborSet {
-    items: Vec<Vertex>,
-    /// `ids[i]` is the arena ID of the edge `(owner, items[i])`.
-    ids: Vec<EdgeId>,
-    /// vertex → slot in `items`; `Some` once spilled (kept for the rest
-    /// of the set's life — churn around the threshold must not thrash).
-    index: Option<FxHashMap<Vertex, u32>>,
+struct Shadow {
+    /// `(vertex, slot)` sorted by vertex as of the last rebuild.
+    sorted: Vec<(Vertex, u32)>,
+    /// Vertices inserted since the last rebuild (unsorted, may have died
+    /// again; verified at use like everything else).
+    pending: Vec<Vertex>,
+    /// Removals observed since the last rebuild.
+    dead: u32,
+    /// Set when the O(1) logs stopped covering the mutations (memory
+    /// guard, or a freshly attached shadow that has never been built):
+    /// the snapshot is unusable until the next refresh.
+    exhausted: bool,
 }
 
-impl NeighborSet {
+impl Shadow {
+    /// A shadow that has never been built — refreshed on first use, so
+    /// sets that never reach the galloping tier never pay the sort.
+    fn unbuilt() -> Self {
+        Self { exhausted: true, ..Self::default() }
+    }
+
+    /// O(1) insert log. Caps the pending list at the live degree so a
+    /// heavily churned set that is never galloped cannot grow the
+    /// shadow unboundedly — past the cap the snapshot is written off
+    /// until the next refresh.
+    #[inline]
+    fn log_insert(&mut self, v: Vertex, live: usize) {
+        if self.exhausted {
+            return;
+        }
+        if self.pending.len() >= live.max(SHADOW_PENDING_MAX) {
+            self.exhausted = true;
+            self.pending.clear();
+        } else {
+            self.pending.push(v);
+        }
+    }
+
+    /// O(1) removal log.
+    #[inline]
+    fn log_remove(&mut self) {
+        self.dead = self.dead.saturating_add(1);
+    }
+
+    fn rebuild(&mut self, items: &[Vertex]) {
+        self.sorted.clear();
+        self.sorted.extend(items.iter().enumerate().map(|(i, &w)| (w, i as u32)));
+        self.sorted.sort_unstable();
+        self.pending.clear();
+        self.dead = 0;
+        self.exhausted = false;
+    }
+
+    /// Whether the snapshot must be rebuilt before the galloping tier
+    /// can trust it (checked — and repaired — at use, never at
+    /// mutation).
+    #[inline]
+    fn needs_refresh(&self) -> bool {
+        self.exhausted
+            || self.pending.len() > SHADOW_PENDING_MAX
+            || (self.dead as usize) * 2 > self.sorted.len()
+    }
+}
+
+/// One vertex's neighbourhood: dense parallel `(vertex, payload)` arrays
+/// in insertion order, plus a hash position index past
+/// [`SPILL_THRESHOLD`] and a lazy sorted shadow past
+/// [`SHADOW_THRESHOLD`].
+#[derive(Clone, Default, Debug)]
+struct NeighborSet<P: IdPayload> {
+    items: Vec<Vertex>,
+    /// `ids[i]` is the payload of the edge `(owner, items[i])`. For
+    /// `P = ()` this is a `Vec<()>` — a length with no storage.
+    ids: Vec<P>,
+    /// vertex → slot in `items`; `Some` once spilled (kept for the rest
+    /// of the set's life — churn around the threshold must not thrash).
+    /// Boxed for the same reason as the shadow: the unspilled majority
+    /// pays a niche-packed pointer, not 40 inline bytes, keeping the
+    /// per-set footprint — and so the vertex table every `adj.get`
+    /// walks — small.
+    index: Option<Box<FxHashMap<Vertex, u32>>>,
+    /// Galloping snapshot; `Some` once past [`SHADOW_THRESHOLD`].
+    /// `RefCell` because the snapshot is refreshed *at use* (inside the
+    /// `&self` intersection) rather than at mutation — mutation paths
+    /// reach it allocation- and borrow-free through `get_mut`. Makes the
+    /// adjacency `!Sync`; the engine clones counters per thread by
+    /// design. Boxed so the rarely-populated field costs the dominant
+    /// small sets one niche-packed pointer, not an inline `Shadow` —
+    /// `NeighborSet` lives inline in the vertex hash table, and its
+    /// size is what every `adj.get` pays for.
+    /// Invariant: `shadow.is_some()` implies `index.is_some()`.
+    shadow: Option<Box<RefCell<Shadow>>>,
+}
+
+impl<P: IdPayload> NeighborSet<P> {
     #[inline]
     fn len(&self) -> usize {
         self.items.len()
@@ -105,6 +301,20 @@ impl NeighborSet {
         }
     }
 
+    /// The payload of the edge to `v`, if present. For untracked
+    /// payloads this is a pure membership probe — the slot resolution is
+    /// compiled away.
+    #[inline]
+    fn find_payload(&self, v: Vertex) -> Option<P> {
+        if P::TRACKED {
+            self.find(v).map(|i| self.ids[i])
+        } else if self.contains(v) {
+            Some(P::default())
+        } else {
+            None
+        }
+    }
+
     #[inline]
     fn contains(&self, v: Vertex) -> bool {
         match &self.index {
@@ -114,21 +324,19 @@ impl NeighborSet {
     }
 
     /// Appends `(v, id)`; the caller guarantees `v` is absent.
-    fn push_unchecked(&mut self, v: Vertex, id: EdgeId) {
+    fn push_unchecked(&mut self, v: Vertex, id: P) {
         debug_assert!(!self.contains(v), "push_unchecked of a present neighbour");
         if let Some(idx) = &mut self.index {
             idx.insert(v, self.items.len() as u32);
         }
         self.items.push(v);
         self.ids.push(id);
-        if self.index.is_none() && self.items.len() > SPILL_THRESHOLD {
-            self.index = Some(self.items.iter().enumerate().map(|(i, &w)| (w, i as u32)).collect());
-        }
+        self.note_insert(v);
     }
 
     /// Inserts `(v, id)` unless `v` is already present; the duplicate
     /// check and the insertion share one probe. Returns `true` on insert.
-    fn insert_checked(&mut self, v: Vertex, id: EdgeId) -> bool {
+    fn insert_checked(&mut self, v: Vertex, id: P) -> bool {
         match &mut self.index {
             Some(idx) => {
                 if idx.contains_key(&v) {
@@ -137,6 +345,7 @@ impl NeighborSet {
                 idx.insert(v, self.items.len() as u32);
                 self.items.push(v);
                 self.ids.push(id);
+                self.note_insert(v);
                 true
             }
             None => {
@@ -149,8 +358,31 @@ impl NeighborSet {
         }
     }
 
-    /// Removes `v`, returning the stored edge ID if it was present.
-    fn remove(&mut self, v: Vertex) -> Option<EdgeId> {
+    /// Post-insert bookkeeping: attach the index / shadow on threshold
+    /// crossings, and log the insert into an existing shadow (O(1); the
+    /// snapshot itself is only rebuilt every ~[`SHADOW_PENDING_MAX`]
+    /// mutations).
+    #[inline]
+    fn note_insert(&mut self, v: Vertex) {
+        if self.index.is_none() && self.items.len() > SPILL_THRESHOLD {
+            self.index = Some(Box::new(
+                self.items.iter().enumerate().map(|(i, &w)| (w, i as u32)).collect(),
+            ));
+        }
+        match &mut self.shadow {
+            Some(sh) => sh.get_mut().log_insert(v, self.items.len()),
+            None => {
+                if self.items.len() > SHADOW_THRESHOLD {
+                    // Attached unbuilt: the first galloped intersection
+                    // pays the sort, never the mutation path.
+                    self.shadow = Some(Box::new(RefCell::new(Shadow::unbuilt())));
+                }
+            }
+        }
+    }
+
+    /// Removes `v`, returning the stored payload if it was present.
+    fn remove(&mut self, v: Vertex) -> Option<P> {
         let pos = match &mut self.index {
             Some(idx) => idx.remove(&v)? as usize,
             None => self.items.iter().position(|&w| w == v)?,
@@ -162,7 +394,22 @@ impl NeighborSet {
                 idx.insert(self.items[pos], pos as u32);
             }
         }
+        if let Some(sh) = &mut self.shadow {
+            sh.get_mut().log_remove();
+        }
         Some(id)
+    }
+
+    /// The live slot of snapshot entry `(w, slot)`, verifying against
+    /// the dense array and falling back to the index when `swap_remove`
+    /// moved the entry; `None` if `w` is no longer a neighbour.
+    #[inline]
+    fn verify_slot(&self, w: Vertex, slot: u32) -> Option<u32> {
+        if self.items.get(slot as usize) == Some(&w) {
+            return Some(slot);
+        }
+        let idx = self.index.as_ref().expect("shadowed set always carries an index");
+        idx.get(&w).copied()
     }
 
     #[inline]
@@ -171,23 +418,84 @@ impl NeighborSet {
     }
 }
 
-/// A dynamic, undirected, simple-graph adjacency structure.
+/// Galloping advance: the first index `>= lo` whose vertex is `>= target`,
+/// assuming everything before `lo` is `< target`. Exponential probing
+/// brackets the answer in `O(log jump)` steps, then a binary search pins
+/// it inside the bracketed window — so skipping a run of `k` non-common
+/// neighbours costs `O(log k)` instead of `k`.
+#[inline]
+fn gallop_to(s: &[(Vertex, u32)], mut lo: usize, target: Vertex) -> usize {
+    let mut step = 1usize;
+    while lo + step <= s.len() && s[lo + step - 1].0 < target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step - 1).min(s.len());
+    lo + s[lo..hi].partition_point(|e| e.0 < target)
+}
+
+/// Intersects two by-vertex sorted snapshots with alternating galloping,
+/// invoking `hit(v, slot_a, slot_b)` per common vertex, in vertex order.
+/// Entries are snapshot state — the caller verifies them against the
+/// live sets.
+fn gallop_intersect(
+    a: &[(Vertex, u32)],
+    b: &[(Vertex, u32)],
+    mut hit: impl FnMut(Vertex, u32, u32),
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (av, bv) = (a[i].0, b[j].0);
+        match av.cmp(&bv) {
+            std::cmp::Ordering::Equal => {
+                hit(av, a[i].1, b[j].1);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i = gallop_to(a, i + 1, bv),
+            std::cmp::Ordering::Greater => j = gallop_to(b, j + 1, av),
+        }
+    }
+}
+
+thread_local! {
+    /// Hit buffer of the galloping tier: verified `(iterated-side slot,
+    /// other-side slot)` pairs, re-sorted to the iterated side's dense
+    /// slot order before emission. Thread-local so the intersection stays `&self` and
+    /// allocation-free in steady state; `Cell` + take/put keeps
+    /// re-entrant calls safe (they just start from a fresh buffer).
+    static GALLOP_HITS: Cell<Vec<(u32, u32)>> = const { Cell::new(Vec::new()) };
+}
+
+/// A dynamic, undirected, simple-graph adjacency structure, generic over
+/// the per-edge [`IdPayload`]. Use the [`Adjacency`] (arena-tracked) or
+/// [`VertexAdjacency`] (ID-free) aliases.
 ///
 /// Vertices with no incident edges are pruned eagerly so the memory
 /// footprint tracks the number of live edges — important for reservoirs
 /// whose content churns over millions of events.
 #[derive(Clone, Default, Debug)]
-pub struct Adjacency {
-    adj: FxHashMap<Vertex, NeighborSet>,
+pub struct AdjacencyBase<P: IdPayload> {
+    adj: FxHashMap<Vertex, NeighborSet<P>>,
     num_edges: usize,
     /// Arena: endpoints per edge ID. Entries of freed IDs are stale until
-    /// the ID is recycled.
+    /// the ID is recycled. Untouched (empty) when `P` is untracked.
     endpoints: Vec<Edge>,
     /// Freed IDs awaiting recycling (LIFO, so the ID space stays dense).
     free: Vec<EdgeId>,
 }
 
-impl Adjacency {
+/// The arena-tracked adjacency: every live edge owns a dense recycled
+/// [`EdgeId`], and the intersection kernels surface partner IDs.
+pub type Adjacency = AdjacencyBase<EdgeId>;
+
+/// The ID-free adjacency for count-only algorithms: same neighbour
+/// storage, hash index and galloping kernel, but no arena and no
+/// per-entry ID array — insert/remove touch exactly one `Vec<Vertex>`
+/// per direction.
+pub type VertexAdjacency = AdjacencyBase<()>;
+
+impl<P: IdPayload> AdjacencyBase<P> {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Self::default()
@@ -221,40 +529,38 @@ impl Adjacency {
         self.num_edges == 0
     }
 
-    /// Exclusive upper bound on the currently live edge IDs: every ID
-    /// returned by [`Adjacency::insert_full`] or stored in the
-    /// neighbourhood arrays is `< id_bound()`. Use it to size dense side
-    /// arrays indexed by [`EdgeId`].
-    #[inline]
-    pub fn id_bound(&self) -> usize {
-        self.endpoints.len()
-    }
-
-    /// Inserts an edge. Returns `true` if the edge was not already present.
+    /// Inserts an edge. Returns `true` if the edge was not already
+    /// present. For [`VertexAdjacency`] this is the whole story; for
+    /// [`Adjacency`] it also mints an arena ID (see
+    /// [`Adjacency::insert_full`]).
     #[inline]
     pub fn insert(&mut self, e: Edge) -> bool {
-        self.insert_full(e).is_some()
+        self.insert_impl(e).is_some()
     }
 
-    /// Inserts an edge, returning its freshly minted arena ID (`None` if
-    /// the edge was already present). IDs of removed edges are recycled.
-    pub fn insert_full(&mut self, e: Edge) -> Option<EdgeId> {
+    fn insert_impl(&mut self, e: Edge) -> Option<EdgeId> {
         let (u, v) = e.endpoints();
         // Peek the ID the arena will assign, so the duplicate check and
         // the forward insertion share a single probe of u's set.
-        let id = match self.free.last() {
-            Some(&id) => id,
-            None => EdgeId::try_from(self.endpoints.len()).expect("edge-ID arena overflow"),
+        let id: EdgeId = if P::TRACKED {
+            match self.free.last() {
+                Some(&id) => id,
+                None => EdgeId::try_from(self.endpoints.len()).expect("edge-ID arena overflow"),
+            }
+        } else {
+            0
         };
-        if !self.adj.entry(u).or_default().insert_checked(v, id) {
+        if !self.adj.entry(u).or_default().insert_checked(v, P::from_id(id)) {
             return None;
         }
-        // Commit the mint.
-        match self.free.pop() {
-            Some(_) => self.endpoints[id as usize] = e,
-            None => self.endpoints.push(e),
+        if P::TRACKED {
+            // Commit the mint.
+            match self.free.pop() {
+                Some(_) => self.endpoints[id as usize] = e,
+                None => self.endpoints.push(e),
+            }
         }
-        self.adj.entry(v).or_default().push_unchecked(u, id);
+        self.adj.entry(v).or_default().push_unchecked(u, P::from_id(id));
         self.num_edges += 1;
         Some(id)
     }
@@ -262,12 +568,10 @@ impl Adjacency {
     /// Removes an edge. Returns `true` if the edge was present.
     #[inline]
     pub fn remove(&mut self, e: Edge) -> bool {
-        self.remove_full(e).is_some()
+        self.remove_impl(e).is_some()
     }
 
-    /// Removes an edge, returning the arena ID it held (now freed for
-    /// recycling) if it was present.
-    pub fn remove_full(&mut self, e: Edge) -> Option<EdgeId> {
+    fn remove_impl(&mut self, e: Edge) -> Option<EdgeId> {
         let (u, v) = e.endpoints();
         let id = match self.adj.get_mut(&u) {
             Some(set) => set.remove(v)?,
@@ -282,9 +586,11 @@ impl Adjacency {
         if set.is_empty() {
             self.adj.remove(&v);
         }
-        self.free.push(id);
+        if P::TRACKED {
+            self.free.push(id.id());
+        }
         self.num_edges -= 1;
-        Some(id)
+        Some(id.id())
     }
 
     /// True if the edge is present.
@@ -298,6 +604,305 @@ impl Adjacency {
     #[inline]
     pub fn adjacent(&self, u: Vertex, v: Vertex) -> bool {
         u != v && self.adj.get(&u).is_some_and(|s| s.contains(v))
+    }
+
+    /// Degree of `x` (0 if unknown).
+    #[inline]
+    pub fn degree(&self, x: Vertex) -> usize {
+        self.adj.get(&x).map_or(0, NeighborSet::len)
+    }
+
+    /// The neighbours of `x` as a dense slice (empty if unknown).
+    ///
+    /// This is the allocation-free view the enumeration hot paths walk;
+    /// order is unspecified but deterministic for a given event history.
+    #[inline]
+    pub fn neighbor_slice(&self, x: Vertex) -> &[Vertex] {
+        self.adj.get(&x).map_or(&[], NeighborSet::as_slice)
+    }
+
+    /// Iterates the neighbours of `x`.
+    pub fn neighbors(&self, x: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.neighbor_slice(x).iter().copied()
+    }
+
+    /// Iterates the vertices with at least one incident edge.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Iterates all live edges (each once, in canonical form).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().flat_map(|(&u, set)| {
+            set.as_slice().iter().copied().filter(move |&v| u < v).map(move |v| Edge::new(u, v))
+        })
+    }
+
+    /// The shared intersection kernel: calls `f(w, pu, pv)` for each
+    /// common neighbour `w` of `u` and `v` with the payloads of `(u, w)`
+    /// and `(v, w)`, returning `(deg u, deg v)`.
+    ///
+    /// Tiers, chosen per event:
+    ///
+    /// * both sides shadowed — galloping merge over the two sorted
+    ///   snapshots plus hash probes for their pending inserts; verified
+    ///   hits are re-sorted to the iterated side's dense slot order and
+    ///   deduplicated before emission;
+    /// * otherwise — walk the smaller side's dense array in slot order
+    ///   and probe the larger (hash index if spilled, linear scan below
+    ///   the threshold).
+    ///
+    /// Every tier emits in the smaller side's dense slot order (its
+    /// insertion order as permuted by `swap_remove` deletions), so
+    /// downstream floating-point accumulation order — which the golden
+    /// tests pin bit-for-bit — is independent of the probing strategy.
+    #[inline]
+    fn for_each_common_entry(
+        &self,
+        u: Vertex,
+        v: Vertex,
+        mut f: impl FnMut(Vertex, P, P),
+    ) -> (usize, usize) {
+        let (Some(nu), Some(nv)) = (self.adj.get(&u), self.adj.get(&v)) else {
+            return (self.degree(u), self.degree(v));
+        };
+        let u_is_small = nu.len() <= nv.len();
+        let (small, large) = if u_is_small { (nu, nv) } else { (nv, nu) };
+        if let (Some(ss), Some(ls)) = (&small.shadow, &large.shadow) {
+            // Refresh-at-use: rebuild a stale snapshot now, while no
+            // shared borrow is outstanding.
+            {
+                let mut sh = ss.borrow_mut();
+                if sh.needs_refresh() {
+                    sh.rebuild(&small.items);
+                }
+            }
+            {
+                let mut sh = ls.borrow_mut();
+                if sh.needs_refresh() {
+                    sh.rebuild(&large.items);
+                }
+            }
+            gallop_common(small, ss, large, ls, |w, a, b| {
+                let (a, b) = (a as usize, b as usize);
+                if u_is_small {
+                    f(w, small.ids[a], large.ids[b]);
+                } else {
+                    f(w, large.ids[b], small.ids[a]);
+                }
+            });
+        } else {
+            for (i, &w) in small.items.iter().enumerate() {
+                if let Some(p) = large.find_payload(w) {
+                    if u_is_small {
+                        f(w, small.ids[i], p);
+                    } else {
+                        f(w, p, small.ids[i]);
+                    }
+                }
+            }
+        }
+        (nu.len(), nv.len())
+    }
+
+    /// Calls `f` for each common neighbour of `u` and `v`.
+    ///
+    /// Runs on the shared galloping kernel; for untracked payloads the
+    /// probes are pure membership tests (no slot resolution). See
+    /// [`Adjacency::for_each_common_edge`] for the ID-carrying variant.
+    #[inline]
+    pub fn for_each_common_neighbor(&self, u: Vertex, v: Vertex, mut f: impl FnMut(Vertex)) {
+        self.for_each_common_entry(u, v, |w, _, _| f(w));
+    }
+
+    /// A reusable handle on `x`'s neighbourhood for repeated probes
+    /// against the *same* vertex — e.g. the 4-clique kernels, which test
+    /// one common neighbour against every later one. Resolving the
+    /// vertex's set once turns O(k) hash probes into one probe plus
+    /// O(k) dense membership scans.
+    #[inline]
+    pub fn neighborhood(&self, x: Vertex) -> Neighborhood<'_, P> {
+        Neighborhood(self.adj.get(&x))
+    }
+
+    /// Collects the common neighbours of `u` and `v` into `out` (cleared
+    /// first). Using a caller-provided buffer avoids per-event allocation
+    /// in the hot enumeration loops.
+    pub fn common_neighbors_into(&self, u: Vertex, v: Vertex, out: &mut Vec<Vertex>) {
+        out.clear();
+        self.for_each_common_neighbor(u, v, |w| out.push(w));
+    }
+
+    /// Number of common neighbours of `u` and `v`.
+    pub fn common_neighbor_count(&self, u: Vertex, v: Vertex) -> usize {
+        let mut n = 0;
+        self.for_each_common_neighbor(u, v, |_| n += 1);
+        n
+    }
+
+    /// Removes all edges and vertices (and resets the ID arena).
+    pub fn clear(&mut self) {
+        self.adj.clear();
+        self.num_edges = 0;
+        self.endpoints.clear();
+        self.free.clear();
+    }
+
+    /// Debug-only structural invariant check: symmetry, no self-loops,
+    /// the edge counter matching the stored sets, index coherence of
+    /// spilled neighbourhoods, shadow coverage (every live neighbour of
+    /// a shadowed set is reachable through its snapshot or pending
+    /// list), and — for tracked payloads — arena coherence (ID symmetry,
+    /// endpoint agreement, and exact live/free partition of the ID
+    /// space).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut half_edges = 0usize;
+        let mut live_ids = std::collections::BTreeSet::new();
+        for (&u, set) in &self.adj {
+            assert!(!set.is_empty(), "vertex {u} retained with empty set");
+            assert_eq!(set.items.len(), set.ids.len(), "parallel array drift at {u}");
+            if let Some(idx) = &set.index {
+                assert_eq!(idx.len(), set.items.len(), "index size drift at {u}");
+                for (i, &w) in set.items.iter().enumerate() {
+                    assert_eq!(
+                        idx.get(&w).copied(),
+                        Some(i as u32),
+                        "index out of sync at {u} slot {i}"
+                    );
+                }
+            }
+            if let Some(sh) = &set.shadow {
+                let sh = sh.borrow();
+                assert!(set.index.is_some(), "shadowed set without index at {u}");
+                assert!(
+                    sh.sorted.windows(2).all(|w| w[0].0 < w[1].0),
+                    "shadow snapshot unsorted at {u}"
+                );
+                if sh.exhausted {
+                    assert!(sh.pending.is_empty(), "exhausted shadow retains pending at {u}");
+                } else {
+                    // Every live neighbour must be covered by the
+                    // snapshot or the pending list (staleness the other
+                    // way — dead snapshot entries — is legal and
+                    // verified at use).
+                    for &w in &set.items {
+                        let in_sorted = sh.sorted.binary_search_by_key(&w, |e| e.0).is_ok();
+                        assert!(
+                            in_sorted || sh.pending.contains(&w),
+                            "live neighbour {w} of {u} invisible to the shadow"
+                        );
+                    }
+                }
+            }
+            for (i, &v) in set.items.iter().enumerate() {
+                assert_ne!(u, v, "self-loop stored at {u}");
+                let rev = self.adj.get(&v).expect("asymmetric edge");
+                let j = rev.find(u).unwrap_or_else(|| panic!("asymmetric edge {u}-{v}"));
+                if P::TRACKED {
+                    let id = set.ids[i].id();
+                    assert_eq!(rev.ids[j].id(), id, "edge ID asymmetry on {u}-{v}");
+                    assert_eq!(
+                        self.endpoints[id as usize],
+                        Edge::new(u, v),
+                        "arena endpoints out of sync for id {id}"
+                    );
+                    if u < v {
+                        assert!(live_ids.insert(id), "edge ID {id} stored for two edges");
+                    }
+                }
+            }
+            half_edges += set.len();
+        }
+        assert_eq!(half_edges % 2, 0);
+        assert_eq!(self.num_edges, half_edges / 2, "edge counter drift");
+        if P::TRACKED {
+            let free: std::collections::BTreeSet<_> = self.free.iter().copied().collect();
+            assert_eq!(free.len(), self.free.len(), "duplicate IDs on the free list");
+            assert!(free.iter().all(|id| (*id as usize) < self.endpoints.len()));
+            assert!(live_ids.is_disjoint(&free), "freed ID still live");
+            assert_eq!(
+                live_ids.len() + free.len(),
+                self.endpoints.len(),
+                "ID space is not exactly partitioned into live and free"
+            );
+        } else {
+            assert!(self.endpoints.is_empty() && self.free.is_empty(), "untracked arena touched");
+        }
+    }
+}
+
+/// The galloping tier: merges the two snapshots, covers their pending
+/// inserts by direct hash probes, verifies every candidate against the
+/// live sets, and emits `hit(w, slot_small, slot_large)` in the small
+/// side's dense slot order (deduplicated — a vertex can surface both
+/// from the merge and from a pending list).
+fn gallop_common<P: IdPayload>(
+    small: &NeighborSet<P>,
+    ss: &RefCell<Shadow>,
+    large: &NeighborSet<P>,
+    ls: &RefCell<Shadow>,
+    mut hit: impl FnMut(Vertex, u32, u32),
+) {
+    GALLOP_HITS.with(|cell| {
+        let mut hits = cell.take();
+        hits.clear();
+        {
+            // Shadow borrows live only for the merge/probe phase — the
+            // emission loop below reads the dense arrays alone, so a
+            // callback may freely re-enter common-neighbour queries on
+            // the same vertices (refreshing these shadows included).
+            let (ss, ls) = (ss.borrow(), ls.borrow());
+            gallop_intersect(&ss.sorted, &ls.sorted, |w, sa, sb| {
+                if let (Some(a), Some(b)) = (small.verify_slot(w, sa), large.verify_slot(w, sb)) {
+                    hits.push((a, b));
+                }
+            });
+            // Recent inserts on either side are missing from its
+            // snapshot: probe them through the live indexes (both
+            // directions, deduplicated below).
+            for &w in &ss.pending {
+                if let (Some(a), Some(b)) = (small.find(w), large.find(w)) {
+                    hits.push((a as u32, b as u32));
+                }
+            }
+            for &w in &ls.pending {
+                if let (Some(b), Some(a)) = (large.find(w), small.find(w)) {
+                    hits.push((a as u32, b as u32));
+                }
+            }
+        }
+        // Ascending slot order = the probe tier's emission order; after
+        // dedup a slot appears once per live common neighbour.
+        hits.sort_unstable();
+        hits.dedup();
+        for &(a, b) in &hits {
+            hit(small.items[a as usize], a, b);
+        }
+        cell.set(hits);
+    });
+}
+
+impl Adjacency {
+    /// Exclusive upper bound on the currently live edge IDs: every ID
+    /// returned by [`Adjacency::insert_full`] or stored in the
+    /// neighbourhood arrays is `< id_bound()`. Use it to size dense side
+    /// arrays indexed by [`EdgeId`].
+    #[inline]
+    pub fn id_bound(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Inserts an edge, returning its freshly minted arena ID (`None` if
+    /// the edge was already present). IDs of removed edges are recycled.
+    pub fn insert_full(&mut self, e: Edge) -> Option<EdgeId> {
+        self.insert_impl(e)
+    }
+
+    /// Removes an edge, returning the arena ID it held (now freed for
+    /// recycling) if it was present.
+    pub fn remove_full(&mut self, e: Edge) -> Option<EdgeId> {
+        self.remove_impl(e)
     }
 
     /// The arena ID of a live edge, if present.
@@ -328,21 +933,6 @@ impl Adjacency {
         self.endpoints[id as usize]
     }
 
-    /// Degree of `x` (0 if unknown).
-    #[inline]
-    pub fn degree(&self, x: Vertex) -> usize {
-        self.adj.get(&x).map_or(0, NeighborSet::len)
-    }
-
-    /// The neighbours of `x` as a dense slice (empty if unknown).
-    ///
-    /// This is the allocation-free view the enumeration hot paths walk;
-    /// order is unspecified but deterministic for a given event history.
-    #[inline]
-    pub fn neighbor_slice(&self, x: Vertex) -> &[Vertex] {
-        self.adj.get(&x).map_or(&[], NeighborSet::as_slice)
-    }
-
     /// The neighbours of `x` and the IDs of the connecting edges, as
     /// parallel dense slices (`ids[i]` is the ID of `(x, vertices[i])`).
     #[inline]
@@ -350,96 +940,25 @@ impl Adjacency {
         self.adj.get(&x).map_or((&[], &[]), |s| (&s.items, &s.ids))
     }
 
-    /// Iterates the neighbours of `x`.
-    pub fn neighbors(&self, x: Vertex) -> impl Iterator<Item = Vertex> + '_ {
-        self.neighbor_slice(x).iter().copied()
-    }
-
-    /// Iterates the vertices with at least one incident edge.
-    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
-        self.adj.keys().copied()
-    }
-
-    /// Iterates all live edges (each once, in canonical form).
-    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.adj.iter().flat_map(|(&u, set)| {
-            set.as_slice().iter().copied().filter(move |&v| u < v).map(move |v| Edge::new(u, v))
-        })
-    }
-
-    /// Calls `f` for each common neighbour of `u` and `v`.
-    ///
-    /// Iterates the smaller neighbourhood's dense array and probes the
-    /// larger: `O(min(deg u, deg v))` probes, each O(1) once the larger
-    /// side has spilled to an indexed set. Pure membership probes — the
-    /// counting kernels that don't need edge IDs skip the slot
-    /// resolution of [`Adjacency::for_each_common_edge`] entirely.
-    #[inline]
-    pub fn for_each_common_neighbor(&self, u: Vertex, v: Vertex, mut f: impl FnMut(Vertex)) {
-        let (Some(nu), Some(nv)) = (self.adj.get(&u), self.adj.get(&v)) else {
-            return;
-        };
-        let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
-        for &w in small.as_slice() {
-            if large.contains(w) {
-                f(w);
-            }
-        }
-    }
-
     /// Calls `f(w, id(u,w), id(v,w))` for each common neighbour `w` of
     /// `u` and `v`, returning `(deg u, deg v)`.
     ///
-    /// Same probe pattern (and cost) as
-    /// [`Adjacency::for_each_common_neighbor`]: the edge IDs ride along
-    /// with the slots the intersection touches anyway, so surfacing them
-    /// is free — this is the zero-hash path the estimators enumerate
-    /// partner edges through. The degrees are a free by-product of the
-    /// two vertex lookups the intersection performs regardless; callers
-    /// that need them (the state extraction of Eq. 19–22) avoid two
-    /// further hash probes.
+    /// This is the ID-carrying face of the shared galloping kernel (see
+    /// [`AdjacencyBase::for_each_common_neighbor`]): the edge IDs ride
+    /// along with the slots the intersection touches anyway, so
+    /// surfacing them is free — the zero-hash path the estimators
+    /// enumerate partner edges through. The degrees are a free
+    /// by-product of the two vertex lookups the intersection performs
+    /// regardless; callers that need them (the state extraction of
+    /// Eq. 19–22) avoid two further hash probes.
     #[inline]
     pub fn for_each_common_edge(
         &self,
         u: Vertex,
         v: Vertex,
-        mut f: impl FnMut(Vertex, EdgeId, EdgeId),
+        f: impl FnMut(Vertex, EdgeId, EdgeId),
     ) -> (usize, usize) {
-        let (Some(nu), Some(nv)) = (self.adj.get(&u), self.adj.get(&v)) else {
-            return (self.degree(u), self.degree(v));
-        };
-        if nu.len() <= nv.len() {
-            for (i, &w) in nu.items.iter().enumerate() {
-                if let Some(j) = nv.find(w) {
-                    f(w, nu.ids[i], nv.ids[j]);
-                }
-            }
-        } else {
-            for (i, &w) in nv.items.iter().enumerate() {
-                if let Some(j) = nu.find(w) {
-                    f(w, nu.ids[j], nv.ids[i]);
-                }
-            }
-        }
-        (nu.len(), nv.len())
-    }
-
-    /// A reusable handle on `x`'s neighbourhood for repeated probes
-    /// against the *same* vertex — e.g. the 4-clique kernels, which test
-    /// one common neighbour against every later one. Resolving the
-    /// vertex's set once turns O(k) hash probes into one probe plus
-    /// O(k) dense membership scans.
-    #[inline]
-    pub fn neighborhood(&self, x: Vertex) -> Neighborhood<'_> {
-        Neighborhood(self.adj.get(&x))
-    }
-
-    /// Collects the common neighbours of `u` and `v` into `out` (cleared
-    /// first). Using a caller-provided buffer avoids per-event allocation
-    /// in the hot enumeration loops.
-    pub fn common_neighbors_into(&self, u: Vertex, v: Vertex, out: &mut Vec<Vertex>) {
-        out.clear();
-        self.for_each_common_neighbor(u, v, |w| out.push(w));
+        self.for_each_common_entry(u, v, f)
     }
 
     /// Collects the common neighbours of `u` and `v` with their edge IDs
@@ -454,80 +973,21 @@ impl Adjacency {
         out.clear();
         self.for_each_common_edge(u, v, |w, eu, ev| out.push(CommonEdge { w, eu, ev }))
     }
-
-    /// Number of common neighbours of `u` and `v`.
-    pub fn common_neighbor_count(&self, u: Vertex, v: Vertex) -> usize {
-        let mut n = 0;
-        self.for_each_common_neighbor(u, v, |_| n += 1);
-        n
-    }
-
-    /// Removes all edges and vertices (and resets the ID arena).
-    pub fn clear(&mut self) {
-        self.adj.clear();
-        self.num_edges = 0;
-        self.endpoints.clear();
-        self.free.clear();
-    }
-
-    /// Debug-only structural invariant check: symmetry, no self-loops,
-    /// the edge counter matching the stored sets, index coherence of
-    /// spilled neighbourhoods, and arena coherence (ID symmetry, endpoint
-    /// agreement, and exact live/free partition of the ID space).
-    #[doc(hidden)]
-    pub fn check_invariants(&self) {
-        let mut half_edges = 0usize;
-        let mut live_ids = std::collections::BTreeSet::new();
-        for (&u, set) in &self.adj {
-            assert!(!set.is_empty(), "vertex {u} retained with empty set");
-            assert_eq!(set.items.len(), set.ids.len(), "parallel array drift at {u}");
-            if let Some(idx) = &set.index {
-                assert_eq!(idx.len(), set.items.len(), "index size drift at {u}");
-                for (i, &w) in set.items.iter().enumerate() {
-                    assert_eq!(
-                        idx.get(&w).copied(),
-                        Some(i as u32),
-                        "index out of sync at {u} slot {i}"
-                    );
-                }
-            }
-            for (i, &v) in set.items.iter().enumerate() {
-                assert_ne!(u, v, "self-loop stored at {u}");
-                let id = set.ids[i];
-                let rev = self.adj.get(&v).expect("asymmetric edge");
-                let j = rev.find(u).unwrap_or_else(|| panic!("asymmetric edge {u}-{v}"));
-                assert_eq!(rev.ids[j], id, "edge ID asymmetry on {u}-{v}");
-                assert_eq!(
-                    self.endpoints[id as usize],
-                    Edge::new(u, v),
-                    "arena endpoints out of sync for id {id}"
-                );
-                if u < v {
-                    assert!(live_ids.insert(id), "edge ID {id} stored for two edges");
-                }
-            }
-            half_edges += set.len();
-        }
-        assert_eq!(half_edges % 2, 0);
-        assert_eq!(self.num_edges, half_edges / 2, "edge counter drift");
-        let free: std::collections::BTreeSet<_> = self.free.iter().copied().collect();
-        assert_eq!(free.len(), self.free.len(), "duplicate IDs on the free list");
-        assert!(free.iter().all(|id| (*id as usize) < self.endpoints.len()));
-        assert!(live_ids.is_disjoint(&free), "freed ID still live");
-        assert_eq!(
-            live_ids.len() + free.len(),
-            self.endpoints.len(),
-            "ID space is not exactly partitioned into live and free"
-        );
-    }
 }
 
 /// A borrowed view of one vertex's neighbourhood, for repeated probes
-/// without re-resolving the vertex (see [`Adjacency::neighborhood`]).
-#[derive(Copy, Clone)]
-pub struct Neighborhood<'a>(Option<&'a NeighborSet>);
+/// without re-resolving the vertex (see [`AdjacencyBase::neighborhood`]).
+pub struct Neighborhood<'a, P: IdPayload = EdgeId>(Option<&'a NeighborSet<P>>);
 
-impl Neighborhood<'_> {
+impl<P: IdPayload> Copy for Neighborhood<'_, P> {}
+
+impl<P: IdPayload> Clone for Neighborhood<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P: IdPayload> Neighborhood<'_, P> {
     /// Degree of the vertex (0 if it has no live edges).
     #[inline]
     pub fn len(&self) -> usize {
@@ -545,7 +1005,9 @@ impl Neighborhood<'_> {
     pub fn contains(&self, v: Vertex) -> bool {
         self.0.is_some_and(|s| s.contains(v))
     }
+}
 
+impl Neighborhood<'_, EdgeId> {
     /// The arena ID of the edge to `v`, if `v` is a neighbour.
     #[inline]
     pub fn id_of(&self, v: Vertex) -> Option<EdgeId> {
@@ -574,6 +1036,21 @@ mod tests {
         assert!(!g.contains(e));
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.num_vertices(), 0, "isolated vertices must be pruned");
+    }
+
+    #[test]
+    fn vertex_only_variant_tracks_no_arena() {
+        let mut g = VertexAdjacency::new();
+        assert!(g.insert(Edge::new(1, 2)));
+        assert!(!g.insert(Edge::new(1, 2)));
+        assert!(g.insert(Edge::new(2, 3)));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.common_neighbor_count(1, 3), 1);
+        g.check_invariants();
+        assert!(g.remove(Edge::new(1, 2)));
+        assert!(!g.remove(Edge::new(1, 2)));
+        g.check_invariants();
     }
 
     #[test]
@@ -733,6 +1210,133 @@ mod tests {
         }
     }
 
+    /// Drives two hubs across the shadow threshold both ways — grow past
+    /// it, delete far below it, re-insert past it again — in repeated
+    /// waves, checking membership, IDs and the hub–hub intersection
+    /// throughout. The shadow is retained once attached (its lazy
+    /// snapshot shrinks via dead-triggered rebuilds); below-threshold
+    /// operation with a shadow present is exactly the state this pins.
+    #[test]
+    fn shadow_threshold_crossing_waves() {
+        let mut g = Adjacency::new();
+        let top = (2 * SHADOW_THRESHOLD) as Vertex;
+        let (hub_a, hub_b) = (5000u64, 6000u64);
+        g.insert(Edge::new(hub_a, hub_b));
+        // Persistent common neighbours so the intersection stays
+        // non-trivial across waves.
+        for obs in [7000u64, 7001, 7002] {
+            g.insert(Edge::new(hub_a, obs));
+            g.insert(Edge::new(hub_b, obs));
+        }
+        for wave in 0..4u64 {
+            // Grow both hubs past the shadow threshold with disjoint
+            // leaf ranges (no new commons).
+            for v in 1..=top {
+                assert!(g.insert(Edge::new(hub_a, v)), "wave {wave}: a-leaf {v}");
+                assert!(g.insert(Edge::new(hub_b, 100_000 + v)), "wave {wave}: b-leaf {v}");
+            }
+            g.check_invariants();
+            assert!(g.degree(hub_a) > SHADOW_THRESHOLD);
+            let mut got = Vec::new();
+            g.for_each_common_edge(hub_a, hub_b, |w, eu, ev| {
+                assert_eq!(g.edge_id(Edge::new(hub_a, w)), Some(eu));
+                assert_eq!(g.edge_id(Edge::new(hub_b, w)), Some(ev));
+                got.push(w);
+            });
+            let want: BTreeSet<Vertex> = BTreeSet::from([7000, 7001, 7002]);
+            assert_eq!(got.iter().copied().collect::<BTreeSet<_>>(), want, "wave {wave}");
+            // Shrink far below the threshold again.
+            for v in 1..=top {
+                assert!(g.remove(Edge::new(hub_a, v)), "wave {wave}: remove a-leaf {v}");
+                assert!(g.remove(Edge::new(hub_b, 100_000 + v)), "wave {wave}: remove b-leaf {v}");
+            }
+            g.check_invariants();
+            assert_eq!(g.degree(hub_a), 4);
+            assert_eq!(g.common_neighbor_count(hub_a, hub_b), 3);
+        }
+    }
+
+    #[test]
+    fn galloping_tier_matches_linear_probes() {
+        // Two hubs far past the shadow threshold sharing an interleaved
+        // subset of neighbours, with long non-common runs on both sides
+        // — the galloping tier must skip them and still report exactly
+        // the common set, in the iterated side's dense slot order.
+        let mut g = Adjacency::new();
+        let (a, b) = (10_000u64, 20_000u64);
+        g.insert(Edge::new(a, b));
+        // Common neighbours: multiples of 7 (inserted in a scattered
+        // order so insertion order ≠ vertex order).
+        let mut common: Vec<Vertex> = (1..=20u64).map(|k| 7 * k).collect();
+        common.swap(0, 19);
+        common.swap(3, 11);
+        for &w in &common {
+            g.insert(Edge::new(a, w));
+            g.insert(Edge::new(b, w));
+        }
+        // Non-common runs: a gets 100 odd-ball vertices below, b gets
+        // 100 above, so the merge must gallop over both tails.
+        for k in 0..100u64 {
+            g.insert(Edge::new(a, 1_000 + 2 * k));
+            g.insert(Edge::new(b, 30_000 + 2 * k));
+        }
+        // Churn after the snapshots were built: delete some commons and
+        // some tail vertices, add fresh commons (pending-path coverage).
+        for k in [2u64, 9] {
+            g.remove(Edge::new(a, 7 * k));
+            g.remove(Edge::new(b, 7 * k));
+        }
+        for w in [500u64, 501, 502] {
+            g.insert(Edge::new(a, w));
+            g.insert(Edge::new(b, w));
+        }
+        g.check_invariants();
+        let mut got = Vec::new();
+        let degs = g.for_each_common_edge(a, b, |w, eu, ev| {
+            assert_eq!(g.edge_id(Edge::new(a, w)), Some(eu));
+            assert_eq!(g.edge_id(Edge::new(b, w)), Some(ev));
+            got.push(w);
+        });
+        assert_eq!(degs, (g.degree(a), g.degree(b)));
+        // Same set AND same order as the probe-tier kernel would emit:
+        // the iterated (smaller) side's dense slot order.
+        let small = if g.degree(a) <= g.degree(b) { a } else { b };
+        let want: Vec<Vertex> =
+            g.neighbors(small).filter(|&w| g.adjacent(a, w) && g.adjacent(b, w)).collect();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 21); // 20 - 2 deleted + 3 fresh
+    }
+
+    /// A callback may re-enter common-neighbour queries on the same
+    /// shadowed vertices (the shadow borrows are released before
+    /// emission) — the pre-galloping kernel allowed this, so the
+    /// galloping tier must too.
+    #[test]
+    fn galloping_tier_callbacks_may_reenter() {
+        let mut g = Adjacency::new();
+        let (a, b, c) = (1u64, 2u64, 3u64);
+        for (x, y) in [(a, b), (a, c), (b, c)] {
+            g.insert(Edge::new(x, y));
+        }
+        // Push all three past the shadow threshold with shared leaves.
+        let top = (2 * SHADOW_THRESHOLD) as Vertex;
+        for v in 100..(100 + top) {
+            for hub in [a, b, c] {
+                g.insert(Edge::new(hub, v));
+            }
+        }
+        let mut outer = 0;
+        let mut inner_total = 0;
+        g.for_each_common_neighbor(a, b, |_| {
+            outer += 1;
+            // Re-enters the galloping tier on overlapping shadowed
+            // vertices while the outer enumeration is mid-flight.
+            inner_total += g.common_neighbor_count(a, c);
+        });
+        assert_eq!(outer, top as usize + 1); // leaves + c
+        assert_eq!(inner_total, outer * (top as usize + 1)); // leaves + b per call
+    }
+
     /// Reference model: a plain set of canonical edges.
     #[derive(Default)]
     struct Model(BTreeSet<Edge>);
@@ -813,6 +1417,77 @@ mod tests {
                     .map(|e| e.other(x))
                     .collect();
                 prop_assert_eq!(got, want);
+            }
+        }
+
+        /// Insert/delete/re-insert *waves* centred on two hub vertices
+        /// drive their sets across the shadow threshold in both
+        /// directions — stale snapshot entries, moved slots and pending
+        /// inserts all in play — while a weighted and an ID-free
+        /// adjacency process the identical op sequence; membership,
+        /// degrees, the hub–hub intersection (set *and* emission order)
+        /// and the invariants must agree with the model after every
+        /// wave.
+        #[test]
+        fn prop_threshold_waves_keep_kernels_coherent(
+            waves in proptest::collection::vec(
+                (2u64..70, proptest::collection::vec(0u64..70, 8..48), any::<bool>()),
+                1..10,
+            ),
+        ) {
+            let (hub_a, hub_b) = (500u64, 501u64);
+            let mut g = Adjacency::new();
+            let mut lean = VertexAdjacency::new();
+            let mut m = Model::default();
+            let apply = |g: &mut Adjacency,
+                         lean: &mut VertexAdjacency,
+                         m: &mut Model,
+                         insert: bool,
+                         e: Edge| {
+                if insert {
+                    let was = m.0.insert(e);
+                    assert_eq!(g.insert(e), was);
+                    assert_eq!(lean.insert(e), was);
+                } else {
+                    let was = m.0.remove(&e);
+                    assert_eq!(g.remove(e), was);
+                    assert_eq!(lean.remove(e), was);
+                }
+            };
+            apply(&mut g, &mut lean, &mut m, true, Edge::new(hub_a, hub_b));
+            for (salt, members, delete_phase) in waves {
+                for &x in &members {
+                    let v = 1000 + ((x * 31 + salt) % 90);
+                    for hub in [hub_a, hub_b] {
+                        apply(&mut g, &mut lean, &mut m, true, Edge::new(hub, v));
+                    }
+                }
+                if delete_phase {
+                    for &x in &members {
+                        let v = 1000 + ((x * 31 + salt) % 90);
+                        for hub in [hub_a, hub_b] {
+                            apply(&mut g, &mut lean, &mut m, false, Edge::new(hub, v));
+                        }
+                    }
+                }
+                g.check_invariants();
+                lean.check_invariants();
+                prop_assert_eq!(g.degree(hub_a), m.degree(hub_a));
+                prop_assert_eq!(lean.degree(hub_b), m.degree(hub_b));
+                // The hub–hub intersection: same set as the model, and
+                // the tracked and ID-free kernels emit the identical
+                // order (the iterated side's dense slot order).
+                let mut tracked = Vec::new();
+                g.for_each_common_edge(hub_a, hub_b, |w, eu, ev| {
+                    assert_eq!(g.edge_id(Edge::new(hub_a, w)), Some(eu));
+                    assert_eq!(g.edge_id(Edge::new(hub_b, w)), Some(ev));
+                    tracked.push(w);
+                });
+                let mut lean_hits = Vec::new();
+                lean.for_each_common_neighbor(hub_a, hub_b, |w| lean_hits.push(w));
+                prop_assert_eq!(&tracked, &lean_hits, "tracked vs ID-free emission order");
+                let got: BTreeSet<_> = tracked.into_iter().collect();
+                prop_assert_eq!(got, m.common(hub_a, hub_b));
             }
         }
 

@@ -9,7 +9,7 @@
 //! Complexity per event matches the samplers' `γ` term: `O(min-degree)`
 //! for wedges/triangles, `O(common² )` for 4-cliques.
 
-use crate::adjacency::Adjacency;
+use crate::adjacency::{Adjacency, AdjacencyBase, IdPayload};
 use crate::edge::{EdgeEvent, Op};
 use crate::patterns::{EnumScratch, Pattern};
 
@@ -132,8 +132,10 @@ impl ExactCounter {
 
 /// Counts pattern instances in a static graph from scratch (no stream);
 /// useful for cross-checking the incremental counter in tests and for
-/// one-off analyses.
-pub fn count_static(pattern: Pattern, g: &Adjacency) -> u64 {
+/// one-off analyses. Accepts any adjacency flavour — only the edge list
+/// is consumed, so the ID-free [`crate::adjacency::VertexAdjacency`] of
+/// the uniform baselines works too.
+pub fn count_static<P: IdPayload>(pattern: Pattern, g: &AdjacencyBase<P>) -> u64 {
     // Insert the graph's edges one at a time into a fresh counter.
     let mut c = ExactCounter::new(pattern);
     for e in g.edges() {

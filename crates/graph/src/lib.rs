@@ -15,8 +15,10 @@
 //! * [`Edge`] — an undirected, canonicalised, self-loop-free edge.
 //! * [`EdgeEvent`] — an insertion or deletion event `(op, e_t)` of a fully
 //!   dynamic graph stream (paper §II).
-//! * [`Adjacency`] — a dynamic adjacency structure with O(min-degree)
-//!   common-neighbour intersection.
+//! * [`Adjacency`] — a dynamic adjacency structure whose
+//!   common-neighbour intersection runs on sorted shadows with galloping
+//!   jumps (sub-linear for hub–hub events); [`VertexAdjacency`] is its
+//!   ID-free twin for count-only algorithms.
 //! * [`Pattern`] — the subgraph patterns of interest (wedge, triangle,
 //!   4-clique, generic k-clique) together with *completion enumeration*:
 //!   the set of instances a newly arriving edge completes against a given
@@ -34,7 +36,10 @@ pub mod exact;
 pub mod fxhash;
 pub mod patterns;
 
-pub use adjacency::{Adjacency, CommonEdge, EdgeId, Neighborhood};
+pub use adjacency::{
+    Adjacency, AdjacencyBase, CommonEdge, EdgeId, IdPayload, Neighborhood, VertexAdjacency,
+    SHADOW_THRESHOLD,
+};
 pub use edge::{Edge, EdgeEvent, Op, Vertex};
 pub use exact::ExactCounter;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};

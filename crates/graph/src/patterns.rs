@@ -15,6 +15,16 @@
 //! estimators upstream get zero-hash access to per-edge metadata instead
 //! of reconstructing `Edge` keys and re-hashing them per partner.
 //!
+//! [`Pattern::for_each_completed`] is **generic over the callback**
+//! (`impl FnMut`), so the estimator's per-instance mass/state closure is
+//! fused straight into the galloping intersection kernel — one
+//! monomorphised loop per pattern with no per-instance dynamic dispatch.
+//! Cold callers that need object-safe dispatch (or would otherwise bloat
+//! codegen) use [`Pattern::for_each_completed_dyn`]. The counting kernel
+//! [`Pattern::count_completed`] is additionally generic over the
+//! adjacency's [`IdPayload`], so the ID-free [`VertexAdjacency`] of the
+//! uniform baselines shares it.
+//!
 //! Supported patterns:
 //!
 //! * [`Pattern::Wedge`] — length-2 paths (the paper's `∧`).
@@ -22,12 +32,15 @@
 //!   path.
 //! * [`Pattern::FourClique`] — 4-cliques, with a pairwise-adjacency fast
 //!   path over common neighbours.
-//! * [`Pattern::Clique(k)`] — generic k-cliques for `k ≥ 3` via recursive
+//! * [`Pattern::Clique`]`(k)` — generic k-cliques for `k ≥ 3` via recursive
 //!   extension (an extension beyond the paper's evaluation, which stops at
 //!   4-cliques).
 
-use crate::adjacency::{Adjacency, CommonEdge, EdgeId};
+use crate::adjacency::{Adjacency, AdjacencyBase, CommonEdge, EdgeId, IdPayload};
 use crate::edge::{Edge, Vertex};
+
+#[cfg(doc)]
+use crate::adjacency::VertexAdjacency;
 
 /// Maximum supported clique order for [`Pattern::Clique`].
 ///
@@ -103,8 +116,15 @@ impl Pattern {
     ///
     /// `g` must not currently contain `e`; instances are those of
     /// `g ∪ {e}` that use `e`. This is the exact-count kernel; it avoids
-    /// materialising partner edges.
-    pub fn count_completed(&self, g: &Adjacency, e: Edge, scratch: &mut EnumScratch) -> u64 {
+    /// materialising partner edges and never touches edge IDs, so it runs
+    /// on the ID-free [`VertexAdjacency`] as well as the arena-tracked
+    /// [`Adjacency`] — one monomorphised copy per adjacency flavour.
+    pub fn count_completed<P: IdPayload>(
+        &self,
+        g: &AdjacencyBase<P>,
+        e: Edge,
+        scratch: &mut EnumScratch,
+    ) -> u64 {
         match self {
             Pattern::Wedge => {
                 let (u, v) = e.endpoints();
@@ -139,8 +159,15 @@ impl Pattern {
                 n
             }
             Pattern::Clique(k) => {
+                let (u, v) = e.endpoints();
+                let need = (*k - 2) as usize;
+                g.common_neighbors_into(u, v, &mut scratch.common);
+                scratch.common.sort_unstable();
+                let cand0 = std::mem::take(&mut scratch.common);
+                scratch.clique_cur.clear();
                 let mut n = 0u64;
-                clique_enumerate(g, e, *k, scratch, &mut |_, _| n += 1);
+                clique_extend(g, &cand0, need, scratch, &mut |_| n += 1);
+                scratch.common = cand0;
                 n
             }
         }
@@ -153,6 +180,13 @@ impl Pattern {
     /// callback; resolve endpoints with [`Adjacency::edge_endpoints`] if
     /// needed.
     ///
+    /// The callback is a generic `impl FnMut`, so hot callers (the
+    /// estimator mass loop, the WRS instance weigher) get one fused,
+    /// monomorphised kernel per pattern — the per-instance work inlines
+    /// into the intersection loop itself. Use
+    /// [`Pattern::for_each_completed_dyn`] where object-safe dispatch is
+    /// preferred.
+    ///
     /// Returns the degrees of `e`'s endpoints in `g` — a free by-product
     /// of the neighbourhood lookups enumeration performs anyway, saving
     /// the state extraction (Eq. 19–22) two hash probes per event.
@@ -161,7 +195,7 @@ impl Pattern {
         g: &Adjacency,
         e: Edge,
         scratch: &mut EnumScratch,
-        f: &mut dyn FnMut(&[EdgeId]),
+        mut f: impl FnMut(&[EdgeId]),
     ) -> (usize, usize) {
         let (u, v) = e.endpoints();
         match self {
@@ -219,12 +253,19 @@ impl Pattern {
                 degs
             }
             Pattern::Clique(k) => {
-                let k = *k;
+                let need = (*k - 2) as usize;
+                let degs = g.common_edges_into(u, v, &mut scratch.common_edges);
+                scratch.common_edges.sort_unstable_by_key(|c| c.w);
+                let common = std::mem::take(&mut scratch.common_edges);
+                let mut cand0 = std::mem::take(&mut scratch.common);
+                cand0.clear();
+                cand0.extend(common.iter().map(|c| c.w));
+                scratch.clique_cur.clear();
                 // Reuse the scratch partner buffer across instances —
                 // the per-instance Vec allocation here used to dominate
                 // generic-clique enumeration cost.
                 let mut partner = std::mem::take(&mut scratch.partner);
-                let degs = clique_enumerate(g, e, k, scratch, &mut |chosen, common| {
+                clique_extend(g, &cand0, need, scratch, &mut |chosen| {
                     // Materialise all edges among {u, v} ∪ chosen except
                     // e. The (u,w)/(v,w) IDs come from the sorted common
                     // triples (binary search by w — `chosen` preserves
@@ -250,9 +291,25 @@ impl Pattern {
                     f(&partner);
                 });
                 scratch.partner = partner;
+                scratch.common = cand0;
+                scratch.common_edges = common;
                 degs
             }
         }
+    }
+
+    /// Object-safe shim over [`Pattern::for_each_completed`] for cold
+    /// callers: dispatches the callback through a `&mut dyn FnMut`
+    /// instead of monomorphising the kernel per closure, trading
+    /// per-instance indirect calls for one shared instantiation.
+    pub fn for_each_completed_dyn(
+        &self,
+        g: &Adjacency,
+        e: Edge,
+        scratch: &mut EnumScratch,
+        f: &mut dyn FnMut(&[EdgeId]),
+    ) -> (usize, usize) {
+        self.for_each_completed(g, e, scratch, f)
     }
 }
 
@@ -260,7 +317,8 @@ impl Pattern {
 /// counter/thread and pass it to every call to avoid per-event allocation.
 #[derive(Default, Clone, Debug)]
 pub struct EnumScratch {
-    /// Common-neighbour vertices (counting fast paths).
+    /// Common-neighbour vertices (counting fast paths; doubles as the
+    /// level-0 candidate buffer of the generic-clique kernels).
     common: Vec<Vertex>,
     /// Common neighbours with partner edge IDs (enumeration paths),
     /// sorted by vertex inside the generic-clique kernel.
@@ -271,58 +329,34 @@ pub struct EnumScratch {
     partner: Vec<EdgeId>,
 }
 
-impl EnumScratch {
-    /// Leases the common-edge buffer to external kernels (the
-    /// monomorphised estimator fast paths in `wsd-core`) so they reuse
-    /// this scratch instead of allocating their own.
-    pub fn common_edges_buf(&mut self) -> &mut Vec<CommonEdge> {
-        &mut self.common_edges
-    }
-}
-
-/// Recursive k-clique extension: finds all (k-2)-subsets `S` of the common
-/// neighbourhood of `e`'s endpoints such that `S` induces a clique,
-/// invoking `f(S, sorted_common)`. `S` is yielded in increasing vertex
-/// order so each instance is produced exactly once; `sorted_common` is
-/// the common neighbourhood with edge IDs, sorted by vertex, for ID
-/// resolution in the callback.
-fn clique_enumerate(
-    g: &Adjacency,
-    e: Edge,
-    k: u8,
+/// Recursive k-clique extension shared by the counting and enumeration
+/// kernels: finds all `need`-subsets `S` of `cand` (the sorted common
+/// neighbourhood of `e`'s endpoints) such that `S` induces a clique,
+/// invoking `f(S)`. `S` is yielded in increasing vertex order so each
+/// instance is produced exactly once. Generic over the adjacency payload
+/// — only membership probes are performed; the enumeration caller
+/// resolves IDs in its callback.
+fn clique_extend<P: IdPayload>(
+    g: &AdjacencyBase<P>,
+    cand0: &[Vertex],
+    need: usize,
     scratch: &mut EnumScratch,
-    f: &mut dyn FnMut(&[Vertex], &[CommonEdge]),
-) -> (usize, usize) {
-    debug_assert!((3..=MAX_CLIQUE).contains(&k));
-    let (u, v) = e.endpoints();
-    let need = (k - 2) as usize;
-    let degs = g.common_edges_into(u, v, &mut scratch.common_edges);
-    scratch.common_edges.sort_unstable_by_key(|c| c.w);
-    let common = std::mem::take(&mut scratch.common_edges);
-    // Level 0 candidates: all common neighbours.
+    f: &mut dyn FnMut(&[Vertex]),
+) {
     if scratch.clique_cand.is_empty() {
         scratch.clique_cand.resize(MAX_CLIQUE as usize, Vec::new());
     }
-    scratch.clique_cand[0].clear();
-    let base = std::mem::take(&mut scratch.clique_cand[0]);
-    let mut cand0 = base;
-    cand0.extend(common.iter().map(|c| c.w));
-    scratch.clique_cur.clear();
-    recurse(g, &cand0, need, scratch, &common, f);
-    scratch.clique_cand[0] = cand0;
-    scratch.common_edges = common;
-    return degs;
+    return recurse(g, cand0, need, scratch, f);
 
-    fn recurse(
-        g: &Adjacency,
+    fn recurse<P: IdPayload>(
+        g: &AdjacencyBase<P>,
         cand: &[Vertex],
         need: usize,
         scratch: &mut EnumScratch,
-        common: &[CommonEdge],
-        f: &mut dyn FnMut(&[Vertex], &[CommonEdge]),
+        f: &mut dyn FnMut(&[Vertex]),
     ) {
         if need == 0 {
-            f(&scratch.clique_cur, common);
+            f(&scratch.clique_cur);
             return;
         }
         if cand.len() < need {
@@ -331,14 +365,14 @@ fn clique_enumerate(
         for (i, &w) in cand.iter().enumerate() {
             scratch.clique_cur.push(w);
             if need == 1 {
-                f(&scratch.clique_cur, common);
+                f(&scratch.clique_cur);
             } else {
                 // Next candidates: later vertices adjacent to w.
                 let depth = scratch.clique_cur.len();
                 let mut next = std::mem::take(&mut scratch.clique_cand[depth]);
                 next.clear();
                 next.extend(cand[i + 1..].iter().copied().filter(|&x| g.adjacent(w, x)));
-                recurse(g, &next, need - 1, scratch, common, f);
+                recurse(g, &next, need - 1, scratch, f);
                 scratch.clique_cand[depth] = next;
             }
             scratch.clique_cur.pop();
@@ -349,6 +383,7 @@ fn clique_enumerate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adjacency::VertexAdjacency;
     use proptest::prelude::*;
     use std::collections::BTreeSet;
 
@@ -370,7 +405,7 @@ mod tests {
     fn enumerate(p: Pattern, g: &Adjacency, e: Edge) -> Vec<BTreeSet<Edge>> {
         let mut s = EnumScratch::default();
         let mut out = Vec::new();
-        p.for_each_completed(g, e, &mut s, &mut |partners| {
+        p.for_each_completed(g, e, &mut s, |partners| {
             out.push(partners.iter().map(|&id| g.edge_endpoints(id)).collect());
         });
         out
@@ -437,6 +472,43 @@ mod tests {
                 Edge::new(3, 4),
             ])
         );
+    }
+
+    #[test]
+    fn dyn_shim_matches_generic_kernel() {
+        let g = graph(&[(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]);
+        let e = Edge::new(1, 4);
+        for p in [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique, Pattern::Clique(4)] {
+            let mut s = EnumScratch::default();
+            let mut via_dyn: Vec<Vec<EdgeId>> = Vec::new();
+            let mut sink = |partners: &[EdgeId]| via_dyn.push(partners.to_vec());
+            let degs_dyn = p.for_each_completed_dyn(&g, e, &mut s, &mut sink);
+            let mut via_gen: Vec<Vec<EdgeId>> = Vec::new();
+            let degs_gen =
+                p.for_each_completed(&g, e, &mut s, |partners| via_gen.push(partners.to_vec()));
+            assert_eq!(degs_dyn, degs_gen, "{p:?}");
+            assert_eq!(via_dyn, via_gen, "{p:?}: shim must not change results or order");
+        }
+    }
+
+    #[test]
+    fn count_runs_on_vertex_only_adjacency() {
+        let edges = [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 5), (4, 5)];
+        let g = graph(&edges);
+        let mut lean = VertexAdjacency::new();
+        for &(a, b) in &edges {
+            lean.insert(Edge::new(a, b));
+        }
+        let mut s = EnumScratch::default();
+        for e in [Edge::new(1, 4), Edge::new(3, 5), Edge::new(2, 5)] {
+            for p in [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique, Pattern::Clique(5)] {
+                assert_eq!(
+                    p.count_completed(&g, e, &mut s),
+                    p.count_completed(&lean, e, &mut s),
+                    "{p:?} at {e:?}: ID-free count diverges from tracked count"
+                );
+            }
+        }
     }
 
     #[test]
@@ -585,10 +657,12 @@ mod tests {
             prop_assume!(a != b);
             let e = Edge::new(a, b);
             let mut g = Adjacency::new();
+            let mut lean = VertexAdjacency::new();
             for (x, y) in edges {
                 if let Some(ed) = Edge::try_new(x, y) {
                     if ed != e {
                         g.insert(ed);
+                        lean.insert(ed);
                     }
                 }
             }
@@ -596,6 +670,9 @@ mod tests {
                 let fast = count(p, &g, e);
                 let brute = brute_force(p, &g, e);
                 prop_assert_eq!(fast, brute, "pattern {:?}", p);
+                // The ID-free adjacency shares the counting kernel.
+                let mut s = EnumScratch::default();
+                prop_assert_eq!(p.count_completed(&lean, e, &mut s), brute, "lean {:?}", p);
                 // Enumeration count agrees with the counting kernel and
                 // yields distinct instances.
                 let inst = enumerate(p, &g, e);

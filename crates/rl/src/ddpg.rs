@@ -1,4 +1,4 @@
-//! DDPG (Lillicrap et al., ICLR 2016 [22]) specialised to the paper's
+//! DDPG (Lillicrap et al., ICLR 2016 \[22\]) specialised to the paper's
 //! weight-assignment MDP (§IV-B).
 //!
 //! * **Actor** `µ(s; θ)`: a single linear layer; the executed action

@@ -10,7 +10,7 @@
 //! * [`ddpg`] — the DDPG actor–critic with target networks: the actor
 //!   is the paper's single linear layer with ReLU and `+1` offset, the
 //!   critic its 10-unit hidden-layer Q network.
-//! * [`env`] — the weight-assignment MDP wrapped around a *real*
+//! * [`mod@env`] — the weight-assignment MDP wrapped around a *real*
 //!   [`wsd_core::algorithms::WsdCounter`] and an exact counter for the
 //!   reward `r_k = ε(t_k) − ε(t_{k+1})`.
 //! * [`trainer`] — the §V-A training protocol (10 streams per training

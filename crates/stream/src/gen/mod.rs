@@ -15,6 +15,7 @@
 //! | [`copying`] | web graphs | copied link lists → bipartite cores |
 //! | [`community`] | community networks | dense intra-community structure |
 //! | [`er`] (Erdős–Rényi) | — (tests/benchmarks) | fully unstructured baseline |
+//! | [`hub_clique`] | — (hub–hub stress) | adversarially hub-skewed intersections |
 
 pub mod ba;
 pub mod community;
@@ -22,6 +23,7 @@ pub mod copying;
 pub mod er;
 pub mod forest_fire;
 pub mod holme_kim;
+pub mod hub_clique;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -76,6 +78,17 @@ pub enum GeneratorConfig {
         /// uniformly at random, in `[0, 1]`.
         copy_prob: f64,
     },
+    /// Hub-heavy stress graph: a dense core clique whose members carry
+    /// large, mostly disjoint spoke fringes (each leaf attaches to two
+    /// random cores), shuffled into one stream — makes hub–hub
+    /// intersection with long skippable non-common runs (the galloping
+    /// kernel's target regime) the common case instead of the tail.
+    HubClique {
+        /// Number of mutually adjacent core (hub) vertices.
+        clique: u64,
+        /// Leaves, each attached to two distinct core vertices.
+        spokes: u64,
+    },
     /// Growing community model: vertices join communities
     /// (size-proportionally, Chinese-restaurant style) and link densely
     /// inside their community plus sparsely across.
@@ -112,6 +125,9 @@ impl GeneratorConfig {
             GeneratorConfig::Copying { vertices, out_degree, copy_prob } => {
                 copying::generate(vertices, out_degree, copy_prob, &mut rng)
             }
+            GeneratorConfig::HubClique { clique, spokes } => {
+                hub_clique::generate(clique, spokes, &mut rng)
+            }
             GeneratorConfig::Community {
                 vertices,
                 intra_links,
@@ -135,6 +151,7 @@ impl GeneratorConfig {
             GeneratorConfig::HolmeKim { .. } => "holme-kim",
             GeneratorConfig::ForestFire { .. } => "forest-fire",
             GeneratorConfig::Copying { .. } => "copying",
+            GeneratorConfig::HubClique { .. } => "hub-clique",
             GeneratorConfig::Community { .. } => "community",
         }
     }
@@ -148,6 +165,7 @@ impl GeneratorConfig {
             | GeneratorConfig::ForestFire { vertices, .. }
             | GeneratorConfig::Copying { vertices, .. }
             | GeneratorConfig::Community { vertices, .. } => vertices,
+            GeneratorConfig::HubClique { clique, spokes } => clique + spokes,
         }
     }
 
@@ -168,6 +186,11 @@ impl GeneratorConfig {
             | GeneratorConfig::Community { vertices, .. } => {
                 *vertices = scale(*vertices);
             }
+            // Core density is the point of the model: scale the spokes,
+            // keep the clique order.
+            GeneratorConfig::HubClique { spokes, .. } => {
+                *spokes = scale(*spokes);
+            }
         }
         c
     }
@@ -185,6 +208,7 @@ mod tests {
             GeneratorConfig::HolmeKim { vertices: 300, edges_per_vertex: 4, triad_prob: 0.6 },
             GeneratorConfig::ForestFire { vertices: 300, forward_prob: 0.4 },
             GeneratorConfig::Copying { vertices: 300, out_degree: 4, copy_prob: 0.5 },
+            GeneratorConfig::HubClique { clique: 10, spokes: 60 },
             GeneratorConfig::Community {
                 vertices: 300,
                 intra_links: 3,
