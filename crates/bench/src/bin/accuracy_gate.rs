@@ -1,9 +1,10 @@
 //! `accuracy_gate` — CI gate on estimator accuracy.
 //!
-//! Runs a small fixed-seed ensemble of each weighted sampler (WSD-H,
-//! WSD-U, GPS-A) over two deterministic streams and asserts that the
-//! triangle / 4-clique relative error of the ensemble mean stays under a
-//! pinned bound. Everything is seeded and the ensemble merge is
+//! Runs a small fixed-seed ensemble of every deletion-capable sampler —
+//! the weighted ones (WSD-H, WSD-U, GPS-A) *and* the uniform baselines
+//! (Triest, ThinkD, WRS) — over two deterministic streams and asserts
+//! that the triangle / 4-clique relative error of the ensemble mean
+//! stays under a pinned bound. Everything is seeded and the ensemble merge is
 //! thread-count-invariant, so the computed errors are exact constants of
 //! the codebase: the gate is deterministic (never flaky) and catches
 //! estimator breakage — a wrong inclusion probability, a dropped
@@ -36,21 +37,31 @@ struct Gate {
 /// The gated cells. Bounds pinned ≈2–3× above the observed fixed-seed
 /// errors (see the table `accuracy_gate` prints; WSD-U 4-clique — the
 /// uniform-weight control — carries the widest band, matching its
-/// by-design variance). 4-cliques are gated on the hub stream only: the
-/// BA stream's exact 4-clique count is a double-digit number at this
-/// scale, so its relative error at a 20% budget is variance, not
-/// signal.
+/// by-design variance, and the uniform baselines carry wider bands than
+/// the weighted samplers for the same reason). 4-cliques are gated on
+/// the hub stream only: the BA stream's exact 4-clique count is a
+/// double-digit number at this scale, so its relative error at a 20%
+/// budget is variance, not signal.
 #[rustfmt::skip]
 const GATES: &[Gate] = &[
     Gate { stream: "ba-light",  algorithm: Algorithm::WsdH,       pattern: Pattern::Triangle,   bound: 0.10 },
     Gate { stream: "ba-light",  algorithm: Algorithm::WsdUniform, pattern: Pattern::Triangle,   bound: 0.10 },
     Gate { stream: "ba-light",  algorithm: Algorithm::GpsA,       pattern: Pattern::Triangle,   bound: 0.10 },
+    Gate { stream: "ba-light",  algorithm: Algorithm::Triest,     pattern: Pattern::Triangle,   bound: 0.08 },
+    Gate { stream: "ba-light",  algorithm: Algorithm::ThinkD,     pattern: Pattern::Triangle,   bound: 0.05 },
+    Gate { stream: "ba-light",  algorithm: Algorithm::Wrs,        pattern: Pattern::Triangle,   bound: 0.05 },
     Gate { stream: "hub-light", algorithm: Algorithm::WsdH,       pattern: Pattern::Triangle,   bound: 0.15 },
     Gate { stream: "hub-light", algorithm: Algorithm::WsdUniform, pattern: Pattern::Triangle,   bound: 0.12 },
     Gate { stream: "hub-light", algorithm: Algorithm::GpsA,       pattern: Pattern::Triangle,   bound: 0.20 },
+    Gate { stream: "hub-light", algorithm: Algorithm::Triest,     pattern: Pattern::Triangle,   bound: 0.12 },
+    Gate { stream: "hub-light", algorithm: Algorithm::ThinkD,     pattern: Pattern::Triangle,   bound: 0.10 },
+    Gate { stream: "hub-light", algorithm: Algorithm::Wrs,        pattern: Pattern::Triangle,   bound: 0.15 },
     Gate { stream: "hub-light", algorithm: Algorithm::WsdH,       pattern: Pattern::FourClique, bound: 0.20 },
     Gate { stream: "hub-light", algorithm: Algorithm::WsdUniform, pattern: Pattern::FourClique, bound: 0.50 },
     Gate { stream: "hub-light", algorithm: Algorithm::GpsA,       pattern: Pattern::FourClique, bound: 0.15 },
+    Gate { stream: "hub-light", algorithm: Algorithm::Triest,     pattern: Pattern::FourClique, bound: 0.60 },
+    Gate { stream: "hub-light", algorithm: Algorithm::ThinkD,     pattern: Pattern::FourClique, bound: 0.25 },
+    Gate { stream: "hub-light", algorithm: Algorithm::Wrs,        pattern: Pattern::FourClique, bound: 0.90 },
 ];
 
 fn streams() -> Vec<(&'static str, EventStream)> {

@@ -87,7 +87,7 @@ fn main() {
         .map(|v| v.parse().expect("--time-reps expects an integer"))
         .unwrap_or(if quick { 1 } else { 5 });
     assert!(time_reps >= 1, "--time-reps must be >= 1");
-    let out = opt("--out").unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let out = opt("--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let methodology = opt("--methodology").unwrap_or_else(|| {
         format!("single run on one host; median of {time_reps} full stream passes per cell")
     });

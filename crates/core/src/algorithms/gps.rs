@@ -13,8 +13,9 @@
 //! [`crate::algorithms::GpsACounter`] or [`crate::algorithms::WsdCounter`]
 //! for those.
 
+use crate::algorithms::WeightMode;
 use crate::counter::SubgraphCounter;
-use crate::estimator::weighted_mass;
+use crate::estimator::MassKernel;
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
@@ -45,6 +46,10 @@ pub struct GpsCounter {
     rng: SmallRng,
     /// Pre-drawn `u` variates for batched processing (reused scratch).
     u_buf: Vec<f64>,
+    /// Estimator mass-accumulation kernel (scalar or lane-batched).
+    mass_kernel: MassKernel,
+    /// Resolved state-observation mode of the weight function.
+    weight_mode: WeightMode,
 }
 
 impl GpsCounter {
@@ -60,12 +65,13 @@ impl GpsCounter {
             "reservoir capacity M = {capacity} must be ≥ |H| = {}",
             pattern.num_edges()
         );
+        let weight_mode = WeightMode::resolve(weight_fn.as_ref(), false);
         Self {
             display_name: "GPS".to_string(),
             pattern,
             capacity,
             heap: IndexedMinHeap::with_capacity(capacity),
-            sample: WeightedSample::new(),
+            sample: WeightedSample::with_capacity(capacity),
             z: 0.0,
             estimate: 0.0,
             t: 0,
@@ -75,12 +81,21 @@ impl GpsCounter {
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
             u_buf: Vec::new(),
+            mass_kernel: MassKernel::build_default(),
+            weight_mode,
         }
     }
 
     /// Overrides the display name.
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.display_name = name.into();
+        self
+    }
+
+    /// Selects the estimator mass kernel (see [`MassKernel`]); estimates
+    /// are bit-identical either way.
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.mass_kernel = kernel;
         self
     }
 
@@ -96,29 +111,31 @@ impl GpsCounter {
 
     /// Insertion with an externally drawn `u` (batched path).
     fn insert_with_u(&mut self, e: Edge, u: f64) {
-        self.acc.reset();
-        let (mass, deg_u, deg_v) = weighted_mass(
+        let w = crate::algorithms::observe_insertion(
+            self.weight_mode,
+            self.mass_kernel,
             self.pattern,
             &mut self.sample,
             e,
             self.z,
             &mut self.scratch,
-            Some((&mut self.acc, self.t)),
+            &mut self.acc,
+            &mut self.state_buf,
+            self.weight_fn.as_mut(),
+            self.t,
+            &mut self.estimate,
+            None,
         );
-        self.estimate += mass;
-        self.acc.finish_into(deg_u, deg_v, &mut self.state_buf);
-        let w = self.weight_fn.weight(&self.state_buf);
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
             let id = self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
             self.heap.push(id, r);
         } else {
-            let (_, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
+            let (victim, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
             if r > min_rank {
-                let (victim, losing) = self.heap.pop_min().expect("non-empty");
                 self.sample.remove_by_id(victim);
                 let id = self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
-                self.heap.push(id, r);
+                let (_, losing) = self.heap.replace_min(id, r);
                 self.z = self.z.max(losing);
             } else {
                 self.z = self.z.max(r);

@@ -18,8 +18,9 @@
 //! and the item behind each live sampled edge — lives in dense arrays;
 //! no edge-keyed hashing anywhere on the event path.
 
+use crate::algorithms::WeightMode;
 use crate::counter::SubgraphCounter;
-use crate::estimator::weighted_mass;
+use crate::estimator::{weighted_mass, MassKernel};
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
@@ -63,6 +64,10 @@ pub struct GpsACounter {
     rng: SmallRng,
     /// Pre-drawn `u` variates for batched processing (reused scratch).
     u_buf: Vec<f64>,
+    /// Estimator mass-accumulation kernel (scalar or lane-batched).
+    mass_kernel: MassKernel,
+    /// Resolved state-observation mode of the weight function.
+    weight_mode: WeightMode,
 }
 
 impl GpsACounter {
@@ -78,6 +83,7 @@ impl GpsACounter {
             "reservoir capacity M = {capacity} must be ≥ |H| = {}",
             pattern.num_edges()
         );
+        let weight_mode = WeightMode::resolve(weight_fn.as_ref(), false);
         Self {
             display_name: "GPS-A".to_string(),
             pattern,
@@ -87,7 +93,7 @@ impl GpsACounter {
             item_live: Vec::with_capacity(capacity),
             free_items: Vec::new(),
             edge_item: Vec::new(),
-            sample: WeightedSample::new(),
+            sample: WeightedSample::with_capacity(capacity),
             z: 0.0,
             estimate: 0.0,
             t: 0,
@@ -97,12 +103,21 @@ impl GpsACounter {
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
             u_buf: Vec::new(),
+            mass_kernel: MassKernel::build_default(),
+            weight_mode,
         }
     }
 
     /// Overrides the display name.
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.display_name = name.into();
+        self
+    }
+
+    /// Selects the estimator mass kernel (see [`MassKernel`]); estimates
+    /// are bit-identical either way.
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.mass_kernel = kernel;
         self
     }
 
@@ -136,27 +151,29 @@ impl GpsACounter {
 
     /// Insertion with an externally drawn `u` (batched path).
     fn insert_with_u(&mut self, e: Edge, u: f64) {
-        self.acc.reset();
-        let (mass, deg_u, deg_v) = weighted_mass(
+        let w = crate::algorithms::observe_insertion(
+            self.weight_mode,
+            self.mass_kernel,
             self.pattern,
             &mut self.sample,
             e,
             self.z,
             &mut self.scratch,
-            Some((&mut self.acc, self.t)),
+            &mut self.acc,
+            &mut self.state_buf,
+            self.weight_fn.as_mut(),
+            self.t,
+            &mut self.estimate,
+            None,
         );
-        self.estimate += mass;
-        self.acc.finish_into(deg_u, deg_v, &mut self.state_buf);
-        let w = self.weight_fn.weight(&self.state_buf);
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
             self.admit(e, w, r);
         } else {
-            let (_, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
+            let (victim, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
             if r > min_rank {
-                let (victim, losing) = self.heap.pop_min().expect("non-empty");
                 self.evict(victim);
-                self.admit(e, w, r);
+                let (_, losing) = self.admit_replacing_min(e, w, r);
                 self.z = self.z.max(losing);
             } else {
                 self.z = self.z.max(r);
@@ -165,6 +182,24 @@ impl GpsACounter {
     }
 
     fn admit(&mut self, e: Edge, w: f64, r: f64) {
+        let item = self.claim_item(e);
+        self.heap.push(item, r);
+        self.record_sample(e, w, item);
+    }
+
+    /// As [`GpsACounter::admit`], but the queue entry displaces the heap
+    /// minimum in a single sift (the eviction path — the freshly evicted
+    /// item is usually the one recycled); returns the displaced
+    /// `(item, rank)`.
+    fn admit_replacing_min(&mut self, e: Edge, w: f64, r: f64) -> (ItemId, f64) {
+        let item = self.claim_item(e);
+        let displaced = self.heap.replace_min(item, r);
+        self.record_sample(e, w, item);
+        displaced
+    }
+
+    /// Claims a (recycled) item ID for `e` and marks it live.
+    fn claim_item(&mut self, e: Edge) -> ItemId {
         let item = match self.free_items.pop() {
             Some(item) => item,
             None => {
@@ -175,7 +210,12 @@ impl GpsACounter {
         };
         self.item_edge[item as usize] = e;
         self.item_live[item as usize] = true;
-        self.heap.push(item, r);
+        item
+    }
+
+    /// Inserts `e` into the estimation view and links its edge ID to the
+    /// queue item.
+    fn record_sample(&mut self, e: Edge, w: f64, item: ItemId) {
         let eid = self.sample.insert(e, EdgeMeta { weight: w, time: self.t }) as usize;
         if eid >= self.edge_item.len() {
             self.edge_item.resize(eid + 1, 0);
@@ -194,9 +234,16 @@ impl GpsACounter {
             // The ghost stays in the heap, still occupying budget.
             self.item_live[item as usize] = false;
         }
-        let (mass, _, _) =
-            weighted_mass(self.pattern, &mut self.sample, e, self.z, &mut self.scratch, None);
-        self.estimate -= mass;
+        let m = weighted_mass(
+            self.mass_kernel,
+            self.pattern,
+            &mut self.sample,
+            e,
+            self.z,
+            &mut self.scratch,
+            None,
+        );
+        self.estimate -= m.mass;
     }
 }
 

@@ -17,19 +17,36 @@
 //! (the reservoir's population).
 //!
 //! The per-partner "is it in the waiting room?" test — the innermost
-//! loop of the estimator — reads a dense flag indexed by the partner's
-//! arena edge ID (the enumeration kernel yields IDs directly), not a
-//! hash set of `Edge` keys. The `Edge`-keyed membership set remains for
-//! the per-event FIFO bookkeeping, where edges — not IDs — are the
-//! stable identity across a ghost's lifetime.
+//! loop of the estimator — reads a dense **room-epoch stamp** indexed by
+//! the partner's arena edge ID (the enumeration kernel yields IDs
+//! directly), not a hash set of `Edge` keys: each admission stamps the
+//! edge's slot with a monotone admission sequence number, and an edge is
+//! in the room iff its stamp exceeds the sequence of the most recently
+//! popped FIFO entry (the *spill horizon*). Because the room is FIFO,
+//! entries pop in admission order, so one horizon-integer advance per
+//! spill replaces the per-edge flag clears the dense-flag scheme paid
+//! on every spill, eviction and deletion — recycled IDs are simply
+//! re-stamped on their next admission. The stamp classification is *authoritative*:
+//! the `Edge`-keyed membership map the flag scheme kept for per-event
+//! bookkeeping is gone entirely, removing its two hash operations from
+//! every insertion — the FIFO carries `(edge, sequence)` pairs, a
+//! popped entry resolves through the adjacency it probes anyway, and
+//! deletions classify the edge by its stamp.
+//!
+//! With the lane-batched kernel ([`MassKernel::Lanes`]) the in-room
+//! tests run four instances at a time over [`wsd_graph::InstanceBlock`] rows —
+//! stamp-compare-and-count per lane, then the per-instance inverse
+//! probability products accumulate in emission order, bit-identical to
+//! the scalar loop.
 
 use crate::counter::SubgraphCounter;
+use crate::estimator::MassKernel;
 use crate::reservoir::{Admission, RpReservoir};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 use wsd_graph::patterns::EnumScratch;
-use wsd_graph::{Adjacency, Edge, EdgeEvent, EdgeId, FxHashMap, Op, Pattern};
+use wsd_graph::{Adjacency, Edge, EdgeEvent, Op, Pattern, BLOCK_LANES};
 
 /// Default waiting-room fraction of the budget (the WRS paper's default).
 pub const DEFAULT_WAITING_ROOM_FRACTION: f64 = 0.1;
@@ -37,17 +54,24 @@ pub const DEFAULT_WAITING_ROOM_FRACTION: f64 = 0.1;
 /// The WRS subgraph counter.
 pub struct WrsCounter {
     pattern: Pattern,
-    /// FIFO order of waiting-room edges; may contain ghosts of edges
-    /// deleted while waiting (lazily purged on eviction).
-    room_fifo: VecDeque<Edge>,
-    /// Live waiting-room membership (per-event bookkeeping), carrying
-    /// each room edge's current arena ID so the spill path clears its
-    /// dense flag without re-probing the adjacency.
-    room: FxHashMap<Edge, EdgeId>,
-    /// Dense mirror of `room` keyed by arena edge ID — the estimator's
-    /// per-partner lookup. Invariant: for every live edge ID `i` of
-    /// `adj`, `room_flag[i] == room.contains(edge_of(i))`.
-    room_flag: Vec<bool>,
+    /// FIFO order of waiting-room edges with their admission sequence at
+    /// entry; may contain ghosts of edges deleted (or spilled through an
+    /// older entry) while waiting, lazily purged on eviction.
+    room_fifo: VecDeque<(Edge, u64)>,
+    /// Room-epoch stamps keyed by arena edge ID — the estimator's
+    /// per-partner lookup *and* the authoritative room membership.
+    /// Invariant: a live edge is in the waiting room iff
+    /// `room_seq[id] > spill_horizon` (room members' un-popped FIFO
+    /// entries all carry sequences above every popped one; reservoir
+    /// members were reclassified at their spill).
+    room_seq: Vec<u64>,
+    /// Number of live waiting-room edges.
+    room_len: usize,
+    /// Next admission sequence number (monotone, starts at 1).
+    next_seq: u64,
+    /// Admission sequence of the most recently spilled room edge
+    /// (0 = nothing spilled yet).
+    spill_horizon: u64,
     room_capacity: usize,
     reservoir: RpReservoir,
     /// Adjacency over waiting room ∪ reservoir.
@@ -55,6 +79,8 @@ pub struct WrsCounter {
     estimate: f64,
     scratch: EnumScratch,
     rng: SmallRng,
+    /// Estimator accumulation kernel (scalar or lane-batched).
+    mass_kernel: MassKernel,
 }
 
 impl WrsCounter {
@@ -91,66 +117,123 @@ impl WrsCounter {
         Self {
             pattern,
             room_fifo: VecDeque::with_capacity(room_capacity + 1),
-            room: FxHashMap::default(),
-            room_flag: Vec::with_capacity(capacity + 1),
+            room_seq: Vec::with_capacity(capacity + 1),
+            room_len: 0,
+            next_seq: 1,
+            spill_horizon: 0,
             room_capacity,
             reservoir: RpReservoir::new(reservoir_capacity),
-            adj: Adjacency::new(),
+            adj: Adjacency::with_capacity(2 * capacity),
             estimate: 0.0,
             scratch: EnumScratch::default(),
             rng: SmallRng::seed_from_u64(seed),
+            mass_kernel: MassKernel::build_default(),
         }
+    }
+
+    /// Selects the estimator accumulation kernel (see [`MassKernel`]);
+    /// estimates are bit-identical either way.
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.mass_kernel = kernel;
+        self
     }
 
     /// Current waiting-room occupancy — exposed for tests.
     pub fn waiting_room_len(&self) -> usize {
-        self.room.len()
+        self.room_len
     }
 
-    /// Adds `e` to the waiting room: FIFO + membership map + adjacency,
-    /// with the dense flag set for the estimator's partner checks.
+    /// Whether a live edge is currently in the waiting room (stamp
+    /// classification — the authoritative membership).
+    fn in_room_id(&self, id: wsd_graph::EdgeId) -> bool {
+        self.room_seq[id as usize] > self.spill_horizon
+    }
+
+    /// Adds `e` to the waiting room: FIFO + adjacency, with the
+    /// admission-sequence stamp written for the estimator's partner
+    /// checks (re-stamping is also what retires whatever an ID's
+    /// previous tenant left in the slot).
     fn room_admit(&mut self, e: Edge) {
         // On the (infeasible) re-insert of a sampled edge the adjacency
-        // keeps its existing ID; the flag still follows the room map.
+        // keeps its existing ID; the stamp still marks it as roomed.
         let id = self.adj.insert_full(e).or_else(|| self.adj.edge_id(e)).expect("edge is live");
         let i = id as usize;
-        if i >= self.room_flag.len() {
-            self.room_flag.resize(i + 1, false);
+        if i >= self.room_seq.len() {
+            self.room_seq.resize(i + 1, 0);
         }
-        self.room_flag[i] = true;
-        self.room_fifo.push_back(e);
-        self.room.insert(e, id);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.room_seq[i] = seq;
+        self.room_fifo.push_back((e, seq));
+        self.room_len += 1;
     }
 
-    /// Removes `e` from the sampled adjacency, resetting the flag so the
-    /// recycled ID's next tenant starts out of the room.
-    fn adj_remove(&mut self, e: Edge) {
-        if let Some(id) = self.adj.remove_full(e) {
-            self.room_flag[id as usize] = false;
+    /// Per-instance inverse inclusion probability for `in_reservoir`
+    /// reservoir partners, sample `s` over population `n_r`.
+    #[inline]
+    fn instance_inv(in_reservoir: u64, s: u64, n_r: u64) -> f64 {
+        let mut inv = 1.0;
+        for i in 0..in_reservoir {
+            inv *= (n_r - i) as f64 / (s - i) as f64;
         }
+        inv
     }
 
     /// Adds the estimator mass of instances completed by `e` against the
     /// current sample. `sign` is +1 for insertions, −1 for deletions;
     /// `s`/`n_r` are the reservoir sample/population sizes to use.
     fn update_estimate(&mut self, e: Edge, sign: f64, s: u64, n_r: u64) {
-        let room_flag = &self.room_flag;
-        let reservoir_len_check = s; // captured for the closure below
+        let room_seq = &self.room_seq;
+        let horizon = self.spill_horizon;
         let mut total = 0.0;
-        self.pattern.for_each_completed(&self.adj, e, &mut self.scratch, |partners| {
-            let mut in_reservoir = 0u64;
-            for &p in partners {
-                if !room_flag[p as usize] {
-                    in_reservoir += 1;
+        // Blocks only pay off with ≥ 2 partners per instance: a wedge
+        // instance's whole work is one stamp compare, which the lane
+        // fill/flush machinery would outweigh (measured ~15–25% slower).
+        let blockable = self.pattern.block_width().is_some_and(|w| w >= 2);
+        if self.mass_kernel == MassKernel::Lanes && blockable {
+            // Lane-batched: count reservoir partners of four instances
+            // at a time (stamp compare-and-add over contiguous block
+            // rows — vectorizable), then accumulate the per-instance
+            // inverse products in emission order; a partial tail block
+            // runs per-lane so sparse events pay nothing for empty
+            // lanes.
+            self.pattern.for_each_completed_blocks(&self.adj, e, &mut self.scratch, |block| {
+                if block.len() == BLOCK_LANES {
+                    let mut in_res = [0u64; BLOCK_LANES];
+                    for j in 0..block.width() {
+                        let row = block.lane_ids(j);
+                        for (c, &id) in in_res.iter_mut().zip(row) {
+                            *c += u64::from(room_seq[id as usize] <= horizon);
+                        }
+                    }
+                    for &in_reservoir in &in_res {
+                        debug_assert!(in_reservoir <= s);
+                        total += Self::instance_inv(in_reservoir, s, n_r);
+                    }
+                } else {
+                    for lane in 0..block.len() {
+                        let mut in_reservoir = 0u64;
+                        for j in 0..block.width() {
+                            let id = block.id(j, lane);
+                            in_reservoir += u64::from(room_seq[id as usize] <= horizon);
+                        }
+                        debug_assert!(in_reservoir <= s);
+                        total += Self::instance_inv(in_reservoir, s, n_r);
+                    }
                 }
-            }
-            debug_assert!(in_reservoir <= reservoir_len_check);
-            let mut inv = 1.0;
-            for i in 0..in_reservoir {
-                inv *= (n_r - i) as f64 / (s - i) as f64;
-            }
-            total += inv;
-        });
+            });
+        } else {
+            self.pattern.for_each_completed(&self.adj, e, &mut self.scratch, |partners| {
+                let mut in_reservoir = 0u64;
+                for &p in partners {
+                    if room_seq[p as usize] <= horizon {
+                        in_reservoir += 1;
+                    }
+                }
+                debug_assert!(in_reservoir <= s);
+                total += Self::instance_inv(in_reservoir, s, n_r);
+            });
+        }
         self.estimate += sign * total;
     }
 
@@ -161,42 +244,65 @@ impl WrsCounter {
         self.update_estimate(e, 1.0, s, n_r);
         // New edge always enters the waiting room.
         self.room_admit(e);
-        if self.room.len() > self.room_capacity {
+        if self.room_len > self.room_capacity {
             self.spill_oldest();
         }
     }
 
     /// Evicts the oldest live waiting-room edge into the reservoir.
     fn spill_oldest(&mut self) {
-        // Oldest live edge first (skipping ghosts of deletions). The
-        // map carries the edge's current arena ID (IDs are stable while
-        // an edge is live), so clearing the dense flag is a direct
-        // array write.
+        // Oldest live edge first, skipping ghosts — entries whose edge
+        // was deleted, or already spilled through an older entry after a
+        // delete + re-admit cycle. FIFO entries pop in admission order,
+        // so advancing the horizon to the popped *entry's* sequence
+        // reclassifies the spilled edge as a reservoir partner in O(1) —
+        // no per-edge stamp write — while every remaining room member
+        // (queued later, larger sequence) stays above the horizon. One
+        // exception needs a real write: an edge deleted from the room
+        // and re-admitted while its old entry still queues spills at the
+        // *ghost's* position (as the old membership-map lookup always
+        // had), so its live stamp is newer than the entry sequence and
+        // must be zeroed explicitly.
         let oldest = loop {
-            let cand = self.room_fifo.pop_front().expect("room over capacity");
-            if let Some(id) = self.room.remove(&cand) {
-                debug_assert_eq!(self.adj.edge_id(cand), Some(id));
-                self.room_flag[id as usize] = false;
-                break cand;
+            let (cand, entry_seq) = self.room_fifo.pop_front().expect("room over capacity");
+            debug_assert!(entry_seq > self.spill_horizon, "FIFO pops must be in entry order");
+            if let Some(id) = self.adj.edge_id(cand) {
+                let seq = self.room_seq[id as usize];
+                if seq > self.spill_horizon {
+                    self.spill_horizon = entry_seq;
+                    if seq != entry_seq {
+                        // Re-admitted behind a pending ghost entry.
+                        self.room_seq[id as usize] = 0;
+                    }
+                    self.room_len -= 1;
+                    break cand;
+                }
+                // Live but already spilled (re-admission ghost): skip.
             }
         };
         match self.reservoir.offer(oldest, &mut self.rng) {
             Admission::Added => {} // stays in adj
             Admission::Replaced(victim) => {
-                self.adj_remove(victim);
+                self.adj.remove(victim);
             }
             Admission::Skipped => {
-                self.adj_remove(oldest);
+                self.adj.remove(oldest);
             }
         }
     }
 
     fn delete(&mut self, e: Edge) {
-        let in_room = self.room.contains_key(&e);
-        let in_reservoir = self.reservoir.contains(e);
+        // Classify by stamp: a live edge is in the room or the
+        // reservoir; everything else was never sampled (or already
+        // dropped). The freed ID needs no stamp reset — its next tenant
+        // is re-stamped on admission — and the FIFO keeps a lazily
+        // purged ghost entry.
+        let id = self.adj.edge_id(e);
+        let in_room = id.is_some_and(|id| self.in_room_id(id));
+        let in_reservoir = id.is_some() && !in_room;
         // Estimator with e excluded from sample and population counts.
-        if in_room || in_reservoir {
-            self.adj_remove(e);
+        if id.is_some() {
+            self.adj.remove(e);
         }
         let s = self.reservoir.len() as u64 - in_reservoir as u64;
         let n_r = if in_room {
@@ -208,9 +314,7 @@ impl WrsCounter {
         self.update_estimate(e, -1.0, s, n_r);
         // Sample bookkeeping.
         if in_room {
-            // Lazy FIFO: membership set is authoritative; the FIFO ghost
-            // is purged when it reaches the front.
-            self.room.remove(&e);
+            self.room_len -= 1;
         } else {
             // The edge passed through the waiting room (or was dropped by
             // it), so it belongs to the reservoir's population: random
@@ -237,7 +341,7 @@ impl SubgraphCounter for WrsCounter {
         let mut i = 0;
         while i < batch.len() {
             if batch[i].is_insert() {
-                let mut free = self.room_capacity.saturating_sub(self.room.len());
+                let mut free = self.room_capacity.saturating_sub(self.room_len);
                 if free > 0 {
                     let s = self.reservoir.len() as u64;
                     let n_r = self.reservoir.population();
@@ -269,7 +373,7 @@ impl SubgraphCounter for WrsCounter {
     }
 
     fn stored_edges(&self) -> usize {
-        self.room.len() + self.reservoir.len()
+        self.room_len + self.reservoir.len()
     }
 }
 
@@ -285,12 +389,27 @@ mod tests {
         EdgeEvent::delete(Edge::new(a, b))
     }
 
-    /// Checks the dense flag mirror against the authoritative room set.
+    /// True if a live edge is classified as a waiting-room member.
+    fn in_room(c: &WrsCounter, e: Edge) -> bool {
+        c.adj.edge_id(e).is_some_and(|id| c.in_room_id(id))
+    }
+
+    /// Checks the stamp/horizon classification invariants: every live
+    /// edge is in the room XOR in the reservoir sample, and the room
+    /// counter matches the classification.
     fn assert_flags_coherent(c: &WrsCounter) {
+        let mut roomed = 0;
         for e in c.adj.edges().collect::<Vec<_>>() {
-            let id = c.adj.edge_id(e).expect("live edge has an ID") as usize;
-            assert_eq!(c.room_flag[id], c.room.contains_key(&e), "room flag out of sync for {e:?}");
+            let in_room = in_room(c, e);
+            assert_ne!(
+                in_room,
+                c.reservoir.contains(e),
+                "{e:?} must be in exactly one of room / reservoir"
+            );
+            roomed += usize::from(in_room);
         }
+        assert_eq!(roomed, c.room_len, "room counter out of sync with stamps");
+        assert_eq!(c.adj.num_edges(), c.room_len + c.reservoir.len());
     }
 
     #[test]
@@ -315,7 +434,7 @@ mod tests {
         assert_eq!(c.waiting_room_len(), 5);
         // The very last edges are certainly present.
         for i in 45..50u64 {
-            assert!(c.room.contains_key(&Edge::new(i, i + 1)), "recent edge {i} missing");
+            assert!(in_room(&c, Edge::new(i, i + 1)), "recent edge {i} missing");
         }
         assert!(c.stored_edges() <= 20);
         assert_flags_coherent(&c);
@@ -350,6 +469,29 @@ mod tests {
             c.process(del(7 * round + 2, 7 * round + 3));
             assert_flags_coherent(&c);
         }
+    }
+
+    /// An edge deleted from the room and re-admitted while its old FIFO
+    /// entry still queues spills at the *ghost's* position; the stamp
+    /// scheme must zero its newer stamp instead of advancing the horizon
+    /// past the room members admitted in between.
+    #[test]
+    fn readmission_spills_at_ghost_position() {
+        // Room capacity 2 (8 × 0.25).
+        let mut c = WrsCounter::with_fraction(Pattern::Triangle, 8, 0.25, 7);
+        c.process(ins(1, 2)); // X enters; FIFO [X]
+        c.process(del(1, 2)); // X leaves the room map; FIFO ghost remains
+        c.process(ins(3, 4)); // A; FIFO [X?, A]
+        c.process(ins(1, 2)); // X re-admitted; FIFO [X?, A, X]
+        assert_eq!(c.waiting_room_len(), 2);
+        c.process(ins(5, 6)); // overflow: the spill pops X's ghost entry
+                              // The spill found X live again and must spill X (the map
+                              // semantics) while A stays classified in-room.
+        assert_eq!(c.waiting_room_len(), 2);
+        assert!(in_room(&c, Edge::new(3, 4)), "A must stay in the room");
+        assert!(!in_room(&c, Edge::new(1, 2)), "X must have spilled");
+        assert!(c.adj.contains(Edge::new(1, 2)), "spilled X lives in the reservoir");
+        assert_flags_coherent(&c);
     }
 
     #[test]

@@ -30,8 +30,9 @@
 //! Theorem 4 proves unbiasedness (verified empirically in this crate's
 //! statistical tests).
 
+use crate::algorithms::WeightMode;
 use crate::counter::SubgraphCounter;
-use crate::estimator::weighted_mass;
+use crate::estimator::{weighted_mass, MassKernel};
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
@@ -66,6 +67,11 @@ pub struct WsdCounter {
     rng: SmallRng,
     /// Pre-drawn `u` variates for batched processing (reused scratch).
     u_buf: Vec<f64>,
+    /// Estimator mass-accumulation kernel (scalar or lane-batched).
+    mass_kernel: MassKernel,
+    /// Resolved state-observation mode (kept in sync with the weight
+    /// function and observer).
+    weight_mode: WeightMode,
     /// Invoked after each insertion event with the edge, its observed
     /// state and the chosen weight; used by the RL training loop and the
     /// weight-analysis experiments (paper Fig. 2(d)) without
@@ -94,12 +100,13 @@ impl WsdCounter {
             pattern.num_edges()
         );
         let display_name = weight_fn.name().to_string();
+        let weight_mode = WeightMode::resolve(weight_fn.as_ref(), false);
         Self {
             display_name,
             pattern,
             capacity,
             heap: IndexedMinHeap::with_capacity(capacity),
-            sample: WeightedSample::new(),
+            sample: WeightedSample::with_capacity(capacity),
             tau_p: 0.0,
             tau_q: 0.0,
             estimate: 0.0,
@@ -110,6 +117,8 @@ impl WsdCounter {
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
             u_buf: Vec::new(),
+            mass_kernel: MassKernel::build_default(),
+            weight_mode,
             observer: None,
         }
     }
@@ -120,10 +129,20 @@ impl WsdCounter {
         self
     }
 
+    /// Selects the estimator mass kernel (see [`MassKernel`]); estimates
+    /// are bit-identical either way.
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.mass_kernel = kernel;
+        self
+    }
+
     /// Installs a per-insertion observer `(edge, state, weight)`; used by
     /// the DDPG training environment and the weight-analysis experiments.
+    /// Forces full-state observation so the observer never sees a
+    /// truncated state.
     pub fn set_observer(&mut self, f: InsertionObserver) {
         self.observer = Some(f);
+        self.weight_mode = WeightMode::resolve(self.weight_fn.as_ref(), true);
     }
 
     /// Current thresholds `(τp, τq)` — exposed for white-box tests.
@@ -147,22 +166,22 @@ impl WsdCounter {
     fn insert_with_u(&mut self, e: Edge, u: f64) {
         // Algorithm 2: estimator + state observation *before* the
         // sampling decision, against the pre-update reservoir.
-        self.acc.reset();
-        let (mass, deg_u, deg_v) = weighted_mass(
+        let w = crate::algorithms::observe_insertion(
+            self.weight_mode,
+            self.mass_kernel,
             self.pattern,
             &mut self.sample,
             e,
             self.tau_q,
             &mut self.scratch,
-            Some((&mut self.acc, self.t)),
+            &mut self.acc,
+            &mut self.state_buf,
+            self.weight_fn.as_mut(),
+            self.t,
+            &mut self.estimate,
+            self.observer.as_deref_mut(),
         );
-        self.estimate += mass;
-        self.acc.finish_into(deg_u, deg_v, &mut self.state_buf);
-        let w = self.weight_fn.weight(&self.state_buf);
         debug_assert!(w > 0.0 && w.is_finite(), "weight function must be positive/finite");
-        if let Some(obs) = self.observer.as_mut() {
-            obs(e, &self.state_buf, w);
-        }
         let r = rank(w, u);
         // Algorithm 1.
         if self.heap.len() < self.capacity {
@@ -171,13 +190,17 @@ impl WsdCounter {
                 self.admit(e, w, r);
             }
         } else {
-            let (_, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
+            let (victim, min_rank) = self.heap.peek_min().expect("full reservoir is non-empty");
             self.tau_p = min_rank;
             if r > self.tau_p {
-                // Case 2.1.
-                let (victim, _) = self.heap.pop_min().expect("non-empty");
+                // Case 2.1. The victim leaves the sample before the new
+                // edge enters (recycling its arena ID); the heap's
+                // root is then replaced in one sift instead of a
+                // pop + push pair.
                 self.sample.remove_by_id(victim);
-                self.admit(e, w, r);
+                let id = self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+                let displaced = self.heap.replace_min(id, r);
+                debug_assert_eq!(displaced.0, victim);
                 self.tau_q = self.tau_p;
             } else if r > self.tau_q {
                 // Case 2.2.
@@ -199,9 +222,16 @@ impl WsdCounter {
         if let Some((id, _)) = self.sample.remove_full(e) {
             self.heap.remove(id).expect("heap and sample in sync");
         }
-        let (mass, _, _) =
-            weighted_mass(self.pattern, &mut self.sample, e, self.tau_q, &mut self.scratch, None);
-        self.estimate -= mass;
+        let m = weighted_mass(
+            self.mass_kernel,
+            self.pattern,
+            &mut self.sample,
+            e,
+            self.tau_q,
+            &mut self.scratch,
+            None,
+        );
+        self.estimate -= m.mass;
     }
 }
 

@@ -6,6 +6,7 @@ use crate::algorithms::{
     GpsACounter, GpsCounter, ThinkDCounter, TriestCounter, WrsCounter, WsdCounter,
 };
 use crate::counter::SubgraphCounter;
+use crate::estimator::MassKernel;
 use crate::state::TemporalPooling;
 use crate::weight::{HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};
 use wsd_graph::Pattern;
@@ -80,6 +81,12 @@ pub struct CounterConfig {
     pub pooling: TemporalPooling,
     /// Waiting-room fraction for WRS.
     pub wrs_fraction: f64,
+    /// Estimator mass-accumulation kernel for the samplers that run the
+    /// weighted mass pass (WSD variants, GPS, GPS-A) or WRS's instance
+    /// weigher. Defaults to the build default (lane-batched under the
+    /// `simd` feature, scalar otherwise); estimates are bit-identical
+    /// either way.
+    pub mass_kernel: MassKernel,
 }
 
 impl CounterConfig {
@@ -92,7 +99,16 @@ impl CounterConfig {
             policy: None,
             pooling: TemporalPooling::Max,
             wrs_fraction: crate::algorithms::wrs::DEFAULT_WAITING_ROOM_FRACTION,
+            mass_kernel: MassKernel::build_default(),
         }
+    }
+
+    /// Selects the estimator mass kernel (used by the scalar/SIMD
+    /// differential tests to pit both kernels against each other inside
+    /// one binary).
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.mass_kernel = kernel;
+        self
     }
 
     /// Attaches a learned policy (consumed by WSD-L).
@@ -128,16 +144,14 @@ impl CounterConfig {
                         self.pooling,
                         self.seed,
                     )
-                    .with_name("WSD-L"),
+                    .with_name("WSD-L")
+                    .with_mass_kernel(self.mass_kernel),
                 )
             }
-            Algorithm::WsdH => Box::new(WsdCounter::new(
-                self.pattern,
-                self.capacity,
-                heuristic,
-                self.pooling,
-                self.seed,
-            )),
+            Algorithm::WsdH => Box::new(
+                WsdCounter::new(self.pattern, self.capacity, heuristic, self.pooling, self.seed)
+                    .with_mass_kernel(self.mass_kernel),
+            ),
             Algorithm::WsdUniform => Box::new(
                 WsdCounter::new(
                     self.pattern,
@@ -146,26 +160,32 @@ impl CounterConfig {
                     self.pooling,
                     self.seed,
                 )
-                .with_name("WSD-U"),
+                .with_name("WSD-U")
+                .with_mass_kernel(self.mass_kernel),
             ),
-            Algorithm::GpsA => {
-                Box::new(GpsACounter::new(self.pattern, self.capacity, heuristic, self.seed))
-            }
-            Algorithm::Gps => {
-                Box::new(GpsCounter::new(self.pattern, self.capacity, heuristic, self.seed))
-            }
+            Algorithm::GpsA => Box::new(
+                GpsACounter::new(self.pattern, self.capacity, heuristic, self.seed)
+                    .with_mass_kernel(self.mass_kernel),
+            ),
+            Algorithm::Gps => Box::new(
+                GpsCounter::new(self.pattern, self.capacity, heuristic, self.seed)
+                    .with_mass_kernel(self.mass_kernel),
+            ),
             Algorithm::Triest => {
                 Box::new(TriestCounter::new(self.pattern, self.capacity, self.seed))
             }
             Algorithm::ThinkD => {
                 Box::new(ThinkDCounter::new(self.pattern, self.capacity, self.seed))
             }
-            Algorithm::Wrs => Box::new(WrsCounter::with_fraction(
-                self.pattern,
-                self.capacity,
-                self.wrs_fraction,
-                self.seed,
-            )),
+            Algorithm::Wrs => Box::new(
+                WrsCounter::with_fraction(
+                    self.pattern,
+                    self.capacity,
+                    self.wrs_fraction,
+                    self.seed,
+                )
+                .with_mass_kernel(self.mass_kernel),
+            ),
         }
     }
 }

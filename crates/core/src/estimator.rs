@@ -20,20 +20,90 @@
 //! accumulator rides along — one arrival-time read per partner, both
 //! plain array accesses against the same resolved ID.
 //!
-//! `Pattern::for_each_completed` is generic over the callback, so the
-//! two closures below (with and without the state accumulator) are the
-//! *only* estimator loops: each monomorphises per pattern into exactly
-//! the fused intersection-plus-metadata loop that used to exist as
-//! hand-copied triangle/4-clique fast paths. The left-associated
-//! `1.0 * i1 * ... * ik` product is bit-identical to the unrolled
-//! `i1 * ... * ik` (IEEE multiplication by 1.0 is exact), and partner
-//! order is the enumeration kernel's emission order — both pinned by the
-//! golden-value and churn tests.
+//! # Two kernels, one contract
+//!
+//! The mass accumulation runs in one of two [`MassKernel`]s:
+//!
+//! * [`MassKernel::Scalar`] — one fused loop per instance, straight off
+//!   `Pattern::for_each_completed` (the pre-batching hot path, retained
+//!   as the reference implementation and the `--no-default-features`
+//!   build default);
+//! * [`MassKernel::Lanes`] — instances arrive four at a time in
+//!   [`InstanceBlock`]s (`Pattern::for_each_completed_blocks`); a prime
+//!   pass runs the τ-stamp checks and epoch-cache fills for the whole
+//!   block, then the `Π 1/p` products of all four lanes are chewed
+//!   through row-by-row with branch-free, bounds-check-free reads —
+//!   portable chunked code the compiler autovectorizes to 4-wide f64
+//!   arithmetic. Patterns whose instances are too wide for a block
+//!   (generic cliques of order ≥ 5, see `Pattern::block_width`) fall
+//!   back to the scalar loop.
+//!
+//! Both kernels are always compiled; the `simd` feature (default on)
+//! only selects [`MassKernel::build_default`]. They are **bit-identical
+//! by construction**: each lane holds one instance, whose product is
+//! evaluated in the same left-associated partner order as the scalar
+//! loop (`1.0 * i1 * ... * ik`; lane padding of partial blocks is never
+//! summed), cross-instance sums accumulate in emission order, and the
+//! cached `1/p` values are produced by exactly the uncached expression.
+//! The golden-value tests and the scalar/SIMD differential harness pin
+//! this equivalence.
 
-use crate::sampled_graph::WeightedSample;
+use crate::sampled_graph::{MetaView, WeightedSample};
 use crate::state::StateAccumulator;
 use wsd_graph::patterns::EnumScratch;
-use wsd_graph::{Edge, Pattern};
+use wsd_graph::{Edge, InstanceBlock, Pattern, BLOCK_LANES};
+
+/// Which estimator mass-accumulation kernel a counter runs.
+///
+/// Both kernels produce bit-identical estimates (the differential test
+/// harness and the golden pins enforce it); `Lanes` is faster on
+/// instance-heavy events. Selectable per counter via
+/// `CounterConfig::with_mass_kernel`, mostly so the differential tests
+/// can pit the two against each other inside one binary.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MassKernel {
+    /// Per-instance accumulation, one fused loop per pattern.
+    Scalar,
+    /// Lane-batched accumulation over 4-instance [`InstanceBlock`]s with
+    /// a vectorizable product pass; falls back to `Scalar` for patterns
+    /// too wide to block (generic cliques of order ≥ 5).
+    Lanes,
+}
+
+impl MassKernel {
+    /// The build's default kernel: [`MassKernel::Lanes`] when the `simd`
+    /// feature is enabled (the default), [`MassKernel::Scalar`]
+    /// otherwise.
+    pub fn build_default() -> Self {
+        if cfg!(feature = "simd") {
+            MassKernel::Lanes
+        } else {
+            MassKernel::Scalar
+        }
+    }
+}
+
+impl Default for MassKernel {
+    fn default() -> Self {
+        Self::build_default()
+    }
+}
+
+/// The per-event output of [`weighted_mass`]: the estimator mass, the
+/// number of completed instances `|H_k|` (a free by-product of the
+/// enumeration; the heuristic weight `9·|H_k| + 1` consumes it without
+/// needing the full state), and the endpoint degrees in the sampled
+/// graph.
+pub(crate) struct MassUpdate {
+    /// `Σ_J Π 1/p` over the completed instances.
+    pub mass: f64,
+    /// Number of completed instances.
+    pub instances: u64,
+    /// Degree of `e.u()` in the sampled graph.
+    pub deg_u: usize,
+    /// Degree of `e.v()` in the sampled graph.
+    pub deg_v: usize,
+}
 
 /// Computes the estimator mass `Σ_J Π 1/p` for the instances completed
 /// by `e` against `sample` (which must not contain `e`), using threshold
@@ -41,28 +111,103 @@ use wsd_graph::{Edge, Pattern};
 /// instance's partner arrival times are recorded with the current event
 /// time `now`.
 ///
-/// Returns `(mass, deg u, deg v)`, the degrees being those of `e`'s
-/// endpoints in the sampled graph — enumeration resolves both
-/// neighbourhoods anyway, so the state extraction gets them without two
-/// further hash probes.
+/// The endpoint degrees ride along in the result — enumeration resolves
+/// both neighbourhoods anyway, so the state extraction gets them without
+/// two further hash probes — as does the completed-instance count.
 ///
 /// `sample` is mutable only for the lazy `1/p` cache; the sample's
 /// content is untouched.
 pub(crate) fn weighted_mass(
+    kernel: MassKernel,
     pattern: Pattern,
     sample: &mut WeightedSample,
     e: Edge,
     tau: f64,
     scratch: &mut EnumScratch,
     acc: Option<(&mut StateAccumulator, u64)>,
-) -> (f64, usize, usize) {
+) -> MassUpdate {
     debug_assert!(!sample.contains(e), "estimator edge must not be sampled");
-    let mut mass = 0.0;
     let (adj, mut meta) = sample.estimator_view(tau);
-    // Branch on the accumulator *outside* the kernel so each arm hands
-    // the enumeration a closure with no per-instance branching left.
-    let (deg_u, deg_v) = match acc {
-        Some((acc, now)) => pattern.for_each_completed(adj, e, scratch, |partners| {
+    let mut mass = 0.0;
+    let mut instances = 0u64;
+    if tau <= 0.0 {
+        // Fill-phase fast path: `τ = 0` makes every inclusion
+        // probability exactly 1, so each instance contributes exactly
+        // 1.0 (the scalar product of 1.0s) and the `1/p` reads can be
+        // skipped wholesale — later τ-stamped reads recompute the same
+        // values lazily. Partner arrival times are still streamed into
+        // the accumulator when one rides along.
+        let (deg_u, deg_v) = match acc {
+            Some((acc, now)) => pattern.for_each_completed(adj, e, scratch, |partners| {
+                acc.begin_instance(now);
+                for &p in partners {
+                    acc.push_partner_time(meta.time(p));
+                }
+                acc.commit_instance();
+                instances += 1;
+                mass += 1.0;
+            }),
+            None => pattern.for_each_completed(adj, e, scratch, |partners| {
+                let _ = partners;
+                instances += 1;
+                mass += 1.0;
+            }),
+        };
+        return MassUpdate { mass, instances, deg_u, deg_v };
+    }
+    // Kernel and accumulator are resolved *outside* the enumeration so
+    // each arm hands the kernel a closure with no per-instance branching
+    // left. `Lanes` needs a blockable pattern; wider patterns share the
+    // scalar arms.
+    let (deg_u, deg_v) = match (kernel, acc) {
+        (MassKernel::Lanes, acc) if pattern.block_width().is_some() => match acc {
+            Some((acc, now)) => pattern.for_each_completed_blocks(adj, e, scratch, |block| {
+                instances += block.len() as u64;
+                if block.len() == BLOCK_LANES {
+                    let prod = lane_products(&mut meta, block);
+                    for (lane, &p) in prod.iter().enumerate() {
+                        acc.begin_instance(now);
+                        for j in 0..block.width() {
+                            acc.push_partner_time(meta.time(block.id(j, lane)));
+                        }
+                        acc.commit_instance();
+                        mass += p;
+                    }
+                } else {
+                    // Partial tail: per-lane scalar chains — sparse
+                    // events pay nothing for empty lanes.
+                    for lane in 0..block.len() {
+                        let mut prod = 1.0;
+                        acc.begin_instance(now);
+                        for j in 0..block.width() {
+                            let (inv_p, time) = meta.inv_p_time(block.id(j, lane));
+                            prod *= inv_p;
+                            acc.push_partner_time(time);
+                        }
+                        acc.commit_instance();
+                        mass += prod;
+                    }
+                }
+            }),
+            None => pattern.for_each_completed_blocks(adj, e, scratch, |block| {
+                instances += block.len() as u64;
+                if block.len() == BLOCK_LANES {
+                    let prod = lane_products(&mut meta, block);
+                    for &p in &prod {
+                        mass += p;
+                    }
+                } else {
+                    for lane in 0..block.len() {
+                        let mut prod = 1.0;
+                        for j in 0..block.width() {
+                            prod *= meta.inv_p(block.id(j, lane));
+                        }
+                        mass += prod;
+                    }
+                }
+            }),
+        },
+        (_, Some((acc, now))) => pattern.for_each_completed(adj, e, scratch, |partners| {
             let mut prod = 1.0;
             acc.begin_instance(now);
             for &p in partners {
@@ -71,17 +216,48 @@ pub(crate) fn weighted_mass(
                 acc.push_partner_time(time);
             }
             acc.commit_instance();
+            instances += 1;
             mass += prod;
         }),
-        None => pattern.for_each_completed(adj, e, scratch, |partners| {
+        (_, None) => pattern.for_each_completed(adj, e, scratch, |partners| {
             let mut prod = 1.0;
             for &p in partners {
                 prod *= meta.inv_p(p);
             }
+            instances += 1;
             mass += prod;
         }),
     };
-    (mass, deg_u, deg_v)
+    MassUpdate { mass, instances, deg_u, deg_v }
+}
+
+/// The vectorizable heart of [`MassKernel::Lanes`]: the `Π 1/p` products
+/// of one **full** block's four instance lanes (callers route partial
+/// tail blocks through per-lane scalar chains instead).
+///
+/// Phase 1 primes the τ-epoch cache for every referenced ID (the only
+/// branchy part, hoisted out of the arithmetic); phase 2 multiplies
+/// row-by-row — four independent f64 chains updated with contiguous
+/// lane loads, which the compiler packs into vector registers. Each
+/// lane's chain multiplies its partners in emission order starting from
+/// 1.0, exactly the scalar kernel's left-associated product, so lane
+/// results are bit-identical to per-instance evaluation.
+#[inline]
+fn lane_products(meta: &mut MetaView<'_>, block: &InstanceBlock) -> [f64; BLOCK_LANES] {
+    debug_assert_eq!(block.len(), BLOCK_LANES);
+    for j in 0..block.width() {
+        meta.prime(block.lane_ids(j));
+    }
+    let mut prod = [1.0f64; BLOCK_LANES];
+    for j in 0..block.width() {
+        let row = block.lane_ids(j);
+        for (p, &id) in prod.iter_mut().zip(row) {
+            // SAFETY: every lane of a full block holds a live edge ID,
+            // primed just above.
+            *p *= unsafe { meta.inv_p_primed(id) };
+        }
+    }
+    prod
 }
 
 #[cfg(test)]
@@ -98,56 +274,163 @@ mod tests {
         s
     }
 
+    const KERNELS: [MassKernel; 2] = [MassKernel::Scalar, MassKernel::Lanes];
+
     #[test]
     fn mass_is_product_of_inverse_probabilities() {
-        // Triangle 1-2-3 closing edge (1,3); partners (1,2) w=2, (2,3) w=4.
-        let mut s = sample_with(&[(1, 2, 2.0, 0), (2, 3, 4.0, 1)]);
-        let mut scratch = EnumScratch::default();
-        // τ = 8 → p(1,2) = 2/8 = .25, p(2,3) = 4/8 = .5 → mass = 4 * 2 = 8.
-        let (mass, deg_u, deg_v) =
-            weighted_mass(Pattern::Triangle, &mut s, Edge::new(1, 3), 8.0, &mut scratch, None);
-        assert_eq!(mass, 8.0);
-        assert_eq!((deg_u, deg_v), (1, 1), "degrees ride along with the mass");
-        // τ = 0 → all probabilities 1 → mass = 1 per instance.
-        let (mass, _, _) =
-            weighted_mass(Pattern::Triangle, &mut s, Edge::new(1, 3), 0.0, &mut scratch, None);
-        assert_eq!(mass, 1.0);
-        // Back to τ = 8: the epoch moves again, the cache must not serve
-        // the τ = 0 values.
-        let (mass, _, _) =
-            weighted_mass(Pattern::Triangle, &mut s, Edge::new(1, 3), 8.0, &mut scratch, None);
-        assert_eq!(mass, 8.0);
+        for kernel in KERNELS {
+            // Triangle 1-2-3 closing edge (1,3); partners (1,2) w=2, (2,3) w=4.
+            let mut s = sample_with(&[(1, 2, 2.0, 0), (2, 3, 4.0, 1)]);
+            let mut scratch = EnumScratch::default();
+            // τ = 8 → p(1,2) = 2/8 = .25, p(2,3) = 4/8 = .5 → mass = 4 * 2 = 8.
+            let m = weighted_mass(
+                kernel,
+                Pattern::Triangle,
+                &mut s,
+                Edge::new(1, 3),
+                8.0,
+                &mut scratch,
+                None,
+            );
+            assert_eq!(m.mass, 8.0, "{kernel:?}");
+            assert_eq!(m.instances, 1);
+            assert_eq!((m.deg_u, m.deg_v), (1, 1), "degrees ride along with the mass");
+            // τ = 0 → all probabilities 1 → mass = 1 per instance.
+            let m = weighted_mass(
+                kernel,
+                Pattern::Triangle,
+                &mut s,
+                Edge::new(1, 3),
+                0.0,
+                &mut scratch,
+                None,
+            );
+            assert_eq!(m.mass, 1.0, "{kernel:?}");
+            // Back to τ = 8: the epoch moves again, the cache must not serve
+            // the τ = 0 values.
+            let m = weighted_mass(
+                kernel,
+                Pattern::Triangle,
+                &mut s,
+                Edge::new(1, 3),
+                8.0,
+                &mut scratch,
+                None,
+            );
+            assert_eq!(m.mass, 8.0, "{kernel:?}");
+        }
     }
 
     #[test]
     fn accumulator_sees_every_instance() {
-        // Two triangles closed by (1,2): via 3 and via 4.
-        let mut s =
-            sample_with(&[(1, 3, 1.0, 10), (2, 3, 1.0, 11), (1, 4, 1.0, 12), (2, 4, 1.0, 13)]);
-        let mut scratch = EnumScratch::default();
-        let mut acc = StateAccumulator::new(3, TemporalPooling::Max);
-        let (mass, deg_u, deg_v) = weighted_mass(
-            Pattern::Triangle,
-            &mut s,
-            Edge::new(1, 2),
-            0.0,
-            &mut scratch,
-            Some((&mut acc, 20)),
-        );
-        assert_eq!(mass, 2.0);
-        assert_eq!((deg_u, deg_v), (2, 2));
-        assert_eq!(acc.instances(), 2);
-        let state = acc.finish(2, 2);
-        // Sorted times: (10,11,20) and (12,13,20); max per position.
-        assert_eq!(state.values(), &[2.0, 2.0, 2.0, 12.0, 13.0, 20.0]);
+        for kernel in KERNELS {
+            // Two triangles closed by (1,2): via 3 and via 4.
+            let mut s =
+                sample_with(&[(1, 3, 1.0, 10), (2, 3, 1.0, 11), (1, 4, 1.0, 12), (2, 4, 1.0, 13)]);
+            let mut scratch = EnumScratch::default();
+            let mut acc = StateAccumulator::new(3, TemporalPooling::Max);
+            let m = weighted_mass(
+                kernel,
+                Pattern::Triangle,
+                &mut s,
+                Edge::new(1, 2),
+                0.0,
+                &mut scratch,
+                Some((&mut acc, 20)),
+            );
+            assert_eq!(m.mass, 2.0, "{kernel:?}");
+            assert_eq!(m.instances, 2);
+            assert_eq!((m.deg_u, m.deg_v), (2, 2));
+            assert_eq!(acc.instances(), 2);
+            let state = acc.finish(2, 2);
+            // Sorted times: (10,11,20) and (12,13,20); max per position.
+            assert_eq!(state.values(), &[2.0, 2.0, 2.0, 12.0, 13.0, 20.0], "{kernel:?}");
+        }
     }
 
     #[test]
     fn no_instances_no_mass() {
-        let mut s = sample_with(&[(5, 6, 1.0, 0)]);
+        for kernel in KERNELS {
+            let mut s = sample_with(&[(5, 6, 1.0, 0)]);
+            let mut scratch = EnumScratch::default();
+            let m = weighted_mass(
+                kernel,
+                Pattern::Triangle,
+                &mut s,
+                Edge::new(1, 2),
+                0.0,
+                &mut scratch,
+                None,
+            );
+            assert_eq!(m.mass, 0.0, "{kernel:?}");
+            assert_eq!(m.instances, 0);
+        }
+    }
+
+    /// Enough instances for full + partial blocks, with non-trivial
+    /// probabilities: both kernels must agree to the bit, state included.
+    #[test]
+    fn kernels_agree_bitwise_on_multi_block_events() {
+        // Star closure: (1, 20) completes 9 triangles via 11..=19.
+        let mut edges = Vec::new();
+        for (i, w) in (11..=19u64).enumerate() {
+            edges.push((1, w, 1.5 + i as f64, 2 * i as u64));
+            edges.push((20, w, 4.0 - 0.3 * i as f64, 2 * i as u64 + 1));
+        }
+        for tau in [0.0, 2.0, 64.0] {
+            let mut results = Vec::new();
+            for kernel in KERNELS {
+                let mut s = sample_with(&edges);
+                let mut scratch = EnumScratch::default();
+                let mut acc = StateAccumulator::new(3, TemporalPooling::Max);
+                let m = weighted_mass(
+                    kernel,
+                    Pattern::Triangle,
+                    &mut s,
+                    Edge::new(1, 20),
+                    tau,
+                    &mut scratch,
+                    Some((&mut acc, 99)),
+                );
+                results.push((m.mass.to_bits(), m.instances, m.deg_u, m.deg_v, acc.finish(9, 9)));
+            }
+            assert_eq!(results[0], results[1], "kernel divergence at tau {tau}");
+            assert_eq!(results[0].1, 9);
+        }
+    }
+
+    /// Patterns too wide to block (`block_width() == None`) must run —
+    /// the Lanes kernel falls back to the scalar loop.
+    #[test]
+    fn lanes_kernel_serves_wide_patterns_via_fallback() {
+        // K5 minus (1,5): adding it completes one 5-clique (9 partners).
+        let mut edges = Vec::new();
+        for a in 1..=5u64 {
+            for b in (a + 1)..=5 {
+                if (a, b) != (1, 5) {
+                    edges.push((a, b, 2.0, a + b));
+                }
+            }
+        }
+        let mut s = sample_with(&edges);
         let mut scratch = EnumScratch::default();
-        let (mass, _, _) =
-            weighted_mass(Pattern::Triangle, &mut s, Edge::new(1, 2), 0.0, &mut scratch, None);
-        assert_eq!(mass, 0.0);
+        let m = weighted_mass(
+            MassKernel::Lanes,
+            Pattern::Clique(5),
+            &mut s,
+            Edge::new(1, 5),
+            4.0,
+            &mut scratch,
+            None,
+        );
+        assert_eq!(m.instances, 1);
+        assert_eq!(m.mass, 2.0f64.powi(9)); // p = 1/2 per partner
+    }
+
+    #[test]
+    fn build_default_follows_feature() {
+        let expect = if cfg!(feature = "simd") { MassKernel::Lanes } else { MassKernel::Scalar };
+        assert_eq!(MassKernel::build_default(), expect);
+        assert_eq!(MassKernel::default(), expect);
     }
 }

@@ -20,6 +20,26 @@
 //! learned linear policy (WSD-L) whose parameters are trained by the
 //! `wsd-rl` crate on the MDP states extracted in [`state`].
 //!
+//! # The `simd` feature and the mass kernels
+//!
+//! The estimators' hot loop — the `Π 1/p` mass products over each
+//! completed instance's partner edges — runs in one of two
+//! [`MassKernel`]s: the per-instance `Scalar` kernel, or the
+//! lane-batched `Lanes` kernel consuming 4-instance
+//! [`wsd_graph::InstanceBlock`]s with a branch-hoisted τ-stamp/cache
+//! fill pass and a vectorizable product pass (portable chunked code the
+//! compiler packs into 4-wide f64 vector arithmetic; patterns too wide
+//! to block — generic cliques of order ≥ 5 — fall back to the scalar
+//! loop). **Both kernels are always compiled and produce bit-identical
+//! estimates** — each lane evaluates its instance's product in the
+//! scalar kernel's exact operation order, and cross-instance sums
+//! accumulate in emission order. The `simd` feature (enabled by
+//! default) only selects which kernel [`MassKernel::build_default`]
+//! returns; building with `--no-default-features` flips the default to
+//! `Scalar`. Counters take an explicit kernel via
+//! [`CounterConfig::with_mass_kernel`], which is how the differential
+//! test harness pins the bit-identity contract inside one binary.
+//!
 //! # Example
 //!
 //! ```
@@ -53,5 +73,6 @@ pub mod weight;
 pub use config::{Algorithm, CounterConfig};
 pub use counter::SubgraphCounter;
 pub use engine::{BatchDriver, Ensemble, EnsembleReport};
+pub use estimator::MassKernel;
 pub use state::{StateVector, TemporalPooling};
 pub use weight::{FeatureNorm, HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};

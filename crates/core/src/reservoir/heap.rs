@@ -104,6 +104,33 @@ impl IndexedMinHeap {
         Some(self.remove_at(0))
     }
 
+    /// Replaces the minimum-rank entry with `(key, rank)` in a single
+    /// root overwrite + sift-down — half the slot traffic of the
+    /// eviction path's natural `pop_min` + `push` pair, which the
+    /// weighted samplers execute on every reservoir displacement.
+    /// Returns the displaced minimum. The stored multiset ends up
+    /// identical to the two-step sequence (layout may differ; ranks are
+    /// distinct in practice, so pop order is unaffected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is empty or `key` is already present
+    /// (displacing the minimum and re-inserting its own key is the one
+    /// exception: the evicted key may be recycled as `key`).
+    pub fn replace_min(&mut self, key: u32, rank: f64) -> (u32, f64) {
+        assert!(!self.slots.is_empty(), "replace_min on an empty heap");
+        let old = self.slots[0];
+        self.pos[old.0 as usize] = ABSENT;
+        if key as usize >= self.pos.len() {
+            self.pos.resize(key as usize + 1, ABSENT);
+        }
+        assert!(self.pos[key as usize] == ABSENT, "duplicate key pushed into IndexedMinHeap");
+        self.slots[0] = (key, rank);
+        self.pos[key as usize] = 0;
+        self.sift_down(0);
+        old
+    }
+
     /// Removes `key`, returning its rank if it was present.
     pub fn remove(&mut self, key: u32) -> Option<f64> {
         let i = self.slot_of(key)?;
@@ -228,6 +255,24 @@ mod tests {
         assert_eq!(h.rank_of(100_000), None, "keys past the index are absent");
         assert_eq!(h.len(), 1);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn replace_min_displaces_the_minimum() {
+        let mut h = IndexedMinHeap::new();
+        for (k, r) in [(1u32, 5.0), (2, 1.0), (3, 3.0), (4, 4.0)] {
+            h.push(k, r);
+        }
+        assert_eq!(h.replace_min(9, 2.0), (2, 1.0));
+        h.check_invariants();
+        // The evicted key may be recycled as the incoming key.
+        assert_eq!(h.replace_min(9, 6.0), (9, 2.0));
+        h.check_invariants();
+        let mut out = Vec::new();
+        while let Some((k, _)) = h.pop_min() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![3, 4, 1, 9]);
     }
 
     #[test]

@@ -72,6 +72,23 @@ impl WeightedSample {
         Self::default()
     }
 
+    /// Creates an empty sample pre-sized for a reservoir of `edges`
+    /// edges: the vertex table and the ID-indexed metadata arrays are
+    /// allocated up front, so the fill phase never rehashes the
+    /// adjacency and the arrays never reallocate mid-stream (a reservoir
+    /// of `M` edges touches at most `2M` vertices and `M` concurrent
+    /// IDs).
+    pub fn with_capacity(edges: usize) -> Self {
+        Self {
+            adj: Adjacency::with_capacity(2 * edges),
+            weight: Vec::with_capacity(edges + 1),
+            time: Vec::with_capacity(edges + 1),
+            inv_p: Vec::with_capacity(edges + 1),
+            stamp: Vec::with_capacity(edges + 1),
+            ..Self::default()
+        }
+    }
+
     /// The adjacency view (for pattern enumeration and degrees).
     #[inline]
     pub fn adj(&self) -> &Adjacency {
@@ -220,6 +237,45 @@ impl MetaView<'_> {
     #[inline]
     pub(crate) fn inv_p_time(&mut self, id: EdgeId) -> (f64, u64) {
         (self.inv_p(id), self.time[id as usize])
+    }
+
+    /// Fills the `1/p` cache for every ID in `ids` (the τ-stamp check +
+    /// epoch-cache fill pass of the lane-batched kernel). Running the
+    /// stamp branches here, once per block row, leaves the product pass
+    /// branch-free; in steady state (τ unchanged since the last event)
+    /// the branch is never taken and the pass is a straight run of
+    /// stamp loads.
+    #[inline]
+    pub(crate) fn prime(&mut self, ids: &[EdgeId]) {
+        for &id in ids {
+            self.inv_p(id);
+        }
+    }
+
+    /// The cached `1/p` of an edge previously primed in this epoch —
+    /// the branch-free, bounds-check-free read of the lane-batched
+    /// product pass.
+    ///
+    /// # Safety
+    ///
+    /// `id` must be a live edge ID of the sample this view was split
+    /// from (live IDs always index within the metadata arrays) and must
+    /// have been passed to [`MetaView::prime`] (or [`MetaView::inv_p`])
+    /// since the view was created.
+    #[inline]
+    pub(crate) unsafe fn inv_p_primed(&self, id: EdgeId) -> f64 {
+        let i = id as usize;
+        debug_assert_eq!(self.stamp[i], self.epoch, "inv_p_primed of an unprimed edge");
+        // SAFETY: live IDs index within the arrays per the caller
+        // contract; the value is current because the edge was primed in
+        // this epoch.
+        unsafe { *self.inv_p.get_unchecked(i) }
+    }
+
+    /// Arrival time of a sampled edge.
+    #[inline]
+    pub(crate) fn time(&self, id: EdgeId) -> u64 {
+        self.time[id as usize]
     }
 }
 

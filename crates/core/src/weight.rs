@@ -25,6 +25,31 @@ use crate::state::StateVector;
 pub trait WeightFn: Send {
     /// Computes the weight of the arriving edge from its state.
     fn weight(&mut self, state: &StateVector) -> f64;
+    /// If the weight is an affine function `a·|H_k| + b` of the
+    /// completed-instance count alone, its coefficients `(a, b)`.
+    ///
+    /// The samplers then compute exactly that expression inline on the
+    /// hot path — no state buffer, no dynamic call — so implementations
+    /// must guarantee `weight(s) == a * s.instances() + b` bit-for-bit
+    /// (evaluated in that order). `None` (the default) keeps the
+    /// state-vector call path.
+    fn instances_affine(&self) -> Option<(f64, f64)> {
+        None
+    }
+    /// Whether this function reads the full `|H|+3`-dimensional state.
+    ///
+    /// Functions returning `false` are handed a *truncated* observation
+    /// holding only feature 0 — `|H_k|`, still readable through
+    /// [`StateVector::instances`] — and the samplers skip the
+    /// temporal-block accumulation of Eq. 20 (the per-instance time
+    /// sort, the dominant non-enumeration cost of an insertion)
+    /// entirely. `|H_k|` is a free by-product of the estimator mass
+    /// pass, so [`UniformWeight`] and [`HeuristicWeight`] opt out; an
+    /// installed insertion observer always forces the full state back
+    /// on, so observed states are never truncated.
+    fn needs_full_state(&self) -> bool {
+        true
+    }
     /// Short name for experiment tables (e.g. `WSD-L`).
     fn name(&self) -> &'static str;
 }
@@ -36,6 +61,12 @@ pub struct UniformWeight;
 impl WeightFn for UniformWeight {
     fn weight(&mut self, _state: &StateVector) -> f64 {
         1.0
+    }
+    fn instances_affine(&self) -> Option<(f64, f64)> {
+        Some((0.0, 1.0)) // 0·|H| + 1 ≡ 1 exactly
+    }
+    fn needs_full_state(&self) -> bool {
+        false // reads nothing at all
     }
     fn name(&self) -> &'static str {
         "uniform"
@@ -49,6 +80,12 @@ pub struct HeuristicWeight;
 impl WeightFn for HeuristicWeight {
     fn weight(&mut self, state: &StateVector) -> f64 {
         9.0 * state.instances() + 1.0
+    }
+    fn instances_affine(&self) -> Option<(f64, f64)> {
+        Some((9.0, 1.0))
+    }
+    fn needs_full_state(&self) -> bool {
+        false // reads |H_k| only
     }
     fn name(&self) -> &'static str {
         "WSD-H"

@@ -128,6 +128,45 @@ fn golden_massive_deletion_holme_kim() {
     check(&events, 7, capacity, &golden);
 }
 
+/// WRS-focused churn pin, captured from the PR-3 binary: Forest Fire
+/// n=500 p=0.4 (gen seed 23) under a heavy light-deletion scenario
+/// (β=0.35, seed 6 → 1505 events), M = 75 (≈5% budget → constant
+/// waiting-room spills), counter seed 31, at two waiting-room fractions.
+/// The scenario drives every WRS-specific path hard — FIFO ghosts,
+/// spill-horizon advances, deletions inside the room and the reservoir,
+/// random-pairing compensation, ID-recycling re-stamps — so the
+/// room-epoch stamp scheme (and any future room bookkeeping change)
+/// must reproduce the dense-flag implementation bit-for-bit.
+#[test]
+fn golden_wrs_forest_fire_churn() {
+    let edges = GeneratorConfig::ForestFire { vertices: 500, forward_prob: 0.4 }.generate(23);
+    let events = Scenario::Light { beta_l: 0.35 }.apply(&edges, 6);
+    assert_eq!(events.len(), 1505, "stream generation drifted; goldens no longer apply");
+    let capacity = events.len() / 20;
+    #[rustfmt::skip]
+    let golden = [
+        (0.1, Pattern::Wedge, 3813.246306926904_f64),
+        (0.1, Pattern::Triangle, 220.62212712660445_f64),
+        (0.1, Pattern::FourClique, 587.2420959016108_f64),
+        (0.3, Pattern::Wedge, 3836.629155354448_f64),
+        (0.3, Pattern::Triangle, 316.12063348416285_f64),
+        (0.3, Pattern::FourClique, 63.11443438914028_f64),
+    ];
+    for &(fraction, pattern, want) in &golden {
+        let mut cfg = CounterConfig::new(pattern, capacity, 31);
+        cfg.wrs_fraction = fraction;
+        let mut c = cfg.build(Algorithm::Wrs);
+        c.process_all(&events);
+        let got = c.estimate();
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "WRS (fraction {fraction}) on {}: got {got:?}, golden {want:?}",
+            pattern.name()
+        );
+    }
+}
+
 /// Hub-clique k=24 + 1800 fanout-2 spokes (gen seed 17), light-deletion
 /// scenario (seed 8): 4640 events, M = 464, counter seed 19. Core–core
 /// events are hub–hub intersections whose endpoints sit past the

@@ -160,7 +160,9 @@ pub const SHADOW_THRESHOLD: usize = 32;
 /// Pending-insert count that triggers a shadow snapshot rebuild (the
 /// dead counter triggers one at half the snapshot length). Bounds both
 /// the amortised rebuild cost (`O(d log d)` every ~16 mutations) and the
-/// extra per-intersection work of probing the pending list.
+/// extra per-intersection work of probing the pending list. (PR 4
+/// re-measured 48 here under reservoir churn: no gain — pending probes
+/// eat what the rarer rebuilds save — so 16 stands.)
 pub const SHADOW_PENDING_MAX: usize = 16;
 
 /// The galloping snapshot of one (large) neighbourhood: a by-vertex
