@@ -13,6 +13,8 @@
 //!   should complete the same work in well under ⅔ the 1-thread time
 //!   (the >1.5× acceptance bar; a single-core host will show ≈1×).
 
+#![allow(deprecated)] // CounterConfig::build: the legacy single-query shim is benchmarked deliberately
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 use wsd_core::engine::{BatchDriver, Ensemble};

@@ -3,14 +3,21 @@
 //! Runs every deletion-capable sampler over a grid of deterministic
 //! streams × evaluation patterns and reports the median events/sec,
 //! writing a machine-readable JSON report. The grid covers two stream
-//! shapes:
+//! shapes plus a session scenario:
 //!
 //! * `ba-light` — a Barabási–Albert stream under the light-deletion
 //!   scenario (the historical grid; comparable back to `BENCH_PR2.json`);
 //! * `hub-heavy` — a hub-clique stream (dense core, fanout-2 spoke
 //!   fringes) whose core–core events are hub–hub intersections with
 //!   long skippable non-common runs, the galloping kernel's target
-//!   regime.
+//!   regime;
+//! * `session-grid-ba` / `session-grid-hub` — the multi-query session
+//!   comparison on the same two streams: one shared triangle-weighted
+//!   sampler answering wedge+triangle+4-clique at once versus three
+//!   independent single-query samplers, *paired within each timing rep
+//!   in alternated order* (the per-rep ratio is robust to host drift;
+//!   the session row carries the median paired ratio as
+//!   `paired_speedup`).
 //!
 //! The streams, seeds and methodology are pinned so the numbers are
 //! comparable across commits: each PR that claims a hot-path win
@@ -38,7 +45,7 @@
 //! paired ratios are far more stable than absolute rates there.
 
 use std::time::Instant;
-use wsd_core::{Algorithm, CounterConfig};
+use wsd_core::{Algorithm, SessionBuilder, StreamSession};
 use wsd_graph::Pattern;
 use wsd_stream::gen::GeneratorConfig;
 use wsd_stream::{EventStream, Scenario};
@@ -57,6 +64,9 @@ struct Cell {
     algorithm: &'static str,
     pattern: String,
     events_per_sec: f64,
+    /// Median per-rep paired ratio (session vs three counters) —
+    /// session-grid rows only.
+    paired_speedup: Option<f64>,
 }
 
 struct Grid {
@@ -69,6 +79,49 @@ struct Grid {
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(f64::total_cmp);
     xs[xs.len() / 2]
+}
+
+/// One full single-query pass; returns the wall-clock seconds.
+fn time_single(alg: Algorithm, pattern: Pattern, capacity: usize, events: &EventStream) -> f64 {
+    let mut session = SessionBuilder::new(alg, capacity, COUNTER_SEED).query(pattern).build();
+    let (qid, _) = session.queries().next().expect("one query");
+    let start = Instant::now();
+    session.process_all(events);
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(session.estimate(qid));
+    secs
+}
+
+/// The wedge+triangle+4-clique session used by the session grid (weight
+/// observed on the triangle, the paper's primary pattern).
+fn session_grid_session(alg: Algorithm, capacity: usize) -> StreamSession {
+    SessionBuilder::new(alg, capacity, COUNTER_SEED)
+        .query(Pattern::Wedge)
+        .query(Pattern::Triangle)
+        .query(Pattern::FourClique)
+        .with_weight_pattern(Pattern::Triangle)
+        .build()
+}
+
+/// One full 3-query session pass; returns the wall-clock seconds.
+fn time_session(alg: Algorithm, capacity: usize, events: &EventStream) -> f64 {
+    let mut session = session_grid_session(alg, capacity);
+    let start = Instant::now();
+    session.process_all(events);
+    let secs = start.elapsed().as_secs_f64();
+    for (qid, _) in session.queries().collect::<Vec<_>>() {
+        std::hint::black_box(session.estimate(qid));
+    }
+    secs
+}
+
+/// Three full independent single-query passes (one per pattern);
+/// returns the summed wall-clock seconds — the legacy cost of the grid.
+fn time_trio(alg: Algorithm, capacity: usize, events: &EventStream) -> f64 {
+    [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique]
+        .into_iter()
+        .map(|p| time_single(alg, p, capacity, events))
+        .sum()
 }
 
 fn main() {
@@ -170,12 +223,7 @@ fn main() {
             for alg in algorithms {
                 let mut rates = Vec::with_capacity(time_reps);
                 for _ in 0..time_reps {
-                    let mut counter =
-                        CounterConfig::new(pattern, grid.capacity, COUNTER_SEED).build(alg);
-                    let start = Instant::now();
-                    counter.process_all(&grid.events);
-                    let secs = start.elapsed().as_secs_f64();
-                    std::hint::black_box(counter.estimate());
+                    let secs = time_single(alg, pattern, grid.capacity, &grid.events);
                     rates.push(grid.events.len() as f64 / secs);
                 }
                 let events_per_sec = median(rates);
@@ -191,8 +239,64 @@ fn main() {
                     algorithm: alg.name(),
                     pattern: pattern.name(),
                     events_per_sec,
+                    paired_speedup: None,
                 });
             }
+        }
+    }
+
+    // Session grid: one shared triangle-weighted sampler answering
+    // wedge+triangle+4-clique vs three independent single-query
+    // samplers, paired and order-alternated within each rep.
+    for (scenario, grid) in [("session-grid-ba", &grids[0]), ("session-grid-hub", &grids[1])] {
+        eprintln!(
+            "perf_report: {scenario} (|S|={}, capacity M={}, {} paired reps, alternated order)",
+            grid.events.len(),
+            grid.capacity,
+            time_reps
+        );
+        let n = grid.events.len() as f64;
+        for alg in [Algorithm::WsdH, Algorithm::WsdUniform, Algorithm::GpsA] {
+            let mut session_rates = Vec::with_capacity(time_reps);
+            let mut trio_rates = Vec::with_capacity(time_reps);
+            let mut ratios = Vec::with_capacity(time_reps);
+            for rep in 0..time_reps {
+                let (t_session, t_trio) = if rep % 2 == 0 {
+                    let s = time_session(alg, grid.capacity, &grid.events);
+                    let t = time_trio(alg, grid.capacity, &grid.events);
+                    (s, t)
+                } else {
+                    let t = time_trio(alg, grid.capacity, &grid.events);
+                    let s = time_session(alg, grid.capacity, &grid.events);
+                    (s, t)
+                };
+                session_rates.push(n / t_session);
+                trio_rates.push(n / t_trio);
+                ratios.push(t_trio / t_session);
+            }
+            let paired = median(ratios);
+            eprintln!(
+                "  {:>16} {:>8}  session {:>12.0} ev/s  3-counters {:>12.0} ev/s  paired {:>5.2}x",
+                scenario,
+                alg.name(),
+                median(session_rates.clone()),
+                median(trio_rates.clone()),
+                paired
+            );
+            cells.push(Cell {
+                scenario,
+                algorithm: alg.name(),
+                pattern: "wedge+tri+4c (session)".to_string(),
+                events_per_sec: median(session_rates),
+                paired_speedup: Some(paired),
+            });
+            cells.push(Cell {
+                scenario,
+                algorithm: alg.name(),
+                pattern: "wedge+tri+4c (3 counters)".to_string(),
+                events_per_sec: median(trio_rates),
+                paired_speedup: None,
+            });
         }
     }
 
@@ -238,6 +342,9 @@ fn main() {
                 base,
                 c.events_per_sec / base
             ));
+        }
+        if let Some(paired) = c.paired_speedup {
+            line.push_str(&format!(", \"paired_speedup\": {paired:.3}"));
         }
         line.push('}');
         if i + 1 < cells.len() {

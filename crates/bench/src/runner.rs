@@ -12,7 +12,7 @@ use crate::metrics::{are, mean_std, MareAccumulator};
 use std::sync::Arc;
 use std::time::Instant;
 use wsd_core::engine::{BatchDriver, Ensemble};
-use wsd_core::{Algorithm, CounterConfig, LinearPolicy, SubgraphCounter, TemporalPooling};
+use wsd_core::{Algorithm, LinearPolicy, SessionBuilder, StreamSession, TemporalPooling};
 use wsd_graph::Pattern;
 use wsd_stream::{EventStream, Scenario, TruthTimeline};
 
@@ -158,12 +158,22 @@ impl AlgoSpec {
         self.label.clone().unwrap_or_else(|| self.algorithm.name().to_string())
     }
 
-    fn build(&self, pattern: Pattern, capacity: usize, seed: u64) -> Box<dyn SubgraphCounter> {
-        let mut cfg = CounterConfig::new(pattern, capacity, seed).with_pooling(self.pooling);
+    /// Builds a single-query session for this column (bit-identical to
+    /// the historical per-pattern counters).
+    pub fn session(&self, pattern: Pattern, capacity: usize, seed: u64) -> StreamSession {
+        self.session_multi(&[pattern], capacity, seed)
+    }
+
+    /// Builds one shared-sampler session answering several patterns at
+    /// once (the weight pattern is the first query's).
+    pub fn session_multi(&self, patterns: &[Pattern], capacity: usize, seed: u64) -> StreamSession {
+        let mut b = SessionBuilder::new(self.algorithm, capacity, seed)
+            .queries(patterns.iter().copied())
+            .with_pooling(self.pooling);
         if let Some(p) = &self.policy {
-            cfg = cfg.with_policy(p.clone());
+            b = b.with_policy(p.clone());
         }
-        cfg.build(self.algorithm)
+        b.build()
     }
 }
 
@@ -175,28 +185,29 @@ impl AlgoSpec {
 /// processing the first event as its own batch, so MARE columns stay
 /// comparable across the engine refactor.
 pub fn run_once(spec: &AlgoSpec, w: &Workload, capacity: usize, seed: u64) -> RunResult {
-    let mut counter = spec.build(w.pattern, capacity, seed);
+    let mut session = spec.session(w.pattern, capacity, seed);
+    let (qid, _) = session.queries().next().expect("single-query session");
     let mut mare = MareAccumulator::new(w.mare_floor);
     let truth = &w.truth;
     if let Some(head) = w.stream.get(..1) {
-        counter.process_batch(head);
-        mare.record(counter.estimate(), truth[0]);
-        BatchDriver::with_batch_size(w.stride).run_with_checkpoints(
-            counter.as_mut(),
+        session.process_batch(head);
+        mare.record(session.estimate(qid), truth[0]);
+        BatchDriver::with_batch_size(w.stride).run_session_with_checkpoints(
+            &mut session,
             &w.stream[1..],
-            &mut |consumed, counter| {
+            &mut |consumed, session| {
                 // `consumed` counts tail events; the last processed
                 // absolute event index is exactly `consumed`.
-                mare.record(counter.estimate(), truth[consumed]);
+                mare.record(session.estimate(qid), truth[consumed]);
             },
         );
     }
-    RunResult { are: are(counter.estimate(), w.final_truth()), mare: mare.value() }
+    RunResult { are: are(session.estimate(qid), w.final_truth()), mare: mare.value() }
 }
 
 /// Runs `reps` accuracy repetitions as an engine ensemble (seed `i` is
-/// `base_seed + i`, results in replica order regardless of threading)
-/// and `time_reps` serial batched timing passes.
+/// `replica_seed(base_seed, i)`, results in replica order regardless of
+/// threading) and `time_reps` serial batched timing passes.
 pub fn run_cell(
     spec: &AlgoSpec,
     w: &Workload,
@@ -218,11 +229,13 @@ pub fn run_cell(
     let driver = BatchDriver::new();
     let mut times = Vec::with_capacity(time_reps);
     for r in 0..time_reps {
-        let mut counter = spec.build(w.pattern, capacity, base_seed.wrapping_add(7000 + r as u64));
+        let mut session =
+            spec.session(w.pattern, capacity, base_seed.wrapping_add(7000 + r as u64));
+        let (qid, _) = session.queries().next().expect("single-query session");
         let start = Instant::now();
-        driver.run(counter.as_mut(), &w.stream);
+        driver.run_session(&mut session, &w.stream);
         times.push(start.elapsed().as_secs_f64());
-        std::hint::black_box(counter.estimate());
+        std::hint::black_box(session.estimate(qid));
     }
     let (seconds, _) = mean_std(&times);
     CellResult { are, are_std, mare, seconds }
@@ -293,9 +306,13 @@ mod tests {
     #[test]
     fn parallel_and_serial_reps_agree() {
         // Same seeds → same per-rep results regardless of threading.
+        // The ensemble derives replica seeds via the splitmix bijection,
+        // so the serial reference must too.
+        use wsd_core::engine::replica_seed;
         let w = Workload::build(&edges(), Scenario::default_light(), Pattern::Triangle, 3);
         let spec = AlgoSpec::new(Algorithm::WsdH);
-        let serial: Vec<RunResult> = (0..4).map(|r| run_once(&spec, &w, 100, 50 + r)).collect();
+        let serial: Vec<RunResult> =
+            (0..4).map(|r| run_once(&spec, &w, 100, replica_seed(50, r))).collect();
         let cell = run_cell(&spec, &w, 100, 50, 4, 1);
         let mean_serial = serial.iter().map(|r| r.are).sum::<f64>() / 4.0;
         assert!((cell.are - mean_serial).abs() < 1e-12);

@@ -9,9 +9,14 @@
 //! Theorem 1).
 //!
 //! GPS is **not applicable** to fully dynamic streams (paper Example 1):
-//! [`GpsCounter::process`] panics on deletion events; use
-//! [`crate::algorithms::GpsACounter`] or [`crate::algorithms::WsdCounter`]
+//! [`GpsSampler::process`] panics on deletion events; use
+//! [`crate::algorithms::GpsASampler`] or [`crate::algorithms::WsdSampler`]
 //! for those.
+//!
+//! [`GpsSampler`] is the session-facing sampling layer (N pattern
+//! queries off one reservoir, see [`crate::session`]); [`GpsCounter`]
+//! is the legacy one-pattern façade, bit-identical to the pre-session
+//! implementation.
 
 use crate::algorithms::WeightMode;
 use crate::counter::SubgraphCounter;
@@ -19,6 +24,7 @@ use crate::estimator::MassKernel;
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
+use crate::session::{EdgeSampler, PatternQuery};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
@@ -26,19 +32,21 @@ use rand::SeedableRng;
 use wsd_graph::patterns::EnumScratch;
 use wsd_graph::{Edge, EdgeEvent, Op, Pattern};
 
-/// The GPS subgraph counter (insertion-only).
-pub struct GpsCounter {
+/// The GPS sampling layer (insertion-only).
+pub struct GpsSampler {
     display_name: String,
-    pattern: Pattern,
+    /// The pattern the weight function observes.
+    weight_pattern: Pattern,
     capacity: usize,
     /// Keyed by the sample's arena edge IDs.
     heap: IndexedMinHeap,
     sample: WeightedSample,
     /// The `(M+1)`-th largest rank seen so far (`r_{M+1}` in Eq. 1).
     z: f64,
-    estimate: f64,
     t: u64,
-    scratch: EnumScratch,
+    /// Scratch for the weight pass when no query counts the weight
+    /// pattern.
+    own_scratch: EnumScratch,
     acc: StateAccumulator,
     /// Reusable state-vector buffer (allocation-free insertions).
     state_buf: StateVector,
@@ -46,37 +54,42 @@ pub struct GpsCounter {
     rng: SmallRng,
     /// Pre-drawn `u` variates for batched processing (reused scratch).
     u_buf: Vec<f64>,
-    /// Estimator mass-accumulation kernel (scalar or lane-batched).
+    /// Mass kernel for the sampler-owned weight pass.
     mass_kernel: MassKernel,
     /// Resolved state-observation mode of the weight function.
     weight_mode: WeightMode,
 }
 
-impl GpsCounter {
-    /// Creates a GPS counter.
+impl GpsSampler {
+    /// Creates a GPS sampler whose weight function observes
+    /// `weight_pattern`.
     ///
     /// # Panics
     ///
     /// Panics if `capacity < |H|` or the pattern is invalid.
-    pub fn new(pattern: Pattern, capacity: usize, weight_fn: Box<dyn WeightFn>, seed: u64) -> Self {
-        pattern.validate().expect("invalid pattern");
+    pub fn new(
+        weight_pattern: Pattern,
+        capacity: usize,
+        weight_fn: Box<dyn WeightFn>,
+        seed: u64,
+    ) -> Self {
+        weight_pattern.validate().expect("invalid pattern");
         assert!(
-            capacity >= pattern.num_edges(),
+            capacity >= weight_pattern.num_edges(),
             "reservoir capacity M = {capacity} must be ≥ |H| = {}",
-            pattern.num_edges()
+            weight_pattern.num_edges()
         );
         let weight_mode = WeightMode::resolve(weight_fn.as_ref(), false);
         Self {
             display_name: "GPS".to_string(),
-            pattern,
+            weight_pattern,
             capacity,
             heap: IndexedMinHeap::with_capacity(capacity),
             sample: WeightedSample::with_capacity(capacity),
             z: 0.0,
-            estimate: 0.0,
             t: 0,
-            scratch: EnumScratch::default(),
-            acc: StateAccumulator::new(pattern.num_edges(), TemporalPooling::Max),
+            own_scratch: EnumScratch::default(),
+            acc: StateAccumulator::new(weight_pattern.num_edges(), TemporalPooling::Max),
             state_buf: StateVector::empty(),
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
@@ -92,8 +105,8 @@ impl GpsCounter {
         self
     }
 
-    /// Selects the estimator mass kernel (see [`MassKernel`]); estimates
-    /// are bit-identical either way.
+    /// Selects the mass kernel of the sampler-owned weight pass (see
+    /// [`MassKernel`]); estimates are bit-identical either way.
     pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
         self.mass_kernel = kernel;
         self
@@ -104,27 +117,22 @@ impl GpsCounter {
         self.z
     }
 
-    fn insert(&mut self, e: Edge) {
-        let u = draw_u(&mut self.rng);
-        self.insert_with_u(e, u);
-    }
-
     /// Insertion with an externally drawn `u` (batched path).
-    fn insert_with_u(&mut self, e: Edge, u: f64) {
-        let w = crate::algorithms::observe_insertion(
+    fn insert_with_u(&mut self, e: Edge, u: f64, queries: &mut [PatternQuery]) {
+        let w = crate::algorithms::observe_queries(
             self.weight_mode,
             self.mass_kernel,
-            self.pattern,
+            self.weight_pattern,
             &mut self.sample,
             e,
             self.z,
-            &mut self.scratch,
+            &mut self.own_scratch,
             &mut self.acc,
             &mut self.state_buf,
             self.weight_fn.as_mut(),
             self.t,
-            &mut self.estimate,
             None,
+            queries,
         );
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
@@ -144,14 +152,17 @@ impl GpsCounter {
     }
 }
 
-impl SubgraphCounter for GpsCounter {
+impl EdgeSampler for GpsSampler {
     /// # Panics
     ///
     /// Panics on deletion events — GPS is an insertion-only algorithm
     /// (paper Example 1 shows it is biased under deletions).
-    fn process(&mut self, ev: EdgeEvent) {
+    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
         match ev.op {
-            Op::Insert => self.insert(ev.edge),
+            Op::Insert => {
+                let u = draw_u(&mut self.rng);
+                self.insert_with_u(ev.edge, u, queries);
+            }
             Op::Delete => panic!(
                 "GPS cannot process deletion events (paper §III-A); \
                  use GPS-A or WSD for fully dynamic streams"
@@ -163,10 +174,10 @@ impl SubgraphCounter for GpsCounter {
     /// Batched path: insertion-only batches pre-draw all `u` variates in
     /// one RNG loop. A batch containing a deletion falls back to the
     /// sequential loop so the panic fires at exactly the same event.
-    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
         if !batch.iter().all(EdgeEvent::is_insert) {
             for &ev in batch {
-                self.process(ev);
+                self.process(ev, queries);
             }
             return;
         }
@@ -177,25 +188,104 @@ impl SubgraphCounter for GpsCounter {
         }
         for (i, &ev) in batch.iter().enumerate() {
             let u = self.u_buf[i];
-            self.insert_with_u(ev.edge, u);
+            self.insert_with_u(ev.edge, u, queries);
             self.t += 1;
         }
     }
 
-    fn estimate(&self) -> f64 {
-        self.estimate
+    fn query_estimate(&self, query: &PatternQuery) -> f64 {
+        query.estimate
+    }
+
+    fn warm_start(&self, query: &mut PatternQuery) {
+        crate::session::warm_start_weighted(&self.sample, self.z, query);
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.sample.len()
     }
 
     fn name(&self) -> &str {
         &self.display_name
     }
 
+    fn assert_capacity_for(&self, pattern: Pattern) {
+        assert!(
+            self.capacity >= pattern.num_edges(),
+            "reservoir capacity M = {} must be ≥ |H| = {} of {}",
+            self.capacity,
+            pattern.num_edges(),
+            pattern.name()
+        );
+    }
+}
+
+/// The legacy one-pattern GPS counter: a [`GpsSampler`] plus a single
+/// [`PatternQuery`], bit-identical to the pre-session implementation.
+pub struct GpsCounter {
+    sampler: GpsSampler,
+    query: PatternQuery,
+}
+
+impl GpsCounter {
+    /// Creates a GPS counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < |H|` or the pattern is invalid.
+    pub fn new(pattern: Pattern, capacity: usize, weight_fn: Box<dyn WeightFn>, seed: u64) -> Self {
+        Self {
+            sampler: GpsSampler::new(pattern, capacity, weight_fn, seed),
+            query: PatternQuery::new(pattern, MassKernel::build_default()),
+        }
+    }
+
+    /// Overrides the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.sampler = self.sampler.with_name(name);
+        self
+    }
+
+    /// Selects the estimator mass kernel (see [`MassKernel`]); estimates
+    /// are bit-identical either way.
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.sampler = self.sampler.with_mass_kernel(kernel);
+        self.query.mass_kernel = kernel;
+        self
+    }
+
+    /// The current threshold `z = r_{M+1}` — exposed for tests.
+    pub fn threshold(&self) -> f64 {
+        self.sampler.threshold()
+    }
+}
+
+impl SubgraphCounter for GpsCounter {
+    /// # Panics
+    ///
+    /// Panics on deletion events — GPS is insertion-only.
+    fn process(&mut self, ev: EdgeEvent) {
+        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+    }
+
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+    }
+
+    fn estimate(&self) -> f64 {
+        self.sampler.query_estimate(&self.query)
+    }
+
+    fn name(&self) -> &str {
+        self.sampler.name()
+    }
+
     fn pattern(&self) -> Pattern {
-        self.pattern
+        self.query.pattern()
     }
 
     fn stored_edges(&self) -> usize {
-        self.sample.len()
+        self.sampler.stored_edges()
     }
 }
 

@@ -17,6 +17,11 @@
 //! flight), so all item bookkeeping — the edge and live flag per item,
 //! and the item behind each live sampled edge — lives in dense arrays;
 //! no edge-keyed hashing anywhere on the event path.
+//!
+//! [`GpsASampler`] is the session-facing sampling layer (N pattern
+//! queries off one reservoir, see [`crate::session`]); [`GpsACounter`]
+//! is the legacy one-pattern façade, bit-identical to the pre-session
+//! implementation.
 
 use crate::algorithms::WeightMode;
 use crate::counter::SubgraphCounter;
@@ -24,6 +29,7 @@ use crate::estimator::{weighted_mass, MassKernel};
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
+use crate::session::{EdgeSampler, PatternQuery};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
@@ -34,10 +40,11 @@ use wsd_graph::{Edge, EdgeEvent, Op, Pattern};
 /// Recycled id per reservoir item (survives tagging; edges can recur).
 type ItemId = u32;
 
-/// The GPS-A subgraph counter.
-pub struct GpsACounter {
+/// The GPS-A sampling layer.
+pub struct GpsASampler {
     display_name: String,
-    pattern: Pattern,
+    /// The pattern the weight function observes.
+    weight_pattern: Pattern,
     capacity: usize,
     /// Keyed by item ID.
     heap: IndexedMinHeap,
@@ -54,9 +61,10 @@ pub struct GpsACounter {
     sample: WeightedSample,
     /// Threshold `z = r_{M+1}` (as in GPS).
     z: f64,
-    estimate: f64,
     t: u64,
-    scratch: EnumScratch,
+    /// Scratch for the weight pass when no query counts the weight
+    /// pattern.
+    own_scratch: EnumScratch,
     acc: StateAccumulator,
     /// Reusable state-vector buffer (allocation-free insertions).
     state_buf: StateVector,
@@ -64,29 +72,35 @@ pub struct GpsACounter {
     rng: SmallRng,
     /// Pre-drawn `u` variates for batched processing (reused scratch).
     u_buf: Vec<f64>,
-    /// Estimator mass-accumulation kernel (scalar or lane-batched).
+    /// Mass kernel for the sampler-owned weight pass.
     mass_kernel: MassKernel,
     /// Resolved state-observation mode of the weight function.
     weight_mode: WeightMode,
 }
 
-impl GpsACounter {
-    /// Creates a GPS-A counter.
+impl GpsASampler {
+    /// Creates a GPS-A sampler whose weight function observes
+    /// `weight_pattern`.
     ///
     /// # Panics
     ///
     /// Panics if `capacity < |H|` or the pattern is invalid.
-    pub fn new(pattern: Pattern, capacity: usize, weight_fn: Box<dyn WeightFn>, seed: u64) -> Self {
-        pattern.validate().expect("invalid pattern");
+    pub fn new(
+        weight_pattern: Pattern,
+        capacity: usize,
+        weight_fn: Box<dyn WeightFn>,
+        seed: u64,
+    ) -> Self {
+        weight_pattern.validate().expect("invalid pattern");
         assert!(
-            capacity >= pattern.num_edges(),
+            capacity >= weight_pattern.num_edges(),
             "reservoir capacity M = {capacity} must be ≥ |H| = {}",
-            pattern.num_edges()
+            weight_pattern.num_edges()
         );
         let weight_mode = WeightMode::resolve(weight_fn.as_ref(), false);
         Self {
             display_name: "GPS-A".to_string(),
-            pattern,
+            weight_pattern,
             capacity,
             heap: IndexedMinHeap::with_capacity(capacity),
             item_edge: Vec::with_capacity(capacity),
@@ -95,10 +109,9 @@ impl GpsACounter {
             edge_item: Vec::new(),
             sample: WeightedSample::with_capacity(capacity),
             z: 0.0,
-            estimate: 0.0,
             t: 0,
-            scratch: EnumScratch::default(),
-            acc: StateAccumulator::new(pattern.num_edges(), TemporalPooling::Max),
+            own_scratch: EnumScratch::default(),
+            acc: StateAccumulator::new(weight_pattern.num_edges(), TemporalPooling::Max),
             state_buf: StateVector::empty(),
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
@@ -114,8 +127,8 @@ impl GpsACounter {
         self
     }
 
-    /// Selects the estimator mass kernel (see [`MassKernel`]); estimates
-    /// are bit-identical either way.
+    /// Selects the mass kernel of the sampler-owned weight pass (see
+    /// [`MassKernel`]); estimates are bit-identical either way.
     pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
         self.mass_kernel = kernel;
         self
@@ -132,6 +145,12 @@ impl GpsACounter {
         self.sample.len()
     }
 
+    /// Item-ID bookkeeping size — exposed for the boundedness test.
+    #[cfg(test)]
+    pub(crate) fn item_table_len(&self) -> usize {
+        self.item_edge.len()
+    }
+
     fn evict(&mut self, item: ItemId) {
         // Live items must also leave the estimation view; ghosts already
         // have (a ghost's edge may have been re-inserted as a *different*
@@ -144,27 +163,22 @@ impl GpsACounter {
         self.free_items.push(item);
     }
 
-    fn insert(&mut self, e: Edge) {
-        let u = draw_u(&mut self.rng);
-        self.insert_with_u(e, u);
-    }
-
     /// Insertion with an externally drawn `u` (batched path).
-    fn insert_with_u(&mut self, e: Edge, u: f64) {
-        let w = crate::algorithms::observe_insertion(
+    fn insert_with_u(&mut self, e: Edge, u: f64, queries: &mut [PatternQuery]) {
+        let w = crate::algorithms::observe_queries(
             self.weight_mode,
             self.mass_kernel,
-            self.pattern,
+            self.weight_pattern,
             &mut self.sample,
             e,
             self.z,
-            &mut self.scratch,
+            &mut self.own_scratch,
             &mut self.acc,
             &mut self.state_buf,
             self.weight_fn.as_mut(),
             self.t,
-            &mut self.estimate,
             None,
+            queries,
         );
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
@@ -187,7 +201,7 @@ impl GpsACounter {
         self.record_sample(e, w, item);
     }
 
-    /// As [`GpsACounter::admit`], but the queue entry displaces the heap
+    /// As [`GpsASampler::admit`], but the queue entry displaces the heap
     /// minimum in a single sift (the eviction path — the freshly evicted
     /// item is usually the one recycled); returns the displaced
     /// `(item, rank)`.
@@ -223,7 +237,7 @@ impl GpsACounter {
         self.edge_item[eid] = item;
     }
 
-    fn delete(&mut self, e: Edge) {
+    fn delete(&mut self, e: Edge, queries: &mut [PatternQuery]) {
         // Estimator first (Eq. 7): destroyed instances against the live
         // sample, which never contains e's own probability (J \ e_x).
         // Tag e (remove from the estimation view) *before* enumerating,
@@ -234,24 +248,29 @@ impl GpsACounter {
             // The ghost stays in the heap, still occupying budget.
             self.item_live[item as usize] = false;
         }
-        let m = weighted_mass(
-            self.mass_kernel,
-            self.pattern,
-            &mut self.sample,
-            e,
-            self.z,
-            &mut self.scratch,
-            None,
-        );
-        self.estimate -= m.mass;
+        for q in queries.iter_mut() {
+            let m = weighted_mass(
+                q.mass_kernel,
+                q.pattern,
+                &mut self.sample,
+                e,
+                self.z,
+                &mut q.scratch,
+                None,
+            );
+            q.estimate -= m.mass;
+        }
     }
 }
 
-impl SubgraphCounter for GpsACounter {
-    fn process(&mut self, ev: EdgeEvent) {
+impl EdgeSampler for GpsASampler {
+    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
         match ev.op {
-            Op::Insert => self.insert(ev.edge),
-            Op::Delete => self.delete(ev.edge),
+            Op::Insert => {
+                let u = draw_u(&mut self.rng);
+                self.insert_with_u(ev.edge, u, queries);
+            }
+            Op::Delete => self.delete(ev.edge, queries),
         }
         self.t += 1;
     }
@@ -259,24 +278,105 @@ impl SubgraphCounter for GpsACounter {
     /// Batched path: as with WSD, exactly one `u` per insertion and none
     /// per deletion — all variates for the batch are pre-drawn in one
     /// RNG loop, preserving the sequential stream bit-for-bit.
-    fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        crate::algorithms::predrawn_batch!(self, batch);
+    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
+        crate::algorithms::predrawn_batch!(self, batch, queries);
     }
 
-    fn estimate(&self) -> f64 {
-        self.estimate
+    fn query_estimate(&self, query: &PatternQuery) -> f64 {
+        query.estimate
+    }
+
+    fn warm_start(&self, query: &mut PatternQuery) {
+        crate::session::warm_start_weighted(&self.sample, self.z, query);
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.heap.len()
     }
 
     fn name(&self) -> &str {
         &self.display_name
     }
 
+    fn assert_capacity_for(&self, pattern: Pattern) {
+        assert!(
+            self.capacity >= pattern.num_edges(),
+            "reservoir capacity M = {} must be ≥ |H| = {} of {}",
+            self.capacity,
+            pattern.num_edges(),
+            pattern.name()
+        );
+    }
+}
+
+/// The legacy one-pattern GPS-A counter: a [`GpsASampler`] plus a single
+/// [`PatternQuery`], bit-identical to the pre-session implementation.
+pub struct GpsACounter {
+    sampler: GpsASampler,
+    query: PatternQuery,
+}
+
+impl GpsACounter {
+    /// Creates a GPS-A counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < |H|` or the pattern is invalid.
+    pub fn new(pattern: Pattern, capacity: usize, weight_fn: Box<dyn WeightFn>, seed: u64) -> Self {
+        Self {
+            sampler: GpsASampler::new(pattern, capacity, weight_fn, seed),
+            query: PatternQuery::new(pattern, MassKernel::build_default()),
+        }
+    }
+
+    /// Overrides the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.sampler = self.sampler.with_name(name);
+        self
+    }
+
+    /// Selects the estimator mass kernel (see [`MassKernel`]); estimates
+    /// are bit-identical either way.
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.sampler = self.sampler.with_mass_kernel(kernel);
+        self.query.mass_kernel = kernel;
+        self
+    }
+
+    /// Number of tagged ghosts currently wasting reservoir budget.
+    pub fn tagged_edges(&self) -> usize {
+        self.sampler.tagged_edges()
+    }
+
+    /// Number of live (estimation-visible) sampled edges.
+    pub fn live_edges(&self) -> usize {
+        self.sampler.live_edges()
+    }
+}
+
+impl SubgraphCounter for GpsACounter {
+    fn process(&mut self, ev: EdgeEvent) {
+        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+    }
+
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+    }
+
+    fn estimate(&self) -> f64 {
+        self.sampler.query_estimate(&self.query)
+    }
+
+    fn name(&self) -> &str {
+        self.sampler.name()
+    }
+
     fn pattern(&self) -> Pattern {
-        self.pattern
+        self.query.pattern()
     }
 
     fn stored_edges(&self) -> usize {
-        self.heap.len()
+        self.sampler.stored_edges()
     }
 }
 
@@ -368,7 +468,7 @@ mod tests {
                 c.process(del(100 * round + 2 * i, 100 * round + 2 * i + 1));
             }
         }
-        assert!(c.item_edge.len() <= 8, "item ID space grew past capacity");
+        assert!(c.sampler.item_table_len() <= 8, "item ID space grew past capacity");
         assert!(c.stored_edges() <= 8);
     }
 

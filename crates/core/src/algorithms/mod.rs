@@ -8,12 +8,12 @@ pub mod triest;
 pub mod wrs;
 pub mod wsd;
 
-pub use gps::GpsCounter;
-pub use gps_a::GpsACounter;
-pub use thinkd::ThinkDCounter;
-pub use triest::TriestCounter;
-pub use wrs::WrsCounter;
-pub use wsd::WsdCounter;
+pub use gps::{GpsCounter, GpsSampler};
+pub use gps_a::{GpsACounter, GpsASampler};
+pub use thinkd::{ThinkDCounter, ThinkDSampler};
+pub use triest::{TriestCounter, TriestSampler};
+pub use wrs::{WrsCounter, WrsSampler};
+pub use wsd::{WsdCounter, WsdSampler};
 
 /// How a weighted sampler observes the state on an insertion — resolved
 /// once per configuration change (construction / observer install), so
@@ -106,17 +106,109 @@ pub(crate) fn observe_insertion(
     }
 }
 
+/// The insertion-path estimator + weight observation of a weighted
+/// sampler serving **N attached queries** from one shared sample.
+///
+/// The sampler's edge weight is observed on its fixed *weight pattern*:
+/// when an attached query counts that same pattern (`fused`), the
+/// weight observation rides the query's own mass pass — exactly the
+/// legacy single-counter path of [`observe_insertion`], which is what
+/// keeps one-query sessions bit-identical to the pre-session counters.
+/// Otherwise the weight runs on a sampler-owned pass (or, for weights
+/// that ignore the instance count entirely, on no pass at all — the
+/// trajectory is the same either way). Every remaining query then adds
+/// the mass of the instances the arriving edge completes against the
+/// shared pre-update sample.
+// inline(always): this wraps the first half of every weighted
+// sampler's per-insertion path; as with `observe_insertion` below, a
+// standalone call here measurably cost ~5% across the weighted grid
+// (BENCH_PR5 pre-fix rounds — the plain hint is not taken, the
+// function is large).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn observe_queries(
+    mode: WeightMode,
+    own_kernel: crate::estimator::MassKernel,
+    weight_pattern: wsd_graph::Pattern,
+    sample: &mut crate::sampled_graph::WeightedSample,
+    e: wsd_graph::Edge,
+    tau: f64,
+    own_scratch: &mut wsd_graph::patterns::EnumScratch,
+    acc: &mut crate::state::StateAccumulator,
+    state_buf: &mut crate::state::StateVector,
+    weight_fn: &mut dyn crate::weight::WeightFn,
+    now: u64,
+    observer: Option<&mut ObserverFn>,
+    queries: &mut [crate::session::PatternQuery],
+) -> f64 {
+    use crate::estimator::weighted_mass;
+    let fused = queries.iter().position(|q| q.pattern == weight_pattern);
+    let w = match fused {
+        Some(i) => {
+            let q = &mut queries[i];
+            observe_insertion(
+                mode,
+                q.mass_kernel,
+                q.pattern,
+                sample,
+                e,
+                tau,
+                &mut q.scratch,
+                acc,
+                state_buf,
+                weight_fn,
+                now,
+                &mut q.estimate,
+                observer,
+            )
+        }
+        // `Affine(0, b)` (the uniform weight) ignores the instance count:
+        // no query consumes the weight pattern, so no enumeration is
+        // needed at all — `w` is the same constant either way.
+        None => match mode {
+            WeightMode::Affine(0.0, b) => b,
+            _ => {
+                let mut discard = 0.0;
+                observe_insertion(
+                    mode,
+                    own_kernel,
+                    weight_pattern,
+                    sample,
+                    e,
+                    tau,
+                    own_scratch,
+                    acc,
+                    state_buf,
+                    weight_fn,
+                    now,
+                    &mut discard,
+                    observer,
+                )
+            }
+        },
+    };
+    for (j, q) in queries.iter_mut().enumerate() {
+        if Some(j) == fused {
+            continue;
+        }
+        let m = weighted_mass(q.mass_kernel, q.pattern, sample, e, tau, &mut q.scratch, None);
+        q.estimate += m.mass;
+    }
+    w
+}
+
 /// Shared batched-loop skeleton of the weighted samplers (WSD, GPS-A):
 /// exactly one `u ∈ (0, 1]` is consumed per insertion and none per
 /// deletion, so all variates for the batch are pre-drawn in one RNG
 /// loop — same stream as sequential processing, bit-for-bit — then the
-/// events are dispatched to the counter's `insert_with_u`/`delete`.
+/// events are dispatched to the sampler's `insert_with_u`/`delete`,
+/// each serving every query in `$queries`.
 ///
 /// A macro rather than a function because the fast path and the
 /// dispatch both need disjoint `&mut self` access (rng + scratch buffer
-/// + counter state), which closures cannot express.
+/// + sampler state), which closures cannot express.
 macro_rules! predrawn_batch {
-    ($self:ident, $batch:ident) => {{
+    ($self:ident, $batch:ident, $queries:ident) => {{
         let insertions = $batch.iter().filter(|ev| ev.is_insert()).count();
         $self.u_buf.clear();
         $self.u_buf.reserve(insertions);
@@ -129,9 +221,9 @@ macro_rules! predrawn_batch {
                 wsd_graph::Op::Insert => {
                     let u = $self.u_buf[next_u];
                     next_u += 1;
-                    $self.insert_with_u(ev.edge, u);
+                    $self.insert_with_u(ev.edge, u, $queries);
                 }
-                wsd_graph::Op::Delete => $self.delete(ev.edge),
+                wsd_graph::Op::Delete => $self.delete(ev.edge, $queries),
             }
             $self.t += 1;
         }
@@ -142,9 +234,9 @@ macro_rules! predrawn_batch {
 /// ThinkD): insertion runs inside the reservoir's RNG-free fill phase
 /// (`guaranteed_admissions() > 0`) execute `$fast` per edge in a tight
 /// loop; everything else falls through to the sequential `process`,
-/// keeping estimate and RNG stream bit-identical.
+/// keeping estimates and RNG stream bit-identical.
 macro_rules! rp_fill_batch {
-    ($self:ident, $batch:ident, |$e:ident| $fast:block) => {{
+    ($self:ident, $batch:ident, $queries:ident, |$e:ident| $fast:block) => {{
         let mut i = 0;
         while i < $batch.len() {
             if $batch[i].is_insert() {
@@ -159,7 +251,7 @@ macro_rules! rp_fill_batch {
                     continue;
                 }
             }
-            $self.process($batch[i]);
+            $self.process($batch[i], $queries);
             i += 1;
         }
     }};

@@ -2,7 +2,7 @@
 //! pairing, *update-before-discard* ("think before you discard").
 //!
 //! ThinkD processes every event in two steps: first it **updates the
-//! estimate** using the arriving/departing edge against the current
+//! estimates** using the arriving/departing edge against the current
 //! sample — regardless of whether that edge will be sampled — and only
 //! then updates the sample. Counting on arrival uses every edge once at
 //! full information, which removes the admission-probability factor from
@@ -15,45 +15,38 @@
 //! instance contributes the inverse of that. Deletions subtract
 //! symmetrically with `e` excluded from both sample and population
 //! counts (see DESIGN.md §3.3).
+//!
+//! The sampling decision never looks at any pattern, so one
+//! [`ThinkDSampler`] serves any number of attached queries off the same
+//! uniform sample (see [`crate::session`]); [`ThinkDCounter`] is the
+//! legacy one-pattern façade.
 
 use crate::counter::SubgraphCounter;
 use crate::reservoir::{Admission, RpReservoir};
+use crate::session::{EdgeSampler, PatternQuery};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use wsd_graph::patterns::EnumScratch;
 use wsd_graph::{EdgeEvent, Op, Pattern, VertexAdjacency};
 
-/// The ThinkD (accurate variant) subgraph counter.
-pub struct ThinkDCounter {
-    pattern: Pattern,
+/// The ThinkD (accurate variant) sampling layer.
+pub struct ThinkDSampler {
     reservoir: RpReservoir,
-    /// ID-free sampled adjacency (see `TriestCounter`: the count-only
+    /// ID-free sampled adjacency (see `TriestSampler`: the count-only
     /// path pays no arena bookkeeping).
     adj: VertexAdjacency,
-    estimate: f64,
-    scratch: EnumScratch,
     rng: SmallRng,
 }
 
-impl ThinkDCounter {
-    /// Creates a ThinkD counter with reservoir capacity `M`.
+impl ThinkDSampler {
+    /// Creates a ThinkD sampler with reservoir capacity `M`.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity < |H|` or the pattern is invalid.
-    pub fn new(pattern: Pattern, capacity: usize, seed: u64) -> Self {
-        pattern.validate().expect("invalid pattern");
-        assert!(
-            capacity >= pattern.num_edges(),
-            "reservoir capacity M = {capacity} must be ≥ |H| = {}",
-            pattern.num_edges()
-        );
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
         Self {
-            pattern,
             reservoir: RpReservoir::new(capacity),
             adj: VertexAdjacency::new(),
-            estimate: 0.0,
-            scratch: EnumScratch::default(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -70,17 +63,19 @@ impl ThinkDCounter {
     }
 }
 
-impl SubgraphCounter for ThinkDCounter {
-    fn process(&mut self, ev: EdgeEvent) {
-        let partners = self.pattern.num_edges() as u64 - 1;
+impl EdgeSampler for ThinkDSampler {
+    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
         match ev.op {
             Op::Insert => {
                 // Update first, against the pre-event sample/population.
                 let n = self.reservoir.population();
                 let s = self.reservoir.len() as u64;
-                let found = self.pattern.count_completed(&self.adj, ev.edge, &mut self.scratch);
-                if found > 0 {
-                    self.estimate += found as f64 * Self::inv_prob(partners, s, n);
+                for q in queries.iter_mut() {
+                    let partners = q.pattern.num_edges() as u64 - 1;
+                    let found = q.pattern.count_completed(&self.adj, ev.edge, &mut q.scratch);
+                    if found > 0 {
+                        q.estimate += found as f64 * Self::inv_prob(partners, s, n);
+                    }
                 }
                 match self.reservoir.offer(ev.edge, &mut self.rng) {
                     Admission::Added => {
@@ -102,9 +97,12 @@ impl SubgraphCounter for ThinkDCounter {
                 if in_sample {
                     self.adj.remove(ev.edge);
                 }
-                let found = self.pattern.count_completed(&self.adj, ev.edge, &mut self.scratch);
-                if found > 0 {
-                    self.estimate -= found as f64 * Self::inv_prob(partners, s, n);
+                for q in queries.iter_mut() {
+                    let partners = q.pattern.num_edges() as u64 - 1;
+                    let found = q.pattern.count_completed(&self.adj, ev.edge, &mut q.scratch);
+                    if found > 0 {
+                        q.estimate -= found as f64 * Self::inv_prob(partners, s, n);
+                    }
                 }
                 self.reservoir.delete(ev.edge);
             }
@@ -115,35 +113,118 @@ impl SubgraphCounter for ThinkDCounter {
     /// data-dependent, but fill-phase insertion runs (free slots, no
     /// uncompensated deletions) are RNG-free: the sample then holds the
     /// whole population (`s == n`, all inclusion probabilities exactly
-    /// 1), so the update-then-admit pair collapses to an exact count
-    /// increment plus an unconditional admission.
-    fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        crate::algorithms::rp_fill_batch!(self, batch, |e| {
+    /// 1), so the update-then-admit pair collapses to exact count
+    /// increments plus an unconditional admission.
+    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
+        crate::algorithms::rp_fill_batch!(self, batch, queries, |e| {
             // Fill phase ⇒ s == n ⇒ Π (n−i)/(s−i) = 1 exactly.
             debug_assert_eq!(self.reservoir.len() as u64, self.reservoir.population());
-            let found = self.pattern.count_completed(&self.adj, e, &mut self.scratch);
-            if found > 0 {
-                self.estimate += found as f64;
+            for q in queries.iter_mut() {
+                let found = q.pattern.count_completed(&self.adj, e, &mut q.scratch);
+                if found > 0 {
+                    q.estimate += found as f64;
+                }
             }
             self.reservoir.admit_unconditional(e);
             self.adj.insert(e);
         });
     }
 
-    fn estimate(&self) -> f64 {
-        self.estimate
+    fn query_estimate(&self, query: &PatternQuery) -> f64 {
+        query.estimate
+    }
+
+    /// Warm start: every instance fully inside the uniform sample is
+    /// there with probability `κ = Π_{i<|H|} (s−i)/(n−i)`, so the count
+    /// of in-sample instances rescaled by `κ⁻¹` seeds the estimate.
+    fn warm_start(&self, query: &mut PatternQuery) {
+        query.tau = 0;
+        let found = wsd_graph::exact::count_static(query.pattern, &self.adj);
+        query.estimate = if found == 0 {
+            0.0
+        } else {
+            let m = query.pattern.num_edges() as u64;
+            let s = self.reservoir.len() as u64;
+            let n = self.reservoir.population();
+            found as f64 * Self::inv_prob(m, s, n)
+        };
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.reservoir.len()
     }
 
     fn name(&self) -> &str {
         "ThinkD"
     }
 
+    fn assert_capacity_for(&self, pattern: Pattern) {
+        assert!(
+            self.reservoir.capacity() >= pattern.num_edges(),
+            "reservoir capacity M = {} must be ≥ |H| = {} of {}",
+            self.reservoir.capacity(),
+            pattern.num_edges(),
+            pattern.name()
+        );
+    }
+}
+
+/// The legacy one-pattern ThinkD counter: a [`ThinkDSampler`] plus a
+/// single [`PatternQuery`], bit-identical to the pre-session
+/// implementation.
+pub struct ThinkDCounter {
+    sampler: ThinkDSampler,
+    query: PatternQuery,
+}
+
+impl ThinkDCounter {
+    /// Creates a ThinkD counter with reservoir capacity `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < |H|` or the pattern is invalid.
+    pub fn new(pattern: Pattern, capacity: usize, seed: u64) -> Self {
+        pattern.validate().expect("invalid pattern");
+        assert!(
+            capacity >= pattern.num_edges(),
+            "reservoir capacity M = {capacity} must be ≥ |H| = {}",
+            pattern.num_edges()
+        );
+        Self {
+            sampler: ThinkDSampler::new(capacity, seed),
+            query: PatternQuery::new(pattern, crate::estimator::MassKernel::build_default()),
+        }
+    }
+
+    #[cfg(test)]
+    fn inv_prob(partners: u64, s: u64, n: u64) -> f64 {
+        ThinkDSampler::inv_prob(partners, s, n)
+    }
+}
+
+impl SubgraphCounter for ThinkDCounter {
+    fn process(&mut self, ev: EdgeEvent) {
+        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+    }
+
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+    }
+
+    fn estimate(&self) -> f64 {
+        self.sampler.query_estimate(&self.query)
+    }
+
+    fn name(&self) -> &str {
+        self.sampler.name()
+    }
+
     fn pattern(&self) -> Pattern {
-        self.pattern
+        self.query.pattern()
     }
 
     fn stored_edges(&self) -> usize {
-        self.reservoir.len()
+        self.sampler.stored_edges()
     }
 }
 

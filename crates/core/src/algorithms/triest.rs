@@ -2,12 +2,12 @@
 //! sampling with random pairing, *update-on-admission*.
 //!
 //! Triest-FD maintains a uniform sample `S` of the live edges via random
-//! pairing and a counter `τ` equal to the number of pattern instances
-//! whose edges are **all** inside `S`: `τ` is updated incrementally
-//! whenever an edge enters or leaves the sample ("the estimation is only
-//! updated when an edge is sampled", as the WSD paper puts it). A query
-//! rescales by the probability that a specific instance is fully
-//! sampled,
+//! pairing and, per query, a counter `τ` equal to the number of pattern
+//! instances whose edges are **all** inside `S`: `τ` is updated
+//! incrementally whenever an edge enters or leaves the sample ("the
+//! estimation is only updated when an edge is sampled", as the WSD paper
+//! puts it). A query rescales by the probability that a specific
+//! instance is fully sampled,
 //!
 //! ```text
 //! κ(t) = Π_{i=0}^{|H|−1} (s − i) / (n − i),
@@ -16,26 +16,147 @@
 //! where `s = |S|` and `n = |E(t)|` — valid because RP keeps `S` uniform
 //! over the live population. See DESIGN.md §3.3 for the (documented)
 //! bookkeeping differences from the original TKDD formulation.
+//!
+//! Because the sampling decision never looks at any pattern, one
+//! [`TriestSampler`] serves any number of attached queries off the same
+//! uniform sample (see [`crate::session`]); [`TriestCounter`] is the
+//! legacy one-pattern façade.
 
 use crate::counter::SubgraphCounter;
 use crate::reservoir::{Admission, RpReservoir};
+use crate::session::{EdgeSampler, PatternQuery};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use wsd_graph::patterns::EnumScratch;
 use wsd_graph::{Edge, EdgeEvent, Op, Pattern, VertexAdjacency};
 
-/// The Triest-FD subgraph counter.
-pub struct TriestCounter {
-    pattern: Pattern,
+/// The Triest-FD sampling layer: a random-pairing uniform reservoir
+/// plus the sampled adjacency, maintaining each attached query's
+/// in-sample instance counter τ.
+pub struct TriestSampler {
     reservoir: RpReservoir,
     /// Adjacency over the sampled edges — the ID-free flavour: the
-    /// count-only estimator never consumes arena IDs, so carrying the
+    /// count-only estimators never consume arena IDs, so carrying the
     /// arena (the PR-2 throughput give-back) is pure overhead here.
     adj: VertexAdjacency,
-    /// Instances entirely inside the sample (incrementally maintained).
-    tau: i64,
-    scratch: EnumScratch,
     rng: SmallRng,
+}
+
+impl TriestSampler {
+    /// Creates a Triest-FD sampler with reservoir capacity `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Self {
+            reservoir: RpReservoir::new(capacity),
+            adj: VertexAdjacency::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The sampled adjacency — exposed for white-box tests.
+    pub fn sampled_graph(&self) -> &VertexAdjacency {
+        &self.adj
+    }
+
+    fn add_to_sample(&mut self, e: Edge, queries: &mut [PatternQuery]) {
+        for q in queries.iter_mut() {
+            q.tau += q.pattern.count_completed(&self.adj, e, &mut q.scratch) as i64;
+        }
+        self.adj.insert(e);
+    }
+
+    fn remove_from_sample(&mut self, e: Edge, queries: &mut [PatternQuery]) {
+        self.adj.remove(e);
+        for q in queries.iter_mut() {
+            q.tau -= q.pattern.count_completed(&self.adj, e, &mut q.scratch) as i64;
+        }
+    }
+}
+
+impl EdgeSampler for TriestSampler {
+    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
+        match ev.op {
+            Op::Insert => match self.reservoir.offer(ev.edge, &mut self.rng) {
+                Admission::Added => self.add_to_sample(ev.edge, queries),
+                Admission::Replaced(victim) => {
+                    self.remove_from_sample(victim, queries);
+                    self.add_to_sample(ev.edge, queries);
+                }
+                Admission::Skipped => {}
+            },
+            Op::Delete => {
+                if self.reservoir.delete(ev.edge) {
+                    self.remove_from_sample(ev.edge, queries);
+                }
+            }
+        }
+    }
+
+    /// Batched path. Random pairing draws a data-dependent number of
+    /// variates per offer, so draws cannot be hoisted wholesale — but
+    /// the *fill phase* (free slots, no uncompensated deletions) admits
+    /// every offer without touching the RNG. Insertion runs inside that
+    /// phase bypass the admission branch cascade entirely; everything
+    /// else falls through to the per-event logic, keeping the estimates
+    /// and RNG stream bit-identical to sequential processing.
+    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
+        crate::algorithms::rp_fill_batch!(self, batch, queries, |e| {
+            self.reservoir.admit_unconditional(e);
+            self.add_to_sample(e, queries);
+        });
+    }
+
+    fn query_estimate(&self, query: &PatternQuery) -> f64 {
+        let m = query.pattern.num_edges() as u64;
+        let s = self.reservoir.len() as u64;
+        let n = self.reservoir.population();
+        if s < m {
+            return 0.0;
+        }
+        // κ = Π (s-i)/(n-i); s ≤ n always, so κ ∈ (0, 1].
+        let mut kappa = 1.0;
+        for i in 0..m {
+            kappa *= (s - i) as f64 / (n - i) as f64;
+        }
+        query.tau as f64 / kappa
+    }
+
+    /// τ is *exactly* the number of pattern instances inside the current
+    /// sample, so a warm start recounts them statically — an attached
+    /// query is indistinguishable from one that tracked the sample from
+    /// event 0.
+    fn warm_start(&self, query: &mut PatternQuery) {
+        query.estimate = 0.0;
+        query.tau = wsd_graph::exact::count_static(query.pattern, &self.adj) as i64;
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.reservoir.len()
+    }
+
+    fn name(&self) -> &str {
+        "Triest"
+    }
+
+    fn assert_capacity_for(&self, pattern: Pattern) {
+        assert!(
+            self.reservoir.capacity() >= pattern.num_edges(),
+            "reservoir capacity M = {} must be ≥ |H| = {} of {}",
+            self.reservoir.capacity(),
+            pattern.num_edges(),
+            pattern.name()
+        );
+    }
+}
+
+/// The legacy one-pattern Triest-FD counter: a [`TriestSampler`] plus a
+/// single [`PatternQuery`], bit-identical to the pre-session
+/// implementation.
+pub struct TriestCounter {
+    sampler: TriestSampler,
+    query: PatternQuery,
 }
 
 impl TriestCounter {
@@ -52,89 +173,45 @@ impl TriestCounter {
             pattern.num_edges()
         );
         Self {
-            pattern,
-            reservoir: RpReservoir::new(capacity),
-            adj: VertexAdjacency::new(),
-            tau: 0,
-            scratch: EnumScratch::default(),
-            rng: SmallRng::seed_from_u64(seed),
+            sampler: TriestSampler::new(capacity, seed),
+            query: PatternQuery::new(pattern, crate::estimator::MassKernel::build_default()),
         }
     }
 
     /// The raw in-sample instance counter `τ` — exposed for tests.
     pub fn tau(&self) -> i64 {
-        self.tau
+        self.query.tau
     }
 
-    fn add_to_sample(&mut self, e: Edge) {
-        self.tau += self.pattern.count_completed(&self.adj, e, &mut self.scratch) as i64;
-        self.adj.insert(e);
-    }
-
-    fn remove_from_sample(&mut self, e: Edge) {
-        self.adj.remove(e);
-        self.tau -= self.pattern.count_completed(&self.adj, e, &mut self.scratch) as i64;
+    /// The sampled adjacency — exposed for white-box tests.
+    pub fn sampled_graph(&self) -> &VertexAdjacency {
+        self.sampler.sampled_graph()
     }
 }
 
 impl SubgraphCounter for TriestCounter {
     fn process(&mut self, ev: EdgeEvent) {
-        match ev.op {
-            Op::Insert => match self.reservoir.offer(ev.edge, &mut self.rng) {
-                Admission::Added => self.add_to_sample(ev.edge),
-                Admission::Replaced(victim) => {
-                    self.remove_from_sample(victim);
-                    self.add_to_sample(ev.edge);
-                }
-                Admission::Skipped => {}
-            },
-            Op::Delete => {
-                if self.reservoir.delete(ev.edge) {
-                    self.remove_from_sample(ev.edge);
-                }
-            }
-        }
+        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
     }
 
-    /// Batched path. Random pairing draws a data-dependent number of
-    /// variates per offer, so draws cannot be hoisted wholesale — but
-    /// the *fill phase* (free slots, no uncompensated deletions) admits
-    /// every offer without touching the RNG. Insertion runs inside that
-    /// phase bypass the admission branch cascade entirely; everything
-    /// else falls through to the per-event logic, keeping the estimate
-    /// and RNG stream bit-identical to sequential processing.
     fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        crate::algorithms::rp_fill_batch!(self, batch, |e| {
-            self.reservoir.admit_unconditional(e);
-            self.add_to_sample(e);
-        });
+        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
     }
 
     fn estimate(&self) -> f64 {
-        let m = self.pattern.num_edges() as u64;
-        let s = self.reservoir.len() as u64;
-        let n = self.reservoir.population();
-        if s < m {
-            return 0.0;
-        }
-        // κ = Π (s-i)/(n-i); s ≤ n always, so κ ∈ (0, 1].
-        let mut kappa = 1.0;
-        for i in 0..m {
-            kappa *= (s - i) as f64 / (n - i) as f64;
-        }
-        self.tau as f64 / kappa
+        self.sampler.query_estimate(&self.query)
     }
 
     fn name(&self) -> &str {
-        "Triest"
+        self.sampler.name()
     }
 
     fn pattern(&self) -> Pattern {
-        self.pattern
+        self.query.pattern()
     }
 
     fn stored_edges(&self) -> usize {
-        self.reservoir.len()
+        self.sampler.stored_edges()
     }
 }
 
@@ -181,7 +258,7 @@ mod tests {
             }
         }
         // τ must equal the exact triangle count of the sampled graph.
-        let recount = wsd_graph::exact::count_static(Pattern::Triangle, &c.adj) as i64;
+        let recount = wsd_graph::exact::count_static(Pattern::Triangle, c.sampled_graph()) as i64;
         assert_eq!(c.tau(), recount);
         assert!(c.estimate() > 0.0);
     }
@@ -196,7 +273,7 @@ mod tests {
         }
         // Delete edges until one is certainly unsampled (capacity 3 of 15).
         let tau_validity = |c: &TriestCounter| {
-            wsd_graph::exact::count_static(Pattern::Triangle, &c.adj) as i64 == c.tau()
+            wsd_graph::exact::count_static(Pattern::Triangle, c.sampled_graph()) as i64 == c.tau()
         };
         assert!(tau_validity(&c));
         for a in 0..6u64 {

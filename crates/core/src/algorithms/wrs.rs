@@ -38,22 +38,26 @@
 //! stamp-compare-and-count per lane, then the per-instance inverse
 //! probability products accumulate in emission order, bit-identical to
 //! the scalar loop.
+//!
+//! The room/reservoir machinery never looks at any pattern, so one
+//! [`WrsSampler`] serves any number of attached queries off the same
+//! split sample (see [`crate::session`]); [`WrsCounter`] is the legacy
+//! one-pattern façade.
 
 use crate::counter::SubgraphCounter;
 use crate::estimator::MassKernel;
 use crate::reservoir::{Admission, RpReservoir};
+use crate::session::{EdgeSampler, PatternQuery};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
-use wsd_graph::patterns::EnumScratch;
 use wsd_graph::{Adjacency, Edge, EdgeEvent, Op, Pattern, BLOCK_LANES};
 
 /// Default waiting-room fraction of the budget (the WRS paper's default).
 pub const DEFAULT_WAITING_ROOM_FRACTION: f64 = 0.1;
 
-/// The WRS subgraph counter.
-pub struct WrsCounter {
-    pattern: Pattern,
+/// The WRS sampling layer: waiting room + random-pairing reservoir.
+pub struct WrsSampler {
     /// FIFO order of waiting-room edges with their admission sequence at
     /// entry; may contain ghosts of edges deleted (or spilled through an
     /// older entry) while waiting, lazily purged on eviction.
@@ -76,29 +80,23 @@ pub struct WrsCounter {
     reservoir: RpReservoir,
     /// Adjacency over waiting room ∪ reservoir.
     adj: Adjacency,
-    estimate: f64,
-    scratch: EnumScratch,
     rng: SmallRng,
-    /// Estimator accumulation kernel (scalar or lane-batched).
-    mass_kernel: MassKernel,
 }
 
-impl WrsCounter {
-    /// Creates a WRS counter with total budget `M` and the default
+impl WrsSampler {
+    /// Creates a WRS sampler with total budget `M` and the default
     /// waiting-room fraction.
-    pub fn new(pattern: Pattern, capacity: usize, seed: u64) -> Self {
-        Self::with_fraction(pattern, capacity, DEFAULT_WAITING_ROOM_FRACTION, seed)
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Self::with_fraction(capacity, DEFAULT_WAITING_ROOM_FRACTION, seed)
     }
 
-    /// Creates a WRS counter with an explicit waiting-room fraction in
+    /// Creates a WRS sampler with an explicit waiting-room fraction in
     /// `(0, 1)`.
     ///
     /// # Panics
     ///
-    /// Panics if the fraction leaves either side of the budget empty, if
-    /// `capacity < |H| + 1`, or the pattern is invalid.
-    pub fn with_fraction(pattern: Pattern, capacity: usize, fraction: f64, seed: u64) -> Self {
-        pattern.validate().expect("invalid pattern");
+    /// Panics if the fraction leaves either side of the budget empty.
+    pub fn with_fraction(capacity: usize, fraction: f64, seed: u64) -> Self {
         assert!(
             (0.0..1.0).contains(&fraction) && fraction > 0.0,
             "waiting-room fraction must be in (0,1), got {fraction}"
@@ -109,13 +107,7 @@ impl WrsCounter {
             "budget M = {capacity} too small for waiting room of {room_capacity}"
         );
         let reservoir_capacity = capacity - room_capacity;
-        assert!(
-            reservoir_capacity >= pattern.num_edges(),
-            "reservoir part ({reservoir_capacity}) must be ≥ |H| = {}",
-            pattern.num_edges()
-        );
         Self {
-            pattern,
             room_fifo: VecDeque::with_capacity(room_capacity + 1),
             room_seq: Vec::with_capacity(capacity + 1),
             room_len: 0,
@@ -124,23 +116,23 @@ impl WrsCounter {
             room_capacity,
             reservoir: RpReservoir::new(reservoir_capacity),
             adj: Adjacency::with_capacity(2 * capacity),
-            estimate: 0.0,
-            scratch: EnumScratch::default(),
             rng: SmallRng::seed_from_u64(seed),
-            mass_kernel: MassKernel::build_default(),
         }
-    }
-
-    /// Selects the estimator accumulation kernel (see [`MassKernel`]);
-    /// estimates are bit-identical either way.
-    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
-        self.mass_kernel = kernel;
-        self
     }
 
     /// Current waiting-room occupancy — exposed for tests.
     pub fn waiting_room_len(&self) -> usize {
         self.room_len
+    }
+
+    /// The waiting-room capacity — exposed for tests.
+    pub fn room_capacity(&self) -> usize {
+        self.room_capacity
+    }
+
+    /// The reservoir-part capacity — exposed for tests.
+    pub fn reservoir_capacity(&self) -> usize {
+        self.reservoir.capacity()
     }
 
     /// Whether a live edge is currently in the waiting room (stamp
@@ -180,24 +172,25 @@ impl WrsCounter {
     }
 
     /// Adds the estimator mass of instances completed by `e` against the
-    /// current sample. `sign` is +1 for insertions, −1 for deletions;
-    /// `s`/`n_r` are the reservoir sample/population sizes to use.
-    fn update_estimate(&mut self, e: Edge, sign: f64, s: u64, n_r: u64) {
+    /// current sample to `query`. `sign` is +1 for insertions, −1 for
+    /// deletions; `s`/`n_r` are the reservoir sample/population sizes to
+    /// use.
+    fn update_query(&self, q: &mut PatternQuery, e: Edge, sign: f64, s: u64, n_r: u64) {
         let room_seq = &self.room_seq;
         let horizon = self.spill_horizon;
         let mut total = 0.0;
         // Blocks only pay off with ≥ 2 partners per instance: a wedge
         // instance's whole work is one stamp compare, which the lane
         // fill/flush machinery would outweigh (measured ~15–25% slower).
-        let blockable = self.pattern.block_width().is_some_and(|w| w >= 2);
-        if self.mass_kernel == MassKernel::Lanes && blockable {
+        let blockable = q.pattern.block_width().is_some_and(|w| w >= 2);
+        if q.mass_kernel == MassKernel::Lanes && blockable {
             // Lane-batched: count reservoir partners of four instances
             // at a time (stamp compare-and-add over contiguous block
             // rows — vectorizable), then accumulate the per-instance
             // inverse products in emission order; a partial tail block
             // runs per-lane so sparse events pay nothing for empty
             // lanes.
-            self.pattern.for_each_completed_blocks(&self.adj, e, &mut self.scratch, |block| {
+            q.pattern.for_each_completed_blocks(&self.adj, e, &mut q.scratch, |block| {
                 if block.len() == BLOCK_LANES {
                     let mut in_res = [0u64; BLOCK_LANES];
                     for j in 0..block.width() {
@@ -223,7 +216,7 @@ impl WrsCounter {
                 }
             });
         } else {
-            self.pattern.for_each_completed(&self.adj, e, &mut self.scratch, |partners| {
+            q.pattern.for_each_completed(&self.adj, e, &mut q.scratch, |partners| {
                 let mut in_reservoir = 0u64;
                 for &p in partners {
                     if room_seq[p as usize] <= horizon {
@@ -234,14 +227,16 @@ impl WrsCounter {
                 total += Self::instance_inv(in_reservoir, s, n_r);
             });
         }
-        self.estimate += sign * total;
+        q.estimate += sign * total;
     }
 
-    fn insert(&mut self, e: Edge) {
+    fn insert(&mut self, e: Edge, queries: &mut [PatternQuery]) {
         // Estimator first (update-on-arrival).
         let s = self.reservoir.len() as u64;
         let n_r = self.reservoir.population();
-        self.update_estimate(e, 1.0, s, n_r);
+        for q in queries.iter_mut() {
+            self.update_query(q, e, 1.0, s, n_r);
+        }
         // New edge always enters the waiting room.
         self.room_admit(e);
         if self.room_len > self.room_capacity {
@@ -291,7 +286,7 @@ impl WrsCounter {
         }
     }
 
-    fn delete(&mut self, e: Edge) {
+    fn delete(&mut self, e: Edge, queries: &mut [PatternQuery]) {
         // Classify by stamp: a live edge is in the room or the
         // reservoir; everything else was never sampled (or already
         // dropped). The freed ID needs no stamp reset — its next tenant
@@ -311,7 +306,9 @@ impl WrsCounter {
         } else {
             self.reservoir.population() - 1
         };
-        self.update_estimate(e, -1.0, s, n_r);
+        for q in queries.iter_mut() {
+            self.update_query(q, e, -1.0, s, n_r);
+        }
         // Sample bookkeeping.
         if in_room {
             self.room_len -= 1;
@@ -324,11 +321,11 @@ impl WrsCounter {
     }
 }
 
-impl SubgraphCounter for WrsCounter {
-    fn process(&mut self, ev: EdgeEvent) {
+impl EdgeSampler for WrsSampler {
+    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
         match ev.op {
-            Op::Insert => self.insert(ev.edge),
-            Op::Delete => self.delete(ev.edge),
+            Op::Insert => self.insert(ev.edge, queries),
+            Op::Delete => self.delete(ev.edge, queries),
         }
     }
 
@@ -337,7 +334,7 @@ impl SubgraphCounter for WrsCounter {
     /// processed in a tight loop with the overflow branch hoisted out;
     /// the reservoir size/population reads are loop-invariant across
     /// such a run (the reservoir is untouched) and are hoisted too.
-    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
         let mut i = 0;
         while i < batch.len() {
             if batch[i].is_insert() {
@@ -347,7 +344,9 @@ impl SubgraphCounter for WrsCounter {
                     let n_r = self.reservoir.population();
                     while free > 0 && i < batch.len() && batch[i].is_insert() {
                         let e = batch[i].edge;
-                        self.update_estimate(e, 1.0, s, n_r);
+                        for q in queries.iter_mut() {
+                            self.update_query(q, e, 1.0, s, n_r);
+                        }
                         self.room_admit(e);
                         free -= 1;
                         i += 1;
@@ -355,25 +354,127 @@ impl SubgraphCounter for WrsCounter {
                     continue;
                 }
             }
-            self.process(batch[i]);
+            self.process(batch[i], queries);
             i += 1;
         }
     }
 
-    fn estimate(&self) -> f64 {
-        self.estimate
+    fn query_estimate(&self, query: &PatternQuery) -> f64 {
+        query.estimate
+    }
+
+    /// Warm start: every instance fully inside the sample is weighted by
+    /// the inverse inclusion probability of its reservoir members (room
+    /// members sit in the sample with probability 1).
+    fn warm_start(&self, query: &mut PatternQuery) {
+        query.estimate = 0.0;
+        query.tau = 0;
+        let s = self.reservoir.len() as u64;
+        let n_r = self.reservoir.population();
+        let edges: Vec<(Edge, f64)> = self
+            .adj
+            .edges()
+            .map(|e| {
+                let id = self.adj.edge_id(e).expect("iterated edge is live");
+                (e, if self.in_room_id(id) { 0.0 } else { 1.0 })
+            })
+            .collect();
+        let pattern = query.pattern;
+        let mut total = 0.0;
+        crate::session::for_each_sample_instance(pattern, &edges, &mut query.scratch, |payloads| {
+            let in_reservoir = payloads.iter().sum::<f64>() as u64;
+            total += Self::instance_inv(in_reservoir, s, n_r);
+        });
+        query.estimate = total;
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.room_len + self.reservoir.len()
     }
 
     fn name(&self) -> &str {
         "WRS"
     }
 
+    fn assert_capacity_for(&self, pattern: Pattern) {
+        assert!(
+            self.reservoir.capacity() >= pattern.num_edges(),
+            "WRS reservoir part ({}) must be ≥ |H| = {} of {}",
+            self.reservoir.capacity(),
+            pattern.num_edges(),
+            pattern.name()
+        );
+    }
+}
+
+/// The legacy one-pattern WRS counter: a [`WrsSampler`] plus a single
+/// [`PatternQuery`], bit-identical to the pre-session implementation.
+pub struct WrsCounter {
+    sampler: WrsSampler,
+    query: PatternQuery,
+}
+
+impl WrsCounter {
+    /// Creates a WRS counter with total budget `M` and the default
+    /// waiting-room fraction.
+    pub fn new(pattern: Pattern, capacity: usize, seed: u64) -> Self {
+        Self::with_fraction(pattern, capacity, DEFAULT_WAITING_ROOM_FRACTION, seed)
+    }
+
+    /// Creates a WRS counter with an explicit waiting-room fraction in
+    /// `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction leaves either side of the budget empty, if
+    /// the reservoir part is smaller than `|H|`, or the pattern is
+    /// invalid.
+    pub fn with_fraction(pattern: Pattern, capacity: usize, fraction: f64, seed: u64) -> Self {
+        pattern.validate().expect("invalid pattern");
+        let sampler = WrsSampler::with_fraction(capacity, fraction, seed);
+        sampler.assert_capacity_for(pattern);
+        Self {
+            sampler,
+            query: PatternQuery::new(pattern, crate::estimator::MassKernel::build_default()),
+        }
+    }
+
+    /// Selects the estimator accumulation kernel (see [`MassKernel`]);
+    /// estimates are bit-identical either way.
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.query.mass_kernel = kernel;
+        self
+    }
+
+    /// Current waiting-room occupancy — exposed for tests.
+    pub fn waiting_room_len(&self) -> usize {
+        self.sampler.waiting_room_len()
+    }
+}
+
+impl SubgraphCounter for WrsCounter {
+    fn process(&mut self, ev: EdgeEvent) {
+        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+    }
+
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+    }
+
+    fn estimate(&self) -> f64 {
+        self.sampler.query_estimate(&self.query)
+    }
+
+    fn name(&self) -> &str {
+        self.sampler.name()
+    }
+
     fn pattern(&self) -> Pattern {
-        self.pattern
+        self.query.pattern()
     }
 
     fn stored_edges(&self) -> usize {
-        self.room_len + self.reservoir.len()
+        self.sampler.stored_edges()
     }
 }
 
@@ -391,25 +492,26 @@ mod tests {
 
     /// True if a live edge is classified as a waiting-room member.
     fn in_room(c: &WrsCounter, e: Edge) -> bool {
-        c.adj.edge_id(e).is_some_and(|id| c.in_room_id(id))
+        c.sampler.adj.edge_id(e).is_some_and(|id| c.sampler.in_room_id(id))
     }
 
     /// Checks the stamp/horizon classification invariants: every live
     /// edge is in the room XOR in the reservoir sample, and the room
     /// counter matches the classification.
     fn assert_flags_coherent(c: &WrsCounter) {
+        let s = &c.sampler;
         let mut roomed = 0;
-        for e in c.adj.edges().collect::<Vec<_>>() {
+        for e in s.adj.edges().collect::<Vec<_>>() {
             let in_room = in_room(c, e);
             assert_ne!(
                 in_room,
-                c.reservoir.contains(e),
+                s.reservoir.contains(e),
                 "{e:?} must be in exactly one of room / reservoir"
             );
             roomed += usize::from(in_room);
         }
-        assert_eq!(roomed, c.room_len, "room counter out of sync with stamps");
-        assert_eq!(c.adj.num_edges(), c.room_len + c.reservoir.len());
+        assert_eq!(roomed, s.room_len, "room counter out of sync with stamps");
+        assert_eq!(s.adj.num_edges(), s.room_len + s.reservoir.len());
     }
 
     #[test]
@@ -448,7 +550,7 @@ mod tests {
         }
         c.process(del(4, 5));
         assert_eq!(c.waiting_room_len(), 4);
-        assert!(!c.adj.contains(Edge::new(4, 5)));
+        assert!(!c.sampler.adj.contains(Edge::new(4, 5)));
         // FIFO ghost purge: keep inserting past room capacity.
         for i in 10..30u64 {
             c.process(ins(i, i + 1));
@@ -490,15 +592,15 @@ mod tests {
         assert_eq!(c.waiting_room_len(), 2);
         assert!(in_room(&c, Edge::new(3, 4)), "A must stay in the room");
         assert!(!in_room(&c, Edge::new(1, 2)), "X must have spilled");
-        assert!(c.adj.contains(Edge::new(1, 2)), "spilled X lives in the reservoir");
+        assert!(c.sampler.adj.contains(Edge::new(1, 2)), "spilled X lives in the reservoir");
         assert_flags_coherent(&c);
     }
 
     #[test]
     fn budget_split_respected() {
         let c = WrsCounter::with_fraction(Pattern::Triangle, 40, 0.1, 4);
-        assert_eq!(c.room_capacity, 4);
-        assert_eq!(c.reservoir.capacity(), 36);
+        assert_eq!(c.sampler.room_capacity(), 4);
+        assert_eq!(c.sampler.reservoir_capacity(), 36);
         assert_eq!(c.name(), "WRS");
     }
 

@@ -29,6 +29,19 @@
 //! subtracts the corresponding mass of destroyed instances on deletions;
 //! Theorem 4 proves unbiasedness (verified empirically in this crate's
 //! statistical tests).
+//!
+//! # Sampler / query split
+//!
+//! [`WsdSampler`] is the sampling layer — reservoir, thresholds, RNG,
+//! weight observation — serving any number of attached
+//! [`PatternQuery`]s from the one shared sample (see
+//! [`crate::session`]). Because Lemma 1's inclusion-probability
+//! identity holds per *edge*, not per pattern, every query's estimator
+//! is unbiased off the same reservoir; the weight function (which reads
+//! the completed-instance count of the sampler's fixed *weight
+//! pattern*) only shapes the variance. [`WsdCounter`] is the legacy
+//! one-pattern façade: a sampler plus a single query, bit-identical to
+//! the pre-session implementation.
 
 use crate::algorithms::WeightMode;
 use crate::counter::SubgraphCounter;
@@ -36,6 +49,7 @@ use crate::estimator::{weighted_mass, MassKernel};
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
+use crate::session::{EdgeSampler, PatternQuery};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
@@ -46,19 +60,24 @@ use wsd_graph::{Edge, EdgeEvent, Op, Pattern};
 /// Callback invoked per insertion with `(edge, state, chosen weight)`.
 pub type InsertionObserver = Box<dyn FnMut(Edge, &StateVector, f64) + Send>;
 
-/// The WSD subgraph counter (sampling framework + estimator).
-pub struct WsdCounter {
+/// The WSD sampling layer: Algorithm 1 plus the per-insertion weight
+/// observation, serving N pattern queries (Algorithm 2 each) from one
+/// reservoir.
+pub struct WsdSampler {
     display_name: String,
-    pattern: Pattern,
+    /// The pattern the weight function observes (`|H(e)|` and the
+    /// temporal state are computed for this pattern).
+    weight_pattern: Pattern,
     capacity: usize,
     /// Keyed by the sample's arena edge IDs.
     heap: IndexedMinHeap,
     sample: WeightedSample,
     tau_p: f64,
     tau_q: f64,
-    estimate: f64,
     t: u64,
-    scratch: EnumScratch,
+    /// Enumeration scratch for the weight observation when no attached
+    /// query counts the weight pattern.
+    own_scratch: EnumScratch,
     acc: StateAccumulator,
     /// Reusable state-vector buffer (one state is observed per
     /// insertion; reuse keeps the hot path allocation-free).
@@ -67,7 +86,8 @@ pub struct WsdCounter {
     rng: SmallRng,
     /// Pre-drawn `u` variates for batched processing (reused scratch).
     u_buf: Vec<f64>,
-    /// Estimator mass-accumulation kernel (scalar or lane-batched).
+    /// Mass kernel for the sampler-owned weight pass (attached queries
+    /// carry their own).
     mass_kernel: MassKernel,
     /// Resolved state-observation mode (kept in sync with the weight
     /// function and observer).
@@ -79,40 +99,41 @@ pub struct WsdCounter {
     observer: Option<InsertionObserver>,
 }
 
-impl WsdCounter {
-    /// Creates a WSD counter.
+impl WsdSampler {
+    /// Creates a WSD sampler whose weight function observes
+    /// `weight_pattern`.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity < |H|` (the unbiasedness theorems require
-    /// `M ≥ |H|`) or the pattern is invalid.
+    /// Panics if `capacity < |H|` of the weight pattern (the
+    /// unbiasedness theorems require `M ≥ |H|`) or the pattern is
+    /// invalid.
     pub fn new(
-        pattern: Pattern,
+        weight_pattern: Pattern,
         capacity: usize,
         weight_fn: Box<dyn WeightFn>,
         pooling: TemporalPooling,
         seed: u64,
     ) -> Self {
-        pattern.validate().expect("invalid pattern");
+        weight_pattern.validate().expect("invalid pattern");
         assert!(
-            capacity >= pattern.num_edges(),
+            capacity >= weight_pattern.num_edges(),
             "reservoir capacity M = {capacity} must be ≥ |H| = {}",
-            pattern.num_edges()
+            weight_pattern.num_edges()
         );
         let display_name = weight_fn.name().to_string();
         let weight_mode = WeightMode::resolve(weight_fn.as_ref(), false);
         Self {
             display_name,
-            pattern,
+            weight_pattern,
             capacity,
             heap: IndexedMinHeap::with_capacity(capacity),
             sample: WeightedSample::with_capacity(capacity),
             tau_p: 0.0,
             tau_q: 0.0,
-            estimate: 0.0,
             t: 0,
-            scratch: EnumScratch::default(),
-            acc: StateAccumulator::new(pattern.num_edges(), pooling),
+            own_scratch: EnumScratch::default(),
+            acc: StateAccumulator::new(weight_pattern.num_edges(), pooling),
             state_buf: StateVector::empty(),
             weight_fn,
             rng: SmallRng::seed_from_u64(seed),
@@ -129,8 +150,8 @@ impl WsdCounter {
         self
     }
 
-    /// Selects the estimator mass kernel (see [`MassKernel`]); estimates
-    /// are bit-identical either way.
+    /// Selects the mass kernel of the sampler-owned weight pass (see
+    /// [`MassKernel`]); estimates are bit-identical either way.
     pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
         self.mass_kernel = kernel;
         self
@@ -155,31 +176,26 @@ impl WsdCounter {
         self.sample.contains(e)
     }
 
-    fn insert(&mut self, e: Edge) {
-        let u = draw_u(&mut self.rng);
-        self.insert_with_u(e, u);
-    }
-
     /// Insertion with an externally drawn `u ∈ (0, 1]` — the batched
     /// path pre-draws one variate per insertion (in event order, so the
     /// RNG stream is identical to sequential processing).
-    fn insert_with_u(&mut self, e: Edge, u: f64) {
-        // Algorithm 2: estimator + state observation *before* the
-        // sampling decision, against the pre-update reservoir.
-        let w = crate::algorithms::observe_insertion(
+    fn insert_with_u(&mut self, e: Edge, u: f64, queries: &mut [PatternQuery]) {
+        // Algorithm 2 per query: estimator + state observation *before*
+        // the sampling decision, against the pre-update reservoir.
+        let w = crate::algorithms::observe_queries(
             self.weight_mode,
             self.mass_kernel,
-            self.pattern,
+            self.weight_pattern,
             &mut self.sample,
             e,
             self.tau_q,
-            &mut self.scratch,
+            &mut self.own_scratch,
             &mut self.acc,
             &mut self.state_buf,
             self.weight_fn.as_mut(),
             self.t,
-            &mut self.estimate,
             self.observer.as_deref_mut(),
+            queries,
         );
         debug_assert!(w > 0.0 && w.is_finite(), "weight function must be positive/finite");
         let r = rank(w, u);
@@ -215,31 +231,36 @@ impl WsdCounter {
         self.heap.push(id, r);
     }
 
-    fn delete(&mut self, e: Edge) {
-        // Case 3: drop from the reservoir first (partners of destroyed
-        // instances never include e itself, so removal order is safe),
-        // then subtract the destroyed mass.
+    fn delete(&mut self, e: Edge, queries: &mut [PatternQuery]) {
+        // Case 3: drop the edge from the reservoir first (partners of
+        // destroyed instances never include e itself, so removal order
+        // is safe), then subtract each query's destroyed mass.
         if let Some((id, _)) = self.sample.remove_full(e) {
             self.heap.remove(id).expect("heap and sample in sync");
         }
-        let m = weighted_mass(
-            self.mass_kernel,
-            self.pattern,
-            &mut self.sample,
-            e,
-            self.tau_q,
-            &mut self.scratch,
-            None,
-        );
-        self.estimate -= m.mass;
+        for q in queries.iter_mut() {
+            let m = weighted_mass(
+                q.mass_kernel,
+                q.pattern,
+                &mut self.sample,
+                e,
+                self.tau_q,
+                &mut q.scratch,
+                None,
+            );
+            q.estimate -= m.mass;
+        }
     }
 }
 
-impl SubgraphCounter for WsdCounter {
-    fn process(&mut self, ev: EdgeEvent) {
+impl EdgeSampler for WsdSampler {
+    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
         match ev.op {
-            Op::Insert => self.insert(ev.edge),
-            Op::Delete => self.delete(ev.edge),
+            Op::Insert => {
+                let u = draw_u(&mut self.rng);
+                self.insert_with_u(ev.edge, u, queries);
+            }
+            Op::Delete => self.delete(ev.edge, queries),
         }
         self.t += 1;
     }
@@ -248,24 +269,119 @@ impl SubgraphCounter for WsdCounter {
     /// and none per deletion, so all draws for the batch can be made in
     /// one tight RNG loop up front — same stream, same estimates, with
     /// the RNG call overhead amortised across the batch.
-    fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        crate::algorithms::predrawn_batch!(self, batch);
+    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
+        crate::algorithms::predrawn_batch!(self, batch, queries);
     }
 
-    fn estimate(&self) -> f64 {
-        self.estimate
+    fn query_estimate(&self, query: &PatternQuery) -> f64 {
+        query.estimate
+    }
+
+    fn warm_start(&self, query: &mut PatternQuery) {
+        crate::session::warm_start_weighted(&self.sample, self.tau_q, query);
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.sample.len()
     }
 
     fn name(&self) -> &str {
         &self.display_name
     }
 
+    fn assert_capacity_for(&self, pattern: Pattern) {
+        assert!(
+            self.capacity >= pattern.num_edges(),
+            "reservoir capacity M = {} must be ≥ |H| = {} of {}",
+            self.capacity,
+            pattern.num_edges(),
+            pattern.name()
+        );
+    }
+}
+
+/// The legacy one-pattern WSD counter: a [`WsdSampler`] plus a single
+/// [`PatternQuery`] for the same pattern, processed in lockstep —
+/// bit-identical to the pre-session implementation by construction.
+pub struct WsdCounter {
+    sampler: WsdSampler,
+    query: PatternQuery,
+}
+
+impl WsdCounter {
+    /// Creates a WSD counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < |H|` (the unbiasedness theorems require
+    /// `M ≥ |H|`) or the pattern is invalid.
+    pub fn new(
+        pattern: Pattern,
+        capacity: usize,
+        weight_fn: Box<dyn WeightFn>,
+        pooling: TemporalPooling,
+        seed: u64,
+    ) -> Self {
+        Self {
+            sampler: WsdSampler::new(pattern, capacity, weight_fn, pooling, seed),
+            query: PatternQuery::new(pattern, MassKernel::build_default()),
+        }
+    }
+
+    /// Overrides the display name (e.g. to distinguish pooling ablations).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.sampler = self.sampler.with_name(name);
+        self
+    }
+
+    /// Selects the estimator mass kernel (see [`MassKernel`]); estimates
+    /// are bit-identical either way.
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.sampler = self.sampler.with_mass_kernel(kernel);
+        self.query.mass_kernel = kernel;
+        self
+    }
+
+    /// Installs a per-insertion observer `(edge, state, weight)`; see
+    /// [`WsdSampler::set_observer`].
+    pub fn set_observer(&mut self, f: InsertionObserver) {
+        self.sampler.set_observer(f);
+    }
+
+    /// Current thresholds `(τp, τq)` — exposed for white-box tests.
+    pub fn thresholds(&self) -> (f64, f64) {
+        self.sampler.thresholds()
+    }
+
+    /// Whether an edge currently sits in the reservoir.
+    pub fn sampled(&self, e: Edge) -> bool {
+        self.sampler.sampled(e)
+    }
+}
+
+impl SubgraphCounter for WsdCounter {
+    fn process(&mut self, ev: EdgeEvent) {
+        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+    }
+
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+    }
+
+    fn estimate(&self) -> f64 {
+        self.sampler.query_estimate(&self.query)
+    }
+
+    fn name(&self) -> &str {
+        self.sampler.name()
+    }
+
     fn pattern(&self) -> Pattern {
-        self.pattern
+        self.query.pattern()
     }
 
     fn stored_edges(&self) -> usize {
-        self.sample.len()
+        self.sampler.stored_edges()
     }
 }
 
@@ -385,6 +501,28 @@ mod tests {
         // Third insertion closes a triangle → heuristic weight 9·1+1.
         assert_eq!(log[2].1, 10.0);
         assert_eq!(log[0].1, 1.0);
+    }
+
+    #[test]
+    fn observer_fires_without_a_fused_query() {
+        // A sampler with *no* attached query counting the weight pattern
+        // still observes states through its own pass.
+        use std::sync::{Arc, Mutex};
+        let log: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = log.clone();
+        let mut sampler = WsdSampler::new(
+            Pattern::Triangle,
+            16,
+            Box::new(HeuristicWeight),
+            TemporalPooling::Max,
+            5,
+        );
+        sampler.set_observer(Box::new(move |_, _, w| log2.lock().unwrap().push(w)));
+        let mut queries: Vec<PatternQuery> = Vec::new();
+        for ev in [tri(1, 2), tri(2, 3), tri(1, 3)] {
+            sampler.process(ev, &mut queries);
+        }
+        assert_eq!(*log.lock().unwrap(), vec![1.0, 1.0, 10.0]);
     }
 
     #[test]

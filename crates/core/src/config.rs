@@ -1,14 +1,16 @@
-//! Algorithm selection and construction — the single factory the
-//! evaluation harness and examples use to instantiate any counter from
-//! the paper's comparison.
+//! Algorithm selection and the legacy one-pattern counter factory.
+//!
+//! [`Algorithm`] enumerates the paper's comparison set and is consumed
+//! by [`crate::session::SessionBuilder`] — the primary construction
+//! path. [`CounterConfig`] is the historical per-pattern factory, kept
+//! as a thin shim over a single-query session so every golden,
+//! differential and property suite keeps pinning the redesign.
 
-use crate::algorithms::{
-    GpsACounter, GpsCounter, ThinkDCounter, TriestCounter, WrsCounter, WsdCounter,
-};
 use crate::counter::SubgraphCounter;
 use crate::estimator::MassKernel;
+use crate::session::{SessionBuilder, SessionCounter};
 use crate::state::TemporalPooling;
-use crate::weight::{HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};
+use crate::weight::LinearPolicy;
 use wsd_graph::Pattern;
 
 /// The algorithms compared in the paper's evaluation (§V-A).
@@ -65,7 +67,11 @@ impl Algorithm {
     }
 }
 
-/// Everything needed to build a counter.
+/// Everything needed to build a legacy one-pattern counter.
+///
+/// Superseded by [`SessionBuilder`], which attaches any number of
+/// pattern queries to one shared sampler pass; this config survives as
+/// the single-query shim the historical test suites drive.
 #[derive(Clone, Debug)]
 pub struct CounterConfig {
     /// Pattern to count.
@@ -123,75 +129,36 @@ impl CounterConfig {
         self
     }
 
-    /// Builds the counter for `alg`.
-    pub fn build(&self, alg: Algorithm) -> Box<dyn SubgraphCounter> {
-        let heuristic: Box<dyn WeightFn> = Box::new(HeuristicWeight);
-        match alg {
-            Algorithm::WsdL => {
-                let dim = self.pattern.num_edges() + 3;
-                let policy = self.policy.clone().unwrap_or_else(|| LinearPolicy::neutral(dim));
-                assert_eq!(
-                    policy.dim(),
-                    dim,
-                    "policy dimension {} does not match pattern state dimension {dim}",
-                    policy.dim()
-                );
-                Box::new(
-                    WsdCounter::new(
-                        self.pattern,
-                        self.capacity,
-                        Box::new(policy),
-                        self.pooling,
-                        self.seed,
-                    )
-                    .with_name("WSD-L")
-                    .with_mass_kernel(self.mass_kernel),
-                )
-            }
-            Algorithm::WsdH => Box::new(
-                WsdCounter::new(self.pattern, self.capacity, heuristic, self.pooling, self.seed)
-                    .with_mass_kernel(self.mass_kernel),
-            ),
-            Algorithm::WsdUniform => Box::new(
-                WsdCounter::new(
-                    self.pattern,
-                    self.capacity,
-                    Box::new(UniformWeight),
-                    self.pooling,
-                    self.seed,
-                )
-                .with_name("WSD-U")
-                .with_mass_kernel(self.mass_kernel),
-            ),
-            Algorithm::GpsA => Box::new(
-                GpsACounter::new(self.pattern, self.capacity, heuristic, self.seed)
-                    .with_mass_kernel(self.mass_kernel),
-            ),
-            Algorithm::Gps => Box::new(
-                GpsCounter::new(self.pattern, self.capacity, heuristic, self.seed)
-                    .with_mass_kernel(self.mass_kernel),
-            ),
-            Algorithm::Triest => {
-                Box::new(TriestCounter::new(self.pattern, self.capacity, self.seed))
-            }
-            Algorithm::ThinkD => {
-                Box::new(ThinkDCounter::new(self.pattern, self.capacity, self.seed))
-            }
-            Algorithm::Wrs => Box::new(
-                WrsCounter::with_fraction(
-                    self.pattern,
-                    self.capacity,
-                    self.wrs_fraction,
-                    self.seed,
-                )
-                .with_mass_kernel(self.mass_kernel),
-            ),
+    /// The equivalent [`SessionBuilder`]: one query for this config's
+    /// pattern, every knob carried over.
+    pub fn session_builder(&self, alg: Algorithm) -> SessionBuilder {
+        let mut b = SessionBuilder::new(alg, self.capacity, self.seed)
+            .query(self.pattern)
+            .with_pooling(self.pooling)
+            .with_wrs_fraction(self.wrs_fraction)
+            .with_mass_kernel(self.mass_kernel);
+        if let Some(policy) = &self.policy {
+            b = b.with_policy(policy.clone());
         }
+        b
+    }
+
+    /// Builds the counter for `alg` — a single-query
+    /// [`crate::StreamSession`] behind the legacy trait, bit-identical
+    /// to the historical per-pattern counters.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use SessionBuilder::new(alg, capacity, seed).query(pattern).build(); \
+                one session answers any number of pattern queries off one sampler pass"
+    )]
+    pub fn build(&self, alg: Algorithm) -> Box<dyn SubgraphCounter> {
+        Box::new(SessionCounter::new(self.session_builder(alg).build()))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy factory is exercised deliberately
     use super::*;
     use wsd_graph::{Edge, EdgeEvent};
 

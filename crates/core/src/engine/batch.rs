@@ -1,6 +1,7 @@
 //! Batched stream ingestion.
 
 use crate::counter::SubgraphCounter;
+use crate::session::StreamSession;
 use wsd_graph::EdgeEvent;
 
 /// Default ingestion batch size.
@@ -72,12 +73,39 @@ impl BatchDriver {
             checkpoint(consumed, counter);
         }
     }
+
+    /// Feeds the whole stream to a [`StreamSession`], batch by batch —
+    /// every attached query advances together on the one sampler pass.
+    pub fn run_session(&self, session: &mut StreamSession, stream: &[EdgeEvent]) {
+        for chunk in stream.chunks(self.batch_size) {
+            session.process_batch(chunk);
+        }
+    }
+
+    /// As [`BatchDriver::run_session`], invoking `checkpoint` with the
+    /// number of events consumed so far after every batch (the session
+    /// analogue of [`BatchDriver::run_with_checkpoints`]).
+    pub fn run_session_with_checkpoints(
+        &self,
+        session: &mut StreamSession,
+        stream: &[EdgeEvent],
+        checkpoint: &mut dyn FnMut(usize, &StreamSession),
+    ) {
+        let mut consumed = 0;
+        for chunk in stream.chunks(self.batch_size) {
+            session.process_batch(chunk);
+            consumed += chunk.len();
+            checkpoint(consumed, session);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy factory path is pinned deliberately
     use super::*;
     use crate::config::{Algorithm, CounterConfig};
+    use crate::session::SessionBuilder;
     use wsd_graph::{Edge, Pattern};
 
     fn stream(n: u64) -> Vec<EdgeEvent> {
@@ -111,6 +139,25 @@ mod tests {
             },
         );
         assert_eq!(seen, vec![16, 32, 48, 50]);
+    }
+
+    #[test]
+    fn session_checkpoints_match_counter_checkpoints() {
+        let events = stream(50);
+        let mut counter = CounterConfig::new(Pattern::Triangle, 32, 1).build(Algorithm::ThinkD);
+        let mut session =
+            SessionBuilder::new(Algorithm::ThinkD, 32, 1).query(Pattern::Triangle).build();
+        let (qid, _) = session.queries().next().unwrap();
+        let driver = BatchDriver::with_batch_size(16);
+        let mut counter_cps = Vec::new();
+        driver.run_with_checkpoints(counter.as_mut(), &events, &mut |consumed, c| {
+            counter_cps.push((consumed, c.estimate().to_bits()));
+        });
+        let mut session_cps = Vec::new();
+        driver.run_session_with_checkpoints(&mut session, &events, &mut |consumed, s| {
+            session_cps.push((consumed, s.estimate(qid).to_bits()));
+        });
+        assert_eq!(counter_cps, session_cps);
     }
 
     #[test]

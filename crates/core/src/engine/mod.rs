@@ -7,13 +7,19 @@
 //! system on top of the [`SubgraphCounter`](crate::SubgraphCounter)
 //! trait:
 //!
-//! * [`BatchDriver`] feeds a stream to a counter in fixed-size batches
-//!   through `process_batch`, letting each algorithm amortise RNG draws,
-//!   dispatch and bookkeeping across the batch.
+//! * [`BatchDriver`] feeds a stream to a counter — or a whole
+//!   multi-query [`StreamSession`](crate::StreamSession) via
+//!   [`BatchDriver::run_session`] — in fixed-size batches, letting each
+//!   algorithm amortise RNG draws, dispatch and bookkeeping across the
+//!   batch.
 //! * [`Ensemble`] executes N independently seeded replicas of a counter
-//!   over the same stream on a thread pool and merges their unbiased
+//!   ([`Ensemble::run`]) or session ([`Ensemble::run_sessions`]) over
+//!   the same stream on a thread pool and merges their unbiased
 //!   estimates into a mean with variance and a normal-approximation
 //!   confidence interval — the repeated-runs protocol, parallel.
+//!   Replica seeds derive from the base seed via the splitmix
+//!   [`replica_seed`] bijection, so adjacent base seeds never share
+//!   replica RNG streams.
 //! * [`parallel_map`] is the deterministic fork–join primitive beneath
 //!   the ensemble, reused by the evaluation harness for its repetition
 //!   grids: results land in index order, so output never depends on
@@ -23,4 +29,4 @@ mod batch;
 mod ensemble;
 
 pub use batch::{BatchDriver, DEFAULT_BATCH_SIZE};
-pub use ensemble::{parallel_map, Ensemble, EnsembleReport};
+pub use ensemble::{parallel_map, replica_seed, Ensemble, EnsembleReport, SessionEnsembleReport};

@@ -1,24 +1,38 @@
 //! # wsd-core
 //!
 //! The paper's sampling frameworks and every baseline it compares
-//! against, behind one trait:
+//! against, behind a two-layer session API:
 //!
-//! * [`SubgraphCounter`] — one-pass, fixed-memory estimation of a
-//!   pattern count over a fully dynamic edge stream.
-//! * [`algorithms::WsdCounter`] — **WSD**, the paper's contribution
-//!   (Algorithms 1 & 2): weighted priority sampling that genuinely
-//!   removes deleted edges from the reservoir while preserving the
-//!   inclusion-probability identity `P[e ∈ R] = min(1, w/τq)` (Lemma 1),
-//!   yielding the unbiased estimator of Theorem 4.
-//! * [`algorithms::GpsCounter`] / [`algorithms::GpsACounter`] — the
-//!   insertion-only GPS framework and its tag-based dynamic adaption.
-//! * [`algorithms::TriestCounter`], [`algorithms::ThinkDCounter`],
-//!   [`algorithms::WrsCounter`] — the uniform-sampling state of the art.
+//! * [`StreamSession`] / [`SessionBuilder`] — **one shared sampler,
+//!   N pattern queries**: a single one-pass, fixed-memory edge sample
+//!   (the dominant per-event cost) answers any number of subgraph-count
+//!   queries at once, with [`StreamSession::attach`] /
+//!   [`StreamSession::detach`] mid-stream.
+//! * [`EdgeSampler`] — the sampling layer: per-algorithm
+//!   admission/eviction/room logic owning the reservoir and the sampled
+//!   adjacency ([`algorithms::WsdSampler`] — the paper's contribution,
+//!   Algorithms 1 & 2: weighted priority sampling that genuinely
+//!   removes deleted edges while preserving the inclusion-probability
+//!   identity `P[e ∈ R] = min(1, w/τq)` of Lemma 1 — plus
+//!   [`algorithms::GpsSampler`], [`algorithms::GpsASampler`],
+//!   [`algorithms::TriestSampler`], [`algorithms::ThinkDSampler`],
+//!   [`algorithms::WrsSampler`]).
+//! * [`PatternQuery`] — the query layer: per-pattern estimator state
+//!   fed from the shared sample (Algorithm 2 and the baselines'
+//!   analogues; unbiased per query because the inclusion identity holds
+//!   per edge, not per pattern).
+//! * [`SubgraphCounter`] — the legacy one-pattern trait, now served by
+//!   single-query sessions (`CounterConfig::build`, deprecated) and the
+//!   per-algorithm `XCounter` façades; bit-identical to the historical
+//!   counters.
 //!
 //! Weight functions ([`weight`]) plug into the weighted samplers: the
 //! uniform control, the GPS heuristic `9·|H(e)|+1` (WSD-H), and the
 //! learned linear policy (WSD-L) whose parameters are trained by the
-//! `wsd-rl` crate on the MDP states extracted in [`state`].
+//! `wsd-rl` crate on the MDP states extracted in [`state`]. A sampler
+//! observes its weights on one fixed *weight pattern*
+//! ([`SessionBuilder::with_weight_pattern`]); the choice only shapes
+//! variance, never biasedness.
 //!
 //! # The `simd` feature and the mass kernels
 //!
@@ -42,18 +56,24 @@
 //!
 //! # Example
 //!
+//! One WSD-H sampler pass answering the paper's whole pattern grid:
+//!
 //! ```
-//! use wsd_core::{Algorithm, CounterConfig};
+//! use wsd_core::{Algorithm, SessionBuilder};
 //! use wsd_graph::{Edge, EdgeEvent, Pattern};
 //!
-//! let cfg = CounterConfig::new(Pattern::Triangle, 100, 42);
-//! let mut counter = cfg.build(Algorithm::WsdH);
+//! let mut session = SessionBuilder::new(Algorithm::WsdH, 100, 42)
+//!     .query(Pattern::Wedge)
+//!     .query(Pattern::Triangle)
+//!     .build();
 //! for (a, b) in [(1, 2), (2, 3), (1, 3)] {
-//!     counter.process(EdgeEvent::insert(Edge::new(a, b)));
+//!     session.process(EdgeEvent::insert(Edge::new(a, b)));
 //! }
-//! assert_eq!(counter.estimate(), 1.0); // one triangle, still exact
-//! counter.process(EdgeEvent::delete(Edge::new(2, 3)));
-//! assert_eq!(counter.estimate(), 0.0);
+//! let report = session.report();
+//! assert_eq!(report.queries[0].estimate, 3.0); // wedges, still exact
+//! assert_eq!(report.queries[1].estimate, 1.0); // one triangle
+//! session.process(EdgeEvent::delete(Edge::new(2, 3)));
+//! assert_eq!(session.estimate(report.queries[1].id), 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -67,12 +87,17 @@ mod estimator;
 pub mod rank;
 pub mod reservoir;
 pub mod sampled_graph;
+pub mod session;
 pub mod state;
 pub mod weight;
 
 pub use config::{Algorithm, CounterConfig};
 pub use counter::SubgraphCounter;
-pub use engine::{BatchDriver, Ensemble, EnsembleReport};
+pub use engine::{BatchDriver, Ensemble, EnsembleReport, SessionEnsembleReport};
 pub use estimator::MassKernel;
+pub use session::{
+    EdgeSampler, PatternQuery, QueryCheckpoint, QueryId, QueryReport, SessionBuilder,
+    SessionCounter, SessionReport, StreamSession,
+};
 pub use state::{StateVector, TemporalPooling};
 pub use weight::{FeatureNorm, HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};

@@ -1,0 +1,848 @@
+//! Multi-query stream sessions: **one shared sampler, N pattern
+//! queries**.
+//!
+//! The WSD framework (and every weighted/uniform sampler it is compared
+//! against) maintains a single edge sample from which *any* pattern
+//! estimate can be derived — the estimator layer is a pure consumer of
+//! the sample. The session API says exactly that:
+//!
+//! * [`EdgeSampler`] — the sampling layer: admission / eviction /
+//!   waiting-room logic per algorithm, owning the reservoir and the
+//!   sampled adjacency. One instance processes the stream once.
+//! * [`PatternQuery`] — the query layer: per-pattern estimator state
+//!   (running estimate or in-sample instance counter, enumeration
+//!   scratch) fed from the shared sample on every event.
+//! * [`StreamSession`] — one sampler plus any number of attached
+//!   queries, with [`StreamSession::attach`]/[`StreamSession::detach`]
+//!   mid-stream: a freshly attached query *warms up* by enumerating the
+//!   pattern instances inside the current sample once, then tracks
+//!   events incrementally like a built-in query.
+//!
+//! Answering the paper's standard wedge / triangle / 4-clique grid this
+//! way pays the sampling machinery — the dominant per-event cost at
+//! reservoir budgets — **once** instead of once per pattern:
+//!
+//! ```
+//! use wsd_core::{Algorithm, SessionBuilder};
+//! use wsd_graph::{Edge, EdgeEvent, Pattern};
+//!
+//! let mut session = SessionBuilder::new(Algorithm::WsdH, 100, 42)
+//!     .query(Pattern::Wedge)
+//!     .query(Pattern::Triangle)
+//!     .query(Pattern::FourClique)
+//!     .build();
+//! for (a, b) in [(1, 2), (2, 3), (1, 3)] {
+//!     session.process(EdgeEvent::insert(Edge::new(a, b)));
+//! }
+//! let report = session.report();
+//! assert_eq!(report.queries.len(), 3);
+//! assert_eq!(report.queries[1].estimate, 1.0); // one triangle, exact
+//! ```
+//!
+//! A session with a single query is **bit-identical** to the legacy
+//! one-pattern counters (`CounterConfig::build`, now a shim over this
+//! module): same RNG stream, same floating-point evaluation order. The
+//! golden pins, the scalar/SIMD differential harness and the session
+//! equivalence suite all enforce this.
+
+use crate::config::Algorithm;
+use crate::counter::SubgraphCounter;
+use crate::estimator::MassKernel;
+use crate::rank::inclusion_prob;
+use crate::sampled_graph::WeightedSample;
+use crate::state::TemporalPooling;
+use crate::weight::{HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Adjacency, Edge, EdgeEvent, Pattern};
+
+/// Stable handle of a query attached to a [`StreamSession`].
+///
+/// Handles are never recycled within a session: detaching a query
+/// retires its id for good, and re-attaching the same pattern yields a
+/// fresh id (and a fresh warm-up). A handle also remembers which
+/// session issued it — using it on a different session panics instead
+/// of silently addressing whatever query sits at the same slot.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct QueryId {
+    /// Issuing session's token.
+    session: u64,
+    /// Attachment-order index within that session.
+    index: usize,
+}
+
+impl QueryId {
+    /// The raw index (attachment order within the session).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// Per-pattern estimator state fed from a shared [`EdgeSampler`].
+///
+/// A query owns everything that is *per pattern*: the running
+/// accumulator (a mass estimate for the weighted samplers, ThinkD and
+/// WRS; the in-sample instance counter τ for Triest), its enumeration
+/// scratch, and the mass kernel its estimator passes run with. It owns
+/// nothing of the sample — that lives in the sampler, shared by every
+/// attached query.
+pub struct PatternQuery {
+    pub(crate) pattern: Pattern,
+    pub(crate) mass_kernel: MassKernel,
+    pub(crate) scratch: EnumScratch,
+    /// Running mass estimate (weighted samplers, ThinkD, WRS).
+    pub(crate) estimate: f64,
+    /// In-sample instance counter (Triest's τ).
+    pub(crate) tau: i64,
+}
+
+impl PatternQuery {
+    /// Creates a fresh (cold) query for `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is invalid.
+    pub fn new(pattern: Pattern, mass_kernel: MassKernel) -> Self {
+        pattern.validate().expect("invalid pattern");
+        Self { pattern, mass_kernel, scratch: EnumScratch::default(), estimate: 0.0, tau: 0 }
+    }
+
+    /// The pattern this query counts.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+}
+
+/// The sampling layer of a [`StreamSession`]: one algorithm's
+/// admission / eviction / room logic, owning the reservoir and the
+/// sampled adjacency, and feeding every attached [`PatternQuery`]'s
+/// estimator on each event.
+///
+/// Implementations must keep their sampling trajectory (RNG stream,
+/// sample content, thresholds) **independent of the attached queries**
+/// — that is what makes mid-stream [`StreamSession::attach`] /
+/// [`StreamSession::detach`] sound. For the weighted samplers, whose
+/// edge weights are computed from a pattern's completed-instance count,
+/// the weight is always observed on the sampler's fixed *weight
+/// pattern* (fused with the matching query's mass pass when one is
+/// attached, on a sampler-owned pass otherwise).
+pub trait EdgeSampler: Send {
+    /// Processes one stream event, updating every query in `queries`.
+    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]);
+
+    /// Processes a batch of consecutive events. Semantically identical
+    /// to per-event [`EdgeSampler::process`] — same estimates, sample
+    /// and RNG stream, bit for bit — but free to amortise per-event
+    /// overheads (RNG pre-draws, run splitting, invariant hoisting).
+    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
+        for &ev in batch {
+            self.process(ev, queries);
+        }
+    }
+
+    /// The current estimate of `query`'s pattern count. For most
+    /// samplers this is the query's running accumulator; Triest rescales
+    /// its in-sample instance counter by the inclusion probability κ
+    /// computed from the reservoir statistics.
+    fn query_estimate(&self, query: &PatternQuery) -> f64;
+
+    /// Warm-starts a freshly attached query by enumerating the pattern
+    /// instances fully contained in the current sample once, seeding the
+    /// query's accumulator with each instance's inverse inclusion
+    /// probability under the algorithm's sampling model (all-edge
+    /// Horvitz–Thompson product for the weighted samplers, κ⁻¹ for the
+    /// uniform ones, the room/reservoir split for WRS). The warm-up is a
+    /// pure function of the sampler's current state — it reads nothing
+    /// else and mutates nothing of the sampler.
+    fn warm_start(&self, query: &mut PatternQuery);
+
+    /// Number of edges currently held in the sampling structures
+    /// (including, for GPS-A, tagged-deleted ghosts).
+    fn stored_edges(&self) -> usize;
+
+    /// Algorithm display name (e.g. `WSD-H`, `Triest`).
+    fn name(&self) -> &str;
+
+    /// Asserts that the sampler's memory budget can support counting
+    /// `pattern` (the unbiasedness theorems require the reservoir to
+    /// hold at least `|H|` edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is too small for the pattern.
+    fn assert_capacity_for(&self, pattern: Pattern);
+}
+
+/// Enumerates every instance of `pattern` spanned by `edges` exactly
+/// once, invoking `per_instance` with the payloads of all `|H|` instance
+/// edges — the shared warm-up kernel.
+///
+/// The edges are replayed into a scratch adjacency one at a time; each
+/// replayed edge completes (and thereby claims) exactly the instances
+/// whose other edges were replayed before it, so no instance is seen
+/// twice. Payloads are whatever the caller needs per edge (inverse
+/// inclusion probabilities, room flags); the payload order within an
+/// instance is unspecified beyond being deterministic for a fixed
+/// `edges` slice.
+pub(crate) fn for_each_sample_instance(
+    pattern: Pattern,
+    edges: &[(Edge, f64)],
+    scratch: &mut EnumScratch,
+    mut per_instance: impl FnMut(&[f64]),
+) {
+    if edges.len() < pattern.num_edges() {
+        return;
+    }
+    let mut g = Adjacency::with_capacity(2 * edges.len());
+    let mut payload: Vec<f64> = Vec::with_capacity(edges.len());
+    let mut buf: Vec<f64> = Vec::with_capacity(pattern.num_edges());
+    for &(e, p) in edges {
+        pattern.for_each_completed(&g, e, scratch, |partners| {
+            buf.clear();
+            for &pid in partners {
+                buf.push(payload[pid as usize]);
+            }
+            buf.push(p);
+            per_instance(&buf);
+        });
+        let id = g.insert_full(e).expect("sample edges are distinct") as usize;
+        if id >= payload.len() {
+            payload.resize(id + 1, 0.0);
+        }
+        payload[id] = p;
+    }
+}
+
+/// Warm-up for the weighted samplers (WSD, GPS, GPS-A): each pattern
+/// instance fully inside `sample` seeds the query with the
+/// Horvitz–Thompson product `Π_{e ∈ J} 1/P[r(e) > τ]` over **all** its
+/// edges. Inverse probabilities are computed directly from the stored
+/// weights (not through the sample's lazy cache), so the sampler is
+/// untouched.
+pub(crate) fn warm_start_weighted(sample: &WeightedSample, tau: f64, query: &mut PatternQuery) {
+    query.estimate = 0.0;
+    query.tau = 0;
+    let edges: Vec<(Edge, f64)> =
+        sample.iter().map(|(e, meta)| (e, 1.0 / inclusion_prob(meta.weight, tau))).collect();
+    let pattern = query.pattern;
+    for_each_sample_instance(pattern, &edges, &mut query.scratch, |payloads| {
+        let mut prod = 1.0;
+        for &p in payloads {
+            prod *= p;
+        }
+        query.estimate += prod;
+    });
+}
+
+/// A per-query line of a [`SessionReport`].
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// The query's handle within the session.
+    pub id: QueryId,
+    /// The pattern the query counts.
+    pub pattern: Pattern,
+    /// The query's current estimate.
+    pub estimate: f64,
+}
+
+/// Combined snapshot of every query attached to a session.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Events processed so far.
+    pub events: u64,
+    /// Edges currently held in the sampling structures.
+    pub stored_edges: usize,
+    /// One line per attached query, in attachment order.
+    pub queries: Vec<QueryReport>,
+}
+
+/// Point-in-time snapshot of a single query (the per-query analogue of
+/// [`SessionReport`]).
+#[derive(Copy, Clone, Debug)]
+pub struct QueryCheckpoint {
+    /// The query's handle.
+    pub id: QueryId,
+    /// The pattern being counted.
+    pub pattern: Pattern,
+    /// The current estimate.
+    pub estimate: f64,
+    /// Events processed by the session so far.
+    pub events: u64,
+    /// Edges currently held by the sampler.
+    pub stored_edges: usize,
+}
+
+/// One shared sampler pass answering N pattern queries.
+///
+/// Built by [`SessionBuilder`]; see the [module docs](self) for the
+/// overall design and an example.
+pub struct StreamSession {
+    sampler: Box<dyn EdgeSampler>,
+    /// Active queries, in attachment order.
+    queries: Vec<PatternQuery>,
+    /// Handle table: `handles[id.index] = Some(index into queries)`
+    /// while the query is attached, `None` after detach.
+    handles: Vec<Option<usize>>,
+    /// Query ids in attachment order (parallel to `queries`).
+    ids: Vec<QueryId>,
+    /// Session-level default mass kernel for queries attached later.
+    mass_kernel: MassKernel,
+    /// This session's handle token (process-unique; see [`QueryId`]).
+    token: u64,
+    events: u64,
+}
+
+impl StreamSession {
+    /// Assembles a session from a sampler and initial query patterns —
+    /// the backend of [`SessionBuilder::build`]. Prefer the builder.
+    pub fn from_parts(
+        sampler: Box<dyn EdgeSampler>,
+        patterns: &[Pattern],
+        mass_kernel: MassKernel,
+    ) -> Self {
+        // Process-unique token so handles from one session cannot
+        // silently address another session's queries.
+        static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let token = NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut session = Self {
+            sampler,
+            queries: Vec::new(),
+            handles: Vec::new(),
+            ids: Vec::new(),
+            mass_kernel,
+            token,
+            events: 0,
+        };
+        for &p in patterns {
+            session.attach(p);
+        }
+        session
+    }
+
+    /// Processes one stream event: the sampler updates every attached
+    /// query's estimator against the shared sample, then applies its
+    /// admission/eviction logic.
+    pub fn process(&mut self, ev: EdgeEvent) {
+        self.sampler.process(ev, &mut self.queries);
+        self.events += 1;
+    }
+
+    /// Processes a batch of consecutive events (bit-identical to
+    /// per-event processing, with per-event overheads amortised).
+    pub fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        self.sampler.process_batch(batch, &mut self.queries);
+        self.events += batch.len() as u64;
+    }
+
+    /// Processes a whole stream in engine-sized batches (delegates to
+    /// the engine's one canonical chunking loop).
+    pub fn process_all(&mut self, stream: &[EdgeEvent]) {
+        crate::engine::BatchDriver::new().run_session(self, stream);
+    }
+
+    /// Attaches a new query mid-stream. The query warms up by
+    /// enumerating the pattern instances inside the current sample once
+    /// (see [`EdgeSampler::warm_start`]), then tracks every subsequent
+    /// event incrementally. The sampler itself is untouched: its
+    /// trajectory is identical with or without the new query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler's budget cannot support the pattern.
+    pub fn attach(&mut self, pattern: Pattern) -> QueryId {
+        self.sampler.assert_capacity_for(pattern);
+        let mut query = PatternQuery::new(pattern, self.mass_kernel);
+        self.sampler.warm_start(&mut query);
+        let id = QueryId { session: self.token, index: self.handles.len() };
+        self.handles.push(Some(self.queries.len()));
+        self.queries.push(query);
+        self.ids.push(id);
+        id
+    }
+
+    /// Resolves a handle to its slot in `queries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was issued by a different session or its
+    /// query was detached.
+    fn resolve(&self, id: QueryId) -> usize {
+        assert_eq!(id.session, self.token, "query id was issued by a different session");
+        self.handles[id.index].expect("query is detached")
+    }
+
+    /// Detaches a query, returning its final estimate. The sampler keeps
+    /// streaming unaffected; the handle is retired (re-attach the
+    /// pattern for a fresh, warm-started query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query was already detached or the id was issued by
+    /// a different session.
+    pub fn detach(&mut self, id: QueryId) -> f64 {
+        assert_eq!(id.session, self.token, "query id was issued by a different session");
+        let idx = self.handles[id.index].take().expect("query already detached");
+        let final_estimate = self.sampler.query_estimate(&self.queries[idx]);
+        self.queries.remove(idx);
+        self.ids.remove(idx);
+        // Later queries shift down one slot.
+        for h in self.handles.iter_mut().flatten() {
+            if *h > idx {
+                *h -= 1;
+            }
+        }
+        final_estimate
+    }
+
+    /// The current estimate of an attached query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query was detached or the id is foreign.
+    pub fn estimate(&self, id: QueryId) -> f64 {
+        self.sampler.query_estimate(&self.queries[self.resolve(id)])
+    }
+
+    /// A point-in-time snapshot of one query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query was detached.
+    pub fn checkpoint(&self, id: QueryId) -> QueryCheckpoint {
+        QueryCheckpoint {
+            id,
+            pattern: self.pattern(id),
+            estimate: self.estimate(id),
+            events: self.events,
+            stored_edges: self.stored_edges(),
+        }
+    }
+
+    /// Combined snapshot of every attached query.
+    pub fn report(&self) -> SessionReport {
+        SessionReport {
+            algorithm: self.sampler.name().to_string(),
+            events: self.events,
+            stored_edges: self.stored_edges(),
+            queries: self
+                .ids
+                .iter()
+                .zip(&self.queries)
+                .map(|(&id, q)| QueryReport {
+                    id,
+                    pattern: q.pattern,
+                    estimate: self.sampler.query_estimate(q),
+                })
+                .collect(),
+        }
+    }
+
+    /// The pattern of an attached query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query was detached or the id is foreign.
+    pub fn pattern(&self, id: QueryId) -> Pattern {
+        self.queries[self.resolve(id)].pattern
+    }
+
+    /// Iterates `(id, pattern)` of the attached queries in attachment
+    /// order.
+    pub fn queries(&self) -> impl Iterator<Item = (QueryId, Pattern)> + '_ {
+        self.ids.iter().zip(&self.queries).map(|(&id, q)| (id, q.pattern))
+    }
+
+    /// Number of currently attached queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Events processed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Edges currently held in the sampling structures.
+    pub fn stored_edges(&self) -> usize {
+        self.sampler.stored_edges()
+    }
+
+    /// Algorithm display name.
+    pub fn name(&self) -> &str {
+        self.sampler.name()
+    }
+}
+
+/// Builder for [`StreamSession`]s: pick the algorithm, budget and seed,
+/// then attach any number of pattern queries to the one shared sampler
+/// pass.
+///
+/// ```
+/// use wsd_core::{Algorithm, SessionBuilder};
+/// use wsd_graph::Pattern;
+///
+/// let session = SessionBuilder::new(Algorithm::Wrs, 64, 7)
+///     .query(Pattern::Triangle)
+///     .query(Pattern::Wedge)
+///     .build();
+/// assert_eq!(session.num_queries(), 2);
+/// assert_eq!(session.name(), "WRS");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    algorithm: Algorithm,
+    capacity: usize,
+    seed: u64,
+    patterns: Vec<Pattern>,
+    policy: Option<LinearPolicy>,
+    pooling: TemporalPooling,
+    wrs_fraction: f64,
+    mass_kernel: MassKernel,
+    weight_pattern: Option<Pattern>,
+}
+
+impl SessionBuilder {
+    /// Starts a builder with the paper's defaults (cf.
+    /// `CounterConfig::new`): memory budget `capacity` edges, sampling
+    /// RNG seeded with `seed`.
+    pub fn new(algorithm: Algorithm, capacity: usize, seed: u64) -> Self {
+        Self {
+            algorithm,
+            capacity,
+            seed,
+            patterns: Vec::new(),
+            policy: None,
+            pooling: TemporalPooling::Max,
+            wrs_fraction: crate::algorithms::wrs::DEFAULT_WAITING_ROOM_FRACTION,
+            mass_kernel: MassKernel::build_default(),
+            weight_pattern: None,
+        }
+    }
+
+    /// Attaches a pattern query (repeatable; queries are reported in
+    /// attachment order).
+    pub fn query(mut self, pattern: Pattern) -> Self {
+        self.patterns.push(pattern);
+        self
+    }
+
+    /// Attaches several pattern queries at once.
+    pub fn queries(mut self, patterns: impl IntoIterator<Item = Pattern>) -> Self {
+        self.patterns.extend(patterns);
+        self
+    }
+
+    /// Attaches a learned policy (consumed by WSD-L).
+    pub fn with_policy(mut self, policy: LinearPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the temporal pooling variant of the WSD-L state.
+    pub fn with_pooling(mut self, pooling: TemporalPooling) -> Self {
+        self.pooling = pooling;
+        self
+    }
+
+    /// Sets the WRS waiting-room fraction.
+    pub fn with_wrs_fraction(mut self, fraction: f64) -> Self {
+        self.wrs_fraction = fraction;
+        self
+    }
+
+    /// Selects the estimator mass kernel for every query (estimates are
+    /// bit-identical either way; see [`MassKernel`]).
+    pub fn with_mass_kernel(mut self, kernel: MassKernel) -> Self {
+        self.mass_kernel = kernel;
+        self
+    }
+
+    /// Pins the pattern the weighted samplers (WSD, GPS, GPS-A) observe
+    /// their edge weights on. Defaults to the first attached query's
+    /// pattern. The weight pattern fixes the sampler's trajectory: a
+    /// query counting the same pattern shares its enumeration pass with
+    /// the weight observation, other queries run their own estimator
+    /// passes over the shared sample.
+    pub fn with_weight_pattern(mut self, pattern: Pattern) -> Self {
+        self.weight_pattern = Some(pattern);
+        self
+    }
+
+    /// The weight pattern the built sampler will observe (weighted
+    /// algorithms only).
+    fn resolve_weight_pattern(&self) -> Pattern {
+        self.weight_pattern.or_else(|| self.patterns.first().copied()).expect(
+            "weighted samplers need a weight pattern: attach a query or set with_weight_pattern",
+        )
+    }
+
+    /// Builds the session: one sampler for the chosen algorithm with
+    /// every requested query attached (cold — the sample is empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weighted algorithm has neither a query nor an
+    /// explicit weight pattern, if the budget cannot support one of the
+    /// query patterns, or if a WSD-L policy's dimension does not match
+    /// the weight pattern.
+    pub fn build(self) -> StreamSession {
+        let sampler = self.build_sampler();
+        StreamSession::from_parts(sampler, &self.patterns, self.mass_kernel)
+    }
+
+    /// Builds just the sampler layer (the session backend; exposed for
+    /// tests that drive [`EdgeSampler`] directly).
+    pub fn build_sampler(&self) -> Box<dyn EdgeSampler> {
+        use crate::algorithms::{
+            GpsASampler, GpsSampler, ThinkDSampler, TriestSampler, WrsSampler, WsdSampler,
+        };
+        let heuristic: Box<dyn WeightFn> = Box::new(HeuristicWeight);
+        match self.algorithm {
+            Algorithm::WsdL => {
+                let wp = self.resolve_weight_pattern();
+                let dim = wp.num_edges() + 3;
+                let policy = self.policy.clone().unwrap_or_else(|| LinearPolicy::neutral(dim));
+                assert_eq!(
+                    policy.dim(),
+                    dim,
+                    "policy dimension {} does not match weight-pattern state dimension {dim}",
+                    policy.dim()
+                );
+                Box::new(
+                    WsdSampler::new(wp, self.capacity, Box::new(policy), self.pooling, self.seed)
+                        .with_name("WSD-L")
+                        .with_mass_kernel(self.mass_kernel),
+                )
+            }
+            Algorithm::WsdH => Box::new(
+                WsdSampler::new(
+                    self.resolve_weight_pattern(),
+                    self.capacity,
+                    heuristic,
+                    self.pooling,
+                    self.seed,
+                )
+                .with_mass_kernel(self.mass_kernel),
+            ),
+            Algorithm::WsdUniform => Box::new(
+                WsdSampler::new(
+                    self.resolve_weight_pattern(),
+                    self.capacity,
+                    Box::new(UniformWeight),
+                    self.pooling,
+                    self.seed,
+                )
+                .with_name("WSD-U")
+                .with_mass_kernel(self.mass_kernel),
+            ),
+            Algorithm::GpsA => Box::new(
+                GpsASampler::new(
+                    self.resolve_weight_pattern(),
+                    self.capacity,
+                    heuristic,
+                    self.seed,
+                )
+                .with_mass_kernel(self.mass_kernel),
+            ),
+            Algorithm::Gps => Box::new(
+                GpsSampler::new(self.resolve_weight_pattern(), self.capacity, heuristic, self.seed)
+                    .with_mass_kernel(self.mass_kernel),
+            ),
+            Algorithm::Triest => Box::new(TriestSampler::new(self.capacity, self.seed)),
+            Algorithm::ThinkD => Box::new(ThinkDSampler::new(self.capacity, self.seed)),
+            // WRS has no sampler-side estimator pass — each attached
+            // query carries its own mass kernel.
+            Algorithm::Wrs => {
+                Box::new(WrsSampler::with_fraction(self.capacity, self.wrs_fraction, self.seed))
+            }
+        }
+    }
+}
+
+/// Adapter presenting a single-query [`StreamSession`] through the
+/// legacy [`SubgraphCounter`] trait — the shim behind the deprecated
+/// `CounterConfig::build`. Bit-identical to the pre-session counters.
+pub struct SessionCounter {
+    session: StreamSession,
+    query: QueryId,
+}
+
+impl SessionCounter {
+    /// Wraps a session, exposing its **first** attached query as the
+    /// counter's estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no attached query.
+    pub fn new(session: StreamSession) -> Self {
+        let query =
+            session.queries().next().expect("SessionCounter needs at least one attached query").0;
+        Self { session, query }
+    }
+
+    /// The underlying session (e.g. to attach further queries).
+    pub fn session(&self) -> &StreamSession {
+        &self.session
+    }
+
+    /// Unwraps back into the session.
+    pub fn into_session(self) -> StreamSession {
+        self.session
+    }
+}
+
+impl SubgraphCounter for SessionCounter {
+    fn process(&mut self, ev: EdgeEvent) {
+        self.session.process(ev);
+    }
+
+    fn process_batch(&mut self, batch: &[EdgeEvent]) {
+        self.session.process_batch(batch);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.session.estimate(self.query)
+    }
+
+    fn name(&self) -> &str {
+        self.session.name()
+    }
+
+    fn pattern(&self) -> Pattern {
+        self.session.pattern(self.query)
+    }
+
+    fn stored_edges(&self) -> usize {
+        self.session.stored_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::insert(Edge::new(a, b))
+    }
+
+    fn del(a: u64, b: u64) -> EdgeEvent {
+        EdgeEvent::delete(Edge::new(a, b))
+    }
+
+    #[test]
+    fn multi_query_session_is_exact_when_nothing_evicts() {
+        let mut s = SessionBuilder::new(Algorithm::WsdH, 128, 1)
+            .query(Pattern::Wedge)
+            .query(Pattern::Triangle)
+            .build();
+        for ev in [ins(1, 2), ins(2, 3), ins(1, 3), ins(3, 4)] {
+            s.process(ev);
+        }
+        let r = s.report();
+        assert_eq!(r.algorithm, "WSD-H");
+        assert_eq!(r.events, 4);
+        assert_eq!(r.stored_edges, 4);
+        // Wedges: (1-2,2-3), (1-2,1-3), (2-3,1-3 via shared 3? no — pairs
+        // sharing an endpoint): centred 1: {12,13}; centred 2: {12,23};
+        // centred 3: {23,13},{23,34},{13,34} → 5. Triangle: one.
+        assert_eq!(r.queries[0].estimate, 5.0);
+        assert_eq!(r.queries[1].estimate, 1.0);
+        s.process(del(1, 3));
+        assert_eq!(s.estimate(r.queries[1].id), 0.0);
+        assert_eq!(s.estimate(r.queries[0].id), 2.0);
+    }
+
+    #[test]
+    fn attach_warms_up_from_the_current_sample() {
+        // Capacity large enough that the sample holds everything: the
+        // warm-started query must equal the exact in-sample count.
+        let mut s = SessionBuilder::new(Algorithm::WsdH, 128, 2).query(Pattern::Triangle).build();
+        for ev in [ins(1, 2), ins(2, 3), ins(1, 3), ins(3, 4), ins(2, 4)] {
+            s.process(ev);
+        }
+        let wedges = s.attach(Pattern::Wedge);
+        // τ is still 0 (never filled) → every inverse probability is 1 →
+        // warm-up equals the exact wedge count of the sampled graph.
+        let adj_wedges = s.estimate(wedges);
+        assert_eq!(adj_wedges, 8.0);
+        // Subsequent events update the warmed query incrementally.
+        s.process(ins(1, 4));
+        assert_eq!(s.estimate(wedges), 8.0 + 4.0);
+    }
+
+    #[test]
+    fn detach_retires_the_handle_and_keeps_others_live() {
+        let mut s = SessionBuilder::new(Algorithm::Triest, 64, 3)
+            .query(Pattern::Triangle)
+            .query(Pattern::Wedge)
+            .build();
+        let ids: Vec<QueryId> = s.queries().map(|(id, _)| id).collect();
+        for ev in [ins(1, 2), ins(2, 3), ins(1, 3)] {
+            s.process(ev);
+        }
+        let final_tri = s.detach(ids[0]);
+        assert_eq!(final_tri, 1.0);
+        assert_eq!(s.num_queries(), 1);
+        assert_eq!(s.estimate(ids[1]), 3.0);
+        // Re-attaching yields a fresh id, warm-started.
+        let tri2 = s.attach(Pattern::Triangle);
+        assert_ne!(tri2, ids[0]);
+        assert_eq!(s.estimate(tri2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different session")]
+    fn foreign_query_id_panics() {
+        let a = SessionBuilder::new(Algorithm::Triest, 64, 1).query(Pattern::Triangle).build();
+        let b = SessionBuilder::new(Algorithm::Triest, 64, 1).query(Pattern::Wedge).build();
+        let (id_a, _) = a.queries().next().unwrap();
+        // Same slot index, different session: must panic, not alias b's
+        // wedge query.
+        let _ = b.estimate(id_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "already detached")]
+    fn double_detach_panics() {
+        let mut s = SessionBuilder::new(Algorithm::ThinkD, 64, 4).query(Pattern::Triangle).build();
+        let (id, _) = s.queries().next().unwrap();
+        s.detach(id);
+        s.detach(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight pattern")]
+    fn weighted_session_without_queries_needs_explicit_weight_pattern() {
+        let _ = SessionBuilder::new(Algorithm::WsdH, 64, 5).build();
+    }
+
+    #[test]
+    fn uniform_session_without_queries_attaches_later() {
+        let mut s = SessionBuilder::new(Algorithm::Wrs, 64, 6).build();
+        for ev in [ins(1, 2), ins(2, 3), ins(1, 3)] {
+            s.process(ev);
+        }
+        let tri = s.attach(Pattern::Triangle);
+        assert_eq!(s.estimate(tri), 1.0);
+    }
+
+    #[test]
+    fn replay_enumerates_each_instance_once() {
+        // A 4-cycle with one chord: triangles {1,2,3} and {1,3,4}.
+        let edges: Vec<(Edge, f64)> = [(1, 2), (2, 3), (1, 3), (3, 4), (1, 4)]
+            .into_iter()
+            .map(|(a, b)| (Edge::new(a, b), 2.0))
+            .collect();
+        let mut scratch = EnumScratch::default();
+        let mut count = 0;
+        let mut mass = 0.0;
+        for_each_sample_instance(Pattern::Triangle, &edges, &mut scratch, |payloads| {
+            assert_eq!(payloads.len(), 3);
+            count += 1;
+            mass += payloads.iter().product::<f64>();
+        });
+        assert_eq!(count, 2);
+        assert_eq!(mass, 16.0); // 2³ per triangle
+    }
+}

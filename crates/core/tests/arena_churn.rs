@@ -14,6 +14,7 @@
 //! weight, time, or cached `1/p`) or heap/ID desynchronisation shows up
 //! as a divergence.
 
+#![allow(deprecated)] // CounterConfig::build: the legacy single-query shim is pinned deliberately
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

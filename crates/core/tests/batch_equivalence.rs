@@ -12,6 +12,7 @@
 //! seeds, the merged ensemble estimate is a pure function of the inputs,
 //! independent of worker thread count and batch size.
 
+#![allow(deprecated)] // CounterConfig::build: the legacy single-query shim is pinned deliberately
 use proptest::prelude::*;
 use wsd_core::engine::Ensemble;
 use wsd_core::{Algorithm, CounterConfig};

@@ -12,6 +12,7 @@
 //! different RNG protocol), regenerate these constants deliberately and
 //! say so in the commit — never loosen the comparison to a tolerance.
 
+#![allow(deprecated)] // CounterConfig::build: the legacy single-query shim is pinned deliberately
 use wsd_core::{Algorithm, CounterConfig};
 use wsd_graph::Pattern;
 use wsd_stream::gen::GeneratorConfig;

@@ -25,6 +25,7 @@
 //!   sampled-graph neighbourhoods across the galloping shadow threshold
 //!   in both directions.
 
+#![allow(deprecated)] // CounterConfig::build: the legacy single-query shim is pinned deliberately
 use proptest::prelude::*;
 use wsd_core::{Algorithm, CounterConfig, MassKernel};
 use wsd_graph::{Edge, EdgeEvent, Pattern, SHADOW_THRESHOLD};

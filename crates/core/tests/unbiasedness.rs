@@ -7,6 +7,7 @@
 //! within a few standard errors of the exact count. These are the tests
 //! that would catch a wrong inclusion probability or a broken τ update.
 
+#![allow(deprecated)] // CounterConfig::build: the legacy single-query shim is pinned deliberately
 use wsd_core::{Algorithm, CounterConfig, SubgraphCounter};
 use wsd_graph::Pattern;
 use wsd_stream::gen::GeneratorConfig;

@@ -5,8 +5,10 @@
 //! *transitivity* `3·T / W` (triangles per wedge). A bot farm that
 //! registers a tight clique of accounts injects a burst of edges that
 //! are abnormally triangle-dense. This example maintains streaming
-//! estimates of both counts with two WSD-H samplers under a small fixed
-//! budget and flags windows where the transitivity estimate jumps.
+//! estimates of both counts with **one** WSD-H stream session — a
+//! single shared sampler answering the triangle and wedge queries at
+//! once under a small fixed budget — and flags windows where the
+//! transitivity estimate jumps.
 //!
 //! ```sh
 //! cargo run --release --example anomaly_detection
@@ -46,19 +48,25 @@ fn main() {
         bomb_range.end
     );
 
+    // One triangle-weighted sampler serves both queries: half the
+    // memory and half the sampling work of the two-counter setup this
+    // example used before the session API.
     let budget = 3_000;
-    let mut triangles = CounterConfig::new(Pattern::Triangle, budget, 7).build(Algorithm::WsdH);
-    let mut wedges = CounterConfig::new(Pattern::Wedge, budget, 8).build(Algorithm::WsdH);
+    let mut session = SessionBuilder::new(Algorithm::WsdH, budget, 7)
+        .query(Pattern::Triangle)
+        .query(Pattern::Wedge)
+        .build();
+    let ids: Vec<QueryId> = session.queries().map(|(id, _)| id).collect();
+    let (triangles, wedges) = (ids[0], ids[1]);
 
     let window = events.len() / 40;
     let mut last_transitivity: Option<f64> = None;
     let mut alarms: Vec<usize> = Vec::new();
     for (i, &ev) in events.iter().enumerate() {
-        triangles.process(ev);
-        wedges.process(ev);
+        session.process(ev);
         if (i + 1) % window == 0 {
-            let w = wedges.estimate().max(1.0);
-            let t = (3.0 * triangles.estimate() / w).max(0.0);
+            let w = session.estimate(wedges).max(1.0);
+            let t = (3.0 * session.estimate(triangles) / w).max(0.0);
             let jump = last_transitivity.map_or(0.0, |p| t - p);
             let flag = jump > 0.008;
             if flag {

@@ -1,5 +1,6 @@
-//! Quickstart: estimate triangle counts on a fully dynamic graph stream
-//! with a fixed memory budget, and compare against the exact count.
+//! Quickstart: estimate wedge, triangle and 4-clique counts on a fully
+//! dynamic graph stream with **one shared sampler pass** under a fixed
+//! memory budget, and compare against the exact counts.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -16,34 +17,58 @@ fn main() {
     let events = Scenario::default_light().apply(&edges, 1);
     println!("stream: {} events ({} edge insertions)", events.len(), edges.len());
 
-    // 2. Build three estimators under the same 5% memory budget.
+    // 2. One WSD-H session under a 5% memory budget answers the paper's
+    //    whole pattern grid from a single weighted edge sample — the
+    //    sampling machinery (the dominant per-event cost) is paid once,
+    //    not once per pattern.
     let budget = edges.len() / 20;
-    let mut counters: Vec<Box<dyn SubgraphCounter>> =
-        [Algorithm::WsdH, Algorithm::ThinkD, Algorithm::Triest]
-            .into_iter()
-            .map(|alg| CounterConfig::new(Pattern::Triangle, budget, 42).build(alg))
-            .collect();
+    let patterns = [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique];
+    let mut session = SessionBuilder::new(Algorithm::WsdH, budget, 42)
+        .queries(patterns)
+        .with_weight_pattern(Pattern::Triangle)
+        .build();
 
-    // 3. Single pass over the stream; every estimator sees every event.
-    let mut exact = ExactCounter::new(Pattern::Triangle);
-    for &ev in &events {
-        for c in &mut counters {
-            c.process(ev);
+    // 3. Single pass over the stream, with exact counters riding along
+    //    for the comparison.
+    let mut exact: Vec<ExactCounter> = patterns.iter().map(|&p| ExactCounter::new(p)).collect();
+    BatchDriver::new().run_session(&mut session, &events);
+    for ev in &events {
+        for x in &mut exact {
+            x.apply(*ev).expect("generated streams are feasible");
         }
-        exact.apply(ev).expect("generated streams are feasible");
     }
 
-    // 4. Report.
-    let truth = exact.count() as f64;
-    println!("exact triangle count: {truth}");
-    for c in &counters {
-        let are = (c.estimate() - truth).abs() / truth * 100.0;
+    // 4. Report: every query of the one session against its exact count.
+    //    (Single runs are noisy for the rarest patterns — the estimators
+    //    are *unbiased*, not low-variance; average replicas with
+    //    `Ensemble::run_sessions` to tighten, as the paper's protocol
+    //    does.)
+    let report = session.report();
+    println!(
+        "{} session: {} events, {} edges stored, {} queries",
+        report.algorithm,
+        report.events,
+        report.stored_edges,
+        report.queries.len()
+    );
+    for (q, x) in report.queries.iter().zip(&exact) {
+        let truth = x.count() as f64;
+        let are = (q.estimate - truth).abs() / truth * 100.0;
         println!(
-            "{:>8}: estimate {:>12.1}  (ARE {:.2}%, {} edges stored)",
-            c.name(),
-            c.estimate(),
-            are,
-            c.stored_edges()
+            "{:>9}: estimate {:>14.1}  exact {:>12}  (ARE {:.2}%)",
+            q.pattern.name(),
+            q.estimate,
+            x.count(),
+            are
         );
     }
+
+    // 5. Queries also attach mid-stream: a new query warms up from the
+    //    current sample and tracks subsequent events incrementally.
+    //    (Here the stream is over, so the warm-up is the whole story.)
+    let late = session.attach(Pattern::Triangle);
+    println!(
+        "late-attached triangle query (warm-started from the final sample): {:.1}",
+        session.estimate(late)
+    );
 }

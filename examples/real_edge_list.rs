@@ -50,11 +50,13 @@ fn main() {
 
     // Estimate triangles with a 5% budget and compare against exact.
     let budget = (edges.len() / 20).max(100);
-    let mut counter = CounterConfig::new(Pattern::Triangle, budget, 1).build(Algorithm::WsdH);
-    counter.process_all(&events);
+    let mut session =
+        SessionBuilder::new(Algorithm::WsdH, budget, 1).query(Pattern::Triangle).build();
+    let (triangles, _) = session.queries().next().expect("one query");
+    session.process_all(&events);
     let truth = ExactCounter::count_stream(Pattern::Triangle, events).expect("feasible") as f64;
     println!(
         "triangles: exact {truth}, WSD-H estimate {:.1} (budget {budget} edges)",
-        counter.estimate()
+        session.estimate(triangles)
     );
 }

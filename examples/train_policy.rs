@@ -47,13 +47,14 @@ fn main() {
         let reps = 15;
         (0..reps)
             .map(|seed| {
-                let mut c = CounterConfig::new(Pattern::Triangle, budget, 900 + seed);
+                let mut b = SessionBuilder::new(alg, budget, 900 + seed).query(Pattern::Triangle);
                 if let Some(p) = policy.clone() {
-                    c = c.with_policy(p);
+                    b = b.with_policy(p);
                 }
-                let mut counter = c.build(alg);
-                counter.process_all(&events);
-                (counter.estimate() - truth).abs() / truth
+                let mut session = b.build();
+                let (qid, _) = session.queries().next().expect("one query");
+                session.process_all(&events);
+                (session.estimate(qid) - truth).abs() / truth
             })
             .sum::<f64>()
             / reps as f64

@@ -17,10 +17,15 @@
 //! |---|---|---|
 //! | [`graph`] | `wsd-graph` | edges, events, adjacency, patterns, exact counts |
 //! | [`stream`] | `wsd-stream` | generators, scenarios, orderings, datasets |
-//! | [`core`] | `wsd-core` | WSD, GPS, GPS-A, Triest, ThinkD, WRS + the batched/parallel engine |
+//! | [`core`] | `wsd-core` | multi-query stream sessions over WSD, GPS, GPS-A, Triest, ThinkD, WRS + the batched/parallel engine |
 //! | [`rl`] | `wsd-rl` | DDPG, replay, training, policy persistence |
 //!
 //! # Quickstart
+//!
+//! One **stream session** = one shared sampler pass answering any
+//! number of pattern queries — the sampling machinery (the dominant
+//! per-event cost at reservoir budgets) is paid once, not once per
+//! pattern:
 //!
 //! ```
 //! use wsd::prelude::*;
@@ -32,32 +37,48 @@
 //! }.generate(7);
 //! let events = Scenario::default_light().apply(&edges, 7);
 //!
-//! // Estimate the triangle count with WSD under a 500-edge budget,
-//! // ingesting in batches through the engine (bit-identical to
-//! // event-by-event processing, with per-event overheads amortised)…
-//! let mut counter = CounterConfig::new(Pattern::Triangle, 500, 42)
-//!     .build(Algorithm::WsdH);
-//! BatchDriver::new().run(counter.as_mut(), &events);
+//! // One WSD-H sampler under a 500-edge budget answers the paper's
+//! // whole pattern grid in a single pass, ingesting in batches through
+//! // the engine (bit-identical to event-by-event processing, with
+//! // per-event overheads amortised)…
+//! let mut session = SessionBuilder::new(Algorithm::WsdH, 500, 42)
+//!     .query(Pattern::Triangle)
+//!     .query(Pattern::Wedge)
+//!     .query(Pattern::FourClique)
+//!     .build();
+//! BatchDriver::new().run_session(&mut session, &events);
 //!
 //! // …and compare with the exact count. (A single run on a tiny graph
 //! // is noisy — the estimator is *unbiased*, not low-variance; see the
 //! // statistical tests in `crates/core/tests/unbiasedness.rs`.)
 //! let truth = ExactCounter::count_stream(Pattern::Triangle, events.clone()).unwrap();
-//! let are = (counter.estimate() - truth as f64).abs() / truth as f64;
+//! let report = session.report();
+//! assert_eq!(report.queries.len(), 3);
+//! let triangles = report.queries[0].estimate;
+//! let are = (triangles - truth as f64).abs() / truth as f64;
 //! assert!(are < 0.8, "budgeted estimate should be in the ballpark");
 //!
+//! // Queries attach and detach mid-stream: a new query warms up from
+//! // the current sample, the sampler itself is untouched.
+//! let more_wedges = session.attach(Pattern::Wedge);
+//! assert!(session.estimate(more_wedges) > 0.0);
+//!
 //! // The paper's repeated-runs protocol as a first-class parallel
-//! // primitive: N independently seeded replicas on a thread pool,
-//! // merged into mean/variance/CI. Same seeds ⇒ same merged estimate
-//! // regardless of thread count.
+//! // primitive: N independently seeded session replicas on a thread
+//! // pool, merged per query into mean/variance/CI. Same seeds ⇒ same
+//! // merged estimates regardless of thread count.
 //! let report = Ensemble::new(8)
 //!     .with_threads(4)
 //!     .with_base_seed(42)
-//!     .run(&events, |seed| {
-//!         CounterConfig::new(Pattern::Triangle, 500, seed).build(Algorithm::WsdH)
+//!     .run_sessions(&events, |seed| {
+//!         SessionBuilder::new(Algorithm::WsdH, 500, seed)
+//!             .query(Pattern::Triangle)
+//!             .query(Pattern::Wedge)
+//!             .build()
 //!     });
-//! assert_eq!(report.estimates.len(), 8);
-//! let ensemble_are = (report.mean - truth as f64).abs() / truth as f64;
+//! let tri = report.for_pattern(Pattern::Triangle).unwrap();
+//! assert_eq!(tri.estimates.len(), 8);
+//! let ensemble_are = (tri.mean - truth as f64).abs() / truth as f64;
 //! assert!(ensemble_are < 0.5, "averaging replicas tightens the estimate");
 //! ```
 
@@ -78,7 +99,8 @@ pub use wsd_rl as rl;
 /// The most common imports in one place.
 pub mod prelude {
     pub use wsd_core::{
-        Algorithm, BatchDriver, CounterConfig, Ensemble, EnsembleReport, LinearPolicy,
+        Algorithm, BatchDriver, CounterConfig, EdgeSampler, Ensemble, EnsembleReport, LinearPolicy,
+        PatternQuery, QueryId, SessionBuilder, SessionEnsembleReport, SessionReport, StreamSession,
         SubgraphCounter, TemporalPooling, WeightFn,
     };
     pub use wsd_graph::{Adjacency, Edge, EdgeEvent, ExactCounter, Op, Pattern, Vertex};

@@ -2,6 +2,7 @@
 //! deterministic given its seeds — generators, scenarios, samplers and
 //! training.
 
+#![allow(deprecated)] // CounterConfig::build: the legacy single-query shim is pinned deliberately
 use wsd::prelude::*;
 use wsd::stream::dataset;
 

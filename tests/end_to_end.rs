@@ -1,6 +1,7 @@
 //! End-to-end pipeline tests through the umbrella `wsd` crate: dataset
 //! registry → scenario → every algorithm → sane estimates.
 
+#![allow(deprecated)] // CounterConfig::build: the legacy single-query shim is pinned deliberately
 use wsd::prelude::*;
 use wsd::stream::dataset;
 

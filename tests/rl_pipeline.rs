@@ -2,6 +2,7 @@
 //! → deploy, and the headline sanity check that learned weights do not
 //! underperform the heuristic on the training distribution.
 
+#![allow(deprecated)] // CounterConfig::build: the legacy single-query shim is pinned deliberately
 use wsd::prelude::*;
 
 fn category_graph(vertices: u64, seed: u64) -> Vec<Edge> {
