@@ -24,7 +24,7 @@ use crate::estimator::MassKernel;
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
-use crate::session::{EdgeSampler, PatternQuery};
+use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
@@ -44,9 +44,6 @@ pub struct GpsSampler {
     /// The `(M+1)`-th largest rank seen so far (`r_{M+1}` in Eq. 1).
     z: f64,
     t: u64,
-    /// Scratch for the weight pass when no query counts the weight
-    /// pattern.
-    own_scratch: EnumScratch,
     acc: StateAccumulator,
     /// Reusable state-vector buffer (allocation-free insertions).
     state_buf: StateVector,
@@ -88,7 +85,6 @@ impl GpsSampler {
             sample: WeightedSample::with_capacity(capacity),
             z: 0.0,
             t: 0,
-            own_scratch: EnumScratch::default(),
             acc: StateAccumulator::new(weight_pattern.num_edges(), TemporalPooling::Max),
             state_buf: StateVector::empty(),
             weight_fn,
@@ -118,22 +114,48 @@ impl GpsSampler {
     }
 
     /// Insertion with an externally drawn `u` (batched path).
-    fn insert_with_u(&mut self, e: Edge, u: f64, queries: &mut [PatternQuery]) {
-        let w = crate::algorithms::observe_queries(
-            self.weight_mode,
-            self.mass_kernel,
-            self.weight_pattern,
-            &mut self.sample,
-            e,
-            self.z,
-            &mut self.own_scratch,
-            &mut self.acc,
-            &mut self.state_buf,
-            self.weight_fn.as_mut(),
-            self.t,
-            None,
-            queries,
-        );
+    fn insert_with_u(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+        let QueryCtx { queries, scratch, plan } = ctx;
+        // One layered pass serves every query when the weight
+        // observation rides a plan level (fused weight query or a
+        // count-blind `Affine(0, b)` weight); otherwise the legacy
+        // per-query passes run unchanged.
+        let layered = plan.filter(|_| {
+            queries.iter().any(|q| q.pattern == self.weight_pattern)
+                || matches!(self.weight_mode, WeightMode::Affine(a, _) if a == 0.0)
+        });
+        let w = match layered {
+            Some(plan) => crate::algorithms::observe_queries_layered(
+                self.weight_mode,
+                self.weight_pattern,
+                &mut self.sample,
+                e,
+                self.z,
+                &mut self.acc,
+                &mut self.state_buf,
+                self.weight_fn.as_mut(),
+                self.t,
+                None,
+                plan,
+                queries,
+                scratch,
+            ),
+            None => crate::algorithms::observe_queries(
+                self.weight_mode,
+                self.mass_kernel,
+                self.weight_pattern,
+                &mut self.sample,
+                e,
+                self.z,
+                scratch,
+                &mut self.acc,
+                &mut self.state_buf,
+                self.weight_fn.as_mut(),
+                self.t,
+                None,
+                queries,
+            ),
+        };
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
             let id = self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
@@ -157,11 +179,11 @@ impl EdgeSampler for GpsSampler {
     ///
     /// Panics on deletion events — GPS is an insertion-only algorithm
     /// (paper Example 1 shows it is biased under deletions).
-    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
+    fn process(&mut self, ev: EdgeEvent, ctx: QueryCtx<'_>) {
         match ev.op {
             Op::Insert => {
                 let u = draw_u(&mut self.rng);
-                self.insert_with_u(ev.edge, u, queries);
+                self.insert_with_u(ev.edge, u, ctx);
             }
             Op::Delete => panic!(
                 "GPS cannot process deletion events (paper §III-A); \
@@ -174,10 +196,10 @@ impl EdgeSampler for GpsSampler {
     /// Batched path: insertion-only batches pre-draw all `u` variates in
     /// one RNG loop. A batch containing a deletion falls back to the
     /// sequential loop so the panic fires at exactly the same event.
-    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
+    fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
         if !batch.iter().all(EdgeEvent::is_insert) {
             for &ev in batch {
-                self.process(ev, queries);
+                self.process(ev, ctx.reborrow());
             }
             return;
         }
@@ -188,7 +210,7 @@ impl EdgeSampler for GpsSampler {
         }
         for (i, &ev) in batch.iter().enumerate() {
             let u = self.u_buf[i];
-            self.insert_with_u(ev.edge, u, queries);
+            self.insert_with_u(ev.edge, u, ctx.reborrow());
             self.t += 1;
         }
     }
@@ -197,8 +219,12 @@ impl EdgeSampler for GpsSampler {
         query.estimate
     }
 
-    fn warm_start(&self, query: &mut PatternQuery) {
-        crate::session::warm_start_weighted(&self.sample, self.z, query);
+    fn warm_start(&self, query: &mut PatternQuery, scratch: &mut EnumScratch) {
+        crate::session::warm_start_weighted(&self.sample, self.z, query, scratch);
+    }
+
+    fn warm_start_many(&self, queries: &mut [PatternQuery], scratch: &mut EnumScratch) {
+        crate::session::warm_start_weighted_many(&self.sample, self.z, queries, scratch);
     }
 
     fn stored_edges(&self) -> usize {
@@ -225,6 +251,7 @@ impl EdgeSampler for GpsSampler {
 pub struct GpsCounter {
     sampler: GpsSampler,
     query: PatternQuery,
+    scratch: EnumScratch,
 }
 
 impl GpsCounter {
@@ -237,6 +264,7 @@ impl GpsCounter {
         Self {
             sampler: GpsSampler::new(pattern, capacity, weight_fn, seed),
             query: PatternQuery::new(pattern, MassKernel::build_default()),
+            scratch: EnumScratch::default(),
         }
     }
 
@@ -265,11 +293,13 @@ impl SubgraphCounter for GpsCounter {
     ///
     /// Panics on deletion events — GPS is insertion-only.
     fn process(&mut self, ev: EdgeEvent) {
-        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process(ev, ctx);
     }
 
     fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process_batch(batch, ctx);
     }
 
     fn estimate(&self) -> f64 {

@@ -25,11 +25,11 @@
 
 use crate::algorithms::WeightMode;
 use crate::counter::SubgraphCounter;
-use crate::estimator::{weighted_mass, MassKernel};
+use crate::estimator::{layered_weighted_mass, weighted_mass, MassKernel};
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
-use crate::session::{EdgeSampler, PatternQuery};
+use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
@@ -62,9 +62,6 @@ pub struct GpsASampler {
     /// Threshold `z = r_{M+1}` (as in GPS).
     z: f64,
     t: u64,
-    /// Scratch for the weight pass when no query counts the weight
-    /// pattern.
-    own_scratch: EnumScratch,
     acc: StateAccumulator,
     /// Reusable state-vector buffer (allocation-free insertions).
     state_buf: StateVector,
@@ -110,7 +107,6 @@ impl GpsASampler {
             sample: WeightedSample::with_capacity(capacity),
             z: 0.0,
             t: 0,
-            own_scratch: EnumScratch::default(),
             acc: StateAccumulator::new(weight_pattern.num_edges(), TemporalPooling::Max),
             state_buf: StateVector::empty(),
             weight_fn,
@@ -164,22 +160,48 @@ impl GpsASampler {
     }
 
     /// Insertion with an externally drawn `u` (batched path).
-    fn insert_with_u(&mut self, e: Edge, u: f64, queries: &mut [PatternQuery]) {
-        let w = crate::algorithms::observe_queries(
-            self.weight_mode,
-            self.mass_kernel,
-            self.weight_pattern,
-            &mut self.sample,
-            e,
-            self.z,
-            &mut self.own_scratch,
-            &mut self.acc,
-            &mut self.state_buf,
-            self.weight_fn.as_mut(),
-            self.t,
-            None,
-            queries,
-        );
+    fn insert_with_u(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+        let QueryCtx { queries, scratch, plan } = ctx;
+        // One layered pass serves every query when the weight
+        // observation rides a plan level (fused weight query or a
+        // count-blind `Affine(0, b)` weight); otherwise the legacy
+        // per-query passes run unchanged.
+        let layered = plan.filter(|_| {
+            queries.iter().any(|q| q.pattern == self.weight_pattern)
+                || matches!(self.weight_mode, WeightMode::Affine(a, _) if a == 0.0)
+        });
+        let w = match layered {
+            Some(plan) => crate::algorithms::observe_queries_layered(
+                self.weight_mode,
+                self.weight_pattern,
+                &mut self.sample,
+                e,
+                self.z,
+                &mut self.acc,
+                &mut self.state_buf,
+                self.weight_fn.as_mut(),
+                self.t,
+                None,
+                plan,
+                queries,
+                scratch,
+            ),
+            None => crate::algorithms::observe_queries(
+                self.weight_mode,
+                self.mass_kernel,
+                self.weight_pattern,
+                &mut self.sample,
+                e,
+                self.z,
+                scratch,
+                &mut self.acc,
+                &mut self.state_buf,
+                self.weight_fn.as_mut(),
+                self.t,
+                None,
+                queries,
+            ),
+        };
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
             self.admit(e, w, r);
@@ -237,40 +259,62 @@ impl GpsASampler {
         self.edge_item[eid] = item;
     }
 
-    fn delete(&mut self, e: Edge, queries: &mut [PatternQuery]) {
+    fn delete(&mut self, e: Edge, ctx: QueryCtx<'_>) {
+        let QueryCtx { queries, scratch, plan } = ctx;
         // Estimator first (Eq. 7): destroyed instances against the live
         // sample, which never contains e's own probability (J \ e_x).
         // Tag e (remove from the estimation view) *before* enumerating,
-        // so the view matches `R \ R_tag` without e.
+        // so the view matches `R \ R_tag` without e. One layered pass
+        // subtracts every query's destroyed mass when the plan covers
+        // them all.
         if let Some((eid, _)) = self.sample.remove_full(e) {
             let item = self.edge_item[eid as usize];
             debug_assert_eq!(self.item_edge[item as usize], e);
             // The ghost stays in the heap, still occupying budget.
             self.item_live[item as usize] = false;
         }
-        for q in queries.iter_mut() {
-            let m = weighted_mass(
-                q.mass_kernel,
-                q.pattern,
-                &mut self.sample,
-                e,
-                self.z,
-                &mut q.scratch,
-                None,
-            );
-            q.estimate -= m.mass;
+        match plan {
+            Some(plan) => {
+                let kernel = queries[0].mass_kernel;
+                let m = layered_weighted_mass(
+                    kernel,
+                    plan.levels(),
+                    &mut self.sample,
+                    e,
+                    self.z,
+                    scratch,
+                    None,
+                );
+                for (j, q) in queries.iter_mut().enumerate() {
+                    q.estimate -= m.mass[plan.level_of(j)];
+                }
+            }
+            None => {
+                for q in queries.iter_mut() {
+                    let m = weighted_mass(
+                        q.mass_kernel,
+                        q.pattern,
+                        &mut self.sample,
+                        e,
+                        self.z,
+                        scratch,
+                        None,
+                    );
+                    q.estimate -= m.mass;
+                }
+            }
         }
     }
 }
 
 impl EdgeSampler for GpsASampler {
-    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
+    fn process(&mut self, ev: EdgeEvent, ctx: QueryCtx<'_>) {
         match ev.op {
             Op::Insert => {
                 let u = draw_u(&mut self.rng);
-                self.insert_with_u(ev.edge, u, queries);
+                self.insert_with_u(ev.edge, u, ctx);
             }
-            Op::Delete => self.delete(ev.edge, queries),
+            Op::Delete => self.delete(ev.edge, ctx),
         }
         self.t += 1;
     }
@@ -278,16 +322,20 @@ impl EdgeSampler for GpsASampler {
     /// Batched path: as with WSD, exactly one `u` per insertion and none
     /// per deletion — all variates for the batch are pre-drawn in one
     /// RNG loop, preserving the sequential stream bit-for-bit.
-    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
-        crate::algorithms::predrawn_batch!(self, batch, queries);
+    fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
+        crate::algorithms::predrawn_batch!(self, batch, ctx);
     }
 
     fn query_estimate(&self, query: &PatternQuery) -> f64 {
         query.estimate
     }
 
-    fn warm_start(&self, query: &mut PatternQuery) {
-        crate::session::warm_start_weighted(&self.sample, self.z, query);
+    fn warm_start(&self, query: &mut PatternQuery, scratch: &mut EnumScratch) {
+        crate::session::warm_start_weighted(&self.sample, self.z, query, scratch);
+    }
+
+    fn warm_start_many(&self, queries: &mut [PatternQuery], scratch: &mut EnumScratch) {
+        crate::session::warm_start_weighted_many(&self.sample, self.z, queries, scratch);
     }
 
     fn stored_edges(&self) -> usize {
@@ -314,6 +362,7 @@ impl EdgeSampler for GpsASampler {
 pub struct GpsACounter {
     sampler: GpsASampler,
     query: PatternQuery,
+    scratch: EnumScratch,
 }
 
 impl GpsACounter {
@@ -326,6 +375,7 @@ impl GpsACounter {
         Self {
             sampler: GpsASampler::new(pattern, capacity, weight_fn, seed),
             query: PatternQuery::new(pattern, MassKernel::build_default()),
+            scratch: EnumScratch::default(),
         }
     }
 
@@ -356,11 +406,13 @@ impl GpsACounter {
 
 impl SubgraphCounter for GpsACounter {
     fn process(&mut self, ev: EdgeEvent) {
-        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process(ev, ctx);
     }
 
     fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process_batch(batch, ctx);
     }
 
     fn estimate(&self) -> f64 {

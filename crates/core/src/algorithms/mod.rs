@@ -133,7 +133,7 @@ pub(crate) fn observe_queries(
     sample: &mut crate::sampled_graph::WeightedSample,
     e: wsd_graph::Edge,
     tau: f64,
-    own_scratch: &mut wsd_graph::patterns::EnumScratch,
+    scratch: &mut wsd_graph::patterns::EnumScratch,
     acc: &mut crate::state::StateAccumulator,
     state_buf: &mut crate::state::StateVector,
     weight_fn: &mut dyn crate::weight::WeightFn,
@@ -146,14 +146,16 @@ pub(crate) fn observe_queries(
     let w = match fused {
         Some(i) => {
             let q = &mut queries[i];
+            let kernel = q.mass_kernel;
+            let pattern = q.pattern;
             observe_insertion(
                 mode,
-                q.mass_kernel,
-                q.pattern,
+                kernel,
+                pattern,
                 sample,
                 e,
                 tau,
-                &mut q.scratch,
+                scratch,
                 acc,
                 state_buf,
                 weight_fn,
@@ -176,7 +178,7 @@ pub(crate) fn observe_queries(
                     sample,
                     e,
                     tau,
-                    own_scratch,
+                    scratch,
                     acc,
                     state_buf,
                     weight_fn,
@@ -191,10 +193,86 @@ pub(crate) fn observe_queries(
         if Some(j) == fused {
             continue;
         }
-        let m = weighted_mass(q.mass_kernel, q.pattern, sample, e, tau, &mut q.scratch, None);
+        let m = weighted_mass(q.mass_kernel, q.pattern, sample, e, tau, scratch, None);
         q.estimate += m.mass;
     }
     w
+}
+
+/// The layered analogue of [`observe_queries`]: when a session's
+/// [`LayeredPlan`](crate::session::LayeredPlan) covers every attached
+/// query, one wedge→triangle→4-clique pass over the shared pre-update
+/// sample produces every level's mass at once, and each query simply
+/// adds the mass at its plan level. Per-level emission order is exactly
+/// the per-pattern kernels' order and the per-instance inverse-
+/// probability products are query-independent, so each query's estimate
+/// trajectory stays bit-for-bit the per-query-pass trajectory.
+///
+/// Callers must only take this path when the weight observation rides a
+/// plan level: either a fused query counts the weight pattern, or the
+/// weight ignores the instance count entirely (`Affine(0, b)`).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn observe_queries_layered(
+    mode: WeightMode,
+    weight_pattern: wsd_graph::Pattern,
+    sample: &mut crate::sampled_graph::WeightedSample,
+    e: wsd_graph::Edge,
+    tau: f64,
+    acc: &mut crate::state::StateAccumulator,
+    state_buf: &mut crate::state::StateVector,
+    weight_fn: &mut dyn crate::weight::WeightFn,
+    now: u64,
+    observer: Option<&mut ObserverFn>,
+    plan: &crate::session::LayeredPlan,
+    queries: &mut [crate::session::PatternQuery],
+    scratch: &mut wsd_graph::patterns::EnumScratch,
+) -> f64 {
+    use crate::estimator::layered_weighted_mass;
+    use wsd_graph::LayeredLevels;
+    let kernel = queries[0].mass_kernel;
+    if mode == WeightMode::Full {
+        let wl = LayeredLevels::level_of(weight_pattern)
+            .expect("layered observation requires a leveled weight pattern");
+        acc.reset();
+        let m = layered_weighted_mass(
+            kernel,
+            plan.levels(),
+            sample,
+            e,
+            tau,
+            scratch,
+            Some((wl, acc, now)),
+        );
+        for (j, q) in queries.iter_mut().enumerate() {
+            q.estimate += m.mass[plan.level_of(j)];
+        }
+        acc.finish_into(m.deg_u, m.deg_v, state_buf);
+        let w = weight_fn.weight(state_buf);
+        if let Some(obs) = observer {
+            obs(e, state_buf, w);
+        }
+        w
+    } else {
+        let m = layered_weighted_mass(kernel, plan.levels(), sample, e, tau, scratch, None);
+        for (j, q) in queries.iter_mut().enumerate() {
+            q.estimate += m.mass[plan.level_of(j)];
+        }
+        match mode {
+            WeightMode::Affine(0.0, b) => b,
+            WeightMode::Affine(a, b) => {
+                let wl = LayeredLevels::level_of(weight_pattern)
+                    .expect("layered observation requires a leveled weight pattern");
+                a * (m.instances[wl] as f64) + b
+            }
+            _ => {
+                let wl = LayeredLevels::level_of(weight_pattern)
+                    .expect("layered observation requires a leveled weight pattern");
+                state_buf.set_instances_only(m.instances[wl]);
+                weight_fn.weight(state_buf)
+            }
+        }
+    }
 }
 
 /// Shared batched-loop skeleton of the weighted samplers (WSD, GPS-A):
@@ -202,13 +280,13 @@ pub(crate) fn observe_queries(
 /// deletion, so all variates for the batch are pre-drawn in one RNG
 /// loop — same stream as sequential processing, bit-for-bit — then the
 /// events are dispatched to the sampler's `insert_with_u`/`delete`,
-/// each serving every query in `$queries`.
+/// each serving every query in `$ctx`.
 ///
 /// A macro rather than a function because the fast path and the
 /// dispatch both need disjoint `&mut self` access (rng + scratch buffer
 /// + sampler state), which closures cannot express.
 macro_rules! predrawn_batch {
-    ($self:ident, $batch:ident, $queries:ident) => {{
+    ($self:ident, $batch:ident, $ctx:ident) => {{
         let insertions = $batch.iter().filter(|ev| ev.is_insert()).count();
         $self.u_buf.clear();
         $self.u_buf.reserve(insertions);
@@ -221,9 +299,9 @@ macro_rules! predrawn_batch {
                 wsd_graph::Op::Insert => {
                     let u = $self.u_buf[next_u];
                     next_u += 1;
-                    $self.insert_with_u(ev.edge, u, $queries);
+                    $self.insert_with_u(ev.edge, u, $ctx.reborrow());
                 }
-                wsd_graph::Op::Delete => $self.delete(ev.edge, $queries),
+                wsd_graph::Op::Delete => $self.delete(ev.edge, $ctx.reborrow()),
             }
             $self.t += 1;
         }
@@ -236,7 +314,7 @@ macro_rules! predrawn_batch {
 /// loop; everything else falls through to the sequential `process`,
 /// keeping estimates and RNG stream bit-identical.
 macro_rules! rp_fill_batch {
-    ($self:ident, $batch:ident, $queries:ident, |$e:ident| $fast:block) => {{
+    ($self:ident, $batch:ident, $ctx:ident, |$e:ident| $fast:block) => {{
         let mut i = 0;
         while i < $batch.len() {
             if $batch[i].is_insert() {
@@ -251,7 +329,7 @@ macro_rules! rp_fill_batch {
                     continue;
                 }
             }
-            $self.process($batch[i], $queries);
+            $self.process($batch[i], $ctx.reborrow());
             i += 1;
         }
     }};

@@ -23,10 +23,11 @@
 
 use crate::counter::SubgraphCounter;
 use crate::reservoir::{Admission, RpReservoir};
-use crate::session::{EdgeSampler, PatternQuery};
+use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use wsd_graph::{EdgeEvent, Op, Pattern, VertexAdjacency};
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Edge, EdgeEvent, Op, Pattern, VertexAdjacency};
 
 /// The ThinkD (accurate variant) sampling layer.
 pub struct ThinkDSampler {
@@ -61,22 +62,45 @@ impl ThinkDSampler {
         }
         inv
     }
+
+    /// Adds `sign ×` each query's rescaled completed-instance count for
+    /// sample size `s` over population `n` — one layered count shared by
+    /// every query when the session's plan covers them all (the counts
+    /// are integers and the rescale is per-query, so sharing is exact).
+    fn update_estimates(&self, e: Edge, ctx: QueryCtx<'_>, sign: f64, s: u64, n: u64) {
+        let QueryCtx { queries, scratch, plan } = ctx;
+        match plan {
+            Some(plan) => {
+                let counts = plan.levels().count_completed(&self.adj, e, scratch);
+                for (j, q) in queries.iter_mut().enumerate() {
+                    let partners = q.pattern.num_edges() as u64 - 1;
+                    let found = counts[plan.level_of(j)];
+                    if found > 0 {
+                        q.estimate += sign * found as f64 * Self::inv_prob(partners, s, n);
+                    }
+                }
+            }
+            None => {
+                for q in queries.iter_mut() {
+                    let partners = q.pattern.num_edges() as u64 - 1;
+                    let found = q.pattern.count_completed(&self.adj, e, scratch);
+                    if found > 0 {
+                        q.estimate += sign * found as f64 * Self::inv_prob(partners, s, n);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl EdgeSampler for ThinkDSampler {
-    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
+    fn process(&mut self, ev: EdgeEvent, ctx: QueryCtx<'_>) {
         match ev.op {
             Op::Insert => {
                 // Update first, against the pre-event sample/population.
                 let n = self.reservoir.population();
                 let s = self.reservoir.len() as u64;
-                for q in queries.iter_mut() {
-                    let partners = q.pattern.num_edges() as u64 - 1;
-                    let found = q.pattern.count_completed(&self.adj, ev.edge, &mut q.scratch);
-                    if found > 0 {
-                        q.estimate += found as f64 * Self::inv_prob(partners, s, n);
-                    }
-                }
+                self.update_estimates(ev.edge, ctx, 1.0, s, n);
                 match self.reservoir.offer(ev.edge, &mut self.rng) {
                     Admission::Added => {
                         self.adj.insert(ev.edge);
@@ -97,13 +121,7 @@ impl EdgeSampler for ThinkDSampler {
                 if in_sample {
                     self.adj.remove(ev.edge);
                 }
-                for q in queries.iter_mut() {
-                    let partners = q.pattern.num_edges() as u64 - 1;
-                    let found = q.pattern.count_completed(&self.adj, ev.edge, &mut q.scratch);
-                    if found > 0 {
-                        q.estimate -= found as f64 * Self::inv_prob(partners, s, n);
-                    }
-                }
+                self.update_estimates(ev.edge, ctx, -1.0, s, n);
                 self.reservoir.delete(ev.edge);
             }
         }
@@ -115,14 +133,30 @@ impl EdgeSampler for ThinkDSampler {
     /// whole population (`s == n`, all inclusion probabilities exactly
     /// 1), so the update-then-admit pair collapses to exact count
     /// increments plus an unconditional admission.
-    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
-        crate::algorithms::rp_fill_batch!(self, batch, queries, |e| {
+    fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
+        crate::algorithms::rp_fill_batch!(self, batch, ctx, |e| {
             // Fill phase ⇒ s == n ⇒ Π (n−i)/(s−i) = 1 exactly.
             debug_assert_eq!(self.reservoir.len() as u64, self.reservoir.population());
-            for q in queries.iter_mut() {
-                let found = q.pattern.count_completed(&self.adj, e, &mut q.scratch);
-                if found > 0 {
-                    q.estimate += found as f64;
+            {
+                let QueryCtx { queries, scratch, plan } = ctx.reborrow();
+                match plan {
+                    Some(plan) => {
+                        let counts = plan.levels().count_completed(&self.adj, e, scratch);
+                        for (j, q) in queries.iter_mut().enumerate() {
+                            let found = counts[plan.level_of(j)];
+                            if found > 0 {
+                                q.estimate += found as f64;
+                            }
+                        }
+                    }
+                    None => {
+                        for q in queries.iter_mut() {
+                            let found = q.pattern.count_completed(&self.adj, e, scratch);
+                            if found > 0 {
+                                q.estimate += found as f64;
+                            }
+                        }
+                    }
                 }
             }
             self.reservoir.admit_unconditional(e);
@@ -137,7 +171,7 @@ impl EdgeSampler for ThinkDSampler {
     /// Warm start: every instance fully inside the uniform sample is
     /// there with probability `κ = Π_{i<|H|} (s−i)/(n−i)`, so the count
     /// of in-sample instances rescaled by `κ⁻¹` seeds the estimate.
-    fn warm_start(&self, query: &mut PatternQuery) {
+    fn warm_start(&self, query: &mut PatternQuery, _scratch: &mut EnumScratch) {
         query.tau = 0;
         let found = wsd_graph::exact::count_static(query.pattern, &self.adj);
         query.estimate = if found == 0 {
@@ -175,6 +209,7 @@ impl EdgeSampler for ThinkDSampler {
 pub struct ThinkDCounter {
     sampler: ThinkDSampler,
     query: PatternQuery,
+    scratch: EnumScratch,
 }
 
 impl ThinkDCounter {
@@ -193,6 +228,7 @@ impl ThinkDCounter {
         Self {
             sampler: ThinkDSampler::new(capacity, seed),
             query: PatternQuery::new(pattern, crate::estimator::MassKernel::build_default()),
+            scratch: EnumScratch::default(),
         }
     }
 
@@ -204,11 +240,13 @@ impl ThinkDCounter {
 
 impl SubgraphCounter for ThinkDCounter {
     fn process(&mut self, ev: EdgeEvent) {
-        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process(ev, ctx);
     }
 
     fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process_batch(batch, ctx);
     }
 
     fn estimate(&self) -> f64 {

@@ -24,9 +24,10 @@
 
 use crate::counter::SubgraphCounter;
 use crate::reservoir::{Admission, RpReservoir};
-use crate::session::{EdgeSampler, PatternQuery};
+use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use wsd_graph::patterns::EnumScratch;
 use wsd_graph::{Edge, EdgeEvent, Op, Pattern, VertexAdjacency};
 
 /// The Triest-FD sampling layer: a random-pairing uniform reservoir
@@ -60,35 +61,52 @@ impl TriestSampler {
         &self.adj
     }
 
-    fn add_to_sample(&mut self, e: Edge, queries: &mut [PatternQuery]) {
-        for q in queries.iter_mut() {
-            q.tau += q.pattern.count_completed(&self.adj, e, &mut q.scratch) as i64;
+    /// Counts the instances `e` completes at each query's level — one
+    /// layered count when the session's plan covers every query
+    /// (integer counts are query-independent, so sharing is exact),
+    /// per-query counts otherwise.
+    fn count_into_taus(&self, e: Edge, ctx: QueryCtx<'_>, sign: i64) {
+        let QueryCtx { queries, scratch, plan } = ctx;
+        match plan {
+            Some(plan) => {
+                let counts = plan.levels().count_completed(&self.adj, e, scratch);
+                for (j, q) in queries.iter_mut().enumerate() {
+                    q.tau += sign * counts[plan.level_of(j)] as i64;
+                }
+            }
+            None => {
+                for q in queries.iter_mut() {
+                    q.tau += sign * q.pattern.count_completed(&self.adj, e, scratch) as i64;
+                }
+            }
         }
+    }
+
+    fn add_to_sample(&mut self, e: Edge, ctx: QueryCtx<'_>) {
+        self.count_into_taus(e, ctx, 1);
         self.adj.insert(e);
     }
 
-    fn remove_from_sample(&mut self, e: Edge, queries: &mut [PatternQuery]) {
+    fn remove_from_sample(&mut self, e: Edge, ctx: QueryCtx<'_>) {
         self.adj.remove(e);
-        for q in queries.iter_mut() {
-            q.tau -= q.pattern.count_completed(&self.adj, e, &mut q.scratch) as i64;
-        }
+        self.count_into_taus(e, ctx, -1);
     }
 }
 
 impl EdgeSampler for TriestSampler {
-    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
+    fn process(&mut self, ev: EdgeEvent, mut ctx: QueryCtx<'_>) {
         match ev.op {
             Op::Insert => match self.reservoir.offer(ev.edge, &mut self.rng) {
-                Admission::Added => self.add_to_sample(ev.edge, queries),
+                Admission::Added => self.add_to_sample(ev.edge, ctx),
                 Admission::Replaced(victim) => {
-                    self.remove_from_sample(victim, queries);
-                    self.add_to_sample(ev.edge, queries);
+                    self.remove_from_sample(victim, ctx.reborrow());
+                    self.add_to_sample(ev.edge, ctx);
                 }
                 Admission::Skipped => {}
             },
             Op::Delete => {
                 if self.reservoir.delete(ev.edge) {
-                    self.remove_from_sample(ev.edge, queries);
+                    self.remove_from_sample(ev.edge, ctx);
                 }
             }
         }
@@ -101,10 +119,10 @@ impl EdgeSampler for TriestSampler {
     /// phase bypass the admission branch cascade entirely; everything
     /// else falls through to the per-event logic, keeping the estimates
     /// and RNG stream bit-identical to sequential processing.
-    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
-        crate::algorithms::rp_fill_batch!(self, batch, queries, |e| {
+    fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
+        crate::algorithms::rp_fill_batch!(self, batch, ctx, |e| {
             self.reservoir.admit_unconditional(e);
-            self.add_to_sample(e, queries);
+            self.add_to_sample(e, ctx.reborrow());
         });
     }
 
@@ -127,7 +145,7 @@ impl EdgeSampler for TriestSampler {
     /// sample, so a warm start recounts them statically — an attached
     /// query is indistinguishable from one that tracked the sample from
     /// event 0.
-    fn warm_start(&self, query: &mut PatternQuery) {
+    fn warm_start(&self, query: &mut PatternQuery, _scratch: &mut EnumScratch) {
         query.estimate = 0.0;
         query.tau = wsd_graph::exact::count_static(query.pattern, &self.adj) as i64;
     }
@@ -157,6 +175,7 @@ impl EdgeSampler for TriestSampler {
 pub struct TriestCounter {
     sampler: TriestSampler,
     query: PatternQuery,
+    scratch: EnumScratch,
 }
 
 impl TriestCounter {
@@ -175,6 +194,7 @@ impl TriestCounter {
         Self {
             sampler: TriestSampler::new(capacity, seed),
             query: PatternQuery::new(pattern, crate::estimator::MassKernel::build_default()),
+            scratch: EnumScratch::default(),
         }
     }
 
@@ -191,11 +211,13 @@ impl TriestCounter {
 
 impl SubgraphCounter for TriestCounter {
     fn process(&mut self, ev: EdgeEvent) {
-        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process(ev, ctx);
     }
 
     fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process_batch(batch, ctx);
     }
 
     fn estimate(&self) -> f64 {

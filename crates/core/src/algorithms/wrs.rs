@@ -47,11 +47,12 @@
 use crate::counter::SubgraphCounter;
 use crate::estimator::MassKernel;
 use crate::reservoir::{Admission, RpReservoir};
-use crate::session::{EdgeSampler, PatternQuery};
+use crate::session::{EdgeSampler, LayeredPlan, PatternQuery, QueryCtx};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
-use wsd_graph::{Adjacency, Edge, EdgeEvent, Op, Pattern, BLOCK_LANES};
+use wsd_graph::patterns::EnumScratch;
+use wsd_graph::{Adjacency, Edge, EdgeEvent, LayeredLevels, Op, Pattern, BLOCK_LANES};
 
 /// Default waiting-room fraction of the budget (the WRS paper's default).
 pub const DEFAULT_WAITING_ROOM_FRACTION: f64 = 0.1;
@@ -141,6 +142,20 @@ impl WrsSampler {
         self.room_seq[id as usize] > self.spill_horizon
     }
 
+    /// Snapshot of the live sample for warm-up replays: each edge with a
+    /// `1.0` payload if it sits in the reservoir (`0.0` for waiting-room
+    /// members), so a replayed instance's reservoir-partner count is the
+    /// payload sum.
+    fn replay_edges(&self) -> Vec<(Edge, f64)> {
+        self.adj
+            .edges()
+            .map(|e| {
+                let id = self.adj.edge_id(e).expect("iterated edge is live");
+                (e, if self.in_room_id(id) { 0.0 } else { 1.0 })
+            })
+            .collect()
+    }
+
     /// Adds `e` to the waiting room: FIFO + adjacency, with the
     /// admission-sequence stamp written for the estimator's partner
     /// checks (re-stamping is also what retires whatever an ID's
@@ -175,7 +190,15 @@ impl WrsSampler {
     /// current sample to `query`. `sign` is +1 for insertions, −1 for
     /// deletions; `s`/`n_r` are the reservoir sample/population sizes to
     /// use.
-    fn update_query(&self, q: &mut PatternQuery, e: Edge, sign: f64, s: u64, n_r: u64) {
+    fn update_query(
+        &self,
+        q: &mut PatternQuery,
+        scratch: &mut EnumScratch,
+        e: Edge,
+        sign: f64,
+        s: u64,
+        n_r: u64,
+    ) {
         let room_seq = &self.room_seq;
         let horizon = self.spill_horizon;
         let mut total = 0.0;
@@ -190,7 +213,7 @@ impl WrsSampler {
             // inverse products in emission order; a partial tail block
             // runs per-lane so sparse events pay nothing for empty
             // lanes.
-            q.pattern.for_each_completed_blocks(&self.adj, e, &mut q.scratch, |block| {
+            q.pattern.for_each_completed_blocks(&self.adj, e, scratch, |block| {
                 if block.len() == BLOCK_LANES {
                     let mut in_res = [0u64; BLOCK_LANES];
                     for j in 0..block.width() {
@@ -216,7 +239,7 @@ impl WrsSampler {
                 }
             });
         } else {
-            q.pattern.for_each_completed(&self.adj, e, &mut q.scratch, |partners| {
+            q.pattern.for_each_completed(&self.adj, e, scratch, |partners| {
                 let mut in_reservoir = 0u64;
                 for &p in partners {
                     if room_seq[p as usize] <= horizon {
@@ -230,13 +253,90 @@ impl WrsSampler {
         q.estimate += sign * total;
     }
 
-    fn insert(&mut self, e: Edge, queries: &mut [PatternQuery]) {
+    /// The layered analogue of [`WrsSampler::update_query`]: one
+    /// wedge→triangle→4-clique pass accumulates a per-level total (the
+    /// per-instance inverse products are query-independent), and each
+    /// query adds `sign ×` the total at its plan level. Per-level
+    /// emission order matches the per-pattern kernels, so the totals —
+    /// and therefore every query's estimate trajectory — are bit-for-bit
+    /// the per-query-pass values.
+    #[allow(clippy::too_many_arguments)]
+    fn update_queries_layered(
+        &self,
+        plan: &LayeredPlan,
+        queries: &mut [PatternQuery],
+        scratch: &mut EnumScratch,
+        e: Edge,
+        sign: f64,
+        s: u64,
+        n_r: u64,
+    ) {
+        let room_seq = &self.room_seq;
+        let horizon = self.spill_horizon;
+        let mut totals = [0.0f64; LayeredLevels::COUNT];
+        if queries[0].mass_kernel == MassKernel::Lanes {
+            plan.levels().for_each_completed_blocks(&self.adj, e, scratch, |level, block| {
+                let total = &mut totals[level];
+                if block.len() == BLOCK_LANES {
+                    let mut in_res = [0u64; BLOCK_LANES];
+                    for j in 0..block.width() {
+                        let row = block.lane_ids(j);
+                        for (c, &id) in in_res.iter_mut().zip(row) {
+                            *c += u64::from(room_seq[id as usize] <= horizon);
+                        }
+                    }
+                    for &in_reservoir in &in_res {
+                        debug_assert!(in_reservoir <= s);
+                        *total += Self::instance_inv(in_reservoir, s, n_r);
+                    }
+                } else {
+                    for lane in 0..block.len() {
+                        let mut in_reservoir = 0u64;
+                        for j in 0..block.width() {
+                            let id = block.id(j, lane);
+                            in_reservoir += u64::from(room_seq[id as usize] <= horizon);
+                        }
+                        debug_assert!(in_reservoir <= s);
+                        *total += Self::instance_inv(in_reservoir, s, n_r);
+                    }
+                }
+            });
+        } else {
+            plan.levels().for_each_completed(&self.adj, e, scratch, |level, partners| {
+                let mut in_reservoir = 0u64;
+                for &p in partners {
+                    if room_seq[p as usize] <= horizon {
+                        in_reservoir += 1;
+                    }
+                }
+                debug_assert!(in_reservoir <= s);
+                totals[level] += Self::instance_inv(in_reservoir, s, n_r);
+            });
+        }
+        for (j, q) in queries.iter_mut().enumerate() {
+            q.estimate += sign * totals[plan.level_of(j)];
+        }
+    }
+
+    /// Dispatches the estimator update to the layered pass (plan covers
+    /// every query) or the per-query passes.
+    fn update_queries(&self, ctx: QueryCtx<'_>, e: Edge, sign: f64, s: u64, n_r: u64) {
+        let QueryCtx { queries, scratch, plan } = ctx;
+        match plan {
+            Some(plan) => self.update_queries_layered(plan, queries, scratch, e, sign, s, n_r),
+            None => {
+                for q in queries.iter_mut() {
+                    self.update_query(q, scratch, e, sign, s, n_r);
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, e: Edge, ctx: QueryCtx<'_>) {
         // Estimator first (update-on-arrival).
         let s = self.reservoir.len() as u64;
         let n_r = self.reservoir.population();
-        for q in queries.iter_mut() {
-            self.update_query(q, e, 1.0, s, n_r);
-        }
+        self.update_queries(ctx, e, 1.0, s, n_r);
         // New edge always enters the waiting room.
         self.room_admit(e);
         if self.room_len > self.room_capacity {
@@ -286,7 +386,7 @@ impl WrsSampler {
         }
     }
 
-    fn delete(&mut self, e: Edge, queries: &mut [PatternQuery]) {
+    fn delete(&mut self, e: Edge, ctx: QueryCtx<'_>) {
         // Classify by stamp: a live edge is in the room or the
         // reservoir; everything else was never sampled (or already
         // dropped). The freed ID needs no stamp reset — its next tenant
@@ -306,9 +406,7 @@ impl WrsSampler {
         } else {
             self.reservoir.population() - 1
         };
-        for q in queries.iter_mut() {
-            self.update_query(q, e, -1.0, s, n_r);
-        }
+        self.update_queries(ctx, e, -1.0, s, n_r);
         // Sample bookkeeping.
         if in_room {
             self.room_len -= 1;
@@ -322,10 +420,10 @@ impl WrsSampler {
 }
 
 impl EdgeSampler for WrsSampler {
-    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
+    fn process(&mut self, ev: EdgeEvent, ctx: QueryCtx<'_>) {
         match ev.op {
-            Op::Insert => self.insert(ev.edge, queries),
-            Op::Delete => self.delete(ev.edge, queries),
+            Op::Insert => self.insert(ev.edge, ctx),
+            Op::Delete => self.delete(ev.edge, ctx),
         }
     }
 
@@ -334,7 +432,7 @@ impl EdgeSampler for WrsSampler {
     /// processed in a tight loop with the overflow branch hoisted out;
     /// the reservoir size/population reads are loop-invariant across
     /// such a run (the reservoir is untouched) and are hoisted too.
-    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
+    fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
         let mut i = 0;
         while i < batch.len() {
             if batch[i].is_insert() {
@@ -344,9 +442,7 @@ impl EdgeSampler for WrsSampler {
                     let n_r = self.reservoir.population();
                     while free > 0 && i < batch.len() && batch[i].is_insert() {
                         let e = batch[i].edge;
-                        for q in queries.iter_mut() {
-                            self.update_query(q, e, 1.0, s, n_r);
-                        }
+                        self.update_queries(ctx.reborrow(), e, 1.0, s, n_r);
                         self.room_admit(e);
                         free -= 1;
                         i += 1;
@@ -354,7 +450,7 @@ impl EdgeSampler for WrsSampler {
                     continue;
                 }
             }
-            self.process(batch[i], queries);
+            self.process(batch[i], ctx.reborrow());
             i += 1;
         }
     }
@@ -366,26 +462,65 @@ impl EdgeSampler for WrsSampler {
     /// Warm start: every instance fully inside the sample is weighted by
     /// the inverse inclusion probability of its reservoir members (room
     /// members sit in the sample with probability 1).
-    fn warm_start(&self, query: &mut PatternQuery) {
+    fn warm_start(&self, query: &mut PatternQuery, scratch: &mut EnumScratch) {
         query.estimate = 0.0;
         query.tau = 0;
         let s = self.reservoir.len() as u64;
         let n_r = self.reservoir.population();
-        let edges: Vec<(Edge, f64)> = self
-            .adj
-            .edges()
-            .map(|e| {
-                let id = self.adj.edge_id(e).expect("iterated edge is live");
-                (e, if self.in_room_id(id) { 0.0 } else { 1.0 })
-            })
-            .collect();
+        let edges = self.replay_edges();
         let pattern = query.pattern;
         let mut total = 0.0;
-        crate::session::for_each_sample_instance(pattern, &edges, &mut query.scratch, |payloads| {
+        crate::session::for_each_sample_instance(pattern, &edges, scratch, |payloads| {
             let in_reservoir = payloads.iter().sum::<f64>() as u64;
             total += Self::instance_inv(in_reservoir, s, n_r);
         });
         query.estimate = total;
+    }
+
+    /// Shared warm-up: when at least two newly attached queries sit on
+    /// plan levels, one layered replay of the current sample seeds them
+    /// all (per-level replay order matches the per-pattern replay, so
+    /// each estimate is bit-identical to a solo [`warm_start`]);
+    /// unleveled patterns fall back to their own replay.
+    ///
+    /// [`warm_start`]: EdgeSampler::warm_start
+    fn warm_start_many(&self, queries: &mut [PatternQuery], scratch: &mut EnumScratch) {
+        let mut levels = LayeredLevels::default();
+        let mut nested = 0;
+        for q in queries.iter() {
+            if let Some(level) = LayeredLevels::level_of(q.pattern) {
+                levels.set(level);
+                nested += 1;
+            }
+        }
+        if nested < 2 {
+            for q in queries.iter_mut() {
+                self.warm_start(q, scratch);
+            }
+            return;
+        }
+        let s = self.reservoir.len() as u64;
+        let n_r = self.reservoir.population();
+        let edges = self.replay_edges();
+        let mut sums = [0.0f64; LayeredLevels::COUNT];
+        crate::session::for_each_sample_instance_layered(
+            levels,
+            &edges,
+            scratch,
+            |level, payloads| {
+                let in_reservoir = payloads.iter().sum::<f64>() as u64;
+                sums[level] += Self::instance_inv(in_reservoir, s, n_r);
+            },
+        );
+        for q in queries.iter_mut() {
+            match LayeredLevels::level_of(q.pattern) {
+                Some(level) => {
+                    q.estimate = sums[level];
+                    q.tau = 0;
+                }
+                None => self.warm_start(q, scratch),
+            }
+        }
     }
 
     fn stored_edges(&self) -> usize {
@@ -412,6 +547,7 @@ impl EdgeSampler for WrsSampler {
 pub struct WrsCounter {
     sampler: WrsSampler,
     query: PatternQuery,
+    scratch: EnumScratch,
 }
 
 impl WrsCounter {
@@ -436,6 +572,7 @@ impl WrsCounter {
         Self {
             sampler,
             query: PatternQuery::new(pattern, crate::estimator::MassKernel::build_default()),
+            scratch: EnumScratch::default(),
         }
     }
 
@@ -454,11 +591,13 @@ impl WrsCounter {
 
 impl SubgraphCounter for WrsCounter {
     fn process(&mut self, ev: EdgeEvent) {
-        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process(ev, ctx);
     }
 
     fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process_batch(batch, ctx);
     }
 
     fn estimate(&self) -> f64 {

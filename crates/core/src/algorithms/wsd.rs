@@ -45,11 +45,11 @@
 
 use crate::algorithms::WeightMode;
 use crate::counter::SubgraphCounter;
-use crate::estimator::{weighted_mass, MassKernel};
+use crate::estimator::{layered_weighted_mass, weighted_mass, MassKernel};
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
-use crate::session::{EdgeSampler, PatternQuery};
+use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
@@ -75,9 +75,6 @@ pub struct WsdSampler {
     tau_p: f64,
     tau_q: f64,
     t: u64,
-    /// Enumeration scratch for the weight observation when no attached
-    /// query counts the weight pattern.
-    own_scratch: EnumScratch,
     acc: StateAccumulator,
     /// Reusable state-vector buffer (one state is observed per
     /// insertion; reuse keeps the hot path allocation-free).
@@ -132,7 +129,6 @@ impl WsdSampler {
             tau_p: 0.0,
             tau_q: 0.0,
             t: 0,
-            own_scratch: EnumScratch::default(),
             acc: StateAccumulator::new(weight_pattern.num_edges(), pooling),
             state_buf: StateVector::empty(),
             weight_fn,
@@ -179,24 +175,50 @@ impl WsdSampler {
     /// Insertion with an externally drawn `u ∈ (0, 1]` — the batched
     /// path pre-draws one variate per insertion (in event order, so the
     /// RNG stream is identical to sequential processing).
-    fn insert_with_u(&mut self, e: Edge, u: f64, queries: &mut [PatternQuery]) {
+    fn insert_with_u(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+        let QueryCtx { queries, scratch, plan } = ctx;
         // Algorithm 2 per query: estimator + state observation *before*
-        // the sampling decision, against the pre-update reservoir.
-        let w = crate::algorithms::observe_queries(
-            self.weight_mode,
-            self.mass_kernel,
-            self.weight_pattern,
-            &mut self.sample,
-            e,
-            self.tau_q,
-            &mut self.own_scratch,
-            &mut self.acc,
-            &mut self.state_buf,
-            self.weight_fn.as_mut(),
-            self.t,
-            self.observer.as_deref_mut(),
-            queries,
-        );
+        // the sampling decision, against the pre-update reservoir. The
+        // layered pass serves every query (and the weight observation)
+        // at once, but only when the weight observation itself rides a
+        // plan level — a fused query counts the weight pattern, or the
+        // weight ignores the instance count (`Affine(0, b)`).
+        let layered = plan.filter(|_| {
+            queries.iter().any(|q| q.pattern == self.weight_pattern)
+                || matches!(self.weight_mode, WeightMode::Affine(a, _) if a == 0.0)
+        });
+        let w = match layered {
+            Some(plan) => crate::algorithms::observe_queries_layered(
+                self.weight_mode,
+                self.weight_pattern,
+                &mut self.sample,
+                e,
+                self.tau_q,
+                &mut self.acc,
+                &mut self.state_buf,
+                self.weight_fn.as_mut(),
+                self.t,
+                self.observer.as_deref_mut(),
+                plan,
+                queries,
+                scratch,
+            ),
+            None => crate::algorithms::observe_queries(
+                self.weight_mode,
+                self.mass_kernel,
+                self.weight_pattern,
+                &mut self.sample,
+                e,
+                self.tau_q,
+                scratch,
+                &mut self.acc,
+                &mut self.state_buf,
+                self.weight_fn.as_mut(),
+                self.t,
+                self.observer.as_deref_mut(),
+                queries,
+            ),
+        };
         debug_assert!(w > 0.0 && w.is_finite(), "weight function must be positive/finite");
         let r = rank(w, u);
         // Algorithm 1.
@@ -231,36 +253,57 @@ impl WsdSampler {
         self.heap.push(id, r);
     }
 
-    fn delete(&mut self, e: Edge, queries: &mut [PatternQuery]) {
+    fn delete(&mut self, e: Edge, ctx: QueryCtx<'_>) {
+        let QueryCtx { queries, scratch, plan } = ctx;
         // Case 3: drop the edge from the reservoir first (partners of
         // destroyed instances never include e itself, so removal order
-        // is safe), then subtract each query's destroyed mass.
+        // is safe), then subtract each query's destroyed mass — one
+        // layered pass when the session's plan covers every query.
         if let Some((id, _)) = self.sample.remove_full(e) {
             self.heap.remove(id).expect("heap and sample in sync");
         }
-        for q in queries.iter_mut() {
-            let m = weighted_mass(
-                q.mass_kernel,
-                q.pattern,
-                &mut self.sample,
-                e,
-                self.tau_q,
-                &mut q.scratch,
-                None,
-            );
-            q.estimate -= m.mass;
+        match plan {
+            Some(plan) => {
+                let kernel = queries[0].mass_kernel;
+                let m = layered_weighted_mass(
+                    kernel,
+                    plan.levels(),
+                    &mut self.sample,
+                    e,
+                    self.tau_q,
+                    scratch,
+                    None,
+                );
+                for (j, q) in queries.iter_mut().enumerate() {
+                    q.estimate -= m.mass[plan.level_of(j)];
+                }
+            }
+            None => {
+                for q in queries.iter_mut() {
+                    let m = weighted_mass(
+                        q.mass_kernel,
+                        q.pattern,
+                        &mut self.sample,
+                        e,
+                        self.tau_q,
+                        scratch,
+                        None,
+                    );
+                    q.estimate -= m.mass;
+                }
+            }
         }
     }
 }
 
 impl EdgeSampler for WsdSampler {
-    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]) {
+    fn process(&mut self, ev: EdgeEvent, ctx: QueryCtx<'_>) {
         match ev.op {
             Op::Insert => {
                 let u = draw_u(&mut self.rng);
-                self.insert_with_u(ev.edge, u, queries);
+                self.insert_with_u(ev.edge, u, ctx);
             }
-            Op::Delete => self.delete(ev.edge, queries),
+            Op::Delete => self.delete(ev.edge, ctx),
         }
         self.t += 1;
     }
@@ -269,16 +312,20 @@ impl EdgeSampler for WsdSampler {
     /// and none per deletion, so all draws for the batch can be made in
     /// one tight RNG loop up front — same stream, same estimates, with
     /// the RNG call overhead amortised across the batch.
-    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
-        crate::algorithms::predrawn_batch!(self, batch, queries);
+    fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
+        crate::algorithms::predrawn_batch!(self, batch, ctx);
     }
 
     fn query_estimate(&self, query: &PatternQuery) -> f64 {
         query.estimate
     }
 
-    fn warm_start(&self, query: &mut PatternQuery) {
-        crate::session::warm_start_weighted(&self.sample, self.tau_q, query);
+    fn warm_start(&self, query: &mut PatternQuery, scratch: &mut EnumScratch) {
+        crate::session::warm_start_weighted(&self.sample, self.tau_q, query, scratch);
+    }
+
+    fn warm_start_many(&self, queries: &mut [PatternQuery], scratch: &mut EnumScratch) {
+        crate::session::warm_start_weighted_many(&self.sample, self.tau_q, queries, scratch);
     }
 
     fn stored_edges(&self) -> usize {
@@ -306,6 +353,7 @@ impl EdgeSampler for WsdSampler {
 pub struct WsdCounter {
     sampler: WsdSampler,
     query: PatternQuery,
+    scratch: EnumScratch,
 }
 
 impl WsdCounter {
@@ -325,6 +373,7 @@ impl WsdCounter {
         Self {
             sampler: WsdSampler::new(pattern, capacity, weight_fn, pooling, seed),
             query: PatternQuery::new(pattern, MassKernel::build_default()),
+            scratch: EnumScratch::default(),
         }
     }
 
@@ -361,11 +410,13 @@ impl WsdCounter {
 
 impl SubgraphCounter for WsdCounter {
     fn process(&mut self, ev: EdgeEvent) {
-        self.sampler.process(ev, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process(ev, ctx);
     }
 
     fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        self.sampler.process_batch(batch, std::slice::from_mut(&mut self.query));
+        let ctx = QueryCtx::new(std::slice::from_mut(&mut self.query), &mut self.scratch);
+        self.sampler.process_batch(batch, ctx);
     }
 
     fn estimate(&self) -> f64 {
@@ -519,8 +570,9 @@ mod tests {
         );
         sampler.set_observer(Box::new(move |_, _, w| log2.lock().unwrap().push(w)));
         let mut queries: Vec<PatternQuery> = Vec::new();
+        let mut scratch = EnumScratch::default();
         for ev in [tri(1, 2), tri(2, 3), tri(1, 3)] {
-            sampler.process(ev, &mut queries);
+            sampler.process(ev, QueryCtx::new(&mut queries, &mut scratch));
         }
         assert_eq!(*log.lock().unwrap(), vec![1.0, 1.0, 10.0]);
     }

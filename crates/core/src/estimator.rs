@@ -51,7 +51,7 @@
 use crate::sampled_graph::{MetaView, WeightedSample};
 use crate::state::StateAccumulator;
 use wsd_graph::patterns::EnumScratch;
-use wsd_graph::{Edge, InstanceBlock, Pattern, BLOCK_LANES};
+use wsd_graph::{Edge, InstanceBlock, LayeredLevels, Pattern, BLOCK_LANES};
 
 /// Which estimator mass-accumulation kernel a counter runs.
 ///
@@ -155,6 +155,18 @@ pub(crate) fn weighted_mass(
         };
         return MassUpdate { mass, instances, deg_u, deg_v };
     }
+    // Width-1 fast path: a wedge instance's "product" is a single
+    // `1/p`, so the lane/scalar machinery below (block fills, cache
+    // priming, unit-product chains) is pure overhead — fold the partner
+    // IDs directly. Same instances, same emission order, and
+    // `1.0 * x == x` bitwise, so both kernels' sums are unchanged.
+    if matches!(pattern, Pattern::Wedge) && acc.is_none() {
+        let (deg_u, deg_v) = Pattern::for_each_wedge_partner(adj, e, |id| {
+            instances += 1;
+            mass += meta.inv_p(id);
+        });
+        return MassUpdate { mass, instances, deg_u, deg_v };
+    }
     // Kernel and accumulator are resolved *outside* the enumeration so
     // each arm hands the kernel a closure with no per-instance branching
     // left. `Lanes` needs a blockable pattern; wider patterns share the
@@ -229,6 +241,183 @@ pub(crate) fn weighted_mass(
         }),
     };
     MassUpdate { mass, instances, deg_u, deg_v }
+}
+
+/// The per-event output of [`layered_weighted_mass`]: per-level masses
+/// and instance counts (indexed by [`LayeredLevels`] level constants;
+/// inactive levels stay 0), plus the endpoint degrees.
+pub(crate) struct LayeredMassUpdate {
+    /// `Σ_J Π 1/p` per level.
+    pub mass: [f64; LayeredLevels::COUNT],
+    /// Completed instances per level.
+    pub instances: [u64; LayeredLevels::COUNT],
+    /// Degree of `e.u()` in the sampled graph.
+    pub deg_u: usize,
+    /// Degree of `e.v()` in the sampled graph.
+    pub deg_v: usize,
+}
+
+/// Layered analogue of [`weighted_mass`]: one enumeration pass over the
+/// active `levels`, accumulating each level's mass independently — the
+/// session's shared mass pass feeding every nested query at its level.
+/// When `acc` rides along it records partner times only for instances
+/// of its level (`acc.0`), exactly as the fused weight-pattern pass
+/// does.
+///
+/// Bit-identity with per-pattern [`weighted_mass`] calls holds arm by
+/// arm: the layered kernel emits each level in the per-pattern order,
+/// per-level sums start from 0.0, every lane/partial/scalar chain is
+/// the same left-associated product, and the lazy `1/p` cache is
+/// idempotent within an event (same τ ⇒ same epoch ⇒ same values no
+/// matter which pass fills them).
+pub(crate) fn layered_weighted_mass(
+    kernel: MassKernel,
+    levels: LayeredLevels,
+    sample: &mut WeightedSample,
+    e: Edge,
+    tau: f64,
+    scratch: &mut EnumScratch,
+    acc: Option<(usize, &mut StateAccumulator, u64)>,
+) -> LayeredMassUpdate {
+    debug_assert!(!sample.contains(e), "estimator edge must not be sampled");
+    let (adj, mut meta) = sample.estimator_view(tau);
+    let mut mass = [0.0f64; LayeredLevels::COUNT];
+    let mut instances = [0u64; LayeredLevels::COUNT];
+    if tau <= 0.0 {
+        // Fill-phase fast path, mirrored from `weighted_mass`: every
+        // inclusion probability is exactly 1, so each instance
+        // contributes 1.0 and the `1/p` reads are skipped; partner
+        // times still stream into the accumulator at its level.
+        let (deg_u, deg_v) = match acc {
+            Some((acc_level, acc, now)) => {
+                levels.for_each_completed(adj, e, scratch, |level, partners| {
+                    if level == acc_level {
+                        acc.begin_instance(now);
+                        for &p in partners {
+                            acc.push_partner_time(meta.time(p));
+                        }
+                        acc.commit_instance();
+                    }
+                    instances[level] += 1;
+                    mass[level] += 1.0;
+                })
+            }
+            None => levels.for_each_completed(adj, e, scratch, |level, partners| {
+                let _ = partners;
+                instances[level] += 1;
+                mass[level] += 1.0;
+            }),
+        };
+        return LayeredMassUpdate { mass, instances, deg_u, deg_v };
+    }
+    // Wedge-level fast path, mirrored from `weighted_mass`: a width-1
+    // instance folds its single `1/p` directly, skipping the block
+    // machinery. The wedge level is emitted first, so running it ahead
+    // of the remaining levels preserves the global emission order — and
+    // `1.0 * x == x` bitwise keeps the per-level sums unchanged.
+    // Skipped when the accumulator rides at the wedge level: that arm
+    // needs the partner times too.
+    let mut remaining = levels;
+    let mut wedge_degs = None;
+    if remaining.wedge && !matches!(&acc, Some((level, _, _)) if *level == LayeredLevels::WEDGE) {
+        remaining.wedge = false;
+        wedge_degs = Some(Pattern::for_each_wedge_partner(adj, e, |id| {
+            instances[LayeredLevels::WEDGE] += 1;
+            mass[LayeredLevels::WEDGE] += meta.inv_p(id);
+        }));
+    }
+    if remaining.is_empty() {
+        if let Some((deg_u, deg_v)) = wedge_degs {
+            return LayeredMassUpdate { mass, instances, deg_u, deg_v };
+        }
+    }
+    // Every layered level is blockable (widths 1/2/5 ≤ MAX_BLOCK_WIDTH),
+    // so the Lanes arm needs no width fallback.
+    let (deg_u, deg_v) = match (kernel, acc) {
+        (MassKernel::Lanes, mut acc) => {
+            remaining.for_each_completed_blocks(adj, e, scratch, |level, block| {
+                instances[level] += block.len() as u64;
+                let acc_here = match &mut acc {
+                    Some((acc_level, acc, now)) if *acc_level == level => Some((&mut **acc, *now)),
+                    _ => None,
+                };
+                match acc_here {
+                    Some((acc, now)) => {
+                        if block.len() == BLOCK_LANES {
+                            let prod = lane_products(&mut meta, block);
+                            for (lane, &p) in prod.iter().enumerate() {
+                                acc.begin_instance(now);
+                                for j in 0..block.width() {
+                                    acc.push_partner_time(meta.time(block.id(j, lane)));
+                                }
+                                acc.commit_instance();
+                                mass[level] += p;
+                            }
+                        } else {
+                            for lane in 0..block.len() {
+                                let mut prod = 1.0;
+                                acc.begin_instance(now);
+                                for j in 0..block.width() {
+                                    let (inv_p, time) = meta.inv_p_time(block.id(j, lane));
+                                    prod *= inv_p;
+                                    acc.push_partner_time(time);
+                                }
+                                acc.commit_instance();
+                                mass[level] += prod;
+                            }
+                        }
+                    }
+                    None => {
+                        if block.len() == BLOCK_LANES {
+                            let prod = lane_products(&mut meta, block);
+                            for &p in &prod {
+                                mass[level] += p;
+                            }
+                        } else {
+                            for lane in 0..block.len() {
+                                let mut prod = 1.0;
+                                for j in 0..block.width() {
+                                    prod *= meta.inv_p(block.id(j, lane));
+                                }
+                                mass[level] += prod;
+                            }
+                        }
+                    }
+                }
+            })
+        }
+        (MassKernel::Scalar, Some((acc_level, acc, now))) => {
+            remaining.for_each_completed(adj, e, scratch, |level, partners| {
+                let mut prod = 1.0;
+                if level == acc_level {
+                    acc.begin_instance(now);
+                    for &p in partners {
+                        let (inv_p, time) = meta.inv_p_time(p);
+                        prod *= inv_p;
+                        acc.push_partner_time(time);
+                    }
+                    acc.commit_instance();
+                } else {
+                    for &p in partners {
+                        prod *= meta.inv_p(p);
+                    }
+                }
+                instances[level] += 1;
+                mass[level] += prod;
+            })
+        }
+        (MassKernel::Scalar, None) => {
+            remaining.for_each_completed(adj, e, scratch, |level, partners| {
+                let mut prod = 1.0;
+                for &p in partners {
+                    prod *= meta.inv_p(p);
+                }
+                instances[level] += 1;
+                mass[level] += prod;
+            })
+        }
+    };
+    LayeredMassUpdate { mass, instances, deg_u, deg_v }
 }
 
 /// The vectorizable heart of [`MassKernel::Lanes`]: the `Π 1/p` products
@@ -425,6 +614,64 @@ mod tests {
         );
         assert_eq!(m.instances, 1);
         assert_eq!(m.mass, 2.0f64.powi(9)); // p = 1/2 per partner
+    }
+
+    /// The layered mass pass must match per-pattern passes to the bit —
+    /// per level, per kernel, per τ, with and without the accumulator.
+    #[test]
+    fn layered_mass_matches_per_pattern_passes_bitwise() {
+        // Hub closure (1,20): wedges at both endpoints, 9 triangles via
+        // 11..=19, and a few 4-cliques via the chords among 11..13.
+        let mut edges = Vec::new();
+        for (i, w) in (11..=19u64).enumerate() {
+            edges.push((1, w, 1.5 + i as f64, 2 * i as u64));
+            edges.push((20, w, 4.0 - 0.3 * i as f64, 2 * i as u64 + 1));
+        }
+        edges.push((11, 12, 2.5, 40));
+        edges.push((11, 13, 3.5, 41));
+        edges.push((12, 13, 1.25, 42));
+        let e = Edge::new(1, 20);
+        let all = LayeredLevels { wedge: true, triangle: true, four_clique: true };
+        let patterns = [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique];
+        for kernel in KERNELS {
+            for tau in [0.0, 2.0, 64.0] {
+                // Accumulator on the triangle level, as the fused
+                // weight pass runs it.
+                let mut s = sample_with(&edges);
+                let mut scratch = EnumScratch::default();
+                let mut acc = StateAccumulator::new(3, TemporalPooling::Max);
+                let m = layered_weighted_mass(
+                    kernel,
+                    all,
+                    &mut s,
+                    e,
+                    tau,
+                    &mut scratch,
+                    Some((LayeredLevels::TRIANGLE, &mut acc, 99)),
+                );
+                for (level, &p) in patterns.iter().enumerate() {
+                    let mut s_ref = sample_with(&edges);
+                    let mut acc_ref = StateAccumulator::new(3, TemporalPooling::Max);
+                    let acc_arg =
+                        (level == LayeredLevels::TRIANGLE).then_some((&mut acc_ref, 99u64));
+                    let r = weighted_mass(kernel, p, &mut s_ref, e, tau, &mut scratch, acc_arg);
+                    assert_eq!(
+                        m.mass[level].to_bits(),
+                        r.mass.to_bits(),
+                        "{kernel:?} τ={tau} level {level}: layered mass diverged"
+                    );
+                    assert_eq!(m.instances[level], r.instances, "{kernel:?} τ={tau} level {level}");
+                    assert_eq!((m.deg_u, m.deg_v), (r.deg_u, r.deg_v), "{kernel:?} τ={tau}");
+                    if level == LayeredLevels::TRIANGLE {
+                        assert_eq!(
+                            acc.finish(m.deg_u, m.deg_v).values(),
+                            acc_ref.finish(r.deg_u, r.deg_v).values(),
+                            "{kernel:?} τ={tau}: accumulator diverged"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

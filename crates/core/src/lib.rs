@@ -96,8 +96,8 @@ pub use counter::SubgraphCounter;
 pub use engine::{BatchDriver, Ensemble, EnsembleReport, SessionEnsembleReport};
 pub use estimator::MassKernel;
 pub use session::{
-    EdgeSampler, PatternQuery, QueryCheckpoint, QueryId, QueryReport, SessionBuilder,
-    SessionCounter, SessionReport, StreamSession,
+    EdgeSampler, LayeredPlan, PatternQuery, QueryCheckpoint, QueryCtx, QueryId, QueryReport,
+    SessionBuilder, SessionCounter, SessionReport, StreamSession,
 };
 pub use state::{StateVector, TemporalPooling};
 pub use weight::{FeatureNorm, HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};

@@ -39,6 +39,31 @@
 //! assert_eq!(report.queries[1].estimate, 1.0); // one triangle, exact
 //! ```
 //!
+//! # Layered planning
+//!
+//! The queried patterns **nest**: every 4-clique pair-probe runs over
+//! the common neighbourhood the triangle kernel intersects, and the
+//! wedge kernel walks the same endpoint neighbourhoods. When a session
+//! holds two or more queries whose patterns all sit on that
+//! wedge→triangle→4-clique ladder, it plans one [`LayeredPlan`] — the
+//! deduplicated union of the queries' levels — and the sampler runs
+//! **one layered enumeration pass per event**
+//! ([`wsd_graph::LayeredLevels`]), feeding every query's mass update at
+//! its level, instead of one per-pattern pass per query. On hub-heavy
+//! streams this removes the duplicated galloping intersections that
+//! dominate multi-query event cost. The layered kernel emits each
+//! level in exactly the per-pattern kernel's order, so estimates are
+//! **bit-identical** to the per-query passes (the layered-equivalence
+//! suite pins this per event); query mixes that include patterns off
+//! the ladder (generic cliques ≥ 5), single-query sessions, and
+//! sessions built with [`SessionBuilder::with_layered`]`(false)` fall
+//! back to the per-query passes unchanged.
+//!
+//! Queries attach in bulk with [`StreamSession::attach_many`], which
+//! warms up all new queries from **one** replay of the current sample
+//! (per-query [`StreamSession::attach`] replays the sample once per
+//! call) — bit-identical to attaching them one by one.
+//!
 //! A session with a single query is **bit-identical** to the legacy
 //! one-pattern counters (`CounterConfig::build`, now a shim over this
 //! module): same RNG stream, same floating-point evaluation order. The
@@ -53,7 +78,7 @@ use crate::sampled_graph::WeightedSample;
 use crate::state::TemporalPooling;
 use crate::weight::{HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};
 use wsd_graph::patterns::EnumScratch;
-use wsd_graph::{Adjacency, Edge, EdgeEvent, Pattern};
+use wsd_graph::{Adjacency, Edge, EdgeEvent, LayeredLevels, Pattern};
 
 /// Stable handle of a query attached to a [`StreamSession`].
 ///
@@ -81,14 +106,15 @@ impl QueryId {
 ///
 /// A query owns everything that is *per pattern*: the running
 /// accumulator (a mass estimate for the weighted samplers, ThinkD and
-/// WRS; the in-sample instance counter τ for Triest), its enumeration
-/// scratch, and the mass kernel its estimator passes run with. It owns
-/// nothing of the sample — that lives in the sampler, shared by every
-/// attached query.
+/// WRS; the in-sample instance counter τ for Triest) and the mass
+/// kernel its estimator passes run with. It owns nothing of the sample
+/// — that lives in the sampler — and no enumeration scratch: the
+/// session owns one [`EnumScratch`] shared by every attached query
+/// (the scratch is pure per-event workspace, so N queries never needed
+/// N copies), handed to the sampler per event via [`QueryCtx`].
 pub struct PatternQuery {
     pub(crate) pattern: Pattern,
     pub(crate) mass_kernel: MassKernel,
-    pub(crate) scratch: EnumScratch,
     /// Running mass estimate (weighted samplers, ThinkD, WRS).
     pub(crate) estimate: f64,
     /// In-sample instance counter (Triest's τ).
@@ -103,12 +129,87 @@ impl PatternQuery {
     /// Panics if the pattern is invalid.
     pub fn new(pattern: Pattern, mass_kernel: MassKernel) -> Self {
         pattern.validate().expect("invalid pattern");
-        Self { pattern, mass_kernel, scratch: EnumScratch::default(), estimate: 0.0, tau: 0 }
+        Self { pattern, mass_kernel, estimate: 0.0, tau: 0 }
     }
 
     /// The pattern this query counts.
     pub fn pattern(&self) -> Pattern {
         self.pattern
+    }
+}
+
+/// A session's layered enumeration plan: the deduplicated union of the
+/// attached queries' nesting levels, plus each query's level. Planned
+/// by [`StreamSession`] whenever ≥ 2 queries are attached and every
+/// query pattern sits on the wedge→triangle→4-clique ladder (and
+/// layered execution wasn't disabled); the sampler then runs one
+/// [`LayeredLevels`] pass per event and feeds each query at
+/// `level_of[its index]` instead of running one per-pattern pass per
+/// query. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct LayeredPlan {
+    /// Union of the attached queries' levels.
+    pub(crate) levels: LayeredLevels,
+    /// `level_of[i]` = layered level of `queries[i]`.
+    pub(crate) level_of: Vec<u8>,
+}
+
+impl LayeredPlan {
+    /// Plans for `queries`, or `None` if the mix doesn't profit
+    /// (fewer than two queries) or doesn't nest (a pattern off the
+    /// ladder) — those run today's per-query passes.
+    fn plan(queries: &[PatternQuery]) -> Option<Self> {
+        if queries.len() < 2 {
+            return None;
+        }
+        let mut levels = LayeredLevels::default();
+        let mut level_of = Vec::with_capacity(queries.len());
+        for q in queries {
+            let level = LayeredLevels::level_of(q.pattern)?;
+            levels.set(level);
+            level_of.push(level as u8);
+        }
+        Some(Self { levels, level_of })
+    }
+
+    /// Union of the attached queries' levels.
+    pub fn levels(&self) -> LayeredLevels {
+        self.levels
+    }
+
+    /// The layered level of the query at `index` (attachment order).
+    pub fn level_of(&self, index: usize) -> usize {
+        self.level_of[index] as usize
+    }
+}
+
+/// The per-event view a [`StreamSession`] hands its [`EdgeSampler`]:
+/// the attached queries plus the session-owned shared state — the one
+/// enumeration scratch every query borrows, and the layered plan when
+/// one is active.
+pub struct QueryCtx<'a> {
+    /// Attached queries, in attachment order.
+    pub(crate) queries: &'a mut [PatternQuery],
+    /// Session-owned enumeration scratch, shared by every query.
+    pub(crate) scratch: &'a mut EnumScratch,
+    /// The session's layered plan, when one is active. `None` means
+    /// per-query passes (single query, non-nesting mix, or layered
+    /// execution disabled).
+    pub(crate) plan: Option<&'a LayeredPlan>,
+}
+
+impl<'a> QueryCtx<'a> {
+    /// A plan-less context — per-query passes, as the legacy counters
+    /// run (used by the single-query counter façades and tests that
+    /// drive an [`EdgeSampler`] directly).
+    pub fn new(queries: &'a mut [PatternQuery], scratch: &'a mut EnumScratch) -> Self {
+        Self { queries, scratch, plan: None }
+    }
+
+    /// Reborrows the context for a nested call (e.g. a batch loop
+    /// delegating to the per-event path).
+    pub fn reborrow(&mut self) -> QueryCtx<'_> {
+        QueryCtx { queries: self.queries, scratch: self.scratch, plan: self.plan }
     }
 }
 
@@ -126,16 +227,18 @@ impl PatternQuery {
 /// pattern* (fused with the matching query's mass pass when one is
 /// attached, on a sampler-owned pass otherwise).
 pub trait EdgeSampler: Send {
-    /// Processes one stream event, updating every query in `queries`.
-    fn process(&mut self, ev: EdgeEvent, queries: &mut [PatternQuery]);
+    /// Processes one stream event, updating every query in the context
+    /// (running the context's layered plan, when present, instead of
+    /// per-query enumeration passes).
+    fn process(&mut self, ev: EdgeEvent, ctx: QueryCtx<'_>);
 
     /// Processes a batch of consecutive events. Semantically identical
     /// to per-event [`EdgeSampler::process`] — same estimates, sample
     /// and RNG stream, bit for bit — but free to amortise per-event
     /// overheads (RNG pre-draws, run splitting, invariant hoisting).
-    fn process_batch(&mut self, batch: &[EdgeEvent], queries: &mut [PatternQuery]) {
+    fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
         for &ev in batch {
-            self.process(ev, queries);
+            self.process(ev, ctx.reborrow());
         }
     }
 
@@ -152,8 +255,20 @@ pub trait EdgeSampler: Send {
     /// Horvitz–Thompson product for the weighted samplers, κ⁻¹ for the
     /// uniform ones, the room/reservoir split for WRS). The warm-up is a
     /// pure function of the sampler's current state — it reads nothing
-    /// else and mutates nothing of the sampler.
-    fn warm_start(&self, query: &mut PatternQuery);
+    /// else and mutates nothing of the sampler. `scratch` is the
+    /// session's shared enumeration workspace.
+    fn warm_start(&self, query: &mut PatternQuery, scratch: &mut EnumScratch);
+
+    /// Warm-starts a batch of freshly attached queries — the backend of
+    /// [`StreamSession::attach_many`]. Bit-identical to calling
+    /// [`EdgeSampler::warm_start`] per query (the default does exactly
+    /// that); samplers whose warm-up replays the sample override it to
+    /// share **one** layered replay across all nested-pattern queries.
+    fn warm_start_many(&self, queries: &mut [PatternQuery], scratch: &mut EnumScratch) {
+        for query in queries {
+            self.warm_start(query, scratch);
+        }
+    }
 
     /// Number of edges currently held in the sampling structures
     /// (including, for GPS-A, tagged-deleted ghosts).
@@ -212,25 +327,129 @@ pub(crate) fn for_each_sample_instance(
     }
 }
 
-/// Warm-up for the weighted samplers (WSD, GPS, GPS-A): each pattern
-/// instance fully inside `sample` seeds the query with the
-/// Horvitz–Thompson product `Π_{e ∈ J} 1/P[r(e) > τ]` over **all** its
-/// edges. Inverse probabilities are computed directly from the stored
-/// weights (not through the sample's lazy cache), so the sampler is
-/// untouched.
-pub(crate) fn warm_start_weighted(sample: &WeightedSample, tau: f64, query: &mut PatternQuery) {
+/// Layered analogue of [`for_each_sample_instance`]: one replay of
+/// `edges` enumerating, per replayed edge, every active level's
+/// completed instances via [`LayeredLevels::for_each_completed`] —
+/// `per_instance(level, payloads)` per instance. Per level, instances
+/// arrive in exactly the order the per-pattern replay produces them
+/// (the layered kernel's emission contract), so per-level payload sums
+/// are bit-identical to per-pattern replays.
+pub(crate) fn for_each_sample_instance_layered(
+    levels: LayeredLevels,
+    edges: &[(Edge, f64)],
+    scratch: &mut EnumScratch,
+    mut per_instance: impl FnMut(usize, &[f64]),
+) {
+    // Wedges are the narrowest level (2 edges); below that nothing
+    // completes at any level.
+    if edges.len() < 2 {
+        return;
+    }
+    let mut g = Adjacency::with_capacity(2 * edges.len());
+    let mut payload: Vec<f64> = Vec::with_capacity(edges.len());
+    let mut buf: Vec<f64> = Vec::with_capacity(8);
+    for &(e, p) in edges {
+        levels.for_each_completed(&g, e, scratch, |level, partners| {
+            buf.clear();
+            for &pid in partners {
+                buf.push(payload[pid as usize]);
+            }
+            buf.push(p);
+            per_instance(level, &buf);
+        });
+        let id = g.insert_full(e).expect("sample edges are distinct") as usize;
+        if id >= payload.len() {
+            payload.resize(id + 1, 0.0);
+        }
+        payload[id] = p;
+    }
+}
+
+/// The per-edge Horvitz–Thompson payloads of a weighted sample at
+/// threshold `tau`, in sample iteration order — the replay input of the
+/// weighted warm-ups. Inverse probabilities are computed directly from
+/// the stored weights (not through the sample's lazy cache), so the
+/// sampler is untouched.
+fn weighted_replay_edges(sample: &WeightedSample, tau: f64) -> Vec<(Edge, f64)> {
+    sample.iter().map(|(e, meta)| (e, 1.0 / inclusion_prob(meta.weight, tau))).collect()
+}
+
+/// Seeds one query from a prepared replay-edge slice (see
+/// [`warm_start_weighted`]).
+fn warm_start_weighted_from(
+    edges: &[(Edge, f64)],
+    query: &mut PatternQuery,
+    scratch: &mut EnumScratch,
+) {
     query.estimate = 0.0;
     query.tau = 0;
-    let edges: Vec<(Edge, f64)> =
-        sample.iter().map(|(e, meta)| (e, 1.0 / inclusion_prob(meta.weight, tau))).collect();
-    let pattern = query.pattern;
-    for_each_sample_instance(pattern, &edges, &mut query.scratch, |payloads| {
+    for_each_sample_instance(query.pattern, edges, scratch, |payloads| {
         let mut prod = 1.0;
         for &p in payloads {
             prod *= p;
         }
         query.estimate += prod;
     });
+}
+
+/// Warm-up for the weighted samplers (WSD, GPS, GPS-A): each pattern
+/// instance fully inside `sample` seeds the query with the
+/// Horvitz–Thompson product `Π_{e ∈ J} 1/P[r(e) > τ]` over **all** its
+/// edges.
+pub(crate) fn warm_start_weighted(
+    sample: &WeightedSample,
+    tau: f64,
+    query: &mut PatternQuery,
+    scratch: &mut EnumScratch,
+) {
+    let edges = weighted_replay_edges(sample, tau);
+    warm_start_weighted_from(&edges, query, scratch);
+}
+
+/// Batched weighted warm-up: one sample snapshot, and **one** layered
+/// replay feeding every nested-pattern query at its level (queries off
+/// the ladder replay individually from the shared snapshot).
+/// Bit-identical to per-query [`warm_start_weighted`] — the layered
+/// replay emits each level in the per-pattern replay's order, and
+/// per-level sums start from the same 0.0.
+pub(crate) fn warm_start_weighted_many(
+    sample: &WeightedSample,
+    tau: f64,
+    queries: &mut [PatternQuery],
+    scratch: &mut EnumScratch,
+) {
+    let mut levels = LayeredLevels::default();
+    let mut nested = 0usize;
+    for q in queries.iter() {
+        if let Some(level) = LayeredLevels::level_of(q.pattern) {
+            levels.set(level);
+            nested += 1;
+        }
+    }
+    if nested < 2 {
+        for query in queries.iter_mut() {
+            warm_start_weighted(sample, tau, query, scratch);
+        }
+        return;
+    }
+    let edges = weighted_replay_edges(sample, tau);
+    let mut sums = [0.0f64; LayeredLevels::COUNT];
+    for_each_sample_instance_layered(levels, &edges, scratch, |level, payloads| {
+        let mut prod = 1.0;
+        for &p in payloads {
+            prod *= p;
+        }
+        sums[level] += prod;
+    });
+    for query in queries.iter_mut() {
+        match LayeredLevels::level_of(query.pattern) {
+            Some(level) => {
+                query.estimate = sums[level];
+                query.tau = 0;
+            }
+            None => warm_start_weighted_from(&edges, query, scratch),
+        }
+    }
 }
 
 /// A per-query line of a [`SessionReport`].
@@ -291,6 +510,13 @@ pub struct StreamSession {
     /// This session's handle token (process-unique; see [`QueryId`]).
     token: u64,
     events: u64,
+    /// Enumeration workspace shared by every attached query.
+    scratch: EnumScratch,
+    /// Layered execution toggle (default on); see
+    /// [`SessionBuilder::with_layered`].
+    layered: bool,
+    /// Current layered plan, recomputed on attach/detach.
+    plan: Option<LayeredPlan>,
 }
 
 impl StreamSession {
@@ -313,25 +539,62 @@ impl StreamSession {
             mass_kernel,
             token,
             events: 0,
+            scratch: EnumScratch::default(),
+            layered: true,
+            plan: None,
         };
-        for &p in patterns {
-            session.attach(p);
-        }
+        session.attach_many(patterns);
         session
+    }
+
+    /// Enables or disables layered (shared) enumeration. On by
+    /// default; disabling forces today's per-query passes — estimates
+    /// are bit-identical either way (the layered-equivalence suite pins
+    /// it), so this is a measurement/debugging knob, not a semantic
+    /// one. Takes effect from the next event.
+    pub fn set_layered(&mut self, enabled: bool) {
+        self.layered = enabled;
+        self.replan();
+    }
+
+    /// Recomputes the layered plan after any change to the attached
+    /// query set (or the toggle).
+    fn replan(&mut self) {
+        self.plan = if self.layered { LayeredPlan::plan(&self.queries) } else { None };
+    }
+
+    /// The active layered plan, if the current query mix nests (see
+    /// the [module docs](self)).
+    pub fn layered_plan(&self) -> Option<&LayeredPlan> {
+        self.plan.as_ref()
     }
 
     /// Processes one stream event: the sampler updates every attached
     /// query's estimator against the shared sample, then applies its
     /// admission/eviction logic.
     pub fn process(&mut self, ev: EdgeEvent) {
-        self.sampler.process(ev, &mut self.queries);
+        self.sampler.process(
+            ev,
+            QueryCtx {
+                queries: &mut self.queries,
+                scratch: &mut self.scratch,
+                plan: self.plan.as_ref(),
+            },
+        );
         self.events += 1;
     }
 
     /// Processes a batch of consecutive events (bit-identical to
     /// per-event processing, with per-event overheads amortised).
     pub fn process_batch(&mut self, batch: &[EdgeEvent]) {
-        self.sampler.process_batch(batch, &mut self.queries);
+        self.sampler.process_batch(
+            batch,
+            QueryCtx {
+                queries: &mut self.queries,
+                scratch: &mut self.scratch,
+                plan: self.plan.as_ref(),
+            },
+        );
         self.events += batch.len() as u64;
     }
 
@@ -353,12 +616,41 @@ impl StreamSession {
     pub fn attach(&mut self, pattern: Pattern) -> QueryId {
         self.sampler.assert_capacity_for(pattern);
         let mut query = PatternQuery::new(pattern, self.mass_kernel);
-        self.sampler.warm_start(&mut query);
+        self.sampler.warm_start(&mut query, &mut self.scratch);
         let id = QueryId { session: self.token, index: self.handles.len() };
         self.handles.push(Some(self.queries.len()));
         self.queries.push(query);
         self.ids.push(id);
+        self.replan();
         id
+    }
+
+    /// Attaches several queries at once, warm-starting them all from
+    /// **one** replay of the current sample (per-query
+    /// [`StreamSession::attach`] replays the sample once per call).
+    /// Estimates are bit-identical to attaching the patterns one by
+    /// one, in order; the returned ids are in `patterns` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler's budget cannot support one of the
+    /// patterns.
+    pub fn attach_many(&mut self, patterns: &[Pattern]) -> Vec<QueryId> {
+        for &p in patterns {
+            self.sampler.assert_capacity_for(p);
+        }
+        let start = self.queries.len();
+        let mut ids = Vec::with_capacity(patterns.len());
+        for &p in patterns {
+            let id = QueryId { session: self.token, index: self.handles.len() };
+            self.handles.push(Some(self.queries.len()));
+            self.queries.push(PatternQuery::new(p, self.mass_kernel));
+            self.ids.push(id);
+            ids.push(id);
+        }
+        self.sampler.warm_start_many(&mut self.queries[start..], &mut self.scratch);
+        self.replan();
+        ids
     }
 
     /// Resolves a handle to its slot in `queries`.
@@ -392,6 +684,7 @@ impl StreamSession {
                 *h -= 1;
             }
         }
+        self.replan();
         final_estimate
     }
 
@@ -500,6 +793,7 @@ pub struct SessionBuilder {
     wrs_fraction: f64,
     mass_kernel: MassKernel,
     weight_pattern: Option<Pattern>,
+    layered: bool,
 }
 
 impl SessionBuilder {
@@ -517,6 +811,7 @@ impl SessionBuilder {
             wrs_fraction: crate::algorithms::wrs::DEFAULT_WAITING_ROOM_FRACTION,
             mass_kernel: MassKernel::build_default(),
             weight_pattern: None,
+            layered: true,
         }
     }
 
@@ -558,6 +853,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables or disables layered (shared) enumeration for nesting
+    /// query mixes (default: enabled). Estimates are bit-identical
+    /// either way; see [`StreamSession::set_layered`].
+    pub fn with_layered(mut self, enabled: bool) -> Self {
+        self.layered = enabled;
+        self
+    }
+
     /// Pins the pattern the weighted samplers (WSD, GPS, GPS-A) observe
     /// their edge weights on. Defaults to the first attached query's
     /// pattern. The weight pattern fixes the sampler's trajectory: a
@@ -588,7 +891,11 @@ impl SessionBuilder {
     /// the weight pattern.
     pub fn build(self) -> StreamSession {
         let sampler = self.build_sampler();
-        StreamSession::from_parts(sampler, &self.patterns, self.mass_kernel)
+        let mut session = StreamSession::from_parts(sampler, &self.patterns, self.mass_kernel);
+        if !self.layered {
+            session.set_layered(false);
+        }
+        session
     }
 
     /// Builds just the sampler layer (the session backend; exposed for

@@ -43,4 +43,4 @@ pub use adjacency::{
 pub use edge::{Edge, EdgeEvent, Op, Vertex};
 pub use exact::ExactCounter;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use patterns::{InstanceBlock, Pattern, BLOCK_LANES, MAX_BLOCK_WIDTH};
+pub use patterns::{InstanceBlock, LayeredLevels, Pattern, BLOCK_LANES, MAX_BLOCK_WIDTH};

@@ -289,6 +289,35 @@ impl Pattern {
         }
     }
 
+    /// Streams the partner edge ID of every wedge completed by adding
+    /// `e` to `g` — the wedge kernel's exact instances and emission
+    /// order (`u`'s slots, then `v`'s) without the partner-slice or
+    /// block plumbing. A wedge instance has exactly one partner edge,
+    /// so mass-only consumers can fold over the IDs directly; the block
+    /// fill, prime pass and unit-product chains of the width-1 lane
+    /// path are pure overhead for them. Returns the endpoint degrees,
+    /// as the full kernels do.
+    pub fn for_each_wedge_partner(
+        g: &Adjacency,
+        e: Edge,
+        mut f: impl FnMut(EdgeId),
+    ) -> (usize, usize) {
+        let (u, v) = e.endpoints();
+        let (us, ids_u) = g.neighbor_entries(u);
+        for (i, &w) in us.iter().enumerate() {
+            if w != v {
+                f(ids_u[i]);
+            }
+        }
+        let (vs, ids_v) = g.neighbor_entries(v);
+        for (i, &w) in vs.iter().enumerate() {
+            if w != u {
+                f(ids_v[i]);
+            }
+        }
+        (us.len(), vs.len())
+    }
+
     /// Enumerates the instances of `self` completed by adding `e` to `g`,
     /// invoking `f` once per instance with the *partner edges* — the
     /// instance's edges excluding `e` itself (the `J \ e_t` of Algorithm
@@ -315,26 +344,10 @@ impl Pattern {
     ) -> (usize, usize) {
         let (u, v) = e.endpoints();
         match self {
-            Pattern::Wedge => {
-                // Walk the dense (neighbour, id) slices directly — the
-                // partner ID is already in the slot being visited.
-                let mut partner = [0 as EdgeId];
-                let (us, ids_u) = g.neighbor_entries(u);
-                for (i, &w) in us.iter().enumerate() {
-                    if w != v {
-                        partner[0] = ids_u[i];
-                        f(&partner);
-                    }
-                }
-                let (vs, ids_v) = g.neighbor_entries(v);
-                for (i, &w) in vs.iter().enumerate() {
-                    if w != u {
-                        partner[0] = ids_v[i];
-                        f(&partner);
-                    }
-                }
-                (us.len(), vs.len())
-            }
+            Pattern::Wedge => Pattern::for_each_wedge_partner(g, e, |id| {
+                let partner = [id];
+                f(&partner);
+            }),
             Pattern::Triangle | Pattern::Clique(3) => {
                 // Stream instances straight out of the intersection — no
                 // scratch materialisation; each hit's two partner IDs go
@@ -515,6 +528,314 @@ impl Pattern {
         f: &mut dyn FnMut(&[EdgeId]),
     ) -> (usize, usize) {
         self.for_each_completed(g, e, scratch, f)
+    }
+}
+
+/// The set of nesting levels a **layered** enumeration pass emits:
+/// wedges, triangles and 4-cliques share one walk per event because the
+/// patterns nest — every 4-clique pair-probe runs over the same common
+/// neighbourhood the triangle kernel intersects, and the wedge kernel
+/// walks the same endpoint neighbourhoods. A multi-query session unions
+/// its queries' levels into one `LayeredLevels` and runs
+/// [`LayeredLevels::for_each_completed`] (or the block/count modes)
+/// once per event instead of one per-pattern pass per query.
+///
+/// Levels are dense indices ([`LayeredLevels::WEDGE`] = 0,
+/// [`LayeredLevels::TRIANGLE`] = 1, [`LayeredLevels::FOUR_CLIQUE`] = 2)
+/// so consumers can accumulate per-level results in a flat `[T; 3]`.
+/// Patterns wider than a 4-clique don't nest into this ladder
+/// ([`LayeredLevels::level_of`] returns `None`) and stay on the
+/// per-pattern kernels.
+///
+/// **Emission contract:** at each level the instances, their partner-ID
+/// order *and* their relative order are exactly those of the
+/// corresponding per-pattern kernel ([`Pattern::for_each_completed`] /
+/// [`Pattern::for_each_completed_blocks`]). Levels are emitted in
+/// ascending order (all wedges, then all triangles, then all
+/// 4-cliques). Estimators sum per level, so this makes a layered pass
+/// bit-identical to the per-pattern passes it replaces — the shared
+/// walk is a pure cost optimisation, never a numeric one. The shared
+/// work is real: when both the triangle and 4-clique levels are active
+/// the galloping hub–hub intersection runs **once**, filling the
+/// common-edge buffer that the triangle level replays (the buffer fill
+/// *is* the streaming intersection callback, same hits in the same
+/// order) and the 4-clique level pair-probes.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct LayeredLevels {
+    /// Emit wedge instances (level [`LayeredLevels::WEDGE`]).
+    pub wedge: bool,
+    /// Emit triangle instances (level [`LayeredLevels::TRIANGLE`]).
+    pub triangle: bool,
+    /// Emit 4-clique instances (level [`LayeredLevels::FOUR_CLIQUE`]).
+    pub four_clique: bool,
+}
+
+impl LayeredLevels {
+    /// Level index of wedge instances.
+    pub const WEDGE: usize = 0;
+    /// Level index of triangle instances.
+    pub const TRIANGLE: usize = 1;
+    /// Level index of 4-clique instances.
+    pub const FOUR_CLIQUE: usize = 2;
+    /// Number of levels in the ladder (the length of per-level arrays).
+    pub const COUNT: usize = 3;
+
+    /// The level a pattern's instances are served at, or `None` if the
+    /// pattern doesn't nest into the wedge→triangle→4-clique ladder
+    /// (generic cliques of order ≥ 5).
+    #[inline]
+    pub fn level_of(pattern: Pattern) -> Option<usize> {
+        match pattern {
+            Pattern::Wedge => Some(Self::WEDGE),
+            Pattern::Triangle | Pattern::Clique(3) => Some(Self::TRIANGLE),
+            Pattern::FourClique | Pattern::Clique(4) => Some(Self::FOUR_CLIQUE),
+            Pattern::Clique(_) => None,
+        }
+    }
+
+    /// The canonical pattern emitted at `level` (used to recover widths
+    /// and for differential testing against the per-pattern kernels).
+    #[inline]
+    pub fn pattern_at(level: usize) -> Pattern {
+        match level {
+            Self::WEDGE => Pattern::Wedge,
+            Self::TRIANGLE => Pattern::Triangle,
+            Self::FOUR_CLIQUE => Pattern::FourClique,
+            _ => panic!("no such layered level: {level}"),
+        }
+    }
+
+    /// Marks `level` active.
+    #[inline]
+    pub fn set(&mut self, level: usize) {
+        match level {
+            Self::WEDGE => self.wedge = true,
+            Self::TRIANGLE => self.triangle = true,
+            Self::FOUR_CLIQUE => self.four_clique = true,
+            _ => panic!("no such layered level: {level}"),
+        }
+    }
+
+    /// True iff `level` is active.
+    #[inline]
+    pub fn active(&self, level: usize) -> bool {
+        match level {
+            Self::WEDGE => self.wedge,
+            Self::TRIANGLE => self.triangle,
+            Self::FOUR_CLIQUE => self.four_clique,
+            _ => false,
+        }
+    }
+
+    /// True iff no level is active.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        !(self.wedge || self.triangle || self.four_clique)
+    }
+
+    /// Layered analogue of [`Pattern::for_each_completed`]: one pass
+    /// over `g`'s neighbourhoods enumerating, for every active level,
+    /// the instances completed by adding `e` — invoking
+    /// `f(level, partner_ids)` per instance. Per level, instances and
+    /// their order are exactly those of the per-pattern kernel; levels
+    /// are emitted in ascending order. Returns the endpoint degrees, as
+    /// the per-pattern kernels do.
+    pub fn for_each_completed(
+        &self,
+        g: &Adjacency,
+        e: Edge,
+        scratch: &mut EnumScratch,
+        mut f: impl FnMut(usize, &[EdgeId]),
+    ) -> (usize, usize) {
+        let (u, v) = e.endpoints();
+        let mut degs = (g.degree(u), g.degree(v));
+        if self.wedge {
+            let mut partner = [0 as EdgeId];
+            let (us, ids_u) = g.neighbor_entries(u);
+            for (i, &w) in us.iter().enumerate() {
+                if w != v {
+                    partner[0] = ids_u[i];
+                    f(Self::WEDGE, &partner);
+                }
+            }
+            let (vs, ids_v) = g.neighbor_entries(v);
+            for (i, &w) in vs.iter().enumerate() {
+                if w != u {
+                    partner[0] = ids_v[i];
+                    f(Self::WEDGE, &partner);
+                }
+            }
+            degs = (us.len(), vs.len());
+        }
+        match (self.triangle, self.four_clique) {
+            (true, false) => {
+                let mut partner = [0 as EdgeId; 2];
+                degs = g.for_each_common_edge(u, v, |_, eu, ev| {
+                    partner[0] = eu;
+                    partner[1] = ev;
+                    f(Self::TRIANGLE, &partner);
+                });
+            }
+            (_, true) => {
+                // One galloped intersection serves both upper levels:
+                // the buffer fill is the streaming callback, so the
+                // triangle replay sees the same hits in the same order.
+                degs = g.common_edges_into(u, v, &mut scratch.common_edges);
+                let c = &scratch.common_edges;
+                if self.triangle {
+                    let mut partner = [0 as EdgeId; 2];
+                    for ci in c {
+                        partner[0] = ci.eu;
+                        partner[1] = ci.ev;
+                        f(Self::TRIANGLE, &partner);
+                    }
+                }
+                let mut partner = [0 as EdgeId; 5];
+                for (i, ci) in c.iter().enumerate() {
+                    let nw = g.neighborhood(ci.w);
+                    for cj in &c[(i + 1)..] {
+                        if let Some(wx) = nw.id_of(cj.w) {
+                            partner[0] = ci.eu;
+                            partner[1] = ci.ev;
+                            partner[2] = cj.eu;
+                            partner[3] = cj.ev;
+                            partner[4] = wx;
+                            f(Self::FOUR_CLIQUE, &partner);
+                        }
+                    }
+                }
+            }
+            (false, false) => {}
+        }
+        degs
+    }
+
+    /// Layered analogue of [`Pattern::for_each_completed_blocks`]: the
+    /// same instances as [`LayeredLevels::for_each_completed`], in the
+    /// same order, delivered per level in [`InstanceBlock`]s — each
+    /// level fills its own block (widths differ) and flushes its tail
+    /// before the next level starts, so per-level block boundaries
+    /// match the per-pattern block kernel exactly.
+    pub fn for_each_completed_blocks(
+        &self,
+        g: &Adjacency,
+        e: Edge,
+        scratch: &mut EnumScratch,
+        mut f: impl FnMut(usize, &InstanceBlock),
+    ) -> (usize, usize) {
+        let (u, v) = e.endpoints();
+        let mut degs = (g.degree(u), g.degree(v));
+        if self.wedge {
+            let mut block = InstanceBlock::new(1);
+            let (us, ids_u) = g.neighbor_entries(u);
+            for (i, &w) in us.iter().enumerate() {
+                if w != v && block.push1(ids_u[i]) {
+                    f(Self::WEDGE, &block);
+                    block.reset();
+                }
+            }
+            let (vs, ids_v) = g.neighbor_entries(v);
+            for (i, &w) in vs.iter().enumerate() {
+                if w != u && block.push1(ids_v[i]) {
+                    f(Self::WEDGE, &block);
+                    block.reset();
+                }
+            }
+            if !block.is_empty() {
+                f(Self::WEDGE, &block);
+            }
+            degs = (us.len(), vs.len());
+        }
+        match (self.triangle, self.four_clique) {
+            (true, false) => {
+                let mut block = InstanceBlock::new(2);
+                degs = g.for_each_common_edge(u, v, |_, eu, ev| {
+                    if block.push2(eu, ev) {
+                        f(Self::TRIANGLE, &block);
+                        block.reset();
+                    }
+                });
+                if !block.is_empty() {
+                    f(Self::TRIANGLE, &block);
+                }
+            }
+            (_, true) => {
+                degs = g.common_edges_into(u, v, &mut scratch.common_edges);
+                let c = &scratch.common_edges;
+                if self.triangle {
+                    let mut block = InstanceBlock::new(2);
+                    for ci in c {
+                        if block.push2(ci.eu, ci.ev) {
+                            f(Self::TRIANGLE, &block);
+                            block.reset();
+                        }
+                    }
+                    if !block.is_empty() {
+                        f(Self::TRIANGLE, &block);
+                    }
+                }
+                let mut block = InstanceBlock::new(5);
+                for (i, ci) in c.iter().enumerate() {
+                    let nw = g.neighborhood(ci.w);
+                    for cj in &c[(i + 1)..] {
+                        if let Some(wx) = nw.id_of(cj.w) {
+                            if block.push5(ci.eu, ci.ev, cj.eu, cj.ev, wx) {
+                                f(Self::FOUR_CLIQUE, &block);
+                                block.reset();
+                            }
+                        }
+                    }
+                }
+                if !block.is_empty() {
+                    f(Self::FOUR_CLIQUE, &block);
+                }
+            }
+            (false, false) => {}
+        }
+        degs
+    }
+
+    /// Layered analogue of [`Pattern::count_completed`]: per-level
+    /// completion counts from one pass (inactive levels report 0).
+    /// Generic over the adjacency payload so the ID-free
+    /// [`VertexAdjacency`] of the uniform baselines shares it. When
+    /// both upper levels are active the common neighbourhood is
+    /// materialised once and serves both the triangle count (its
+    /// length) and the 4-clique pair probes.
+    pub fn count_completed<P: IdPayload>(
+        &self,
+        g: &AdjacencyBase<P>,
+        e: Edge,
+        scratch: &mut EnumScratch,
+    ) -> [u64; Self::COUNT] {
+        let (u, v) = e.endpoints();
+        let mut counts = [0u64; Self::COUNT];
+        if self.wedge {
+            let present = usize::from(g.adjacent(u, v));
+            let du = g.degree(u) - present;
+            let dv = g.degree(v) - present;
+            counts[Self::WEDGE] = (du + dv) as u64;
+        }
+        if self.four_clique {
+            g.common_neighbors_into(u, v, &mut scratch.common);
+            let c = &scratch.common;
+            if self.triangle {
+                counts[Self::TRIANGLE] = c.len() as u64;
+            }
+            let mut n = 0u64;
+            for (i, &w) in c.iter().enumerate() {
+                let nw = g.neighborhood(w);
+                for &x in &c[(i + 1)..] {
+                    if nw.contains(x) {
+                        n += 1;
+                    }
+                }
+            }
+            counts[Self::FOUR_CLIQUE] = n;
+        } else if self.triangle {
+            counts[Self::TRIANGLE] = g.common_neighbor_count(u, v) as u64;
+        }
+        counts
     }
 }
 
@@ -741,6 +1062,151 @@ mod tests {
         assert_eq!(Pattern::Clique(5).block_width(), None, "9 partners exceed MAX_BLOCK_WIDTH");
     }
 
+    /// All 7 non-empty level subsets.
+    fn level_subsets() -> Vec<LayeredLevels> {
+        let mut out = Vec::new();
+        for bits in 1u8..8 {
+            out.push(LayeredLevels {
+                wedge: bits & 1 != 0,
+                triangle: bits & 2 != 0,
+                four_clique: bits & 4 != 0,
+            });
+        }
+        out
+    }
+
+    /// Per-level instances from a layered pass (instance mode).
+    fn enumerate_layered(
+        levels: LayeredLevels,
+        g: &Adjacency,
+        e: Edge,
+    ) -> (Vec<Vec<Vec<EdgeId>>>, (usize, usize)) {
+        let mut s = EnumScratch::default();
+        let mut out: Vec<Vec<Vec<EdgeId>>> = vec![Vec::new(); LayeredLevels::COUNT];
+        let mut last_level = 0;
+        let degs = levels.for_each_completed(g, e, &mut s, |level, partners| {
+            assert!(levels.active(level), "emitted at inactive level {level}");
+            assert!(level >= last_level, "levels must be emitted in ascending order");
+            last_level = level;
+            out[level].push(partners.to_vec());
+        });
+        (out, degs)
+    }
+
+    /// Per-level instances from a layered pass (block mode), flattened.
+    fn enumerate_layered_blocked(
+        levels: LayeredLevels,
+        g: &Adjacency,
+        e: Edge,
+    ) -> (Vec<Vec<Vec<EdgeId>>>, (usize, usize)) {
+        let mut s = EnumScratch::default();
+        let mut out: Vec<Vec<Vec<EdgeId>>> = vec![Vec::new(); LayeredLevels::COUNT];
+        let degs = levels.for_each_completed_blocks(g, e, &mut s, |level, block| {
+            assert!(levels.active(level), "emitted at inactive level {level}");
+            assert!(!block.is_empty() && block.len() <= BLOCK_LANES);
+            assert_eq!(block.width(), LayeredLevels::pattern_at(level).num_edges() - 1);
+            for lane in 0..block.len() {
+                out[level].push((0..block.width()).map(|j| block.id(j, lane)).collect());
+            }
+        });
+        (out, degs)
+    }
+
+    /// The layered differential harness: on every level subset, the
+    /// layered pass (both emission modes) must reproduce each active
+    /// level's per-pattern kernel output — same instances, same partner
+    /// order, same relative order, same degrees — and the layered count
+    /// must match the per-pattern counts. Bit-identity of the session
+    /// estimators rests on exactly this contract.
+    fn assert_layered_matches_per_pattern(g: &Adjacency, e: Edge) {
+        let mut s = EnumScratch::default();
+        for levels in level_subsets() {
+            let (inst, degs) = enumerate_layered(levels, g, e);
+            let (blocked, degs_blocked) = enumerate_layered_blocked(levels, g, e);
+            assert_eq!(degs_blocked, degs, "{levels:?}: degrees must agree across modes");
+            let counts = levels.count_completed(g, e, &mut s);
+            for level in 0..LayeredLevels::COUNT {
+                let p = LayeredLevels::pattern_at(level);
+                if !levels.active(level) {
+                    assert!(inst[level].is_empty(), "{levels:?}: inactive level {level} emitted");
+                    assert_eq!(counts[level], 0, "{levels:?}: inactive level {level} counted");
+                    continue;
+                }
+                let mut per_pattern: Vec<Vec<EdgeId>> = Vec::new();
+                let degs_ref = p.for_each_completed(g, e, &mut s, |partners| {
+                    per_pattern.push(partners.to_vec())
+                });
+                assert_eq!(degs, degs_ref, "{levels:?}/{p:?}: degree by-product diverged");
+                assert_eq!(
+                    inst[level], per_pattern,
+                    "{levels:?}/{p:?}: layered emission order diverged"
+                );
+                assert_eq!(
+                    blocked[level], per_pattern,
+                    "{levels:?}/{p:?}: layered block emission diverged"
+                );
+                assert_eq!(
+                    counts[level],
+                    per_pattern.len() as u64,
+                    "{levels:?}/{p:?}: layered count diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layered_emission_matches_per_pattern_kernels() {
+        // The hub-star stream of the block test: enough triangles for
+        // multiple blocks, plus wedges and one 4-clique regime.
+        let mut g = Adjacency::new();
+        for v in 2..=12u64 {
+            g.insert(Edge::new(1, v));
+            g.insert(Edge::new(13, v));
+        }
+        g.insert(Edge::new(2, 3));
+        g.insert(Edge::new(2, 4));
+        g.insert(Edge::new(3, 4));
+        assert_layered_matches_per_pattern(&g, Edge::new(1, 13));
+        // A sparse event (no completions at any level) and a dense one.
+        assert_layered_matches_per_pattern(&g, Edge::new(40, 41));
+        let dense = graph(&[(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 5), (4, 5), (3, 5)]);
+        assert_layered_matches_per_pattern(&dense, Edge::new(1, 4));
+    }
+
+    #[test]
+    fn layered_count_runs_on_vertex_only_adjacency() {
+        let edges = [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 5), (4, 5)];
+        let g = graph(&edges);
+        let mut lean = VertexAdjacency::new();
+        for &(a, b) in &edges {
+            lean.insert(Edge::new(a, b));
+        }
+        let mut s = EnumScratch::default();
+        for e in [Edge::new(1, 4), Edge::new(3, 5), Edge::new(2, 5)] {
+            for levels in level_subsets() {
+                assert_eq!(
+                    levels.count_completed(&g, e, &mut s),
+                    levels.count_completed(&lean, e, &mut s),
+                    "{levels:?} at {e:?}: ID-free layered count diverges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layered_level_mapping() {
+        assert_eq!(LayeredLevels::level_of(Pattern::Wedge), Some(LayeredLevels::WEDGE));
+        assert_eq!(LayeredLevels::level_of(Pattern::Triangle), Some(LayeredLevels::TRIANGLE));
+        assert_eq!(LayeredLevels::level_of(Pattern::Clique(3)), Some(LayeredLevels::TRIANGLE));
+        assert_eq!(LayeredLevels::level_of(Pattern::FourClique), Some(LayeredLevels::FOUR_CLIQUE));
+        assert_eq!(LayeredLevels::level_of(Pattern::Clique(4)), Some(LayeredLevels::FOUR_CLIQUE));
+        assert_eq!(LayeredLevels::level_of(Pattern::Clique(5)), None, "≥5-cliques don't nest");
+        let mut levels = LayeredLevels::default();
+        assert!(levels.is_empty());
+        levels.set(LayeredLevels::TRIANGLE);
+        assert!(levels.active(LayeredLevels::TRIANGLE) && !levels.active(LayeredLevels::WEDGE));
+    }
+
     #[test]
     fn dyn_shim_matches_generic_kernel() {
         let g = graph(&[(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]);
@@ -915,6 +1381,24 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_layered_matches_per_pattern(
+            edges in proptest::collection::vec((0u64..9, 0u64..9), 0..25),
+            (a, b) in (0u64..9, 0u64..9),
+        ) {
+            prop_assume!(a != b);
+            let e = Edge::new(a, b);
+            let mut g = Adjacency::new();
+            for (x, y) in edges {
+                if let Some(ed) = Edge::try_new(x, y) {
+                    if ed != e {
+                        g.insert(ed);
+                    }
+                }
+            }
+            assert_layered_matches_per_pattern(&g, e);
+        }
 
         #[test]
         fn prop_completion_matches_brute_force(
