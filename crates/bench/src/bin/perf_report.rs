@@ -11,6 +11,11 @@
 //!   fringes) whose core–core events are hub–hub intersections with
 //!   long skippable non-common runs, the galloping kernel's target
 //!   regime;
+//! * `sampler-grid-ba` / `sampler-grid-hub` — every algorithm with
+//!   *zero* attached queries on the same two streams: the
+//!   admission/eviction/reservoir-maintenance hot path in isolation,
+//!   the direct measurement surface for reservoir-path optimisations
+//!   (run-partitioned admission plans, SoA heap/sample writes);
 //! * `session-grid-ba` / `session-grid-hub` — the multi-query session
 //!   comparison on the same two streams: one shared triangle-weighted
 //!   sampler answering wedge+triangle+4-clique at once versus three
@@ -96,6 +101,23 @@ fn time_single(alg: Algorithm, pattern: Pattern, capacity: usize, events: &Event
     secs
 }
 
+/// One full zero-query pass — the sampler-grid cell: pure admission /
+/// eviction / reservoir-maintenance throughput, no estimator work on
+/// top. The weighted samplers still observe their edge weight on the
+/// triangle (that enumeration is part of their admission cost);
+/// `WsdUniform`'s affine weight skips enumeration entirely, so its cell
+/// is the floor of the reservoir write path itself.
+fn time_bare(alg: Algorithm, capacity: usize, events: &EventStream) -> f64 {
+    let mut session = SessionBuilder::new(alg, capacity, COUNTER_SEED)
+        .with_weight_pattern(Pattern::Triangle)
+        .build();
+    let start = Instant::now();
+    session.process_all(events);
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(session.stored_edges());
+    secs
+}
+
 /// The wedge+triangle+4-clique session used by the session grid (weight
 /// observed on the triangle, the paper's primary pattern). `layered`
 /// selects the one-pass layered enumeration plan (the default) or the
@@ -148,7 +170,7 @@ fn main() {
         .map(|v| v.parse().expect("--time-reps expects an integer"))
         .unwrap_or(if quick { 1 } else { 5 });
     assert!(time_reps >= 1, "--time-reps must be >= 1");
-    let out = opt("--out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let out = opt("--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let methodology = opt("--methodology").unwrap_or_else(|| {
         format!("single run on one host; median of {time_reps} full stream passes per cell")
     });
@@ -250,6 +272,42 @@ fn main() {
                     paired_speedup: None,
                 });
             }
+        }
+    }
+
+    // Sampler grid: every algorithm with ZERO attached queries — the
+    // admission/eviction hot path in isolation. These cells are the
+    // direct measurement surface for reservoir-path work (run plans,
+    // SoA writes): a win here that doesn't show up in the query grids
+    // is estimator-bound, not admission-bound.
+    for (scenario, grid) in [("sampler-grid-ba", &grids[0]), ("sampler-grid-hub", &grids[1])] {
+        eprintln!(
+            "perf_report: {scenario} (|S|={}, capacity M={}, {} timing reps, zero queries)",
+            grid.events.len(),
+            grid.capacity,
+            time_reps
+        );
+        for alg in algorithms {
+            let mut rates = Vec::with_capacity(time_reps);
+            for _ in 0..time_reps {
+                let secs = time_bare(alg, grid.capacity, &grid.events);
+                rates.push(grid.events.len() as f64 / secs);
+            }
+            let events_per_sec = median(rates);
+            eprintln!(
+                "  {:>15} {:>8} x {:<12} {:>12.0} events/sec",
+                scenario,
+                alg.name(),
+                "(0 queries)",
+                events_per_sec
+            );
+            cells.push(Cell {
+                scenario,
+                algorithm: alg.name(),
+                pattern: "(0 queries)".to_string(),
+                events_per_sec,
+                paired_speedup: None,
+            });
         }
     }
 

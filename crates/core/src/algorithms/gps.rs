@@ -113,18 +113,32 @@ impl GpsSampler {
         self.z
     }
 
-    /// Insertion with an externally drawn `u` (batched path).
-    fn insert_with_u(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+    /// Heap-slot-order snapshot of the reservoir as `(edge, rank)`
+    /// pairs — white-box surface for the admission differential suite
+    /// (see [`WsdSampler::reservoir_snapshot`]).
+    ///
+    /// [`WsdSampler::reservoir_snapshot`]:
+    /// crate::algorithms::WsdSampler::reservoir_snapshot
+    pub fn reservoir_snapshot(&self) -> Vec<(Edge, f64)> {
+        self.heap.iter().map(|(id, r)| (self.sample.adj().edge_endpoints(id), r)).collect()
+    }
+
+    /// Estimator + state observation against the pre-update sample;
+    /// returns the arriving edge's weight. One layered pass serves
+    /// every query when the weight observation rides a plan level
+    /// (fused weight query or a count-blind `Affine(0, b)` weight);
+    /// otherwise the legacy per-query passes run unchanged.
+    // inline(always): this was the inline first half of `insert_with_u`
+    // before the admission plan split it out; keep it inlined so both
+    // admission paths compile to the pre-split code.
+    #[inline(always)]
+    fn observe(&mut self, e: Edge, ctx: QueryCtx<'_>) -> f64 {
         let QueryCtx { queries, scratch, plan } = ctx;
-        // One layered pass serves every query when the weight
-        // observation rides a plan level (fused weight query or a
-        // count-blind `Affine(0, b)` weight); otherwise the legacy
-        // per-query passes run unchanged.
         let layered = plan.filter(|_| {
             queries.iter().any(|q| q.pattern == self.weight_pattern)
                 || matches!(self.weight_mode, WeightMode::Affine(a, _) if a == 0.0)
         });
-        let w = match layered {
+        match layered {
             Some(plan) => crate::algorithms::observe_queries_layered(
                 self.weight_mode,
                 self.weight_pattern,
@@ -155,7 +169,25 @@ impl GpsSampler {
                 None,
                 queries,
             ),
-        };
+        }
+    }
+
+    /// Non-full insertion with the admission pre-resolved by the batch's
+    /// fill prefix: observe, rank, admit — no capacity branch, no
+    /// eviction probe. Only valid while the queue has free slots, where
+    /// it is exactly [`GpsSampler::insert_with_u`] (a non-full GPS
+    /// queue admits unconditionally — there is no threshold test).
+    fn insert_admit_unconditional(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+        let w = self.observe(e, ctx);
+        let r = rank(w, u);
+        debug_assert!(self.heap.len() < self.capacity, "not in the fill phase");
+        let id = self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
+        self.heap.push(id, r);
+    }
+
+    /// Insertion with an externally drawn `u` (batched path).
+    fn insert_with_u(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+        let w = self.observe(e, ctx);
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
             let id = self.sample.insert(e, EdgeMeta { weight: w, time: self.t });
@@ -194,8 +226,13 @@ impl EdgeSampler for GpsSampler {
     }
 
     /// Batched path: insertion-only batches pre-draw all `u` variates in
-    /// one RNG loop. A batch containing a deletion falls back to the
-    /// sequential loop so the panic fires at exactly the same event.
+    /// one RNG loop, then split at the admission plan's fill boundary —
+    /// the queue's free slots admit unconditionally (insertion-only GPS
+    /// never frees a slot, so the boundary is exact), skipping the
+    /// capacity branch and eviction probe per event; the remainder runs
+    /// the full threshold cascade. A batch containing a deletion falls
+    /// back to the sequential loop so the panic fires at exactly the
+    /// same event.
     fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
         if !batch.iter().all(EdgeEvent::is_insert) {
             for &ev in batch {
@@ -208,8 +245,14 @@ impl EdgeSampler for GpsSampler {
         for _ in 0..batch.len() {
             self.u_buf.push(draw_u(&mut self.rng));
         }
-        for (i, &ev) in batch.iter().enumerate() {
+        let fill = (self.capacity - self.heap.len()).min(batch.len());
+        for (i, &ev) in batch[..fill].iter().enumerate() {
             let u = self.u_buf[i];
+            self.insert_admit_unconditional(ev.edge, u, ctx.reborrow());
+            self.t += 1;
+        }
+        for (i, &ev) in batch[fill..].iter().enumerate() {
+            let u = self.u_buf[fill + i];
             self.insert_with_u(ev.edge, u, ctx.reborrow());
             self.t += 1;
         }

@@ -141,6 +141,20 @@ impl GpsASampler {
         self.sample.len()
     }
 
+    /// Heap-slot-order snapshot of the queue as
+    /// `(edge, live, rank)` triples (ghosts carry `live == false`) —
+    /// white-box surface for the admission differential suite (see
+    /// [`WsdSampler::reservoir_snapshot`]).
+    ///
+    /// [`WsdSampler::reservoir_snapshot`]:
+    /// crate::algorithms::WsdSampler::reservoir_snapshot
+    pub fn reservoir_snapshot(&self) -> Vec<(Edge, bool, f64)> {
+        self.heap
+            .iter()
+            .map(|(item, r)| (self.item_edge[item as usize], self.item_live[item as usize], r))
+            .collect()
+    }
+
     /// Item-ID bookkeeping size — exposed for the boundedness test.
     #[cfg(test)]
     pub(crate) fn item_table_len(&self) -> usize {
@@ -159,18 +173,22 @@ impl GpsASampler {
         self.free_items.push(item);
     }
 
-    /// Insertion with an externally drawn `u` (batched path).
-    fn insert_with_u(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+    /// Estimator + state observation against the pre-update live
+    /// sample; returns the arriving edge's weight. One layered pass
+    /// serves every query when the weight observation rides a plan
+    /// level (fused weight query or a count-blind `Affine(0, b)`
+    /// weight); otherwise the legacy per-query passes run unchanged.
+    // inline(always): this was the inline first half of `insert_with_u`
+    // before the admission plan split it out; keep it inlined so both
+    // admission paths compile to the pre-split code.
+    #[inline(always)]
+    fn observe(&mut self, e: Edge, ctx: QueryCtx<'_>) -> f64 {
         let QueryCtx { queries, scratch, plan } = ctx;
-        // One layered pass serves every query when the weight
-        // observation rides a plan level (fused weight query or a
-        // count-blind `Affine(0, b)` weight); otherwise the legacy
-        // per-query passes run unchanged.
         let layered = plan.filter(|_| {
             queries.iter().any(|q| q.pattern == self.weight_pattern)
                 || matches!(self.weight_mode, WeightMode::Affine(a, _) if a == 0.0)
         });
-        let w = match layered {
+        match layered {
             Some(plan) => crate::algorithms::observe_queries_layered(
                 self.weight_mode,
                 self.weight_pattern,
@@ -201,7 +219,33 @@ impl GpsASampler {
                 None,
                 queries,
             ),
-        };
+        }
+    }
+
+    /// Number of upcoming insertions guaranteed to be admitted
+    /// regardless of their rank — the batched path's per-run *admission
+    /// plan*. A non-full queue admits unconditionally (no threshold
+    /// test), and only admissions grow the queue (deletions tag ghosts
+    /// in place), so the guarantee holds for exactly the free slots.
+    #[inline]
+    fn guaranteed_admissions(&self) -> usize {
+        self.capacity - self.heap.len()
+    }
+
+    /// Non-full insertion with the admission pre-resolved by the run
+    /// plan: observe, rank, admit — no capacity branch, no eviction
+    /// probe. Only valid while [`GpsASampler::guaranteed_admissions`]
+    /// is positive, where it is exactly [`GpsASampler::insert_with_u`].
+    fn insert_admit_unconditional(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+        let w = self.observe(e, ctx);
+        let r = rank(w, u);
+        debug_assert!(self.heap.len() < self.capacity, "not in the fill phase");
+        self.admit(e, w, r);
+    }
+
+    /// Insertion with an externally drawn `u` (batched path).
+    fn insert_with_u(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+        let w = self.observe(e, ctx);
         let r = rank(w, u);
         if self.heap.len() < self.capacity {
             self.admit(e, w, r);
@@ -321,7 +365,9 @@ impl EdgeSampler for GpsASampler {
 
     /// Batched path: as with WSD, exactly one `u` per insertion and none
     /// per deletion — all variates for the batch are pre-drawn in one
-    /// RNG loop, preserving the sequential stream bit-for-bit.
+    /// RNG loop, preserving the sequential stream bit-for-bit — and the
+    /// events are partitioned into same-op runs against the non-full
+    /// admission plan (see `GpsASampler::guaranteed_admissions`).
     fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
         crate::algorithms::predrawn_batch!(self, batch, ctx);
     }

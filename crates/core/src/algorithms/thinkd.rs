@@ -52,6 +52,16 @@ impl ThinkDSampler {
         }
     }
 
+    /// Slot-order snapshot of the reservoir — white-box surface for the
+    /// admission differential suite (see
+    /// [`TriestSampler::reservoir_snapshot`]).
+    ///
+    /// [`TriestSampler::reservoir_snapshot`]:
+    /// crate::algorithms::TriestSampler::reservoir_snapshot
+    pub fn reservoir_snapshot(&self) -> Vec<Edge> {
+        self.reservoir.iter().collect()
+    }
+
     /// Inverse probability that `partners` specific live edges are all
     /// sampled, for sample size `s` over population `n`.
     fn inv_prob(partners: u64, s: u64, n: u64) -> f64 {
@@ -132,10 +142,13 @@ impl EdgeSampler for ThinkDSampler {
     /// uncompensated deletions) are RNG-free: the sample then holds the
     /// whole population (`s == n`, all inclusion probabilities exactly
     /// 1), so the update-then-admit pair collapses to exact count
-    /// increments plus an unconditional admission.
+    /// increments plus one run-level [`RpReservoir::admit_run`] after
+    /// the per-edge loop (the counting reads only the adjacency, so
+    /// deferring the reservoir bookkeeping is exact).
     fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
         crate::algorithms::rp_fill_batch!(self, batch, ctx, |e| {
-            // Fill phase ⇒ s == n ⇒ Π (n−i)/(s−i) = 1 exactly.
+            // Fill phase ⇒ s == n ⇒ Π (n−i)/(s−i) = 1 exactly (both
+            // counters lag equally until the run-level admission).
             debug_assert_eq!(self.reservoir.len() as u64, self.reservoir.population());
             {
                 let QueryCtx { queries, scratch, plan } = ctx.reborrow();
@@ -159,7 +172,6 @@ impl EdgeSampler for ThinkDSampler {
                     }
                 }
             }
-            self.reservoir.admit_unconditional(e);
             self.adj.insert(e);
         });
     }

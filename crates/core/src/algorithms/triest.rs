@@ -61,6 +61,14 @@ impl TriestSampler {
         &self.adj
     }
 
+    /// Slot-order snapshot of the reservoir — white-box surface for the
+    /// admission differential suite. Slot order is observable: the
+    /// uniform victim draw indexes it, so every admission path must
+    /// reproduce it exactly.
+    pub fn reservoir_snapshot(&self) -> Vec<Edge> {
+        self.reservoir.iter().collect()
+    }
+
     /// Counts the instances `e` completes at each query's level — one
     /// layered count when the session's plan covers every query
     /// (integer counts are query-independent, so sharing is exact),
@@ -116,12 +124,15 @@ impl EdgeSampler for TriestSampler {
     /// variates per offer, so draws cannot be hoisted wholesale — but
     /// the *fill phase* (free slots, no uncompensated deletions) admits
     /// every offer without touching the RNG. Insertion runs inside that
-    /// phase bypass the admission branch cascade entirely; everything
-    /// else falls through to the per-event logic, keeping the estimates
-    /// and RNG stream bit-identical to sequential processing.
+    /// phase are resolved as one run up front: the per-edge loop only
+    /// touches τ and the adjacency, then one
+    /// [`RpReservoir::admit_run`] admits the whole run (nothing inside
+    /// the run reads the reservoir, so the deferral is exact).
+    /// Everything else falls through to the per-event logic, keeping
+    /// the estimates and RNG stream bit-identical to sequential
+    /// processing.
     fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
         crate::algorithms::rp_fill_batch!(self, batch, ctx, |e| {
-            self.reservoir.admit_unconditional(e);
             self.add_to_sample(e, ctx.reborrow());
         });
     }

@@ -136,6 +136,22 @@ impl WrsSampler {
         self.reservoir.capacity()
     }
 
+    /// Slot-order snapshot of the reservoir part — white-box surface
+    /// for the admission differential suite (the uniform victim draw
+    /// indexes the slot order, so it is observable).
+    pub fn reservoir_snapshot(&self) -> Vec<Edge> {
+        self.reservoir.iter().collect()
+    }
+
+    /// FIFO-order snapshot of the waiting room's `(edge, sequence)`
+    /// entries, ghosts included, plus the spill horizon — white-box
+    /// surface for the admission differential suite (ghost entries and
+    /// the horizon decide future spill choices, so both are
+    /// observable).
+    pub fn room_snapshot(&self) -> (Vec<(Edge, u64)>, u64) {
+        (self.room_fifo.iter().copied().collect(), self.spill_horizon)
+    }
+
     /// Whether a live edge is currently in the waiting room (stamp
     /// classification — the authoritative membership).
     fn in_room_id(&self, id: wsd_graph::EdgeId) -> bool {
@@ -429,24 +445,50 @@ impl EdgeSampler for WrsSampler {
 
     /// Batched path. While the waiting room has free slots an insertion
     /// touches neither the reservoir nor the RNG, so insertion runs are
-    /// processed in a tight loop with the overflow branch hoisted out;
-    /// the reservoir size/population reads are loop-invariant across
-    /// such a run (the reservoir is untouched) and are hoisted too.
+    /// resolved as one *room-admission run* up front: the overflow
+    /// branch, reservoir size/population reads (loop-invariant — the
+    /// reservoir is untouched), the stamp-array resize (bounded by the
+    /// arena's ID bound plus the run length) and the admission-sequence
+    /// counter are all hoisted out of the loop, the per-edge loop writes
+    /// only the estimator update, the adjacency insert and the stamp
+    /// (consecutive sequences — stamps must land before later events in
+    /// the run enumerate the edge as a partner), and the FIFO (which
+    /// nothing inside the run reads) takes the whole run in one extend.
     fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
         let mut i = 0;
         while i < batch.len() {
             if batch[i].is_insert() {
-                let mut free = self.room_capacity.saturating_sub(self.room_len);
-                if free > 0 {
+                let free = self.room_capacity.saturating_sub(self.room_len);
+                let run_len = batch[i..].iter().take(free).take_while(|ev| ev.is_insert()).count();
+                if run_len > 0 {
                     let s = self.reservoir.len() as u64;
                     let n_r = self.reservoir.population();
-                    while free > 0 && i < batch.len() && batch[i].is_insert() {
-                        let e = batch[i].edge;
-                        self.update_queries(ctx.reborrow(), e, 1.0, s, n_r);
-                        self.room_admit(e);
-                        free -= 1;
-                        i += 1;
+                    // Every ID the run can assign is below the current
+                    // bound plus one fresh ID per admission.
+                    let need = self.adj.id_bound() + run_len;
+                    if need > self.room_seq.len() {
+                        self.room_seq.resize(need, 0);
                     }
+                    let base = self.next_seq;
+                    for (j, ev) in batch[i..i + run_len].iter().enumerate() {
+                        let e = ev.edge;
+                        self.update_queries(ctx.reborrow(), e, 1.0, s, n_r);
+                        let id = self
+                            .adj
+                            .insert_full(e)
+                            .or_else(|| self.adj.edge_id(e))
+                            .expect("edge is live");
+                        self.room_seq[id as usize] = base + j as u64;
+                    }
+                    self.room_fifo.extend(
+                        batch[i..i + run_len]
+                            .iter()
+                            .enumerate()
+                            .map(|(j, ev)| (ev.edge, base + j as u64)),
+                    );
+                    self.next_seq = base + run_len as u64;
+                    self.room_len += run_len;
+                    i += run_len;
                     continue;
                 }
             }

@@ -172,22 +172,33 @@ impl WsdSampler {
         self.sample.contains(e)
     }
 
-    /// Insertion with an externally drawn `u ∈ (0, 1]` — the batched
-    /// path pre-draws one variate per insertion (in event order, so the
-    /// RNG stream is identical to sequential processing).
-    fn insert_with_u(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+    /// Heap-slot-order snapshot of the reservoir as `(edge, rank)`
+    /// pairs — white-box surface for the admission differential suite.
+    /// The slot order is part of the observable contract: it decides
+    /// victim choice under rank ties, so every admission path must
+    /// reproduce it exactly.
+    pub fn reservoir_snapshot(&self) -> Vec<(Edge, f64)> {
+        self.heap.iter().map(|(id, r)| (self.sample.adj().edge_endpoints(id), r)).collect()
+    }
+
+    /// Algorithm 2 per query: estimator + state observation *before*
+    /// the sampling decision, against the pre-update reservoir; returns
+    /// the arriving edge's weight. The layered pass serves every query
+    /// (and the weight observation) at once, but only when the weight
+    /// observation itself rides a plan level — a fused query counts the
+    /// weight pattern, or the weight ignores the instance count
+    /// (`Affine(0, b)`).
+    // inline(always): this was the inline first half of `insert_with_u`
+    // before the admission plan split it out; keep it inlined so both
+    // admission paths compile to the pre-split code.
+    #[inline(always)]
+    fn observe(&mut self, e: Edge, ctx: QueryCtx<'_>) -> f64 {
         let QueryCtx { queries, scratch, plan } = ctx;
-        // Algorithm 2 per query: estimator + state observation *before*
-        // the sampling decision, against the pre-update reservoir. The
-        // layered pass serves every query (and the weight observation)
-        // at once, but only when the weight observation itself rides a
-        // plan level — a fused query counts the weight pattern, or the
-        // weight ignores the instance count (`Affine(0, b)`).
         let layered = plan.filter(|_| {
             queries.iter().any(|q| q.pattern == self.weight_pattern)
                 || matches!(self.weight_mode, WeightMode::Affine(a, _) if a == 0.0)
         });
-        let w = match layered {
+        match layered {
             Some(plan) => crate::algorithms::observe_queries_layered(
                 self.weight_mode,
                 self.weight_pattern,
@@ -218,7 +229,43 @@ impl WsdSampler {
                 self.observer.as_deref_mut(),
                 queries,
             ),
-        };
+        }
+    }
+
+    /// Number of upcoming insertions guaranteed to be admitted by
+    /// Case 1 regardless of their rank — the batched path's per-run
+    /// *admission plan*. While `τp == 0` every rank clears the bar
+    /// (`w > 0` and `u ∈ (0, 1]` force `r > 0`), and Case-1 admissions
+    /// touch neither threshold, so the guarantee holds for exactly the
+    /// free slots. Once the reservoir has filled, `τp` is positive
+    /// forever (Case 2 sets it to a reservoir minimum rank and Case 3
+    /// retains it) and no admission is unconditional.
+    #[inline]
+    fn guaranteed_admissions(&self) -> usize {
+        if self.tau_p == 0.0 {
+            self.capacity - self.heap.len()
+        } else {
+            0
+        }
+    }
+
+    /// Case-1 insertion with the admission test pre-resolved by the run
+    /// plan: observe, rank, admit — no threshold compare, no capacity
+    /// branch. Only valid while [`WsdSampler::guaranteed_admissions`]
+    /// is positive, where it is exactly [`WsdSampler::insert_with_u`].
+    fn insert_admit_unconditional(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+        let w = self.observe(e, ctx);
+        debug_assert!(w > 0.0 && w.is_finite(), "weight function must be positive/finite");
+        let r = rank(w, u);
+        debug_assert!(self.heap.len() < self.capacity && r > self.tau_p, "not in the fill phase");
+        self.admit(e, w, r);
+    }
+
+    /// Insertion with an externally drawn `u ∈ (0, 1]` — the batched
+    /// path pre-draws one variate per insertion (in event order, so the
+    /// RNG stream is identical to sequential processing).
+    fn insert_with_u(&mut self, e: Edge, u: f64, ctx: QueryCtx<'_>) {
+        let w = self.observe(e, ctx);
         debug_assert!(w > 0.0 && w.is_finite(), "weight function must be positive/finite");
         let r = rank(w, u);
         // Algorithm 1.
@@ -309,9 +356,12 @@ impl EdgeSampler for WsdSampler {
     }
 
     /// Batched path: exactly one `u` variate is consumed per insertion
-    /// and none per deletion, so all draws for the batch can be made in
-    /// one tight RNG loop up front — same stream, same estimates, with
-    /// the RNG call overhead amortised across the batch.
+    /// and none per deletion, so all draws for the batch are made in
+    /// one tight RNG loop up front — same stream, same estimates — and
+    /// the events are partitioned into same-op runs resolved against
+    /// the `τp == 0` admission plan (see
+    /// `WsdSampler::guaranteed_admissions`): planned insertion runs
+    /// skip the whole Case-1/Case-2 branch cascade per event.
     fn process_batch(&mut self, batch: &[EdgeEvent], mut ctx: QueryCtx<'_>) {
         crate::algorithms::predrawn_batch!(self, batch, ctx);
     }

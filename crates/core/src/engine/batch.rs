@@ -14,9 +14,11 @@ pub const DEFAULT_BATCH_SIZE: usize = 4096;
 ///
 /// Each batch goes through
 /// [`SubgraphCounter::process_batch`], which is
-/// semantically identical to per-event processing (the equivalence is
-/// asserted by tests for every algorithm) but amortises per-event
-/// overheads.
+/// **bit-identical** to per-event processing (the equivalence is
+/// asserted by the `admission_equivalence` differential suite for every
+/// algorithm) but resolves admission at run granularity: variates are
+/// pre-drawn per batch, and each sampler's admission plan admits whole
+/// insertion runs through a branch-free reservoir write path.
 #[derive(Copy, Clone, Debug)]
 pub struct BatchDriver {
     batch_size: usize,

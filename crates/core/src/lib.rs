@@ -54,6 +54,30 @@
 //! [`CounterConfig::with_mass_kernel`], which is how the differential
 //! test harness pins the bit-identity contract inside one binary.
 //!
+//! # Batched admission
+//!
+//! [`EdgeSampler::process_batch`] is not a loop over
+//! [`EdgeSampler::process`]: each sampler resolves admission for whole
+//! *runs* of events up front. The weighted samplers pre-draw one
+//! admission variate per insertion in event order, then split the
+//! batch at the sampler's **admission plan** boundary — the count of
+//! consecutive insertions that are provably admitted before any
+//! threshold or eviction test can fire (WSD: free slots while
+//! `τ_p = 0`; GPS/GPS-A: free slots, a non-full queue admits
+//! unconditionally) — running the planned prefix through a
+//! branch-free unconditional-admit path. The uniform reservoirs admit
+//! fill-phase insertion runs with one run-level reservoir write
+//! ([`reservoir::RpReservoir::admit_run`]), and the WRS waiting room
+//! batches its FIFO/sequence bookkeeping per free-room run. Underneath,
+//! the reservoir heap and the sampled graph's per-edge metadata are
+//! laid out as parallel arrays (structure-of-arrays), and reservoir
+//! eviction removes edges by arena ID through the adjacency's mirror
+//! table without any neighbour-set search. All of it is **bit-identical
+//! to per-event processing** — same RNG stream, same reservoir slot
+//! orders, same estimates — pinned by the
+//! `admission_equivalence` differential suite (both paths in lockstep,
+//! batch sizes down to 1).
+//!
 //! # Example
 //!
 //! One WSD-H sampler pass answering the paper's whole pattern grid:

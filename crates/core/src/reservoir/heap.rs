@@ -1,4 +1,4 @@
-//! Indexed binary min-heap keyed by rank.
+//! Indexed binary min-heap keyed by rank, stored **structure-of-arrays**.
 //!
 //! The WSD/GPS family keeps the reservoir in a min-priority queue so that
 //! the lowest-ranked edge can be evicted in `O(log M)` (Algorithm 1,
@@ -9,10 +9,24 @@
 //!
 //! Keys are dense arena IDs (`u32` — the sampled graph's edge IDs, or
 //! GPS-A's recycled item IDs), so the position index is a plain
-//! `Vec<u32>` rather than a hash map: every sift swap and every removal
-//! touches two array slots instead of re-hashing edge keys. ID
+//! `Vec<u32>` rather than a hash map: every sift step and every removal
+//! touches plain array slots instead of re-hashing edge keys. ID
 //! recycling upstream keeps the index no larger than the reservoir
-//! capacity.
+//! capacity, and [`IndexedMinHeap::with_capacity`] pre-sizes it so the
+//! fill phase never reallocates.
+//!
+//! # Layout
+//!
+//! Keys and ranks live in two parallel dense arrays rather than one
+//! `Vec<(u32, f64)>`: the sift loops compare only ranks, so splitting
+//! keeps the comparison stream contiguous `f64`s (twice the ranks per
+//! cache line, no 4-byte key padding interleaved), and the sifts move
+//! elements **hole-style** — the moving entry is held in registers while
+//! parents/children shift into the gap, one final write instead of a
+//! three-store swap per level. The hole walk makes exactly the
+//! comparisons the classic swap walk makes, so the resulting layout —
+//! and therefore victim choice under rank ties — is bit-identical to the
+//! AoS heap this replaced.
 
 /// Sentinel marking a key as absent from the position index.
 const ABSENT: u32 = u32::MAX;
@@ -23,7 +37,10 @@ const ABSENT: u32 = u32::MAX;
 /// be ordered, not UB).
 #[derive(Clone, Debug, Default)]
 pub struct IndexedMinHeap {
-    slots: Vec<(u32, f64)>,
+    /// Slot → key, parallel to `ranks`.
+    keys: Vec<u32>,
+    /// Slot → rank; the only array the sift comparisons touch.
+    ranks: Vec<f64>,
     /// key → slot, [`ABSENT`] when the key is not stored. Grows to the
     /// largest key ever pushed + 1.
     pos: Vec<u32>,
@@ -35,22 +52,24 @@ impl IndexedMinHeap {
         Self::default()
     }
 
-    /// Creates an empty heap with capacity for `n` entries (and keys up
-    /// to `n`).
+    /// Creates an empty heap with capacity for `n` entries, with the
+    /// position index pre-sized for keys `< n` — upstream ID recycling
+    /// bounds keys by the reservoir capacity, so a heap sized to its
+    /// reservoir never grows `pos` mid-stream.
     pub fn with_capacity(n: usize) -> Self {
-        Self { slots: Vec::with_capacity(n), pos: Vec::with_capacity(n) }
+        Self { keys: Vec::with_capacity(n), ranks: Vec::with_capacity(n), pos: vec![ABSENT; n] }
     }
 
     /// Number of stored entries.
     #[inline]
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.keys.len()
     }
 
     /// True if no entries are stored.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.keys.is_empty()
     }
 
     #[inline]
@@ -69,13 +88,13 @@ impl IndexedMinHeap {
 
     /// The rank stored for `key`, if present.
     pub fn rank_of(&self, key: u32) -> Option<f64> {
-        self.slot_of(key).map(|i| self.slots[i].1)
+        self.slot_of(key).map(|i| self.ranks[i])
     }
 
     /// The minimum-rank entry without removing it.
     #[inline]
     pub fn peek_min(&self) -> Option<(u32, f64)> {
-        self.slots.first().copied()
+        Some((*self.keys.first()?, *self.ranks.first()?))
     }
 
     /// Inserts a new key with the given rank.
@@ -90,15 +109,15 @@ impl IndexedMinHeap {
             self.pos.resize(key as usize + 1, ABSENT);
         }
         assert!(self.pos[key as usize] == ABSENT, "duplicate key pushed into IndexedMinHeap");
-        let i = self.slots.len();
-        self.slots.push((key, rank));
-        self.pos[key as usize] = i as u32;
+        let i = self.keys.len();
+        self.keys.push(key);
+        self.ranks.push(rank);
         self.sift_up(i);
     }
 
     /// Removes and returns the minimum-rank entry.
     pub fn pop_min(&mut self) -> Option<(u32, f64)> {
-        if self.slots.is_empty() {
+        if self.keys.is_empty() {
             return None;
         }
         Some(self.remove_at(0))
@@ -118,14 +137,15 @@ impl IndexedMinHeap {
     /// (displacing the minimum and re-inserting its own key is the one
     /// exception: the evicted key may be recycled as `key`).
     pub fn replace_min(&mut self, key: u32, rank: f64) -> (u32, f64) {
-        assert!(!self.slots.is_empty(), "replace_min on an empty heap");
-        let old = self.slots[0];
+        assert!(!self.keys.is_empty(), "replace_min on an empty heap");
+        let old = (self.keys[0], self.ranks[0]);
         self.pos[old.0 as usize] = ABSENT;
         if key as usize >= self.pos.len() {
             self.pos.resize(key as usize + 1, ABSENT);
         }
         assert!(self.pos[key as usize] == ABSENT, "duplicate key pushed into IndexedMinHeap");
-        self.slots[0] = (key, rank);
+        self.keys[0] = key;
+        self.ranks[0] = rank;
         self.pos[key as usize] = 0;
         self.sift_down(0);
         old
@@ -139,16 +159,18 @@ impl IndexedMinHeap {
 
     /// Iterates over all `(key, rank)` entries in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.slots.iter().copied()
+        self.keys.iter().copied().zip(self.ranks.iter().copied())
     }
 
     fn remove_at(&mut self, i: usize) -> (u32, f64) {
-        let last = self.slots.len() - 1;
-        self.slots.swap(i, last);
-        let removed = self.slots.pop().expect("non-empty by construction");
+        let removed = (self.keys[i], self.ranks[i]);
         self.pos[removed.0 as usize] = ABSENT;
-        if i < self.slots.len() {
-            self.pos[self.slots[i].0 as usize] = i as u32;
+        let last_key = self.keys.pop().expect("non-empty by construction");
+        let last_rank = self.ranks.pop().expect("parallel arrays");
+        if i < self.keys.len() {
+            self.keys[i] = last_key;
+            self.ranks[i] = last_rank;
+            self.pos[last_key as usize] = i as u32;
             // The swapped-in element may violate either direction.
             self.sift_down(i);
             self.sift_up(i);
@@ -156,53 +178,69 @@ impl IndexedMinHeap {
         removed
     }
 
+    /// Hole-style sift-up: holds the moving entry while parents shift
+    /// down into the gap, writing it exactly once at its final slot.
+    /// Performs the same rank comparisons as a swap walk, so the final
+    /// layout is identical.
     fn sift_up(&mut self, mut i: usize) {
+        let (key, rank) = (self.keys[i], self.ranks[i]);
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.slots[i].1.total_cmp(&self.slots[parent].1).is_lt() {
-                self.swap_slots(i, parent);
+            if rank.total_cmp(&self.ranks[parent]).is_lt() {
+                self.keys[i] = self.keys[parent];
+                self.ranks[i] = self.ranks[parent];
+                self.pos[self.keys[i] as usize] = i as u32;
                 i = parent;
             } else {
                 break;
             }
         }
+        self.keys[i] = key;
+        self.ranks[i] = rank;
+        self.pos[key as usize] = i as u32;
     }
 
+    /// Hole-style sift-down; comparison-for-comparison equivalent to the
+    /// classic swap walk (the held rank stands in for slot `i`), so ties
+    /// resolve to the same layout.
     fn sift_down(&mut self, mut i: usize) {
+        let (key, rank) = (self.keys[i], self.ranks[i]);
         loop {
-            let (l, r) = (2 * i + 1, 2 * i + 2);
-            let mut smallest = i;
-            if l < self.slots.len() && self.slots[l].1.total_cmp(&self.slots[smallest].1).is_lt() {
-                smallest = l;
-            }
-            if r < self.slots.len() && self.slots[r].1.total_cmp(&self.slots[smallest].1).is_lt() {
-                smallest = r;
-            }
-            if smallest == i {
+            let l = 2 * i + 1;
+            if l >= self.keys.len() {
                 break;
             }
-            self.swap_slots(i, smallest);
-            i = smallest;
+            let r = l + 1;
+            let c = if r < self.keys.len() && self.ranks[r].total_cmp(&self.ranks[l]).is_lt() {
+                r
+            } else {
+                l
+            };
+            if self.ranks[c].total_cmp(&rank).is_lt() {
+                self.keys[i] = self.keys[c];
+                self.ranks[i] = self.ranks[c];
+                self.pos[self.keys[i] as usize] = i as u32;
+                i = c;
+            } else {
+                break;
+            }
         }
+        self.keys[i] = key;
+        self.ranks[i] = rank;
+        self.pos[key as usize] = i as u32;
     }
 
-    #[inline]
-    fn swap_slots(&mut self, a: usize, b: usize) {
-        self.slots.swap(a, b);
-        self.pos[self.slots[a].0 as usize] = a as u32;
-        self.pos[self.slots[b].0 as usize] = b as u32;
-    }
-
-    /// Debug-only invariant check: heap order and position-index
-    /// coherence.
+    /// Debug-only invariant check: heap order, parallel-array agreement
+    /// and position-index coherence.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
+        assert_eq!(self.keys.len(), self.ranks.len(), "parallel array drift");
         let stored = self.pos.iter().filter(|&&p| p != ABSENT).count();
-        assert_eq!(self.slots.len(), stored, "position index size drift");
-        for (i, &(k, rank)) in self.slots.iter().enumerate() {
+        assert_eq!(self.keys.len(), stored, "position index size drift");
+        for (i, (&k, &rank)) in self.keys.iter().zip(&self.ranks).enumerate() {
             assert_eq!(self.pos[k as usize], i as u32, "position index out of sync");
             if i > 0 {
-                let parent = self.slots[(i - 1) / 2].1;
+                let parent = self.ranks[(i - 1) / 2];
                 assert!(parent.total_cmp(&rank).is_le(), "heap order violated at slot {i}");
             }
         }
@@ -282,6 +320,22 @@ mod tests {
         assert_eq!(h.remove(4), Some(1.0));
         h.push(4, 2.0);
         assert_eq!(h.rank_of(4), Some(2.0));
+        h.check_invariants();
+    }
+
+    #[test]
+    fn with_capacity_presizes_the_position_index() {
+        let mut h = IndexedMinHeap::with_capacity(8);
+        // All keys below the capacity must be resolvable without growth.
+        assert!(!h.contains(7));
+        for k in 0..8u32 {
+            h.push(k, k as f64);
+        }
+        h.check_invariants();
+        // Keys past the pre-sized range still work via on-demand growth.
+        h.pop_min();
+        h.push(100, 0.25);
+        assert_eq!(h.peek_min(), Some((100, 0.25)));
         h.check_invariants();
     }
 

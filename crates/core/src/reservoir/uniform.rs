@@ -129,6 +129,24 @@ impl RpReservoir {
         self.insert_raw(e);
     }
 
+    /// Admits a whole run of edges unconditionally — the batched
+    /// fill-phase analogue of repeated
+    /// [`RpReservoir::admit_unconditional`] calls (bit-identical: no
+    /// RNG draw happens on either path, and the sample's slot order is
+    /// the same). The run length must not exceed
+    /// [`RpReservoir::guaranteed_admissions`].
+    #[inline]
+    pub fn admit_run(&mut self, edges: impl ExactSizeIterator<Item = Edge>) {
+        debug_assert!(self.guaranteed_admissions() >= edges.len(), "run exceeds the fill phase");
+        self.population += edges.len() as u64;
+        let base = self.edges.len();
+        for (k, e) in edges.enumerate() {
+            debug_assert!(!self.pos.contains_key(&e), "offer of an edge already in the sample");
+            self.edges.push(e);
+            self.pos.insert(e, base + k);
+        }
+    }
+
     /// Processes an insertion event, returning what happened to the edge.
     ///
     /// The caller is responsible for updating any auxiliary structures

@@ -6,9 +6,21 @@
 //! estimation time) and its arrival time (for the temporal block of the
 //! RL state). The adjacency half is what pattern enumeration runs
 //! against — and since the adjacency arena mints a dense [`EdgeId`] per
-//! live edge, all metadata lives in parallel `Vec`s indexed by that ID:
-//! the estimator's per-partner metadata access is a plain array read,
-//! not a hash probe.
+//! live edge, all metadata lives in dense slot arrays indexed by that
+//! ID: the estimator's per-partner metadata access is a plain array
+//! read, not a hash probe.
+//!
+//! # Slot grouping
+//!
+//! The metadata is grouped into two ID-indexed slot arrays by *access
+//! pattern*, not by field: the estimator's per-partner read touches the
+//! τ-stamp and the cached `1/p` together on every partner, so those two
+//! live adjacent in one 16-byte `ProbSlot`; the admission path writes
+//! weight and arrival time together once per admitted edge, so those
+//! pair up in `MetaSlot`. One partner probe in the mass pass is one
+//! cache line instead of two, and one admission is two grouped stores
+//! plus a single bounds/resize check instead of four independent `Vec`
+//! maintenance paths.
 //!
 //! # The τ-epoch `1/p` cache
 //!
@@ -34,18 +46,35 @@ pub struct EdgeMeta {
     pub time: u64,
 }
 
-/// Reservoir content as a graph: adjacency + per-edge metadata arrays.
+/// Admission-time metadata of one edge slot: written together on every
+/// insert, read together by the estimator's temporal path.
+#[derive(Copy, Clone, Default, Debug)]
+struct MetaSlot {
+    /// `w(e)` — the weight assigned on arrival.
+    weight: f64,
+    /// Arrival time (event index).
+    time: u64,
+}
+
+/// Estimation-time cache of one edge slot: the τ-stamp and the `1/p` it
+/// validates share a slot so the mass pass's per-partner probe (stamp
+/// check + cached read) touches one cache line.
+#[derive(Copy, Clone, Default, Debug)]
+struct ProbSlot {
+    /// τ-epoch in which `inv_p` was computed; 0 is never current.
+    stamp: u64,
+    /// Cached `1 / min(1, w/τ)`, valid iff `stamp == epoch`.
+    inv_p: f64,
+}
+
+/// Reservoir content as a graph: adjacency + per-edge metadata slots.
 #[derive(Clone, Debug)]
 pub struct WeightedSample {
     adj: Adjacency,
-    /// `w(e)` per edge ID.
-    weight: Vec<f64>,
-    /// Arrival time per edge ID.
-    time: Vec<u64>,
-    /// Cached `1 / min(1, w/τ)` per edge ID, valid iff `stamp == epoch`.
-    inv_p: Vec<f64>,
-    /// τ-epoch in which `inv_p` was computed; 0 is never current.
-    stamp: Vec<u64>,
+    /// Admission metadata per edge ID.
+    meta: Vec<MetaSlot>,
+    /// τ-stamped `1/p` cache per edge ID.
+    prob: Vec<ProbSlot>,
     /// Current τ-epoch (starts at 1 so zeroed stamps read as stale).
     epoch: u64,
     /// The τ the current epoch corresponds to.
@@ -54,15 +83,7 @@ pub struct WeightedSample {
 
 impl Default for WeightedSample {
     fn default() -> Self {
-        Self {
-            adj: Adjacency::new(),
-            weight: Vec::new(),
-            time: Vec::new(),
-            inv_p: Vec::new(),
-            stamp: Vec::new(),
-            epoch: 1,
-            tau: 0.0,
-        }
+        Self { adj: Adjacency::new(), meta: Vec::new(), prob: Vec::new(), epoch: 1, tau: 0.0 }
     }
 }
 
@@ -73,7 +94,7 @@ impl WeightedSample {
     }
 
     /// Creates an empty sample pre-sized for a reservoir of `edges`
-    /// edges: the vertex table and the ID-indexed metadata arrays are
+    /// edges: the vertex table and the ID-indexed slot arrays are
     /// allocated up front, so the fill phase never rehashes the
     /// adjacency and the arrays never reallocate mid-stream (a reservoir
     /// of `M` edges touches at most `2M` vertices and `M` concurrent
@@ -81,10 +102,8 @@ impl WeightedSample {
     pub fn with_capacity(edges: usize) -> Self {
         Self {
             adj: Adjacency::with_capacity(2 * edges),
-            weight: Vec::with_capacity(edges + 1),
-            time: Vec::with_capacity(edges + 1),
-            inv_p: Vec::with_capacity(edges + 1),
-            stamp: Vec::with_capacity(edges + 1),
+            meta: Vec::with_capacity(edges + 1),
+            prob: Vec::with_capacity(edges + 1),
             ..Self::default()
         }
     }
@@ -122,7 +141,7 @@ impl WeightedSample {
     #[inline]
     pub fn meta(&self, e: Edge) -> Option<EdgeMeta> {
         let i = self.adj.edge_id(e)? as usize;
-        Some(EdgeMeta { weight: self.weight[i], time: self.time[i] })
+        Some(EdgeMeta { weight: self.meta[i].weight, time: self.meta[i].time })
     }
 
     /// Inserts an edge with its metadata, returning its arena ID (dense,
@@ -139,17 +158,14 @@ impl WeightedSample {
             .insert_full(e)
             .unwrap_or_else(|| panic!("edge {e:?} inserted twice into WeightedSample"));
         let i = id as usize;
-        if i >= self.weight.len() {
-            self.weight.resize(i + 1, 0.0);
-            self.time.resize(i + 1, 0);
-            self.inv_p.resize(i + 1, 0.0);
-            self.stamp.resize(i + 1, 0);
+        if i >= self.meta.len() {
+            self.meta.resize(i + 1, MetaSlot::default());
+            self.prob.resize(i + 1, ProbSlot::default());
         }
-        self.weight[i] = meta.weight;
-        self.time[i] = meta.time;
+        self.meta[i] = MetaSlot { weight: meta.weight, time: meta.time };
         // The slot may be recycled: whatever 1/p its previous tenant
         // cached must not leak to the new edge.
-        self.stamp[i] = 0;
+        self.prob[i].stamp = 0;
         id
     }
 
@@ -163,19 +179,16 @@ impl WeightedSample {
     pub fn remove_full(&mut self, e: Edge) -> Option<(EdgeId, EdgeMeta)> {
         let id = self.adj.remove_full(e)?;
         let i = id as usize;
-        Some((id, EdgeMeta { weight: self.weight[i], time: self.time[i] }))
+        Some((id, EdgeMeta { weight: self.meta[i].weight, time: self.meta[i].time }))
     }
 
     /// Removes a sampled edge by its arena ID (the reservoir-heap
     /// eviction path), returning its endpoints.
     pub fn remove_by_id(&mut self, id: EdgeId) -> Edge {
-        let e = self.adj.edge_endpoints(id);
-        let freed = self.adj.remove_full(e);
-        // A stale ID resolves to arbitrary endpoints and would silently
-        // remove the wrong edge — heap/sample desync must fail fast in
-        // release builds too (it indicates a framework bug).
-        assert_eq!(freed, Some(id), "remove_by_id of a stale edge ID: heap and sample desynced");
-        e
+        // Find-free: the arena's mirror table resolves both neighbour
+        // slots directly, and its slot/endpoint cross-check keeps the
+        // heap/sample-desync failure fast in release builds.
+        self.adj.remove_by_id(id)
     }
 
     /// Iterates sampled edges with metadata.
@@ -195,14 +208,7 @@ impl WeightedSample {
         }
         (
             &self.adj,
-            MetaView {
-                weight: &self.weight,
-                time: &self.time,
-                inv_p: &mut self.inv_p,
-                stamp: &mut self.stamp,
-                epoch: self.epoch,
-                tau: self.tau,
-            },
+            MetaView { meta: &self.meta, prob: &mut self.prob, epoch: self.epoch, tau: self.tau },
         )
     }
 }
@@ -210,10 +216,8 @@ impl WeightedSample {
 /// Dense, zero-hash access to per-partner metadata during one estimator
 /// pass, with lazy τ-stamped `1/p` recomputation.
 pub(crate) struct MetaView<'a> {
-    weight: &'a [f64],
-    time: &'a [u64],
-    inv_p: &'a mut [f64],
-    stamp: &'a mut [u64],
+    meta: &'a [MetaSlot],
+    prob: &'a mut [ProbSlot],
     epoch: u64,
     tau: f64,
 }
@@ -221,22 +225,25 @@ pub(crate) struct MetaView<'a> {
 impl MetaView<'_> {
     /// The inverse inclusion probability `1 / min(1, w/τ)` of a sampled
     /// edge — cached, recomputed only when the edge's τ-epoch stamp is
-    /// stale.
+    /// stale. Stamp and cached value share a slot: the steady-state hit
+    /// (stamp current) is one cache-line touch.
     #[inline]
     pub(crate) fn inv_p(&mut self, id: EdgeId) -> f64 {
         let i = id as usize;
-        if self.stamp[i] != self.epoch {
-            self.stamp[i] = self.epoch;
-            self.inv_p[i] = 1.0 / inclusion_prob(self.weight[i], self.tau);
+        if self.prob[i].stamp != self.epoch {
+            self.prob[i] = ProbSlot {
+                stamp: self.epoch,
+                inv_p: 1.0 / inclusion_prob(self.meta[i].weight, self.tau),
+            };
         }
-        self.inv_p[i]
+        self.prob[i].inv_p
     }
 
     /// Both metadata reads of the estimator loop in one call — the
     /// partner is resolved once and used twice.
     #[inline]
     pub(crate) fn inv_p_time(&mut self, id: EdgeId) -> (f64, u64) {
-        (self.inv_p(id), self.time[id as usize])
+        (self.inv_p(id), self.meta[id as usize].time)
     }
 
     /// Fills the `1/p` cache for every ID in `ids` (the τ-stamp check +
@@ -265,17 +272,17 @@ impl MetaView<'_> {
     #[inline]
     pub(crate) unsafe fn inv_p_primed(&self, id: EdgeId) -> f64 {
         let i = id as usize;
-        debug_assert_eq!(self.stamp[i], self.epoch, "inv_p_primed of an unprimed edge");
+        debug_assert_eq!(self.prob[i].stamp, self.epoch, "inv_p_primed of an unprimed edge");
         // SAFETY: live IDs index within the arrays per the caller
         // contract; the value is current because the edge was primed in
         // this epoch.
-        unsafe { *self.inv_p.get_unchecked(i) }
+        unsafe { self.prob.get_unchecked(i).inv_p }
     }
 
     /// Arrival time of a sampled edge.
     #[inline]
     pub(crate) fn time(&self, id: EdgeId) -> u64 {
-        self.time[id as usize]
+        self.meta[id as usize].time
     }
 }
 

@@ -402,6 +402,35 @@ impl<P: IdPayload> NeighborSet<P> {
         Some(id)
     }
 
+    /// Removes the entry at `pos` (the caller already resolved the
+    /// slot, e.g. through the arena's mirror table), returning the
+    /// `(vertex, payload)` that `swap_remove` backfilled into `pos`, if
+    /// any — the caller re-points that edge's mirror entry. Performs
+    /// exactly the dense-array / index / shadow mutations of
+    /// [`NeighborSet::remove`], so slot layouts (and everything
+    /// downstream that observes them) are independent of which removal
+    /// path ran.
+    fn swap_remove_at(&mut self, pos: usize) -> Option<(Vertex, P)> {
+        if let Some(idx) = &mut self.index {
+            idx.remove(&self.items[pos]);
+        }
+        self.items.swap_remove(pos);
+        self.ids.swap_remove(pos);
+        let moved = if pos < self.items.len() {
+            let w = self.items[pos];
+            if let Some(idx) = &mut self.index {
+                idx.insert(w, pos as u32);
+            }
+            Some((w, self.ids[pos]))
+        } else {
+            None
+        };
+        if let Some(sh) = &mut self.shadow {
+            sh.get_mut().log_remove();
+        }
+        moved
+    }
+
     /// The live slot of snapshot entry `(w, slot)`, verifying against
     /// the dense array and falling back to the index when `swap_remove`
     /// moved the entry; `None` if `w` is no longer a neighbour.
@@ -483,6 +512,14 @@ pub struct AdjacencyBase<P: IdPayload> {
     /// Arena: endpoints per edge ID. Entries of freed IDs are stale until
     /// the ID is recycled. Untouched (empty) when `P` is untracked.
     endpoints: Vec<Edge>,
+    /// Arena mirror table: `mirror[id] = [slot of v in u's set, slot of
+    /// u in v's set]` for the live edge `(u, v) = endpoints[id]` (`u <
+    /// v` canonical). Maintained through every insert and `swap_remove`
+    /// backfill, it makes removals *find-free*: a removal by ID reads
+    /// both slots directly, a removal by edge resolves one endpoint's
+    /// slot and mirrors the other. Parallel to `endpoints`; untouched
+    /// when `P` is untracked.
+    mirror: Vec<[u32; 2]>,
     /// Freed IDs awaiting recycling (LIFO, so the ID space stays dense).
     free: Vec<EdgeId>,
 }
@@ -509,6 +546,7 @@ impl<P: IdPayload> AdjacencyBase<P> {
             adj: FxHashMap::with_capacity_and_hasher(vertices, Default::default()),
             num_edges: 0,
             endpoints: Vec::new(),
+            mirror: Vec::new(),
             free: Vec::new(),
         }
     }
@@ -552,17 +590,27 @@ impl<P: IdPayload> AdjacencyBase<P> {
         } else {
             0
         };
-        if !self.adj.entry(u).or_default().insert_checked(v, P::from_id(id)) {
+        let u_set = self.adj.entry(u).or_default();
+        if !u_set.insert_checked(v, P::from_id(id)) {
             return None;
         }
+        let u_slot = u_set.len() - 1;
+        let v_set = self.adj.entry(v).or_default();
+        let v_slot = v_set.len();
+        v_set.push_unchecked(u, P::from_id(id));
         if P::TRACKED {
             // Commit the mint.
             match self.free.pop() {
-                Some(_) => self.endpoints[id as usize] = e,
-                None => self.endpoints.push(e),
+                Some(_) => {
+                    self.endpoints[id as usize] = e;
+                    self.mirror[id as usize] = [u_slot as u32, v_slot as u32];
+                }
+                None => {
+                    self.endpoints.push(e);
+                    self.mirror.push([u_slot as u32, v_slot as u32]);
+                }
             }
         }
-        self.adj.entry(v).or_default().push_unchecked(u, P::from_id(id));
         self.num_edges += 1;
         Some(id)
     }
@@ -575,6 +623,19 @@ impl<P: IdPayload> AdjacencyBase<P> {
 
     fn remove_impl(&mut self, e: Edge) -> Option<EdgeId> {
         let (u, v) = e.endpoints();
+        if P::TRACKED {
+            // One find on u's side resolves the slot and the ID; the
+            // mirror table hands over v's slot for free.
+            let u_set = self.adj.get_mut(&u)?;
+            let u_slot = u_set.find(v)?;
+            let id = u_set.ids[u_slot].id();
+            let v_slot = self.mirror[id as usize][1] as usize;
+            self.detach(u, u_slot);
+            self.detach(v, v_slot);
+            self.free.push(id);
+            self.num_edges -= 1;
+            return Some(id);
+        }
         let id = match self.adj.get_mut(&u) {
             Some(set) => set.remove(v)?,
             None => return None,
@@ -588,11 +649,26 @@ impl<P: IdPayload> AdjacencyBase<P> {
         if set.is_empty() {
             self.adj.remove(&v);
         }
-        if P::TRACKED {
-            self.free.push(id.id());
-        }
         self.num_edges -= 1;
         Some(id.id())
+    }
+
+    /// Drops slot `pos` of `x`'s neighbour set, re-pointing the mirror
+    /// entry of whichever edge `swap_remove` backfilled into the slot
+    /// and pruning the vertex when its set empties. Tracked arenas only
+    /// (the mirror table is what makes the slot known without a find).
+    fn detach(&mut self, x: Vertex, pos: usize) {
+        debug_assert!(P::TRACKED, "detach requires the arena mirror table");
+        let set = self.adj.get_mut(&x).expect("adjacency symmetry violated: missing entry");
+        if let Some((_, moved)) = set.swap_remove_at(pos) {
+            let m = moved.id() as usize;
+            // The backfilled slot belongs to edge m's x-side: re-point
+            // whichever half of its mirror entry names x.
+            let side = usize::from(self.endpoints[m].u() != x);
+            self.mirror[m][side] = pos as u32;
+        } else if set.is_empty() {
+            self.adj.remove(&x);
+        }
     }
 
     /// True if the edge is present.
@@ -747,6 +823,7 @@ impl<P: IdPayload> AdjacencyBase<P> {
         self.adj.clear();
         self.num_edges = 0;
         self.endpoints.clear();
+        self.mirror.clear();
         self.free.clear();
     }
 
@@ -808,6 +885,11 @@ impl<P: IdPayload> AdjacencyBase<P> {
                         self.endpoints[id as usize],
                         Edge::new(u, v),
                         "arena endpoints out of sync for id {id}"
+                    );
+                    let side = usize::from(u > v);
+                    assert_eq!(
+                        self.mirror[id as usize][side] as usize, i,
+                        "mirror slot out of sync for id {id} at {u}"
                     );
                     if u < v {
                         assert!(live_ids.insert(id), "edge ID {id} stored for two edges");
@@ -905,6 +987,32 @@ impl Adjacency {
     /// recycling) if it was present.
     pub fn remove_full(&mut self, e: Edge) -> Option<EdgeId> {
         self.remove_impl(e)
+    }
+
+    /// Removes a live edge by its arena ID — the reservoir eviction
+    /// path — returning its endpoints. *Find-free*: both neighbour-set
+    /// slots come straight from the mirror table.
+    ///
+    /// # Panics
+    ///
+    /// The ID must be live (obtained from this graph and not removed
+    /// since); a stale ID would silently remove the wrong edge, so the
+    /// slot/endpoint cross-check stays on in release builds (one array
+    /// load — far cheaper than the find scan it replaced).
+    pub fn remove_by_id(&mut self, id: EdgeId) -> Edge {
+        let e = self.endpoints[id as usize];
+        let (u, v) = e.endpoints();
+        let [u_slot, v_slot] = self.mirror[id as usize];
+        assert_eq!(
+            self.adj.get(&u).and_then(|s| s.items.get(u_slot as usize)),
+            Some(&v),
+            "remove_by_id of a stale edge ID"
+        );
+        self.detach(u, u_slot as usize);
+        self.detach(v, v_slot as usize);
+        self.free.push(id);
+        self.num_edges -= 1;
+        e
     }
 
     /// The arena ID of a live edge, if present.
