@@ -170,12 +170,13 @@ fn main() {
         .map(|v| v.parse().expect("--time-reps expects an integer"))
         .unwrap_or(if quick { 1 } else { 5 });
     assert!(time_reps >= 1, "--time-reps must be >= 1");
-    let out = opt("--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let out = opt("--out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
     let methodology = opt("--methodology").unwrap_or_else(|| {
         format!("single run on one host; median of {time_reps} full stream passes per cell")
     });
-    let baseline = opt("--perf-baseline").map(|p| {
-        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+    let baseline_path = opt("--perf-baseline");
+    let baseline = baseline_path.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
     });
 
     let ba_edges =
@@ -218,6 +219,59 @@ fn main() {
         },
     ];
 
+    // Serve-grid workload: N concurrent sessions on a loopback server,
+    // all fed the same feasible stream prefix. Sized here so the stream
+    // headers (and baseline comparability) can be computed up front.
+    let serve_sessions: usize = opt("--serve-sessions")
+        .map(|v| v.parse().expect("--serve-sessions expects an integer"))
+        .unwrap_or(if quick { 128 } else { 1024 });
+    let serve_events_per_session = grids[0].events.len().min(if quick { 400 } else { 2_000 });
+    let serve_total_events = serve_sessions * serve_events_per_session;
+    let serve_describe = format!(
+        "{{\"generator\": \"ba-light prefix\", \"sessions\": {serve_sessions}, \
+         \"events_per_session\": {serve_events_per_session}, \"events\": {serve_total_events}, \
+         \"capacity\": 64}}"
+    );
+
+    // Per-scenario workload sizes drive both speedup-column gating and
+    // the self-describing `baseline` block in the JSON: a reader of the
+    // artifact must not need this binary's stderr to know *why* a
+    // column is missing.
+    let scenario_workloads: Vec<(&'static str, usize, String)> = vec![
+        ("ba-light", grids[0].events.len(), grids[0].describe.clone()),
+        ("hub-heavy", grids[1].events.len(), grids[1].describe.clone()),
+        ("serve-grid", serve_total_events, serve_describe),
+    ];
+    let baseline_status: Vec<(&'static str, bool, String)> = scenario_workloads
+        .iter()
+        .map(|(name, events, _)| match baseline.as_deref() {
+            None => (*name, false, "no baseline supplied".to_string()),
+            Some(b) => match baseline_stream_events(b, name) {
+                None => (
+                    *name,
+                    false,
+                    "scenario missing from baseline; speedup columns suppressed".to_string(),
+                ),
+                Some(n) if n == *events => (*name, true, "comparable".to_string()),
+                Some(n) => (
+                    *name,
+                    false,
+                    format!(
+                        "workload mismatch: baseline stream has {n} events, this run has \
+                         {events}; speedup columns suppressed"
+                    ),
+                ),
+            },
+        })
+        .collect();
+    if baseline.is_some() {
+        for (name, comparable, reason) in &baseline_status {
+            if !comparable {
+                eprintln!("perf_report: baseline {name}: {reason}");
+            }
+        }
+    }
+
     let algorithms = [
         Algorithm::WsdH,
         Algorithm::WsdUniform,
@@ -230,18 +284,6 @@ fn main() {
 
     let mut cells = Vec::new();
     for grid in &grids {
-        if let Some(b) = baseline.as_deref() {
-            if let Some(base_events) = baseline_stream_events(b, grid.name) {
-                if base_events != grid.events.len() {
-                    eprintln!(
-                        "perf_report: baseline {} stream has {base_events} events vs {} here — \
-                         different workload, suppressing its speedup columns",
-                        grid.name,
-                        grid.events.len()
-                    );
-                }
-            }
-        }
         eprintln!(
             "perf_report: {} (|S|={}, capacity M={}, {} timing reps)",
             grid.name,
@@ -424,32 +466,112 @@ fn main() {
         }
     }
 
+    // Serve grid: aggregate many-tenant throughput through the whole
+    // server stack — TCP loopback, frame decode, SPSC rings, sharded
+    // workers — with every session ingesting concurrently. This is the
+    // serving-layer acceptance cell: ≥ 1000 concurrent sessions in the
+    // full (non-quick) configuration, reported as aggregate events/sec
+    // across all sessions.
+    {
+        let serve_stream = &grids[0].events[..serve_events_per_session];
+        let serve_algorithms =
+            [Algorithm::WsdH, Algorithm::Triest, Algorithm::ThinkD, Algorithm::Wrs];
+        eprintln!(
+            "perf_report: serve-grid ({serve_sessions} sessions x {serve_events_per_session} \
+             events each, {time_reps} timing reps)"
+        );
+        let mut rates = Vec::with_capacity(time_reps);
+        for _ in 0..time_reps {
+            let server = wsd_serve::serve("127.0.0.1:0", wsd_serve::ServerConfig::default())
+                .expect("serve-grid: bind server");
+            let mut client =
+                wsd_serve::Client::connect(server.local_addr()).expect("serve-grid: connect");
+            let ids: Vec<u64> = (0..serve_sessions)
+                .map(|i| {
+                    client
+                        .open(
+                            serve_algorithms[i % serve_algorithms.len()],
+                            64,
+                            Some(COUNTER_SEED),
+                            &[Pattern::Triangle],
+                        )
+                        .expect("serve-grid: open")
+                })
+                .collect();
+            let start = Instant::now();
+            for chunk in serve_stream.chunks(512) {
+                for &id in &ids {
+                    client.send_events(id, chunk).expect("serve-grid: send");
+                }
+            }
+            for &id in &ids {
+                client.flush(id).expect("serve-grid: flush");
+            }
+            rates.push(serve_total_events as f64 / start.elapsed().as_secs_f64());
+            server.shutdown();
+        }
+        let events_per_sec = median(rates);
+        eprintln!(
+            "  {:>10} {:>30} x {:<24} {:>12.0} events/sec aggregate",
+            "serve-grid",
+            "mixed(WSD-H,Triest,ThinkD,WRS)",
+            format!("triangle x {serve_sessions}"),
+            events_per_sec
+        );
+        cells.push(Cell {
+            scenario: "serve-grid",
+            algorithm: "mixed(WSD-H,Triest,ThinkD,WRS)",
+            pattern: format!("triangle x {serve_sessions} sessions"),
+            events_per_sec,
+            paired_speedup: None,
+        });
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     // Primary stream header kept for backwards compatibility with
     // pre-hub-grid readers; the full grid is under "streams".
     json.push_str(&format!("  \"stream\": {},\n", grids[0].describe));
     json.push_str("  \"streams\": {\n");
-    for (i, grid) in grids.iter().enumerate() {
-        let comma = if i + 1 < grids.len() { "," } else { "" };
-        json.push_str(&format!("    \"{}\": {}{comma}\n", grid.name, grid.describe));
+    for (i, (name, _, describe)) in scenario_workloads.iter().enumerate() {
+        let comma = if i + 1 < scenario_workloads.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {describe}{comma}\n"));
     }
     json.push_str("  },\n");
     json.push_str(&format!("  \"methodology\": \"{}\",\n", json_escape(&methodology)));
+    // Self-describing baseline record: the artifact states what it was
+    // compared against and, per scenario, why speedup columns are
+    // present or suppressed — no stderr context needed.
+    match &baseline_path {
+        Some(path) => {
+            json.push_str(&format!(
+                "  \"baseline\": {{\n    \"path\": \"{}\",\n    \"scenarios\": {{\n",
+                json_escape(path)
+            ));
+            for (i, (name, _, reason)) in baseline_status.iter().enumerate() {
+                let comma = if i + 1 < baseline_status.len() { "," } else { "" };
+                json.push_str(&format!("      \"{name}\": \"{}\"{comma}\n", json_escape(reason)));
+            }
+            json.push_str("    }\n  },\n");
+        }
+        None => json.push_str("  \"baseline\": null,\n"),
+    }
     json.push_str(&format!("  \"time_reps\": {time_reps},\n"));
     json.push_str("  \"results\": [\n");
     // Speedup columns only against the *same* workload: a --quick run
-    // must not publish ratios against a full-size baseline.
-    let comparable: std::collections::HashMap<&str, bool> = grids
-        .iter()
-        .map(|g| {
-            let same = baseline
-                .as_deref()
-                .and_then(|b| baseline_stream_events(b, g.name))
-                .is_some_and(|n| n == g.events.len());
-            (g.name, same)
-        })
-        .collect();
+    // must not publish ratios against a full-size baseline. Derived
+    // scenarios (sampler/session grids) share their underlying stream's
+    // comparability.
+    let mut comparable: std::collections::HashMap<&str, bool> =
+        baseline_status.iter().map(|(name, ok, _)| (*name, *ok)).collect();
+    let ba = comparable.get("ba-light").copied().unwrap_or(false);
+    let hub = comparable.get("hub-heavy").copied().unwrap_or(false);
+    comparable.extend([
+        ("sampler-grid-ba", ba),
+        ("sampler-grid-hub", hub),
+        ("session-grid-ba", ba),
+        ("session-grid-hub", hub),
+    ]);
     for (i, c) in cells.iter().enumerate() {
         let base = baseline
             .as_deref()
@@ -499,46 +621,107 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Finds the brace-matched `{...}` object that follows `"key":`. Works
+/// on both the writer's compact one-line format and pretty-printed
+/// reports (checked-in baselines aggregated by external tooling are
+/// typically reformatted).
+fn object_after<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let mut from = 0;
+    while let Some(hit) = text[from..].find(&needle) {
+        let start = from + hit + needle.len();
+        from = start;
+        // The same key can appear elsewhere with a non-object value
+        // (e.g. a scenario name inside the baseline reasons map); keep
+        // scanning until the value is an object.
+        let tail = text[start..].trim_start();
+        if !tail.starts_with('{') {
+            continue;
+        }
+        let mut depth = 0usize;
+        for (i, c) in tail.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&tail[..=i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+    None
+}
+
+/// Whether `obj` has string key `key` with exactly the value `want`.
+fn key_str_eq(obj: &str, key: &str, want: &str) -> bool {
+    let needle = format!("\"{key}\":");
+    match obj.find(&needle) {
+        Some(i) => obj[i + needle.len()..].trim_start().starts_with(&format!("\"{want}\"")),
+        None => false,
+    }
+}
+
+/// Numeric value of `key` inside `obj`, if present.
+fn key_num(obj: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let tail = obj[obj.find(&needle)? + needle.len()..].trim_start();
+    let num: String =
+        tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    num.parse().ok()
+}
+
 /// Pulls the event count of a scenario's stream header out of a prior
 /// report, so speedup columns are only emitted against the *same*
 /// workload. Looks for the scenario's entry in the `streams` block and
 /// falls back to the legacy top-level `stream` header (pre-hub-grid
-/// reports) for `ba-light`.
+/// reports) for `ba-light`. Tolerant of reformatted (pretty-printed)
+/// baselines.
 fn baseline_stream_events(report: &str, scenario: &str) -> Option<usize> {
-    let scen_key = format!("\"{scenario}\": {{");
-    let header = report.lines().find(|l| l.trim_start().starts_with(&scen_key)).or_else(|| {
-        (scenario == "ba-light")
-            .then(|| report.lines().find(|l| l.trim_start().starts_with("\"stream\":")))
-            .flatten()
-    })?;
-    let tail = header.split("\"events\": ").nth(1)?;
-    let num: String = tail.chars().take_while(char::is_ascii_digit).collect();
-    num.parse().ok()
+    let obj = object_after(report, scenario)
+        .or_else(|| (scenario == "ba-light").then(|| object_after(report, "stream")).flatten())?;
+    key_num(obj, "events").map(|n| n as usize)
 }
 
 /// Pulls `events_per_sec` for a (scenario, algorithm, pattern) cell out
-/// of a prior report. The writer keeps each result object on one line,
-/// so a line scan suffices — no JSON parser dependency. Baseline rows
-/// without a scenario key (reports older than the hub grid) are treated
-/// as `ba-light`.
+/// of a prior report by brace-matching each object in its `results`
+/// array — no JSON parser dependency, and no assumption that a result
+/// object sits on one line. Baseline rows without a scenario key
+/// (reports older than the hub grid) are treated as `ba-light`.
 fn baseline_rate(report: &str, scenario: &str, algorithm: &str, pattern: &str) -> Option<f64> {
-    let scen_key = format!("\"scenario\": \"{scenario}\"");
-    let alg_key = format!("\"algorithm\": \"{algorithm}\"");
-    let pat_key = format!("\"pattern\": \"{pattern}\"");
-    for line in report.lines() {
-        if !line.trim_start().starts_with('{') || !line.contains("\"events_per_sec\"") {
-            continue;
-        }
-        let scenario_matches = if line.contains("\"scenario\"") {
-            line.contains(&scen_key)
-        } else {
-            scenario == "ba-light"
-        };
-        if scenario_matches && line.contains(&alg_key) && line.contains(&pat_key) {
-            let tail = line.split("\"events_per_sec\": ").nth(1)?;
-            let num: String =
-                tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
-            return num.parse().ok();
+    let start = report.find("\"results\"")?;
+    let tail = &report[start..];
+    let mut depth = 0usize;
+    let mut obj_start = None;
+    for (i, c) in tail.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    let obj = &tail[obj_start?..=i];
+                    let scenario_matches = if obj.contains("\"scenario\"") {
+                        key_str_eq(obj, "scenario", scenario)
+                    } else {
+                        scenario == "ba-light"
+                    };
+                    if scenario_matches
+                        && key_str_eq(obj, "algorithm", algorithm)
+                        && key_str_eq(obj, "pattern", pattern)
+                    {
+                        return key_num(obj, "events_per_sec");
+                    }
+                }
+            }
+            _ => {}
         }
     }
     None

@@ -25,6 +25,7 @@ use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
 use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
+use crate::snapshot::{SamplerState, WeightedSampleState};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
@@ -286,6 +287,28 @@ impl EdgeSampler for GpsSampler {
             pattern.num_edges(),
             pattern.name()
         );
+    }
+
+    fn snapshot_state(&self) -> SamplerState {
+        let (layout, meta) = self.sample.snapshot_state();
+        SamplerState::Gps {
+            heap: self.heap.iter().collect(),
+            sample: WeightedSampleState { layout, meta },
+            z: self.z,
+            t: self.t,
+            rng: self.rng.state(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &SamplerState) {
+        let SamplerState::Gps { heap, sample, z, t, rng } = state else {
+            panic!("snapshot algorithm mismatch: {} cannot restore this state", self.name());
+        };
+        self.heap.restore_from_slots(heap);
+        self.sample.restore_state(&sample.layout, &sample.meta);
+        self.z = *z;
+        self.t = *t;
+        self.rng = SmallRng::from_state(*rng);
     }
 }
 

@@ -30,6 +30,7 @@ use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
 use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
+use crate::snapshot::{SamplerState, WeightedSampleState};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
@@ -400,6 +401,51 @@ impl EdgeSampler for GpsASampler {
             pattern.num_edges(),
             pattern.name()
         );
+    }
+
+    fn snapshot_state(&self) -> SamplerState {
+        let (layout, meta) = self.sample.snapshot_state();
+        // The item tables travel verbatim, stale entries included:
+        // stale slots are never read before being overwritten, but they
+        // must match so the original and a restored twin keep producing
+        // identical canonical snapshots after further events.
+        SamplerState::GpsA {
+            heap: self.heap.iter().collect(),
+            item_edge: self.item_edge.clone(),
+            item_live: self.item_live.clone(),
+            free_items: self.free_items.clone(),
+            edge_item: self.edge_item.clone(),
+            sample: WeightedSampleState { layout, meta },
+            z: self.z,
+            t: self.t,
+            rng: self.rng.state(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &SamplerState) {
+        let SamplerState::GpsA {
+            heap,
+            item_edge,
+            item_live,
+            free_items,
+            edge_item,
+            sample,
+            z,
+            t,
+            rng,
+        } = state
+        else {
+            panic!("snapshot algorithm mismatch: {} cannot restore this state", self.name());
+        };
+        self.heap.restore_from_slots(heap);
+        self.item_edge = item_edge.clone();
+        self.item_live = item_live.clone();
+        self.free_items = free_items.clone();
+        self.edge_item = edge_item.clone();
+        self.sample.restore_state(&sample.layout, &sample.meta);
+        self.z = *z;
+        self.t = *t;
+        self.rng = SmallRng::from_state(*rng);
     }
 }
 

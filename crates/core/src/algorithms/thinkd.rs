@@ -24,6 +24,7 @@
 use crate::counter::SubgraphCounter;
 use crate::reservoir::{Admission, RpReservoir};
 use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
+use crate::snapshot::{RpState, SamplerState};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wsd_graph::patterns::EnumScratch;
@@ -212,6 +213,29 @@ impl EdgeSampler for ThinkDSampler {
             pattern.num_edges(),
             pattern.name()
         );
+    }
+
+    fn snapshot_state(&self) -> SamplerState {
+        let (edges, d_in, d_out, population) = self.reservoir.snapshot_state();
+        SamplerState::Rp {
+            reservoir: RpState { edges, d_in, d_out, population },
+            adj: self.adj.layout_snapshot(),
+            rng: self.rng.state(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &SamplerState) {
+        let SamplerState::Rp { reservoir, adj, rng } = state else {
+            panic!("snapshot algorithm mismatch: {} cannot restore this state", self.name());
+        };
+        self.reservoir.restore_state(
+            &reservoir.edges,
+            reservoir.d_in,
+            reservoir.d_out,
+            reservoir.population,
+        );
+        self.adj = VertexAdjacency::from_layout(adj);
+        self.rng = SmallRng::from_state(*rng);
     }
 }
 

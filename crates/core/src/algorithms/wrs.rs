@@ -48,6 +48,7 @@ use crate::counter::SubgraphCounter;
 use crate::estimator::MassKernel;
 use crate::reservoir::{Admission, RpReservoir};
 use crate::session::{EdgeSampler, LayeredPlan, PatternQuery, QueryCtx};
+use crate::snapshot::{RpState, SamplerState};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -581,6 +582,54 @@ impl EdgeSampler for WrsSampler {
             pattern.num_edges(),
             pattern.name()
         );
+    }
+
+    fn snapshot_state(&self) -> SamplerState {
+        let (edges, d_in, d_out, population) = self.reservoir.snapshot_state();
+        // room_fifo travels verbatim (ghost entries decide future spill
+        // choices) and room_seq verbatim including stale stamps, so a
+        // restored twin's canonical snapshots stay comparable to the
+        // original's after further events.
+        SamplerState::Wrs {
+            room_fifo: self.room_fifo.iter().copied().collect(),
+            room_seq: self.room_seq.clone(),
+            room_len: self.room_len as u64,
+            next_seq: self.next_seq,
+            spill_horizon: self.spill_horizon,
+            reservoir: RpState { edges, d_in, d_out, population },
+            adj: self.adj.layout_snapshot(),
+            rng: self.rng.state(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &SamplerState) {
+        let SamplerState::Wrs {
+            room_fifo,
+            room_seq,
+            room_len,
+            next_seq,
+            spill_horizon,
+            reservoir,
+            adj,
+            rng,
+        } = state
+        else {
+            panic!("snapshot algorithm mismatch: {} cannot restore this state", self.name());
+        };
+        self.room_fifo.clear();
+        self.room_fifo.extend(room_fifo.iter().copied());
+        self.room_seq = room_seq.clone();
+        self.room_len = *room_len as usize;
+        self.next_seq = *next_seq;
+        self.spill_horizon = *spill_horizon;
+        self.reservoir.restore_state(
+            &reservoir.edges,
+            reservoir.d_in,
+            reservoir.d_out,
+            reservoir.population,
+        );
+        self.adj = Adjacency::from_layout(adj);
+        self.rng = SmallRng::from_state(*rng);
     }
 }
 

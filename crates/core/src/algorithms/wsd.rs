@@ -50,6 +50,7 @@ use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
 use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
+use crate::snapshot::{SamplerState, WeightedSampleState};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
 use crate::weight::WeightFn;
 use rand::rngs::SmallRng;
@@ -394,6 +395,30 @@ impl EdgeSampler for WsdSampler {
             pattern.num_edges(),
             pattern.name()
         );
+    }
+
+    fn snapshot_state(&self) -> SamplerState {
+        let (layout, meta) = self.sample.snapshot_state();
+        SamplerState::Wsd {
+            heap: self.heap.iter().collect(),
+            sample: WeightedSampleState { layout, meta },
+            tau_p: self.tau_p,
+            tau_q: self.tau_q,
+            t: self.t,
+            rng: self.rng.state(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &SamplerState) {
+        let SamplerState::Wsd { heap, sample, tau_p, tau_q, t, rng } = state else {
+            panic!("snapshot algorithm mismatch: {} cannot restore this state", self.name());
+        };
+        self.heap.restore_from_slots(heap);
+        self.sample.restore_state(&sample.layout, &sample.meta);
+        self.tau_p = *tau_p;
+        self.tau_q = *tau_q;
+        self.t = *t;
+        self.rng = SmallRng::from_state(*rng);
     }
 }
 

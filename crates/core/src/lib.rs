@@ -112,6 +112,7 @@ pub mod rank;
 pub mod reservoir;
 pub mod sampled_graph;
 pub mod session;
+pub mod snapshot;
 pub mod state;
 pub mod weight;
 
@@ -122,6 +123,10 @@ pub use estimator::MassKernel;
 pub use session::{
     EdgeSampler, LayeredPlan, PatternQuery, QueryCheckpoint, QueryCtx, QueryId, QueryReport,
     SessionBuilder, SessionCounter, SessionReport, StreamSession,
+};
+pub use snapshot::{
+    ByteReader, ByteWriter, QuerySnapshot, SamplerState, SessionConfig, SessionSnapshot,
+    SnapshotError,
 };
 pub use state::{StateVector, TemporalPooling};
 pub use weight::{FeatureNorm, HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};

@@ -158,8 +158,38 @@ impl IndexedMinHeap {
     }
 
     /// Iterates over all `(key, rank)` entries in unspecified order.
+    /// (Concretely: dense slot order — the serializable layout that
+    /// [`IndexedMinHeap::restore_from_slots`] replays verbatim.)
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
         self.keys.iter().copied().zip(self.ranks.iter().copied())
+    }
+
+    /// Replaces the stored entries with `slots` *verbatim in slot
+    /// order* — no re-heapification. Slot order is observable state
+    /// (rank ties and every future sift walk resolve through it), so a
+    /// snapshot taken via [`IndexedMinHeap::iter`] must restore to the
+    /// byte-identical layout, not merely the same multiset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate keys; debug builds additionally verify the
+    /// heap order of the restored layout.
+    pub fn restore_from_slots(&mut self, slots: &[(u32, f64)]) {
+        self.keys.clear();
+        self.ranks.clear();
+        self.pos.fill(ABSENT);
+        for (i, &(k, r)) in slots.iter().enumerate() {
+            if k as usize >= self.pos.len() {
+                self.pos.resize(k as usize + 1, ABSENT);
+            }
+            assert!(self.pos[k as usize] == ABSENT, "duplicate key in heap snapshot");
+            self.keys.push(k);
+            self.ranks.push(r);
+            self.pos[k as usize] = i as u32;
+        }
+        if cfg!(debug_assertions) {
+            self.check_invariants();
+        }
     }
 
     fn remove_at(&mut self, i: usize) -> (u32, f64) {
@@ -345,6 +375,24 @@ mod tests {
         let mut h = IndexedMinHeap::new();
         h.push(1, 1.0);
         h.push(1, 2.0);
+    }
+
+    #[test]
+    fn restore_from_slots_replays_the_exact_layout() {
+        let mut h = IndexedMinHeap::new();
+        for (k, r) in [(1u32, 5.0), (2, 1.0), (3, 3.0), (4, 0.5), (5, 4.0)] {
+            h.push(k, r);
+        }
+        h.remove(3);
+        let slots: Vec<(u32, f64)> = h.iter().collect();
+        let mut r = IndexedMinHeap::with_capacity(slots.len());
+        r.restore_from_slots(&slots);
+        r.check_invariants();
+        // Layout verbatim, not just the multiset.
+        assert_eq!(r.iter().collect::<Vec<_>>(), slots);
+        // Future operations walk identical sift paths.
+        assert_eq!(r.replace_min(9, 2.5), h.replace_min(9, 2.5));
+        assert_eq!(r.iter().collect::<Vec<_>>(), h.iter().collect::<Vec<_>>());
     }
 
     proptest! {

@@ -198,6 +198,36 @@ impl RpReservoir {
         }
     }
 
+    /// The serializable dynamic state: the sampled edges *verbatim in
+    /// slot order* (the uniform victim draw in [`RpReservoir::offer`]
+    /// indexes slots, so order is observable), plus the RP counters and
+    /// population. The position index is derived and not captured.
+    pub fn snapshot_state(&self) -> (Vec<Edge>, u64, u64, u64) {
+        (self.edges.clone(), self.d_in, self.d_out, self.population)
+    }
+
+    /// Restores the dynamic state captured by
+    /// [`RpReservoir::snapshot_state`], replaying the slot order
+    /// verbatim and rebuilding the position index. The capacity is
+    /// construction state and stays as built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` exceeds the capacity or holds duplicates.
+    pub fn restore_state(&mut self, edges: &[Edge], d_in: u64, d_out: u64, population: u64) {
+        assert!(edges.len() <= self.capacity, "snapshot exceeds reservoir capacity");
+        self.edges.clear();
+        self.edges.extend_from_slice(edges);
+        self.pos.clear();
+        for (i, &e) in edges.iter().enumerate() {
+            let prev = self.pos.insert(e, i);
+            assert!(prev.is_none(), "duplicate edge in reservoir snapshot");
+        }
+        self.d_in = d_in;
+        self.d_out = d_out;
+        self.population = population;
+    }
+
     fn insert_raw(&mut self, e: Edge) {
         let i = self.edges.len();
         self.edges.push(e);
@@ -327,5 +357,34 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = RpReservoir::new(0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut r = RpReservoir::new(6);
+        for i in 0..30 {
+            r.offer(edge(i), &mut rng);
+            if i % 5 == 4 {
+                r.delete(edge(i - 2));
+            }
+        }
+        let (edges, d_in, d_out, population) = r.snapshot_state();
+        let mut restored = RpReservoir::new(6);
+        restored.restore_state(&edges, d_in, d_out, population);
+        assert_eq!(restored.iter().collect::<Vec<_>>(), r.iter().collect::<Vec<_>>());
+        assert_eq!(restored.uncompensated(), r.uncompensated());
+        assert_eq!(restored.population(), r.population());
+        // Identical RNG → identical admissions and victim slots forever.
+        let mut rng_b = SmallRng::from_state(rng.state());
+        for i in 30..80 {
+            let a = r.offer(edge(i), &mut rng);
+            let b = restored.offer(edge(i), &mut rng_b);
+            assert_eq!(a, b, "offer {i} diverged after restore");
+            if i % 7 == 0 {
+                assert_eq!(r.delete(edge(i - 3)), restored.delete(edge(i - 3)));
+            }
+        }
+        assert_eq!(restored.iter().collect::<Vec<_>>(), r.iter().collect::<Vec<_>>());
     }
 }

@@ -196,6 +196,52 @@ impl WeightedSample {
         self.adj.edges().map(|e| (e, self.meta(e).expect("live edge has metadata")))
     }
 
+    /// The serializable dynamic state: the adjacency layout (slot
+    /// orders and arena verbatim — see
+    /// [`wsd_graph::AdjacencyLayout`]) plus per-live-edge admission
+    /// metadata `(id, weight, time)` in ascending ID order. The τ-epoch
+    /// `1/p` cache is *not* captured: it is pure derived state,
+    /// recomputed lazily from `(weight, τ)` by exactly the expression
+    /// the uncached path evaluates, so a restored sample estimates
+    /// bit-identically with a cold cache.
+    pub fn snapshot_state(&self) -> (wsd_graph::AdjacencyLayout, Vec<(EdgeId, f64, u64)>) {
+        let layout = self.adj.layout_snapshot();
+        let mut meta: Vec<(EdgeId, f64, u64)> = layout
+            .vertices
+            .iter()
+            .flat_map(|(u, slots)| {
+                slots.iter().filter(move |&&(w, _)| *u < w).map(|&(_, id)| {
+                    let m = &self.meta[id as usize];
+                    (id, m.weight, m.time)
+                })
+            })
+            .collect();
+        meta.sort_unstable_by_key(|&(id, _, _)| id);
+        (layout, meta)
+    }
+
+    /// Restores the state captured by
+    /// [`WeightedSample::snapshot_state`]: the adjacency re-materialises
+    /// verbatim, metadata slots refill per live ID, and the `1/p` cache
+    /// restarts cold (epoch 1, all stamps stale).
+    pub fn restore_state(
+        &mut self,
+        layout: &wsd_graph::AdjacencyLayout,
+        meta: &[(EdgeId, f64, u64)],
+    ) {
+        self.adj = Adjacency::from_layout(layout);
+        let bound = layout.id_bound as usize;
+        self.meta.clear();
+        self.meta.resize(bound, MetaSlot::default());
+        self.prob.clear();
+        self.prob.resize(bound, ProbSlot::default());
+        for &(id, weight, time) in meta {
+            self.meta[id as usize] = MetaSlot { weight, time };
+        }
+        self.epoch = 1;
+        self.tau = 0.0;
+    }
+
     /// Splits the sample into the adjacency (for enumeration) and a
     /// mutable metadata view bound to the threshold `tau` — the
     /// estimator hot path. A `tau` different from the previous call's
@@ -349,6 +395,44 @@ mod tests {
         assert_eq!(a, b, "slot must be recycled for this test to bite");
         let (_, mut view) = s.estimator_view(8.0);
         assert_eq!(view.inv_p(b), 2.0); // p = 4/8
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_layout_meta_and_estimates() {
+        let mut s = WeightedSample::with_capacity(8);
+        for (i, (a, b)) in [(1, 2), (2, 3), (1, 3), (4, 5), (2, 5), (3, 5)].iter().enumerate() {
+            s.insert(Edge::new(*a, *b), EdgeMeta { weight: 1.0 + i as f64, time: i as u64 });
+        }
+        s.remove(Edge::new(2, 3));
+        s.remove(Edge::new(4, 5));
+        s.insert(Edge::new(6, 7), EdgeMeta { weight: 9.0, time: 10 });
+        // Warm the 1/p cache so restore provably does not depend on it.
+        let warm_id = s.id_of(Edge::new(1, 2)).unwrap();
+        {
+            let (_, mut view) = s.estimator_view(4.0);
+            let _ = view.inv_p(warm_id);
+        }
+        let (layout, meta) = s.snapshot_state();
+        let mut r = WeightedSample::with_capacity(8);
+        r.restore_state(&layout, &meta);
+        assert_eq!(r.len(), s.len());
+        for (e, m) in s.iter() {
+            assert_eq!(r.meta(e), Some(m));
+            assert_eq!(r.id_of(e), s.id_of(e), "arena IDs must survive restore");
+        }
+        // Re-snapshot of the untouched restore is identical.
+        let again = r.snapshot_state();
+        assert_eq!(again.0, layout);
+        assert_eq!(again.1, meta);
+        // Same future mints (free-list order verbatim).
+        let mut s2 = s.clone();
+        let na = s2.insert(Edge::new(8, 9), EdgeMeta { weight: 1.0, time: 11 });
+        let nb = r.insert(Edge::new(8, 9), EdgeMeta { weight: 1.0, time: 11 });
+        assert_eq!(na, nb);
+        // Cold cache recomputes to identical bits.
+        let (_, mut sv) = s2.estimator_view(4.0);
+        let (_, mut rv) = r.estimator_view(4.0);
+        assert_eq!(sv.inv_p(warm_id).to_bits(), rv.inv_p(warm_id).to_bits());
     }
 
     #[test]

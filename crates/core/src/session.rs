@@ -75,6 +75,7 @@ use crate::counter::SubgraphCounter;
 use crate::estimator::MassKernel;
 use crate::rank::inclusion_prob;
 use crate::sampled_graph::WeightedSample;
+use crate::snapshot::{QuerySnapshot, SamplerState, SessionConfig, SessionSnapshot};
 use crate::state::TemporalPooling;
 use crate::weight::{HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};
 use wsd_graph::patterns::EnumScratch;
@@ -285,6 +286,23 @@ pub trait EdgeSampler: Send {
     ///
     /// Panics if the budget is too small for the pattern.
     fn assert_capacity_for(&self, pattern: Pattern);
+
+    /// Captures the sampler's complete dynamic state — reservoir slot
+    /// orders verbatim, sampled adjacency as a canonical layout, RNG
+    /// words — such that a freshly built skeleton of the same
+    /// configuration, after [`EdgeSampler::restore_state`], resumes the
+    /// stream **bit-identically** (see [`crate::snapshot`]).
+    fn snapshot_state(&self) -> SamplerState;
+
+    /// Overwrites this sampler's dynamic state from a snapshot taken by
+    /// [`EdgeSampler::snapshot_state`] on a sampler of the same
+    /// algorithm and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's algorithm variant does not match this
+    /// sampler.
+    fn restore_state(&mut self, state: &SamplerState);
 }
 
 /// Enumerates every instance of `pattern` spanned by `edges` exactly
@@ -517,33 +535,157 @@ pub struct StreamSession {
     layered: bool,
     /// Current layered plan, recomputed on attach/detach.
     plan: Option<LayeredPlan>,
+    /// The builder configuration this session was built from (`None`
+    /// for [`StreamSession::from_parts`] sessions) — what
+    /// [`StreamSession::snapshot`] carries so a restore can rebuild the
+    /// sampler skeleton.
+    config: Option<SessionBuilder>,
+}
+
+/// Mints a process-unique session token so handles from one session
+/// cannot silently address another session's queries.
+fn next_token() -> u64 {
+    static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 impl StreamSession {
     /// Assembles a session from a sampler and initial query patterns —
-    /// the backend of [`SessionBuilder::build`]. Prefer the builder.
+    /// the backend of [`SessionBuilder::build`]. Prefer the builder
+    /// (sessions assembled from raw parts carry no rebuildable
+    /// configuration, so they cannot [`StreamSession::snapshot`]).
     pub fn from_parts(
         sampler: Box<dyn EdgeSampler>,
         patterns: &[Pattern],
         mass_kernel: MassKernel,
     ) -> Self {
-        // Process-unique token so handles from one session cannot
-        // silently address another session's queries.
-        static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let token = NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut session = Self {
             sampler,
             queries: Vec::new(),
             handles: Vec::new(),
             ids: Vec::new(),
             mass_kernel,
-            token,
+            token: next_token(),
             events: 0,
             scratch: EnumScratch::default(),
             layered: true,
             plan: None,
+            config: None,
         };
         session.attach_many(patterns);
+        session
+    }
+
+    /// Captures the session's complete state — builder configuration,
+    /// attached queries (estimates and handles), and the sampler's
+    /// dynamic state — as a self-contained [`SessionSnapshot`].
+    ///
+    /// A session rebuilt with [`StreamSession::restore`] resumes the
+    /// stream **bit-identically**: every subsequent event produces the
+    /// same estimate bits, reservoir slot orders and RNG draws as the
+    /// uninterrupted original (the `snapshot_equivalence` suite pins
+    /// this for all six algorithms). Serialize with
+    /// [`SessionSnapshot::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was assembled with
+    /// [`StreamSession::from_parts`], which carries no rebuildable
+    /// configuration.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let builder = self
+            .config
+            .as_ref()
+            .expect("only sessions built by SessionBuilder can snapshot (from_parts cannot)");
+        SessionSnapshot {
+            config: SessionConfig {
+                algorithm: builder.algorithm,
+                capacity: builder.capacity as u64,
+                seed: builder.seed,
+                pooling: builder.pooling,
+                wrs_fraction: builder.wrs_fraction,
+                mass_kernel: self.mass_kernel,
+                weight_pattern: builder
+                    .weight_pattern
+                    .or_else(|| builder.patterns.first().copied()),
+                layered: self.layered,
+                policy: builder.policy.clone(),
+            },
+            events: self.events,
+            queries: self
+                .queries
+                .iter()
+                .map(|q| QuerySnapshot { pattern: q.pattern, estimate: q.estimate, tau: q.tau })
+                .collect(),
+            handles: self.handles.iter().map(|h| h.map(|i| i as u32)).collect(),
+            sampler: self.sampler.snapshot_state(),
+        }
+    }
+
+    /// Rebuilds a session from a [`SessionSnapshot`]: a fresh sampler
+    /// skeleton is built from the carried configuration, then every
+    /// piece of dynamic state is overlaid verbatim. The restored
+    /// session is bit-identical to the original for all subsequent
+    /// events (see [`StreamSession::snapshot`]).
+    ///
+    /// Query handles are **re-minted**: the restored session issues its
+    /// own token, so [`QueryId`]s from the original session do not
+    /// resolve here — reacquire them via [`StreamSession::queries`]
+    /// (attachment order, including handle slots, is preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's sampler state does not match its
+    /// declared algorithm, or the configuration itself is unbuildable
+    /// (e.g. a policy dimension mismatching the weight pattern).
+    pub fn restore(snapshot: &SessionSnapshot) -> Self {
+        let cfg = &snapshot.config;
+        let mut builder = SessionBuilder::new(cfg.algorithm, cfg.capacity as usize, cfg.seed)
+            .with_pooling(cfg.pooling)
+            .with_wrs_fraction(cfg.wrs_fraction)
+            .with_mass_kernel(cfg.mass_kernel)
+            .with_layered(cfg.layered);
+        if let Some(p) = cfg.weight_pattern {
+            builder = builder.with_weight_pattern(p);
+        }
+        if let Some(policy) = cfg.policy.clone() {
+            builder = builder.with_policy(policy);
+        }
+        let mut sampler = builder.build_sampler();
+        sampler.restore_state(&snapshot.sampler);
+        let token = next_token();
+        let queries: Vec<PatternQuery> = snapshot
+            .queries
+            .iter()
+            .map(|q| {
+                let mut query = PatternQuery::new(q.pattern, cfg.mass_kernel);
+                query.estimate = q.estimate;
+                query.tau = q.tau;
+                query
+            })
+            .collect();
+        // Rebuild the id table from the handle slots (ids are parallel
+        // to queries; handle order is attachment order).
+        let mut ids = vec![QueryId { session: token, index: 0 }; queries.len()];
+        for (hi, h) in snapshot.handles.iter().enumerate() {
+            if let Some(qi) = h {
+                ids[*qi as usize] = QueryId { session: token, index: hi };
+            }
+        }
+        let mut session = Self {
+            sampler,
+            queries,
+            handles: snapshot.handles.iter().map(|h| h.map(|q| q as usize)).collect(),
+            ids,
+            mass_kernel: cfg.mass_kernel,
+            token,
+            events: snapshot.events,
+            scratch: EnumScratch::default(),
+            layered: cfg.layered,
+            plan: None,
+            config: Some(builder),
+        };
+        session.replan();
         session
     }
 
@@ -895,6 +1037,8 @@ impl SessionBuilder {
         if !self.layered {
             session.set_layered(false);
         }
+        // Remember the configuration so the session can snapshot.
+        session.config = Some(self);
         session
     }
 

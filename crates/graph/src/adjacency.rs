@@ -144,6 +144,40 @@ pub struct CommonEdge {
     pub ev: EdgeId,
 }
 
+/// The serializable layout of an [`AdjacencyBase`]: every neighbourhood's
+/// dense slot order verbatim, plus the edge-ID arena's free list.
+///
+/// Slot order is *observable* state — enumeration emits in dense slot
+/// order and the estimators' floating-point sums are evaluated in
+/// emission order — so a snapshot that re-sorted neighbourhoods would
+/// restore a graph whose future estimates diverge bit-wise from the
+/// original. [`AdjacencyBase::layout_snapshot`] therefore copies each
+/// `items` array slot-for-slot, and [`AdjacencyBase::from_layout`]
+/// replays it verbatim.
+///
+/// The vertex list itself is sorted by vertex id: the hash map that
+/// holds the neighbourhoods has no observable order on the event path
+/// (per-vertex lookups only), so the snapshot canonicalises it — two
+/// graphs in the same live state produce byte-identical layouts
+/// regardless of their map histories.
+///
+/// Purely derived acceleration state (hash indexes, sorted shadows) is
+/// not captured; restore re-attaches it from the current degree. That
+/// changes probing strategy only, never emission order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdjacencyLayout {
+    /// Per vertex (ascending by id): its neighbours and connecting edge
+    /// IDs in dense slot order. IDs are all zero for untracked payloads.
+    pub vertices: Vec<(Vertex, Vec<(Vertex, EdgeId)>)>,
+    /// The arena free list, LIFO order verbatim — it decides which IDs
+    /// future inserts mint. Empty for untracked payloads.
+    pub free: Vec<EdgeId>,
+    /// Exclusive upper bound of the ID space (`endpoints.len()`); the
+    /// live IDs and `free` partition `0..id_bound` exactly. Zero for
+    /// untracked payloads.
+    pub id_bound: u32,
+}
+
 /// Neighbourhood size beyond which a hash index is attached for O(1)
 /// membership probes. Below it, linear scans over the dense array win on
 /// real hardware (no hashing, no pointer chase).
@@ -914,6 +948,89 @@ impl<P: IdPayload> AdjacencyBase<P> {
             assert!(self.endpoints.is_empty() && self.free.is_empty(), "untracked arena touched");
         }
     }
+
+    /// Captures the observable layout of the graph — every
+    /// neighbourhood's dense slot order verbatim, plus the arena free
+    /// list — in the canonical (vertex-sorted) form described on
+    /// [`AdjacencyLayout`].
+    pub fn layout_snapshot(&self) -> AdjacencyLayout {
+        let mut vertices: Vec<(Vertex, Vec<(Vertex, EdgeId)>)> = self
+            .adj
+            .iter()
+            .map(|(&u, set)| {
+                let slots = set.items.iter().zip(&set.ids).map(|(&w, &p)| (w, p.id())).collect();
+                (u, slots)
+            })
+            .collect();
+        vertices.sort_unstable_by_key(|&(u, _)| u);
+        AdjacencyLayout {
+            vertices,
+            free: self.free.clone(),
+            id_bound: u32::try_from(self.endpoints.len()).expect("edge-ID arena overflow"),
+        }
+    }
+
+    /// Rebuilds a graph from a [`layout_snapshot`]: every neighbourhood
+    /// re-materialises in the recorded slot order, the arena re-derives
+    /// its endpoint and mirror tables from the per-slot IDs, and the
+    /// free list is replayed verbatim so future ID mints match the
+    /// original graph's. Acceleration state (hash indexes, sorted
+    /// shadows) is re-attached from the current degree.
+    ///
+    /// [`layout_snapshot`]: AdjacencyBase::layout_snapshot
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is internally inconsistent (asymmetric
+    /// slots, IDs at or beyond `id_bound`).
+    pub fn from_layout(layout: &AdjacencyLayout) -> Self {
+        let mut adj =
+            FxHashMap::with_capacity_and_hasher(layout.vertices.len(), Default::default());
+        let mut half_edges = 0usize;
+        let bound = layout.id_bound as usize;
+        // Arena tables sized to the exact recorded bound; slots of freed
+        // IDs stay at these placeholders — they are never read before
+        // the ID is recycled (and rewritten) by a future insert.
+        let mut endpoints = vec![Edge::new(0, 1); if P::TRACKED { bound } else { 0 }];
+        let mut mirror = vec![[0u32; 2]; if P::TRACKED { bound } else { 0 }];
+        for (u, slots) in &layout.vertices {
+            let mut set = NeighborSet::<P>::default();
+            set.items.reserve_exact(slots.len());
+            set.ids.reserve_exact(slots.len());
+            for (slot, &(w, id)) in slots.iter().enumerate() {
+                assert_ne!(*u, w, "self-loop in adjacency layout");
+                set.items.push(w);
+                set.ids.push(P::from_id(id));
+                if P::TRACKED {
+                    assert!((id as usize) < bound, "layout edge ID {id} beyond id_bound");
+                    endpoints[id as usize] = Edge::new(*u, w);
+                    mirror[id as usize][usize::from(*u > w)] = slot as u32;
+                }
+            }
+            if set.items.len() > SPILL_THRESHOLD {
+                set.index = Some(Box::new(
+                    set.items.iter().enumerate().map(|(i, &w)| (w, i as u32)).collect(),
+                ));
+            }
+            if set.items.len() > SHADOW_THRESHOLD {
+                set.shadow = Some(Box::new(RefCell::new(Shadow::unbuilt())));
+            }
+            half_edges += set.items.len();
+            adj.insert(*u, set);
+        }
+        assert_eq!(half_edges % 2, 0, "asymmetric adjacency layout");
+        let restored = Self {
+            adj,
+            num_edges: half_edges / 2,
+            endpoints,
+            mirror,
+            free: if P::TRACKED { layout.free.clone() } else { Vec::new() },
+        };
+        if cfg!(debug_assertions) {
+            restored.check_invariants();
+        }
+        restored
+    }
 }
 
 /// The galloping tier: merges the two snapshots, covers their pending
@@ -1634,5 +1751,85 @@ mod tests {
                 prop_assert_eq!(g.edge_endpoints(id), e);
             }
         }
+
+        /// Layout snapshot/restore is the identity on everything
+        /// observable: slot orders, edge IDs, the free list (and so all
+        /// future ID mints), and the canonical re-snapshot bytes.
+        #[test]
+        fn prop_layout_round_trip_under_churn(
+            ops in proptest::collection::vec((any::<bool>(), 0u64..40, 0u64..40), 0..500),
+            extra in proptest::collection::vec((any::<bool>(), 0u64..40, 0u64..40), 0..60),
+        ) {
+            let mut g = Adjacency::new();
+            let mut lean = VertexAdjacency::new();
+            for (insert, a, b) in ops {
+                let Some(e) = Edge::try_new(a, b) else { continue };
+                if insert {
+                    g.insert(e);
+                    lean.insert(e);
+                } else {
+                    g.remove(e);
+                    lean.remove(e);
+                }
+            }
+            let layout = g.layout_snapshot();
+            let mut r = Adjacency::from_layout(&layout);
+            r.check_invariants();
+            prop_assert_eq!(r.num_edges(), g.num_edges());
+            prop_assert_eq!(r.id_bound(), g.id_bound());
+            // Slot orders and per-slot IDs verbatim.
+            for (u, _) in &layout.vertices {
+                prop_assert_eq!(r.neighbor_entries(*u), g.neighbor_entries(*u));
+            }
+            // Canonical snapshots agree byte-for-byte in structure.
+            prop_assert_eq!(&r.layout_snapshot(), &layout);
+            // Future mutations agree exactly — same mints, same slots.
+            for (insert, a, b) in extra {
+                let Some(e) = Edge::try_new(a, b) else { continue };
+                if insert {
+                    prop_assert_eq!(r.insert_full(e), g.insert_full(e));
+                } else {
+                    prop_assert_eq!(r.remove_full(e), g.remove_full(e));
+                }
+            }
+            prop_assert_eq!(&r.layout_snapshot(), &g.layout_snapshot());
+            r.check_invariants();
+            // The ID-free variant round-trips too.
+            let lean_layout = lean.layout_snapshot();
+            let lr = VertexAdjacency::from_layout(&lean_layout);
+            lr.check_invariants();
+            prop_assert_eq!(&lr.layout_snapshot(), &lean_layout);
+            prop_assert_eq!(lr.num_edges(), lean.num_edges());
+        }
+    }
+
+    /// Restore re-attaches the hash index and (unbuilt) shadow from the
+    /// current degree, so a restored hub serves the galloping tier with
+    /// the original's emission order.
+    #[test]
+    fn layout_restore_reattaches_acceleration_state() {
+        let mut g = Adjacency::new();
+        let (a, b) = (900u64, 901u64);
+        g.insert(Edge::new(a, b));
+        let top = (2 * SHADOW_THRESHOLD) as Vertex;
+        for v in 1..=top {
+            g.insert(Edge::new(a, v));
+            g.insert(Edge::new(b, v));
+        }
+        // Churn so slot order ≠ insertion order.
+        for v in (1..=top).step_by(3) {
+            g.remove(Edge::new(a, v));
+        }
+        let r = Adjacency::from_layout(&g.layout_snapshot());
+        r.check_invariants();
+        let mut got = Vec::new();
+        r.for_each_common_edge(a, b, |w, eu, ev| {
+            assert_eq!(r.edge_id(Edge::new(a, w)), Some(eu));
+            assert_eq!(r.edge_id(Edge::new(b, w)), Some(ev));
+            got.push(w);
+        });
+        let mut want = Vec::new();
+        g.for_each_common_edge(a, b, |w, _, _| want.push(w));
+        assert_eq!(got, want, "restored hub must emit in the original slot order");
     }
 }

@@ -37,8 +37,8 @@ pub mod fxhash;
 pub mod patterns;
 
 pub use adjacency::{
-    Adjacency, AdjacencyBase, CommonEdge, EdgeId, IdPayload, Neighborhood, VertexAdjacency,
-    SHADOW_THRESHOLD,
+    Adjacency, AdjacencyBase, AdjacencyLayout, CommonEdge, EdgeId, IdPayload, Neighborhood,
+    VertexAdjacency, SHADOW_THRESHOLD,
 };
 pub use edge::{Edge, EdgeEvent, Op, Vertex};
 pub use exact::ExactCounter;

@@ -1,0 +1,61 @@
+//! The `wsd-serve` binary: boots the sharded session server and runs
+//! until a client sends the `Shutdown` request.
+//!
+//! ```text
+//! wsd-serve [--addr HOST:PORT] [--shards N] [--seed S]
+//! ```
+//!
+//! With `--addr 127.0.0.1:0` the kernel picks a free port; the chosen
+//! address is printed as `wsd-serve listening on ADDR` once the server
+//! accepts connections, so scripts can scrape it from the log.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use wsd_serve::{serve, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: wsd-serve [--addr HOST:PORT] [--shards N] [--seed S]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| usage_missing(name));
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--shards" => match value("--shards").parse() {
+                Ok(n) if n > 0 => config.shards = n,
+                _ => usage(),
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(s) => config.base_seed = s,
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let shards = config.shards;
+    let server = match serve(addr.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("wsd-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("wsd-serve listening on {} ({shards} shards)", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("wsd-serve stopped");
+    ExitCode::SUCCESS
+}
+
+fn usage_missing(name: &str) -> String {
+    eprintln!("wsd-serve: {name} needs a value");
+    usage()
+}

@@ -1,0 +1,41 @@
+//! # wsd-serve
+//!
+//! A sharded, many-tenant session server for WSD stream sessions: the
+//! serving layer the paper's deployment sketch implies but never
+//! specifies. One server process hosts thousands of independent
+//! [`StreamSession`](wsd_core::StreamSession)s — one per tenant stream
+//! — sharded across worker threads, fed through bounded SPSC rings
+//! with batched ingestion, and reachable over a length-prefixed TCP
+//! protocol.
+//!
+//! * [`ring`] — the bounded lock-free SPSC ring between a connection
+//!   reader and a shard worker; a full ring is the backpressure signal.
+//! * [`protocol`] — frames, requests, replies and checkpoint pushes;
+//!   event batches use `wsd_stream::wire`'s 17-byte encoding verbatim.
+//! * the server internals ([`serve`], [`RunningServer`]) — listener,
+//!   connection readers, shard workers, and the `replica_seed`-derived
+//!   deterministic per-session seeding.
+//! * [`client`] — a blocking client speaking the full protocol.
+//!
+//! ## Sessions move by value
+//!
+//! A session is pinned to `shard = id % num_shards` for life. Migration
+//! and restarts go through the snapshot subsystem: `Snapshot` returns
+//! the session's canonical byte encoding, `Restore` revives it under a
+//! fresh id (hence, in general, a different shard) — and the restored
+//! session is **bit-identical** going forward: every subsequent
+//! estimate matches the uninterrupted original exactly, as pinned by
+//! the core's lockstep suite and this crate's loopback tests.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod protocol;
+pub mod ring;
+mod server;
+mod shard;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Checkpoint, QueryEstimate, Reply, Request, SessionEstimates};
+pub use server::{serve, RunningServer, ServerConfig};

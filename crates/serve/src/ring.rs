@@ -1,0 +1,245 @@
+//! Bounded lock-free SPSC ring: the ingestion pipe between a connection
+//! reader thread (producer) and a shard worker (consumer).
+//!
+//! One ring carries one connection's commands to one shard, so both
+//! halves are single-owner by construction and the implementation only
+//! needs two monotone counters with acquire/release pairing — no CAS on
+//! the hot path. Capacity is rounded up to a power of two; a full ring
+//! is the backpressure signal (the producer parks until the shard
+//! drains). Each half flags its death so the other side can stop
+//! waiting; items still queued when both halves are gone are dropped
+//! with the shared buffer.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer reads. Only the consumer stores it.
+    head: AtomicUsize,
+    /// Next slot the producer writes. Only the producer stores it.
+    tail: AtomicUsize,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// The slots are only touched by whichever half owns the index range, so
+// sharing the buffer across the two threads is sound.
+unsafe impl<T: Send> Sync for Shared<T> {}
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Last Arc owner: exclusive access, drain whatever is in flight.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            let slot = self.slots[i & self.mask].get();
+            // Safety: slots in [head, tail) hold initialised values that
+            // no one else can observe any more.
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// Producing half; owned by one connection reader thread.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consuming half; owned by one shard worker.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Producer::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The ring is full; the value is handed back for a retry.
+    Full(T),
+    /// The consumer is gone; the value will never be read.
+    Closed(T),
+}
+
+/// Creates a ring with at least `capacity` slots (rounded up to a power
+/// of two, minimum 2).
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    (Producer { shared: Arc::clone(&shared) }, Consumer { shared })
+}
+
+impl<T> Producer<T> {
+    /// Attempts to enqueue without blocking.
+    pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        let s = &*self.shared;
+        if !s.consumer_alive.load(Ordering::Acquire) {
+            return Err(PushError::Closed(value));
+        }
+        let tail = s.tail.load(Ordering::Relaxed);
+        let head = s.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > s.mask {
+            return Err(PushError::Full(value));
+        }
+        // Safety: the slot at `tail` is outside [head, tail), so the
+        // consumer cannot read it until the release store below.
+        unsafe { (*s.slots[tail & s.mask].get()).write(value) };
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of queued items (racy, advisory).
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail.load(Ordering::Relaxed).wrapping_sub(s.head.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring is currently empty (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the consuming half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.shared.consumer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues one item, or `None` if the ring is momentarily empty.
+    pub fn pop(&self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // Safety: the release store of `tail` made this slot's write
+        // visible, and only the consumer advances `head`.
+        let value = unsafe { (*s.slots[head & s.mask].get()).assume_init_read() };
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Whether the producing half has been dropped *and* everything it
+    /// wrote has been consumed — i.e. this ring is finished for good.
+    pub fn is_finished(&self) -> bool {
+        // Order matters: check liveness before emptiness, otherwise a
+        // push racing the producer's death could be missed forever.
+        let alive = self.shared.producer_alive.load(Ordering::Acquire);
+        let head = self.shared.head.load(Ordering::Relaxed);
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        !alive && head == tail
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_backpressure() {
+        let (tx, rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).expect("fits");
+        }
+        assert!(matches!(tx.push(99), Err(PushError::Full(99))));
+        assert_eq!(rx.pop(), Some(0));
+        tx.push(4).expect("slot freed");
+        for want in [1, 2, 3, 4] {
+            assert_eq!(rx.pop(), Some(want));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn detects_closed_halves() {
+        let (tx, rx) = ring::<String>(2);
+        tx.push("live".into()).expect("pushes");
+        drop(rx);
+        assert!(tx.is_closed());
+        assert!(matches!(tx.push("dead".into()), Err(PushError::Closed(_))));
+
+        let (tx, rx) = ring::<u8>(2);
+        tx.push(1).expect("pushes");
+        drop(tx);
+        assert!(!rx.is_finished(), "queued item still pending");
+        assert_eq!(rx.pop(), Some(1));
+        assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn drops_in_flight_items_with_the_ring() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (tx, rx) = ring::<Counted>(8);
+        for _ in 0..5 {
+            tx.push(Counted).expect("fits");
+        }
+        drop(rx.pop()); // one consumed and dropped
+        drop(tx);
+        drop(rx); // four still queued, dropped with the buffer
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn cross_thread_stream_arrives_intact() {
+        let (tx, rx) = ring::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(back)) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                        Err(PushError::Closed(_)) => panic!("consumer died early"),
+                    }
+                }
+            }
+        });
+        let mut next = 0u64;
+        while next < 10_000 {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, next);
+                next += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().expect("producer");
+        assert_eq!(rx.pop(), None);
+    }
+}

@@ -1,0 +1,336 @@
+//! The TCP front end: listener, per-connection reader threads, and
+//! session-id minting.
+//!
+//! Threading model: one listener thread accepts connections; each
+//! connection gets a reader thread that decodes frames and routes
+//! commands; `num_shards` shard workers own the sessions. A connection
+//! reaches shard `s` through a dedicated SPSC ring created on first
+//! use, so all of a session's commands from one connection arrive in
+//! order. Session ids are minted from one atomic counter and a session
+//! lives on shard `id % num_shards` — routing is pure arithmetic, no
+//! shared lookup table. Per-session sampler seeds derive from the
+//! server's base seed via the engine's `replica_seed` bijection, so a
+//! server boot is one deterministic scheduling plan: session `n` gets
+//! the same RNG stream no matter which connection opened it.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use wsd_core::engine::replica_seed;
+use wsd_core::SessionSnapshot;
+
+use crate::protocol::{read_frame, write_frame, Reply, Request};
+use crate::ring::{self, Producer, PushError};
+use crate::shard::{run_shard, ConnWriter, ServerStats, ShardCmd, ShardHandle, Waker};
+
+/// Tuning knobs for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of shard worker threads (each owns its sessions).
+    pub shards: usize,
+    /// Base seed; session `n` samples with `replica_seed(base, n)`
+    /// unless the client supplied an explicit seed.
+    pub base_seed: u64,
+    /// Capacity of each connection→shard command ring.
+    pub ring_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let shards = thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 8));
+        ServerConfig { shards, base_seed: 0x5EED, ring_capacity: 256 }
+    }
+}
+
+struct ServerShared {
+    config: ServerConfig,
+    next_session: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    shards: Vec<ShardHandle>,
+}
+
+/// A bound, running server; dropping it does **not** stop it — call
+/// [`RunningServer::shutdown`] or let a client send
+/// [`Request::Shutdown`] and then [`RunningServer::wait`].
+pub struct RunningServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    listener: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts the
+/// listener and shard workers.
+pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<RunningServer> {
+    assert!(config.shards > 0, "need at least one shard");
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let mut shards = Vec::with_capacity(config.shards);
+    let mut workers = Vec::with_capacity(config.shards);
+    for _ in 0..config.shards {
+        let (reg_tx, reg_rx) = mpsc::channel();
+        let waker = Arc::new(Waker::new());
+        shards.push(ShardHandle { registrations: reg_tx, waker: Arc::clone(&waker) });
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        workers.push(thread::spawn(move || run_shard(reg_rx, waker, shutdown, stats)));
+    }
+
+    let shared = Arc::new(ServerShared {
+        config,
+        next_session: AtomicU64::new(1),
+        shutdown: Arc::clone(&shutdown),
+        stats,
+        shards,
+    });
+
+    let listener_shared = Arc::clone(&shared);
+    let listener = thread::spawn(move || accept_loop(listener, listener_shared));
+    Ok(RunningServer { addr, shared, listener, workers })
+}
+
+impl RunningServer {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server stops (a client sent `Shutdown`).
+    pub fn wait(self) {
+        let _ = self.listener.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops the server from the owning thread and joins its workers.
+    pub fn shutdown(self) {
+        request_shutdown(&self.shared);
+        self.wait();
+    }
+}
+
+fn request_shutdown(shared: &ServerShared) {
+    shared.shutdown.store(true, Ordering::Release);
+    for shard in &shared.shards {
+        shard.waker.wake();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                // Reader threads are detached: they exit on EOF or when
+                // their shard rings close after shutdown.
+                thread::spawn(move || {
+                    let _ = serve_connection(stream, shared);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// One connection's command pipes, one per shard, created on demand.
+struct ShardPipes {
+    producers: Vec<Option<Producer<ShardCmd>>>,
+}
+
+impl ShardPipes {
+    fn new(n: usize) -> Self {
+        ShardPipes { producers: (0..n).map(|_| None).collect() }
+    }
+
+    /// Sends `cmd` to shard `shard`, blocking while its ring is full
+    /// (that full ring **is** the ingestion backpressure).
+    fn send(&mut self, shard: usize, shared: &ServerShared, cmd: ShardCmd) -> io::Result<()> {
+        let handle = &shared.shards[shard];
+        let producer = match &self.producers[shard] {
+            Some(p) => p,
+            None => {
+                let (tx, rx) = ring::ring(shared.config.ring_capacity);
+                handle
+                    .registrations
+                    .send(rx)
+                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"))?;
+                handle.waker.wake();
+                self.producers[shard] = Some(tx);
+                self.producers[shard].as_ref().expect("just set")
+            }
+        };
+        let mut pending = cmd;
+        loop {
+            match producer.push(pending) {
+                Ok(()) => {
+                    handle.waker.wake();
+                    return Ok(());
+                }
+                Err(PushError::Full(back)) => {
+                    pending = back;
+                    handle.waker.wake();
+                    thread::yield_now();
+                }
+                Err(PushError::Closed(_)) => {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"));
+                }
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: Arc<ServerShared>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let writer: ConnWriter = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = BufReader::new(stream);
+    let mut pipes = ShardPipes::new(shared.config.shards);
+
+    while let Some(payload) = read_frame(&mut reader)? {
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                send_reply(&writer, &Reply::Error { message: format!("bad request: {e}") })?;
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        handle_request(request, &shared, &writer, &mut pipes)?;
+        if is_shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn send_reply(writer: &ConnWriter, reply: &Reply) -> io::Result<()> {
+    let payload = reply.encode();
+    let mut w = writer.lock().expect("connection writer lock");
+    write_frame(&mut *w, &payload)
+}
+
+/// Enqueues a command built around a fresh reply channel and relays the
+/// shard's answer back over the connection.
+fn round_trip(
+    shard: usize,
+    shared: &ServerShared,
+    writer: &ConnWriter,
+    pipes: &mut ShardPipes,
+    build: impl FnOnce(Sender<Reply>) -> ShardCmd,
+) -> io::Result<()> {
+    let (tx, rx) = mpsc::channel();
+    pipes.send(shard, shared, build(tx))?;
+    let reply = rx.recv().unwrap_or_else(|_| Reply::Error { message: "shard stopped".into() });
+    send_reply(writer, &reply)
+}
+
+fn handle_request(
+    request: Request,
+    shared: &ServerShared,
+    writer: &ConnWriter,
+    pipes: &mut ShardPipes,
+) -> io::Result<()> {
+    let shard_of = |session: u64| (session % shared.config.shards as u64) as usize;
+
+    match request {
+        Request::Open { algorithm, capacity, seed, patterns } => {
+            let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            let seed = seed.unwrap_or_else(|| replica_seed(shared.config.base_seed, session));
+            round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Open {
+                session,
+                algorithm,
+                capacity: capacity as usize,
+                seed,
+                patterns,
+                reply,
+            })
+        }
+        Request::Restore { blob } => match SessionSnapshot::decode(&blob) {
+            Ok(snapshot) => {
+                let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Restore {
+                    session,
+                    snapshot: Box::new(snapshot),
+                    reply,
+                })
+            }
+            Err(e) => send_reply(writer, &Reply::Error { message: format!("bad snapshot: {e}") }),
+        },
+        Request::Events { session, events } => {
+            // Fire-and-forget: no reply frame, backpressure via the ring.
+            pipes.send(shard_of(session), shared, ShardCmd::Events { session, events })
+        }
+        Request::Estimates { session } => {
+            round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Estimates {
+                session,
+                reply,
+            })
+        }
+        Request::Attach { session, pattern } => {
+            round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Attach {
+                session,
+                pattern,
+                reply,
+            })
+        }
+        Request::Detach { session, query } => {
+            round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Detach {
+                session,
+                query,
+                reply,
+            })
+        }
+        Request::Snapshot { session } => {
+            round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Snapshot {
+                session,
+                reply,
+            })
+        }
+        Request::Subscribe { session, every } => {
+            let conn = Arc::clone(writer);
+            round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Subscribe {
+                session,
+                every,
+                conn,
+                reply,
+            })
+        }
+        Request::Flush { session } => {
+            round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Flush {
+                session,
+                reply,
+            })
+        }
+        Request::Close { session } => {
+            round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Close {
+                session,
+                reply,
+            })
+        }
+        Request::Stats => send_reply(
+            writer,
+            &Reply::Stats {
+                sessions: shared.stats.sessions.load(Ordering::Relaxed),
+                events: shared.stats.events.load(Ordering::Relaxed),
+            },
+        ),
+        Request::Shutdown => {
+            send_reply(writer, &Reply::Ok)?;
+            request_shutdown(shared);
+            Ok(())
+        }
+    }
+}

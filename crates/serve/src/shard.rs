@@ -1,0 +1,360 @@
+//! Shard workers: each worker thread exclusively owns the sessions
+//! whose id maps to it (`session % num_shards`) and drains the SPSC
+//! command rings its connections registered.
+//!
+//! Exclusive ownership is what makes the sharding sound: a
+//! `StreamSession` is `Send` but not `Sync` (its sampled adjacency
+//! keeps interior caches), so sessions never migrate between live
+//! threads — migration happens by value, through snapshot bytes, as a
+//! `Restore` that mints a new id on a possibly different shard.
+//!
+//! Per-session command order is preserved because one connection sends
+//! all commands for a shard through one FIFO ring, and the worker
+//! applies each ring's commands in pop order. That ordering is what
+//! gives `Flush` its barrier meaning and keeps checkpoint pushes ahead
+//! of the flush reply on the socket.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use wsd_core::{Algorithm, BatchDriver, SessionBuilder, SessionSnapshot, StreamSession};
+use wsd_graph::{EdgeEvent, Pattern};
+
+use crate::protocol::{self, Checkpoint, QueryEstimate, Reply, SessionEstimates};
+use crate::ring::Consumer;
+
+/// Shared write half of one client connection, used by the reader
+/// thread for replies and by shard workers for checkpoint pushes.
+/// Frame writes hold the lock, so the two never interleave mid-frame.
+pub(crate) type ConnWriter = Arc<Mutex<TcpStream>>;
+
+/// Commands a connection enqueues for a shard worker.
+pub(crate) enum ShardCmd {
+    /// Create a session with the given spec under the given id.
+    Open {
+        session: u64,
+        algorithm: Algorithm,
+        capacity: usize,
+        seed: u64,
+        patterns: Vec<Pattern>,
+        reply: Sender<Reply>,
+    },
+    /// Revive a decoded snapshot under a fresh id.
+    Restore { session: u64, snapshot: Box<SessionSnapshot>, reply: Sender<Reply> },
+    /// Apply an ordered event batch (fire-and-forget).
+    Events { session: u64, events: Vec<EdgeEvent> },
+    /// Read all query estimates.
+    Estimates { session: u64, reply: Sender<Reply> },
+    /// Attach one more pattern query.
+    Attach { session: u64, pattern: Pattern, reply: Sender<Reply> },
+    /// Detach the query in the given handle slot.
+    Detach { session: u64, query: u32, reply: Sender<Reply> },
+    /// Serialise the session.
+    Snapshot { session: u64, reply: Sender<Reply> },
+    /// Set the checkpoint push cadence (0 = off).
+    Subscribe { session: u64, every: u64, conn: ConnWriter, reply: Sender<Reply> },
+    /// Barrier: reply once all prior commands on this ring are applied.
+    Flush { session: u64, reply: Sender<Reply> },
+    /// Drop the session.
+    Close { session: u64, reply: Sender<Reply> },
+}
+
+/// Server-wide counters, updated by shard workers.
+#[derive(Default)]
+pub(crate) struct ServerStats {
+    /// Sessions currently open.
+    pub sessions: AtomicU64,
+    /// Events applied since boot.
+    pub events: AtomicU64,
+}
+
+/// Parks a shard worker when every ring is empty; producers wake it.
+pub(crate) struct Waker {
+    signalled: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waker {
+    pub(crate) fn new() -> Self {
+        Waker { signalled: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    pub(crate) fn wake(&self) {
+        *self.signalled.lock().expect("waker lock") = true;
+        self.cv.notify_one();
+    }
+
+    /// Waits until woken or the timeout elapses; clears the signal.
+    pub(crate) fn wait(&self, timeout: Duration) {
+        let guard = self.signalled.lock().expect("waker lock");
+        let (mut guard, _) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |signalled| !*signalled)
+            .expect("waker wait");
+        *guard = false;
+    }
+}
+
+/// A connection-side handle for registering rings and waking a shard.
+#[derive(Clone)]
+pub(crate) struct ShardHandle {
+    pub(crate) registrations: Sender<Consumer<ShardCmd>>,
+    pub(crate) waker: Arc<Waker>,
+}
+
+struct SessionEntry {
+    session: StreamSession,
+    /// Checkpoint cadence in events; 0 = no subscription.
+    subscribe_every: u64,
+    /// Where checkpoint pushes go (the subscribing connection).
+    push_to: Option<ConnWriter>,
+}
+
+/// How many commands one ring may run before the worker moves on — the
+/// fairness quantum across a shard's connections.
+const RING_QUANTUM: usize = 64;
+
+/// Worker idle park time; bounds shutdown latency when a wake is lost
+/// to a race.
+const IDLE_PARK: Duration = Duration::from_millis(2);
+
+/// The shard worker loop. Returns when `shutdown` is set.
+pub(crate) fn run_shard(
+    registrations: Receiver<Consumer<ShardCmd>>,
+    waker: Arc<Waker>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+) {
+    let mut rings: Vec<Consumer<ShardCmd>> = Vec::new();
+    let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            stats.sessions.fetch_sub(sessions.len() as u64, Ordering::Relaxed);
+            return;
+        }
+        while let Ok(ring) = registrations.try_recv() {
+            rings.push(ring);
+        }
+        let mut worked = false;
+        rings.retain(|ring| {
+            for _ in 0..RING_QUANTUM {
+                match ring.pop() {
+                    Some(cmd) => {
+                        worked = true;
+                        apply_guarded(&mut sessions, cmd, &stats);
+                    }
+                    None => break,
+                }
+            }
+            !ring.is_finished()
+        });
+        if !worked {
+            waker.wait(IDLE_PARK);
+        }
+    }
+}
+
+/// Applies one command, containing panics to the offending session: a
+/// tenant feeding a contract-violating stream (say, re-inserting a live
+/// edge) must not take down the shard's other sessions. The panicking
+/// session is dropped — its state can no longer be trusted — and the
+/// unwound reply sender surfaces as a "shard stopped" error client-side.
+fn apply_guarded(sessions: &mut HashMap<u64, SessionEntry>, cmd: ShardCmd, stats: &ServerStats) {
+    let culprit = cmd.session_id();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        apply(sessions, cmd, stats);
+    }));
+    if outcome.is_err() {
+        if let Some(id) = culprit {
+            if sessions.remove(&id).is_some() {
+                stats.sessions.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl ShardCmd {
+    /// The session a command targets (`None` only for commands that
+    /// create one, which cannot corrupt existing state).
+    fn session_id(&self) -> Option<u64> {
+        match self {
+            ShardCmd::Open { .. } | ShardCmd::Restore { .. } => None,
+            ShardCmd::Events { session, .. }
+            | ShardCmd::Estimates { session, .. }
+            | ShardCmd::Attach { session, .. }
+            | ShardCmd::Detach { session, .. }
+            | ShardCmd::Snapshot { session, .. }
+            | ShardCmd::Subscribe { session, .. }
+            | ShardCmd::Flush { session, .. }
+            | ShardCmd::Close { session, .. } => Some(*session),
+        }
+    }
+}
+
+fn apply(sessions: &mut HashMap<u64, SessionEntry>, cmd: ShardCmd, stats: &ServerStats) {
+    match cmd {
+        ShardCmd::Open { session, algorithm, capacity, seed, patterns, reply } => {
+            let mut builder = SessionBuilder::new(algorithm, capacity, seed);
+            for p in patterns {
+                builder = builder.query(p);
+            }
+            let entry =
+                SessionEntry { session: builder.build(), subscribe_every: 0, push_to: None };
+            sessions.insert(session, entry);
+            stats.sessions.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Reply::Opened { session });
+        }
+        ShardCmd::Restore { session, snapshot, reply } => {
+            let restored = StreamSession::restore(&snapshot);
+            let entry = SessionEntry { session: restored, subscribe_every: 0, push_to: None };
+            sessions.insert(session, entry);
+            stats.sessions.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Reply::Opened { session });
+        }
+        ShardCmd::Events { session, events } => {
+            let Some(entry) = sessions.get_mut(&session) else {
+                return; // fire-and-forget: unknown session drops the batch
+            };
+            ingest(session, entry, &events);
+            stats.events.fetch_add(events.len() as u64, Ordering::Relaxed);
+        }
+        ShardCmd::Estimates { session, reply } => {
+            let r = with_session(sessions, session, |entry| {
+                Reply::Estimates(estimates_of(session, &entry.session))
+            });
+            let _ = reply.send(r);
+        }
+        ShardCmd::Attach { session, pattern, reply } => {
+            let r = with_session(sessions, session, |entry| {
+                let id = entry.session.attach(pattern);
+                Reply::Attached { query: id.index() as u32 }
+            });
+            let _ = reply.send(r);
+        }
+        ShardCmd::Detach { session, query, reply } => {
+            let r = with_session(sessions, session, |entry| {
+                let found = entry.session.queries().find(|(id, _)| id.index() == query as usize);
+                match found {
+                    Some((id, _)) => Reply::Detached { estimate: entry.session.detach(id) },
+                    None => Reply::Error { message: format!("no query in slot {query}") },
+                }
+            });
+            let _ = reply.send(r);
+        }
+        ShardCmd::Snapshot { session, reply } => {
+            let r = with_session(sessions, session, |entry| Reply::Snapshot {
+                blob: entry.session.snapshot().encode(),
+            });
+            let _ = reply.send(r);
+        }
+        ShardCmd::Subscribe { session, every, conn, reply } => {
+            let r = with_session(sessions, session, |entry| {
+                entry.subscribe_every = every;
+                entry.push_to = if every > 0 { Some(conn.clone()) } else { None };
+                Reply::Ok
+            });
+            let _ = reply.send(r);
+        }
+        ShardCmd::Flush { session, reply } => {
+            let r = with_session(sessions, session, |entry| Reply::Flushed {
+                events: entry.session.events(),
+            });
+            let _ = reply.send(r);
+        }
+        ShardCmd::Close { session, reply } => {
+            let r = match sessions.remove(&session) {
+                Some(entry) => {
+                    stats.sessions.fetch_sub(1, Ordering::Relaxed);
+                    Reply::Closed { events: entry.session.events() }
+                }
+                None => no_such_session(session),
+            };
+            let _ = reply.send(r);
+        }
+    }
+}
+
+/// Applies one event batch; subscribed sessions go through the engine's
+/// checkpointed driver so every `subscribe_every` events a checkpoint
+/// frame is pushed to the subscribing connection.
+fn ingest(id: u64, entry: &mut SessionEntry, events: &[EdgeEvent]) {
+    let every = entry.subscribe_every;
+    let Some(conn) = entry.push_to.clone().filter(|_| every > 0) else {
+        entry.session.process_batch(events);
+        return;
+    };
+    let driver = BatchDriver::with_batch_size(every as usize);
+    let mut push_failed = false;
+    driver.run_session_with_checkpoints(&mut entry.session, events, &mut |_, session| {
+        if push_failed {
+            return;
+        }
+        let report = estimates_of(id, session);
+        let frame =
+            Checkpoint { session: id, events: report.events, queries: report.queries }.encode();
+        let mut w = conn.lock().expect("connection writer lock");
+        if protocol::write_frame(&mut *w, &frame).is_err() {
+            push_failed = true;
+        }
+    });
+    if push_failed {
+        // The subscriber hung up; stop paying for pushes.
+        entry.subscribe_every = 0;
+        entry.push_to = None;
+    }
+}
+
+fn estimates_of(id: u64, session: &StreamSession) -> SessionEstimates {
+    let report = session.report();
+    SessionEstimates {
+        session: id,
+        events: report.events,
+        stored_edges: report.stored_edges as u64,
+        queries: report
+            .queries
+            .iter()
+            .map(|q| QueryEstimate {
+                query: q.id.index() as u32,
+                pattern: q.pattern,
+                estimate: q.estimate,
+            })
+            .collect(),
+    }
+}
+
+fn with_session(
+    sessions: &mut HashMap<u64, SessionEntry>,
+    id: u64,
+    f: impl FnOnce(&mut SessionEntry) -> Reply,
+) -> Reply {
+    match sessions.get_mut(&id) {
+        Some(entry) => f(entry),
+        None => no_such_session(id),
+    }
+}
+
+fn no_such_session(id: u64) -> Reply {
+    Reply::Error { message: format!("no such session {id}") }
+}
+
+impl std::fmt::Debug for ShardCmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ShardCmd::Open { .. } => "Open",
+            ShardCmd::Restore { .. } => "Restore",
+            ShardCmd::Events { .. } => "Events",
+            ShardCmd::Estimates { .. } => "Estimates",
+            ShardCmd::Attach { .. } => "Attach",
+            ShardCmd::Detach { .. } => "Detach",
+            ShardCmd::Snapshot { .. } => "Snapshot",
+            ShardCmd::Subscribe { .. } => "Subscribe",
+            ShardCmd::Flush { .. } => "Flush",
+            ShardCmd::Close { .. } => "Close",
+        };
+        f.write_str(name)
+    }
+}

@@ -1,0 +1,258 @@
+//! End-to-end loopback tests: a real server on an ephemeral TCP port,
+//! real clients, real frames.
+
+use wsd_core::{Algorithm, SessionBuilder};
+use wsd_graph::{Edge, EdgeEvent, Pattern};
+use wsd_serve::{serve, Client, ClientError, ServerConfig};
+
+fn boot(shards: usize) -> (wsd_serve::RunningServer, Client) {
+    let config = ServerConfig { shards, base_seed: 99, ring_capacity: 64 };
+    let server = serve("127.0.0.1:0", config).expect("binds");
+    let client = Client::connect(server.local_addr()).expect("connects");
+    (server, client)
+}
+
+/// Three waves of clique churn (mirrors the core lockstep suite).
+fn churn_stream(n: u64) -> Vec<EdgeEvent> {
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            out.push(EdgeEvent::insert(Edge::new(a, b)));
+        }
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if (a + b) % 3 == 0 {
+                out.push(EdgeEvent::delete(Edge::new(a, b)));
+            }
+        }
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if (a + b) % 3 == 0 {
+                out.push(EdgeEvent::insert(Edge::new(a, b)));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn server_matches_in_process_session_bit_for_bit() {
+    // The served estimate must be *exactly* what an in-process session
+    // with the same algorithm/capacity/seed computes: the server adds
+    // transport and sharding, never arithmetic.
+    let (server, mut client) = boot(2);
+    let stream = churn_stream(12);
+    let patterns = [Pattern::Wedge, Pattern::Triangle];
+
+    let session = client.open(Algorithm::WsdH, 32, Some(1234), &patterns).expect("opens");
+    for chunk in stream.chunks(37) {
+        client.send_events(session, chunk).expect("sends");
+    }
+    let events = client.flush(session).expect("flushes");
+    assert_eq!(events, stream.len() as u64);
+
+    let mut local = SessionBuilder::new(Algorithm::WsdH, 32, 1234)
+        .query(Pattern::Wedge)
+        .query(Pattern::Triangle)
+        .build();
+    local.process_batch(&stream);
+
+    let served = client.estimates(session).expect("estimates");
+    let local_report = local.report();
+    assert_eq!(served.events, local.events());
+    assert_eq!(served.queries.len(), 2);
+    for (q, l) in served.queries.iter().zip(&local_report.queries) {
+        assert_eq!(q.pattern, l.pattern);
+        assert_eq!(q.estimate.to_bits(), l.estimate.to_bits(), "{:?}", q.pattern);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restore_over_the_wire_is_bit_identical() {
+    // attach → events → snapshot → restore (new shard) → more events on
+    // both: the restored session must track the original bit-for-bit.
+    let (server, mut client) = boot(3);
+    let stream = churn_stream(13);
+    let (head, tail) = stream.split_at(stream.len() / 2);
+
+    let original = client.open(Algorithm::Wrs, 40, Some(7), &[Pattern::Triangle]).expect("opens");
+    let wedge_slot = client.attach(original, Pattern::Wedge).expect("attaches");
+    assert_eq!(wedge_slot, 1);
+    client.send_events(original, head).expect("sends");
+    client.flush(original).expect("flushes");
+
+    let blob = client.snapshot(original).expect("snapshots");
+    let restored = client.restore(blob).expect("restores");
+    assert_ne!(restored, original, "restore mints a fresh session id");
+
+    for target in [original, restored] {
+        client.send_events(target, tail).expect("sends");
+        client.flush(target).expect("flushes");
+    }
+    let a = client.estimates(original).expect("estimates");
+    let b = client.estimates(restored).expect("estimates");
+    assert_eq!(a.events, b.events);
+    let bits_a: Vec<u64> = a.queries.iter().map(|q| q.estimate.to_bits()).collect();
+    let bits_b: Vec<u64> = b.queries.iter().map(|q| q.estimate.to_bits()).collect();
+    assert_eq!(bits_a, bits_b, "restored session diverged from the original");
+
+    // Snapshot blobs of both must also agree (canonical encoding).
+    let snap_a = client.snapshot(original).expect("snapshots");
+    let snap_b = client.snapshot(restored).expect("snapshots");
+    assert_eq!(snap_a, snap_b);
+    server.shutdown();
+}
+
+#[test]
+fn checkpoint_subscription_pushes_timelines() {
+    let (server, mut client) = boot(2);
+    let stream = churn_stream(10);
+
+    let session = client.open(Algorithm::Triest, 64, Some(3), &[Pattern::Triangle]).expect("opens");
+    client.subscribe(session, 10).expect("subscribes");
+    client.send_events(session, &stream).expect("sends");
+    client.flush(session).expect("flushes");
+
+    let checkpoints = client.take_checkpoints();
+    // One push per full 10-event chunk plus the remainder.
+    let expected = stream.len().div_ceil(10);
+    assert_eq!(checkpoints.len(), expected);
+    assert!(checkpoints.windows(2).all(|w| w[0].events < w[1].events));
+    assert_eq!(checkpoints.last().expect("non-empty").events, stream.len() as u64);
+    for cp in &checkpoints {
+        assert_eq!(cp.session, session);
+        assert_eq!(cp.queries.len(), 1);
+        assert_eq!(cp.queries[0].pattern, Pattern::Triangle);
+    }
+
+    // Unsubscribe stops the stream of pushes. (After the churn stream
+    // every pair is live again, so deletions keep the stream feasible.)
+    client.subscribe(session, 0).expect("unsubscribes");
+    let deletions: Vec<EdgeEvent> =
+        (0..9).map(|a| EdgeEvent::delete(Edge::new(a, a + 1))).collect();
+    client.send_events(session, &deletions).expect("sends");
+    client.flush(session).expect("flushes");
+    assert!(client.take_checkpoints().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn detach_close_and_errors_round_trip() {
+    let (server, mut client) = boot(2);
+    let session = client
+        .open(Algorithm::ThinkD, 16, None, &[Pattern::Wedge, Pattern::Triangle])
+        .expect("opens");
+    client.send_events(session, &churn_stream(8)).expect("sends");
+    client.flush(session).expect("flushes");
+
+    let final_estimate = client.detach(session, 0).expect("detaches");
+    assert!(final_estimate.is_finite());
+    let remaining = client.estimates(session).expect("estimates");
+    assert_eq!(remaining.queries.len(), 1);
+    assert_eq!(remaining.queries[0].query, 1, "surviving query keeps its slot");
+
+    assert!(matches!(client.detach(session, 0), Err(ClientError::Server(_))));
+    assert!(matches!(client.estimates(9999), Err(ClientError::Server(_))));
+    assert!(matches!(client.restore(vec![1, 2, 3]), Err(ClientError::Server(_))));
+
+    let events = client.close(session).expect("closes");
+    assert!(events > 0);
+    assert!(matches!(client.estimates(session), Err(ClientError::Server(_))));
+    server.shutdown();
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn poisoned_session_does_not_take_down_its_shard() {
+    // A tenant violating the stream contract (re-inserting a live edge
+    // trips the samplers' debug asserts) loses its session; a healthy
+    // session on the same single shard keeps answering.
+    let (server, mut client) = boot(1);
+    let healthy = client.open(Algorithm::Triest, 16, Some(1), &[Pattern::Wedge]).expect("opens");
+    let poisoned = client.open(Algorithm::Triest, 16, Some(2), &[Pattern::Wedge]).expect("opens");
+
+    let dup = EdgeEvent::insert(Edge::new(1, 2));
+    client.send_events(poisoned, &[dup, dup]).expect("sends");
+    // The panic unwinds the poisoned session; its next command errors.
+    assert!(client.flush(poisoned).is_err());
+
+    let stream = churn_stream(6);
+    client.send_events(healthy, &stream).expect("sends");
+    assert_eq!(client.flush(healthy).expect("flushes"), stream.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn thousand_concurrent_sessions_across_shards() {
+    // The acceptance bar: ≥ 1000 live sessions on one server, all
+    // ingesting, every one answering with a sane estimate.
+    const SESSIONS: usize = 1024;
+    let (server, mut client) = boot(4);
+    let stream = churn_stream(9);
+
+    let algorithms = [Algorithm::WsdH, Algorithm::Triest, Algorithm::ThinkD, Algorithm::Wrs];
+    let mut ids = Vec::with_capacity(SESSIONS);
+    for i in 0..SESSIONS {
+        let algorithm = algorithms[i % algorithms.len()];
+        ids.push(client.open(algorithm, 24, None, &[Pattern::Triangle]).expect("opens"));
+    }
+    let (sessions, _) = client.stats().expect("stats");
+    assert!(sessions >= SESSIONS as u64, "only {sessions} sessions live");
+
+    for &id in &ids {
+        client.send_events(id, &stream).expect("sends");
+    }
+    for &id in &ids {
+        assert_eq!(client.flush(id).expect("flushes"), stream.len() as u64);
+    }
+    let (_, total_events) = client.stats().expect("stats");
+    assert_eq!(total_events, (stream.len() * SESSIONS) as u64);
+
+    // Identically-seeded sessions must agree bit-for-bit (deterministic
+    // scheduling); spot-check a sampled pair per algorithm via an
+    // explicit seed reopen.
+    for &algorithm in &algorithms {
+        let a = client.open(algorithm, 24, Some(5), &[Pattern::Triangle]).expect("opens");
+        let b = client.open(algorithm, 24, Some(5), &[Pattern::Triangle]).expect("opens");
+        client.send_events(a, &stream).expect("sends");
+        client.send_events(b, &stream).expect("sends");
+        client.flush(a).expect("flushes");
+        client.flush(b).expect("flushes");
+        let ea = client.estimates(a).expect("estimates").queries[0].estimate;
+        let eb = client.estimates(b).expect("estimates").queries[0].estimate;
+        assert_eq!(ea.to_bits(), eb.to_bits(), "{algorithm:?}");
+    }
+    for &id in &ids {
+        client.close(id).expect("closes");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn many_connections_share_one_server() {
+    let (server, mut admin) = boot(2);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = server.local_addr();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                let stream = churn_stream(8 + i % 3);
+                let session =
+                    client.open(Algorithm::Wrs, 16, Some(i), &[Pattern::Wedge]).expect("opens");
+                client.send_events(session, &stream).expect("sends");
+                let events = client.flush(session).expect("flushes");
+                assert_eq!(events, stream.len() as u64);
+                client.close(session).expect("closes");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let (sessions, _) = admin.stats().expect("stats");
+    assert_eq!(sessions, 0, "every session was closed");
+    server.shutdown();
+}

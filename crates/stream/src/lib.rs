@@ -17,6 +17,8 @@
 //! * [`ground_truth`] — exact count timelines used for ARE/MARE metrics
 //!   and RL rewards.
 //! * [`stats`] — summary statistics of event streams.
+//! * [`wire`] — the fixed 17-byte event encoding `wsd-serve` ships
+//!   over its ingestion protocol.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -28,12 +30,14 @@ pub mod loader;
 pub mod order;
 pub mod scenario;
 pub mod stats;
+pub mod wire;
 
 pub use dataset::{Category, DatasetPair, DatasetSpec};
 pub use gen::GeneratorConfig;
 pub use ground_truth::TruthTimeline;
 pub use scenario::Scenario;
 pub use stats::StreamStats;
+pub use wire::{decode_events, encode_events, WireError, EVENT_WIRE_BYTES};
 
 /// A fully dynamic graph stream: the ordered event sequence `S`.
 pub type EventStream = Vec<wsd_graph::EdgeEvent>;

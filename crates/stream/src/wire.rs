@@ -1,0 +1,127 @@
+//! Wire format for stream events: the fixed 17-byte little-endian
+//! encoding `wsd-serve` ships over its ingestion protocol.
+//!
+//! One event is an op byte (`0` insert, `1` delete) followed by the
+//! edge's two endpoints as `u64` little-endian — [`EVENT_WIRE_BYTES`]
+//! bytes, no padding, so a batch of `n` events is exactly `17 n` bytes
+//! and can be sliced without a length prefix. Decoding re-canonicalises
+//! through [`Edge::try_new`], rejecting self-loops, so a decoded event
+//! always satisfies the samplers' input contract.
+
+use wsd_graph::{Edge, EdgeEvent, Op};
+
+/// Encoded size of one event: op byte + two `u64` endpoints.
+pub const EVENT_WIRE_BYTES: usize = 17;
+
+/// Decoding failure for the event wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input length is not a multiple of [`EVENT_WIRE_BYTES`].
+    BadLength,
+    /// Op byte outside `{0, 1}`.
+    BadOp,
+    /// The endpoints form a self-loop.
+    SelfLoop,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadLength => write!(f, "event bytes are not a multiple of 17"),
+            WireError::BadOp => write!(f, "invalid op byte"),
+            WireError::SelfLoop => write!(f, "self-loop edge"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends one event's 17 wire bytes to `out`.
+pub fn encode_event(ev: EdgeEvent, out: &mut Vec<u8>) {
+    out.push(match ev.op {
+        Op::Insert => 0,
+        Op::Delete => 1,
+    });
+    out.extend_from_slice(&ev.edge.u().to_le_bytes());
+    out.extend_from_slice(&ev.edge.v().to_le_bytes());
+}
+
+/// Decodes one event from exactly 17 bytes.
+pub fn decode_event(bytes: &[u8]) -> Result<EdgeEvent, WireError> {
+    if bytes.len() != EVENT_WIRE_BYTES {
+        return Err(WireError::BadLength);
+    }
+    let op = match bytes[0] {
+        0 => Op::Insert,
+        1 => Op::Delete,
+        _ => return Err(WireError::BadOp),
+    };
+    let u = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+    let v = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
+    let edge = Edge::try_new(u, v).ok_or(WireError::SelfLoop)?;
+    Ok(EdgeEvent { op, edge })
+}
+
+/// Encodes a batch of events as `17 n` contiguous bytes.
+pub fn encode_events(events: &[EdgeEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * EVENT_WIRE_BYTES);
+    for &ev in events {
+        encode_event(ev, &mut out);
+    }
+    out
+}
+
+/// Decodes a batch encoded by [`encode_events`].
+pub fn decode_events(bytes: &[u8]) -> Result<Vec<EdgeEvent>, WireError> {
+    if !bytes.len().is_multiple_of(EVENT_WIRE_BYTES) {
+        return Err(WireError::BadLength);
+    }
+    bytes.chunks_exact(EVENT_WIRE_BYTES).map(decode_event).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trips_both_ops() {
+        let events = vec![
+            EdgeEvent::insert(Edge::new(1, 2)),
+            EdgeEvent::delete(Edge::new(u64::MAX, 0)),
+            EdgeEvent::insert(Edge::new(7, 3)),
+        ];
+        let bytes = encode_events(&events);
+        assert_eq!(bytes.len(), 3 * EVENT_WIRE_BYTES);
+        assert_eq!(decode_events(&bytes).expect("decodes"), events);
+    }
+
+    #[test]
+    fn rejects_corrupt_bytes() {
+        let mut bytes = encode_events(&[EdgeEvent::insert(Edge::new(1, 2))]);
+        assert_eq!(decode_events(&bytes[..5]), Err(WireError::BadLength));
+        bytes[0] = 9;
+        assert_eq!(decode_events(&bytes), Err(WireError::BadOp));
+        let mut self_loop = vec![0u8];
+        self_loop.extend_from_slice(&5u64.to_le_bytes());
+        self_loop.extend_from_slice(&5u64.to_le_bytes());
+        assert_eq!(decode_events(&self_loop), Err(WireError::SelfLoop));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_arbitrary_streams(
+            raw in proptest::collection::vec((any::<bool>(), 0u64..5_000, 0u64..5_000), 0..64),
+        ) {
+            let events: Vec<EdgeEvent> = raw
+                .iter()
+                .filter_map(|&(del, a, b)| {
+                    let e = Edge::try_new(a, b)?;
+                    Some(if del { EdgeEvent::delete(e) } else { EdgeEvent::insert(e) })
+                })
+                .collect();
+            let decoded = decode_events(&encode_events(&events)).expect("round trip");
+            prop_assert_eq!(decoded, events);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal `wsd-serve` client round-trip: open a session, attach a
+//! query mid-stream, feed events, snapshot, restore, feed both twins
+//! the same tail, and verify the restored session answers with the
+//! exact same estimate bits.
+//!
+//! ```text
+//! cargo run --release --example serve_client              # in-process server
+//! cargo run --release --example serve_client -- ADDR      # external server
+//! ```
+//!
+//! Against an external server (the CI smoke test drives the `wsd-serve`
+//! binary this way) the example also sends `Shutdown` at the end so the
+//! server process exits cleanly. Exits non-zero on any mismatch.
+
+use std::process::ExitCode;
+
+use wsd::core::Algorithm;
+use wsd::graph::{Edge, EdgeEvent, Pattern};
+use wsd::serve::{serve, Client, ServerConfig};
+
+fn churn(n: u64) -> Vec<EdgeEvent> {
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            out.push(EdgeEvent::insert(Edge::new(a, b)));
+        }
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if (a + b) % 3 == 0 {
+                out.push(EdgeEvent::delete(Edge::new(a, b)));
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let external = std::env::args().nth(1);
+    // Without an address, boot a server inside this process.
+    let (local_server, addr) = match &external {
+        Some(addr) => (None, addr.clone()),
+        None => {
+            let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind server");
+            let addr = server.local_addr().to_string();
+            (Some(server), addr)
+        }
+    };
+    println!("connecting to {addr}");
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+
+    let stream = churn(14);
+    let (head, tail) = stream.split_at(stream.len() / 2);
+
+    let session =
+        client.open(Algorithm::WsdH, 64, Some(42), &[Pattern::Triangle]).expect("open session");
+    println!("opened session {session}");
+    let wedge = client.attach(session, Pattern::Wedge).expect("attach");
+    println!("attached wedge query in slot {wedge}");
+
+    client.send_events(session, head).expect("send events");
+    let applied = client.flush(session).expect("flush");
+    println!("applied {applied} events");
+    let before = client.estimates(session).expect("estimates");
+    for q in &before.queries {
+        println!("  {:?} ≈ {}", q.pattern, q.estimate);
+    }
+
+    let blob = client.snapshot(session).expect("snapshot");
+    println!("snapshot: {} bytes", blob.len());
+    let twin = client.restore(blob).expect("restore");
+    println!("restored as session {twin}");
+
+    for target in [session, twin] {
+        client.send_events(target, tail).expect("send tail");
+        client.flush(target).expect("flush tail");
+    }
+    let a = client.estimates(session).expect("estimates");
+    let b = client.estimates(twin).expect("estimates");
+
+    let mut ok = a.events == b.events && a.queries.len() == b.queries.len();
+    for (qa, qb) in a.queries.iter().zip(&b.queries) {
+        let same = qa.estimate.to_bits() == qb.estimate.to_bits();
+        println!(
+            "  {:?}: original {} vs restored {} — {}",
+            qa.pattern,
+            qa.estimate,
+            qb.estimate,
+            if same { "bit-identical" } else { "MISMATCH" }
+        );
+        ok &= same;
+    }
+
+    client.close(session).expect("close");
+    client.close(twin).expect("close twin");
+    if external.is_some() {
+        client.shutdown_server().expect("shutdown");
+        println!("asked server to shut down");
+    }
+    if let Some(server) = local_server {
+        client.shutdown_server().expect("shutdown");
+        server.wait();
+    }
+    if ok {
+        println!("OK: restored session matched the original bit-for-bit");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAILED: restored session diverged");
+        ExitCode::FAILURE
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`stream`] | `wsd-stream` | generators, scenarios, orderings, datasets |
 //! | [`core`] | `wsd-core` | multi-query stream sessions over WSD, GPS, GPS-A, Triest, ThinkD, WRS + the batched/parallel engine |
 //! | [`rl`] | `wsd-rl` | DDPG, replay, training, policy persistence |
+//! | [`serve`] | `wsd-serve` | sharded many-tenant session server: TCP protocol, SPSC ingestion, snapshot/restore migration |
 //!
 //! # Quickstart
 //!
@@ -95,6 +96,9 @@ pub use wsd_core as core;
 
 /// Reinforcement learning: DDPG training of WSD-L weight policies.
 pub use wsd_rl as rl;
+
+/// Serving layer: the sharded many-tenant `wsd-serve` session server.
+pub use wsd_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {
