@@ -2,7 +2,7 @@
 //! until a client sends the `Shutdown` request.
 //!
 //! ```text
-//! wsd-serve [--addr HOST:PORT] [--shards N] [--seed S]
+//! wsd-serve [--addr HOST:PORT] [--shards N] [--seed S] [--max-capacity M]
 //! ```
 //!
 //! With `--addr 127.0.0.1:0` the kernel picks a free port; the chosen
@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use wsd_serve::{serve, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: wsd-serve [--addr HOST:PORT] [--shards N] [--seed S]");
+    eprintln!("usage: wsd-serve [--addr HOST:PORT] [--shards N] [--seed S] [--max-capacity M]");
     std::process::exit(2);
 }
 
@@ -34,6 +34,10 @@ fn main() -> ExitCode {
             "--seed" => match value("--seed").parse() {
                 Ok(s) => config.base_seed = s,
                 Err(_) => usage(),
+            },
+            "--max-capacity" => match value("--max-capacity").parse() {
+                Ok(m) if m > 0 => config.max_capacity = m,
+                _ => usage(),
             },
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -44,13 +44,24 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 }
 
 /// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
-/// boundary.
+/// boundary. EOF after 1–3 prefix bytes is a torn stream and errors —
+/// only a stream ending before the first prefix byte is a clean close.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_le_bytes(len_bytes);
     if len > MAX_FRAME_BYTES {
@@ -612,5 +623,22 @@ mod tests {
         let second = read_frame(&mut cursor).expect("reads").expect("frame");
         assert_eq!(Reply::decode(&second).expect("decodes"), Reply::Ok);
         assert_eq!(read_frame(&mut cursor).expect("clean EOF"), None);
+    }
+
+    #[test]
+    fn torn_length_prefix_is_an_error_not_a_clean_eof() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &Request::Stats.encode()).expect("writes");
+        for cut in 1..4 {
+            let mut cursor = io::Cursor::new(&framed[..cut]);
+            let err = read_frame(&mut cursor).expect_err("torn prefix");
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        // EOF before any prefix byte stays a clean close.
+        let mut empty = io::Cursor::new(&[][..]);
+        assert_eq!(read_frame(&mut empty).expect("clean EOF"), None);
+        // EOF inside the payload already errors via read_exact.
+        let mut torn_payload = io::Cursor::new(&framed[..framed.len() - 1]);
+        assert!(read_frame(&mut torn_payload).is_err());
     }
 }

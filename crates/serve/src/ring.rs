@@ -26,8 +26,10 @@ struct Shared<T> {
     consumer_alive: AtomicBool,
 }
 
-// The slots are only touched by whichever half owns the index range, so
-// sharing the buffer across the two threads is sound.
+// The slots are only touched by whichever half owns the index range,
+// and the mutating entry points (`push`/`pop`) take `&mut self`, so at
+// most one thread can be inside each half at a time; sharing the buffer
+// across the two threads is therefore sound.
 unsafe impl<T: Send> Sync for Shared<T> {}
 unsafe impl<T: Send> Send for Shared<T> {}
 
@@ -82,7 +84,11 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
 
 impl<T> Producer<T> {
     /// Attempts to enqueue without blocking.
-    pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+    ///
+    /// Takes `&mut self` so safe code cannot race two pushes through a
+    /// shared `&Producer` — single-producer is enforced by the borrow
+    /// checker, not by convention.
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
         let s = &*self.shared;
         if !s.consumer_alive.load(Ordering::Acquire) {
             return Err(PushError::Closed(value));
@@ -124,7 +130,11 @@ impl<T> Drop for Producer<T> {
 
 impl<T> Consumer<T> {
     /// Dequeues one item, or `None` if the ring is momentarily empty.
-    pub fn pop(&self) -> Option<T> {
+    ///
+    /// Takes `&mut self` so safe code cannot race two pops through a
+    /// shared `&Consumer` — single-consumer is enforced by the borrow
+    /// checker, not by convention.
+    pub fn pop(&mut self) -> Option<T> {
         let s = &*self.shared;
         let head = s.head.load(Ordering::Relaxed);
         let tail = s.tail.load(Ordering::Acquire);
@@ -162,7 +172,7 @@ mod tests {
 
     #[test]
     fn fifo_order_and_backpressure() {
-        let (tx, rx) = ring::<u32>(4);
+        let (mut tx, mut rx) = ring::<u32>(4);
         for i in 0..4 {
             tx.push(i).expect("fits");
         }
@@ -177,13 +187,13 @@ mod tests {
 
     #[test]
     fn detects_closed_halves() {
-        let (tx, rx) = ring::<String>(2);
+        let (mut tx, rx) = ring::<String>(2);
         tx.push("live".into()).expect("pushes");
         drop(rx);
         assert!(tx.is_closed());
         assert!(matches!(tx.push("dead".into()), Err(PushError::Closed(_))));
 
-        let (tx, rx) = ring::<u8>(2);
+        let (mut tx, mut rx) = ring::<u8>(2);
         tx.push(1).expect("pushes");
         drop(tx);
         assert!(!rx.is_finished(), "queued item still pending");
@@ -202,7 +212,7 @@ mod tests {
                 DROPS.fetch_add(1, Ordering::SeqCst);
             }
         }
-        let (tx, rx) = ring::<Counted>(8);
+        let (mut tx, mut rx) = ring::<Counted>(8);
         for _ in 0..5 {
             tx.push(Counted).expect("fits");
         }
@@ -214,7 +224,7 @@ mod tests {
 
     #[test]
     fn cross_thread_stream_arrives_intact() {
-        let (tx, rx) = ring::<u64>(64);
+        let (mut tx, mut rx) = ring::<u64>(64);
         let producer = std::thread::spawn(move || {
             for i in 0..10_000u64 {
                 let mut v = i;

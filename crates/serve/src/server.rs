@@ -17,14 +17,14 @@ use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use wsd_core::engine::replica_seed;
 use wsd_core::SessionSnapshot;
 
-use crate::protocol::{read_frame, write_frame, Reply, Request};
+use crate::protocol::{read_frame, Reply, Request};
 use crate::ring::{self, Producer, PushError};
 use crate::shard::{run_shard, ConnWriter, ServerStats, ShardCmd, ShardHandle, Waker};
 
@@ -38,12 +38,19 @@ pub struct ServerConfig {
     pub base_seed: u64,
     /// Capacity of each connection→shard command ring.
     pub ring_capacity: usize,
+    /// Largest reservoir capacity a tenant may request, whether via
+    /// `Open` or inside a `Restore` blob. Reservoirs eagerly allocate
+    /// their capacity and an allocation failure aborts the process
+    /// (`handle_alloc_error` does not unwind), so without this ceiling
+    /// one hostile request could kill every tenant. Oversized requests
+    /// get a `Reply::Error` instead.
+    pub max_capacity: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         let shards = thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 8));
-        ServerConfig { shards, base_seed: 0x5EED, ring_capacity: 256 }
+        ServerConfig { shards, base_seed: 0x5EED, ring_capacity: 256, max_capacity: 1 << 24 }
     }
 }
 
@@ -160,19 +167,16 @@ impl ShardPipes {
     /// (that full ring **is** the ingestion backpressure).
     fn send(&mut self, shard: usize, shared: &ServerShared, cmd: ShardCmd) -> io::Result<()> {
         let handle = &shared.shards[shard];
-        let producer = match &self.producers[shard] {
-            Some(p) => p,
-            None => {
-                let (tx, rx) = ring::ring(shared.config.ring_capacity);
-                handle
-                    .registrations
-                    .send(rx)
-                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"))?;
-                handle.waker.wake();
-                self.producers[shard] = Some(tx);
-                self.producers[shard].as_ref().expect("just set")
-            }
-        };
+        if self.producers[shard].is_none() {
+            let (tx, rx) = ring::ring(shared.config.ring_capacity);
+            handle
+                .registrations
+                .send(rx)
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"))?;
+            handle.waker.wake();
+            self.producers[shard] = Some(tx);
+        }
+        let producer = self.producers[shard].as_mut().expect("just ensured");
         let mut pending = cmd;
         loop {
             match producer.push(pending) {
@@ -195,7 +199,7 @@ impl ShardPipes {
 
 fn serve_connection(stream: TcpStream, shared: Arc<ServerShared>) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    let writer: ConnWriter = Arc::new(Mutex::new(stream.try_clone()?));
+    let writer = ConnWriter::spawn(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let mut pipes = ShardPipes::new(shared.config.shards);
 
@@ -217,9 +221,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<ServerShared>) -> io::Result<
 }
 
 fn send_reply(writer: &ConnWriter, reply: &Reply) -> io::Result<()> {
-    let payload = reply.encode();
-    let mut w = writer.lock().expect("connection writer lock");
-    write_frame(&mut *w, &payload)
+    writer.send(reply.encode())
 }
 
 /// Enqueues a command built around a fresh reply channel and relays the
@@ -237,6 +239,25 @@ fn round_trip(
     send_reply(writer, &reply)
 }
 
+/// Admission gate for tenant-supplied reservoir capacities: positive,
+/// under the configured ceiling, and representable as `usize` (no
+/// silent `as` truncation on 32-bit targets). The reservoirs eagerly
+/// allocate their full capacity, so this check is the line between a
+/// rejected request and an aborted process.
+fn admissible_capacity(capacity: u64, max: u64) -> Result<usize, Reply> {
+    if capacity == 0 {
+        return Err(Reply::Error { message: "capacity must be positive".into() });
+    }
+    if capacity > max {
+        return Err(Reply::Error {
+            message: format!("capacity {capacity} exceeds server maximum {max}"),
+        });
+    }
+    usize::try_from(capacity).map_err(|_| Reply::Error {
+        message: format!("capacity {capacity} does not fit this platform's address space"),
+    })
+}
+
 fn handle_request(
     request: Request,
     shared: &ServerShared,
@@ -247,12 +268,16 @@ fn handle_request(
 
     match request {
         Request::Open { algorithm, capacity, seed, patterns } => {
+            let capacity = match admissible_capacity(capacity, shared.config.max_capacity) {
+                Ok(capacity) => capacity,
+                Err(reply) => return send_reply(writer, &reply),
+            };
             let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
             let seed = seed.unwrap_or_else(|| replica_seed(shared.config.base_seed, session));
             round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Open {
                 session,
                 algorithm,
-                capacity: capacity as usize,
+                capacity,
                 seed,
                 patterns,
                 reply,
@@ -260,6 +285,14 @@ fn handle_request(
         }
         Request::Restore { blob } => match SessionSnapshot::decode(&blob) {
             Ok(snapshot) => {
+                // A snapshot declares the capacity the revived session
+                // will allocate, so it passes the same admission gate as
+                // an explicit Open.
+                if let Err(reply) =
+                    admissible_capacity(snapshot.config.capacity, shared.config.max_capacity)
+                {
+                    return send_reply(writer, &reply);
+                }
                 let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
                 round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Restore {
                     session,
@@ -300,7 +333,7 @@ fn handle_request(
             })
         }
         Request::Subscribe { session, every } => {
-            let conn = Arc::clone(writer);
+            let conn = writer.clone();
             round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Subscribe {
                 session,
                 every,

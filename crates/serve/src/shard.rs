@@ -15,10 +15,12 @@
 //! of the flush reply on the socket.
 
 use std::collections::HashMap;
+use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
 use std::time::Duration;
 
 use wsd_core::{Algorithm, BatchDriver, SessionBuilder, SessionSnapshot, StreamSession};
@@ -27,10 +29,58 @@ use wsd_graph::{EdgeEvent, Pattern};
 use crate::protocol::{self, Checkpoint, QueryEstimate, Reply, SessionEstimates};
 use crate::ring::Consumer;
 
-/// Shared write half of one client connection, used by the reader
-/// thread for replies and by shard workers for checkpoint pushes.
-/// Frame writes hold the lock, so the two never interleave mid-frame.
-pub(crate) type ConnWriter = Arc<Mutex<TcpStream>>;
+/// Outbound frames buffered per connection. Replies block the sending
+/// reader thread when the queue is full (slowing only that client);
+/// checkpoint pushes never block — a subscriber whose queue overflows
+/// loses the subscription instead.
+const OUTBOUND_QUEUE_FRAMES: usize = 256;
+
+/// Write half of one client connection: a bounded frame queue drained
+/// by a dedicated writer thread that owns the socket.
+///
+/// The single writer thread keeps frames whole on the wire, and —
+/// crucially for tenant isolation — no enqueuer ever blocks on the
+/// peer's TCP window. The connection's reader thread enqueues replies
+/// with a blocking [`ConnWriter::send`]; shard workers enqueue
+/// checkpoint pushes with the non-blocking [`ConnWriter::try_send`], so
+/// a subscriber that stops reading can stall neither a shard worker nor
+/// the other sessions on it.
+#[derive(Clone)]
+pub(crate) struct ConnWriter {
+    frames: SyncSender<Vec<u8>>,
+}
+
+impl ConnWriter {
+    /// Takes ownership of the connection's write half and spawns its
+    /// writer thread. The thread exits when every `ConnWriter` clone is
+    /// dropped or the socket errors; after a socket error all further
+    /// sends fail, which the reader thread turns into a hangup.
+    pub(crate) fn spawn(mut stream: TcpStream) -> Self {
+        let (frames, drain) = mpsc::sync_channel::<Vec<u8>>(OUTBOUND_QUEUE_FRAMES);
+        thread::spawn(move || {
+            while let Ok(frame) = drain.recv() {
+                if protocol::write_frame(&mut stream, &frame).is_err() {
+                    break;
+                }
+            }
+        });
+        ConnWriter { frames }
+    }
+
+    /// Enqueues a frame, blocking while the queue is full. Reader-thread
+    /// use only: blocking here slows just this connection's client.
+    pub(crate) fn send(&self, frame: Vec<u8>) -> io::Result<()> {
+        self.frames
+            .send(frame)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "connection writer gone"))
+    }
+
+    /// Enqueues a frame without ever blocking; errors when the queue is
+    /// full or the writer died. Shard-worker use only.
+    pub(crate) fn try_send(&self, frame: Vec<u8>) -> Result<(), ()> {
+        self.frames.try_send(frame).map_err(|_| ())
+    }
+}
 
 /// Commands a connection enqueues for a shard worker.
 pub(crate) enum ShardCmd {
@@ -140,7 +190,7 @@ pub(crate) fn run_shard(
             rings.push(ring);
         }
         let mut worked = false;
-        rings.retain(|ring| {
+        rings.retain_mut(|ring| {
             for _ in 0..RING_QUANTUM {
                 match ring.pop() {
                     Some(cmd) => {
@@ -296,13 +346,16 @@ fn ingest(id: u64, entry: &mut SessionEntry, events: &[EdgeEvent]) {
         let report = estimates_of(id, session);
         let frame =
             Checkpoint { session: id, events: report.events, queries: report.queries }.encode();
-        let mut w = conn.lock().expect("connection writer lock");
-        if protocol::write_frame(&mut *w, &frame).is_err() {
+        // Non-blocking on purpose: this runs on the shard worker, so a
+        // subscriber that stops draining its connection must lose its
+        // subscription, never stall the shard's other sessions.
+        if conn.try_send(frame).is_err() {
             push_failed = true;
         }
     });
     if push_failed {
-        // The subscriber hung up; stop paying for pushes.
+        // The subscriber hung up or fell too far behind; stop paying
+        // for pushes.
         entry.subscribe_every = 0;
         entry.push_to = None;
     }

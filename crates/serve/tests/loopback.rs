@@ -6,7 +6,8 @@ use wsd_graph::{Edge, EdgeEvent, Pattern};
 use wsd_serve::{serve, Client, ClientError, ServerConfig};
 
 fn boot(shards: usize) -> (wsd_serve::RunningServer, Client) {
-    let config = ServerConfig { shards, base_seed: 99, ring_capacity: 64 };
+    let config =
+        ServerConfig { shards, base_seed: 99, ring_capacity: 64, ..ServerConfig::default() };
     let server = serve("127.0.0.1:0", config).expect("binds");
     let client = Client::connect(server.local_addr()).expect("connects");
     (server, client)
@@ -158,6 +159,21 @@ fn detach_close_and_errors_round_trip() {
     assert!(matches!(client.estimates(9999), Err(ClientError::Server(_))));
     assert!(matches!(client.restore(vec![1, 2, 3]), Err(ClientError::Server(_))));
 
+    // Hostile capacities must bounce as error replies, not as a
+    // process-aborting allocation: the reservoirs allocate eagerly.
+    assert!(matches!(
+        client.open(Algorithm::Triest, u64::MAX, None, &[]),
+        Err(ClientError::Server(_))
+    ));
+    assert!(matches!(client.open(Algorithm::Triest, 0, None, &[]), Err(ClientError::Server(_))));
+    // Same gate for a snapshot blob declaring an absurd capacity.
+    let blob = client.snapshot(session).expect("snapshots");
+    let mut snap = wsd_core::SessionSnapshot::decode(&blob).expect("decodes");
+    snap.config.capacity = u64::MAX;
+    assert!(matches!(client.restore(snap.encode()), Err(ClientError::Server(_))));
+    // The server survived all of it.
+    assert!(client.estimates(session).is_ok());
+
     let events = client.close(session).expect("closes");
     assert!(events > 0);
     assert!(matches!(client.estimates(session), Err(ClientError::Server(_))));
@@ -182,6 +198,37 @@ fn poisoned_session_does_not_take_down_its_shard() {
     let stream = churn_stream(6);
     client.send_events(healthy, &stream).expect("sends");
     assert_eq!(client.flush(healthy).expect("flushes"), stream.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn hung_subscriber_cannot_stall_its_shard() {
+    // A subscriber that stops reading must lose its subscription (its
+    // bounded outbound queue overflows), never block the shard worker:
+    // other tenants' commands on the same shard keep completing.
+    let (server, mut subscriber) = boot(1);
+    let mut feeder = Client::connect(server.local_addr()).expect("connects");
+
+    let session =
+        subscriber.open(Algorithm::Triest, 16, Some(9), &[Pattern::Wedge]).expect("opens");
+    subscriber.subscribe(session, 1).expect("subscribes");
+
+    // ~25 MB of checkpoint frames at one per event — far beyond the
+    // subscriber's queue plus any TCP buffering — while the subscriber
+    // never reads a byte. Without the overflow-drops-the-subscription
+    // rule the shard worker would wedge here and flush would never
+    // return.
+    let events: Vec<EdgeEvent> =
+        (0..600_000u64).map(|i| EdgeEvent::insert(Edge::new(i, i + 1))).collect();
+    feeder.send_events(session, &events).expect("sends");
+    let applied = feeder.flush(session).expect("shard survived the hung subscriber");
+    assert_eq!(applied, events.len() as u64);
+
+    // The shard still serves fresh tenants.
+    let healthy = feeder.open(Algorithm::Triest, 16, Some(10), &[Pattern::Wedge]).expect("opens");
+    let stream = churn_stream(6);
+    feeder.send_events(healthy, &stream).expect("sends");
+    assert_eq!(feeder.flush(healthy).expect("flushes"), stream.len() as u64);
     server.shutdown();
 }
 
