@@ -3,11 +3,18 @@
 //!
 //! ```text
 //! wsd-serve [--addr HOST:PORT] [--shards N] [--seed S] [--max-capacity M]
+//!           [--data-dir DIR] [--autosave-every N]
 //! ```
 //!
 //! With `--addr 127.0.0.1:0` the kernel picks a free port; the chosen
 //! address is printed as `wsd-serve listening on ADDR` once the server
 //! accepts connections, so scripts can scrape it from the log.
+//!
+//! With `--data-dir DIR` sessions persist to disk: autosaved every
+//! `--autosave-every` events (default 4096, 0 = only on clean
+//! shutdown) and revived under their original ids at the next boot.
+//! The boot line reports how many sessions were restored and how many
+//! files were quarantined.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -15,7 +22,10 @@ use std::process::ExitCode;
 use wsd_serve::{serve, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: wsd-serve [--addr HOST:PORT] [--shards N] [--seed S] [--max-capacity M]");
+    eprintln!(
+        "usage: wsd-serve [--addr HOST:PORT] [--shards N] [--seed S] [--max-capacity M] \
+         [--data-dir DIR] [--autosave-every N]"
+    );
     std::process::exit(2);
 }
 
@@ -39,19 +49,32 @@ fn main() -> ExitCode {
                 Ok(m) if m > 0 => config.max_capacity = m,
                 _ => usage(),
             },
+            "--data-dir" => config.data_dir = Some(value("--data-dir").into()),
+            "--autosave-every" => match value("--autosave-every").parse() {
+                Ok(n) => config.autosave_every = n,
+                Err(_) => usage(),
+            },
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
     let shards = config.shards;
+    let durable = config.data_dir.is_some();
     let server = match serve(addr.as_str(), config) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("wsd-serve: cannot bind {addr}: {e}");
+            eprintln!("wsd-serve: cannot start on {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if durable {
+        println!(
+            "wsd-serve restored {} sessions ({} files quarantined)",
+            server.restored_sessions(),
+            server.quarantined_files()
+        );
+    }
     println!("wsd-serve listening on {} ({shards} shards)", server.local_addr());
     let _ = std::io::stdout().flush();
     server.wait();

@@ -14,7 +14,8 @@ use wsd_core::{Algorithm, SnapshotError};
 use wsd_graph::{EdgeEvent, Pattern};
 
 use crate::protocol::{
-    read_frame, write_frame, Checkpoint, Reply, Request, SessionEstimates, CHECKPOINT_OPCODE,
+    read_frame, write_frame, Checkpoint, Reply, Request, SessionEstimates, StatsReport,
+    CHECKPOINT_OPCODE,
 };
 
 /// Client-side failure.
@@ -179,11 +180,19 @@ impl Client {
         }
     }
 
-    /// Server-wide `(open sessions, total events)` counters.
-    pub fn stats(&mut self) -> Result<(u64, u64), ClientError> {
+    /// Server-wide aggregated counters (versioned report).
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
         match self.request(&Request::Stats)? {
-            Reply::Stats { sessions, events } => Ok((sessions, events)),
+            Reply::Stats(report) => Ok(report),
             _ => Err(ClientError::UnexpectedReply("Stats")),
+        }
+    }
+
+    /// Human-readable metrics dump, one `name value` line per metric.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Reply::Metrics { text } => Ok(text),
+            _ => Err(ClientError::UnexpectedReply("Metrics")),
         }
     }
 

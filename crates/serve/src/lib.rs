@@ -16,6 +16,26 @@
 //!   connection readers, shard workers, and the `replica_seed`-derived
 //!   deterministic per-session seeding.
 //! * [`client`] — a blocking client speaking the full protocol.
+//! * [`store`] — the durable session store behind `--data-dir`:
+//!   atomic one-file-per-session snapshot blobs plus a manifest that
+//!   keeps minted session ids unique across crashes.
+//!
+//! ## Durability & observability
+//!
+//! With a [`ServerConfig::data_dir`], sessions autosave their canonical
+//! snapshot every [`ServerConfig::autosave_every`] ingested events and
+//! on clean shutdown; `Close` durably removes the file. Boot scans the
+//! directory and revives every valid session under its **original id**
+//! — a killed-and-rebooted server tracks a never-restarted twin
+//! bit-for-bit from the autosave point. Corrupt or forged files are
+//! quarantined aside (never fatal), and persisted capacities pass the
+//! same admission gate as wire requests.
+//!
+//! Every shard keeps an atomic counter block (events, batches,
+//! per-opcode command counts and latencies, checkpoint pushes, session
+//! lifecycle, ring stalls, autosave writes); `Stats` aggregates them
+//! into a versioned [`StatsReport`] and `Metrics` renders a
+//! one-line-per-metric text dump.
 //!
 //! ## Sessions move by value
 //!
@@ -31,11 +51,15 @@
 #![warn(clippy::all)]
 
 pub mod client;
+mod metrics;
 pub mod protocol;
 pub mod ring;
 mod server;
 mod shard;
+pub mod store;
 
 pub use client::{Client, ClientError};
-pub use protocol::{Checkpoint, QueryEstimate, Reply, Request, SessionEstimates};
+pub use protocol::{
+    Checkpoint, QueryEstimate, Reply, Request, SessionEstimates, StatsReport, STATS_VERSION,
+};
 pub use server::{serve, RunningServer, ServerConfig};

@@ -7,7 +7,7 @@
 //! format uses (little-endian integers, `f64` as raw IEEE-754 bits).
 //! Three frame classes share the stream:
 //!
-//! * **requests** (client → server, opcodes `0x01..=0x0C`);
+//! * **requests** (client → server, opcodes `0x01..=0x0D`);
 //! * **replies** (server → client, opcodes `0x81..`), exactly one per
 //!   request *except* [`Request::Events`], which is fire-and-forget —
 //!   backpressure comes from the server's bounded ingestion rings, not
@@ -125,12 +125,14 @@ pub enum Request {
         /// An encoded `SessionSnapshot` blob.
         blob: Vec<u8>,
     },
-    /// Subscribes to checkpoint pushes every `every` events of each
-    /// subsequent batch (0 unsubscribes).
+    /// Subscribes to checkpoint pushes at a **global** cadence: one
+    /// push each time the session's lifetime event count crosses a
+    /// multiple of `every`, regardless of how the stream is split into
+    /// `Events` frames (0 unsubscribes).
     Subscribe {
         /// Target session.
         session: u64,
-        /// Checkpoint cadence in events; 0 turns pushes off.
+        /// Checkpoint cadence in session events; 0 turns pushes off.
         every: u64,
     },
     /// Barrier: replies only after every event this connection queued
@@ -144,10 +146,13 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
-    /// Server-wide counters.
+    /// Server-wide counters (the versioned [`StatsReport`]).
     Stats,
     /// Asks the whole server to shut down cleanly.
     Shutdown,
+    /// The human-readable metrics dump (one `name value` line per
+    /// metric).
+    Metrics,
 }
 
 /// One query's estimate inside [`Reply::Estimates`] or a checkpoint.
@@ -172,6 +177,45 @@ pub struct SessionEstimates {
     pub stored_edges: u64,
     /// One entry per live query, attachment order.
     pub queries: Vec<QueryEstimate>,
+}
+
+/// Version tag carried by every encoded [`StatsReport`]. Bumped when
+/// fields are added so a reader can reject frames it does not
+/// understand instead of misparsing them. Version 1 was the PR 8
+/// two-counter frame; version 2 added the full counter block.
+pub const STATS_VERSION: u32 = 2;
+
+/// Server-wide counters, aggregated across shards at request time.
+/// All fields are totals since boot except [`StatsReport::sessions`],
+/// which is a live gauge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Sessions currently open across all shards.
+    pub sessions: u64,
+    /// Events applied across all sessions since boot.
+    pub events: u64,
+    /// `Events` batches applied since boot.
+    pub batches: u64,
+    /// Shard commands applied since boot (all kinds).
+    pub commands: u64,
+    /// Checkpoint push frames handed to connection writers.
+    pub checkpoints_sent: u64,
+    /// Checkpoint pushes dropped on subscriber-queue overflow.
+    pub checkpoints_dropped: u64,
+    /// Sessions created via `Open` or a wire `Restore`.
+    pub sessions_opened: u64,
+    /// Sessions removed via `Close`.
+    pub sessions_closed: u64,
+    /// Sessions dropped because a command on them panicked.
+    pub sessions_poisoned: u64,
+    /// Sessions revived from the data-dir at boot.
+    pub sessions_restored: u64,
+    /// Ring-full backpressure stalls (once per stalled command).
+    pub ring_stalls: u64,
+    /// Snapshot files written to the durable store.
+    pub autosave_writes: u64,
+    /// Durable-store writes that failed.
+    pub autosave_failures: u64,
 }
 
 /// One server reply.
@@ -212,11 +256,11 @@ pub enum Reply {
         events: u64,
     },
     /// Server-wide counters.
-    Stats {
-        /// Sessions currently open across all shards.
-        sessions: u64,
-        /// Events applied across all sessions since boot.
-        events: u64,
+    Stats(StatsReport),
+    /// The metrics text dump.
+    Metrics {
+        /// One `name value` line per metric.
+        text: String,
     },
     /// Request failed; human-readable reason.
     Error {
@@ -370,6 +414,7 @@ impl Request {
             }
             Request::Stats => w.put_u8(0x0B),
             Request::Shutdown => w.put_u8(0x0C),
+            Request::Metrics => w.put_u8(0x0D),
         }
         w.into_bytes()
     }
@@ -405,6 +450,7 @@ impl Request {
             0x0A => Request::Close { session: r.get_u64()? },
             0x0B => Request::Stats,
             0x0C => Request::Shutdown,
+            0x0D => Request::Metrics,
             _ => return Err(SnapshotError::BadTag("request opcode")),
         };
         r.finish()?;
@@ -449,10 +495,31 @@ impl Reply {
                 w.put_u8(0x88);
                 w.put_u64(*events);
             }
-            Reply::Stats { sessions, events } => {
+            Reply::Stats(s) => {
                 w.put_u8(0x89);
-                w.put_u64(*sessions);
-                w.put_u64(*events);
+                w.put_u32(STATS_VERSION);
+                for v in [
+                    s.sessions,
+                    s.events,
+                    s.batches,
+                    s.commands,
+                    s.checkpoints_sent,
+                    s.checkpoints_dropped,
+                    s.sessions_opened,
+                    s.sessions_closed,
+                    s.sessions_poisoned,
+                    s.sessions_restored,
+                    s.ring_stalls,
+                    s.autosave_writes,
+                    s.autosave_failures,
+                ] {
+                    w.put_u64(v);
+                }
+            }
+            Reply::Metrics { text } => {
+                w.put_u8(0x8A);
+                w.put_len(text.len());
+                w.put_bytes(text.as_bytes());
             }
             Reply::Error { message } => {
                 w.put_u8(0xFF);
@@ -480,7 +547,32 @@ impl Reply {
             0x86 => Reply::Snapshot { blob: r.take(r.remaining())?.to_vec() },
             0x87 => Reply::Flushed { events: r.get_u64()? },
             0x88 => Reply::Closed { events: r.get_u64()? },
-            0x89 => Reply::Stats { sessions: r.get_u64()?, events: r.get_u64()? },
+            0x89 => {
+                if r.get_u32()? != STATS_VERSION {
+                    return Err(SnapshotError::BadTag("stats version"));
+                }
+                Reply::Stats(StatsReport {
+                    sessions: r.get_u64()?,
+                    events: r.get_u64()?,
+                    batches: r.get_u64()?,
+                    commands: r.get_u64()?,
+                    checkpoints_sent: r.get_u64()?,
+                    checkpoints_dropped: r.get_u64()?,
+                    sessions_opened: r.get_u64()?,
+                    sessions_closed: r.get_u64()?,
+                    sessions_poisoned: r.get_u64()?,
+                    sessions_restored: r.get_u64()?,
+                    ring_stalls: r.get_u64()?,
+                    autosave_writes: r.get_u64()?,
+                    autosave_failures: r.get_u64()?,
+                })
+            }
+            0x8A => {
+                let n = r.get_len()?;
+                let text = String::from_utf8(r.take(n)?.to_vec())
+                    .map_err(|_| SnapshotError::Invalid("metrics text utf-8"))?;
+                Reply::Metrics { text }
+            }
             0xFF => {
                 let n = r.get_len()?;
                 let message = String::from_utf8(r.take(n)?.to_vec())
@@ -553,6 +645,7 @@ mod tests {
             Request::Close { session: 4 },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
         ];
         for req in requests {
             let payload = req.encode();
@@ -579,7 +672,22 @@ mod tests {
             Reply::Snapshot { blob: b"WSDS....".to_vec() },
             Reply::Flushed { events: 88 },
             Reply::Closed { events: 99 },
-            Reply::Stats { sessions: 1024, events: u64::MAX },
+            Reply::Stats(StatsReport {
+                sessions: 1024,
+                events: u64::MAX,
+                batches: 77,
+                commands: 99,
+                checkpoints_sent: 5,
+                checkpoints_dropped: 1,
+                sessions_opened: 1030,
+                sessions_closed: 6,
+                sessions_poisoned: 2,
+                sessions_restored: 3,
+                ring_stalls: 42,
+                autosave_writes: 12,
+                autosave_failures: 1,
+            }),
+            Reply::Metrics { text: "sessions_live 3\nevents_ingested_total 77\n".into() },
             Reply::Error { message: "no such session".into() },
         ];
         for reply in replies {
@@ -607,6 +715,14 @@ mod tests {
         assert!(Request::decode(&[0x7E]).is_err());
         assert!(Reply::decode(&[0x00]).is_err());
         assert!(Checkpoint::decode(&[0x81]).is_err());
+        // A stats frame with an unknown version tag must be rejected,
+        // never misparsed as shifted fields.
+        let mut stale = ByteWriter::new();
+        stale.put_u8(0x89);
+        stale.put_u32(1);
+        stale.put_u64(3);
+        stale.put_u64(4);
+        assert!(Reply::decode(&stale.into_bytes()).is_err());
         let mut trailing = Request::Stats.encode();
         trailing.push(0);
         assert!(Request::decode(&trailing).is_err());

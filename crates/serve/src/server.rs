@@ -1,5 +1,5 @@
-//! The TCP front end: listener, per-connection reader threads, and
-//! session-id minting.
+//! The TCP front end: listener, per-connection reader threads,
+//! session-id minting, and boot-time recovery from the durable store.
 //!
 //! Threading model: one listener thread accepts connections; each
 //! connection gets a reader thread that decodes frames and routes
@@ -12,21 +12,33 @@
 //! server's base seed via the engine's `replica_seed` bijection, so a
 //! server boot is one deterministic scheduling plan: session `n` gets
 //! the same RNG stream no matter which connection opened it.
+//!
+//! With a [`ServerConfig::data_dir`], boot first replays the store:
+//! every persisted session is revived **under its original id** (and
+//! therefore on the shard that id maps to), the id counter resumes past
+//! both the revived ids and the manifest watermark, and files that fail
+//! validation — bad checksum, undecodable blob, inadmissible capacity,
+//! a blob whose restore panics — are quarantined aside so a corrupt or
+//! forged data-dir degrades into fewer revived sessions, never an
+//! aborted boot.
 
 use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use wsd_core::engine::replica_seed;
-use wsd_core::SessionSnapshot;
+use wsd_core::{SessionSnapshot, StreamSession};
 
+use crate::metrics::{self, ShardMetrics};
 use crate::protocol::{read_frame, Reply, Request};
 use crate::ring::{self, Producer, PushError};
-use crate::shard::{run_shard, ConnWriter, ServerStats, ShardCmd, ShardHandle, Waker};
+use crate::shard::{run_shard, ConnWriter, ShardCmd, ShardCtx, ShardHandle, Waker};
+use crate::store::SessionStore;
 
 /// Tuning knobs for [`serve`].
 #[derive(Clone, Debug)]
@@ -39,18 +51,70 @@ pub struct ServerConfig {
     /// Capacity of each connection→shard command ring.
     pub ring_capacity: usize,
     /// Largest reservoir capacity a tenant may request, whether via
-    /// `Open` or inside a `Restore` blob. Reservoirs eagerly allocate
+    /// `Open`, inside a `Restore` blob, or inside a persisted snapshot
+    /// found in the data-dir at boot. Reservoirs eagerly allocate
     /// their capacity and an allocation failure aborts the process
     /// (`handle_alloc_error` does not unwind), so without this ceiling
     /// one hostile request could kill every tenant. Oversized requests
-    /// get a `Reply::Error` instead.
+    /// get a `Reply::Error`; oversized persisted blobs are quarantined.
     pub max_capacity: u64,
+    /// Directory for durable session snapshots; `None` = in-memory
+    /// only (PR 8 behaviour).
+    pub data_dir: Option<PathBuf>,
+    /// Autosave cadence: persist a session every this many ingested
+    /// events (0 = only on clean shutdown). Only meaningful with a
+    /// `data_dir`.
+    pub autosave_every: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         let shards = thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 8));
-        ServerConfig { shards, base_seed: 0x5EED, ring_capacity: 256, max_capacity: 1 << 24 }
+        ServerConfig {
+            shards,
+            base_seed: 0x5EED,
+            ring_capacity: 256,
+            max_capacity: 1 << 24,
+            data_dir: None,
+            autosave_every: 4096,
+        }
+    }
+}
+
+/// Live connection sockets, so shutdown can unblock their reader
+/// threads: a reader parked in `read_frame` on an idle socket holds the
+/// connection (and its writer thread) alive indefinitely otherwise.
+struct ConnRegistry {
+    next: AtomicU64,
+    streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
+}
+
+impl ConnRegistry {
+    fn new() -> Self {
+        ConnRegistry { next: AtomicU64::new(1), streams: Mutex::new(Default::default()) }
+    }
+
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.streams.lock().expect("conn registry lock").insert(id, clone);
+        }
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams.lock().expect("conn registry lock").remove(&id);
+    }
+
+    /// Severs every registered connection in both directions; blocked
+    /// reads observe EOF, blocked writes error, and the detached
+    /// reader/writer threads unwind instead of leaking.
+    fn shutdown_all(&self) {
+        let streams: Vec<TcpStream> =
+            self.streams.lock().expect("conn registry lock").drain().map(|(_, s)| s).collect();
+        for stream in streams {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
     }
 }
 
@@ -58,7 +122,9 @@ struct ServerShared {
     config: ServerConfig,
     next_session: AtomicU64,
     shutdown: Arc<AtomicBool>,
-    stats: Arc<ServerStats>,
+    metrics: Vec<Arc<ShardMetrics>>,
+    store: Option<Arc<SessionStore>>,
+    connections: ConnRegistry,
     shards: Vec<ShardHandle>,
 }
 
@@ -70,46 +136,122 @@ pub struct RunningServer {
     shared: Arc<ServerShared>,
     listener: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    restored_sessions: u64,
+    quarantined_files: u64,
 }
 
-/// Binds `addr` (use port 0 for an ephemeral port) and starts the
-/// listener and shard workers.
+/// Binds `addr` (use port 0 for an ephemeral port), replays the durable
+/// store when one is configured, and starts the listener and shard
+/// workers.
 pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<RunningServer> {
     assert!(config.shards > 0, "need at least one shard");
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    let store = match &config.data_dir {
+        Some(dir) => Some(Arc::new(SessionStore::open(dir.clone())?)),
+        None => None,
+    };
+    let metrics: Vec<Arc<ShardMetrics>> =
+        (0..config.shards).map(|_| Arc::new(ShardMetrics::default())).collect();
+
+    // Boot-time recovery: revive persisted sessions under their
+    // original ids, before the shard workers exist, so the workers
+    // start with their session maps pre-filled.
+    let mut initial: Vec<Vec<(u64, StreamSession)>> =
+        (0..config.shards).map(|_| Vec::new()).collect();
+    let mut next_session = 1u64;
+    let mut restored_sessions = 0u64;
+    let mut quarantined_files = 0u64;
+    if let Some(store) = &store {
+        let scan = store.scan()?;
+        quarantined_files = scan.quarantined;
+        for persisted in scan.sessions {
+            // Even a quarantined id must never be re-minted.
+            next_session = next_session.max(persisted.session.saturating_add(1));
+            match revive(&persisted.blob, persisted.events, config.max_capacity) {
+                Ok(session) => {
+                    let shard = (persisted.session % config.shards as u64) as usize;
+                    metrics[shard].add(|m| &m.sessions_restored, 1);
+                    initial[shard].push((persisted.session, session));
+                    restored_sessions += 1;
+                }
+                Err(()) => {
+                    store.quarantine(persisted.session);
+                    quarantined_files += 1;
+                }
+            }
+        }
+        next_session = next_session.max(store.watermark());
+    }
+
     let shutdown = Arc::new(AtomicBool::new(false));
-    let stats = Arc::new(ServerStats::default());
     let mut shards = Vec::with_capacity(config.shards);
     let mut workers = Vec::with_capacity(config.shards);
-    for _ in 0..config.shards {
+    for shard in 0..config.shards {
         let (reg_tx, reg_rx) = mpsc::channel();
         let waker = Arc::new(Waker::new());
         shards.push(ShardHandle { registrations: reg_tx, waker: Arc::clone(&waker) });
-        let shutdown = Arc::clone(&shutdown);
-        let stats = Arc::clone(&stats);
-        workers.push(thread::spawn(move || run_shard(reg_rx, waker, shutdown, stats)));
+        let ctx = ShardCtx {
+            registrations: reg_rx,
+            waker,
+            shutdown: Arc::clone(&shutdown),
+            metrics: Arc::clone(&metrics[shard]),
+            store: store.clone(),
+            autosave_every: config.autosave_every,
+            initial_sessions: std::mem::take(&mut initial[shard]),
+        };
+        workers.push(thread::spawn(move || run_shard(ctx)));
     }
 
     let shared = Arc::new(ServerShared {
         config,
-        next_session: AtomicU64::new(1),
+        next_session: AtomicU64::new(next_session),
         shutdown: Arc::clone(&shutdown),
-        stats,
+        metrics,
+        store,
+        connections: ConnRegistry::new(),
         shards,
     });
 
     let listener_shared = Arc::clone(&shared);
     let listener = thread::spawn(move || accept_loop(listener, listener_shared));
-    Ok(RunningServer { addr, shared, listener, workers })
+    Ok(RunningServer { addr, shared, listener, workers, restored_sessions, quarantined_files })
+}
+
+/// Decodes, gates, and restores one persisted blob. Every failure mode
+/// — undecodable bytes, a capacity the admission gate rejects, an event
+/// count that contradicts the blob, a restore that panics on forged
+/// state — maps to `Err(())`, which the caller turns into a quarantine.
+fn revive(blob: &[u8], expected_events: u64, max_capacity: u64) -> Result<StreamSession, ()> {
+    let snapshot = SessionSnapshot::decode(blob).map_err(|_| ())?;
+    admissible_capacity(snapshot.config.capacity, max_capacity).map_err(|_| ())?;
+    let session = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        StreamSession::restore(&snapshot)
+    }))
+    .map_err(|_| ())?;
+    if session.events() != expected_events {
+        return Err(());
+    }
+    Ok(session)
 }
 
 impl RunningServer {
     /// The bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Sessions revived from the data-dir at boot.
+    pub fn restored_sessions(&self) -> u64 {
+        self.restored_sessions
+    }
+
+    /// Data-dir files quarantined at boot (corrupt, forged, or
+    /// inadmissible).
+    pub fn quarantined_files(&self) -> u64 {
+        self.quarantined_files
     }
 
     /// Blocks until the server stops (a client sent `Shutdown`).
@@ -121,6 +263,8 @@ impl RunningServer {
     }
 
     /// Stops the server from the owning thread and joins its workers.
+    /// Live connections are severed so their detached reader and writer
+    /// threads exit instead of idling on open sockets.
     pub fn shutdown(self) {
         request_shutdown(&self.shared);
         self.wait();
@@ -132,6 +276,7 @@ fn request_shutdown(shared: &ServerShared) {
     for shard in &shared.shards {
         shard.waker.wake();
     }
+    shared.connections.shutdown_all();
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
@@ -139,8 +284,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let shared = Arc::clone(&shared);
-                // Reader threads are detached: they exit on EOF or when
-                // their shard rings close after shutdown.
+                // Reader threads are detached; they exit on EOF, on
+                // frame errors, or when shutdown severs their socket.
                 thread::spawn(move || {
                     let _ = serve_connection(stream, shared);
                 });
@@ -178,6 +323,7 @@ impl ShardPipes {
         }
         let producer = self.producers[shard].as_mut().expect("just ensured");
         let mut pending = cmd;
+        let mut stalled = false;
         loop {
             match producer.push(pending) {
                 Ok(()) => {
@@ -185,6 +331,11 @@ impl ShardPipes {
                     return Ok(());
                 }
                 Err(PushError::Full(back)) => {
+                    if !stalled {
+                        // Once per stalled command, not per spin.
+                        shared.metrics[shard].add(|m| &m.ring_stalls, 1);
+                        stalled = true;
+                    }
                     pending = back;
                     handle.waker.wake();
                     thread::yield_now();
@@ -199,6 +350,13 @@ impl ShardPipes {
 
 fn serve_connection(stream: TcpStream, shared: Arc<ServerShared>) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    let conn_id = shared.connections.register(&stream);
+    let result = drive_connection(stream, &shared, conn_id);
+    shared.connections.deregister(conn_id);
+    result
+}
+
+fn drive_connection(stream: TcpStream, shared: &Arc<ServerShared>, conn_id: u64) -> io::Result<()> {
     let writer = ConnWriter::spawn(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let mut pipes = ShardPipes::new(shared.config.shards);
@@ -212,7 +370,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<ServerShared>) -> io::Result<
             }
         };
         let is_shutdown = matches!(request, Request::Shutdown);
-        handle_request(request, &shared, &writer, &mut pipes)?;
+        handle_request(request, shared, &writer, &mut pipes, conn_id)?;
         if is_shutdown {
             break;
         }
@@ -235,6 +393,9 @@ fn round_trip(
 ) -> io::Result<()> {
     let (tx, rx) = mpsc::channel();
     pipes.send(shard, shared, build(tx))?;
+    // A dropped sender without a reply means the whole shard stopped:
+    // per-session failures (including panics) now answer explicitly
+    // from the shard's catch-unwind path.
     let reply = rx.recv().unwrap_or_else(|_| Reply::Error { message: "shard stopped".into() });
     send_reply(writer, &reply)
 }
@@ -263,8 +424,20 @@ fn handle_request(
     shared: &ServerShared,
     writer: &ConnWriter,
     pipes: &mut ShardPipes,
+    conn_id: u64,
 ) -> io::Result<()> {
     let shard_of = |session: u64| (session % shared.config.shards as u64) as usize;
+    let mint_session = || {
+        let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &shared.store {
+            // Advance the durable watermark so this id is never
+            // re-minted after a crash, even if the session is never
+            // autosaved. Best-effort: a failed reservation costs id
+            // uniqueness across a crash, not service.
+            let _ = store.reserve_id(session);
+        }
+        session
+    };
 
     match request {
         Request::Open { algorithm, capacity, seed, patterns } => {
@@ -272,7 +445,7 @@ fn handle_request(
                 Ok(capacity) => capacity,
                 Err(reply) => return send_reply(writer, &reply),
             };
-            let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            let session = mint_session();
             let seed = seed.unwrap_or_else(|| replica_seed(shared.config.base_seed, session));
             round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Open {
                 session,
@@ -293,7 +466,7 @@ fn handle_request(
                 {
                     return send_reply(writer, &reply);
                 }
-                let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                let session = mint_session();
                 round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Restore {
                     session,
                     snapshot: Box::new(snapshot),
@@ -333,6 +506,20 @@ fn handle_request(
             })
         }
         Request::Subscribe { session, every } => {
+            // Gate the cadence here, where we can still answer with an
+            // error reply: on 32-bit targets a cadence above usize::MAX
+            // used to truncate into a zero-size batch driver whose
+            // assert panicked and silently poisoned the session.
+            if usize::try_from(every).is_err() {
+                return send_reply(
+                    writer,
+                    &Reply::Error {
+                        message: format!(
+                            "subscribe cadence {every} is not representable on this server"
+                        ),
+                    },
+                );
+            }
             let conn = writer.clone();
             round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::Subscribe {
                 session,
@@ -353,15 +540,16 @@ fn handle_request(
                 reply,
             })
         }
-        Request::Stats => send_reply(
-            writer,
-            &Reply::Stats {
-                sessions: shared.stats.sessions.load(Ordering::Relaxed),
-                events: shared.stats.events.load(Ordering::Relaxed),
-            },
-        ),
+        Request::Stats => send_reply(writer, &Reply::Stats(metrics::aggregate(&shared.metrics))),
+        Request::Metrics => {
+            send_reply(writer, &Reply::Metrics { text: metrics::render_text(&shared.metrics) })
+        }
         Request::Shutdown => {
             send_reply(writer, &Reply::Ok)?;
+            // Deregister first: the queued Ok must drain through this
+            // connection's writer before the socket closes, while every
+            // *other* connection is severed immediately.
+            shared.connections.deregister(conn_id);
             request_shutdown(shared);
             Ok(())
         }

@@ -6,7 +6,9 @@
 //! `StreamSession` is `Send` but not `Sync` (its sampled adjacency
 //! keeps interior caches), so sessions never migrate between live
 //! threads — migration happens by value, through snapshot bytes, as a
-//! `Restore` that mints a new id on a possibly different shard.
+//! `Restore` that mints a new id on a possibly different shard, or
+//! through the durable store across a process restart (revived under
+//! the *original* id at boot).
 //!
 //! Per-session command order is preserved because one connection sends
 //! all commands for a shard through one FIFO ring, and the worker
@@ -17,17 +19,19 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use wsd_core::{Algorithm, BatchDriver, SessionBuilder, SessionSnapshot, StreamSession};
+use wsd_core::{Algorithm, SessionBuilder, SessionSnapshot, StreamSession};
 use wsd_graph::{EdgeEvent, Pattern};
 
+use crate::metrics::{CmdKind, ShardMetrics};
 use crate::protocol::{self, Checkpoint, QueryEstimate, Reply, SessionEstimates};
 use crate::ring::Consumer;
+use crate::store::SessionStore;
 
 /// Outbound frames buffered per connection. Replies block the sending
 /// reader thread when the queue is full (slowing only that client);
@@ -113,15 +117,6 @@ pub(crate) enum ShardCmd {
     Close { session: u64, reply: Sender<Reply> },
 }
 
-/// Server-wide counters, updated by shard workers.
-#[derive(Default)]
-pub(crate) struct ServerStats {
-    /// Sessions currently open.
-    pub sessions: AtomicU64,
-    /// Events applied since boot.
-    pub events: AtomicU64,
-}
-
 /// Parks a shard worker when every ring is empty; producers wake it.
 pub(crate) struct Waker {
     signalled: Mutex<bool>,
@@ -158,11 +153,55 @@ pub(crate) struct ShardHandle {
 
 struct SessionEntry {
     session: StreamSession,
-    /// Checkpoint cadence in events; 0 = no subscription.
+    /// Checkpoint cadence in *lifetime session events*; 0 = off. A push
+    /// fires exactly when `session.events()` crosses a multiple of this,
+    /// no matter how the stream was split into `Events` frames — the
+    /// within-cadence remainder therefore lives in the session's own
+    /// event counter, not in any per-frame state.
     subscribe_every: u64,
     /// Where checkpoint pushes go (the subscribing connection).
     push_to: Option<ConnWriter>,
+    /// Events applied since the last durable autosave.
+    events_since_save: u64,
 }
+
+impl SessionEntry {
+    fn new(session: StreamSession) -> Self {
+        SessionEntry { session, subscribe_every: 0, push_to: None, events_since_save: 0 }
+    }
+}
+
+/// Everything a shard worker owns for its lifetime.
+pub(crate) struct ShardCtx {
+    /// New command rings from connections.
+    pub(crate) registrations: Receiver<Consumer<ShardCmd>>,
+    /// Parked-worker wakeups.
+    pub(crate) waker: Arc<Waker>,
+    /// Server-wide stop flag.
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// This shard's counter block.
+    pub(crate) metrics: Arc<ShardMetrics>,
+    /// The durable store, when the server runs with a data-dir.
+    pub(crate) store: Option<Arc<SessionStore>>,
+    /// Autosave cadence in events per session; 0 = only on shutdown.
+    pub(crate) autosave_every: u64,
+    /// Sessions revived from the store at boot, under their original
+    /// ids (all of which map to this shard).
+    pub(crate) initial_sessions: Vec<(u64, StreamSession)>,
+}
+
+struct ShardState {
+    sessions: HashMap<u64, SessionEntry>,
+    /// Sessions dropped by a panicking command, so later commands on
+    /// them get an explicit "poisoned" error instead of the ambiguous
+    /// "no such session". Bounded so a hostile tenant can't grow it
+    /// without limit; once full, older poisonings degrade to the
+    /// generic error.
+    poisoned: HashMap<u64, ()>,
+}
+
+/// Upper bound on remembered poisoned-session ids per shard.
+const POISONED_CAP: usize = 1024;
 
 /// How many commands one ring may run before the worker moves on — the
 /// fairness quantum across a shard's connections.
@@ -172,18 +211,34 @@ const RING_QUANTUM: usize = 64;
 /// to a race.
 const IDLE_PARK: Duration = Duration::from_millis(2);
 
-/// The shard worker loop. Returns when `shutdown` is set.
-pub(crate) fn run_shard(
-    registrations: Receiver<Consumer<ShardCmd>>,
-    waker: Arc<Waker>,
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<ServerStats>,
-) {
+/// The shard worker loop. Returns when `shutdown` is set, after a final
+/// durable save of every live session (so a *clean* shutdown persists
+/// exactly the applied state; a SIGKILL falls back to the last
+/// autosave).
+pub(crate) fn run_shard(ctx: ShardCtx) {
     let mut rings: Vec<Consumer<ShardCmd>> = Vec::new();
-    let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
+    let mut state = ShardState { sessions: HashMap::new(), poisoned: HashMap::new() };
+    let ShardCtx {
+        registrations,
+        waker,
+        shutdown,
+        metrics,
+        store,
+        autosave_every,
+        initial_sessions,
+    } = ctx;
+    for (id, session) in initial_sessions {
+        state.sessions.insert(id, SessionEntry::new(session));
+        metrics.add(|m| &m.sessions_live, 1);
+    }
     loop {
         if shutdown.load(Ordering::Acquire) {
-            stats.sessions.fetch_sub(sessions.len() as u64, Ordering::Relaxed);
+            if let Some(store) = &store {
+                for (&id, entry) in &state.sessions {
+                    save_session(store, id, entry, &metrics);
+                }
+            }
+            metrics.sessions_live.fetch_sub(state.sessions.len() as u64, Ordering::Relaxed);
             return;
         }
         while let Ok(ring) = registrations.try_recv() {
@@ -195,7 +250,11 @@ pub(crate) fn run_shard(
                 match ring.pop() {
                     Some(cmd) => {
                         worked = true;
-                        apply_guarded(&mut sessions, cmd, &stats);
+                        let kind = cmd.kind();
+                        let start = Instant::now();
+                        apply_guarded(&mut state, cmd, &metrics, store.as_ref(), autosave_every);
+                        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        metrics.count_cmd(kind, nanos);
                     }
                     None => break,
                 }
@@ -208,21 +267,67 @@ pub(crate) fn run_shard(
     }
 }
 
+fn poisoned_reply(id: u64) -> Reply {
+    Reply::Error {
+        message: format!(
+            "session {id} is poisoned: a command on it panicked (stream contract violation?) \
+             and the session was dropped"
+        ),
+    }
+}
+
 /// Applies one command, containing panics to the offending session: a
 /// tenant feeding a contract-violating stream (say, re-inserting a live
 /// edge) must not take down the shard's other sessions. The panicking
-/// session is dropped — its state can no longer be trusted — and the
-/// unwound reply sender surfaces as a "shard stopped" error client-side.
-fn apply_guarded(sessions: &mut HashMap<u64, SessionEntry>, cmd: ShardCmd, stats: &ServerStats) {
+/// session is dropped — its state can no longer be trusted, in memory
+/// *and* on disk — and the client gets an explicit poisoned-session
+/// error: from the catch-unwind path when the command carried a reply
+/// channel, and on every later command targeting the dropped id.
+fn apply_guarded(
+    state: &mut ShardState,
+    cmd: ShardCmd,
+    metrics: &ShardMetrics,
+    store: Option<&Arc<SessionStore>>,
+    autosave_every: u64,
+) {
     let culprit = cmd.session_id();
+    if let Some(id) = culprit {
+        if state.poisoned.contains_key(&id) {
+            // `Close` is the tenant acknowledging the loss; forget the
+            // id so the bounded set drains.
+            if matches!(cmd, ShardCmd::Close { .. }) {
+                state.poisoned.remove(&id);
+            }
+            if let Some(reply) = cmd.reply_sender() {
+                let _ = reply.send(poisoned_reply(id));
+            }
+            return;
+        }
+    }
+    let reply_on_panic = cmd.reply_sender();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        apply(sessions, cmd, stats);
+        apply(state, cmd, metrics, store, autosave_every);
     }));
     if outcome.is_err() {
         if let Some(id) = culprit {
-            if sessions.remove(&id).is_some() {
-                stats.sessions.fetch_sub(1, Ordering::Relaxed);
+            if state.sessions.remove(&id).is_some() {
+                metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
             }
+            metrics.add(|m| &m.sessions_poisoned, 1);
+            if state.poisoned.len() < POISONED_CAP {
+                state.poisoned.insert(id, ());
+            }
+            if let Some(store) = store {
+                // The last autosave predates the violation; a reboot
+                // must not resurrect a session the client saw die.
+                let _ = store.remove(id);
+            }
+            if let Some(reply) = reply_on_panic {
+                let _ = reply.send(poisoned_reply(id));
+            }
+        } else if let Some(reply) = reply_on_panic {
+            let _ = reply
+                .send(Reply::Error { message: "command panicked before a session existed".into() });
         }
     }
 }
@@ -243,34 +348,81 @@ impl ShardCmd {
             | ShardCmd::Close { session, .. } => Some(*session),
         }
     }
+
+    /// A clone of the command's reply channel, for error paths that
+    /// outlive the command value itself (the catch-unwind path).
+    fn reply_sender(&self) -> Option<Sender<Reply>> {
+        match self {
+            ShardCmd::Events { .. } => None,
+            ShardCmd::Open { reply, .. }
+            | ShardCmd::Restore { reply, .. }
+            | ShardCmd::Estimates { reply, .. }
+            | ShardCmd::Attach { reply, .. }
+            | ShardCmd::Detach { reply, .. }
+            | ShardCmd::Snapshot { reply, .. }
+            | ShardCmd::Subscribe { reply, .. }
+            | ShardCmd::Flush { reply, .. }
+            | ShardCmd::Close { reply, .. } => Some(reply.clone()),
+        }
+    }
+
+    /// The metrics slot this command counts against.
+    pub(crate) fn kind(&self) -> CmdKind {
+        match self {
+            ShardCmd::Open { .. } => CmdKind::Open,
+            ShardCmd::Restore { .. } => CmdKind::Restore,
+            ShardCmd::Events { .. } => CmdKind::Events,
+            ShardCmd::Estimates { .. } => CmdKind::Estimates,
+            ShardCmd::Attach { .. } => CmdKind::Attach,
+            ShardCmd::Detach { .. } => CmdKind::Detach,
+            ShardCmd::Snapshot { .. } => CmdKind::Snapshot,
+            ShardCmd::Subscribe { .. } => CmdKind::Subscribe,
+            ShardCmd::Flush { .. } => CmdKind::Flush,
+            ShardCmd::Close { .. } => CmdKind::Close,
+        }
+    }
 }
 
-fn apply(sessions: &mut HashMap<u64, SessionEntry>, cmd: ShardCmd, stats: &ServerStats) {
+fn apply(
+    state: &mut ShardState,
+    cmd: ShardCmd,
+    metrics: &ShardMetrics,
+    store: Option<&Arc<SessionStore>>,
+    autosave_every: u64,
+) {
+    let sessions = &mut state.sessions;
     match cmd {
         ShardCmd::Open { session, algorithm, capacity, seed, patterns, reply } => {
             let mut builder = SessionBuilder::new(algorithm, capacity, seed);
             for p in patterns {
                 builder = builder.query(p);
             }
-            let entry =
-                SessionEntry { session: builder.build(), subscribe_every: 0, push_to: None };
-            sessions.insert(session, entry);
-            stats.sessions.fetch_add(1, Ordering::Relaxed);
+            sessions.insert(session, SessionEntry::new(builder.build()));
+            metrics.add(|m| &m.sessions_live, 1);
+            metrics.add(|m| &m.sessions_opened, 1);
             let _ = reply.send(Reply::Opened { session });
         }
         ShardCmd::Restore { session, snapshot, reply } => {
             let restored = StreamSession::restore(&snapshot);
-            let entry = SessionEntry { session: restored, subscribe_every: 0, push_to: None };
-            sessions.insert(session, entry);
-            stats.sessions.fetch_add(1, Ordering::Relaxed);
+            sessions.insert(session, SessionEntry::new(restored));
+            metrics.add(|m| &m.sessions_live, 1);
+            metrics.add(|m| &m.sessions_opened, 1);
             let _ = reply.send(Reply::Opened { session });
         }
         ShardCmd::Events { session, events } => {
             let Some(entry) = sessions.get_mut(&session) else {
                 return; // fire-and-forget: unknown session drops the batch
             };
-            ingest(session, entry, &events);
-            stats.events.fetch_add(events.len() as u64, Ordering::Relaxed);
+            ingest(session, entry, &events, metrics);
+            metrics.add(|m| &m.events, events.len() as u64);
+            metrics.add(|m| &m.batches, 1);
+            entry.events_since_save += events.len() as u64;
+            if let Some(store) = store {
+                if autosave_every > 0 && entry.events_since_save >= autosave_every {
+                    save_session(store, session, entry, metrics);
+                    entry.events_since_save = 0;
+                }
+            }
         }
         ShardCmd::Estimates { session, reply } => {
             let r = with_session(sessions, session, |entry| {
@@ -318,7 +470,13 @@ fn apply(sessions: &mut HashMap<u64, SessionEntry>, cmd: ShardCmd, stats: &Serve
         ShardCmd::Close { session, reply } => {
             let r = match sessions.remove(&session) {
                 Some(entry) => {
-                    stats.sessions.fetch_sub(1, Ordering::Relaxed);
+                    metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
+                    metrics.add(|m| &m.sessions_closed, 1);
+                    if let Some(store) = store {
+                        // Close frees the state durably too: a reboot
+                        // must not revive a session the tenant ended.
+                        let _ = store.remove(session);
+                    }
                     Reply::Closed { events: entry.session.events() }
                 }
                 None => no_such_session(session),
@@ -328,34 +486,59 @@ fn apply(sessions: &mut HashMap<u64, SessionEntry>, cmd: ShardCmd, stats: &Serve
     }
 }
 
-/// Applies one event batch; subscribed sessions go through the engine's
-/// checkpointed driver so every `subscribe_every` events a checkpoint
-/// frame is pushed to the subscribing connection.
-fn ingest(id: u64, entry: &mut SessionEntry, events: &[EdgeEvent]) {
+/// Serialises one session into the durable store, counting the outcome.
+/// A failed write leaves the in-memory session untouched — durability
+/// degrades, service does not.
+fn save_session(store: &SessionStore, id: u64, entry: &SessionEntry, metrics: &ShardMetrics) {
+    let blob = entry.session.snapshot().encode();
+    match store.save(id, entry.session.events(), &blob) {
+        Ok(()) => metrics.add(|m| &m.autosave_writes, 1),
+        Err(_) => metrics.add(|m| &m.autosave_failures, 1),
+    }
+}
+
+/// Applies one event batch. Subscribed sessions are fed in sub-chunks
+/// aligned to the **global** checkpoint cadence: a push fires exactly
+/// when the session's lifetime event count reaches a multiple of
+/// `subscribe_every`, independent of how the tenant framed the stream —
+/// `Subscribe(every=10)` over 7-event frames still pushes at 10, 20,
+/// 30, … and never at frame tails.
+fn ingest(id: u64, entry: &mut SessionEntry, events: &[EdgeEvent], metrics: &ShardMetrics) {
     let every = entry.subscribe_every;
     let Some(conn) = entry.push_to.clone().filter(|_| every > 0) else {
         entry.session.process_batch(events);
         return;
     };
-    let driver = BatchDriver::with_batch_size(every as usize);
+    let mut rest = events;
     let mut push_failed = false;
-    driver.run_session_with_checkpoints(&mut entry.session, events, &mut |_, session| {
-        if push_failed {
-            return;
+    while !rest.is_empty() {
+        // Distance to the next cadence boundary; in 1..=every.
+        let until_boundary = every - (entry.session.events() % every);
+        let take = usize::try_from(until_boundary).map_or(rest.len(), |u| rest.len().min(u));
+        let (chunk, tail) = rest.split_at(take);
+        entry.session.process_batch(chunk);
+        rest = tail;
+        if entry.session.events().is_multiple_of(every) {
+            let report = estimates_of(id, &entry.session);
+            let frame =
+                Checkpoint { session: id, events: report.events, queries: report.queries }.encode();
+            // Non-blocking on purpose: this runs on the shard worker,
+            // so a subscriber that stops draining its connection must
+            // lose its subscription, never stall the shard's other
+            // sessions.
+            if conn.try_send(frame).is_err() {
+                push_failed = true;
+                // No more pushes coming; apply the remainder in one go.
+                entry.session.process_batch(rest);
+                break;
+            }
+            metrics.add(|m| &m.checkpoints_sent, 1);
         }
-        let report = estimates_of(id, session);
-        let frame =
-            Checkpoint { session: id, events: report.events, queries: report.queries }.encode();
-        // Non-blocking on purpose: this runs on the shard worker, so a
-        // subscriber that stops draining its connection must lose its
-        // subscription, never stall the shard's other sessions.
-        if conn.try_send(frame).is_err() {
-            push_failed = true;
-        }
-    });
+    }
     if push_failed {
         // The subscriber hung up or fell too far behind; stop paying
         // for pushes.
+        metrics.add(|m| &m.checkpoints_dropped, 1);
         entry.subscribe_every = 0;
         entry.push_to = None;
     }
@@ -396,18 +579,17 @@ fn no_such_session(id: u64) -> Reply {
 
 impl std::fmt::Debug for ShardCmd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
-            ShardCmd::Open { .. } => "Open",
-            ShardCmd::Restore { .. } => "Restore",
-            ShardCmd::Events { .. } => "Events",
-            ShardCmd::Estimates { .. } => "Estimates",
-            ShardCmd::Attach { .. } => "Attach",
-            ShardCmd::Detach { .. } => "Detach",
-            ShardCmd::Snapshot { .. } => "Snapshot",
-            ShardCmd::Subscribe { .. } => "Subscribe",
-            ShardCmd::Flush { .. } => "Flush",
-            ShardCmd::Close { .. } => "Close",
-        };
-        f.write_str(name)
+        f.write_str(match self.kind() {
+            CmdKind::Open => "Open",
+            CmdKind::Restore => "Restore",
+            CmdKind::Events => "Events",
+            CmdKind::Estimates => "Estimates",
+            CmdKind::Attach => "Attach",
+            CmdKind::Detach => "Detach",
+            CmdKind::Snapshot => "Snapshot",
+            CmdKind::Subscribe => "Subscribe",
+            CmdKind::Flush => "Flush",
+            CmdKind::Close => "Close",
+        })
     }
 }

@@ -118,12 +118,12 @@ fn checkpoint_subscription_pushes_timelines() {
     client.flush(session).expect("flushes");
 
     let checkpoints = client.take_checkpoints();
-    // One push per full 10-event chunk plus the remainder.
-    let expected = stream.len().div_ceil(10);
+    // Pushes fire exactly when the session's lifetime event count
+    // crosses a multiple of the cadence — never for a partial tail.
+    let expected = stream.len() / 10;
     assert_eq!(checkpoints.len(), expected);
-    assert!(checkpoints.windows(2).all(|w| w[0].events < w[1].events));
-    assert_eq!(checkpoints.last().expect("non-empty").events, stream.len() as u64);
-    for cp in &checkpoints {
+    for (i, cp) in checkpoints.iter().enumerate() {
+        assert_eq!(cp.events, (i as u64 + 1) * 10, "checkpoint off-cadence");
         assert_eq!(cp.session, session);
         assert_eq!(cp.queries.len(), 1);
         assert_eq!(cp.queries[0].pattern, Pattern::Triangle);
@@ -137,6 +137,46 @@ fn checkpoint_subscription_pushes_timelines() {
     client.send_events(session, &deletions).expect("sends");
     client.flush(session).expect("flushes");
     assert!(client.take_checkpoints().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn checkpoint_cadence_is_global_across_unaligned_frames() {
+    // The cadence counts the session's lifetime events, not each
+    // `Events` frame from zero: every=10 over 7-event frames must push
+    // at exactly 10, 20, 30, … — the old per-frame driver drifted to
+    // 7-aligned boundaries and fired an extra push per frame tail.
+    let (server, mut client) = boot(2);
+    let stream = churn_stream(10);
+    assert_eq!(stream.len() % 7, 5, "stream must not align with the frames");
+
+    let session = client.open(Algorithm::Wrs, 48, Some(11), &[Pattern::Wedge]).expect("opens");
+    client.subscribe(session, 10).expect("subscribes");
+    for frame in stream.chunks(7) {
+        client.send_events(session, frame).expect("sends");
+    }
+    client.flush(session).expect("flushes");
+
+    let checkpoints = client.take_checkpoints();
+    let cadence: Vec<u64> = checkpoints.iter().map(|cp| cp.events).collect();
+    let want: Vec<u64> = (1..=stream.len() as u64 / 10).map(|i| i * 10).collect();
+    assert_eq!(cadence, want, "pushes must land on exact global multiples of 10");
+
+    // A checkpoint's payload is the estimate at that exact prefix: the
+    // push at N must match an in-process session fed the first N events.
+    let mut local = SessionBuilder::new(Algorithm::Wrs, 48, 11).query(Pattern::Wedge).build();
+    let mut fed = 0usize;
+    for cp in &checkpoints {
+        local.process_batch(&stream[fed..cp.events as usize]);
+        fed = cp.events as usize;
+        let local_bits = local.report().queries[0].estimate.to_bits();
+        assert_eq!(
+            cp.queries[0].estimate.to_bits(),
+            local_bits,
+            "checkpoint at {} is not the exact prefix estimate",
+            cp.events
+        );
+    }
     server.shutdown();
 }
 
@@ -192,8 +232,14 @@ fn poisoned_session_does_not_take_down_its_shard() {
 
     let dup = EdgeEvent::insert(Edge::new(1, 2));
     client.send_events(poisoned, &[dup, dup]).expect("sends");
-    // The panic unwinds the poisoned session; its next command errors.
-    assert!(client.flush(poisoned).is_err());
+    // The panic unwinds the poisoned session; its next command gets an
+    // explicit poisoned-session error, not a generic "shard stopped".
+    match client.flush(poisoned) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("poisoned"), "wanted a poisoned-session error, got: {msg}")
+        }
+        other => panic!("wanted a poisoned-session error, got {other:?}"),
+    }
 
     let stream = churn_stream(6);
     client.send_events(healthy, &stream).expect("sends");
@@ -246,7 +292,7 @@ fn thousand_concurrent_sessions_across_shards() {
         let algorithm = algorithms[i % algorithms.len()];
         ids.push(client.open(algorithm, 24, None, &[Pattern::Triangle]).expect("opens"));
     }
-    let (sessions, _) = client.stats().expect("stats");
+    let sessions = client.stats().expect("stats").sessions;
     assert!(sessions >= SESSIONS as u64, "only {sessions} sessions live");
 
     for &id in &ids {
@@ -255,7 +301,7 @@ fn thousand_concurrent_sessions_across_shards() {
     for &id in &ids {
         assert_eq!(client.flush(id).expect("flushes"), stream.len() as u64);
     }
-    let (_, total_events) = client.stats().expect("stats");
+    let total_events = client.stats().expect("stats").events;
     assert_eq!(total_events, (stream.len() * SESSIONS) as u64);
 
     // Identically-seeded sessions must agree bit-for-bit (deterministic
@@ -299,7 +345,84 @@ fn many_connections_share_one_server() {
     for h in handles {
         h.join().expect("worker");
     }
-    let (sessions, _) = admin.stats().expect("stats");
-    assert_eq!(sessions, 0, "every session was closed");
+    let report = admin.stats().expect("stats");
+    assert_eq!(report.sessions, 0, "every session was closed");
+    assert_eq!(report.sessions_opened, 8);
+    assert_eq!(report.sessions_closed, 8);
     server.shutdown();
+}
+
+#[test]
+fn stats_and_metrics_reconcile_with_client_accounting() {
+    // The counters are not decorative: after a known workload, the
+    // aggregated report must agree exactly with what the client did.
+    let (server, mut client) = boot(2);
+    let stream = churn_stream(10); // 75 events
+    let frames = stream.chunks(7).count() as u64;
+
+    let session = client.open(Algorithm::Triest, 64, Some(3), &[Pattern::Triangle]).expect("opens");
+    client.subscribe(session, 10).expect("subscribes");
+    for frame in stream.chunks(7) {
+        client.send_events(session, frame).expect("sends");
+    }
+    client.flush(session).expect("flushes");
+
+    let report = client.stats().expect("stats");
+    assert_eq!(report.sessions, 1);
+    assert_eq!(report.sessions_opened, 1);
+    assert_eq!(report.sessions_closed, 0);
+    assert_eq!(report.sessions_poisoned, 0);
+    assert_eq!(report.sessions_restored, 0);
+    assert_eq!(report.events, stream.len() as u64);
+    assert_eq!(report.batches, frames);
+    assert_eq!(report.checkpoints_sent, stream.len() as u64 / 10);
+    assert_eq!(report.checkpoints_dropped, 0);
+    assert_eq!(report.autosave_writes, 0, "no data-dir, no writes");
+    assert_eq!(report.autosave_failures, 0);
+    // Open + Subscribe + Events×frames + Flush all route through shards.
+    assert!(report.commands >= 3 + frames, "commands={}", report.commands);
+    // The client really received what the server says it pushed.
+    assert_eq!(client.take_checkpoints().len() as u64, report.checkpoints_sent);
+
+    // The text dump is the same counters, rendered one per line.
+    let text = client.metrics().expect("metrics");
+    let line = |name: &str, value: u64| format!("{name} {value}");
+    assert!(text.lines().any(|l| l == line("shards", 2)), "{text}");
+    assert!(text.lines().any(|l| l == line("sessions_live", 1)), "{text}");
+    assert!(
+        text.lines().any(|l| l == line("events_ingested_total", stream.len() as u64)),
+        "{text}"
+    );
+    assert!(text.lines().any(|l| l == line("event_batches_total", frames)), "{text}");
+    assert!(
+        text.lines().any(|l| l == line("checkpoints_sent_total", stream.len() as u64 / 10)),
+        "{text}"
+    );
+    assert!(text.lines().any(|l| l == line("cmd_open_total", 1)), "{text}");
+    assert!(text.lines().any(|l| l == line("cmd_flush_total", 1)), "{text}");
+
+    client.close(session).expect("closes");
+    let report = client.stats().expect("stats");
+    assert_eq!(report.sessions, 0);
+    assert_eq!(report.sessions_closed, 1);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_unblocks_idle_connections() {
+    // An idle connection's server-side reader sits in `read_frame`;
+    // shutdown must sever the socket so that thread exits rather than
+    // leaking, which the client observes as a prompt EOF.
+    let (server, mut active) = boot(2);
+    let mut idle = Client::connect(server.local_addr()).expect("connects");
+    let session = active.open(Algorithm::Triest, 16, Some(1), &[Pattern::Wedge]).expect("opens");
+    active.send_events(session, &churn_stream(6)).expect("sends");
+    active.flush(session).expect("flushes");
+
+    server.shutdown();
+
+    // The idle connection was cut by the server, not left dangling: a
+    // request on it now fails fast instead of hanging forever.
+    let err = idle.flush(session);
+    assert!(err.is_err(), "idle connection should observe the shutdown");
 }

@@ -1,22 +1,42 @@
-//! Minimal `wsd-serve` client round-trip: open a session, attach a
-//! query mid-stream, feed events, snapshot, restore, feed both twins
-//! the same tail, and verify the restored session answers with the
-//! exact same estimate bits.
+//! `wsd-serve` client driver: a snapshot/restore round-trip demo plus
+//! the durability drill the CI smoke test runs against a real server
+//! process.
 //!
 //! ```text
-//! cargo run --release --example serve_client              # in-process server
-//! cargo run --release --example serve_client -- ADDR      # external server
+//! cargo run --release --example serve_client                       # in-process demo
+//! cargo run --release --example serve_client -- ADDR               # demo vs external server
+//! cargo run --release --example serve_client -- --durability-ingest ADDR
+//! cargo run --release --example serve_client -- --durability-verify ADDR
+//! cargo run --release --example serve_client -- --stats ADDR
 //! ```
 //!
-//! Against an external server (the CI smoke test drives the `wsd-serve`
-//! binary this way) the example also sends `Shutdown` at the end so the
-//! server process exits cleanly. Exits non-zero on any mismatch.
+//! The durability pair is one drill split by a server kill:
+//! `--durability-ingest` opens eight mixed-algorithm sessions and feeds
+//! each a 13 000-event head in frames sized exactly to the server's
+//! `--autosave-every 500` (104 000 events total), flushes, and leaves
+//! the server running — ready to be `kill -9`ed. After a reboot from
+//! the same `--data-dir`, `--durability-verify` feeds each revived
+//! session the 700-event tail under its **original id**, checks every
+//! estimate bit-for-bit against an in-process twin that saw the whole
+//! stream uninterrupted, reconciles the server's counters, and shuts
+//! the server down. `--stats` just prints the metrics dump. All modes
+//! exit non-zero on any mismatch.
 
 use std::process::ExitCode;
 
-use wsd::core::Algorithm;
+use wsd::core::{Algorithm, SessionBuilder};
 use wsd::graph::{Edge, EdgeEvent, Pattern};
 use wsd::serve::{serve, Client, ServerConfig};
+
+/// Per-session head length; a multiple of the smoke test's
+/// `--autosave-every 500`, so the last completed autosave covers the
+/// whole head and a kill anywhere after the ingest flush is recoverable
+/// to exactly this point.
+const HEAD_EVENTS: usize = 13_000;
+/// Per-session tail fed after the reboot.
+const TAIL_EVENTS: usize = 700;
+/// Sessions in the drill; a fresh server mints ids 1..=SESSIONS.
+const SESSIONS: u64 = 8;
 
 fn churn(n: u64) -> Vec<EdgeEvent> {
     let mut out = Vec::new();
@@ -35,8 +55,141 @@ fn churn(n: u64) -> Vec<EdgeEvent> {
     out
 }
 
+/// The drill stream: all-insert chain, so every prefix is valid for
+/// every algorithm and both halves of the drill can regenerate it.
+fn drill_stream() -> Vec<EdgeEvent> {
+    (0..(HEAD_EVENTS + TAIL_EVENTS) as u64)
+        .map(|i| EdgeEvent::insert(Edge::new(i, i + 1)))
+        .collect()
+}
+
+fn drill_spec(i: u64) -> (Algorithm, u64, u64) {
+    let algorithms = [Algorithm::WsdH, Algorithm::Triest, Algorithm::ThinkD, Algorithm::Wrs];
+    (algorithms[(i % 4) as usize], 64, 1_000 + i)
+}
+
+fn durability_ingest(addr: &str) -> ExitCode {
+    let mut client = Client::connect(addr).expect("connect");
+    let stream = drill_stream();
+    let head = &stream[..HEAD_EVENTS];
+    for i in 0..SESSIONS {
+        let (algorithm, capacity, seed) = drill_spec(i);
+        let id = client
+            .open(algorithm, capacity, Some(seed), &[Pattern::Wedge, Pattern::Triangle])
+            .expect("open");
+        if id != i + 1 {
+            eprintln!("FAILED: expected session id {} from a fresh server, got {id}", i + 1);
+            return ExitCode::FAILURE;
+        }
+        // Frames of exactly the autosave cadence: each frame completes
+        // an autosave before the next is accepted.
+        for frame in head.chunks(500) {
+            client.send_events(id, frame).expect("send");
+        }
+        let applied = client.flush(id).expect("flush");
+        if applied != HEAD_EVENTS as u64 {
+            eprintln!("FAILED: session {id} applied {applied}, wanted {HEAD_EVENTS}");
+            return ExitCode::FAILURE;
+        }
+        println!("session {id}: {algorithm:?} ingested {applied} head events");
+    }
+    let report = client.stats().expect("stats");
+    println!(
+        "ingest done: {} sessions, {} events, {} autosave writes ({} failed)",
+        report.sessions, report.events, report.autosave_writes, report.autosave_failures
+    );
+    if report.events != (SESSIONS as usize * HEAD_EVENTS) as u64 || report.autosave_failures != 0 {
+        eprintln!("FAILED: ingest counters off");
+        return ExitCode::FAILURE;
+    }
+    // Leave the server running: the smoke test kills it with SIGKILL.
+    println!("OK: server is now carrying {} durable sessions", report.sessions);
+    ExitCode::SUCCESS
+}
+
+fn durability_verify(addr: &str) -> ExitCode {
+    let mut client = Client::connect(addr).expect("connect");
+    let stream = drill_stream();
+    let tail = &stream[HEAD_EVENTS..];
+    let mut ok = true;
+    for i in 0..SESSIONS {
+        let (algorithm, capacity, seed) = drill_spec(i);
+        let id = i + 1;
+        client.send_events(id, tail).expect("send tail");
+        let applied = client.flush(id).expect("revived session accepts events");
+        if applied != (HEAD_EVENTS + TAIL_EVENTS) as u64 {
+            eprintln!("FAILED: session {id} at {applied} events after the tail");
+            ok = false;
+            continue;
+        }
+        // The reference twin never went down: head + tail, one process.
+        let mut twin = SessionBuilder::new(algorithm, capacity as usize, seed)
+            .query(Pattern::Wedge)
+            .query(Pattern::Triangle)
+            .build();
+        twin.process_batch(&stream);
+        let twin_report = twin.report();
+        let served = client.estimates(id).expect("estimates");
+        for (q, t) in served.queries.iter().zip(&twin_report.queries) {
+            let same = q.estimate.to_bits() == t.estimate.to_bits();
+            println!(
+                "session {id} {:?}: revived {} vs twin {} — {}",
+                q.pattern,
+                q.estimate,
+                t.estimate,
+                if same { "bit-identical" } else { "MISMATCH" }
+            );
+            ok &= same;
+        }
+    }
+    // Counter reconciliation: this server only ever saw the tails, and
+    // every session must have been revived from disk, not re-opened.
+    let report = client.stats().expect("stats");
+    if report.sessions_restored != SESSIONS {
+        eprintln!("FAILED: {} sessions restored, wanted {SESSIONS}", report.sessions_restored);
+        ok = false;
+    }
+    if report.events != SESSIONS * TAIL_EVENTS as u64 {
+        eprintln!(
+            "FAILED: rebooted server ingested {} events, wanted {}",
+            report.events,
+            SESSIONS * TAIL_EVENTS as u64
+        );
+        ok = false;
+    }
+    client.shutdown_server().expect("shutdown");
+    if ok {
+        println!("OK: rebooted server tracked the never-killed twin bit-for-bit");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAILED: durability drill found divergence");
+        ExitCode::FAILURE
+    }
+}
+
+fn dump_stats(addr: &str) -> ExitCode {
+    let mut client = Client::connect(addr).expect("connect");
+    print!("{}", client.metrics().expect("metrics"));
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let external = std::env::args().nth(1);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, addr] if flag == "--durability-ingest" => return durability_ingest(addr),
+        [flag, addr] if flag == "--durability-verify" => return durability_verify(addr),
+        [flag, addr] if flag == "--stats" => return dump_stats(addr),
+        [] | [_] => {}
+        _ => {
+            eprintln!(
+                "usage: serve_client [ADDR | --durability-ingest ADDR | \
+                 --durability-verify ADDR | --stats ADDR]"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let external = args.first().cloned();
     // Without an address, boot a server inside this process.
     let (local_server, addr) = match &external {
         Some(addr) => (None, addr.clone()),
