@@ -28,8 +28,9 @@
 //! were regenerated once in PR 5 when ensemble replica seeds moved from
 //! additive to splitmix derivation.
 
+use wsd_bench::policies::policy_cache_dir;
 use wsd_core::engine::Ensemble;
-use wsd_core::{Algorithm, SessionBuilder};
+use wsd_core::{Algorithm, PolicyRegistry, SessionBuilder};
 use wsd_graph::{ExactCounter, Pattern};
 use wsd_stream::gen::GeneratorConfig;
 use wsd_stream::{EventStream, Scenario};
@@ -98,6 +99,22 @@ const SESSION_GATES: &[Gate] = &[
 ];
 
 const SESSION_PATTERNS: [Pattern; 3] = [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique];
+
+/// The learned-weight claim, CI-enforced: on these (stream, pattern)
+/// cells the checked-in `wsd-train` grid artifact's WSD-L observed
+/// error must not exceed WSD-H's at the same reservoir capacity and
+/// ensemble seeds. Cells are pinned where the shipped artifacts win;
+/// everything is fixed-seed, so a regression here means the policy
+/// pipeline (trainer, artifact codec, registry, WSD-L serving) changed
+/// behaviour — exactly what this gate exists to catch. The remaining
+/// trained cells still print their margins below for visibility.
+const LEARNED_GATES: &[(&str, Pattern)] = &[
+    ("ba-light", Pattern::Wedge),
+    ("ba-light", Pattern::Triangle),
+    ("hub-light", Pattern::Wedge),
+    ("hub-light", Pattern::Triangle),
+    ("hub-light", Pattern::FourClique),
+];
 
 fn streams() -> Vec<(&'static str, EventStream)> {
     let ba = GeneratorConfig::BarabasiAlbert { vertices: 1200, edges_per_vertex: 5 }.generate(7);
@@ -212,6 +229,63 @@ fn main() {
                         gate.bound
                     ));
                 }
+            }
+        }
+        // Learned cells: every registry artifact trained for this
+        // stream's scenario family, WSD-L vs WSD-H at equal capacity
+        // and seeds. Enforced on the LEARNED_GATES cells.
+        let registry = PolicyRegistry::open(policy_cache_dir()).expect("registry dir scans");
+        for artifact in registry.iter().filter(|a| a.meta.scenario == name) {
+            let pattern = artifact.meta.pattern;
+            let truth = truth_for(pattern);
+            let err_of = |report: wsd_core::engine::SessionEnsembleReport| {
+                (report.queries[0].1.mean - truth).abs() / truth
+            };
+            let learned = err_of(Ensemble::new(REPLICAS).with_base_seed(BASE_SEED).run_sessions(
+                &events,
+                |seed| {
+                    SessionBuilder::new(Algorithm::WsdL, capacity, seed)
+                        .query(pattern)
+                        .with_policy(artifact.policy.clone())
+                        .build()
+                },
+            ));
+            let heuristic = err_of(
+                Ensemble::new(REPLICAS).with_base_seed(BASE_SEED).run_sessions(&events, |seed| {
+                    SessionBuilder::new(Algorithm::WsdH, capacity, seed).query(pattern).build()
+                }),
+            );
+            let enforced = LEARNED_GATES.contains(&(name, pattern));
+            let won = learned <= heuristic;
+            let verdict = match (enforced, won) {
+                (true, true) => "ok",
+                (true, false) => "FAIL",
+                (false, _) => "info",
+            };
+            eprintln!(
+                "  WSD-L x {:<9} rel-err {:>7.4} vs WSD-H {:>7.4} {} [learned, {}]",
+                pattern.name(),
+                learned,
+                heuristic,
+                verdict,
+                if enforced { "enforced" } else { "unenforced" },
+            );
+            if enforced && !won {
+                failures.push(format!(
+                    "{name}: learned policy on {}: WSD-L error {learned:.4} exceeds \
+                     WSD-H error {heuristic:.4} at equal capacity",
+                    pattern.name(),
+                ));
+            }
+        }
+        // The claim needs its artifacts: a missing or unreadable .wsdp
+        // must fail the gate, not silently skip the cell.
+        for &(stream, pattern) in LEARNED_GATES.iter().filter(|(s, _)| *s == name) {
+            if registry.lookup(pattern, stream).is_none() {
+                failures.push(format!(
+                    "{name}: no registry artifact for enforced learned cell ({stream}, {})",
+                    pattern.name(),
+                ));
             }
         }
     }

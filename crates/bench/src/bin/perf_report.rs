@@ -16,6 +16,13 @@
 //!   admission/eviction/reservoir-maintenance hot path in isolation,
 //!   the direct measurement surface for reservoir-path optimisations
 //!   (run-partitioned admission plans, SoA heap/sample writes);
+//! * `weight-grid-ba` / `weight-grid-hub` — the weighted sampler's
+//!   zero-query admission path under the three weight surfaces: the
+//!   checked-in learned `LinearPolicy` (WSD-L), `HeuristicWeight`
+//!   (WSD-H) and the affine `UniformWeight` (WSD-Uniform).
+//!   `WeightFn::evaluate` sits on the insert hot path, so these cells
+//!   are the direct price tag of upgrading a tenant from heuristic to
+//!   learned weights;
 //! * `session-grid-ba` / `session-grid-hub` — the multi-query session
 //!   comparison on the same two streams: one shared triangle-weighted
 //!   sampler answering wedge+triangle+4-clique at once versus three
@@ -107,10 +114,18 @@ fn time_single(alg: Algorithm, pattern: Pattern, capacity: usize, events: &Event
 /// triangle (that enumeration is part of their admission cost);
 /// `WsdUniform`'s affine weight skips enumeration entirely, so its cell
 /// is the floor of the reservoir write path itself.
-fn time_bare(alg: Algorithm, capacity: usize, events: &EventStream) -> f64 {
-    let mut session = SessionBuilder::new(alg, capacity, COUNTER_SEED)
-        .with_weight_pattern(Pattern::Triangle)
-        .build();
+fn time_bare(
+    alg: Algorithm,
+    capacity: usize,
+    events: &EventStream,
+    policy: Option<&wsd_core::LinearPolicy>,
+) -> f64 {
+    let mut builder =
+        SessionBuilder::new(alg, capacity, COUNTER_SEED).with_weight_pattern(Pattern::Triangle);
+    if let Some(policy) = policy {
+        builder = builder.with_policy(policy.clone());
+    }
+    let mut session = builder.build();
     let start = Instant::now();
     session.process_all(events);
     let secs = start.elapsed().as_secs_f64();
@@ -170,7 +185,7 @@ fn main() {
         .map(|v| v.parse().expect("--time-reps expects an integer"))
         .unwrap_or(if quick { 1 } else { 5 });
     assert!(time_reps >= 1, "--time-reps must be >= 1");
-    let out = opt("--out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let out = opt("--out").unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let methodology = opt("--methodology").unwrap_or_else(|| {
         format!("single run on one host; median of {time_reps} full stream passes per cell")
     });
@@ -332,7 +347,7 @@ fn main() {
         for alg in algorithms {
             let mut rates = Vec::with_capacity(time_reps);
             for _ in 0..time_reps {
-                let secs = time_bare(alg, grid.capacity, &grid.events);
+                let secs = time_bare(alg, grid.capacity, &grid.events, None);
                 rates.push(grid.events.len() as f64 / secs);
             }
             let events_per_sec = median(rates);
@@ -350,6 +365,58 @@ fn main() {
                 events_per_sec,
                 paired_speedup: None,
             });
+        }
+    }
+
+    // Weight-function grid: the same zero-query admission path, but
+    // varying the *weight surface* instead of the algorithm — the
+    // checked-in learned triangle policy (WSD-L) against the heuristic
+    // (WSD-H) and affine-uniform (WSD-Uniform) weights at equal
+    // capacity. `WeightFn::evaluate` runs once per candidate admission,
+    // so the spread between these cells is the insert-path cost of
+    // serving learned weights.
+    {
+        let registry = wsd_core::PolicyRegistry::open(wsd_bench::policies::policy_cache_dir())
+            .expect("weight-grid: open checked-in policy registry");
+        let weight_cells = [
+            ("weight-grid-ba", "ba-light", &grids[0]),
+            ("weight-grid-hub", "hub-light", &grids[1]),
+        ];
+        for (scenario, family, grid) in weight_cells {
+            let artifact = registry.lookup(Pattern::Triangle, family).unwrap_or_else(|| {
+                panic!("weight-grid: no checked-in {family} triangle artifact (run wsd-train)")
+            });
+            eprintln!(
+                "perf_report: {scenario} (|S|={}, capacity M={}, {} timing reps, zero queries, \
+                 triangle weight)",
+                grid.events.len(),
+                grid.capacity,
+                time_reps
+            );
+            let surfaces: [(&str, Algorithm, Option<&wsd_core::LinearPolicy>); 3] = [
+                ("WSD-L", Algorithm::WsdL, Some(&artifact.policy)),
+                ("WSD-H", Algorithm::WsdH, None),
+                ("WSD-Uniform", Algorithm::WsdUniform, None),
+            ];
+            for (name, alg, policy) in surfaces {
+                let mut rates = Vec::with_capacity(time_reps);
+                for _ in 0..time_reps {
+                    let secs = time_bare(alg, grid.capacity, &grid.events, policy);
+                    rates.push(grid.events.len() as f64 / secs);
+                }
+                let events_per_sec = median(rates);
+                eprintln!(
+                    "  {:>15} {:>11} x {:<12} {:>12.0} events/sec",
+                    scenario, name, "(0 queries)", events_per_sec
+                );
+                cells.push(Cell {
+                    scenario,
+                    algorithm: name,
+                    pattern: "(0 queries)".to_string(),
+                    events_per_sec,
+                    paired_speedup: None,
+                });
+            }
         }
     }
 
@@ -569,6 +636,8 @@ fn main() {
     comparable.extend([
         ("sampler-grid-ba", ba),
         ("sampler-grid-hub", hub),
+        ("weight-grid-ba", ba),
+        ("weight-grid-hub", hub),
         ("session-grid-ba", ba),
         ("session-grid-hub", hub),
     ]);

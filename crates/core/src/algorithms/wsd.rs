@@ -49,10 +49,10 @@ use crate::estimator::{layered_weighted_mass, weighted_mass, MassKernel};
 use crate::rank::{draw_u, rank};
 use crate::reservoir::IndexedMinHeap;
 use crate::sampled_graph::{EdgeMeta, WeightedSample};
-use crate::session::{EdgeSampler, PatternQuery, QueryCtx};
+use crate::session::{EdgeSampler, PatternQuery, QueryCtx, WeightSwapError};
 use crate::snapshot::{SamplerState, WeightedSampleState};
 use crate::state::{StateAccumulator, StateVector, TemporalPooling};
-use crate::weight::WeightFn;
+use crate::weight::{WeightFn, WeightSpec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wsd_graph::patterns::EnumScratch;
@@ -419,6 +419,27 @@ impl EdgeSampler for WsdSampler {
         self.tau_q = *tau_q;
         self.t = *t;
         self.rng = SmallRng::from_state(*rng);
+    }
+
+    /// Mid-stream weight hot-swap. Replaces only the weight function
+    /// (and re-resolves the cached weight mode, preserving any
+    /// installed observer): the reservoir, thresholds, state
+    /// accumulator and RNG stream are untouched, so stored edges keep
+    /// their admission-time weights and only future observations use
+    /// the new function. The display name resets to the target weight
+    /// function's canonical algorithm name.
+    fn set_weight_fn(&mut self, spec: &WeightSpec) -> Result<(), WeightSwapError> {
+        let dim = self.weight_pattern.num_edges() + 3;
+        if let Some(got) = spec.dim() {
+            if got != dim {
+                return Err(WeightSwapError::DimensionMismatch { expected: dim, got });
+            }
+        }
+        let (weight_fn, name) = spec.build();
+        self.weight_fn = weight_fn;
+        self.display_name = name.to_string();
+        self.weight_mode = WeightMode::resolve(self.weight_fn.as_ref(), self.observer.is_some());
+        Ok(())
     }
 }
 

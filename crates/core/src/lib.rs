@@ -108,6 +108,7 @@ pub mod config;
 pub mod counter;
 pub mod engine;
 mod estimator;
+pub mod policy;
 pub mod rank;
 pub mod reservoir;
 pub mod sampled_graph;
@@ -120,13 +121,14 @@ pub use config::{Algorithm, CounterConfig};
 pub use counter::SubgraphCounter;
 pub use engine::{BatchDriver, Ensemble, EnsembleReport, SessionEnsembleReport};
 pub use estimator::MassKernel;
+pub use policy::{PolicyArtifact, PolicyError, PolicyMeta, PolicyRegistry};
 pub use session::{
     EdgeSampler, LayeredPlan, PatternQuery, QueryCheckpoint, QueryCtx, QueryId, QueryReport,
-    SessionBuilder, SessionCounter, SessionReport, StreamSession,
+    SessionBuilder, SessionCounter, SessionReport, StreamSession, WeightSwapError,
 };
 pub use snapshot::{
     ByteReader, ByteWriter, QuerySnapshot, SamplerState, SessionConfig, SessionSnapshot,
     SnapshotError,
 };
 pub use state::{StateVector, TemporalPooling};
-pub use weight::{FeatureNorm, HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};
+pub use weight::{FeatureNorm, HeuristicWeight, LinearPolicy, UniformWeight, WeightFn, WeightSpec};

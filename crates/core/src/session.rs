@@ -77,7 +77,7 @@ use crate::rank::inclusion_prob;
 use crate::sampled_graph::WeightedSample;
 use crate::snapshot::{QuerySnapshot, SamplerState, SessionConfig, SessionSnapshot};
 use crate::state::TemporalPooling;
-use crate::weight::{HeuristicWeight, LinearPolicy, UniformWeight, WeightFn};
+use crate::weight::{HeuristicWeight, LinearPolicy, UniformWeight, WeightFn, WeightSpec};
 use wsd_graph::patterns::EnumScratch;
 use wsd_graph::{Adjacency, Edge, EdgeEvent, LayeredLevels, Pattern};
 
@@ -214,6 +214,43 @@ impl<'a> QueryCtx<'a> {
     }
 }
 
+/// Why a weight-function hot-swap was rejected (see
+/// [`StreamSession::set_weight_fn`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WeightSwapError {
+    /// The sampler's algorithm has no swappable weight function (only
+    /// the WSD family swaps; GPS/GPS-A pin the heuristic, the uniform
+    /// baselines have no weights at all).
+    Unsupported {
+        /// Display name of the rejecting sampler.
+        algorithm: String,
+    },
+    /// The new policy's dimension does not match the sampler's
+    /// weight-pattern state dimension `|H| + 3`.
+    DimensionMismatch {
+        /// Dimension the weight pattern requires.
+        expected: usize,
+        /// Dimension the offered policy carries.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for WeightSwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightSwapError::Unsupported { algorithm } => {
+                write!(f, "{algorithm} has no swappable weight function")
+            }
+            WeightSwapError::DimensionMismatch { expected, got } => write!(
+                f,
+                "policy dimension {got} does not match the weight-pattern state dimension {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WeightSwapError {}
+
 /// The sampling layer of a [`StreamSession`]: one algorithm's
 /// admission / eviction / room logic, owning the reservoir and the
 /// sampled adjacency, and feeding every attached [`PatternQuery`]'s
@@ -303,6 +340,14 @@ pub trait EdgeSampler: Send {
     /// Panics if the state's algorithm variant does not match this
     /// sampler.
     fn restore_state(&mut self, state: &SamplerState);
+
+    /// Hot-swaps the sampler's weight function mid-stream. Only the WSD
+    /// family supports this; the default rejects the swap. See
+    /// [`StreamSession::set_weight_fn`] for the pinned semantics.
+    fn set_weight_fn(&mut self, spec: &WeightSpec) -> Result<(), WeightSwapError> {
+        let _ = spec;
+        Err(WeightSwapError::Unsupported { algorithm: self.name().to_string() })
+    }
 }
 
 /// Enumerates every instance of `pattern` spanned by `edges` exactly
@@ -891,6 +936,62 @@ impl StreamSession {
     /// Number of currently attached queries.
     pub fn num_queries(&self) -> usize {
         self.queries.len()
+    }
+
+    /// Hot-swaps the weighted sampler's weight function mid-stream —
+    /// how a served tenant upgrades from the heuristic to a freshly
+    /// trained policy (or back) without losing its session.
+    ///
+    /// **Pinned semantics** (the `hot_swap` suite enforces all three):
+    ///
+    /// * The reservoir is untouched: stored edges keep their
+    ///   admission-time weights, ranks and thresholds (τp, τq), and the
+    ///   sampler's RNG stream does not advance. Only *future*
+    ///   observations are weighted by the new function, so estimates
+    ///   stay unbiased — the inclusion identity of Lemma 1 holds per
+    ///   edge at its own admission weight.
+    /// * Swapping in a weight function identical to the current one is
+    ///   a bit-for-bit no-op on every subsequent estimate (the
+    ///   weight-mode/fusion plan is re-resolved to the exact same
+    ///   state, preserving fused-query bit-identity through the
+    ///   `with_weight_pattern` path).
+    /// * From the swap point on, the session is bit-identical to a
+    ///   session of the target weight function whose dynamic state at
+    ///   the swap point is the original's (pinned against a
+    ///   snapshot/restore twin).
+    ///
+    /// The session's rebuildable configuration is updated to the target
+    /// algorithm ([`Algorithm::WsdUniform`] / [`Algorithm::WsdH`] /
+    /// [`Algorithm::WsdL`]), so a [`StreamSession::snapshot`] taken
+    /// after the swap restores the swapped weight function.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightSwapError::Unsupported`] if the sampler is not in the
+    /// WSD family; [`WeightSwapError::DimensionMismatch`] if a policy's
+    /// dimension does not fit the sampler's weight pattern. On error
+    /// the session is unchanged.
+    pub fn set_weight_fn(&mut self, spec: WeightSpec) -> Result<(), WeightSwapError> {
+        self.sampler.set_weight_fn(&spec)?;
+        // Keep the snapshot configuration truthful: a post-swap
+        // snapshot must rebuild the swapped weight function.
+        if let Some(builder) = self.config.as_mut() {
+            match spec {
+                WeightSpec::Uniform => {
+                    builder.algorithm = Algorithm::WsdUniform;
+                    builder.policy = None;
+                }
+                WeightSpec::Heuristic => {
+                    builder.algorithm = Algorithm::WsdH;
+                    builder.policy = None;
+                }
+                WeightSpec::Policy(p) => {
+                    builder.algorithm = Algorithm::WsdL;
+                    builder.policy = Some(p);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Events processed so far.

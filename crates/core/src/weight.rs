@@ -17,6 +17,7 @@
 //!   "hardcodes" them here, exactly as the paper ports its trained
 //!   PyTorch parameters to C++.
 
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotError};
 use crate::state::StateVector;
 
 /// A weight function consuming the observed state.
@@ -192,6 +193,107 @@ impl WeightFn for LinearPolicy {
     }
 }
 
+/// A serialisable choice of weight function — the payload of a
+/// mid-stream hot-swap, in process
+/// ([`StreamSession::set_weight_fn`](crate::session::StreamSession::set_weight_fn))
+/// or over the wire (the `wsd-serve` `SwapPolicy` request).
+///
+/// Only the WSD family is swappable, so the three variants mirror the
+/// three WSD weight functions: [`UniformWeight`], [`HeuristicWeight`],
+/// and a learned [`LinearPolicy`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightSpec {
+    /// Swap to [`UniformWeight`] (`W ≡ 1`, WSD-U).
+    Uniform,
+    /// Swap to [`HeuristicWeight`] (`9·|H| + 1`, WSD-H).
+    Heuristic,
+    /// Swap to the given learned policy (WSD-L).
+    Policy(LinearPolicy),
+}
+
+impl WeightSpec {
+    /// Builds the weight function plus its canonical sampler display
+    /// name (the names [`SessionBuilder`](crate::session::SessionBuilder)
+    /// gives the corresponding algorithms).
+    pub fn build(&self) -> (Box<dyn WeightFn>, &'static str) {
+        match self {
+            WeightSpec::Uniform => (Box::new(UniformWeight), "WSD-U"),
+            WeightSpec::Heuristic => (Box::new(HeuristicWeight), "WSD-H"),
+            WeightSpec::Policy(p) => (Box::new(p.clone()), "WSD-L"),
+        }
+    }
+
+    /// Policy dimension carried by this spec (`None` for the
+    /// dimension-free uniform/heuristic variants).
+    pub fn dim(&self) -> Option<usize> {
+        match self {
+            WeightSpec::Policy(p) => Some(p.dim()),
+            _ => None,
+        }
+    }
+
+    /// Serialises the spec (tag byte, then the policy parameters as raw
+    /// IEEE-754 bits for the `Policy` variant).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self {
+            WeightSpec::Uniform => w.put_u8(0),
+            WeightSpec::Heuristic => w.put_u8(1),
+            WeightSpec::Policy(p) => {
+                w.put_u8(2);
+                w.put_len(p.w.len());
+                for &x in &p.w {
+                    w.put_f64(x);
+                }
+                w.put_f64(p.b);
+                for xs in [p.norm.mean(), p.norm.std()] {
+                    w.put_len(xs.len());
+                    for &x in xs {
+                        w.put_f64(x);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes a spec, rejecting unknown tags, mismatched parameter
+    /// blocks, and non-finite policy parameters (a NaN weight would
+    /// silently poison every later admission decision).
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(WeightSpec::Uniform),
+            1 => Ok(WeightSpec::Heuristic),
+            2 => {
+                let finite = |x: f64| {
+                    if x.is_finite() {
+                        Ok(x)
+                    } else {
+                        Err(SnapshotError::Invalid("non-finite policy parameter"))
+                    }
+                };
+                let dim = r.get_len()?;
+                let mut weights = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    weights.push(finite(r.get_f64()?)?);
+                }
+                let b = finite(r.get_f64()?)?;
+                let mut blocks = [Vec::new(), Vec::new()];
+                for block in &mut blocks {
+                    let n = r.get_len()?;
+                    if n != dim {
+                        return Err(SnapshotError::Invalid("normaliser dimension mismatch"));
+                    }
+                    for _ in 0..n {
+                        block.push(finite(r.get_f64()?)?);
+                    }
+                }
+                let [mean, std] = blocks;
+                Ok(WeightSpec::Policy(LinearPolicy::new(weights, b, FeatureNorm::new(mean, std))))
+            }
+            _ => Err(SnapshotError::BadTag("weight spec")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +353,48 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn dimension_mismatch_panics() {
         let _ = LinearPolicy::new(vec![1.0], 0.0, FeatureNorm::identity(2));
+    }
+
+    #[test]
+    fn weight_spec_round_trips_every_variant() {
+        let specs = [
+            WeightSpec::Uniform,
+            WeightSpec::Heuristic,
+            WeightSpec::Policy(LinearPolicy::new(
+                vec![0.25, -1.5, 1e-12],
+                0.75,
+                FeatureNorm::new(vec![1.0, 2.0, 3.0], vec![0.5, 4.0, 8.0]),
+            )),
+        ];
+        for spec in specs {
+            let mut w = ByteWriter::new();
+            spec.encode_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let back = WeightSpec::decode(&mut r).expect("decode");
+            r.finish().expect("consumed exactly");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn weight_spec_rejects_non_finite_and_bad_tags() {
+        // Hand-build a policy spec holding a NaN weight.
+        let mut w = ByteWriter::new();
+        w.put_u8(2);
+        w.put_len(1);
+        w.put_f64(f64::NAN);
+        w.put_f64(0.0);
+        for _ in 0..2 {
+            w.put_len(1);
+            w.put_f64(0.0);
+        }
+        let bytes = w.into_bytes();
+        assert!(WeightSpec::decode(&mut ByteReader::new(&bytes)).is_err());
+        assert!(WeightSpec::decode(&mut ByteReader::new(&[9])).is_err());
+        // Truncated at every prefix.
+        for cut in 0..bytes.len() {
+            assert!(WeightSpec::decode(&mut ByteReader::new(&bytes[..cut])).is_err());
+        }
     }
 }

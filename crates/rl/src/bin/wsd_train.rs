@@ -1,0 +1,150 @@
+//! `wsd-train` — the scenario-grid policy trainer.
+//!
+//! Trains a frozen WSD-L weight policy for every (scenario family ×
+//! pattern) cell of the synthetic evaluation grid and writes each as a
+//! versioned `.wsdp` artifact the core `PolicyRegistry` can serve.
+//!
+//! ```sh
+//! wsd-train --out artifacts/policies            # full 12-cell grid
+//! wsd-train --cells ba-light:triangle --iterations 200
+//! wsd-train --list                              # enumerate the grid
+//! ```
+//!
+//! Determinism: artifacts are a pure function of `(--seed,
+//! --iterations, cell)` — per-cell trainer seeds derive via the
+//! engine's splitmix64 `replica_seed`, and `--threads` changes only
+//! wall time, never a single artifact byte.
+
+use std::path::PathBuf;
+use std::process::exit;
+use wsd_rl::grid::{full_grid, train_grid, GridCell};
+
+struct Args {
+    out: PathBuf,
+    iterations: usize,
+    threads: usize,
+    seed: u64,
+    cells: Vec<GridCell>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wsd-train [--out DIR] [--iterations N] [--threads N] [--seed N] \
+         [--cells KEY,KEY,...] [--list]\n\
+         \n\
+         --out DIR         artifact directory (default: artifacts/policies)\n\
+         --iterations N    DDPG optimisation steps per cell (default: 1000, the paper's budget)\n\
+         --threads N       parallel cells (default: available cores; never changes artifact bytes)\n\
+         --seed N          master seed; per-cell seeds derive from it (default: 0xDD96)\n\
+         --cells KEYS      comma-separated cell keys like ba-light:triangle (default: full grid)\n\
+         --list            print every grid cell key and exit"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let grid = full_grid();
+    let mut out = PathBuf::from("artifacts/policies");
+    let mut iterations = 1000usize;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut seed = 0xDD_96u64;
+    let mut cells: Option<Vec<GridCell>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(value("--out")),
+            "--iterations" => {
+                iterations = value("--iterations").parse().unwrap_or_else(|_| usage())
+            }
+            "--threads" => threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = parse_seed(&value("--seed")).unwrap_or_else(|| usage()),
+            "--cells" => {
+                let picked = value("--cells")
+                    .split(',')
+                    .map(|key| {
+                        grid.iter().find(|c| c.key() == key).copied().unwrap_or_else(|| {
+                            eprintln!("error: unknown cell {key:?}; try --list");
+                            exit(2)
+                        })
+                    })
+                    .collect();
+                cells = Some(picked);
+            }
+            "--list" => {
+                for cell in &grid {
+                    println!("{}", cell.key());
+                }
+                exit(0)
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if iterations == 0 {
+        eprintln!("error: --iterations must be positive");
+        exit(2)
+    }
+    Args { out, iterations, threads, seed, cells: cells.unwrap_or(grid) }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("error: cannot create {}: {e}", args.out.display());
+        exit(1)
+    }
+    eprintln!(
+        "wsd-train: {} cell(s), {} iteration(s) each, seed {:#x}, {} thread(s) -> {}",
+        args.cells.len(),
+        args.iterations,
+        args.seed,
+        args.threads,
+        args.out.display()
+    );
+    let start = std::time::Instant::now();
+    let results = train_grid(&args.cells, args.seed, args.iterations, args.threads);
+    let mut failed = false;
+    for (artifact, report) in &results {
+        let path = args.out.join(artifact.file_name());
+        let final_loss = report.critic_loss_trace.last().copied();
+        match artifact.save(&path) {
+            Ok(()) => eprintln!(
+                "  {:<26} dim {} | {} steps, {} transitions, {} episode(s) in {:>8.2?} | \
+                 critic loss {} | seed {:#018x} -> {}",
+                report.cell.key(),
+                artifact.policy.dim(),
+                report.optimizer_steps,
+                report.transitions,
+                report.episodes,
+                report.wall_time,
+                final_loss.map_or("n/a".into(), |l| format!("{l:.4}")),
+                artifact.meta.train_seed,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("  {:<26} FAILED to save: {e}", report.cell.key());
+                failed = true;
+            }
+        }
+    }
+    eprintln!("wsd-train: {} artifact(s) in {:.2?}", results.len(), start.elapsed());
+    if failed {
+        exit(1)
+    }
+}

@@ -1,0 +1,228 @@
+//! The scenario-grid trainer behind the `wsd-train` binary: every
+//! (scenario family × pattern) cell of the synthetic evaluation grid,
+//! trained deterministically and frozen into versioned
+//! [`PolicyArtifact`]s for the policy registry.
+//!
+//! Determinism contract: a cell's artifact is a pure function of
+//! `(master seed, iterations, cell index)`. Per-cell seeds derive via
+//! the engine's splitmix64 [`replica_seed`] bijection — never additive
+//! offsets — so cells share no RNG streams with each other or with
+//! adjacent master seeds, and the grid can be driven by
+//! [`parallel_map`] under any thread count without changing a single
+//! artifact byte (wall time lives in the [`CellReport`], outside the
+//! artifact).
+//!
+//! The scenario families mirror the accuracy-gate / bench streams:
+//! each cell trains on a *smaller* graph of the same family as its
+//! evaluation stream (the paper's Table I train/test pairing), under
+//! the same light-churn deletion scenario.
+
+use crate::trainer::{train, TrainerConfig};
+use std::time::Duration;
+use wsd_core::engine::{parallel_map, replica_seed};
+use wsd_core::{PolicyArtifact, PolicyMeta};
+use wsd_graph::{Edge, Pattern};
+use wsd_stream::gen::GeneratorConfig;
+use wsd_stream::Scenario;
+
+/// Scenario families of the training grid, named after the evaluation
+/// streams they pair with.
+pub const SCENARIOS: [&str; 4] = ["ba-light", "hub-light", "ff-light", "community-light"];
+
+/// Patterns of the training grid.
+pub const PATTERNS: [Pattern; 3] = [Pattern::Wedge, Pattern::Triangle, Pattern::FourClique];
+
+/// One (scenario, pattern) training cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridCell {
+    /// Position in the full grid; seeds derive from it.
+    pub index: u64,
+    /// Scenario family name (one of [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// Pattern the policy optimises for.
+    pub pattern: Pattern,
+}
+
+impl GridCell {
+    /// `"<scenario>:<pattern>"`, the `--cells` selector syntax.
+    pub fn key(&self) -> String {
+        format!("{}:{}", self.scenario, self.pattern.name())
+    }
+}
+
+/// The full 4×3 grid, in a fixed order (cell indices are stable across
+/// releases; artifacts embed the seed, not the index).
+pub fn full_grid() -> Vec<GridCell> {
+    let mut cells = Vec::with_capacity(SCENARIOS.len() * PATTERNS.len());
+    for scenario in SCENARIOS {
+        for pattern in PATTERNS {
+            cells.push(GridCell { index: cells.len() as u64, scenario, pattern });
+        }
+    }
+    cells
+}
+
+/// The training graph of a scenario family: same generator family as
+/// the matching evaluation stream, smaller, and under a generation seed
+/// disjoint from every evaluation seed (the policy must generalise to
+/// the eval stream, not memorise it).
+pub fn training_graph(scenario: &str) -> Vec<Edge> {
+    match scenario {
+        "ba-light" => {
+            GeneratorConfig::BarabasiAlbert { vertices: 600, edges_per_vertex: 5 }.generate(4201)
+        }
+        "hub-light" => GeneratorConfig::HubClique { clique: 24, spokes: 700 }.generate(4202),
+        "ff-light" => {
+            GeneratorConfig::ForestFire { vertices: 700, forward_prob: 0.35 }.generate(4203)
+        }
+        "community-light" => GeneratorConfig::Community {
+            vertices: 700,
+            intra_links: 4,
+            inter_links: 1,
+            new_community_prob: 0.02,
+        }
+        .generate(4204),
+        other => panic!("unknown scenario family {other:?} (known: {SCENARIOS:?})"),
+    }
+}
+
+/// Everything `wsd-train` reports per cell beyond the artifact itself.
+pub struct CellReport {
+    /// The cell that was trained.
+    pub cell: GridCell,
+    /// Optimisation steps performed.
+    pub optimizer_steps: usize,
+    /// Transitions collected.
+    pub transitions: usize,
+    /// Episodes (stream passes) consumed.
+    pub episodes: usize,
+    /// Wall-clock training time (excluded from the artifact bytes).
+    pub wall_time: Duration,
+    /// Critic loss every ~50 steps.
+    pub critic_loss_trace: Vec<f64>,
+}
+
+/// Trains one cell; returns the frozen artifact plus its report.
+///
+/// Bit-deterministic in `(master_seed, iterations, cell)`: the cell's
+/// trainer seed is `replica_seed(master_seed, cell.index)` and the
+/// training graph is fixed per family, so the artifact's bytes never
+/// depend on scheduling.
+pub fn train_cell(
+    cell: GridCell,
+    master_seed: u64,
+    iterations: usize,
+) -> (PolicyArtifact, CellReport) {
+    let edges = training_graph(cell.scenario);
+    // The evaluation streams budget M = |stream| / 5; a light-churn
+    // stream over |E| edges has ≈ 1.4·|E| events, so match that ratio
+    // against the training graph.
+    let capacity = (edges.len() * 14 / 50).max(cell.pattern.num_edges() + 20);
+    let train_seed = replica_seed(master_seed, cell.index);
+    let mut cfg = TrainerConfig::paper_defaults(cell.pattern, capacity);
+    cfg.iterations = iterations;
+    cfg.seed = train_seed;
+    let report = train(&edges, Scenario::default_light(), &cfg);
+    let artifact = PolicyArtifact {
+        meta: PolicyMeta {
+            pattern: cell.pattern,
+            scenario: cell.scenario.to_string(),
+            capacity: capacity as u64,
+            train_seed,
+            iterations: iterations as u64,
+        },
+        policy: report.policy,
+    };
+    let cell_report = CellReport {
+        cell,
+        optimizer_steps: report.optimizer_steps,
+        transitions: report.transitions,
+        episodes: report.episodes,
+        wall_time: report.wall_time,
+        critic_loss_trace: report.critic_loss_trace,
+    };
+    (artifact, cell_report)
+}
+
+/// Trains a set of cells over [`parallel_map`] with `threads` workers.
+/// The artifact bytes are invariant under `threads` — only wall times
+/// (and output interleaving) change.
+pub fn train_grid(
+    cells: &[GridCell],
+    master_seed: u64,
+    iterations: usize,
+    threads: usize,
+) -> Vec<(PolicyArtifact, CellReport)> {
+    parallel_map(cells.len(), threads, |i| train_cell(cells[i], master_seed, iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_grid_covers_every_scenario_pattern_pair() {
+        let grid = full_grid();
+        assert_eq!(grid.len(), 12);
+        for (i, cell) in grid.iter().enumerate() {
+            assert_eq!(cell.index, i as u64);
+            assert!(SCENARIOS.contains(&cell.scenario));
+            assert!(PATTERNS.contains(&cell.pattern));
+        }
+        // Distinct keys, distinct derived seeds.
+        let keys: std::collections::HashSet<String> = grid.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), 12);
+        let seeds: std::collections::HashSet<u64> =
+            grid.iter().map(|c| replica_seed(0xDD_96, c.index)).collect();
+        assert_eq!(seeds.len(), 12);
+    }
+
+    #[test]
+    fn every_training_graph_generates() {
+        for scenario in SCENARIOS {
+            let edges = training_graph(scenario);
+            assert!(edges.len() > 200, "{scenario}: only {} edges", edges.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario family")]
+    fn unknown_scenario_panics() {
+        let _ = training_graph("zipf-heavy");
+    }
+
+    #[test]
+    fn artifacts_are_bit_identical_across_thread_counts() {
+        // The acceptance tooth for the parallel driver: a 2-cell grid
+        // trained on 1 thread and on 2 threads must freeze byte-equal
+        // artifacts (tiny budget — this is about scheduling, not
+        // convergence).
+        let grid = full_grid();
+        let cells = [grid[1], grid[4]]; // ba-light:triangle, hub-light:triangle
+        let serial = train_grid(&cells, 99, 6, 1);
+        let parallel = train_grid(&cells, 99, 6, 2);
+        for ((a, ra), (b, rb)) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                a.encode(),
+                b.encode(),
+                "cell {} drifted across thread counts",
+                ra.cell.key()
+            );
+            assert_eq!(ra.optimizer_steps, rb.optimizer_steps);
+            assert_eq!(ra.transitions, rb.transitions);
+            assert_eq!(ra.episodes, rb.episodes);
+        }
+    }
+
+    #[test]
+    fn cell_seeds_flow_into_the_artifact_meta() {
+        let cell = full_grid()[7];
+        let (artifact, report) = train_cell(cell, 123, 4);
+        assert_eq!(artifact.meta.train_seed, replica_seed(123, 7));
+        assert_eq!(artifact.meta.scenario, cell.scenario);
+        assert_eq!(artifact.meta.pattern, cell.pattern);
+        assert_eq!(artifact.meta.iterations, 4);
+        assert_eq!(artifact.policy.dim(), cell.pattern.num_edges() + 3);
+        assert_eq!(report.optimizer_steps, 4);
+    }
+}

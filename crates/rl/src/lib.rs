@@ -41,6 +41,7 @@
 
 pub mod ddpg;
 pub mod env;
+pub mod grid;
 pub mod nn;
 pub mod policy_io;
 pub mod replay;
@@ -49,6 +50,7 @@ pub mod trainer;
 
 pub use ddpg::{Ddpg, DdpgConfig};
 pub use env::RewardScale;
+pub use grid::{full_grid, train_cell, train_grid, CellReport, GridCell};
 pub use policy_io::{load_policy, save_policy};
 pub use replay::{ReplayBuffer, Transition};
 pub use trainer::{train, TrainReport, TrainerConfig};

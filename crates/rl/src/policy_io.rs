@@ -3,21 +3,30 @@
 //! "hardcodes" its trained parameters into the C++ evaluation binary;
 //! we load them from a file instead).
 //!
-//! Format (`wsd-policy v1`):
+//! Format (`wsd-policy v2`):
 //!
 //! ```text
-//! wsd-policy v1
+//! wsd-policy v2
 //! dim 6
 //! w 0.1 -0.2 0.3 0.4 0.5 0.6
 //! b 0.25
 //! mean 1 2 3 4 5 6
 //! std 1 1 1 1 1 1
+//! check 8a3fb1c09e5d2741
 //! ```
 //!
 //! Floats are written with `{:?}`-style full precision (`f64` round-trips
-//! exactly through this format).
+//! exactly through this format). The trailing `check` line is the
+//! FNV-1a-64 hash of every preceding byte: a truncated, torn or
+//! bit-flipped file fails with a typed [`PolicyIoError`] instead of
+//! silently loading garbage, matching the quarantine discipline of the
+//! serve store. Non-finite parameters (`NaN`, `inf` — which
+//! `str::parse::<f64>` happily accepts) are likewise rejected: a NaN
+//! weight would poison every admission decision downstream. v1 files
+//! (no checksum) are rejected outright; they are cheap to regenerate
+//! and unverifiable.
 
-use std::io::{BufRead, Write};
+use std::io::{Read, Write};
 use std::path::Path;
 use wsd_core::{FeatureNorm, LinearPolicy};
 
@@ -28,6 +37,19 @@ pub enum PolicyIoError {
     Io(std::io::Error),
     /// Structural or numeric parse failure.
     Format(String),
+    /// The trailing `check` line does not match the content — a torn
+    /// or corrupt file.
+    Checksum {
+        /// Hash recomputed from the content.
+        expected: u64,
+        /// Hash stored in the file.
+        found: u64,
+    },
+    /// A parameter is NaN or infinite.
+    NonFinite {
+        /// Which line held the bad value.
+        field: &'static str,
+    },
 }
 
 impl std::fmt::Display for PolicyIoError {
@@ -35,6 +57,13 @@ impl std::fmt::Display for PolicyIoError {
         match self {
             PolicyIoError::Io(e) => write!(f, "I/O error: {e}"),
             PolicyIoError::Format(m) => write!(f, "malformed policy file: {m}"),
+            PolicyIoError::Checksum { expected, found } => write!(
+                f,
+                "policy file checksum mismatch (content {expected:016x}, file {found:016x})"
+            ),
+            PolicyIoError::NonFinite { field } => {
+                write!(f, "policy file holds a non-finite {field} value")
+            }
         }
     }
 }
@@ -47,50 +76,92 @@ impl From<std::io::Error> for PolicyIoError {
     }
 }
 
-/// Serialises a policy to a writer.
-pub fn write_policy<W: Write>(mut w: W, p: &LinearPolicy) -> Result<(), PolicyIoError> {
-    writeln!(w, "wsd-policy v1")?;
-    writeln!(w, "dim {}", p.dim())?;
-    write_vec(&mut w, "w", &p.w)?;
-    writeln!(w, "b {:?}", p.b)?;
-    write_vec(&mut w, "mean", p.norm.mean())?;
-    write_vec(&mut w, "std", p.norm.std())?;
-    Ok(())
-}
-
-fn write_vec<W: Write>(w: &mut W, key: &str, v: &[f64]) -> Result<(), PolicyIoError> {
-    write!(w, "{key}")?;
-    for x in v {
-        write!(w, " {x:?}")?;
+/// FNV-1a 64-bit over the serialised content (same constants as the
+/// serve store's snapshot trailer).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    writeln!(w)?;
+    h
+}
+
+fn push_vec(s: &mut String, key: &str, v: &[f64]) {
+    use std::fmt::Write as _;
+    let _ = write!(s, "{key}");
+    for x in v {
+        let _ = write!(s, " {x:?}");
+    }
+    s.push('\n');
+}
+
+fn render(p: &LinearPolicy) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "wsd-policy v2");
+    let _ = writeln!(s, "dim {}", p.dim());
+    push_vec(&mut s, "w", &p.w);
+    let _ = writeln!(s, "b {:?}", p.b);
+    push_vec(&mut s, "mean", p.norm.mean());
+    push_vec(&mut s, "std", p.norm.std());
+    s
+}
+
+/// Serialises a policy to a writer (v2: content + checksum trailer).
+pub fn write_policy<W: Write>(mut w: W, p: &LinearPolicy) -> Result<(), PolicyIoError> {
+    let content = render(p);
+    let check = fnv1a64(content.as_bytes());
+    w.write_all(content.as_bytes())?;
+    writeln!(w, "check {check:016x}")?;
     Ok(())
 }
 
-/// Deserialises a policy from a reader.
-pub fn read_policy<R: BufRead>(r: R) -> Result<LinearPolicy, PolicyIoError> {
-    let mut lines = r.lines();
-    let mut next = |what: &str| -> Result<String, PolicyIoError> {
-        lines
-            .next()
-            .ok_or_else(|| PolicyIoError::Format(format!("missing {what} line")))?
-            .map_err(PolicyIoError::from)
+/// Deserialises a policy from a reader, verifying the checksum trailer
+/// before trusting a single field.
+pub fn read_policy<R: Read>(mut r: R) -> Result<LinearPolicy, PolicyIoError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    // Split off the trailing `check` line; everything before it (that
+    // line's leading newline included) is the checksummed content.
+    let Some(idx) = text.rfind("\ncheck ") else {
+        return Err(PolicyIoError::Format(
+            "missing check line (truncated, or a legacy v1 file — regenerate)".into(),
+        ));
+    };
+    let (content, trailer) = text.split_at(idx + 1);
+    // The trailer must be exactly `check <16 hex>\n` — a file torn
+    // even one byte short of its full length does not load.
+    let found = trailer
+        .strip_prefix("check ")
+        .and_then(|h| h.strip_suffix('\n'))
+        .filter(|h| h.len() == 16)
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| PolicyIoError::Format(format!("bad check line {trailer:?}")))?;
+    let expected = fnv1a64(content.as_bytes());
+    if found != expected {
+        return Err(PolicyIoError::Checksum { expected, found });
+    }
+    let mut lines = content.lines();
+    let mut next = |what: &str| -> Result<&str, PolicyIoError> {
+        lines.next().ok_or_else(|| PolicyIoError::Format(format!("missing {what} line")))
     };
     let header = next("header")?;
-    if header.trim() != "wsd-policy v1" {
+    if header.trim() != "wsd-policy v2" {
         return Err(PolicyIoError::Format(format!("unknown header {header:?}")));
     }
-    let dim_line = next("dim")?;
-    let dim: usize = parse_kv(&dim_line, "dim")?
+    let dim: usize = parse_kv(next("dim")?, "dim")?
         .parse()
         .map_err(|e| PolicyIoError::Format(format!("bad dim: {e}")))?;
-    let w = parse_floats(&next("w")?, "w", dim)?;
-    let b_line = next("b")?;
-    let b: f64 = parse_kv(&b_line, "b")?
+    let w = parse_floats(next("w")?, "w", dim)?;
+    let b: f64 = parse_kv(next("b")?, "b")?
         .parse()
         .map_err(|e| PolicyIoError::Format(format!("bad b: {e}")))?;
-    let mean = parse_floats(&next("mean")?, "mean", dim)?;
-    let std = parse_floats(&next("std")?, "std", dim)?;
+    if !b.is_finite() {
+        return Err(PolicyIoError::NonFinite { field: "b" });
+    }
+    let mean = parse_floats(next("mean")?, "mean", dim)?;
+    let std = parse_floats(next("std")?, "std", dim)?;
     Ok(LinearPolicy::new(w, b, FeatureNorm::new(mean, std)))
 }
 
@@ -100,7 +171,7 @@ fn parse_kv<'a>(line: &'a str, key: &str) -> Result<&'a str, PolicyIoError> {
         .ok_or_else(|| PolicyIoError::Format(format!("expected `{key} …`, got {line:?}")))
 }
 
-fn parse_floats(line: &str, key: &str, dim: usize) -> Result<Vec<f64>, PolicyIoError> {
+fn parse_floats(line: &str, key: &'static str, dim: usize) -> Result<Vec<f64>, PolicyIoError> {
     let body = parse_kv(line, key)?;
     let vals: Result<Vec<f64>, _> = body.split_whitespace().map(str::parse).collect();
     let vals = vals.map_err(|e| PolicyIoError::Format(format!("bad float in {key}: {e}")))?;
@@ -109,6 +180,9 @@ fn parse_floats(line: &str, key: &str, dim: usize) -> Result<Vec<f64>, PolicyIoE
             "{key} has {} entries, expected {dim}",
             vals.len()
         )));
+    }
+    if vals.iter().any(|x| !x.is_finite()) {
+        return Err(PolicyIoError::NonFinite { field: key });
     }
     Ok(vals)
 }
@@ -140,13 +214,16 @@ mod tests {
         )
     }
 
+    fn serialized() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_policy(&mut buf, &sample_policy()).unwrap();
+        buf
+    }
+
     #[test]
     fn roundtrip_exact() {
-        let p = sample_policy();
-        let mut buf = Vec::new();
-        write_policy(&mut buf, &p).unwrap();
-        let q = read_policy(buf.as_slice()).unwrap();
-        assert_eq!(p, q);
+        let q = read_policy(serialized().as_slice()).unwrap();
+        assert_eq!(sample_policy(), q);
     }
 
     #[test]
@@ -163,22 +240,88 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        let err = read_policy("nope v9\n".as_bytes()).unwrap_err();
-        assert!(err.to_string().contains("unknown header"));
+        // A well-checksummed file with a wrong header still fails.
+        let text = "nope v9\n";
+        let full = format!("{text}check {:016x}\n", fnv1a64(text.as_bytes()));
+        let err = read_policy(full.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown header"), "{err}");
+    }
+
+    #[test]
+    fn rejects_legacy_v1_files() {
+        let text = "wsd-policy v1\ndim 2\nw 1.0 2.0\nb 0.0\nmean 0 0\nstd 1 1\n";
+        let err = read_policy(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("check line"), "{err}");
     }
 
     #[test]
     fn rejects_dimension_mismatch() {
-        let text = "wsd-policy v1\ndim 3\nw 1.0 2.0\nb 0.0\nmean 0 0 0\nstd 1 1 1\n";
-        let err = read_policy(text.as_bytes()).unwrap_err();
-        assert!(err.to_string().contains("expected 3"));
+        let text = "wsd-policy v2\ndim 3\nw 1.0 2.0\nb 0.0\nmean 0 0 0\nstd 1 1 1\n";
+        let full = format!("{text}check {:016x}\n", fnv1a64(text.as_bytes()));
+        let err = read_policy(full.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 3"), "{err}");
     }
 
     #[test]
-    fn rejects_truncation() {
-        let text = "wsd-policy v1\ndim 2\nw 1.0 2.0\n";
-        let err = read_policy(text.as_bytes()).unwrap_err();
-        assert!(err.to_string().contains("missing"));
+    fn rejects_truncation_at_every_line_and_byte() {
+        let bytes = serialized();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        // Torn at every line boundary…
+        let mut offset = 0;
+        for line in text.split_inclusive('\n') {
+            offset += line.len();
+            if offset == bytes.len() {
+                break; // the full file is the only readable prefix
+            }
+            assert!(
+                read_policy(&bytes[..offset]).is_err(),
+                "prefix of {offset} bytes (after {line:?}) must not load"
+            );
+        }
+        // …and at every byte.
+        for cut in 0..bytes.len() {
+            assert!(read_policy(&bytes[..cut]).is_err(), "{cut}-byte prefix must not load");
+        }
+    }
+
+    #[test]
+    fn rejects_any_corrupted_content_byte() {
+        let bytes = serialized();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] = if bad[i] == b'3' { b'4' } else { b'3' };
+            if bad == bytes {
+                continue;
+            }
+            assert!(read_policy(bad.as_slice()).is_err(), "corruption at byte {i} must not load");
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_values_even_with_valid_checksum() {
+        for (field, text) in [
+            ("w", "wsd-policy v2\ndim 2\nw NaN 2.0\nb 0.0\nmean 0 0\nstd 1 1\n"),
+            ("b", "wsd-policy v2\ndim 2\nw 1.0 2.0\nb inf\nmean 0 0\nstd 1 1\n"),
+            ("mean", "wsd-policy v2\ndim 2\nw 1.0 2.0\nb 0.0\nmean -inf 0\nstd 1 1\n"),
+            ("std", "wsd-policy v2\ndim 2\nw 1.0 2.0\nb 0.0\nmean 0 0\nstd NaN 1\n"),
+        ] {
+            let full = format!("{text}check {:016x}\n", fnv1a64(text.as_bytes()));
+            let err = read_policy(full.as_bytes()).unwrap_err();
+            assert!(matches!(err, PolicyIoError::NonFinite { .. }), "{field}: {err}");
+        }
+    }
+
+    #[test]
+    fn checksum_error_reports_both_hashes() {
+        let bytes = serialized();
+        let mut bad = bytes.clone();
+        // Flip a digit inside the w line.
+        let pos = std::str::from_utf8(&bytes).unwrap().find("0.1").unwrap();
+        bad[pos] = b'9';
+        match read_policy(bad.as_slice()) {
+            Err(PolicyIoError::Checksum { expected, found }) => assert_ne!(expected, found),
+            other => panic!("expected Checksum error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use wsd_core::{Algorithm, SnapshotError};
+use wsd_core::{Algorithm, SnapshotError, WeightSpec};
 use wsd_graph::{EdgeEvent, Pattern};
 
 use crate::protocol::{
@@ -177,6 +177,17 @@ impl Client {
         match self.request(&Request::Close { session })? {
             Reply::Closed { events } => Ok(events),
             _ => Err(ClientError::UnexpectedReply("Closed")),
+        }
+    }
+
+    /// Hot-swaps the session's weight function mid-stream; returns the
+    /// swap-point event count. Rejected swaps (dimension mismatch,
+    /// non-WSD sampler) surface as [`ClientError::Server`] and leave
+    /// the session untouched.
+    pub fn swap_policy(&mut self, session: u64, spec: WeightSpec) -> Result<u64, ClientError> {
+        match self.request(&Request::SwapPolicy { session, spec })? {
+            Reply::PolicySwapped { events } => Ok(events),
+            _ => Err(ClientError::UnexpectedReply("PolicySwapped")),
         }
     }
 

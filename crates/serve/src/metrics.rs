@@ -37,10 +37,12 @@ pub(crate) enum CmdKind {
     Flush,
     /// `Close`.
     Close,
+    /// `SwapPolicy` weight hot-swaps.
+    SwapPolicy,
 }
 
 /// All command kinds, in display order.
-pub(crate) const CMD_KINDS: [CmdKind; 10] = [
+pub(crate) const CMD_KINDS: [CmdKind; 11] = [
     CmdKind::Open,
     CmdKind::Restore,
     CmdKind::Events,
@@ -51,6 +53,7 @@ pub(crate) const CMD_KINDS: [CmdKind; 10] = [
     CmdKind::Subscribe,
     CmdKind::Flush,
     CmdKind::Close,
+    CmdKind::SwapPolicy,
 ];
 
 impl CmdKind {
@@ -66,6 +69,7 @@ impl CmdKind {
             CmdKind::Subscribe => "subscribe",
             CmdKind::Flush => "flush",
             CmdKind::Close => "close",
+            CmdKind::SwapPolicy => "swap_policy",
         }
     }
 }

@@ -7,7 +7,7 @@
 //! format uses (little-endian integers, `f64` as raw IEEE-754 bits).
 //! Three frame classes share the stream:
 //!
-//! * **requests** (client → server, opcodes `0x01..=0x0D`);
+//! * **requests** (client → server, opcodes `0x01..=0x0E`);
 //! * **replies** (server → client, opcodes `0x81..`), exactly one per
 //!   request *except* [`Request::Events`], which is fire-and-forget —
 //!   backpressure comes from the server's bounded ingestion rings, not
@@ -22,7 +22,7 @@
 
 use std::io::{self, Read, Write};
 
-use wsd_core::{Algorithm, ByteReader, ByteWriter, SnapshotError};
+use wsd_core::{Algorithm, ByteReader, ByteWriter, SnapshotError, WeightSpec};
 use wsd_graph::{EdgeEvent, Pattern};
 use wsd_stream::wire;
 
@@ -153,6 +153,17 @@ pub enum Request {
     /// The human-readable metrics dump (one `name value` line per
     /// metric).
     Metrics,
+    /// Hot-swaps the session's weight function mid-stream (WSD family
+    /// only): the reservoir keeps its admission-time weights, only
+    /// future observations use the new spec. The policy parameters are
+    /// validated at decode (finite floats, matching dimensions) before
+    /// the command ever reaches a shard, mirroring `Restore`'s gating.
+    SwapPolicy {
+        /// Target session.
+        session: u64,
+        /// The weight function to install.
+        spec: WeightSpec,
+    },
 }
 
 /// One query's estimate inside [`Reply::Estimates`] or a checkpoint.
@@ -261,6 +272,11 @@ pub enum Reply {
     Metrics {
         /// One `name value` line per metric.
         text: String,
+    },
+    /// Weight function swapped; carries the swap-point event count.
+    PolicySwapped {
+        /// Events the session had applied when the swap took effect.
+        events: u64,
     },
     /// Request failed; human-readable reason.
     Error {
@@ -415,6 +431,11 @@ impl Request {
             Request::Stats => w.put_u8(0x0B),
             Request::Shutdown => w.put_u8(0x0C),
             Request::Metrics => w.put_u8(0x0D),
+            Request::SwapPolicy { session, spec } => {
+                w.put_u8(0x0E);
+                w.put_u64(*session);
+                spec.encode_into(&mut w);
+            }
         }
         w.into_bytes()
     }
@@ -451,6 +472,9 @@ impl Request {
             0x0B => Request::Stats,
             0x0C => Request::Shutdown,
             0x0D => Request::Metrics,
+            0x0E => {
+                Request::SwapPolicy { session: r.get_u64()?, spec: WeightSpec::decode(&mut r)? }
+            }
             _ => return Err(SnapshotError::BadTag("request opcode")),
         };
         r.finish()?;
@@ -521,6 +545,10 @@ impl Reply {
                 w.put_len(text.len());
                 w.put_bytes(text.as_bytes());
             }
+            Reply::PolicySwapped { events } => {
+                w.put_u8(0x8B);
+                w.put_u64(*events);
+            }
             Reply::Error { message } => {
                 w.put_u8(0xFF);
                 w.put_len(message.len());
@@ -573,6 +601,7 @@ impl Reply {
                     .map_err(|_| SnapshotError::Invalid("metrics text utf-8"))?;
                 Reply::Metrics { text }
             }
+            0x8B => Reply::PolicySwapped { events: r.get_u64()? },
             0xFF => {
                 let n = r.get_len()?;
                 let message = String::from_utf8(r.take(n)?.to_vec())
@@ -646,6 +675,16 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Metrics,
+            Request::SwapPolicy { session: 5, spec: WeightSpec::Uniform },
+            Request::SwapPolicy { session: 5, spec: WeightSpec::Heuristic },
+            Request::SwapPolicy {
+                session: 6,
+                spec: WeightSpec::Policy(wsd_core::LinearPolicy::new(
+                    vec![0.5, -1.25, 1e-9],
+                    0.75,
+                    wsd_core::FeatureNorm::new(vec![1.0, 2.0, 3.0], vec![0.5, 1.0, 2.0]),
+                )),
+            },
         ];
         for req in requests {
             let payload = req.encode();
@@ -688,6 +727,7 @@ mod tests {
                 autosave_failures: 1,
             }),
             Reply::Metrics { text: "sessions_live 3\nevents_ingested_total 77\n".into() },
+            Reply::PolicySwapped { events: 4096 },
             Reply::Error { message: "no such session".into() },
         ];
         for reply in replies {

@@ -540,6 +540,17 @@ fn handle_request(
                 reply,
             })
         }
+        Request::SwapPolicy { session, spec } => {
+            // The spec already passed the decode-time gate (finite
+            // parameters, frame size cap); dimension-vs-session checks
+            // happen on the owning shard, which answers with a typed
+            // rejection and leaves the session untouched.
+            round_trip(shard_of(session), shared, writer, pipes, |reply| ShardCmd::SwapPolicy {
+                session,
+                spec: Box::new(spec),
+                reply,
+            })
+        }
         Request::Stats => send_reply(writer, &Reply::Stats(metrics::aggregate(&shared.metrics))),
         Request::Metrics => {
             send_reply(writer, &Reply::Metrics { text: metrics::render_text(&shared.metrics) })

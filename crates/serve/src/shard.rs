@@ -25,7 +25,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use wsd_core::{Algorithm, SessionBuilder, SessionSnapshot, StreamSession};
+use wsd_core::{Algorithm, SessionBuilder, SessionSnapshot, StreamSession, WeightSpec};
 use wsd_graph::{EdgeEvent, Pattern};
 
 use crate::metrics::{CmdKind, ShardMetrics};
@@ -115,6 +115,8 @@ pub(crate) enum ShardCmd {
     Flush { session: u64, reply: Sender<Reply> },
     /// Drop the session.
     Close { session: u64, reply: Sender<Reply> },
+    /// Hot-swap the session's weight function (WSD family only).
+    SwapPolicy { session: u64, spec: Box<WeightSpec>, reply: Sender<Reply> },
 }
 
 /// Parks a shard worker when every ring is empty; producers wake it.
@@ -345,7 +347,8 @@ impl ShardCmd {
             | ShardCmd::Snapshot { session, .. }
             | ShardCmd::Subscribe { session, .. }
             | ShardCmd::Flush { session, .. }
-            | ShardCmd::Close { session, .. } => Some(*session),
+            | ShardCmd::Close { session, .. }
+            | ShardCmd::SwapPolicy { session, .. } => Some(*session),
         }
     }
 
@@ -362,7 +365,8 @@ impl ShardCmd {
             | ShardCmd::Snapshot { reply, .. }
             | ShardCmd::Subscribe { reply, .. }
             | ShardCmd::Flush { reply, .. }
-            | ShardCmd::Close { reply, .. } => Some(reply.clone()),
+            | ShardCmd::Close { reply, .. }
+            | ShardCmd::SwapPolicy { reply, .. } => Some(reply.clone()),
         }
     }
 
@@ -379,6 +383,7 @@ impl ShardCmd {
             ShardCmd::Subscribe { .. } => CmdKind::Subscribe,
             ShardCmd::Flush { .. } => CmdKind::Flush,
             ShardCmd::Close { .. } => CmdKind::Close,
+            ShardCmd::SwapPolicy { .. } => CmdKind::SwapPolicy,
         }
     }
 }
@@ -481,6 +486,18 @@ fn apply(
                 }
                 None => no_such_session(session),
             };
+            let _ = reply.send(r);
+        }
+        ShardCmd::SwapPolicy { session, spec, reply } => {
+            let r = with_session(sessions, session, |entry| {
+                // A rejected swap (wrong dimension, non-WSD sampler)
+                // leaves the session untouched and answers with the
+                // typed reason.
+                match entry.session.set_weight_fn(*spec) {
+                    Ok(()) => Reply::PolicySwapped { events: entry.session.events() },
+                    Err(e) => Reply::Error { message: format!("policy swap rejected: {e}") },
+                }
+            });
             let _ = reply.send(r);
         }
     }
@@ -590,6 +607,7 @@ impl std::fmt::Debug for ShardCmd {
             CmdKind::Subscribe => "Subscribe",
             CmdKind::Flush => "Flush",
             CmdKind::Close => "Close",
+            CmdKind::SwapPolicy => "SwapPolicy",
         })
     }
 }

@@ -108,6 +108,66 @@ fn snapshot_restore_over_the_wire_is_bit_identical() {
 }
 
 #[test]
+fn policy_hot_swap_over_the_wire_matches_in_process() {
+    // Served SwapPolicy must be exactly the in-process `set_weight_fn`:
+    // heuristic prefix → swap to a learned policy → suffix, with the
+    // served estimates and snapshot bit-identical to a local twin.
+    use wsd_core::{FeatureNorm, LinearPolicy, WeightSpec};
+    let (server, mut client) = boot(2);
+    let stream = churn_stream(12);
+    let (head, tail) = stream.split_at(stream.len() / 2);
+    // Triangle leads, so it is the weight pattern: dim = 3 + 3 = 6.
+    let patterns = [Pattern::Triangle, Pattern::Wedge];
+    let policy = LinearPolicy::new(
+        vec![2.5, -0.75, 0.5, 0.25, -0.5, 1.5],
+        0.75,
+        FeatureNorm::new(vec![1.0, 0.5, 2.0, 0.0, 0.0, 1.0], vec![2.0, 1.0, 4.0, 1.0, 1.0, 2.0]),
+    );
+
+    let session = client.open(Algorithm::WsdH, 32, Some(77), &patterns).expect("opens");
+    client.send_events(session, head).expect("sends");
+    client.flush(session).expect("flushes");
+    let at = client.swap_policy(session, WeightSpec::Policy(policy.clone())).expect("swaps");
+    assert_eq!(at, head.len() as u64, "swap point is the flushed prefix");
+    client.send_events(session, tail).expect("sends");
+    client.flush(session).expect("flushes");
+
+    let mut local = SessionBuilder::new(Algorithm::WsdH, 32, 77)
+        .query(Pattern::Triangle)
+        .query(Pattern::Wedge)
+        .build();
+    local.process_batch(head);
+    local.set_weight_fn(WeightSpec::Policy(policy)).expect("swaps");
+    local.process_batch(tail);
+
+    let served = client.estimates(session).expect("estimates");
+    let report = local.report();
+    assert_eq!(served.events, local.events());
+    for (q, l) in served.queries.iter().zip(&report.queries) {
+        assert_eq!(q.estimate.to_bits(), l.estimate.to_bits(), "{:?}", q.pattern);
+    }
+    // Snapshots agree too: the served swap updated the session's
+    // rebuildable configuration exactly as the in-process swap did.
+    assert_eq!(client.snapshot(session).expect("snapshots"), local.snapshot().encode());
+
+    // Rejected swaps answer with the typed reason and leave the
+    // session serving.
+    match client.swap_policy(session, WeightSpec::Policy(LinearPolicy::neutral(5))) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("policy swap rejected"), "{msg}")
+        }
+        other => panic!("wanted a rejection, got {other:?}"),
+    }
+    let triest = client.open(Algorithm::Triest, 16, Some(1), &[Pattern::Wedge]).expect("opens");
+    assert!(matches!(
+        client.swap_policy(triest, WeightSpec::Heuristic),
+        Err(ClientError::Server(_))
+    ));
+    assert!(client.estimates(session).is_ok());
+    server.shutdown();
+}
+
+#[test]
 fn checkpoint_subscription_pushes_timelines() {
     let (server, mut client) = boot(2);
     let stream = churn_stream(10);

@@ -8,6 +8,7 @@
 //! cargo run --release --example serve_client -- --durability-ingest ADDR
 //! cargo run --release --example serve_client -- --durability-verify ADDR
 //! cargo run --release --example serve_client -- --stats ADDR
+//! cargo run --release --example serve_client -- --swap-policy ADDR REGISTRY_DIR
 //! ```
 //!
 //! The durability pair is one drill split by a server kill:
@@ -24,7 +25,7 @@
 
 use std::process::ExitCode;
 
-use wsd::core::{Algorithm, SessionBuilder};
+use wsd::core::{Algorithm, PolicyRegistry, SessionBuilder, WeightSpec};
 use wsd::graph::{Edge, EdgeEvent, Pattern};
 use wsd::serve::{serve, Client, ServerConfig};
 
@@ -167,6 +168,81 @@ fn durability_verify(addr: &str) -> ExitCode {
     }
 }
 
+/// The rl-smoke drill: for every `.wsdp` artifact in `dir`, open a
+/// WSD-H session on the external server, feed a head, hot-swap the
+/// learned policy over the wire, feed a tail, and demand the estimates
+/// stay bit-identical to an in-process twin that used
+/// `set_weight_fn` at the same point. Shuts the server down at the end.
+fn swap_policy_drill(addr: &str, dir: &str) -> ExitCode {
+    let registry = PolicyRegistry::open(dir).expect("registry dir scans");
+    if registry.is_empty() {
+        eprintln!("FAILED: no policy artifacts under {dir}");
+        return ExitCode::FAILURE;
+    }
+    if !registry.rejected().is_empty() {
+        for (path, err) in registry.rejected() {
+            eprintln!("FAILED: rejected artifact {}: {err}", path.display());
+        }
+        return ExitCode::FAILURE;
+    }
+    let mut client = Client::connect(addr).expect("connect");
+    let stream = churn(14);
+    let (head, tail) = stream.split_at(stream.len() / 2);
+    let mut ok = true;
+    let mut swaps = 0u64;
+    for artifact in registry.iter() {
+        let pattern = artifact.meta.pattern;
+        let seed = 4_242 + swaps;
+        // The first query is the weight pattern, so the artifact's
+        // dimension matches the session's by construction.
+        let session = client.open(Algorithm::WsdH, 48, Some(seed), &[pattern]).expect("open");
+        client.send_events(session, head).expect("send head");
+        client.flush(session).expect("flush head");
+        let spec = WeightSpec::Policy(artifact.policy.clone());
+        let at = client.swap_policy(session, spec.clone()).expect("swap over the wire");
+        swaps += 1;
+        if at != head.len() as u64 {
+            eprintln!("FAILED: swap point {at}, wanted {}", head.len());
+            ok = false;
+        }
+        client.send_events(session, tail).expect("send tail");
+        client.flush(session).expect("flush tail");
+
+        let mut twin = SessionBuilder::new(Algorithm::WsdH, 48, seed).query(pattern).build();
+        twin.process_batch(head);
+        twin.set_weight_fn(spec).expect("in-process swap");
+        twin.process_batch(tail);
+
+        let served = client.estimates(session).expect("estimates");
+        let twin_bits = twin.report().queries[0].estimate.to_bits();
+        let same = served.queries[0].estimate.to_bits() == twin_bits;
+        println!(
+            "{} ({}): served {} vs in-process twin {} — {}",
+            artifact.file_name(),
+            pattern.name(),
+            served.queries[0].estimate,
+            f64::from_bits(twin_bits),
+            if same { "bit-identical" } else { "MISMATCH" }
+        );
+        ok &= same;
+        client.close(session).expect("close");
+    }
+    // The swaps must have been counted on the shard that applied them.
+    let metrics = client.metrics().expect("metrics");
+    if !metrics.lines().any(|l| l == format!("cmd_swap_policy_total {swaps}")) {
+        eprintln!("FAILED: metrics did not count {swaps} policy swaps:\n{metrics}");
+        ok = false;
+    }
+    client.shutdown_server().expect("shutdown");
+    if ok {
+        println!("OK: {swaps} served policy swaps matched their in-process twins bit-for-bit");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAILED: policy-swap drill found divergence");
+        ExitCode::FAILURE
+    }
+}
+
 fn dump_stats(addr: &str) -> ExitCode {
     let mut client = Client::connect(addr).expect("connect");
     print!("{}", client.metrics().expect("metrics"));
@@ -179,11 +255,12 @@ fn main() -> ExitCode {
         [flag, addr] if flag == "--durability-ingest" => return durability_ingest(addr),
         [flag, addr] if flag == "--durability-verify" => return durability_verify(addr),
         [flag, addr] if flag == "--stats" => return dump_stats(addr),
+        [flag, addr, dir] if flag == "--swap-policy" => return swap_policy_drill(addr, dir),
         [] | [_] => {}
         _ => {
             eprintln!(
                 "usage: serve_client [ADDR | --durability-ingest ADDR | \
-                 --durability-verify ADDR | --stats ADDR]"
+                 --durability-verify ADDR | --stats ADDR | --swap-policy ADDR REGISTRY_DIR]"
             );
             return ExitCode::from(2);
         }

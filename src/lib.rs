@@ -104,10 +104,13 @@ pub use wsd_serve as serve;
 pub mod prelude {
     pub use wsd_core::{
         Algorithm, BatchDriver, CounterConfig, EdgeSampler, Ensemble, EnsembleReport, LinearPolicy,
-        PatternQuery, QueryId, SessionBuilder, SessionEnsembleReport, SessionReport, StreamSession,
-        SubgraphCounter, TemporalPooling, WeightFn,
+        PatternQuery, PolicyArtifact, PolicyMeta, PolicyRegistry, QueryId, SessionBuilder,
+        SessionEnsembleReport, SessionReport, StreamSession, SubgraphCounter, TemporalPooling,
+        WeightFn, WeightSpec,
     };
     pub use wsd_graph::{Adjacency, Edge, EdgeEvent, ExactCounter, Op, Pattern, Vertex};
-    pub use wsd_rl::{load_policy, save_policy, train, TrainerConfig};
+    pub use wsd_rl::{
+        full_grid, load_policy, save_policy, train, train_cell, GridCell, TrainerConfig,
+    };
     pub use wsd_stream::{gen::GeneratorConfig, EventStream, Scenario, TruthTimeline};
 }
